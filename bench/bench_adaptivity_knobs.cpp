@@ -1,0 +1,110 @@
+// E7 — "Adapting adaptivity" (paper §4.3): batching tuples and fixing
+// operators reduce per-tuple routing costs, at the price of slower reaction
+// to drift. The sweep crosses batch size with drift rate; the counters show
+// the paper's predicted knob behaviour: under slow change big batches win
+// (fewer routing decisions, same plan quality); under fast change they
+// lose plan quality (work_per_tuple rises).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "eddy/eddy.h"
+#include "operators/selection.h"
+
+namespace tcq {
+namespace {
+
+using bench::UniformStream;
+
+constexpr size_t kTuples = 20000;
+constexpr uint32_t kFilterCost = 300;
+
+// drift_period = 0 means a static environment.
+void RunKnob(benchmark::State& state, uint32_t batch, uint32_t fix,
+             size_t drift_period) {
+  auto stream = UniformStream(0, kTuples, 100, 7);
+  auto sel_a = MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(10));
+  auto perm_a = MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(90));
+  auto sel_b = MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(10));
+  auto perm_b = MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(90));
+
+  uint64_t invocations = 0, decisions = 0, tuples = 0;
+  for (auto _ : state) {
+    Eddy eddy(MakeLotteryPolicy(19), Eddy::Options{batch, fix});
+    auto s1 = std::make_unique<Selection>("f1", sel_a, kFilterCost);
+    auto s2 = std::make_unique<Selection>("f2", perm_b, kFilterCost);
+    Selection* f1 = s1.get();
+    Selection* f2 = s2.get();
+    eddy.AddModule(std::move(s1));
+    eddy.AddModule(std::move(s2));
+    eddy.SetOutput([](const Tuple&) {});
+    bool phase = false;
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (drift_period != 0 && i != 0 && i % drift_period == 0) {
+        phase = !phase;
+        f1->ReplacePredicate(phase ? perm_a : sel_a);
+        f2->ReplacePredicate(phase ? sel_b : perm_b);
+      }
+      eddy.Ingest(0, stream[i]);
+    }
+    invocations += eddy.module_invocations();
+    decisions += eddy.routing_decisions();
+    tuples += stream.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.counters["batch"] = batch;
+  state.counters["fix_len"] = fix;
+  state.counters["drift_period"] = static_cast<double>(drift_period);
+  state.counters["work_per_tuple"] =
+      static_cast<double>(invocations) / static_cast<double>(tuples);
+  state.counters["decisions_per_tuple"] =
+      static_cast<double>(decisions) / static_cast<double>(tuples);
+}
+
+void BM_BatchSweepStatic(benchmark::State& state) {
+  RunKnob(state, static_cast<uint32_t>(state.range(0)), 1,
+          /*drift_period=*/0);
+}
+BENCHMARK(BM_BatchSweepStatic)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BatchSweepFastDrift(benchmark::State& state) {
+  RunKnob(state, static_cast<uint32_t>(state.range(0)), 1,
+          /*drift_period=*/500);
+}
+BENCHMARK(BM_BatchSweepFastDrift)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FixLenSweep(benchmark::State& state) {
+  RunKnob(state, 1, static_cast<uint32_t>(state.range(0)),
+          /*drift_period=*/0);
+}
+BENCHMARK(BM_FixLenSweep)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_BothKnobs(benchmark::State& state) {
+  RunKnob(state, static_cast<uint32_t>(state.range(0)),
+          static_cast<uint32_t>(state.range(1)), /*drift_period=*/2000);
+}
+BENCHMARK(BM_BothKnobs)
+    ->Args({1, 1})
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({256, 2})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+// E4 — CACQ shared execution vs query-at-a-time (paper §3.1): N similar
+// continuous queries (a shared join edge plus per-query range filters) run
+// either in ONE shared eddy (grouped filters + shared SteMs + lineage) or in
+// N independent eddies, each rebuilding its own join state and filters.
+// The shape: shared throughput degrades slowly with N; query-at-a-time
+// degrades linearly — the gap is the work sharing.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "cacq/shared_eddy.h"
+#include "eddy/eddy.h"
+#include "operators/selection.h"
+
+namespace tcq {
+namespace {
+
+using bench::KVRow;
+using bench::KVSchema;
+using bench::UniformStream;
+
+constexpr size_t kTuplesPerSide = 3000;
+constexpr int64_t kKeyRange = 40;
+
+// Query q: S.k = T.k AND S.v >= lo_q AND S.v < lo_q + 30.
+struct QueryParams {
+  int64_t lo;
+};
+
+std::vector<QueryParams> MakeParams(size_t n) {
+  std::vector<QueryParams> out;
+  Rng rng(5);
+  for (size_t q = 0; q < n; ++q) out.push_back({rng.UniformInt(0, 69)});
+  return out;
+}
+
+void BM_SharedCACQ(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto params = MakeParams(n);
+  auto s = UniformStream(0, kTuplesPerSide, kKeyRange, 1);
+  auto t = UniformStream(1, kTuplesPerSide, kKeyRange, 2);
+
+  uint64_t deliveries = 0, tuples = 0;
+  for (auto _ : state) {
+    SharedEddy eddy(MakeLotteryPolicy(3));
+    eddy.RegisterStream(0, KVSchema(0));
+    eddy.RegisterStream(1, KVSchema(1));
+    eddy.SetOutput([&](QueryId, const Tuple&) { ++deliveries; });
+    for (const QueryParams& p : params) {
+      CQSpec spec;
+      spec.joins.push_back({{0, "k"}, {1, "k"}});
+      spec.filters.push_back({{0, "v"}, CmpOp::kGe, Value::Int64(p.lo)});
+      spec.filters.push_back({{0, "v"}, CmpOp::kLt, Value::Int64(p.lo + 30)});
+      (void)eddy.AddQuery(spec);
+    }
+    for (size_t i = 0; i < s.size(); ++i) {
+      eddy.Ingest(0, s[i]);
+      eddy.Ingest(1, t[i]);
+    }
+    tuples += 2 * kTuplesPerSide;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.counters["queries"] = static_cast<double>(n);
+  state.counters["deliveries"] = static_cast<double>(deliveries);
+}
+BENCHMARK(BM_SharedCACQ)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QueryAtATime(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto params = MakeParams(n);
+  auto s = UniformStream(0, kTuplesPerSide, kKeyRange, 1);
+  auto t = UniformStream(1, kTuplesPerSide, kKeyRange, 2);
+
+  uint64_t deliveries = 0, tuples = 0;
+  for (auto _ : state) {
+    // One full eddy (own SteMs, own filters) per query.
+    std::vector<std::unique_ptr<Eddy>> eddies;
+    std::vector<std::shared_ptr<SteM>> stems;
+    for (const QueryParams& p : params) {
+      auto stem_s = std::make_shared<SteM>("s", 0, KVSchema(0),
+                                           StemOptions{.key_attr = "k"});
+      auto stem_t = std::make_shared<SteM>("t", 1, KVSchema(1),
+                                           StemOptions{.key_attr = "k"});
+      auto eddy = std::make_unique<Eddy>(MakeLotteryPolicy(3));
+      eddy->AttachSteM(stem_s);
+      eddy->AttachSteM(stem_t);
+      eddy->AddModule(std::make_unique<SteMProbe>(
+          "probeS", stem_s.get(),
+          JoinSpec{AttrRef{1, "k"}, AttrRef{0, "k"}, {}}));
+      eddy->AddModule(std::make_unique<SteMProbe>(
+          "probeT", stem_t.get(),
+          JoinSpec{AttrRef{0, "k"}, AttrRef{1, "k"}, {}}));
+      eddy->AddModule(std::make_unique<Selection>(
+          "flo", MakeCompareConst({0, "v"}, CmpOp::kGe, Value::Int64(p.lo))));
+      eddy->AddModule(std::make_unique<Selection>(
+          "fhi",
+          MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(p.lo + 30))));
+      eddy->SetOutput([&](const Tuple&) { ++deliveries; });
+      stems.push_back(stem_s);
+      stems.push_back(stem_t);
+      eddies.push_back(std::move(eddy));
+    }
+    for (size_t i = 0; i < s.size(); ++i) {
+      for (auto& eddy : eddies) {
+        eddy->Ingest(0, s[i]);
+        eddy->Ingest(1, t[i]);
+      }
+    }
+    tuples += 2 * kTuplesPerSide;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.counters["queries"] = static_cast<double>(n);
+  state.counters["deliveries"] = static_cast<double>(deliveries);
+}
+BENCHMARK(BM_QueryAtATime)
+    ->RangeMultiplier(4)
+    ->Range(1, 64)
+    ->Unit(benchmark::kMillisecond);
+
+// Query add/remove churn: CACQ folds queries in and out of a RUNNING shared
+// dataflow; this measures the cost of that adaptivity.
+void BM_QueryChurn(benchmark::State& state) {
+  auto s = UniformStream(0, 2000, kKeyRange, 1);
+  uint64_t churns = 0;
+  for (auto _ : state) {
+    SharedEddy eddy(MakeLotteryPolicy(3));
+    eddy.RegisterStream(0, KVSchema(0));
+    eddy.SetOutput([](QueryId, const Tuple&) {});
+    std::vector<QueryId> live;
+    Rng rng(13);
+    for (size_t i = 0; i < s.size(); ++i) {
+      eddy.Ingest(0, s[i]);
+      if (i % 50 == 0) {
+        CQSpec spec;
+        int64_t lo = rng.UniformInt(0, 69);
+        spec.filters.push_back({{0, "v"}, CmpOp::kGe, Value::Int64(lo)});
+        auto id = eddy.AddQuery(spec);
+        if (id.ok()) live.push_back(*id);
+        if (live.size() > 20) {
+          (void)eddy.RemoveQuery(live.front());
+          live.erase(live.begin());
+        }
+        ++churns;
+      }
+    }
+  }
+  state.counters["churns"] = static_cast<double>(churns);
+}
+BENCHMARK(BM_QueryChurn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq
+
+BENCHMARK_MAIN();

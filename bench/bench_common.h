@@ -1,0 +1,45 @@
+// Shared workload builders for the benchmark suite (see DESIGN.md §3).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "tuple/tuple.h"
+
+namespace tcq::bench {
+
+inline SchemaRef KVSchema(SourceId source) {
+  return Schema::Make({
+      {"k", ValueType::kInt64, source},
+      {"v", ValueType::kInt64, source},
+  });
+}
+
+inline Tuple KVRow(SourceId source, int64_t k, int64_t v, Timestamp ts) {
+  static thread_local std::vector<std::pair<SourceId, SchemaRef>> cache;
+  for (auto& [s, schema] : cache) {
+    if (s == source) {
+      return Tuple::Make(schema, {Value::Int64(k), Value::Int64(v)}, ts);
+    }
+  }
+  cache.emplace_back(source, KVSchema(source));
+  return Tuple::Make(cache.back().second,
+                     {Value::Int64(k), Value::Int64(v)}, ts);
+}
+
+/// Uniform random stream over keys [0, key_range) and values [0, 100).
+inline std::vector<Tuple> UniformStream(SourceId source, size_t n,
+                                        int64_t key_range, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(KVRow(source, rng.UniformInt(0, key_range - 1),
+                        rng.UniformInt(0, 99), static_cast<Timestamp>(i)));
+  }
+  return out;
+}
+
+}  // namespace tcq::bench

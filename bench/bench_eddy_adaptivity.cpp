@@ -1,0 +1,130 @@
+// E1 — Eddy adaptivity vs static plans (paper §2.2; shape from Eddies
+// [AH00] Figs 6-9): two filters whose selectivities swap halfway through the
+// stream. A static plan is optimal for one phase and pessimal for the
+// other; the eddy re-learns the order online and tracks the better plan in
+// both phases. The `work_per_tuple` counter (module invocations / tuple) is
+// the cost the routing policy is minimizing.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "eddy/eddy.h"
+#include "eddy/routing_policy.h"
+#include "operators/selection.h"
+
+namespace tcq {
+namespace {
+
+using bench::UniformStream;
+
+// Filter predicates: phase 1 has f1 selective (10%) and f2 permissive
+// (90%); phase 2 swaps them. cost_loops makes each filter evaluation
+// genuinely expensive so routing quality dominates routing overhead.
+constexpr uint32_t kFilterCost = 500;
+
+std::unique_ptr<RoutingPolicy> PolicyFor(int id) {
+  switch (id) {
+    case 0:
+      return MakeFixedOrderPolicy({0, 1});  // static plan: f1 first
+    case 1:
+      return MakeFixedOrderPolicy({1, 0});  // static plan: f2 first
+    case 2:
+      return MakeLotteryPolicy(17);
+    case 3:
+      return MakeGreedyPolicy(0.05, 17);
+    default:
+      return MakeRoundRobinPolicy();
+  }
+}
+
+const char* PolicyName(int id) {
+  switch (id) {
+    case 0:
+      return "static(f1,f2)";
+    case 1:
+      return "static(f2,f1)";
+    case 2:
+      return "eddy-lottery";
+    case 3:
+      return "eddy-greedy";
+    default:
+      return "eddy-roundrobin";
+  }
+}
+
+void BM_SelectivityDrift(benchmark::State& state) {
+  const int policy_id = static_cast<int>(state.range(0));
+  const size_t kTuples = 20000;
+  auto stream = UniformStream(0, kTuples, 100, 42);
+
+  // Phase predicates over independent attributes.
+  auto f1_selective = MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(10));
+  auto f1_permissive = MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(90));
+  auto f2_selective = MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(10));
+  auto f2_permissive = MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(90));
+
+  uint64_t invocations = 0, decisions = 0, outputs = 0, tuples = 0;
+  for (auto _ : state) {
+    Eddy eddy(PolicyFor(policy_id));
+    auto s1 = std::make_unique<Selection>("f1", f1_selective, kFilterCost);
+    auto s2 = std::make_unique<Selection>("f2", f2_permissive, kFilterCost);
+    Selection* f1 = s1.get();
+    Selection* f2 = s2.get();
+    eddy.AddModule(std::move(s1));
+    eddy.AddModule(std::move(s2));
+    eddy.SetOutput([](const Tuple&) {});
+
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (i == stream.size() / 2) {
+        // The environment drifts: selectivities swap.
+        f1->ReplacePredicate(f1_permissive);
+        f2->ReplacePredicate(f2_selective);
+      }
+      eddy.Ingest(0, stream[i]);
+    }
+    invocations += eddy.module_invocations();
+    decisions += eddy.routing_decisions();
+    outputs += eddy.tuples_output();
+    tuples += stream.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.counters["work_per_tuple"] =
+      static_cast<double>(invocations) / static_cast<double>(tuples);
+  state.counters["decisions_per_tuple"] =
+      static_cast<double>(decisions) / static_cast<double>(tuples);
+  state.counters["selected_frac"] =
+      static_cast<double>(outputs) / static_cast<double>(tuples);
+  state.SetLabel(PolicyName(policy_id));
+}
+BENCHMARK(BM_SelectivityDrift)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+// Static environment: the eddy should match (not beat) the best static
+// plan, paying only its routing overhead [AH00 "does no harm" claim].
+void BM_StaticEnvironment(benchmark::State& state) {
+  const int policy_id = static_cast<int>(state.range(0));
+  const size_t kTuples = 20000;
+  auto stream = UniformStream(0, kTuples, 100, 43);
+  auto f1 = MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(10));
+  auto f2 = MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(90));
+
+  uint64_t invocations = 0, tuples = 0;
+  for (auto _ : state) {
+    Eddy eddy(PolicyFor(policy_id));
+    eddy.AddModule(std::make_unique<Selection>("f1", f1, kFilterCost));
+    eddy.AddModule(std::make_unique<Selection>("f2", f2, kFilterCost));
+    eddy.SetOutput([](const Tuple&) {});
+    for (const Tuple& t : stream) eddy.Ingest(0, t);
+    invocations += eddy.module_invocations();
+    tuples += stream.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.counters["work_per_tuple"] =
+      static_cast<double>(invocations) / static_cast<double>(tuples);
+  state.SetLabel(PolicyName(policy_id));
+}
+BENCHMARK(BM_StaticEnvironment)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq
+
+BENCHMARK_MAIN();

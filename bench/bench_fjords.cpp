@@ -1,0 +1,112 @@
+// E9 — Fjords push vs blocking connections (paper §2.3): with a bursty
+// producer, a consumer on a push-queue regains control when no data is
+// available and spends the gaps doing other useful work; an Exchange-style
+// blocking consumer is stalled. The `other_work` counter is the measure of
+// non-blocking progress — the reason Fjords exist.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench_common.h"
+#include "fjords/fjord.h"
+
+namespace tcq {
+namespace {
+
+constexpr size_t kTuplesTotal = 20000;
+constexpr size_t kBurst = 200;
+
+// Producer thread: kBurst tuples, then a quiet gap, repeated.
+void ProduceBursts(FjordProducer producer) {
+  SchemaRef schema = bench::KVSchema(0);
+  size_t sent = 0;
+  while (sent < kTuplesTotal) {
+    for (size_t i = 0; i < kBurst && sent < kTuplesTotal; ++i, ++sent) {
+      while (producer.Produce(bench::KVRow(
+                 0, static_cast<int64_t>(sent), 0,
+                 static_cast<Timestamp>(sent))) == QueueOp::kWouldBlock) {
+        std::this_thread::yield();
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  producer.Close();
+}
+
+// A unit of "other computation" the consumer can do while the stream is
+// quiet (paper: "the non-blocking dequeue allows the consumer to pursue
+// other computation").
+uint64_t OtherWorkUnit() {
+  volatile uint64_t acc = 0;
+  for (int i = 0; i < 50; ++i) acc = acc + static_cast<uint64_t>(i) * 2654435761u;
+  return acc;
+}
+
+void BM_PushConsumerOverlapsWork(benchmark::State& state) {
+  uint64_t consumed_total = 0, other_work = 0;
+  for (auto _ : state) {
+    auto endpoints = Fjord::Make(FjordMode::kPush, 1024);
+    std::thread producer(ProduceBursts, endpoints.producer);
+    Tuple t;
+    size_t consumed = 0;
+    while (true) {
+      QueueOp op = endpoints.consumer.Consume(&t);
+      if (op == QueueOp::kOk) {
+        ++consumed;
+      } else if (op == QueueOp::kWouldBlock) {
+        // Control returned: overlap other computation with the quiet gap.
+        benchmark::DoNotOptimize(OtherWorkUnit());
+        ++other_work;
+      } else {
+        break;
+      }
+    }
+    producer.join();
+    consumed_total += consumed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(consumed_total));
+  state.counters["other_work_done"] =
+      static_cast<double>(other_work) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_PushConsumerOverlapsWork)->Unit(benchmark::kMillisecond);
+
+void BM_BlockingConsumerIsStalled(benchmark::State& state) {
+  uint64_t consumed_total = 0, other_work = 0;
+  for (auto _ : state) {
+    // Exchange semantics: blocking dequeue — no chance to do other work.
+    auto endpoints = Fjord::Make(FjordMode::kExchange, 1024);
+    std::thread producer(ProduceBursts, endpoints.producer);
+    Tuple t;
+    size_t consumed = 0;
+    while (endpoints.consumer.Consume(&t) == QueueOp::kOk) ++consumed;
+    producer.join();
+    consumed_total += consumed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(consumed_total));
+  state.counters["other_work_done"] = static_cast<double>(other_work);
+}
+BENCHMARK(BM_BlockingConsumerIsStalled)->Unit(benchmark::kMillisecond);
+
+// Raw queue throughput for the three modalities, single-threaded ping-pong.
+void BM_QueueThroughput(benchmark::State& state) {
+  FjordMode mode = static_cast<FjordMode>(state.range(0));
+  auto endpoints = Fjord::Make(mode, 4096);
+  SchemaRef schema = bench::KVSchema(0);
+  Tuple in = bench::KVRow(0, 1, 2, 3);
+  Tuple out;
+  uint64_t transferred = 0;
+  for (auto _ : state) {
+    (void)endpoints.producer.Produce(in);
+    (void)endpoints.consumer.Consume(&out);
+    ++transferred;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(transferred));
+  state.SetLabel(FjordModeName(mode));
+}
+BENCHMARK(BM_QueueThroughput)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace tcq
+
+BENCHMARK_MAIN();

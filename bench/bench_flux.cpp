@@ -1,0 +1,130 @@
+// E8 — Flux (paper §2.4; shape from [SHCF03]): (1) online repartitioning
+// restores balance under zipf skew — higher total throughput and a bounded
+// hot-worker backlog; (2) replicated failover preserves every count while
+// unreplicated failure loses state; (3) replication's capacity cost is the
+// reliability/performance QoS knob.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "flux/flux.h"
+
+namespace tcq {
+namespace {
+
+constexpr size_t kWorkers = 8;
+constexpr size_t kCapacity = 24;
+constexpr int kRounds = 300;
+constexpr int kPerRound = 160;
+
+void BM_SkewedGroupBy(benchmark::State& state) {
+  bool rebalance = state.range(0) != 0;
+  double theta = static_cast<double>(state.range(1)) / 100.0;
+  uint64_t processed = 0, moved = 0;
+  size_t max_backlog = 0;
+  double imbalance = 0;
+  for (auto _ : state) {
+    Flux flux({.num_workers = kWorkers,
+               .worker_capacity = kCapacity,
+               .num_buckets = 128,
+               .rebalance = rebalance,
+               .rebalance_interval = 4});
+    Rng rng(3);
+    for (int round = 0; round < kRounds; ++round) {
+      for (int i = 0; i < kPerRound; ++i) {
+        flux.Ingest(static_cast<int64_t>(rng.Zipf(5000, theta)));
+      }
+      flux.Tick();
+    }
+    processed += flux.TotalProcessed();
+    moved += flux.buckets_moved();
+    max_backlog = std::max(max_backlog, flux.MaxQueueLength());
+    imbalance = flux.QueueImbalance();
+  }
+  state.counters["rebalance"] = rebalance ? 1 : 0;
+  state.counters["skew_theta"] = theta;
+  state.counters["processed"] =
+      static_cast<double>(processed) / static_cast<double>(state.iterations());
+  state.counters["max_backlog"] = static_cast<double>(max_backlog);
+  state.counters["buckets_moved"] =
+      static_cast<double>(moved) / static_cast<double>(state.iterations());
+  state.counters["imbalance"] = imbalance;
+}
+BENCHMARK(BM_SkewedGroupBy)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 60})
+    ->Args({1, 60})
+    ->Args({0, 90})
+    ->Args({1, 90})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Failover(benchmark::State& state) {
+  bool replication = state.range(0) != 0;
+  uint64_t lost_total = 0;
+  uint64_t recovered = 0;
+  for (auto _ : state) {
+    Flux flux({.num_workers = 4,
+               .worker_capacity = 64,
+               .num_buckets = 64,
+               .replication = replication});
+    Rng rng(5);
+    std::map<int64_t, uint64_t> truth;
+    auto feed = [&](int n) {
+      for (int i = 0; i < n; ++i) {
+        int64_t key = static_cast<int64_t>(rng.Zipf(500, 0.5));
+        flux.Ingest(key);
+        ++truth[key];
+        if (i % 5 == 0) flux.Tick();
+      }
+    };
+    feed(10000);
+    (void)flux.FailWorker(1);
+    feed(10000);
+    flux.RunUntilDrained();
+    uint64_t lost = 0, kept = 0;
+    for (const auto& [key, count] : truth) {
+      uint64_t got = flux.CountForKey(key);
+      kept += std::min(got, count);
+      if (got < count) lost += count - got;
+    }
+    lost_total += lost;
+    recovered += kept;
+  }
+  state.counters["replication"] = replication ? 1 : 0;
+  state.counters["lost_results"] =
+      static_cast<double>(lost_total) /
+      static_cast<double>(state.iterations());
+  state.counters["kept_results"] =
+      static_cast<double>(recovered) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Failover)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ReplicationOverhead(benchmark::State& state) {
+  bool replication = state.range(0) != 0;
+  uint64_t ticks_to_drain = 0;
+  for (auto _ : state) {
+    Flux flux({.num_workers = 4,
+               .worker_capacity = 64,
+               .num_buckets = 64,
+               .replication = replication});
+    Rng rng(6);
+    for (int i = 0; i < 40000; ++i) {
+      flux.Ingest(static_cast<int64_t>(rng.Zipf(500, 0.0)));
+    }
+    ticks_to_drain += flux.RunUntilDrained();
+  }
+  state.counters["replication"] = replication ? 1 : 0;
+  state.counters["ticks_to_drain"] =
+      static_cast<double>(ticks_to_drain) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ReplicationOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// E3 — Grouped filters vs per-query selections (paper §3.1; shape from CACQ
+// [MSHR02]): N range queries over one attribute. The grouped filter answers
+// a probe in time proportional to the answer; evaluating N independent
+// predicates is linear in N. The gap widens with N — the core shared-
+// selection claim.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/query_set.h"
+#include "operators/grouped_filter.h"
+
+namespace tcq {
+namespace {
+
+using bench::UniformStream;
+
+constexpr int64_t kDomain = 100000;
+
+// Narrow range queries [q*step, q*step + width] spread over the domain.
+struct RangeQuery {
+  int64_t lo, hi;
+};
+
+std::vector<RangeQuery> MakeQueries(size_t n) {
+  std::vector<RangeQuery> out;
+  Rng rng(7);
+  for (size_t q = 0; q < n; ++q) {
+    int64_t lo = rng.UniformInt(0, kDomain - 1000);
+    out.push_back({lo, lo + 500});  // ~0.5% of the domain each
+  }
+  return out;
+}
+
+void BM_GroupedFilter(benchmark::State& state) {
+  // Paired bounds land in the interval tree (as SharedEddy::AddQuery does).
+  size_t n = static_cast<size_t>(state.range(0));
+  auto queries = MakeQueries(n);
+  GroupedFilter gf({0, "k"});
+  for (size_t q = 0; q < n; ++q) {
+    gf.AddRange(static_cast<QueryId>(q), Value::Int64(queries[q].lo), true,
+                Value::Int64(queries[q].hi), true);
+  }
+  Rng rng(9);
+  uint64_t probes = 0, matches = 0;
+  QuerySet out;
+  for (auto _ : state) {
+    out = QuerySet();
+    gf.Match(Value::Int64(rng.UniformInt(0, kDomain - 1)), &out);
+    matches += out.Count();
+    ++probes;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(probes));
+  state.counters["queries"] = static_cast<double>(n);
+  state.counters["avg_matches"] =
+      static_cast<double>(matches) / static_cast<double>(probes);
+}
+BENCHMARK(BM_GroupedFilter)->RangeMultiplier(4)->Range(16, 4096);
+
+// The pre-interval-tree variant: each range as a separate lower and upper
+// bound in the sorted lists (a probe walks every satisfied bound).
+void BM_GroupedFilterBoundLists(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto queries = MakeQueries(n);
+  GroupedFilter gf({0, "k"});
+  for (size_t q = 0; q < n; ++q) {
+    gf.AddFactor(static_cast<QueryId>(q), CmpOp::kGe,
+                 Value::Int64(queries[q].lo));
+    gf.AddFactor(static_cast<QueryId>(q), CmpOp::kLe,
+                 Value::Int64(queries[q].hi));
+  }
+  Rng rng(9);
+  uint64_t probes = 0, matches = 0;
+  QuerySet out;
+  for (auto _ : state) {
+    out = QuerySet();
+    gf.Match(Value::Int64(rng.UniformInt(0, kDomain - 1)), &out);
+    matches += out.Count();
+    ++probes;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(probes));
+  state.counters["queries"] = static_cast<double>(n);
+  state.counters["avg_matches"] =
+      static_cast<double>(matches) / static_cast<double>(probes);
+}
+BENCHMARK(BM_GroupedFilterBoundLists)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_IndependentPredicates(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  auto queries = MakeQueries(n);
+  std::vector<PredicateRef> preds;
+  for (const RangeQuery& q : queries) {
+    preds.push_back(
+        MakeRange({0, "k"}, Value::Int64(q.lo), Value::Int64(q.hi)));
+  }
+  SchemaRef schema = bench::KVSchema(0);
+  Rng rng(9);
+  uint64_t probes = 0, matches = 0;
+  for (auto _ : state) {
+    Tuple t = bench::KVRow(0, rng.UniformInt(0, kDomain - 1), 0, 0);
+    for (const auto& p : preds) {
+      if (p->Eval(t)) ++matches;
+    }
+    ++probes;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(probes));
+  state.counters["queries"] = static_cast<double>(n);
+  state.counters["avg_matches"] =
+      static_cast<double>(matches) / static_cast<double>(probes);
+}
+BENCHMARK(BM_IndependentPredicates)->RangeMultiplier(4)->Range(16, 4096);
+
+// Equality workload: thousands of point subscriptions; the grouped filter
+// answers with one hash lookup.
+void BM_GroupedFilterEquality(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  GroupedFilter gf({0, "k"});
+  for (size_t q = 0; q < n; ++q) {
+    gf.AddFactor(static_cast<QueryId>(q), CmpOp::kEq,
+                 Value::Int64(static_cast<int64_t>(q % kDomain)));
+  }
+  Rng rng(11);
+  QuerySet out;
+  for (auto _ : state) {
+    out = QuerySet();
+    gf.Match(Value::Int64(rng.UniformInt(0, kDomain - 1)), &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["queries"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GroupedFilterEquality)->RangeMultiplier(8)->Range(64, 32768);
+
+}  // namespace
+}  // namespace tcq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+// E5 — PSoup materialized results vs recompute-on-invoke (paper §3.2; shape
+// from PSoup [CF02]): disconnected clients invoke standing queries. With
+// the Results Structure, an invocation reads the materialized window (cost ~
+// answer size); without it, the system re-joins history on every invoke
+// (cost grows with history length). The crossover as history grows is the
+// materialization claim.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "psoup/psoup.h"
+
+namespace tcq {
+namespace {
+
+using bench::KVRow;
+using bench::KVSchema;
+
+// Builds a PSoup with `history` tuples per stream and one standing query
+// (filter by default, join when `join` is set) with a window of 200.
+std::unique_ptr<PSoup> BuildPSoup(size_t history, bool join, QueryId* qid) {
+  auto psoup = std::make_unique<PSoup>(PSoup::Options{.seed = 1});
+  psoup->RegisterStream(0, KVSchema(0));
+  if (join) psoup->RegisterStream(1, KVSchema(1));
+  PSoupQuery q;
+  if (join) {
+    q.where.joins.push_back({{0, "k"}, {1, "k"}});
+  } else {
+    q.where.filters.push_back({{0, "k"}, CmpOp::kLt, Value::Int64(100)});
+  }
+  q.window = 200;
+  auto id = psoup->Register(q);
+  *qid = *id;
+  Rng rng(2);
+  for (size_t i = 1; i <= history; ++i) {
+    psoup->Ingest(0, KVRow(0, rng.UniformInt(0, join ? 199 : 999), 0,
+                           static_cast<Timestamp>(i)));
+    if (join) {
+      psoup->Ingest(1, KVRow(1, rng.UniformInt(0, 199), 0,
+                             static_cast<Timestamp>(i)));
+    }
+  }
+  return psoup;
+}
+
+void BM_InvokeMaterialized(benchmark::State& state) {
+  size_t history = static_cast<size_t>(state.range(0));
+  QueryId qid;
+  auto psoup = BuildPSoup(history, /*join=*/false, &qid);
+  Timestamp now = static_cast<Timestamp>(history);
+  size_t answer = 0;
+  for (auto _ : state) {
+    auto r = psoup->Invoke(qid, now);
+    answer = r->size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["history"] = static_cast<double>(history);
+  state.counters["answer_size"] = static_cast<double>(answer);
+}
+BENCHMARK(BM_InvokeMaterialized)
+    ->RangeMultiplier(4)
+    ->Range(1000, 256000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_InvokeMaterializedJoin(benchmark::State& state) {
+  size_t history = static_cast<size_t>(state.range(0));
+  QueryId qid;
+  auto psoup = BuildPSoup(history, /*join=*/true, &qid);
+  Timestamp now = static_cast<Timestamp>(history);
+  size_t answer = 0;
+  for (auto _ : state) {
+    auto r = psoup->Invoke(qid, now);
+    answer = r->size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["history"] = static_cast<double>(history);
+  state.counters["answer_size"] = static_cast<double>(answer);
+}
+BENCHMARK(BM_InvokeMaterializedJoin)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_InvokeByRecompute(benchmark::State& state) {
+  size_t history = static_cast<size_t>(state.range(0));
+  QueryId qid;
+  auto psoup = BuildPSoup(history, /*join=*/false, &qid);
+  Timestamp now = static_cast<Timestamp>(history);
+  size_t answer = 0;
+  for (auto _ : state) {
+    auto r = psoup->InvokeByRecompute(qid, now);
+    answer = r->size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["history"] = static_cast<double>(history);
+  state.counters["answer_size"] = static_cast<double>(answer);
+}
+BENCHMARK(BM_InvokeByRecompute)
+    ->RangeMultiplier(4)
+    ->Range(1000, 256000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_InvokeByRecomputeJoin(benchmark::State& state) {
+  size_t history = static_cast<size_t>(state.range(0));
+  QueryId qid;
+  auto psoup = BuildPSoup(history, /*join=*/true, &qid);
+  Timestamp now = static_cast<Timestamp>(history);
+  size_t answer = 0;
+  for (auto _ : state) {
+    auto r = psoup->InvokeByRecompute(qid, now);
+    answer = r->size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["history"] = static_cast<double>(history);
+  state.counters["answer_size"] = static_cast<double>(answer);
+}
+BENCHMARK(BM_InvokeByRecomputeJoin)
+    ->Arg(250)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Registration cost of new-query-over-old-data as history grows (the other
+// half of PSoup's symmetry).
+void BM_RegisterOverHistory(benchmark::State& state) {
+  size_t history = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto psoup = std::make_unique<PSoup>(PSoup::Options{.seed = 1});
+    psoup->RegisterStream(0, KVSchema(0));
+    Rng rng(2);
+    for (size_t i = 1; i <= history; ++i) {
+      psoup->Ingest(0, KVRow(0, rng.UniformInt(0, 49), 0,
+                             static_cast<Timestamp>(i)));
+    }
+    PSoupQuery q;
+    q.where.filters.push_back({{0, "k"}, CmpOp::kLt, Value::Int64(25)});
+    state.ResumeTiming();
+    auto id = psoup->Register(q);
+    benchmark::DoNotOptimize(id);
+  }
+  state.counters["history"] = static_cast<double>(history);
+}
+BENCHMARK(BM_RegisterOverHistory)
+    ->RangeMultiplier(4)
+    ->Range(1000, 64000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace tcq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// E10 — Storage path (paper §4.3): sequential append throughput of the
+// stream store, windowed scans whose page pruning keeps cost proportional
+// to the window (not the stream), and the replacement-policy comparison:
+// the windowed/broadcast-style cyclic read workload favours MRU over LRU,
+// which is the paper's broadcast-disk observation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "storage/buffer_pool.h"
+#include "storage/scanner.h"
+#include "storage/stream_store.h"
+
+namespace tcq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+std::unique_ptr<StreamStore> BuildStore(const std::string& name, size_t n) {
+  auto store = StreamStore::Create(TempPath(name), bench::KVSchema(0));
+  Rng rng(8);
+  for (size_t i = 1; i <= n; ++i) {
+    (void)(*store)->Append(bench::KVRow(0, rng.UniformInt(0, 1000), 0,
+                                        static_cast<Timestamp>(i)));
+  }
+  (void)(*store)->Flush();
+  return std::move(*store);
+}
+
+void BM_AppendThroughput(benchmark::State& state) {
+  auto store = StreamStore::Create(TempPath("bench_append.log"),
+                                   bench::KVSchema(0));
+  Rng rng(8);
+  Timestamp ts = 1;
+  for (auto _ : state) {
+    (void)(*store)->Append(
+        bench::KVRow(0, rng.UniformInt(0, 1000), 0, ts++));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ts - 1));
+  state.counters["pages_sealed"] =
+      static_cast<double>((*store)->pages_sealed());
+}
+BENCHMARK(BM_AppendThroughput);
+
+void BM_WindowedScan(benchmark::State& state) {
+  const size_t kStream = 200000;
+  Timestamp width = state.range(0);
+  static std::unique_ptr<StreamStore> store =
+      BuildStore("bench_scan.log", kStream);
+  BufferPool pool({.capacity_pages = 64});
+  WindowedScanner scanner(store.get(), &pool);
+  Rng rng(9);
+  uint64_t scans = 0, tuples = 0;
+  for (auto _ : state) {
+    Timestamp lo = rng.UniformInt(1, static_cast<int64_t>(kStream) - width);
+    std::vector<Tuple> out;
+    (void)scanner.Scan(lo, lo + width - 1, &out);
+    tuples += out.size();
+    ++scans;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.counters["window_width"] = static_cast<double>(width);
+  state.counters["pages_per_scan"] =
+      static_cast<double>(scanner.pages_visited()) /
+      static_cast<double>(scans);
+}
+BENCHMARK(BM_WindowedScan)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CyclicReadPolicy(benchmark::State& state) {
+  // The backward/periodic windowed read workload: cycle over a fixed page
+  // range larger than the pool.
+  ReplacementPolicy policy = static_cast<ReplacementPolicy>(state.range(0));
+  static std::unique_ptr<StreamStore> store =
+      BuildStore("bench_cyclic.log", 100000);
+  uint64_t pages = store->NumPages();
+  BufferPool pool({.capacity_pages = static_cast<size_t>(pages / 2),
+                   .policy = policy});
+  uint64_t fetches = 0;
+  uint64_t p = 0;
+  for (auto _ : state) {
+    (void)pool.Fetch(store.get(), p);
+    p = (p + 1) % pages;
+    ++fetches;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(fetches));
+  state.counters["hit_rate"] = pool.HitRate();
+  state.SetLabel(ReplacementPolicyName(policy));
+}
+BENCHMARK(BM_CyclicReadPolicy)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MixedAppendAndScan(benchmark::State& state) {
+  // The paper's mixed workload: bursty appends racing historical window
+  // scans through one buffer pool.
+  auto store = StreamStore::Create(TempPath("bench_mixed.log"),
+                                   bench::KVSchema(0));
+  BufferPool pool({.capacity_pages = 32});
+  WindowedScanner scanner(store->get(), &pool);
+  Rng rng(10);
+  Timestamp ts = 1;
+  uint64_t appended = 0, scanned = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      (void)(*store)->Append(
+          bench::KVRow(0, rng.UniformInt(0, 1000), 0, ts++));
+      ++appended;
+    }
+    if (ts > 2000) {
+      std::vector<Tuple> out;
+      Timestamp lo = rng.UniformInt(1, ts - 1000);
+      (void)scanner.Scan(lo, lo + 499, &out);
+      scanned += out.size();
+    }
+  }
+  state.counters["appended"] = static_cast<double>(appended);
+  state.counters["scanned"] = static_cast<double>(scanned);
+  state.counters["pool_hit_rate"] = pool.HitRate();
+}
+BENCHMARK(BM_MixedAppendAndScan);
+
+}  // namespace
+}  // namespace tcq
+
+BENCHMARK_MAIN();

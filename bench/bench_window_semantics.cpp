@@ -1,0 +1,133 @@
+// E6 — Window classes and their state/cost (paper §4.1.2): a MAX aggregate
+// over landmark, sliding, and hopping windows. Landmark MAX runs with O(1)
+// state; sliding MAX must retain the window (state grows with width);
+// hopping with hop > width recomputes and skips stream portions. Counters
+// report peak state bytes alongside throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "window/window_exec.h"
+
+namespace tcq {
+namespace {
+
+StreamHistory MakeHistory(Timestamp n) {
+  StreamHistory h;
+  Rng rng(4);
+  SchemaRef schema = bench::KVSchema(0);
+  for (Timestamp t = 1; t <= n; ++t) {
+    h.Append(bench::KVRow(0, rng.UniformInt(0, 1000000), 0, t));
+  }
+  return h;
+}
+
+constexpr Timestamp kStreamLen = 20000;
+
+void BM_LandmarkMax(benchmark::State& state) {
+  StreamHistory h = MakeHistory(kStreamLen);
+  auto loop = ForLoopSpec::Landmark(0, 1, 1, kStreamLen);
+  size_t peak = 0;
+  uint64_t windows = 0;
+  for (auto _ : state) {
+    auto r = RunAggregateOverHistory(loop, AggFn::kMax, {0, "k"}, h,
+                                     1u << 20, &peak);
+    windows += r.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(windows));
+  state.counters["peak_state_bytes"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_LandmarkMax)->Unit(benchmark::kMillisecond);
+
+void BM_SlidingMax(benchmark::State& state) {
+  Timestamp width = state.range(0);
+  StreamHistory h = MakeHistory(kStreamLen);
+  auto loop = ForLoopSpec::Sliding({0}, width, width, kStreamLen);
+  size_t peak = 0;
+  uint64_t windows = 0;
+  for (auto _ : state) {
+    auto r = RunAggregateOverHistory(loop, AggFn::kMax, {0, "k"}, h,
+                                     1u << 20, &peak);
+    windows += r.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(windows));
+  state.counters["width"] = static_cast<double>(width);
+  state.counters["peak_state_bytes"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_SlidingMax)
+    ->Arg(16)
+    ->Arg(256)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HoppingMax(benchmark::State& state) {
+  Timestamp hop = state.range(0);  // width fixed at 64; hop > width skips
+  StreamHistory h = MakeHistory(kStreamLen);
+  auto loop = ForLoopSpec::Sliding({0}, 64, 64, kStreamLen, hop);
+  size_t peak = 0;
+  uint64_t windows = 0;
+  for (auto _ : state) {
+    auto r = RunAggregateOverHistory(loop, AggFn::kMax, {0, "k"}, h,
+                                     1u << 20, &peak);
+    windows += r.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(windows));
+  state.counters["hop"] = static_cast<double>(hop);
+  state.counters["class"] =
+      static_cast<double>(loop.Classify() == WindowClass::kHopping);
+  state.counters["peak_state_bytes"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_HoppingMax)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// Backward windows (the browsing pattern §4.1.1 motivates): recompute cost
+// per window over a long retained history.
+void BM_BackwardBrowse(benchmark::State& state) {
+  StreamHistory h = MakeHistory(kStreamLen);
+  auto loop = ForLoopSpec::Backward(0, 256, kStreamLen, 256, 32);
+  uint64_t windows = 0;
+  for (auto _ : state) {
+    auto r = RunAggregateOverHistory(loop, AggFn::kAvg, {0, "k"}, h);
+    windows += r.size();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(windows));
+}
+BENCHMARK(BM_BackwardBrowse)->Unit(benchmark::kMillisecond);
+
+// Online runner end-to-end: set-based sliding windows over a live stream,
+// including the history-pruning path.
+void BM_OnlineSlidingSets(benchmark::State& state) {
+  Timestamp width = state.range(0);
+  SchemaRef schema = bench::KVSchema(0);
+  Rng rng(5);
+  uint64_t fired = 0, tuples = 0;
+  for (auto _ : state) {
+    WindowedQuery q;
+    q.loop = ForLoopSpec::Sliding({0}, width, width, kStreamLen / 4);
+    q.predicates = {
+        MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(500000))};
+    OnlineWindowRunner runner(q);
+    for (Timestamp t = 1; t <= kStreamLen / 4; ++t) {
+      runner.Ingest(0, bench::KVRow(0, rng.UniformInt(0, 1000000), 0, t));
+      runner.Poll([&](const WindowResult&) { ++fired; });
+      ++tuples;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.counters["width"] = static_cast<double>(width);
+  state.counters["windows_fired"] = static_cast<double>(fired);
+}
+BENCHMARK(BM_OnlineSlidingSets)->Arg(8)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq
+
+BENCHMARK_MAIN();

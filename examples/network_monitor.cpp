@@ -1,0 +1,118 @@
+// Network monitor: CACQ-style shared processing (paper §3.1). Hundreds of
+// concurrent monitoring queries over one packet stream — port watchlists,
+// host watchlists, large-transfer detection — all executed by ONE shared
+// eddy with grouped filters, with queries added and removed while packets
+// flow. Prints the sharing statistics that make the CACQ case.
+//
+//   $ ./network_monitor
+
+#include <cstdio>
+
+#include "cacq/shared_eddy.h"
+#include "ingress/generators.h"
+
+using namespace tcq;
+
+int main() {
+  // The packet stream: zipf-skewed hosts and ports, as a network monitor
+  // would see (a few hot services and talkers).
+  PacketGenerator gen("tap0", 0,
+                      PacketGenerator::Options{.num_hosts = 5000,
+                                               .host_skew = 1.0,
+                                               .num_ports = 4096,
+                                               .port_skew = 1.1,
+                                               .seed = 7,
+                                               .count = 60000});
+
+  SharedEddy eddy(MakeLotteryPolicy(1));
+  eddy.RegisterStream(0, PacketGenerator::MakeSchema(0));
+
+  std::vector<uint64_t> hits;
+  eddy.SetOutput([&](QueryId q, const Tuple&) {
+    if (hits.size() <= q) hits.resize(q + 1, 0);
+    ++hits[q];
+  });
+
+  // 300 standing queries in three families, sharing two grouped filters.
+  Rng rng(99);
+  std::vector<QueryId> ids;
+  auto add_query = [&](CQSpec spec) {
+    auto id = eddy.AddQuery(std::move(spec));
+    if (id.ok()) ids.push_back(*id);
+  };
+  for (int i = 0; i < 100; ++i) {
+    // Port watchlist: alert on one sensitive port.
+    CQSpec spec;
+    spec.filters.push_back(
+        {{0, "dstPort"}, CmpOp::kEq, Value::Int64(rng.UniformInt(0, 50))});
+    add_query(spec);
+  }
+  for (int i = 0; i < 100; ++i) {
+    // Host watchlist: a range of suspicious sources.
+    int64_t lo = rng.UniformInt(0, 4900);
+    CQSpec spec;
+    spec.filters.push_back({{0, "srcHost"}, CmpOp::kGe, Value::Int64(lo)});
+    spec.filters.push_back(
+        {{0, "srcHost"}, CmpOp::kLe, Value::Int64(lo + 25)});
+    add_query(spec);
+  }
+  for (int i = 0; i < 100; ++i) {
+    // Large transfers to a watched port range.
+    CQSpec spec;
+    spec.filters.push_back(
+        {{0, "bytes"}, CmpOp::kGt, Value::Int64(1400 - i)});
+    spec.filters.push_back(
+        {{0, "dstPort"}, CmpOp::kLt, Value::Int64(100 + i)});
+    add_query(spec);
+  }
+
+  std::printf("%zu queries registered, %zu shared modules\n", ids.size(),
+              eddy.num_modules());
+
+  // Stream packets; halfway through, churn a third of the queries (CACQ's
+  // on-the-fly add/remove).
+  Tuple pkt;
+  uint64_t n = 0;
+  while (gen.Next(&pkt)) {
+    eddy.Ingest(0, pkt);
+    if (++n == 30000) {
+      for (size_t i = 0; i < ids.size(); i += 3) {
+        (void)eddy.RemoveQuery(ids[i]);
+      }
+      std::printf("removed %zu queries mid-stream (packet %llu)\n",
+                  ids.size() / 3 + 1, static_cast<unsigned long long>(n));
+      for (int i = 0; i < 40; ++i) {
+        CQSpec spec;
+        spec.filters.push_back(
+            {{0, "dstPort"}, CmpOp::kEq, Value::Int64(rng.UniformInt(0, 99))});
+        add_query(spec);
+      }
+      std::printf("added 40 new queries; modules now %zu\n",
+                  eddy.num_modules());
+    }
+  }
+
+  uint64_t total_hits = 0, active_with_hits = 0;
+  for (uint64_t h : hits) {
+    total_hits += h;
+    if (h > 0) ++active_with_hits;
+  }
+  std::printf(
+      "\npackets:            %llu\n"
+      "deliveries:         %llu (to %llu distinct queries)\n"
+      "shared modules:     %zu (for %zu registered queries)\n"
+      "routing decisions:  %llu (%.2f per packet)\n"
+      "module invocations: %llu (%.2f per packet)\n",
+      static_cast<unsigned long long>(n),
+      static_cast<unsigned long long>(total_hits),
+      static_cast<unsigned long long>(active_with_hits), eddy.num_modules(),
+      ids.size(), static_cast<unsigned long long>(eddy.routing_decisions()),
+      double(eddy.routing_decisions()) / double(n),
+      static_cast<unsigned long long>(eddy.module_invocations()),
+      double(eddy.module_invocations()) / double(n));
+  std::printf(
+      "\nwith 340 queries sharing %zu grouped-filter modules, each packet is\n"
+      "routed a handful of times instead of hundreds — the CACQ claim.\n",
+      eddy.num_modules());
+  return 0;
+}

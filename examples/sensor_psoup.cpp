@@ -1,0 +1,102 @@
+// Sensor PSoup: disconnected operation over a lossy sensor network
+// (paper §3.2). Clients register standing queries, disconnect, and later
+// return for "the window as of now"; new queries are answered over data
+// that arrived before they existed — the data/query symmetry.
+//
+//   $ ./sensor_psoup
+
+#include <cstdio>
+
+#include "ingress/generators.h"
+#include "psoup/psoup.h"
+
+using namespace tcq;
+
+int main() {
+  SensorGenerator gen("field-sensors", 0,
+                      SensorGenerator::Options{.num_sensors = 8,
+                                               .base_temp = 20.0,
+                                               .drift = 0.4,
+                                               .loss_rate = 0.15,
+                                               .seed = 31,
+                                               .count = 4000});
+
+  PSoup psoup;
+  // Keep 1500 time units of history; older readings are reclaimed.
+  psoup.RegisterStream(0, SensorGenerator::MakeSchema(0),
+                       /*retention=*/1500);
+
+  // A field engineer registers a hot-spot query, then disconnects.
+  PSoupQuery hot;
+  hot.where.filters.push_back(
+      {{0, "temperature"}, CmpOp::kGt, Value::Double(22.0)});
+  hot.window = 300;  // "what ran hot in the last 300 ticks"
+  auto hot_id = psoup.Register(hot);
+  if (!hot_id.ok()) {
+    std::fprintf(stderr, "register: %s\n",
+                 hot_id.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("hot-spot query %u registered; engineer disconnects\n",
+              *hot_id);
+
+  // Stream half the readings while nobody is connected. PSoup keeps the
+  // query's answer materialized the whole time.
+  Tuple reading;
+  Timestamp now = 0;
+  uint64_t streamed = 0;
+  while (streamed < 2000 && gen.Next(&reading)) {
+    psoup.Ingest(0, reading);
+    now = std::max(now, reading.timestamp());
+    ++streamed;
+  }
+
+  // The engineer reconnects: the invocation imposes the window on the
+  // materialized Results Structure — no recomputation.
+  auto answer = psoup.Invoke(*hot_id, now);
+  std::printf(
+      "reconnect at t=%lld: %zu hot readings in the last 300 ticks "
+      "(materialized: %zu)\n",
+      static_cast<long long>(now), answer->size(),
+      psoup.MaterializedCount(*hot_id));
+
+  // A second client registers a NEW query and immediately asks about the
+  // PAST: sensor 3's readings. Old data answers a new query.
+  PSoupQuery sensor3;
+  sensor3.where.filters.push_back(
+      {{0, "sensorId"}, CmpOp::kEq, Value::Int64(3)});
+  sensor3.window = 500;
+  auto s3_id = psoup.Register(sensor3);
+  auto s3_now = psoup.Invoke(*s3_id, now);
+  std::printf(
+      "new query over old data: sensor 3 produced %zu readings in the last "
+      "500 ticks (before the query existed)\n",
+      s3_now->size());
+
+  // Stream the rest; both standing queries keep materializing.
+  while (gen.Next(&reading)) {
+    psoup.Ingest(0, reading);
+    now = std::max(now, reading.timestamp());
+    ++streamed;
+  }
+
+  auto hot_final = psoup.Invoke(*hot_id, now);
+  auto s3_final = psoup.Invoke(*s3_id, now);
+  std::printf(
+      "final reconnect at t=%lld: hot=%zu, sensor3=%zu\n",
+      static_cast<long long>(now), hot_final->size(), s3_final->size());
+
+  // Sanity: the materialized answer equals recomputing from history.
+  auto recomputed = psoup.InvokeByRecompute(*hot_id, now);
+  std::printf("materialized == recomputed: %s (%zu vs %zu)\n",
+              hot_final->size() == recomputed->size() ? "yes" : "NO",
+              hot_final->size(), recomputed->size());
+
+  std::printf(
+      "\nstreamed %llu readings (%llu lost in the sensor network), "
+      "%zu results materialized across all queries\n",
+      static_cast<unsigned long long>(streamed),
+      static_cast<unsigned long long>(gen.dropped()),
+      psoup.TotalMaterialized());
+  return 0;
+}

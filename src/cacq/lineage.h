@@ -1,0 +1,28 @@
+// CACQ tuple lineage (paper §3.1): "extra state maintained with each tuple
+// as it passes through the CACQ process, to help determine the clients to
+// which the output of the disjunctive CACQ query should be transmitted."
+// A shared envelope carries the set of queries still live for the tuple;
+// modules narrow it (grouped filters), children of SteM probes intersect it
+// with the subscribers of the join edge.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.h"
+#include "common/query_set.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+struct SharedEnvelope {
+  Tuple tuple;
+  /// Module slots this tuple has satisfied (shared eddies allow up to 64).
+  uint64_t done = 0;
+  /// Exactly-once sequence bound, as in the single-query eddy.
+  Timestamp seq_max = 0;
+  /// Queries that may still be satisfied by (a descendant of) this tuple.
+  QuerySet live;
+};
+
+}  // namespace tcq

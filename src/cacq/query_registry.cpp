@@ -1,0 +1,59 @@
+#include "cacq/query_registry.h"
+
+namespace tcq {
+
+SourceSet CQSpec::Footprint() const {
+  SourceSet s = extra_sources;
+  for (const FilterFactor& f : filters) s |= SourceBit(f.attr.source);
+  for (const JoinEdge& j : joins) {
+    s |= SourceBit(j.left.source) | SourceBit(j.right.source);
+  }
+  for (const auto& r : residuals) s |= r->sources();
+  return s;
+}
+
+QueryId QueryRegistry::Add(CQSpec spec) {
+  QueryId id = static_cast<QueryId>(queries_.size());
+  RegisteredQuery rq;
+  rq.id = id;
+  rq.footprint = spec.Footprint();
+  rq.spec = std::move(spec);
+  rq.active = true;
+  queries_.push_back(std::move(rq));
+  active_.Add(id);
+  for (SourceId s = 0; s < 32; ++s) {
+    if (queries_.back().footprint & SourceBit(s)) {
+      if (by_source_.size() <= s) by_source_.resize(s + 1);
+      by_source_[s].Add(id);
+    }
+  }
+  return id;
+}
+
+Status QueryRegistry::Remove(QueryId id) {
+  if (id >= queries_.size() || !queries_[id].active) {
+    return Status::NotFound("query " + std::to_string(id) +
+                            " is not active");
+  }
+  queries_[id].active = false;
+  active_.Remove(id);
+  for (auto& set : by_source_) set.Remove(id);
+  return Status::OK();
+}
+
+const RegisteredQuery* QueryRegistry::Get(QueryId id) const {
+  if (id >= queries_.size()) return nullptr;
+  return &queries_[id];
+}
+
+RegisteredQuery* QueryRegistry::GetMutable(QueryId id) {
+  if (id >= queries_.size()) return nullptr;
+  return &queries_[id];
+}
+
+const QuerySet& QueryRegistry::QueriesTouching(SourceId source) const {
+  if (source >= by_source_.size()) return empty_;
+  return by_source_[source];
+}
+
+}  // namespace tcq

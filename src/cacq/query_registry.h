@@ -1,0 +1,82 @@
+// Declarative continuous-query descriptions and their registry. A CQ is
+// decomposed, as in CACQ (paper §3.1), into single-variable boolean factors
+// (indexed by grouped filters), equality join edges (executed by shared
+// SteMs), and residual multi-variable factors (checked per query once their
+// sources are spanned).
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/query_set.h"
+#include "common/status.h"
+#include "operators/predicate.h"
+
+namespace tcq {
+
+/// A single-variable boolean factor: attr op literal.
+struct FilterFactor {
+  AttrRef attr;
+  CmpOp op = CmpOp::kEq;
+  Value literal;
+};
+
+/// An equality join edge between two base-stream attributes.
+struct JoinEdge {
+  AttrRef left;
+  AttrRef right;
+};
+
+/// A continuous query over the shared eddy.
+struct CQSpec {
+  std::vector<FilterFactor> filters;
+  std::vector<JoinEdge> joins;
+  /// Residual multi-variable factors (non-equijoin conditions), applied once
+  /// every referenced source is spanned.
+  std::vector<PredicateRef> residuals;
+  /// Extra sources the query ranges over beyond those mentioned above
+  /// (e.g. a pure "SELECT *" pass-through of one stream).
+  SourceSet extra_sources = 0;
+
+  /// Union of all sources the query touches.
+  SourceSet Footprint() const;
+};
+
+struct RegisteredQuery {
+  QueryId id = 0;
+  CQSpec spec;
+  SourceSet footprint = 0;
+  bool active = false;
+  uint64_t results_delivered = 0;
+};
+
+/// Owns query ids and descriptions for one shared eddy.
+class QueryRegistry {
+ public:
+  /// Registers a query; ids are never reused within a registry's lifetime.
+  QueryId Add(CQSpec spec);
+
+  Status Remove(QueryId id);
+
+  const RegisteredQuery* Get(QueryId id) const;
+  RegisteredQuery* GetMutable(QueryId id);
+
+  /// Active queries whose footprint includes `source`.
+  const QuerySet& QueriesTouching(SourceId source) const;
+
+  const QuerySet& active() const { return active_; }
+  size_t num_active() const { return active_.Count(); }
+  size_t next_id() const { return queries_.size(); }
+
+ private:
+  std::vector<RegisteredQuery> queries_;
+  QuerySet active_;
+  // Per-source interest sets (index = SourceId).
+  std::vector<QuerySet> by_source_;
+  QuerySet empty_;
+};
+
+}  // namespace tcq

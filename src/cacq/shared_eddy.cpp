@@ -1,0 +1,375 @@
+#include "cacq/shared_eddy.h"
+
+#include <cassert>
+
+namespace tcq {
+
+// --- GroupedFilterModule ----------------------------------------------------
+
+ModuleAction GroupedFilterModule::Process(SharedEnvelope* env,
+                                          std::vector<SharedEnvelope>*) {
+  const Value* v = ResolveAttr(env->tuple, filter_.attr());
+  assert(v != nullptr && "grouped-filter attribute missing");
+  matched_scratch_ = QuerySet();
+  filter_.Match(*v, &matched_scratch_);
+  // Kill interested queries whose factors failed: live -= (interested \ matched).
+  QuerySet to_kill = filter_.interested();
+  to_kill.SubtractWith(matched_scratch_);
+  env->live.SubtractWith(to_kill);
+  return env->live.Empty() ? ModuleAction::kDrop : ModuleAction::kPass;
+}
+
+// --- SharedSteMProbe --------------------------------------------------------
+
+SharedSteMProbe::SharedSteMProbe(std::string name, SteM* stem,
+                                 AttrRef probe_key, AttrRef build_key)
+    : SharedModule(std::move(name)),
+      stem_(stem),
+      probe_key_(std::move(probe_key)),
+      build_key_(std::move(build_key)) {
+  stem_->EnsureIndex(build_key_.name);
+}
+
+SchemaRef SharedSteMProbe::ConcatSchemaFor(const SchemaRef& input) {
+  const Schema* key = input.get();
+  for (const auto& [cached_key, cached] : schema_cache_) {
+    if (cached_key == key) return cached;
+  }
+  SchemaRef out = Schema::Concat(input, stem_->schema());
+  schema_cache_.emplace_back(key, out);
+  return out;
+}
+
+ModuleAction SharedSteMProbe::Process(SharedEnvelope* env,
+                                      std::vector<SharedEnvelope>* out) {
+  QuerySet child_live = env->live;
+  child_live.IntersectWith(subscribers_);
+  if (!child_live.Empty()) {
+    const Value* key = ResolveAttr(env->tuple, probe_key_);
+    assert(key != nullptr && "probe key attribute missing");
+    scratch_.clear();
+    stem_->ProbeEq(build_key_.name, *key, env->seq_max, &scratch_);
+    if (!scratch_.empty()) {
+      SchemaRef out_schema = ConcatSchemaFor(env->tuple.schema());
+      for (const StemEntry* e : scratch_) {
+        SharedEnvelope child;
+        child.tuple = Tuple::Concat(env->tuple, e->tuple, out_schema);
+        child.seq_max = std::max(env->seq_max, e->seq);
+        child.live = child_live;
+        out->push_back(std::move(child));
+      }
+    }
+  }
+  // The parent always continues: it may still satisfy queries with narrower
+  // footprints (single-stream queries over the same source).
+  return ModuleAction::kPass;
+}
+
+// --- ResidualFilterModule ---------------------------------------------------
+
+void ResidualFilterModule::AddResidual(QueryId q, PredicateRef pred) {
+  residuals_.emplace_back(q, std::move(pred));
+  interested_.Add(q);
+}
+
+void ResidualFilterModule::RemoveQuery(QueryId q) {
+  std::erase_if(residuals_,
+                [q](const auto& pair) { return pair.first == q; });
+  interested_.Remove(q);
+}
+
+ModuleAction ResidualFilterModule::Process(SharedEnvelope* env,
+                                           std::vector<SharedEnvelope>*) {
+  for (const auto& [q, pred] : residuals_) {
+    if (!env->live.Contains(q)) continue;
+    if (!pred->Eval(env->tuple)) env->live.Remove(q);
+  }
+  return env->live.Empty() ? ModuleAction::kDrop : ModuleAction::kPass;
+}
+
+// --- SharedEddy ---------------------------------------------------------
+
+SharedEddy::SharedEddy(std::unique_ptr<RoutingPolicy> policy)
+    : policy_(std::move(policy)) {}
+
+void SharedEddy::RegisterStream(SourceId source, SchemaRef schema,
+                                StemOptions stem_opts) {
+  StreamInfo info;
+  info.schema = std::move(schema);
+  info.stem_opts = std::move(stem_opts);
+  streams_[source] = std::move(info);
+}
+
+size_t SharedEddy::AddModule(std::unique_ptr<SharedModule> module) {
+  assert(modules_.size() < 64 && "at most 64 modules per shared eddy");
+  modules_.push_back(std::move(module));
+  module_stats_.push_back(modules_.back().get());
+  policy_->OnModuleCountChanged(modules_.size());
+  return modules_.size() - 1;
+}
+
+GroupedFilterModule* SharedEddy::FilterModuleFor(const AttrRef& attr) {
+  for (auto& m : modules_) {
+    auto* gf = dynamic_cast<GroupedFilterModule*>(m.get());
+    if (gf != nullptr && gf->attr() == attr) return gf;
+  }
+  auto mod = std::make_unique<GroupedFilterModule>(
+      "gf(" + attr.ToString() + ")", attr);
+  GroupedFilterModule* out = mod.get();
+  AddModule(std::move(mod));
+  return out;
+}
+
+SteM* SharedEddy::StemFor(SourceId source) {
+  auto it = streams_.find(source);
+  assert(it != streams_.end() && "join references an unregistered stream");
+  StreamInfo& info = it->second;
+  if (!info.stem) {
+    info.stem = std::make_shared<SteM>("stem(s" + std::to_string(source) + ")",
+                                       source, info.schema, info.stem_opts);
+  }
+  return info.stem.get();
+}
+
+SharedSteMProbe* SharedEddy::ProbeModuleFor(const AttrRef& probe_key,
+                                            const AttrRef& build_key) {
+  for (auto& m : modules_) {
+    auto* p = dynamic_cast<SharedSteMProbe*>(m.get());
+    if (p != nullptr && p->probe_key() == probe_key &&
+        p->build_key() == build_key) {
+      return p;
+    }
+  }
+  SteM* stem = StemFor(build_key.source);
+  auto mod = std::make_unique<SharedSteMProbe>(
+      "probe(" + build_key.ToString() + " by " + probe_key.ToString() + ")",
+      stem, probe_key, build_key);
+  SharedSteMProbe* out = mod.get();
+  AddModule(std::move(mod));
+  return out;
+}
+
+ResidualFilterModule* SharedEddy::ResidualModuleFor(SourceSet span) {
+  for (auto& m : modules_) {
+    auto* r = dynamic_cast<ResidualFilterModule*>(m.get());
+    if (r != nullptr && r->span() == span) return r;
+  }
+  auto mod = std::make_unique<ResidualFilterModule>(
+      "residual(span=" + std::to_string(span) + ")", span);
+  ResidualFilterModule* out = mod.get();
+  AddModule(std::move(mod));
+  return out;
+}
+
+Result<QueryId> SharedEddy::AddQuery(CQSpec spec) {
+  // Validate references before mutating shared state.
+  for (const FilterFactor& f : spec.filters) {
+    auto it = streams_.find(f.attr.source);
+    if (it == streams_.end()) {
+      return Status::NotFound("filter references unregistered stream s" +
+                              std::to_string(f.attr.source));
+    }
+    if (!it->second.schema->IndexOf(f.attr.name, f.attr.source)) {
+      return Status::NotFound("no attribute " + f.attr.ToString());
+    }
+  }
+  for (const JoinEdge& j : spec.joins) {
+    for (const AttrRef* a : {&j.left, &j.right}) {
+      auto it = streams_.find(a->source);
+      if (it == streams_.end()) {
+        return Status::NotFound("join references unregistered stream s" +
+                                std::to_string(a->source));
+      }
+      if (!it->second.schema->IndexOf(a->name, a->source)) {
+        return Status::NotFound("no attribute " + a->ToString());
+      }
+    }
+  }
+
+  // A multi-stream query must be connected by equality join edges: SteMs
+  // execute equijoins; a residual-only cross-source predicate would never
+  // see concatenated tuples (CACQ executes joins through SteMs, §3.1).
+  {
+    SourceSet footprint = spec.Footprint();
+    std::vector<SourceId> srcs;
+    for (SourceId s = 0; s < 32; ++s) {
+      if (footprint & SourceBit(s)) srcs.push_back(s);
+    }
+    if (srcs.size() > 1) {
+      // Union-find over sources via join edges.
+      std::map<SourceId, SourceId> parent;
+      for (SourceId s : srcs) parent[s] = s;
+      std::function<SourceId(SourceId)> find = [&](SourceId x) {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+      };
+      for (const JoinEdge& j : spec.joins) {
+        parent[find(j.left.source)] = find(j.right.source);
+      }
+      for (SourceId s : srcs) {
+        if (find(s) != find(srcs.front())) {
+          return Status::InvalidArgument(
+              "query spans disconnected streams s" +
+              std::to_string(srcs.front()) + " and s" + std::to_string(s) +
+              ": every stream must be reachable through equality join "
+              "edges (cross products and pure non-equijoins across streams "
+              "are not executable by shared SteMs)");
+        }
+      }
+    }
+  }
+
+  QueryId id = registry_.Add(std::move(spec));
+  const CQSpec& s = registry_.Get(id)->spec;
+  // Pair a query's single lower and upper bound on one attribute into an
+  // interval-tree range factor; everything else goes to the bound lists.
+  std::map<std::pair<SourceId, std::string>, std::vector<const FilterFactor*>>
+      by_attr;
+  for (const FilterFactor& f : s.filters) {
+    by_attr[{f.attr.source, f.attr.name}].push_back(&f);
+  }
+  for (const auto& [key, factors] : by_attr) {
+    GroupedFilter* gf = FilterModuleFor(factors.front()->attr)->filter();
+    const FilterFactor* lo = nullptr;
+    const FilterFactor* hi = nullptr;
+    bool other = false;
+    for (const FilterFactor* f : factors) {
+      if ((f->op == CmpOp::kGe || f->op == CmpOp::kGt) && lo == nullptr) {
+        lo = f;
+      } else if ((f->op == CmpOp::kLe || f->op == CmpOp::kLt) &&
+                 hi == nullptr) {
+        hi = f;
+      } else {
+        other = true;
+      }
+    }
+    if (lo != nullptr && hi != nullptr && !other && factors.size() == 2) {
+      gf->AddRange(id, lo->literal, lo->op == CmpOp::kGe, hi->literal,
+                   hi->op == CmpOp::kLe);
+    } else {
+      for (const FilterFactor* f : factors) {
+        gf->AddFactor(id, f->op, f->literal);
+      }
+    }
+  }
+  for (const JoinEdge& j : s.joins) {
+    // Both probe directions share the two SteMs (Fig. 2 topology).
+    ProbeModuleFor(j.left, j.right)->Subscribe(id);
+    ProbeModuleFor(j.right, j.left)->Subscribe(id);
+  }
+  for (const PredicateRef& r : s.residuals) {
+    ResidualModuleFor(r->sources())->AddResidual(id, r);
+  }
+  return id;
+}
+
+Status SharedEddy::RemoveQuery(QueryId id) {
+  TCQ_RETURN_IF_ERROR(registry_.Remove(id));
+  for (auto& m : modules_) {
+    if (auto* gf = dynamic_cast<GroupedFilterModule*>(m.get())) {
+      gf->filter()->RemoveQuery(id);
+    } else if (auto* p = dynamic_cast<SharedSteMProbe*>(m.get())) {
+      p->Unsubscribe(id);
+    } else if (auto* r = dynamic_cast<ResidualFilterModule*>(m.get())) {
+      r->RemoveQuery(id);
+    }
+  }
+  return Status::OK();
+}
+
+void SharedEddy::Ingest(SourceId source, const Tuple& tuple) {
+  Timestamp seq = next_seq_++;
+  auto it = streams_.find(source);
+  assert(it != streams_.end() && "ingest on unregistered stream");
+  if (it->second.stem) it->second.stem->Build(tuple, seq);
+
+  SharedEnvelope env;
+  env.tuple = tuple;
+  env.seq_max = seq;
+  env.live = registry_.QueriesTouching(source);
+  if (env.live.Empty()) return;  // no active query cares about this stream
+  queue_.push_back(std::move(env));
+  if (!draining_) Drain();
+}
+
+SteM* SharedEddy::GetSteM(SourceId source) const {
+  auto it = streams_.find(source);
+  if (it == streams_.end()) return nullptr;
+  return it->second.stem.get();
+}
+
+void SharedEddy::BackfillSteM(SourceId source,
+                              const std::vector<Tuple>& history) {
+  SteM* stem = GetSteM(source);
+  assert(stem != nullptr && "backfill requires an existing SteM");
+  for (const Tuple& t : history) stem->Build(t, next_seq_++);
+}
+
+void SharedEddy::AdvanceTime(Timestamp now) {
+  for (auto& [source, info] : streams_) {
+    if (info.stem) info.stem->AdvanceTime(now);
+  }
+}
+
+bool SharedEddy::ComputeReady(const SharedEnvelope& env,
+                              std::vector<size_t>* ready) const {
+  ready->clear();
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (env.done & (uint64_t{1} << i)) continue;
+    if (modules_[i]->AppliesTo(env)) ready->push_back(i);
+  }
+  return !ready->empty();
+}
+
+void SharedEddy::DeliverIfComplete(SharedEnvelope&& env) {
+  // Deliver to every still-live, still-active query whose footprint the
+  // tuple exactly spans (wider-footprint queries needed more joins; their
+  // results are the composites).
+  SourceSet span = env.tuple.sources();
+  env.live.IntersectWith(registry_.active());
+  env.live.ForEach([&](QueryId q) {
+    const RegisteredQuery* rq = registry_.Get(q);
+    if (rq->footprint != span) return;
+    ++deliveries_;
+    ++registry_.GetMutable(q)->results_delivered;
+    if (sink_) sink_(q, env.tuple);
+  });
+}
+
+void SharedEddy::Drain() {
+  draining_ = true;
+  while (!queue_.empty()) {
+    SharedEnvelope env = std::move(queue_.front());
+    queue_.pop_front();
+
+    while (true) {
+      if (!ComputeReady(env, &ready_scratch_)) {
+        DeliverIfComplete(std::move(env));
+        break;
+      }
+      order_scratch_.clear();
+      policy_->Rank(ready_scratch_, module_stats_, &order_scratch_);
+      ++routing_decisions_;
+      size_t slot = order_scratch_.front();
+      ++module_invocations_;
+      out_scratch_.clear();
+      ModuleAction action = modules_[slot]->Process(&env, &out_scratch_);
+      // For stats/ticket purposes a probe that emitted children counts as an
+      // expansion even though the parent keeps routing.
+      ModuleAction stats_action =
+          out_scratch_.empty() ? action : ModuleAction::kExpand;
+      modules_[slot]->RecordResult(stats_action, out_scratch_.size());
+      policy_->OnResult(slot, stats_action, out_scratch_.size());
+      for (SharedEnvelope& child : out_scratch_) {
+        child.done |= env.done | (uint64_t{1} << slot);
+        queue_.push_back(std::move(child));
+      }
+      if (action == ModuleAction::kDrop) break;
+      env.done |= (uint64_t{1} << slot);
+      // kPass: continue routing the (narrowed) envelope.
+    }
+  }
+  draining_ = false;
+}
+
+}  // namespace tcq

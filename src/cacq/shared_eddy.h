@@ -1,0 +1,220 @@
+// CACQ: Continuously Adaptive Continuous Queries (paper §3.1). A single
+// shared eddy executes the disjunction of all registered queries at once:
+//   * grouped filters index the single-variable factors of all queries over
+//     the same attribute, so one probe evaluates thousands of predicates;
+//   * SteMs are shared across every query interested in a join edge;
+//   * tuple lineage (a per-tuple live-query set) tracks which queries each
+//     tuple still satisfies, and results are demultiplexed to clients.
+// Queries can be added and removed while streams flow.
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cacq/lineage.h"
+#include "cacq/query_registry.h"
+#include "eddy/routing_policy.h"
+#include "operators/grouped_filter.h"
+#include "stem/stem.h"
+
+namespace tcq {
+
+/// A module routable by the shared eddy. Narrows the envelope's live-query
+/// set and/or emits child envelopes.
+class SharedModule : public RoutableStats {
+ public:
+  explicit SharedModule(std::string name) : name_(std::move(name)) {}
+  virtual ~SharedModule() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Must this envelope visit the module? (Depends on the tuple's span AND
+  /// its live set — a module no live query cares about is skipped, which is
+  /// where shared processing wins.)
+  virtual bool AppliesTo(const SharedEnvelope& env) const = 0;
+
+  /// Processes the envelope. May narrow env->live, and may append children
+  /// (the shared eddy patches their done bits). kDrop means the live set
+  /// emptied; kPass keeps routing the (possibly narrowed) envelope.
+  virtual ModuleAction Process(SharedEnvelope* env,
+                               std::vector<SharedEnvelope>* out) = 0;
+
+ private:
+  std::string name_;
+};
+
+/// Shared selection: wraps a GroupedFilter over one attribute. Kills, from
+/// the envelope's live set, every interested query whose factors the value
+/// fails.
+class GroupedFilterModule : public SharedModule {
+ public:
+  GroupedFilterModule(std::string name, AttrRef attr)
+      : SharedModule(std::move(name)), filter_(std::move(attr)) {}
+
+  GroupedFilter* filter() { return &filter_; }
+  const AttrRef& attr() const { return filter_.attr(); }
+
+  bool AppliesTo(const SharedEnvelope& env) const override {
+    return (env.tuple.sources() & SourceBit(filter_.attr().source)) != 0 &&
+           env.live.Intersects(filter_.interested());
+  }
+
+  ModuleAction Process(SharedEnvelope* env,
+                       std::vector<SharedEnvelope>* out) override;
+
+ private:
+  GroupedFilter filter_;
+  mutable QuerySet matched_scratch_;
+};
+
+/// Shared SteM probe for one equality join edge. All queries subscribed to
+/// the edge share the stored state and the probe work; children's live sets
+/// are the parent's intersected with the edge subscribers. The parent
+/// continues routing (it may still satisfy narrower-footprint queries).
+class SharedSteMProbe : public SharedModule {
+ public:
+  SharedSteMProbe(std::string name, SteM* stem, AttrRef probe_key,
+                  AttrRef build_key);
+
+  void Subscribe(QueryId q) { subscribers_.Add(q); }
+  void Unsubscribe(QueryId q) { subscribers_.Remove(q); }
+  const QuerySet& subscribers() const { return subscribers_; }
+
+  SteM* stem() const { return stem_; }
+  const AttrRef& probe_key() const { return probe_key_; }
+  const AttrRef& build_key() const { return build_key_; }
+
+  bool AppliesTo(const SharedEnvelope& env) const override {
+    SourceSet span = env.tuple.sources();
+    if (span & SourceBit(stem_->source())) return false;
+    if (!(span & SourceBit(probe_key_.source))) return false;
+    return env.live.Intersects(subscribers_);
+  }
+
+  ModuleAction Process(SharedEnvelope* env,
+                       std::vector<SharedEnvelope>* out) override;
+
+ private:
+  SchemaRef ConcatSchemaFor(const SchemaRef& input);
+
+  SteM* stem_;
+  AttrRef probe_key_;
+  AttrRef build_key_;
+  QuerySet subscribers_;
+  std::vector<std::pair<const Schema*, SchemaRef>> schema_cache_;
+  std::vector<const StemEntry*> scratch_;
+};
+
+/// Residual multi-variable factors: per-query predicates applied once their
+/// sources are spanned (e.g. the non-equi half of a theta-join).
+class ResidualFilterModule : public SharedModule {
+ public:
+  ResidualFilterModule(std::string name, SourceSet span)
+      : SharedModule(std::move(name)), span_(span) {}
+
+  void AddResidual(QueryId q, PredicateRef pred);
+  void RemoveQuery(QueryId q);
+
+  SourceSet span() const { return span_; }
+  const QuerySet& interested() const { return interested_; }
+
+  bool AppliesTo(const SharedEnvelope& env) const override {
+    return (span_ & ~env.tuple.sources()) == 0 &&
+           env.live.Intersects(interested_);
+  }
+
+  ModuleAction Process(SharedEnvelope* env,
+                       std::vector<SharedEnvelope>* out) override;
+
+ private:
+  SourceSet span_;
+  std::vector<std::pair<QueryId, PredicateRef>> residuals_;
+  QuerySet interested_;
+};
+
+/// The shared eddy itself.
+class SharedEddy {
+ public:
+  /// Receives one delivery per (query, result tuple).
+  using Sink = std::function<void(QueryId, const Tuple&)>;
+
+  explicit SharedEddy(std::unique_ptr<RoutingPolicy> policy);
+
+  /// Declares a stream before queries reference it. `stem_opts` configures
+  /// the shared SteM created if/when a join touches the stream.
+  void RegisterStream(SourceId source, SchemaRef schema,
+                      StemOptions stem_opts = StemOptions{});
+
+  void SetOutput(Sink sink) { sink_ = std::move(sink); }
+
+  /// Adds a continuous query on the fly; returns its id.
+  Result<QueryId> AddQuery(CQSpec spec);
+
+  /// Removes a query on the fly. In-flight tuples stop being processed for
+  /// it immediately (deliveries check liveness).
+  Status RemoveQuery(QueryId id);
+
+  /// Ingests one stream tuple and runs the shared dataflow to quiescence.
+  void Ingest(SourceId source, const Tuple& tuple);
+
+  /// Advances stream time: evicts shared SteM state per its window options.
+  void AdvanceTime(Timestamp now);
+
+  /// The shared SteM of a stream, or nullptr if no join touches it yet.
+  SteM* GetSteM(SourceId source) const;
+
+  /// Builds historical tuples (timestamp-ascending) into a stream's SteM.
+  /// PSoup uses this when a newly created SteM must also cover data that
+  /// arrived before any join query existed (§3.2: new queries on old data
+  /// joining with data yet to come).
+  void BackfillSteM(SourceId source, const std::vector<Tuple>& history);
+
+  const QueryRegistry& registry() const { return registry_; }
+  size_t num_modules() const { return modules_.size(); }
+  uint64_t routing_decisions() const { return routing_decisions_; }
+  uint64_t module_invocations() const { return module_invocations_; }
+  uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  struct StreamInfo {
+    SchemaRef schema;
+    StemOptions stem_opts;
+    std::shared_ptr<SteM> stem;  // created lazily on first join edge
+  };
+
+  GroupedFilterModule* FilterModuleFor(const AttrRef& attr);
+  SharedSteMProbe* ProbeModuleFor(const AttrRef& probe_key,
+                                  const AttrRef& build_key);
+  ResidualFilterModule* ResidualModuleFor(SourceSet span);
+  SteM* StemFor(SourceId source);
+  size_t AddModule(std::unique_ptr<SharedModule> module);
+  void Drain();
+  bool ComputeReady(const SharedEnvelope& env,
+                    std::vector<size_t>* ready) const;
+  void DeliverIfComplete(SharedEnvelope&& env);
+
+  std::unique_ptr<RoutingPolicy> policy_;
+  QueryRegistry registry_;
+  std::map<SourceId, StreamInfo> streams_;
+  std::vector<std::unique_ptr<SharedModule>> modules_;
+  std::vector<const RoutableStats*> module_stats_;
+  Sink sink_;
+  Timestamp next_seq_ = 1;
+  std::deque<SharedEnvelope> queue_;
+  bool draining_ = false;
+
+  std::vector<size_t> ready_scratch_;
+  std::vector<size_t> order_scratch_;
+  std::vector<SharedEnvelope> out_scratch_;
+
+  uint64_t routing_decisions_ = 0;
+  uint64_t module_invocations_ = 0;
+  uint64_t deliveries_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,56 @@
+// Minimal leveled logger. Disabled below the compile/run-time threshold so
+// hot-path TCQ_VLOG calls cost one branch.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tcq {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  // Swallows a disabled log statement's stream operators.
+  template <typename T>
+  LogSink& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define TCQ_LOG(level)                                              \
+  if (::tcq::LogLevel::k##level < ::tcq::GetLogLevel()) {           \
+  } else                                                            \
+    ::tcq::internal::LogMessage(::tcq::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace tcq

@@ -1,0 +1,141 @@
+// QuerySet: a dynamic bitset over registered continuous-query ids. CACQ tuple
+// lineage (paper §3.1) tracks, per tuple, which queries are still "live" for
+// it; grouped filters return the set of queries a value satisfies.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcq {
+
+using QueryId = uint32_t;
+
+class QuerySet {
+ public:
+  QuerySet() = default;
+  explicit QuerySet(size_t num_queries)
+      : bits_((num_queries + 63) / 64, 0), size_(num_queries) {}
+
+  /// A set of the given size with every query present.
+  static QuerySet All(size_t num_queries) {
+    QuerySet s(num_queries);
+    for (size_t i = 0; i < num_queries; ++i) s.Add(static_cast<QueryId>(i));
+    return s;
+  }
+
+  size_t size() const { return size_; }
+
+  void Resize(size_t num_queries) {
+    bits_.resize((num_queries + 63) / 64, 0);
+    size_ = num_queries;
+  }
+
+  void Add(QueryId q) {
+    EnsureCapacity(q);
+    bits_[q >> 6] |= (uint64_t{1} << (q & 63));
+  }
+
+  void Remove(QueryId q) {
+    if ((q >> 6) < bits_.size()) bits_[q >> 6] &= ~(uint64_t{1} << (q & 63));
+  }
+
+  bool Contains(QueryId q) const {
+    return (q >> 6) < bits_.size() &&
+           (bits_[q >> 6] >> (q & 63)) & 1;
+  }
+
+  bool Empty() const {
+    for (uint64_t w : bits_) {
+      if (w) return false;
+    }
+    return true;
+  }
+
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : bits_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// In-place intersection; the result has the max of the two word widths.
+  void IntersectWith(const QuerySet& other) {
+    size_t n = std::min(bits_.size(), other.bits_.size());
+    for (size_t i = 0; i < n; ++i) bits_[i] &= other.bits_[i];
+    for (size_t i = n; i < bits_.size(); ++i) bits_[i] = 0;
+  }
+
+  void UnionWith(const QuerySet& other) {
+    if (other.bits_.size() > bits_.size()) bits_.resize(other.bits_.size(), 0);
+    if (other.size_ > size_) size_ = other.size_;
+    for (size_t i = 0; i < other.bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  }
+
+  void SubtractWith(const QuerySet& other) {
+    size_t n = std::min(bits_.size(), other.bits_.size());
+    for (size_t i = 0; i < n; ++i) bits_[i] &= ~other.bits_[i];
+  }
+
+  bool Intersects(const QuerySet& other) const {
+    size_t n = std::min(bits_.size(), other.bits_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (bits_[i] & other.bits_[i]) return true;
+    }
+    return false;
+  }
+
+  /// Calls fn(QueryId) for every member, ascending.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < bits_.size(); ++w) {
+      uint64_t word = bits_[w];
+      while (word) {
+        int b = __builtin_ctzll(word);
+        fn(static_cast<QueryId>(w * 64 + static_cast<size_t>(b)));
+        word &= word - 1;
+      }
+    }
+  }
+
+  std::vector<QueryId> ToVector() const {
+    std::vector<QueryId> out;
+    out.reserve(Count());
+    ForEach([&](QueryId q) { out.push_back(q); });
+    return out;
+  }
+
+  bool operator==(const QuerySet& other) const {
+    size_t n = std::max(bits_.size(), other.bits_.size());
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t a = i < bits_.size() ? bits_[i] : 0;
+      uint64_t b = i < other.bits_.size() ? other.bits_[i] : 0;
+      if (a != b) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    ForEach([&](QueryId q) {
+      if (!first) out += ",";
+      out += std::to_string(q);
+      first = false;
+    });
+    out += "}";
+    return out;
+  }
+
+ private:
+  void EnsureCapacity(QueryId q) {
+    size_t need = (static_cast<size_t>(q) >> 6) + 1;
+    if (bits_.size() < need) bits_.resize(need, 0);
+    if (size_ <= q) size_ = q + 1;
+  }
+
+  std::vector<uint64_t> bits_;
+  size_t size_ = 0;
+};
+
+}  // namespace tcq

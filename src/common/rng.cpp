@@ -1,0 +1,80 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tcq {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+}  // namespace
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  assert(n > 0);
+  if (theta <= 0.0) {
+    return static_cast<uint64_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_zetan_ = Zeta(n, theta);
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    double zeta2 = Zeta(2, theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+                (1.0 - zeta2 / zipf_zetan_);
+  }
+  double u = UniformDouble(0.0, 1.0);
+  double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  uint64_t v = static_cast<uint64_t>(
+      double(n) * std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+  if (v >= n) v = n - 1;
+  return v;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w > 0 ? w : 0;
+  assert(total > 0.0);
+  double pick = UniformDouble(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] > 0 ? weights[i] : 0;
+    if (pick < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace tcq

@@ -1,0 +1,64 @@
+// Seeded random number generation used across workload generators, routing
+// policies (lottery scheduling), and property-test sweeps. Everything is
+// deterministic given a seed so experiments are reproducible.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace tcq {
+
+/// A seeded PRNG with the distributions the workloads need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi], inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed inter-arrival gap with the given rate
+  /// (events per unit time).
+  double Exponential(double rate);
+
+  /// Normally distributed value.
+  double Gaussian(double mean, double stddev);
+
+  /// Zipf-distributed value in [0, n); theta=0 is uniform, theta~1 is the
+  /// classic skew. Uses the Gray et al. rejection-free method with cached
+  /// normalization for fixed (n, theta).
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Weighted index selection: returns i with probability
+  /// weights[i] / sum(weights). Requires a positive total weight.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  // Cached zipf normalization for the last (n, theta) pair.
+  uint64_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace tcq

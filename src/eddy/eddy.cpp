@@ -1,0 +1,140 @@
+#include "eddy/eddy.h"
+
+#include <cassert>
+
+namespace tcq {
+
+Eddy::Eddy(std::unique_ptr<RoutingPolicy> policy, Options opts)
+    : policy_(std::move(policy)), opts_(opts) {
+  assert(opts_.batch_size >= 1);
+  assert(opts_.fix_len >= 1);
+}
+
+size_t Eddy::AddModule(std::unique_ptr<EddyModule> module) {
+  assert(modules_.size() < 32 && "at most 32 modules per eddy");
+  sources_seen_ |= module->contributes();
+  modules_.push_back(std::move(module));
+  module_stats_.push_back(modules_.back().get());
+  policy_->OnModuleCountChanged(modules_.size());
+  // Any cached routing decision may be stale once the module set changes.
+  decision_cache_.clear();
+  return modules_.size() - 1;
+}
+
+void Eddy::AttachSteM(std::shared_ptr<SteM> stem) {
+  sources_seen_ |= SourceBit(stem->source());
+  stems_.push_back(std::move(stem));
+}
+
+SourceSet Eddy::RequiredSources() const {
+  return required_override_ != 0 ? required_override_ : sources_seen_;
+}
+
+void Eddy::Ingest(SourceId source, const Tuple& tuple) {
+  ++tuples_ingested_;
+  Timestamp seq = next_seq_++;
+  for (auto& stem : stems_) {
+    if (stem->source() == source) stem->Build(tuple, seq);
+  }
+  queue_.push_back(Envelope{tuple, 0, seq});
+  if (!draining_) Drain();
+}
+
+void Eddy::AdvanceTime(Timestamp now) {
+  for (auto& stem : stems_) stem->AdvanceTime(now);
+}
+
+bool Eddy::ComputeReady(const Envelope& env,
+                        std::vector<size_t>* ready) const {
+  ready->clear();
+  SourceSet span = env.tuple.sources();
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    if (env.done & (uint32_t{1} << i)) continue;
+    if (modules_[i]->AppliesTo(span)) ready->push_back(i);
+  }
+  return !ready->empty();
+}
+
+void Eddy::EmitIfComplete(Envelope&& env) {
+  // No module applies anymore; the tuple completes iff it spans the query
+  // footprint (a partial join result that can no longer grow is a dead end).
+  SourceSet required = RequiredSources();
+  if ((required & ~env.tuple.sources()) == 0) {
+    ++tuples_output_;
+    if (output_) output_(env.tuple);
+  }
+}
+
+void Eddy::Drain() {
+  draining_ = true;
+  while (!queue_.empty()) {
+    Envelope env = std::move(queue_.front());
+    queue_.pop_front();
+
+    while (true) {
+      if (!ComputeReady(env, &ready_scratch_)) {
+        EmitIfComplete(std::move(env));
+        break;
+      }
+
+      // One routing decision fixes an ordered pipeline; with batching the
+      // decision is reused for consecutive tuples with the same signature.
+      // The ready set is a function of (done, sources), so equal signatures
+      // imply equal ready sets and the cached order stays valid.
+      uint64_t signature =
+          (uint64_t{env.done} << 32) | uint64_t{env.tuple.sources()};
+      const std::vector<size_t>* order = nullptr;
+      CachedDecision* cached =
+          opts_.batch_size > 1 ? &decision_cache_[signature] : nullptr;
+      if (cached != nullptr && cached->remaining > 0) {
+        --cached->remaining;
+        order = &cached->order;
+      } else {
+        order_scratch_.clear();
+        policy_->Rank(ready_scratch_, module_stats_, &order_scratch_);
+        ++routing_decisions_;
+        assert(!order_scratch_.empty());
+        if (cached != nullptr) {
+          cached->order = order_scratch_;
+          cached->remaining = opts_.batch_size - 1;
+          order = &cached->order;
+        } else {
+          order = &order_scratch_;
+        }
+      }
+
+      bool terminal = false;
+      uint32_t applied = 0;
+      for (size_t slot : *order) {
+        if (applied >= opts_.fix_len) break;
+        ++applied;
+        ++module_invocations_;
+        out_scratch_.clear();
+        ModuleAction action = modules_[slot]->Process(env, &out_scratch_);
+        modules_[slot]->RecordResult(action, out_scratch_.size());
+        policy_->OnResult(slot, action, out_scratch_.size());
+        switch (action) {
+          case ModuleAction::kPass:
+            env.done |= (uint32_t{1} << slot);
+            continue;
+          case ModuleAction::kDrop:
+            terminal = true;
+            break;
+          case ModuleAction::kExpand:
+            for (Envelope& child : out_scratch_) {
+              child.done |= env.done | (uint32_t{1} << slot);
+              queue_.push_back(std::move(child));
+            }
+            terminal = true;
+            break;
+        }
+        if (terminal) break;
+      }
+      if (terminal) break;
+      // All pipelined modules passed; re-evaluate readiness and continue.
+    }
+  }
+  draining_ = false;
+}
+
+}  // namespace tcq

@@ -1,0 +1,118 @@
+// Eddy: the adaptive tuple router (paper §2.2). Intercepts tuples flowing
+// between modules, chooses their order per tuple via a routing policy, and
+// emits a tuple once every applicable module has handled it. SteMs attached
+// to the eddy receive build tuples on ingest ("an S tuple is first sent as a
+// build tuple to SteM_S and then sent as a probe tuple to SteM_T", Fig. 2).
+//
+// The "adapting adaptivity" knobs of §4.3 are implemented here:
+//   * batch_size  — one routing decision is reused for up to batch_size
+//                   tuples with the same routing signature.
+//   * fix_len     — each decision fixes an ordered pipeline of up to fix_len
+//                   modules instead of a single hop.
+
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+#include "eddy/module.h"
+#include "eddy/routing_policy.h"
+#include "stem/stem.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+class Eddy {
+ public:
+  struct Options {
+    /// Routing decisions reused across consecutive same-signature tuples.
+    uint32_t batch_size = 1;
+    /// Modules fixed per routing decision.
+    uint32_t fix_len = 1;
+  };
+
+  explicit Eddy(std::unique_ptr<RoutingPolicy> policy)
+      : Eddy(std::move(policy), Options()) {}
+  Eddy(std::unique_ptr<RoutingPolicy> policy, Options opts);
+
+  /// Adds a module; returns its slot. At most 32 modules per eddy (done
+  /// bits are a 32-bit mask; "each individual Eddy provides a scope for
+  /// adaptivity").
+  size_t AddModule(std::unique_ptr<EddyModule> module);
+
+  /// Attaches a SteM: ingested base tuples of the SteM's source are built
+  /// into it before being routed.
+  void AttachSteM(std::shared_ptr<SteM> stem);
+
+  /// Sources a tuple must span before it can be output. Defaults to the
+  /// union of sources contributed by modules and attached SteMs.
+  void SetRequiredSources(SourceSet required) {
+    required_override_ = required;
+  }
+
+  /// Receives completed tuples.
+  void SetOutput(std::function<void(const Tuple&)> sink) {
+    output_ = std::move(sink);
+  }
+
+  /// Ingests one base tuple and runs the dataflow to quiescence.
+  void Ingest(SourceId source, const Tuple& tuple);
+
+  /// Advances stream time on all attached SteMs (window eviction).
+  void AdvanceTime(Timestamp now);
+
+  RoutingPolicy* policy() { return policy_.get(); }
+  EddyModule* module(size_t slot) { return modules_[slot].get(); }
+  size_t num_modules() const { return modules_.size(); }
+
+  // --- Statistics -----------------------------------------------------------
+  uint64_t routing_decisions() const { return routing_decisions_; }
+  uint64_t module_invocations() const { return module_invocations_; }
+  uint64_t tuples_ingested() const { return tuples_ingested_; }
+  uint64_t tuples_output() const { return tuples_output_; }
+
+ private:
+  SourceSet RequiredSources() const;
+  void Drain();
+  /// Ready slots for an envelope; returns true if any.
+  bool ComputeReady(const Envelope& env, std::vector<size_t>* ready) const;
+  void EmitIfComplete(Envelope&& env);
+
+  std::unique_ptr<RoutingPolicy> policy_;
+  Options opts_;
+  std::vector<std::unique_ptr<EddyModule>> modules_;
+  std::vector<const RoutableStats*> module_stats_;
+  std::vector<std::shared_ptr<SteM>> stems_;
+  std::function<void(const Tuple&)> output_;
+  SourceSet sources_seen_ = 0;
+  SourceSet required_override_ = 0;
+  Timestamp next_seq_ = 1;
+
+  std::deque<Envelope> queue_;
+  bool draining_ = false;
+
+  // Cached routing decisions for the batching knob, keyed by routing
+  // signature (done bits + source span). Each decision is reused for up to
+  // batch_size - 1 further tuples with the same signature.
+  struct CachedDecision {
+    std::vector<size_t> order;
+    uint32_t remaining = 0;
+  };
+  std::unordered_map<uint64_t, CachedDecision> decision_cache_;
+
+  // Scratch buffers.
+  std::vector<size_t> ready_scratch_;
+  std::vector<size_t> order_scratch_;
+  std::vector<Envelope> out_scratch_;
+
+  uint64_t routing_decisions_ = 0;
+  uint64_t module_invocations_ = 0;
+  uint64_t tuples_ingested_ = 0;
+  uint64_t tuples_output_ = 0;
+};
+
+}  // namespace tcq

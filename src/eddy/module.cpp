@@ -1,0 +1,26 @@
+#include "eddy/module.h"
+
+namespace tcq {
+
+double RoutableStats::ObservedSelectivity() const {
+  if (consumed_ == 0) return 1.0;
+  return static_cast<double>(passed_ + expanded_out_) /
+         static_cast<double>(consumed_);
+}
+
+void RoutableStats::RecordResult(ModuleAction action, size_t num_out) {
+  ++consumed_;
+  switch (action) {
+    case ModuleAction::kPass:
+      ++passed_;
+      break;
+    case ModuleAction::kDrop:
+      ++dropped_;
+      break;
+    case ModuleAction::kExpand:
+      expanded_out_ += num_out;
+      break;
+  }
+}
+
+}  // namespace tcq

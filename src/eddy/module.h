@@ -1,0 +1,87 @@
+// EddyModule: the unit of adaptive routing. An eddy continuously routes
+// tuples among a set of commutative modules (paper §2.2); each module
+// consumes a tuple and either passes it, drops it, or expands it into
+// replacement tuples (e.g. join concatenations from a SteM probe).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// What a module did with the tuple it was handed.
+enum class ModuleAction {
+  kPass,    ///< Tuple satisfied the module and continues routing.
+  kDrop,    ///< Tuple eliminated (failed filter / probe consumed it with
+            ///< zero matches).
+  kExpand,  ///< Tuple consumed; replacement tuples appended to the output.
+};
+
+/// A tuple plus the per-tuple routing state the paper requires ("the state
+/// must indicate the set of connected modules successfully visited").
+struct Envelope {
+  Tuple tuple;
+  /// Bitmask over eddy module slots this tuple has satisfied.
+  uint32_t done = 0;
+  /// Max global arrival sequence number among the base tuples this
+  /// (possibly intermediate) tuple spans. Used for the exactly-once match
+  /// rule in SteM probes: a probe retrieves only builds with a smaller seq.
+  Timestamp seq_max = 0;
+};
+
+/// Per-module observations that drive routing policies. Both the
+/// single-query EddyModule and the CACQ SharedModule expose this view, so
+/// one set of policies (lottery, greedy, ...) serves both eddies.
+class RoutableStats {
+ public:
+  virtual ~RoutableStats() = default;
+
+  uint64_t consumed() const { return consumed_; }
+  uint64_t passed() const { return passed_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t expanded_out() const { return expanded_out_; }
+
+  /// Fraction of consumed tuples that survived (passed or produced output);
+  /// 1.0 until observations exist.
+  double ObservedSelectivity() const;
+
+  void RecordResult(ModuleAction action, size_t num_out);
+
+ private:
+  uint64_t consumed_ = 0;
+  uint64_t passed_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t expanded_out_ = 0;
+};
+
+class EddyModule : public RoutableStats {
+ public:
+  using Action = ModuleAction;
+
+  explicit EddyModule(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Must a tuple spanning `sources` be processed by this module (ignoring
+  /// whether it already has)? The eddy combines this with done-bits to form
+  /// the ready set.
+  virtual bool AppliesTo(SourceSet sources) const = 0;
+
+  /// Processes one tuple. For kExpand the module appends replacement
+  /// envelopes (tuple + seq_max) to `out`; the eddy patches their done bits.
+  virtual Action Process(const Envelope& env, std::vector<Envelope>* out) = 0;
+
+  /// Base sources this module implicates in the query footprint (used to
+  /// derive the output-completeness condition).
+  virtual SourceSet contributes() const { return 0; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace tcq

@@ -1,0 +1,107 @@
+#include "eddy/routing_policy.h"
+
+#include <algorithm>
+
+namespace tcq {
+
+void FixedOrderPolicy::Rank(const std::vector<size_t>& ready,
+                            const std::vector<const RoutableStats*>&,
+                            std::vector<size_t>* out) {
+  for (size_t p : priority_) {
+    if (std::find(ready.begin(), ready.end(), p) != ready.end()) {
+      out->push_back(p);
+    }
+  }
+  for (size_t r : ready) {
+    if (std::find(out->begin(), out->end(), r) == out->end()) {
+      out->push_back(r);
+    }
+  }
+}
+
+void RoundRobinPolicy::Rank(const std::vector<size_t>& ready,
+                            const std::vector<const RoutableStats*>&,
+                            std::vector<size_t>* out) {
+  size_t start = next_++ % ready.size();
+  for (size_t i = 0; i < ready.size(); ++i) {
+    out->push_back(ready[(start + i) % ready.size()]);
+  }
+}
+
+void LotteryPolicy::Rank(const std::vector<size_t>& ready,
+                         const std::vector<const RoutableStats*>& modules,
+                         std::vector<size_t>* out) {
+  if (tickets_.size() < modules.size()) tickets_.resize(modules.size(), 0.0);
+  if (++decisions_ % opts_.decay_interval == 0) {
+    for (double& t : tickets_) t *= opts_.decay;
+  }
+  // Sample ready slots without replacement, weighted by banked tickets.
+  std::vector<size_t> pool = ready;
+  weights_scratch_.clear();
+  for (size_t slot : pool) {
+    weights_scratch_.push_back(std::max(tickets_[slot], 0.0) + opts_.floor);
+  }
+  while (!pool.empty()) {
+    size_t pick = rng_.WeightedIndex(weights_scratch_);
+    out->push_back(pool[pick]);
+    pool.erase(pool.begin() + static_cast<long>(pick));
+    weights_scratch_.erase(weights_scratch_.begin() + static_cast<long>(pick));
+  }
+}
+
+void LotteryPolicy::OnResult(size_t slot, ModuleAction action,
+                             size_t num_out) {
+  if (tickets_.size() <= slot) tickets_.resize(slot + 1, 0.0);
+  // Credit for consuming; debit for producing (AH00 ticket scheme).
+  tickets_[slot] += 1.0;
+  switch (action) {
+    case ModuleAction::kPass:
+      tickets_[slot] -= 1.0;
+      break;
+    case ModuleAction::kDrop:
+      break;
+    case ModuleAction::kExpand:
+      tickets_[slot] -= static_cast<double>(num_out);
+      break;
+  }
+}
+
+void LotteryPolicy::OnModuleCountChanged(size_t num_modules) {
+  if (tickets_.size() < num_modules) tickets_.resize(num_modules, 0.0);
+}
+
+void GreedyPolicy::Rank(const std::vector<size_t>& ready,
+                        const std::vector<const RoutableStats*>& modules,
+                        std::vector<size_t>* out) {
+  *out = ready;
+  if (rng_.Bernoulli(epsilon_)) {
+    rng_.Shuffle(out);
+    return;
+  }
+  std::stable_sort(out->begin(), out->end(), [&](size_t a, size_t b) {
+    return modules[a]->ObservedSelectivity() <
+           modules[b]->ObservedSelectivity();
+  });
+}
+
+std::unique_ptr<RoutingPolicy> MakeLotteryPolicy(uint64_t seed) {
+  LotteryPolicy::Options opts;
+  opts.seed = seed;
+  return std::make_unique<LotteryPolicy>(opts);
+}
+
+std::unique_ptr<RoutingPolicy> MakeRoundRobinPolicy() {
+  return std::make_unique<RoundRobinPolicy>();
+}
+
+std::unique_ptr<RoutingPolicy> MakeFixedOrderPolicy(
+    std::vector<size_t> priority) {
+  return std::make_unique<FixedOrderPolicy>(std::move(priority));
+}
+
+std::unique_ptr<RoutingPolicy> MakeGreedyPolicy(double epsilon,
+                                                uint64_t seed) {
+  return std::make_unique<GreedyPolicy>(epsilon, seed);
+}
+
+}  // namespace tcq

@@ -1,0 +1,114 @@
+#include "egress/egress.h"
+
+#include <chrono>
+
+namespace tcq {
+
+const char* ShedPolicyName(ShedPolicy p) {
+  switch (p) {
+    case ShedPolicy::kDropNewest:
+      return "drop-newest";
+    case ShedPolicy::kDropOldest:
+      return "drop-oldest";
+    case ShedPolicy::kBlock:
+      return "block";
+  }
+  return "?";
+}
+
+bool PushEgress::Offer(const Delivery& delivery) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return false;
+  if (queue_.size() >= opts_.capacity) {
+    switch (opts_.shed) {
+      case ShedPolicy::kDropNewest:
+        ++shed_;
+        return false;
+      case ShedPolicy::kDropOldest:
+        queue_.pop_front();
+        ++shed_;
+        break;
+      case ShedPolicy::kBlock:
+        cv_.wait(lock,
+                 [&] { return closed_ || queue_.size() < opts_.capacity; });
+        if (closed_) return false;
+        break;
+    }
+  }
+  queue_.push_back(delivery);
+  ++delivered_;
+  cv_.notify_all();
+  return true;
+}
+
+bool PushEgress::Poll(Delivery* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  cv_.notify_all();
+  return true;
+}
+
+bool PushEgress::Receive(Delivery* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  cv_.notify_all();
+  return true;
+}
+
+void PushEgress::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+uint64_t PushEgress::delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+uint64_t PushEgress::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+size_t PushEgress::buffered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void PullEgress::Log(const Delivery& delivery) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::deque<Tuple>& q = log_[delivery.query_id];
+  q.push_back(delivery.tuple);
+  if (opts_.max_per_query > 0 && q.size() > opts_.max_per_query) {
+    q.pop_front();
+  }
+}
+
+Timestamp PullEgress::FetchSince(uint64_t query_id, Timestamp since,
+                                 std::vector<Tuple>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Timestamp cursor = since;
+  auto it = log_.find(query_id);
+  if (it == log_.end()) return cursor;
+  for (const Tuple& t : it->second) {
+    if (t.timestamp() > since) {
+      out->push_back(t);
+      cursor = std::max(cursor, t.timestamp());
+    }
+  }
+  return cursor;
+}
+
+size_t PullEgress::LoggedCount(uint64_t query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = log_.find(query_id);
+  return it == log_.end() ? 0 : it->second.size();
+}
+
+}  // namespace tcq

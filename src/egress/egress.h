@@ -1,0 +1,103 @@
+// Egress modules (paper §4.3): "push-based egress operators support
+// interaction where clients are continually streamed query results, while
+// pull-based egress operators may log data and support intermittent
+// retrieval of results... and may encapsulate load shedding when the system
+// is in danger of falling behind."
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// One delivered result.
+struct Delivery {
+  uint64_t query_id = 0;
+  Tuple tuple;
+};
+
+/// What to do when a push client's queue is full (QoS knob).
+enum class ShedPolicy {
+  kDropNewest,  ///< shed the arriving result
+  kDropOldest,  ///< shed the stalest buffered result
+  kBlock,       ///< apply back-pressure to the executor
+};
+
+const char* ShedPolicyName(ShedPolicy p);
+
+/// Push egress: a bounded, thread-safe buffer the engine pushes into and a
+/// streaming client drains.
+class PushEgress {
+ public:
+  struct Options {
+    size_t capacity = 1024;
+    ShedPolicy shed = ShedPolicy::kDropOldest;
+  };
+
+  PushEgress() : PushEgress(Options()) {}
+  explicit PushEgress(Options opts) : opts_(opts) {}
+
+  /// Engine side. Returns false if the delivery was shed.
+  bool Offer(const Delivery& delivery);
+
+  /// Client side: non-blocking poll.
+  bool Poll(Delivery* out);
+
+  /// Client side: blocking receive; false once closed and drained.
+  bool Receive(Delivery* out);
+
+  void Close();
+
+  uint64_t delivered() const;
+  uint64_t shed() const;
+  size_t buffered() const;
+
+ private:
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Delivery> queue_;
+  bool closed_ = false;
+  uint64_t delivered_ = 0;
+  uint64_t shed_ = 0;
+};
+
+/// Pull egress: logs results per query so intermittently connected clients
+/// can fetch "what happened since I left" (PSoup-style delivery decoupling
+/// at the egress boundary).
+class PullEgress {
+ public:
+  struct Options {
+    /// Retain at most this many results per query (0 = unbounded).
+    size_t max_per_query = 0;
+  };
+
+  PullEgress() : PullEgress(Options()) {}
+  explicit PullEgress(Options opts) : opts_(opts) {}
+
+  /// Engine side.
+  void Log(const Delivery& delivery);
+
+  /// Client side: results of `query_id` with production ts > since.
+  /// Returns the new cursor (max ts seen) to pass next time.
+  Timestamp FetchSince(uint64_t query_id, Timestamp since,
+                       std::vector<Tuple>* out) const;
+
+  size_t LoggedCount(uint64_t query_id) const;
+
+ private:
+  Options opts_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::deque<Tuple>> log_;
+};
+
+}  // namespace tcq

@@ -1,0 +1,164 @@
+#include "exec/dispatch_unit.h"
+
+namespace tcq {
+
+namespace {
+
+/// Pulls up to `quantum` tuples round-robin from push-mode inputs, invoking
+/// `deliver(source, tuple)`. Returns (consumed, all_exhausted).
+template <typename InputVec, typename Fn>
+std::pair<size_t, bool> PumpInputs(InputVec& inputs, size_t* next_input,
+                                   size_t quantum, Fn&& deliver) {
+  if (inputs.empty()) return {0, false};
+  size_t consumed = 0;
+  size_t attempts = 0;
+  bool all_exhausted = true;
+  Tuple tuple;
+  while (consumed < quantum && attempts < inputs.size()) {
+    auto& input = inputs[*next_input % inputs.size()];
+    ++*next_input;
+    if (input.exhausted) {
+      ++attempts;
+      continue;
+    }
+    all_exhausted = false;
+    QueueOp op = input.consumer.Consume(&tuple);
+    switch (op) {
+      case QueueOp::kOk:
+        deliver(input.source, tuple);
+        ++consumed;
+        attempts = 0;
+        break;
+      case QueueOp::kWouldBlock:
+        ++attempts;
+        break;
+      case QueueOp::kClosed:
+        input.exhausted = true;
+        ++attempts;
+        break;
+    }
+  }
+  // Recompute exhaustion after the pump: inputs may have closed mid-loop.
+  all_exhausted = true;
+  for (const auto& input : inputs) {
+    if (!input.exhausted) {
+      all_exhausted = false;
+      break;
+    }
+  }
+  return {consumed, all_exhausted};
+}
+
+}  // namespace
+
+// --- SharedCQDispatchUnit ----------------------------------------------------
+
+SharedCQDispatchUnit::SharedCQDispatchUnit(std::string name,
+                                           std::unique_ptr<SharedEddy> eddy,
+                                           Options opts)
+    : DispatchUnit(std::move(name)), opts_(opts), eddy_(std::move(eddy)) {
+  eddy_->SetOutput([this](QueryId q, const Tuple& t) {
+    auto it = sinks_.find(q);
+    if (it != sinks_.end()) it->second.second(it->second.first, t);
+  });
+}
+
+void SharedCQDispatchUnit::BindSink(QueryId local, uint64_t global_id,
+                                    GlobalSink sink) {
+  sinks_[local] = {global_id, std::move(sink)};
+}
+
+void SharedCQDispatchUnit::UnbindSink(QueryId local) { sinks_.erase(local); }
+
+void SharedCQDispatchUnit::AddInput(SourceId source, FjordConsumer consumer) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  pending_inputs_.push_back(Input{source, std::move(consumer), false});
+}
+
+void SharedCQDispatchUnit::SubmitTask(std::function<void(SharedEddy*)> task) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  pending_tasks_.push_back(std::move(task));
+}
+
+void SharedCQDispatchUnit::DrainPlanQueue() {
+  std::deque<std::function<void(SharedEddy*)>> tasks;
+  std::vector<Input> inputs;
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    tasks.swap(pending_tasks_);
+    inputs.swap(pending_inputs_);
+  }
+  for (auto& task : tasks) task(eddy_.get());
+  for (Input& input : inputs) inputs_.push_back(std::move(input));
+}
+
+DispatchUnit::StepResult SharedCQDispatchUnit::Step() {
+  DrainPlanQueue();
+  auto [consumed, exhausted] = PumpInputs(
+      inputs_, &next_input_, opts_.quantum,
+      [&](SourceId s, const Tuple& t) { eddy_->Ingest(s, t); });
+  StepResult r = consumed > 0 ? StepResult::kProgress
+                 : exhausted  ? StepResult::kDone
+                              : StepResult::kIdle;
+  CountStep(r);
+  return r;
+}
+
+// --- EddyDispatchUnit --------------------------------------------------------
+
+EddyDispatchUnit::EddyDispatchUnit(std::string name,
+                                   std::unique_ptr<Eddy> eddy, size_t quantum)
+    : DispatchUnit(std::move(name)),
+      eddy_(std::move(eddy)),
+      quantum_(quantum) {}
+
+void EddyDispatchUnit::AddInput(SourceId source, FjordConsumer consumer) {
+  inputs_.push_back(Input{source, std::move(consumer), false});
+}
+
+DispatchUnit::StepResult EddyDispatchUnit::Step() {
+  auto [consumed, exhausted] = PumpInputs(
+      inputs_, &next_input_, quantum_,
+      [&](SourceId s, const Tuple& t) { eddy_->Ingest(s, t); });
+  StepResult r = consumed > 0 ? StepResult::kProgress
+                 : exhausted  ? StepResult::kDone
+                              : StepResult::kIdle;
+  CountStep(r);
+  return r;
+}
+
+// --- WindowedQueryDispatchUnit -----------------------------------------------
+
+WindowedQueryDispatchUnit::WindowedQueryDispatchUnit(std::string name,
+                                                     WindowedQuery query,
+                                                     WindowSink sink,
+                                                     size_t quantum)
+    : DispatchUnit(std::move(name)),
+      runner_(std::move(query)),
+      sink_(std::move(sink)),
+      quantum_(quantum) {}
+
+void WindowedQueryDispatchUnit::AddInput(SourceId source,
+                                         FjordConsumer consumer) {
+  inputs_.push_back(Input{source, std::move(consumer), false});
+}
+
+DispatchUnit::StepResult WindowedQueryDispatchUnit::Step() {
+  auto [consumed, exhausted] = PumpInputs(
+      inputs_, &next_input_, quantum_,
+      [&](SourceId s, const Tuple& t) { runner_.Ingest(s, t); });
+  if (exhausted) {
+    // End of streams: everything that will ever arrive has arrived.
+    for (auto& input : inputs_) {
+      runner_.AdvanceWatermark(input.source, kMaxTimestamp);
+    }
+  }
+  runner_.Poll([&](const WindowResult& r) { sink_(r); });
+  StepResult r = consumed > 0 ? StepResult::kProgress
+                 : (exhausted || runner_.Done()) ? StepResult::kDone
+                                                 : StepResult::kIdle;
+  CountStep(r);
+  return r;
+}
+
+}  // namespace tcq

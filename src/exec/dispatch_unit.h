@@ -1,0 +1,161 @@
+// Dispatch Units (paper §4.2.2): "non-preemptive Dispatch Units that can be
+// executed based on some scheduling policy... DUs are merely abstractions
+// that represent entities that perform work in the system. DUs are
+// responsible for maintaining their own state." A DU runs as a state
+// machine: each Step() performs a bounded quantum of work and reports
+// whether it progressed, idled, or finished.
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cacq/shared_eddy.h"
+#include "eddy/eddy.h"
+#include "fjords/fjord.h"
+#include "window/window_exec.h"
+
+namespace tcq {
+
+class DispatchUnit {
+ public:
+  enum class StepResult {
+    kProgress,  ///< did work; schedule again soon
+    kIdle,      ///< nothing to do right now (inputs empty)
+    kDone,      ///< inputs exhausted and all work finished
+  };
+
+  explicit DispatchUnit(std::string name) : name_(std::move(name)) {}
+  virtual ~DispatchUnit() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Performs one bounded, non-preemptive quantum of work.
+  virtual StepResult Step() = 0;
+
+  uint64_t steps() const { return steps_; }
+  uint64_t progress_steps() const { return progress_steps_; }
+
+ protected:
+  void CountStep(StepResult r) {
+    ++steps_;
+    if (r == StepResult::kProgress) ++progress_steps_;
+  }
+
+ private:
+  std::string name_;
+  uint64_t steps_ = 0;
+  uint64_t progress_steps_ = 0;
+};
+
+/// The shared "continuous query" mode DU (paper §4.2.2 mode 3): one CACQ
+/// shared eddy serving every query of one query class, fed by the class's
+/// stream inputs. New queries arrive through a thread-safe plan queue (the
+/// QPQueue analog) and are folded in between quanta.
+class SharedCQDispatchUnit : public DispatchUnit {
+ public:
+  struct Options {
+    /// Max tuples ingested per Step.
+    size_t quantum = 64;
+  };
+
+  SharedCQDispatchUnit(std::string name, std::unique_ptr<SharedEddy> eddy,
+                       Options opts);
+
+  /// Thread-safe: attaches a stream input (consumed round-robin from the
+  /// next quantum on).
+  void AddInput(SourceId source, FjordConsumer consumer);
+
+  /// Thread-safe: enqueues an admission task executed against the eddy at
+  /// the next quantum boundary (the QPQueue analog). Used for query
+  /// add/remove and for registering streams a new query introduces.
+  void SubmitTask(std::function<void(SharedEddy*)> task);
+
+  /// Routes a local query id's deliveries to a client sink under a global
+  /// id. Must be called from a submitted task (DU thread).
+  using GlobalSink = std::function<void(uint64_t, const Tuple&)>;
+  void BindSink(QueryId local, uint64_t global_id, GlobalSink sink);
+  void UnbindSink(QueryId local);
+
+  StepResult Step() override;
+
+  SharedEddy* eddy() { return eddy_.get(); }
+
+ private:
+  void DrainPlanQueue();
+
+  Options opts_;
+  std::unique_ptr<SharedEddy> eddy_;
+  struct Input {
+    SourceId source;
+    FjordConsumer consumer;
+    bool exhausted = false;
+  };
+  std::vector<Input> inputs_;
+  size_t next_input_ = 0;
+
+  std::mutex plan_mu_;
+  std::deque<std::function<void(SharedEddy*)>> pending_tasks_;
+  std::vector<Input> pending_inputs_;
+  // DU-thread-only delivery table: local query id -> (global id, sink).
+  std::map<QueryId, std::pair<uint64_t, GlobalSink>> sinks_;
+};
+
+/// A single-eddy DU (mode 2): one adaptive query plan with Fjord-style
+/// inputs, no cross-query sharing.
+class EddyDispatchUnit : public DispatchUnit {
+ public:
+  EddyDispatchUnit(std::string name, std::unique_ptr<Eddy> eddy,
+                   size_t quantum = 64);
+
+  void AddInput(SourceId source, FjordConsumer consumer);
+
+  StepResult Step() override;
+
+  Eddy* eddy() { return eddy_.get(); }
+
+ private:
+  std::unique_ptr<Eddy> eddy_;
+  size_t quantum_;
+  struct Input {
+    SourceId source;
+    FjordConsumer consumer;
+    bool exhausted = false;
+  };
+  std::vector<Input> inputs_;
+  size_t next_input_ = 0;
+};
+
+/// A windowed-query DU: drives an OnlineWindowRunner from stream inputs and
+/// delivers fired windows to a sink.
+class WindowedQueryDispatchUnit : public DispatchUnit {
+ public:
+  using WindowSink = std::function<void(const WindowResult&)>;
+
+  WindowedQueryDispatchUnit(std::string name, WindowedQuery query,
+                            WindowSink sink, size_t quantum = 64);
+
+  void AddInput(SourceId source, FjordConsumer consumer);
+
+  StepResult Step() override;
+
+  const OnlineWindowRunner& runner() const { return runner_; }
+
+ private:
+  OnlineWindowRunner runner_;
+  WindowSink sink_;
+  size_t quantum_;
+  struct Input {
+    SourceId source;
+    FjordConsumer consumer;
+    bool exhausted = false;
+  };
+  std::vector<Input> inputs_;
+  size_t next_input_ = 0;
+};
+
+}  // namespace tcq

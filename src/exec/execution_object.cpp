@@ -1,0 +1,81 @@
+#include "exec/execution_object.h"
+
+#include <chrono>
+
+namespace tcq {
+
+ExecutionObject::ExecutionObject(std::string name,
+                                 std::unique_ptr<Scheduler> scheduler)
+    : name_(std::move(name)), scheduler_(std::move(scheduler)) {}
+
+ExecutionObject::~ExecutionObject() { Stop(); }
+
+void ExecutionObject::AddDispatchUnit(std::shared_ptr<DispatchUnit> du) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dus_.push_back(std::move(du));
+  infos_.push_back(DuSchedInfo{});
+}
+
+size_t ExecutionObject::num_dus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dus_.size();
+}
+
+void ExecutionObject::Start() {
+  if (running_.exchange(true)) return;
+  stop_.store(false);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void ExecutionObject::Run() {
+  int idle_streak = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    std::shared_ptr<DispatchUnit> du;
+    size_t pick = SIZE_MAX;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pick = scheduler_->PickNext(infos_);
+      if (pick != SIZE_MAX) du = dus_[pick];
+    }
+    if (pick == SIZE_MAX) {
+      if (num_dus() == 0) {
+        // No work assigned yet; wait for a DU.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      break;  // every DU is done
+    }
+    DispatchUnit::StepResult result = du->Step();
+    quanta_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      DuSchedInfo& info = infos_[pick];
+      double progressed =
+          result == DispatchUnit::StepResult::kProgress ? 1.0 : 0.0;
+      info.recent_progress = 0.8 * info.recent_progress + 0.2 * progressed;
+      if (result == DispatchUnit::StepResult::kDone) info.done = true;
+    }
+    if (result == DispatchUnit::StepResult::kProgress) {
+      idle_streak = 0;
+    } else if (++idle_streak > static_cast<int>(num_dus())) {
+      // Everything idled this round: yield rather than burn the core
+      // (non-blocking dequeues let us do this — the Fjords design point).
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      idle_streak = 0;
+    }
+  }
+  running_.store(false);
+}
+
+void ExecutionObject::Stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void ExecutionObject::Join() {
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+}  // namespace tcq

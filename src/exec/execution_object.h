@@ -1,0 +1,55 @@
+// Execution Object (paper §4.2.2): "we use the term Execution Object to
+// describe the threads of control in the TelegraphCQ executor. Each EO is
+// mapped to a single system thread." An EO repeatedly asks its scheduler
+// for the next Dispatch Unit and runs one non-preemptive quantum; when all
+// DUs idle it backs off briefly instead of spinning.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/dispatch_unit.h"
+#include "exec/scheduler.h"
+
+namespace tcq {
+
+class ExecutionObject {
+ public:
+  ExecutionObject(std::string name, std::unique_ptr<Scheduler> scheduler);
+  ~ExecutionObject();
+
+  const std::string& name() const { return name_; }
+
+  /// Thread-safe: adds a DU (picked up on the next scheduling round).
+  void AddDispatchUnit(std::shared_ptr<DispatchUnit> du);
+
+  void Start();
+  void Stop();
+
+  /// Blocks until every DU reported kDone (or Stop() was called).
+  void Join();
+
+  bool running() const { return running_.load(); }
+  uint64_t quanta_run() const { return quanta_.load(); }
+  size_t num_dus() const;
+
+ private:
+  void Run();
+
+  std::string name_;
+  std::unique_ptr<Scheduler> scheduler_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<DispatchUnit>> dus_;
+  std::vector<DuSchedInfo> infos_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> quanta_{0};
+};
+
+}  // namespace tcq

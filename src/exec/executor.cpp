@@ -1,0 +1,248 @@
+#include "exec/executor.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+#include "eddy/routing_policy.h"
+
+namespace tcq {
+
+namespace {
+
+/// Per-class routing of local eddy ids to (global id, client sink). Only
+/// touched on the class's DU thread.
+struct ClassDeliveries {
+  std::map<QueryId, std::pair<GlobalQueryId, Executor::Sink>> sinks;
+};
+
+/// One-shot synchronization for blocking admission.
+struct AdmissionGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<Result<QueryId>> result;
+
+  void Set(Result<QueryId> r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      result = std::move(r);
+    }
+    cv.notify_all();
+  }
+  Result<QueryId> Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return result.has_value(); });
+    return *result;
+  }
+};
+
+}  // namespace
+
+Executor::Executor(Options opts) : opts_(opts) {
+  for (size_t i = 0; i < opts_.num_eos; ++i) {
+    auto sched = opts_.ticket_scheduler
+                     ? MakeTicketScheduler(opts_.seed + i)
+                     : MakeRoundRobinScheduler();
+    eos_.push_back(std::make_unique<ExecutionObject>(
+        "eo" + std::to_string(i), std::move(sched)));
+  }
+}
+
+Executor::~Executor() { Stop(); }
+
+Status Executor::RegisterStream(SourceId source, SchemaRef schema,
+                                StemOptions stem_opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (streams_.contains(source)) {
+    return Status::AlreadyExists("stream s" + std::to_string(source) +
+                                 " already registered");
+  }
+  StreamInfo info;
+  info.schema = std::move(schema);
+  info.stem_opts = std::move(stem_opts);
+  streams_.emplace(source, std::move(info));
+  return Status::OK();
+}
+
+Result<size_t> Executor::ClassFor(SourceSet footprint) {
+  // Which existing classes does the footprint touch?
+  std::vector<size_t> touching;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    if (classes_[c].streams & footprint) touching.push_back(c);
+  }
+  if (touching.size() > 1) {
+    return Status::Unimplemented(
+        "query footprint bridges two query classes; class re-adjustment is "
+        "not supported (paper §4.2.2 open issue)");
+  }
+
+  size_t class_idx;
+  if (touching.empty()) {
+    // New class with its own shared eddy and DU.
+    auto eddy = std::make_unique<SharedEddy>(
+        MakeLotteryPolicy(opts_.seed + classes_.size()));
+    auto du = std::make_shared<SharedCQDispatchUnit>(
+        "class" + std::to_string(classes_.size()), std::move(eddy),
+        SharedCQDispatchUnit::Options{opts_.quantum});
+    QueryClass qc;
+    qc.du = du;
+    qc.eo = classes_.size() % eos_.size();
+    classes_.push_back(std::move(qc));
+    class_idx = classes_.size() - 1;
+    eos_[classes_[class_idx].eo]->AddDispatchUnit(du);
+  } else {
+    class_idx = touching.front();
+  }
+
+  // Claim any footprint streams the class does not yet consume.
+  QueryClass& qc = classes_[class_idx];
+  SourceSet missing = footprint & ~qc.streams;
+  for (SourceId s = 0; s < 32; ++s) {
+    if (!(missing & SourceBit(s))) continue;
+    auto it = streams_.find(s);
+    assert(it != streams_.end());
+    StreamInfo& info = it->second;
+    if (info.owner_class != SIZE_MAX && info.owner_class != class_idx) {
+      return Status::Unimplemented(
+          "stream s" + std::to_string(s) +
+          " is already owned by another query class");
+    }
+    auto endpoints = Fjord::Make(FjordMode::kPush, opts_.queue_capacity,
+                                 "exec:s" + std::to_string(s));
+    info.producer = std::make_unique<FjordProducer>(endpoints.producer);
+    info.owner_class = class_idx;
+    SchemaRef schema = info.schema;
+    StemOptions stem_opts = info.stem_opts;
+    qc.du->SubmitTask([s, schema, stem_opts](SharedEddy* eddy) {
+      eddy->RegisterStream(s, schema, stem_opts);
+    });
+    qc.du->AddInput(s, endpoints.consumer);
+    qc.streams |= SourceBit(s);
+  }
+  return class_idx;
+}
+
+Result<GlobalQueryId> Executor::SubmitQuery(const CQSpec& spec, Sink sink) {
+  SourceSet footprint = spec.Footprint();
+  if (footprint == 0) {
+    return Status::InvalidArgument("query has an empty footprint");
+  }
+  std::shared_ptr<SharedCQDispatchUnit> du;
+  GlobalQueryId gid;
+  size_t class_idx;
+  auto gate = std::make_shared<AdmissionGate>();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (SourceId s = 0; s < 32; ++s) {
+      if ((footprint & SourceBit(s)) && !streams_.contains(s)) {
+        return Status::NotFound("stream s" + std::to_string(s) +
+                                " is not registered");
+      }
+    }
+    TCQ_ASSIGN_OR_RETURN(class_idx, ClassFor(footprint));
+    du = classes_[class_idx].du;
+    gid = next_query_id_++;
+
+    du->SubmitTask([du_raw = du.get(), gid, sink = std::move(sink), spec,
+                    gate](SharedEddy* eddy) mutable {
+      Result<QueryId> r = eddy->AddQuery(std::move(spec));
+      if (r.ok()) du_raw->BindSink(*r, gid, std::move(sink));
+      gate->Set(std::move(r));
+    });
+  }
+  // Pre-start admission: the EO is not pumping yet, so run one quantum
+  // inline (single-threaded at this point).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) du->Step();
+  }
+  Result<QueryId> local = gate->Wait();
+  if (!local.ok()) return local.status();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queries_[gid] = QueryInfo{class_idx, *local};
+  }
+  return gid;
+}
+
+Status Executor::RemoveQuery(GlobalQueryId id) {
+  std::shared_ptr<SharedCQDispatchUnit> du;
+  QueryId local;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = queries_.find(id);
+    if (it == queries_.end()) {
+      return Status::NotFound("no query " + std::to_string(id));
+    }
+    du = classes_[it->second.query_class].du;
+    local = it->second.local_id;
+    queries_.erase(it);
+  }
+  du->SubmitTask([local, du_raw = du.get()](SharedEddy* eddy) {
+    (void)eddy->RemoveQuery(local);
+    du_raw->UnbindSink(local);
+  });
+  return Status::OK();
+}
+
+Status Executor::IngestTuple(SourceId source, const Tuple& tuple) {
+  FjordProducer* producer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(source);
+    if (it == streams_.end()) {
+      return Status::NotFound("stream s" + std::to_string(source) +
+                              " is not registered");
+    }
+    producer = it->second.producer.get();
+  }
+  if (producer == nullptr) {
+    // No query class consumes this stream yet.
+    dropped_unrouted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    QueueOp op = producer->Produce(tuple);
+    if (op == QueueOp::kOk) return Status::OK();
+    if (op == QueueOp::kClosed) {
+      return Status::FailedPrecondition("stream s" + std::to_string(source) +
+                                        " is closed");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  dropped_unrouted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::ResourceExhausted("stream s" + std::to_string(source) +
+                                   " back-pressured; tuple dropped");
+}
+
+Status Executor::CloseStream(SourceId source) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(source);
+  if (it == streams_.end()) {
+    return Status::NotFound("stream s" + std::to_string(source) +
+                            " is not registered");
+  }
+  if (it->second.producer != nullptr) it->second.producer->Close();
+  return Status::OK();
+}
+
+void Executor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = true;
+  for (auto& eo : eos_) eo->Start();
+}
+
+void Executor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = false;
+  }
+  for (auto& eo : eos_) eo->Stop();
+}
+
+size_t Executor::num_classes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return classes_.size();
+}
+
+}  // namespace tcq

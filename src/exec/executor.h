@@ -1,0 +1,105 @@
+// The TelegraphCQ executor (paper §4.2.2): maps continuous queries onto
+// pre-emptively scheduled Execution Objects hosting non-preemptive Dispatch
+// Units. "The goal is to separate queries into classes that have
+// significant potential for sharing work... based on the set of streams and
+// tables over which the queries are defined, which we call the query
+// footprint. In the current implementation, we create query classes for
+// disjoint sets of footprints" — so does this one: each class owns a CACQ
+// shared eddy; a query whose footprint would bridge two existing classes is
+// rejected (class re-adjustment is the paper's stated open issue).
+
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "exec/dispatch_unit.h"
+#include "exec/execution_object.h"
+#include "fjords/fjord.h"
+#include "stem/stem.h"
+
+namespace tcq {
+
+/// Executor-global query handle (distinct from per-eddy QueryIds).
+using GlobalQueryId = uint64_t;
+
+class Executor {
+ public:
+  struct Options {
+    size_t num_eos = 2;
+    size_t quantum = 64;
+    size_t queue_capacity = 4096;
+    bool ticket_scheduler = false;
+    uint64_t seed = 42;
+  };
+
+  /// Receives (global id, result tuple) deliveries; called from EO threads.
+  using Sink = std::function<void(GlobalQueryId, const Tuple&)>;
+
+  Executor() : Executor(Options()) {}
+  explicit Executor(Options opts);
+  ~Executor();
+
+  /// Declares a stream the executor may route. `stem_opts` configures the
+  /// shared SteM a class creates for it (e.g. join window).
+  Status RegisterStream(SourceId source, SchemaRef schema,
+                        StemOptions stem_opts = StemOptions{});
+
+  /// Thread-safe ingestion: routes to the query class consuming the stream
+  /// (tuples for streams no active query covers are counted and dropped).
+  Status IngestTuple(SourceId source, const Tuple& tuple);
+
+  /// Closes a stream: its class eventually drains and completes.
+  Status CloseStream(SourceId source);
+
+  /// Submits a continuous query; blocks until the owning class's DU admits
+  /// it (milliseconds). Deliveries go to `sink`.
+  Result<GlobalQueryId> SubmitQuery(const CQSpec& spec, Sink sink);
+
+  /// Removes a query at the next quantum boundary.
+  Status RemoveQuery(GlobalQueryId id);
+
+  void Start();
+  void Stop();
+
+  size_t num_classes() const;
+  size_t num_eos() const { return eos_.size(); }
+  uint64_t tuples_dropped_unrouted() const { return dropped_unrouted_; }
+
+ private:
+  struct StreamInfo {
+    SchemaRef schema;
+    StemOptions stem_opts;
+    /// Producing endpoint into the owning class (null until claimed).
+    std::unique_ptr<FjordProducer> producer;
+    size_t owner_class = SIZE_MAX;
+  };
+
+  struct QueryClass {
+    std::shared_ptr<SharedCQDispatchUnit> du;
+    SourceSet streams = 0;
+    size_t eo = 0;
+  };
+
+  struct QueryInfo {
+    size_t query_class = SIZE_MAX;
+    QueryId local_id = 0;
+  };
+
+  /// Finds or creates the class covering `footprint` (caller holds mu_).
+  Result<size_t> ClassFor(SourceSet footprint);
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::map<SourceId, StreamInfo> streams_;
+  std::vector<QueryClass> classes_;
+  std::map<GlobalQueryId, QueryInfo> queries_;
+  GlobalQueryId next_query_id_ = 1;
+  std::vector<std::unique_ptr<ExecutionObject>> eos_;
+  std::atomic<uint64_t> dropped_unrouted_{0};
+  bool started_ = false;
+};
+
+}  // namespace tcq

@@ -1,0 +1,36 @@
+#include "exec/scheduler.h"
+
+namespace tcq {
+
+size_t RoundRobinScheduler::PickNext(const std::vector<DuSchedInfo>& dus) {
+  for (size_t i = 0; i < dus.size(); ++i) {
+    size_t cand = (next_ + i) % dus.size();
+    if (!dus[cand].done) {
+      next_ = cand + 1;
+      return cand;
+    }
+  }
+  return SIZE_MAX;
+}
+
+size_t TicketScheduler::PickNext(const std::vector<DuSchedInfo>& dus) {
+  weights_.clear();
+  bool any = false;
+  for (const DuSchedInfo& du : dus) {
+    double w = du.done ? 0.0 : 0.05 + du.recent_progress;
+    weights_.push_back(w);
+    any = any || !du.done;
+  }
+  if (!any) return SIZE_MAX;
+  return rng_.WeightedIndex(weights_);
+}
+
+std::unique_ptr<Scheduler> MakeRoundRobinScheduler() {
+  return std::make_unique<RoundRobinScheduler>();
+}
+
+std::unique_ptr<Scheduler> MakeTicketScheduler(uint64_t seed) {
+  return std::make_unique<TicketScheduler>(seed);
+}
+
+}  // namespace tcq

@@ -1,0 +1,53 @@
+#include "fjords/fjord.h"
+
+namespace tcq {
+
+const char* FjordModeName(FjordMode mode) {
+  switch (mode) {
+    case FjordMode::kPull:
+      return "pull";
+    case FjordMode::kPush:
+      return "push";
+    case FjordMode::kExchange:
+      return "exchange";
+  }
+  return "unknown";
+}
+
+Fjord::Endpoints Fjord::Make(FjordMode mode, size_t capacity,
+                             std::string name) {
+  auto fjord = std::make_shared<Fjord>(mode, capacity, std::move(name));
+  return Endpoints{FjordProducer(fjord), FjordConsumer(fjord), fjord};
+}
+
+QueueOp FjordProducer::Produce(Tuple t) {
+  switch (fjord_->mode()) {
+    case FjordMode::kPull:
+      return fjord_->queue().EnqueueBlocking(std::move(t)) ? QueueOp::kOk
+                                                           : QueueOp::kClosed;
+    case FjordMode::kPush:
+    case FjordMode::kExchange:
+      return fjord_->queue().TryEnqueue(std::move(t));
+  }
+  return QueueOp::kClosed;
+}
+
+void FjordProducer::Close() { fjord_->queue().Close(); }
+
+QueueOp FjordConsumer::Consume(Tuple* out) {
+  switch (fjord_->mode()) {
+    case FjordMode::kPull:
+    case FjordMode::kExchange:
+      return fjord_->queue().DequeueBlocking(out) ? QueueOp::kOk
+                                                  : QueueOp::kClosed;
+    case FjordMode::kPush:
+      return fjord_->queue().TryDequeue(out);
+  }
+  return QueueOp::kClosed;
+}
+
+bool FjordConsumer::Exhausted() const { return fjord_->queue().exhausted(); }
+
+size_t FjordConsumer::Pending() const { return fjord_->queue().size(); }
+
+}  // namespace tcq

@@ -1,0 +1,92 @@
+// Fjord: a typed connection between a producer and a consumer module, with a
+// declared modality (paper §2.3). Modules written against Producer/Consumer
+// endpoints are agnostic to whether the far side pushes or pulls.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fjords/queue.h"
+
+namespace tcq {
+
+/// Connection modality between two modules.
+enum class FjordMode {
+  /// Blocking enqueue + blocking dequeue (classic iterator/pull pipeline).
+  kPull,
+  /// Non-blocking enqueue + non-blocking dequeue: neither side ever blocks;
+  /// the consumer regains control when no data is available.
+  kPush,
+  /// Graefe Exchange semantics: non-blocking enqueue, blocking dequeue.
+  kExchange,
+};
+
+const char* FjordModeName(FjordMode mode);
+
+class Fjord;
+
+/// Producer-side endpoint.
+class FjordProducer {
+ public:
+  explicit FjordProducer(std::shared_ptr<Fjord> fjord)
+      : fjord_(std::move(fjord)) {}
+
+  /// Offers a tuple per the fjord's modality. Returns kOk, kWouldBlock
+  /// (push mode, queue full) or kClosed.
+  QueueOp Produce(Tuple t);
+
+  /// Signals end of stream.
+  void Close();
+
+ private:
+  std::shared_ptr<Fjord> fjord_;
+};
+
+/// Consumer-side endpoint.
+class FjordConsumer {
+ public:
+  explicit FjordConsumer(std::shared_ptr<Fjord> fjord)
+      : fjord_(std::move(fjord)) {}
+
+  /// Fetches a tuple per the fjord's modality. kWouldBlock means "no data
+  /// right now" (push mode only); kClosed means the stream ended.
+  QueueOp Consume(Tuple* out);
+
+  /// True once the stream has ended and all queued tuples were consumed.
+  bool Exhausted() const;
+
+  size_t Pending() const;
+
+ private:
+  std::shared_ptr<Fjord> fjord_;
+};
+
+/// The shared connection state. Create via Fjord::Make, then hand the two
+/// endpoints to the producing and consuming modules.
+class Fjord : public std::enable_shared_from_this<Fjord> {
+ public:
+  struct Endpoints {
+    FjordProducer producer;
+    FjordConsumer consumer;
+    std::shared_ptr<Fjord> fjord;
+  };
+
+  static Endpoints Make(FjordMode mode, size_t capacity,
+                        std::string name = "fjord");
+
+  FjordMode mode() const { return mode_; }
+  const std::string& name() const { return name_; }
+  TupleQueue& queue() { return queue_; }
+  const TupleQueue& queue() const { return queue_; }
+
+  Fjord(FjordMode mode, size_t capacity, std::string name)
+      : mode_(mode), name_(std::move(name)), queue_(capacity) {}
+
+ private:
+  FjordMode mode_;
+  std::string name_;
+  TupleQueue queue_;
+};
+
+}  // namespace tcq

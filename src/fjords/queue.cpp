@@ -1,0 +1,9 @@
+#include "fjords/queue.h"
+
+namespace tcq {
+
+// Header-only template; explicit instantiation for the common case keeps
+// compile times down for the rest of the tree.
+template class BoundedQueue<Tuple>;
+
+}  // namespace tcq

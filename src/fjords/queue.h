@@ -1,0 +1,131 @@
+// Bounded queues with both blocking ("pull") and non-blocking ("push")
+// endpoint semantics — the substrate of the Fjords inter-module API
+// (paper §2.3). A pull-queue blocks the consumer when empty; a push-queue
+// returns control so the consumer can do other work or yield; Exchange
+// semantics combine a blocking dequeue with a non-blocking enqueue.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// Result of a non-blocking queue operation.
+enum class QueueOp {
+  kOk,        ///< Element transferred.
+  kWouldBlock,  ///< Queue full (enqueue) or empty (dequeue); try later.
+  kClosed,    ///< Producer closed the queue and it has drained.
+};
+
+/// A bounded MPMC queue. All operations are thread-safe.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking enqueue: fails with kWouldBlock when full, kClosed after
+  /// Close().
+  QueueOp TryEnqueue(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return QueueOp::kClosed;
+    if (items_.size() >= capacity_) {
+      ++enqueue_blocked_;
+      return QueueOp::kWouldBlock;
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return QueueOp::kOk;
+  }
+
+  /// Blocking enqueue; returns false if the queue was closed.
+  bool EnqueueBlocking(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking dequeue.
+  QueueOp TryDequeue(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      if (closed_) return QueueOp::kClosed;
+      ++dequeue_blocked_;
+      return QueueOp::kWouldBlock;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return QueueOp::kOk;
+  }
+
+  /// Blocking dequeue; returns false once the queue is closed and drained.
+  bool DequeueBlocking(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Marks end-of-stream. Pending items remain dequeuable; blocked callers
+  /// wake up.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  /// Closed and fully drained: no element will ever be produced again.
+  bool exhausted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_ && items_.empty();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+  /// Counters of failed non-blocking attempts, for the Fjords bench (E9).
+  uint64_t enqueue_blocked_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return enqueue_blocked_;
+  }
+  uint64_t dequeue_blocked_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dequeue_blocked_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  uint64_t enqueue_blocked_ = 0;
+  uint64_t dequeue_blocked_ = 0;
+};
+
+using TupleQueue = BoundedQueue<Tuple>;
+
+}  // namespace tcq

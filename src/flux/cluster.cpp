@@ -1,0 +1,69 @@
+#include "flux/cluster.h"
+
+namespace tcq {
+
+void SimulatedWorker::Enqueue(const WorkItem& item) {
+  if (failed_) return;
+  queue_.push_back(item);
+}
+
+size_t SimulatedWorker::Tick() {
+  if (failed_) return 0;
+  size_t n = std::min(capacity_, queue_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const WorkItem& item = queue_.front();
+    ++state_[item.bucket][item.key];
+    ++processed_;
+    queue_.pop_front();
+  }
+  return n;
+}
+
+void SimulatedWorker::Fail() {
+  failed_ = true;
+  queue_.clear();
+  state_.clear();
+}
+
+void SimulatedWorker::Recover() { failed_ = false; }
+
+BucketState SimulatedWorker::ExtractBucket(size_t bucket) {
+  auto it = state_.find(bucket);
+  if (it == state_.end()) return {};
+  BucketState out = std::move(it->second);
+  state_.erase(it);
+  return out;
+}
+
+void SimulatedWorker::InstallBucket(size_t bucket, const BucketState& state) {
+  BucketState& mine = state_[bucket];
+  for (const auto& [key, count] : state) mine[key] += count;
+}
+
+std::vector<WorkItem> SimulatedWorker::ExtractQueued(size_t bucket) {
+  std::vector<WorkItem> out;
+  std::deque<WorkItem> keep;
+  for (const WorkItem& item : queue_) {
+    if (item.bucket == bucket) {
+      out.push_back(item);
+    } else {
+      keep.push_back(item);
+    }
+  }
+  queue_ = std::move(keep);
+  return out;
+}
+
+void SimulatedWorker::CountQueuedPerBucket(
+    std::unordered_map<size_t, size_t>* out) const {
+  for (const WorkItem& item : queue_) ++(*out)[item.bucket];
+}
+
+uint64_t SimulatedWorker::CountFor(size_t bucket, int64_t key) const {
+  auto it = state_.find(bucket);
+  if (it == state_.end()) return 0;
+  auto kit = it->second.find(key);
+  return kit == it->second.end() ? 0 : kit->second;
+}
+
+}  // namespace tcq

@@ -1,0 +1,79 @@
+// Simulated shared-nothing cluster for Flux (paper §2.4). Each worker is a
+// "machine" with a bounded per-tick processing capacity, an input queue of
+// in-flight items, and per-bucket operator state (a keyed count — the
+// canonical partitioned group-by). The simulation is synchronous and
+// deterministic: Tick() advances every live worker by one scheduling
+// quantum. Machine failures drop a worker's queue and state, which is
+// exactly what Flux's replication protects against.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace tcq {
+
+/// One queued work item: a keyed tuple (payload elided; the state update is
+/// a per-key count, standing in for any partitioned aggregate).
+struct WorkItem {
+  int64_t key = 0;
+  size_t bucket = 0;
+};
+
+/// Per-bucket operator state: key -> count.
+using BucketState = std::unordered_map<int64_t, uint64_t>;
+
+class SimulatedWorker {
+ public:
+  SimulatedWorker(size_t id, size_t capacity_per_tick)
+      : id_(id), capacity_(capacity_per_tick) {}
+
+  size_t id() const { return id_; }
+  bool failed() const { return failed_; }
+
+  /// Enqueues an in-flight item (no-op on a failed machine: the network
+  /// cannot deliver to it).
+  void Enqueue(const WorkItem& item);
+
+  /// Processes up to `capacity` queued items; returns how many.
+  size_t Tick();
+
+  /// Crash: loses queue and state.
+  void Fail();
+
+  /// Rejoins empty (recovery repopulates state via Flux's movement
+  /// protocol).
+  void Recover();
+
+  // --- State movement (the Flux protocol's primitive) ----------------------
+
+  /// Removes and returns the state of `bucket`.
+  BucketState ExtractBucket(size_t bucket);
+
+  /// Installs (merges) state for a bucket.
+  void InstallBucket(size_t bucket, const BucketState& state);
+
+  /// Removes and returns queued in-flight items of `bucket`.
+  std::vector<WorkItem> ExtractQueued(size_t bucket);
+
+  /// One-pass census of queued items per bucket (for rebalancing).
+  void CountQueuedPerBucket(std::unordered_map<size_t, size_t>* out) const;
+
+  uint64_t CountFor(size_t bucket, int64_t key) const;
+  uint64_t ProcessedTotal() const { return processed_; }
+  size_t QueueLength() const { return queue_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t id_;
+  size_t capacity_;
+  bool failed_ = false;
+  std::deque<WorkItem> queue_;
+  std::unordered_map<size_t, BucketState> state_;  // bucket -> state
+  uint64_t processed_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,221 @@
+#include "flux/flux.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcq {
+
+Flux::Flux(Options opts) : opts_(opts), parts_(opts.num_buckets,
+                                              opts.num_workers) {
+  assert(opts_.num_workers >= 2 || !opts_.replication);
+  workers_.reserve(opts_.num_workers);
+  for (size_t i = 0; i < opts_.num_workers; ++i) {
+    workers_.emplace_back(i, opts_.worker_capacity);
+  }
+  if (opts_.replication) {
+    replica_.resize(opts_.num_buckets);
+    for (size_t b = 0; b < opts_.num_buckets; ++b) {
+      replica_[b] = PickReplica(b, parts_.OwnerOf(b));
+    }
+  }
+}
+
+size_t Flux::PickReplica(size_t bucket, size_t owner) const {
+  // Next live worker after the owner.
+  for (size_t step = 1; step < workers_.size(); ++step) {
+    size_t cand = (owner + bucket + step) % workers_.size();
+    if (cand != owner && !workers_[cand].failed()) return cand;
+  }
+  return owner;  // degenerate: no other live worker
+}
+
+void Flux::Ingest(int64_t key) {
+  ++ingested_;
+  size_t bucket = parts_.BucketOf(key);
+  WorkItem item{key, bucket};
+  workers_[parts_.OwnerOf(bucket)].Enqueue(item);
+  if (opts_.replication) {
+    size_t rep = replica_[bucket];
+    if (rep != parts_.OwnerOf(bucket)) workers_[rep].Enqueue(item);
+  }
+}
+
+void Flux::Tick() {
+  ++ticks_;
+  for (SimulatedWorker& w : workers_) w.Tick();
+  if (opts_.rebalance && ticks_ % opts_.rebalance_interval == 0) Rebalance();
+}
+
+uint64_t Flux::RunUntilDrained(uint64_t max_ticks) {
+  uint64_t used = 0;
+  while (TotalQueueLength() > 0 && used < max_ticks) {
+    Tick();
+    ++used;
+  }
+  return used;
+}
+
+void Flux::Rebalance() {
+  // Greedy: while the most loaded live worker exceeds the threshold, move
+  // one of its buckets to the least loaded.
+  for (int iter = 0; iter < 8; ++iter) {
+    size_t max_w = SIZE_MAX, min_w = SIZE_MAX;
+    size_t max_q = 0, min_q = SIZE_MAX;
+    size_t live = 0;
+    size_t total = 0;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      if (workers_[i].failed()) continue;
+      ++live;
+      size_t q = workers_[i].QueueLength();
+      total += q;
+      if (max_w == SIZE_MAX || q > max_q) {
+        max_q = q;
+        max_w = i;
+      }
+      if (min_w == SIZE_MAX || q < min_q) {
+        min_q = q;
+        min_w = i;
+      }
+    }
+    if (live < 2 || max_w == min_w) return;
+    double mean = static_cast<double>(total) / static_cast<double>(live);
+    if (mean <= 0 ||
+        static_cast<double>(max_q) <= opts_.imbalance_threshold * mean) {
+      return;
+    }
+    // Pick the movable bucket with the SECOND-largest queued backlog on the
+    // hot worker: the hottest bucket often is the irreducible hot spot (a
+    // single hot key cannot be split below bucket granularity), and moving
+    // it just relocates the problem; shedding the next-warmest buckets is
+    // what actually relieves the machine.
+    std::unordered_map<size_t, size_t> backlog;
+    workers_[max_w].CountQueuedPerBucket(&backlog);
+    size_t hottest = SIZE_MAX, hottest_items = 0;
+    for (const auto& [b, items] : backlog) {
+      if (items > hottest_items) {
+        hottest_items = items;
+        hottest = b;
+      }
+    }
+    size_t best = SIZE_MAX, best_backlog = 0;
+    for (const auto& [b, items] : backlog) {
+      if (b == hottest && backlog.size() > 1) continue;
+      if (opts_.replication && replica_[b] == min_w) continue;
+      if (items > best_backlog) {
+        best_backlog = items;
+        best = b;
+      }
+    }
+    if (best == SIZE_MAX || best_backlog == 0) return;
+    MoveBucket(best, max_w, min_w);
+  }
+}
+
+void Flux::MoveBucket(size_t bucket, size_t from, size_t to) {
+  // The Flux state-movement protocol, condensed: pause the bucket, move its
+  // operator state and buffered in-flight items, then resume at the new
+  // owner. (The real protocol overlaps movement with execution via
+  // buffering and reordering; the simulation moves atomically between
+  // ticks, which preserves exactly-once semantics.)
+  BucketState state = workers_[from].ExtractBucket(bucket);
+  workers_[to].InstallBucket(bucket, state);
+  for (const WorkItem& item : workers_[from].ExtractQueued(bucket)) {
+    workers_[to].Enqueue(item);
+  }
+  parts_.Reassign(bucket, to);
+  ++buckets_moved_;
+}
+
+Status Flux::FailWorker(size_t worker) {
+  if (worker >= workers_.size()) {
+    return Status::InvalidArgument("no such worker");
+  }
+  if (workers_[worker].failed()) {
+    return Status::FailedPrecondition("worker already failed");
+  }
+  if (num_live_workers() <= 1) {
+    return Status::FailedPrecondition("cannot fail the last live worker");
+  }
+  workers_[worker].Fail();
+
+  for (size_t b = 0; b < parts_.num_buckets(); ++b) {
+    if (parts_.OwnerOf(b) == worker) {
+      if (opts_.replication && !workers_[replica_[b]].failed()) {
+        // Failover: the replica already holds the bucket's state and the
+        // dual-routed in-flight items; it simply becomes the owner.
+        size_t new_owner = replica_[b];
+        parts_.Reassign(b, new_owner);
+        // Re-establish a replica elsewhere by copying the promoted state.
+        size_t new_rep = PickReplica(b, new_owner);
+        replica_[b] = new_rep;
+        if (new_rep != new_owner) {
+          // Copy state so the new replica starts in sync (catch-up copy).
+          BucketState snapshot = workers_[new_owner].ExtractBucket(b);
+          workers_[new_owner].InstallBucket(b, snapshot);
+          workers_[new_rep].InstallBucket(b, snapshot);
+        }
+      } else {
+        // No replica: the bucket restarts empty on a surviving worker;
+        // accumulated state and in-flight items are lost.
+        size_t fallback = PickReplica(b, worker);
+        parts_.Reassign(b, fallback);
+      }
+    } else if (opts_.replication && replica_[b] == worker) {
+      // The failed machine held this bucket's replica: re-replicate from
+      // the (live) primary.
+      size_t owner = parts_.OwnerOf(b);
+      size_t new_rep = PickReplica(b, owner);
+      replica_[b] = new_rep;
+      if (new_rep != owner) {
+        BucketState snapshot = workers_[owner].ExtractBucket(b);
+        workers_[owner].InstallBucket(b, snapshot);
+        workers_[new_rep].InstallBucket(b, snapshot);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t Flux::CountForKey(int64_t key) const {
+  size_t bucket = parts_.BucketOf(key);
+  return workers_[parts_.OwnerOf(bucket)].CountFor(bucket, key);
+}
+
+uint64_t Flux::TotalProcessed() const {
+  uint64_t total = 0;
+  for (const SimulatedWorker& w : workers_) total += w.ProcessedTotal();
+  return total;
+}
+
+size_t Flux::MaxQueueLength() const {
+  size_t out = 0;
+  for (const SimulatedWorker& w : workers_) {
+    out = std::max(out, w.QueueLength());
+  }
+  return out;
+}
+
+size_t Flux::TotalQueueLength() const {
+  size_t out = 0;
+  for (const SimulatedWorker& w : workers_) out += w.QueueLength();
+  return out;
+}
+
+double Flux::QueueImbalance() const {
+  size_t live = num_live_workers();
+  if (live == 0) return 0.0;
+  double mean =
+      static_cast<double>(TotalQueueLength()) / static_cast<double>(live);
+  if (mean == 0) return 1.0;
+  return static_cast<double>(MaxQueueLength()) / mean;
+}
+
+size_t Flux::num_live_workers() const {
+  size_t n = 0;
+  for (const SimulatedWorker& w : workers_) {
+    if (!w.failed()) ++n;
+  }
+  return n;
+}
+
+}  // namespace tcq

@@ -1,0 +1,86 @@
+// Flux: the Fault-tolerant, Load-balancing eXchange (paper §2.4). Routes a
+// partitioned dataflow's input across a simulated shared-nothing cluster,
+// and adds to the classic Exchange:
+//  * online repartitioning — when load skews, buckets (operator state +
+//    in-flight items) move from overloaded to underloaded workers while the
+//    dataflow keeps executing;
+//  * fault tolerance — with replication on, each bucket's input is
+//    dual-routed to a replica worker holding shadow state, so a machine
+//    failure promotes replicas without losing accumulated state or
+//    in-flight data. Replication consumes capacity: the paper's
+//    "reliability-based quality-of-service knob".
+
+#pragma once
+
+#include <optional>
+
+#include "common/status.h"
+#include "flux/cluster.h"
+#include "flux/partitioner.h"
+
+namespace tcq {
+
+class Flux {
+ public:
+  struct Options {
+    size_t num_workers = 4;
+    size_t worker_capacity = 64;  ///< items one worker processes per tick
+    size_t num_buckets = 64;
+    /// Maintain a replica of every bucket on a second worker.
+    bool replication = false;
+    /// Enable online repartitioning.
+    bool rebalance = false;
+    uint64_t rebalance_interval = 10;  ///< ticks between balance checks
+    /// Move buckets while max queue > threshold * mean queue.
+    double imbalance_threshold = 1.5;
+  };
+
+  explicit Flux(Options opts);
+
+  /// Routes one keyed item to its bucket's owner (and replica).
+  void Ingest(int64_t key);
+
+  /// Advances the cluster by one scheduling quantum.
+  void Tick();
+
+  /// Ticks until all queues drain (or `max_ticks`); returns ticks used.
+  uint64_t RunUntilDrained(uint64_t max_ticks = 1u << 20);
+
+  /// Crashes a worker. With replication, its buckets fail over to their
+  /// replicas (state and re-routed input preserved); without, they restart
+  /// empty on surviving workers and their state/in-flight data are lost.
+  Status FailWorker(size_t worker);
+
+  // --- Observability ---------------------------------------------------------
+
+  /// Aggregate count for a key, read from its bucket's current owner.
+  uint64_t CountForKey(int64_t key) const;
+
+  uint64_t TotalProcessed() const;
+  size_t MaxQueueLength() const;
+  size_t TotalQueueLength() const;
+  /// max queue / mean queue over live workers (1.0 = perfectly balanced).
+  double QueueImbalance() const;
+
+  uint64_t ticks() const { return ticks_; }
+  uint64_t buckets_moved() const { return buckets_moved_; }
+  uint64_t ingested() const { return ingested_; }
+  size_t num_live_workers() const;
+  const SimulatedWorker& worker(size_t i) const { return workers_[i]; }
+  const Partitioner& partitioner() const { return parts_; }
+
+ private:
+  void Rebalance();
+  void MoveBucket(size_t bucket, size_t from, size_t to);
+  size_t PickReplica(size_t bucket, size_t owner) const;
+
+  Options opts_;
+  Partitioner parts_;
+  std::vector<SimulatedWorker> workers_;
+  std::vector<size_t> replica_;  // bucket -> replica worker (if replication)
+  uint64_t ticks_ = 0;
+  uint64_t buckets_moved_ = 0;
+  uint64_t ingested_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,24 @@
+#include "flux/partitioner.h"
+
+namespace tcq {
+
+Partitioner::Partitioner(size_t num_buckets, size_t num_workers)
+    : owner_(num_buckets) {
+  for (size_t b = 0; b < num_buckets; ++b) owner_[b] = b % num_workers;
+}
+
+size_t Partitioner::BucketOf(int64_t key) const {
+  uint64_t h = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ull;
+  h ^= h >> 29;
+  return static_cast<size_t>(h % owner_.size());
+}
+
+std::vector<size_t> Partitioner::BucketsOf(size_t worker) const {
+  std::vector<size_t> out;
+  for (size_t b = 0; b < owner_.size(); ++b) {
+    if (owner_[b] == worker) out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace tcq

@@ -1,0 +1,37 @@
+// Content-based partitioning for Flux (paper §2.4): keys hash to a fixed
+// number of buckets; buckets map to workers. Online repartitioning moves
+// buckets (with their operator state) between workers, so the bucket map is
+// the unit of load balancing.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tcq {
+
+class Partitioner {
+ public:
+  Partitioner(size_t num_buckets, size_t num_workers);
+
+  size_t num_buckets() const { return owner_.size(); }
+
+  /// Bucket of a key (stable hash).
+  size_t BucketOf(int64_t key) const;
+
+  /// Worker currently owning a bucket.
+  size_t OwnerOf(size_t bucket) const { return owner_[bucket]; }
+  size_t WorkerOf(int64_t key) const { return OwnerOf(BucketOf(key)); }
+
+  /// Reassigns a bucket (state movement is the caller's job).
+  void Reassign(size_t bucket, size_t worker) { owner_[bucket] = worker; }
+
+  /// Buckets currently owned by a worker.
+  std::vector<size_t> BucketsOf(size_t worker) const;
+
+ private:
+  std::vector<size_t> owner_;  // bucket -> worker
+};
+
+}  // namespace tcq

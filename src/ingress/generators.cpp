@@ -1,0 +1,111 @@
+#include "ingress/generators.h"
+
+namespace tcq {
+
+SchemaRef StockTickGenerator::MakeSchema(SourceId source_id) {
+  return Schema::Make({
+      {"timestamp", ValueType::kTimestamp, source_id},
+      {"stockSymbol", ValueType::kString, source_id},
+      {"closingPrice", ValueType::kDouble, source_id},
+  });
+}
+
+StockTickGenerator::StockTickGenerator(std::string name, SourceId source_id,
+                                       Options opts)
+    : StreamSourceBase(std::move(name), source_id, MakeSchema(source_id)),
+      opts_(std::move(opts)),
+      rng_(opts_.seed),
+      prices_(opts_.symbols.size(), opts_.initial_price) {}
+
+bool StockTickGenerator::Next(Tuple* out) {
+  if (opts_.days != 0 && day_ > opts_.days) return false;
+  size_t i = next_symbol_;
+  prices_[i] = std::max(1.0, prices_[i] + rng_.Gaussian(0, opts_.volatility));
+  *out = Tuple::Make(schema(),
+                     {Value::TimestampVal(day_),
+                      Value::String(opts_.symbols[i]),
+                      Value::Double(prices_[i])},
+                     day_);
+  CountProduced();
+  if (++next_symbol_ == opts_.symbols.size()) {
+    next_symbol_ = 0;
+    ++day_;
+  }
+  return true;
+}
+
+SchemaRef PacketGenerator::MakeSchema(SourceId source_id) {
+  return Schema::Make({
+      {"timestamp", ValueType::kTimestamp, source_id},
+      {"srcHost", ValueType::kInt64, source_id},
+      {"dstHost", ValueType::kInt64, source_id},
+      {"dstPort", ValueType::kInt64, source_id},
+      {"bytes", ValueType::kInt64, source_id},
+  });
+}
+
+PacketGenerator::PacketGenerator(std::string name, SourceId source_id,
+                                 Options opts)
+    : StreamSourceBase(std::move(name), source_id, MakeSchema(source_id)),
+      opts_(std::move(opts)),
+      rng_(opts_.seed) {}
+
+bool PacketGenerator::Next(Tuple* out) {
+  if (opts_.count != 0 && produced() >= opts_.count) return false;
+  int64_t src = static_cast<int64_t>(
+      rng_.Zipf(static_cast<uint64_t>(opts_.num_hosts), opts_.host_skew));
+  int64_t dst = static_cast<int64_t>(
+      rng_.Zipf(static_cast<uint64_t>(opts_.num_hosts), opts_.host_skew));
+  int64_t port = static_cast<int64_t>(
+      rng_.Zipf(static_cast<uint64_t>(opts_.num_ports), opts_.port_skew));
+  int64_t bytes = rng_.UniformInt(64, opts_.max_bytes);
+  *out = Tuple::Make(schema(),
+                     {Value::TimestampVal(tick_), Value::Int64(src),
+                      Value::Int64(dst), Value::Int64(port),
+                      Value::Int64(bytes)},
+                     tick_);
+  ++tick_;
+  CountProduced();
+  return true;
+}
+
+SchemaRef SensorGenerator::MakeSchema(SourceId source_id) {
+  return Schema::Make({
+      {"timestamp", ValueType::kTimestamp, source_id},
+      {"sensorId", ValueType::kInt64, source_id},
+      {"temperature", ValueType::kDouble, source_id},
+  });
+}
+
+SensorGenerator::SensorGenerator(std::string name, SourceId source_id,
+                                 Options opts)
+    : StreamSourceBase(std::move(name), source_id, MakeSchema(source_id)),
+      opts_(std::move(opts)),
+      rng_(opts_.seed),
+      temps_(static_cast<size_t>(opts_.num_sensors), opts_.base_temp) {}
+
+bool SensorGenerator::Next(Tuple* out) {
+  while (true) {
+    if (opts_.count != 0 && attempts_ >= opts_.count) return false;
+    ++attempts_;
+    int64_t sensor = rng_.UniformInt(0, opts_.num_sensors - 1);
+    auto si = static_cast<size_t>(sensor);
+    temps_[si] += rng_.Gaussian(0, opts_.drift);
+    Timestamp ts = tick_++;
+    if (opts_.max_jitter > 0) {
+      ts = std::max<Timestamp>(1, ts - rng_.UniformInt(0, opts_.max_jitter));
+    }
+    if (rng_.Bernoulli(opts_.loss_rate)) {
+      ++dropped_;
+      continue;  // reading lost in the (simulated) network
+    }
+    *out = Tuple::Make(schema(),
+                       {Value::TimestampVal(ts), Value::Int64(sensor),
+                        Value::Double(temps_[si])},
+                       ts);
+    CountProduced();
+    return true;
+  }
+}
+
+}  // namespace tcq

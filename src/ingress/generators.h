@@ -1,0 +1,103 @@
+// Synthetic stream generators: the workloads the paper's applications imply
+// (stock tickers for §4.1's examples, network monitors and sensors from the
+// introduction). All are seeded and deterministic.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ingress/source.h"
+
+namespace tcq {
+
+/// Daily closing prices, matching the paper's ClosingStockPrices schema:
+/// (timestamp, stockSymbol, closingPrice). One tuple per (day, symbol);
+/// prices follow independent random walks.
+class StockTickGenerator : public StreamSourceBase {
+ public:
+  struct Options {
+    std::vector<std::string> symbols = {"MSFT", "AAPL", "IBM", "ORCL"};
+    double initial_price = 50.0;
+    double volatility = 1.0;  // stddev of the daily step
+    uint64_t seed = 42;
+    /// Number of days to generate; 0 = infinite.
+    Timestamp days = 0;
+  };
+
+  static SchemaRef MakeSchema(SourceId source_id);
+
+  StockTickGenerator(std::string name, SourceId source_id, Options opts);
+
+  bool Next(Tuple* out) override;
+
+ private:
+  Options opts_;
+  Rng rng_;
+  std::vector<double> prices_;
+  Timestamp day_ = 1;
+  size_t next_symbol_ = 0;
+};
+
+/// Network packet headers: (timestamp, srcHost, dstHost, dstPort, bytes).
+/// Hosts are zipf-distributed (a few hot talkers), ports zipf over a small
+/// set of services — the shape intrusion-detection queries filter on.
+class PacketGenerator : public StreamSourceBase {
+ public:
+  struct Options {
+    int64_t num_hosts = 1000;
+    double host_skew = 0.9;   // zipf theta over hosts
+    int64_t num_ports = 1024;
+    double port_skew = 0.99;  // zipf theta over ports
+    int64_t max_bytes = 1500;
+    uint64_t seed = 42;
+    uint64_t count = 0;  // 0 = infinite
+  };
+
+  static SchemaRef MakeSchema(SourceId source_id);
+
+  PacketGenerator(std::string name, SourceId source_id, Options opts);
+
+  bool Next(Tuple* out) override;
+
+ private:
+  Options opts_;
+  Rng rng_;
+  Timestamp tick_ = 1;
+};
+
+/// Sensor readings: (timestamp, sensorId, temperature). Models the paper's
+/// lossy sensor networks: readings can be dropped, and timestamps can
+/// arrive slightly out of order (bounded jitter).
+class SensorGenerator : public StreamSourceBase {
+ public:
+  struct Options {
+    int64_t num_sensors = 16;
+    double base_temp = 20.0;
+    double drift = 0.05;      // per-step random-walk stddev
+    double loss_rate = 0.0;   // probability a reading is silently dropped
+    Timestamp max_jitter = 0;  // timestamps may lag by up to this much
+    uint64_t seed = 42;
+    uint64_t count = 0;  // readings to attempt; 0 = infinite
+  };
+
+  static SchemaRef MakeSchema(SourceId source_id);
+
+  SensorGenerator(std::string name, SourceId source_id, Options opts);
+
+  bool Next(Tuple* out) override;
+
+  /// Readings lost to simulated dropout so far.
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  Options opts_;
+  Rng rng_;
+  std::vector<double> temps_;
+  Timestamp tick_ = 1;
+  uint64_t attempts_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace tcq

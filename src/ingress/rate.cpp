@@ -1,0 +1,19 @@
+#include "ingress/rate.h"
+
+namespace tcq {
+
+std::unique_ptr<ArrivalProcess> MakeSteadyArrivals(double per_second) {
+  return std::make_unique<SteadyArrivals>(per_second);
+}
+
+std::unique_ptr<ArrivalProcess> MakePoissonArrivals(double per_second,
+                                                    uint64_t seed) {
+  return std::make_unique<PoissonArrivals>(per_second, seed);
+}
+
+std::unique_ptr<ArrivalProcess> MakeBurstyArrivals(
+    BurstyArrivals::Options opts) {
+  return std::make_unique<BurstyArrivals>(opts);
+}
+
+}  // namespace tcq

@@ -1,0 +1,83 @@
+// Arrival-rate models. "The arrival rate of the data streams may be
+// extremely high or bursty" (paper §1.1); experiments sweep steady, Poisson
+// and on/off-bursty arrivals. Delays are expressed in simulated
+// microseconds so benches can drive a VirtualClock deterministically.
+
+#pragma once
+
+#include <memory>
+
+#include "common/clock.h"
+#include "common/rng.h"
+
+namespace tcq {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  /// Microseconds between this arrival and the next.
+  virtual Timestamp NextGap() = 0;
+};
+
+/// Constant-rate arrivals.
+class SteadyArrivals : public ArrivalProcess {
+ public:
+  explicit SteadyArrivals(double per_second)
+      : gap_(static_cast<Timestamp>(1e6 / per_second)) {}
+  Timestamp NextGap() override { return gap_; }
+
+ private:
+  Timestamp gap_;
+};
+
+/// Poisson arrivals with the given mean rate.
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  PoissonArrivals(double per_second, uint64_t seed)
+      : rate_per_us_(per_second / 1e6), rng_(seed) {}
+  Timestamp NextGap() override {
+    return std::max<Timestamp>(
+        1, static_cast<Timestamp>(rng_.Exponential(rate_per_us_)));
+  }
+
+ private:
+  double rate_per_us_;
+  Rng rng_;
+};
+
+/// On/off bursts: alternates a high-rate burst phase and a silent phase.
+class BurstyArrivals : public ArrivalProcess {
+ public:
+  struct Options {
+    double burst_per_second = 100000;
+    Timestamp burst_us = 10000;    ///< burst phase length
+    Timestamp silence_us = 90000;  ///< silent phase length
+    uint64_t seed = 42;
+  };
+
+  explicit BurstyArrivals(Options opts)
+      : opts_(opts),
+        gap_(static_cast<Timestamp>(1e6 / opts.burst_per_second)) {}
+
+  Timestamp NextGap() override {
+    in_burst_for_ += gap_;
+    if (in_burst_for_ >= opts_.burst_us) {
+      in_burst_for_ = 0;
+      return gap_ + opts_.silence_us;  // the gap spanning the silence
+    }
+    return gap_;
+  }
+
+ private:
+  Options opts_;
+  Timestamp gap_;
+  Timestamp in_burst_for_ = 0;
+};
+
+std::unique_ptr<ArrivalProcess> MakeSteadyArrivals(double per_second);
+std::unique_ptr<ArrivalProcess> MakePoissonArrivals(double per_second,
+                                                    uint64_t seed);
+std::unique_ptr<ArrivalProcess> MakeBurstyArrivals(
+    BurstyArrivals::Options opts);
+
+}  // namespace tcq

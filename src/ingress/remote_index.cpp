@@ -1,0 +1,86 @@
+#include "ingress/remote_index.h"
+
+#include <cassert>
+
+namespace tcq {
+
+SimulatedRemoteIndex::SimulatedRemoteIndex(SourceId source, SchemaRef schema,
+                                           const std::string& key_attr,
+                                           Options opts)
+    : source_(source), schema_(std::move(schema)), key_field_(0), opts_(opts) {
+  auto idx = schema_->IndexOf(key_attr, source_);
+  if (!idx) idx = schema_->IndexOf(key_attr);
+  assert(idx.has_value() && "remote index key attribute not in schema");
+  key_field_ = *idx;
+}
+
+void SimulatedRemoteIndex::Insert(const Tuple& tuple) {
+  data_[tuple.at(key_field_)].push_back(tuple);
+  ++rows_;
+}
+
+void SimulatedRemoteIndex::Lookup(const Value& key, std::vector<Tuple>* out) {
+  ++lookups_;
+  cost_us_ += opts_.lookup_cost_us;
+  auto it = data_.find(key);
+  if (it == data_.end()) return;
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+RemoteIndexProbe::RemoteIndexProbe(std::string name,
+                                   SimulatedRemoteIndex* index,
+                                   AttrRef probe_key, SteM* cache)
+    : EddyModule(std::move(name)),
+      index_(index),
+      probe_key_(std::move(probe_key)),
+      cache_(cache) {}
+
+bool RemoteIndexProbe::AppliesTo(SourceSet sources) const {
+  if (sources & SourceBit(index_->source())) return false;
+  return (sources & SourceBit(probe_key_.source)) != 0;
+}
+
+SchemaRef RemoteIndexProbe::ConcatSchemaFor(const SchemaRef& input) {
+  const Schema* key = input.get();
+  for (const auto& [cached_key, cached] : schema_cache_) {
+    if (cached_key == key) return cached;
+  }
+  SchemaRef out = Schema::Concat(input, index_->schema());
+  schema_cache_.emplace_back(key, out);
+  return out;
+}
+
+EddyModule::Action RemoteIndexProbe::Process(const Envelope& env,
+                                             std::vector<Envelope>* out) {
+  const Value* key = ResolveAttr(env.tuple, probe_key_);
+  assert(key != nullptr && "remote index probe key missing");
+
+  std::vector<Tuple> matches;
+  bool known = fetched_keys_.contains(*key);
+  if (cache_ != nullptr && known) {
+    // Served from the lookup cache: no remote cost.
+    ++cache_hits_;
+    std::vector<const StemEntry*> cached;
+    // Cache builds use seq 0 (the remote table is static and "always
+    // earlier" than any stream tuple), so every probe sees them.
+    cache_->ProbeEq(*key, /*seq_bound=*/env.seq_max, &cached);
+    matches.reserve(cached.size());
+    for (const StemEntry* e : cached) matches.push_back(e->tuple);
+  } else {
+    index_->Lookup(*key, &matches);
+    fetched_keys_[*key] = true;
+    if (cache_ != nullptr) {
+      for (const Tuple& t : matches) cache_->Build(t, /*seq=*/0);
+    }
+  }
+
+  if (matches.empty()) return Action::kDrop;
+  SchemaRef out_schema = ConcatSchemaFor(env.tuple.schema());
+  for (const Tuple& m : matches) {
+    out->push_back(Envelope{Tuple::Concat(env.tuple, m, out_schema), 0,
+                            env.seq_max});
+  }
+  return Action::kExpand;
+}
+
+}  // namespace tcq

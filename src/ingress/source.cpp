@@ -1,0 +1,75 @@
+#include "ingress/source.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace tcq {
+
+Result<std::unique_ptr<CsvSource>> CsvSource::Open(
+    const std::string& path, std::string name, SourceId source_id,
+    SchemaRef schema, const std::string& timestamp_field) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::IOError("cannot open CSV file " + path);
+  }
+  auto ts_idx = schema->IndexOf(timestamp_field);
+  if (!ts_idx.has_value()) {
+    return Status::InvalidArgument("timestamp field '" + timestamp_field +
+                                   "' not in schema");
+  }
+  std::vector<Tuple> rows;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<Value> values;
+    std::stringstream ss(line);
+    std::string cell;
+    size_t field = 0;
+    while (std::getline(ss, cell, ',')) {
+      if (field >= schema->num_fields()) break;
+      const Field& f = schema->field(field);
+      try {
+        switch (f.type) {
+          case ValueType::kInt64:
+            values.push_back(Value::Int64(std::stoll(cell)));
+            break;
+          case ValueType::kTimestamp:
+            values.push_back(Value::TimestampVal(std::stoll(cell)));
+            break;
+          case ValueType::kDouble:
+            values.push_back(Value::Double(std::stod(cell)));
+            break;
+          case ValueType::kBool:
+            values.push_back(Value::Bool(cell == "true" || cell == "1"));
+            break;
+          case ValueType::kString:
+            values.push_back(Value::String(cell));
+            break;
+          case ValueType::kNull:
+            values.push_back(Value::Null());
+            break;
+        }
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("bad cell '" + cell + "' at " + path +
+                                       ":" + std::to_string(line_no));
+      }
+      ++field;
+    }
+    TCQ_RETURN_IF_ERROR(schema->Validate(values));
+    Timestamp ts = values[*ts_idx].AsTimestamp();
+    rows.push_back(Tuple::Make(schema, std::move(values), ts));
+  }
+  return std::unique_ptr<CsvSource>(new CsvSource(
+      std::move(name), source_id, std::move(schema), std::move(rows)));
+}
+
+bool CsvSource::Next(Tuple* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  CountProduced();
+  return true;
+}
+
+}  // namespace tcq

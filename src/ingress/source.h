@@ -1,0 +1,96 @@
+// Ingress sources (paper §2.1, §4.2.3). A StreamSource is the pull-side
+// interface a Wrapper drives; synthetic generators stand in for the paper's
+// live sources (sensors, network monitors, web scrapers) with controllable
+// rates, skew, loss, and disorder — the knobs the experiments sweep.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const SchemaRef& schema() const = 0;
+  virtual SourceId source_id() const = 0;
+
+  /// Produces the next tuple. Returns false at end of stream (infinite
+  /// generators never return false).
+  virtual bool Next(Tuple* out) = 0;
+
+  /// Tuples produced so far.
+  virtual uint64_t produced() const = 0;
+};
+
+/// Convenience base class handling the bookkeeping.
+class StreamSourceBase : public StreamSource {
+ public:
+  StreamSourceBase(std::string name, SourceId source_id, SchemaRef schema)
+      : name_(std::move(name)),
+        source_id_(source_id),
+        schema_(std::move(schema)) {}
+
+  const std::string& name() const override { return name_; }
+  const SchemaRef& schema() const override { return schema_; }
+  SourceId source_id() const override { return source_id_; }
+  uint64_t produced() const override { return produced_; }
+
+ protected:
+  void CountProduced() { ++produced_; }
+
+ private:
+  std::string name_;
+  SourceId source_id_;
+  SchemaRef schema_;
+  uint64_t produced_ = 0;
+};
+
+/// Reads tuples from an in-memory vector (tests, replay).
+class VectorSource : public StreamSourceBase {
+ public:
+  VectorSource(std::string name, SourceId source_id, SchemaRef schema,
+               std::vector<Tuple> tuples)
+      : StreamSourceBase(std::move(name), source_id, std::move(schema)),
+        tuples_(std::move(tuples)) {}
+
+  bool Next(Tuple* out) override {
+    if (pos_ >= tuples_.size()) return false;
+    *out = tuples_[pos_++];
+    CountProduced();
+    return true;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+  size_t pos_ = 0;
+};
+
+/// Parses a simple CSV file (no quoting/escapes; one tuple per line, fields
+/// matching the schema's types; `timestamp_field` names the column providing
+/// the tuple timestamp). This is the "local file reader" ingress module.
+class CsvSource : public StreamSourceBase {
+ public:
+  static Result<std::unique_ptr<CsvSource>> Open(
+      const std::string& path, std::string name, SourceId source_id,
+      SchemaRef schema, const std::string& timestamp_field);
+
+  bool Next(Tuple* out) override;
+
+ private:
+  CsvSource(std::string name, SourceId source_id, SchemaRef schema,
+            std::vector<Tuple> rows)
+      : StreamSourceBase(std::move(name), source_id, std::move(schema)),
+        rows_(std::move(rows)) {}
+
+  std::vector<Tuple> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,75 @@
+#include "ingress/wrapper.h"
+
+#include <chrono>
+
+namespace tcq {
+
+Wrapper::~Wrapper() { Stop(); }
+
+FjordConsumer Wrapper::HostPullSource(
+    std::unique_ptr<StreamSource> source,
+    std::unique_ptr<ArrivalProcess> arrivals) {
+  auto endpoints = Fjord::Make(FjordMode::kPush, opts_.queue_capacity,
+                               "streamer:" + source->name());
+  auto task = std::make_unique<PullTask>();
+  task->source = std::move(source);
+  task->arrivals = std::move(arrivals);
+  task->producer = std::make_unique<FjordProducer>(endpoints.producer);
+  tasks_.push_back(std::move(task));
+  return endpoints.consumer;
+}
+
+std::pair<FjordProducer, FjordConsumer> Wrapper::HostPushSource(
+    const std::string& name) {
+  auto endpoints =
+      Fjord::Make(FjordMode::kPush, opts_.queue_capacity, "streamer:" + name);
+  return {endpoints.producer, endpoints.consumer};
+}
+
+void Wrapper::Start() {
+  if (started_.exchange(true)) return;
+  stop_.store(false);
+  for (auto& task : tasks_) {
+    threads_.emplace_back([this, t = task.get()] { RunPullTask(t); });
+  }
+}
+
+void Wrapper::RunPullTask(PullTask* task) {
+  Tuple tuple;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (!task->source->Next(&tuple)) break;  // end of stream
+    if (task->arrivals != nullptr) {
+      Timestamp gap_us = task->arrivals->NextGap();
+      if (gap_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(gap_us));
+      }
+    }
+    while (!stop_.load(std::memory_order_relaxed)) {
+      QueueOp op = task->producer->Produce(tuple);
+      if (op == QueueOp::kOk) {
+        forwarded_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      if (op == QueueOp::kClosed) return;
+      // Queue full: non-blocking semantics let us choose a policy.
+      if (opts_.drop_on_full) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  task->producer->Close();
+}
+
+void Wrapper::Stop() {
+  stop_.store(true);
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  for (auto& task : tasks_) task->producer->Close();
+  started_.store(false);
+}
+
+}  // namespace tcq

@@ -1,0 +1,78 @@
+// The Wrapper host (paper §4.2.3): "wrappers in TelegraphCQ are placed in a
+// separate process, where they can be accessed in a non-blocking manner (a
+// la Fjords)... the responsibility of fetching data from the network
+// devolves to the Wrapper process, which uses a pool of threads to implement
+// non-blocking I/O." Here the wrapper is a thread pool hosting pull sources
+// (the wrapper drives them, paced by an arrival process) and push sources
+// (the source's own thread pushes); both deliver to the executor through
+// push-mode Fjords ("streamers").
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "fjords/fjord.h"
+#include "ingress/rate.h"
+#include "ingress/source.h"
+
+namespace tcq {
+
+class Wrapper {
+ public:
+  struct Options {
+    /// Capacity of each streamer queue (back-pressure bound).
+    size_t queue_capacity = 4096;
+    /// When a streamer queue is full: true = drop the tuple (count it),
+    /// false = retry until space (throttling the source).
+    bool drop_on_full = false;
+  };
+
+  Wrapper() : Wrapper(Options()) {}
+  explicit Wrapper(Options opts) : opts_(opts) {}
+  ~Wrapper();
+
+  /// Hosts a pull source: a wrapper thread drives `source->Next()` paced by
+  /// `arrivals` (nullptr = as fast as possible) and pushes into the
+  /// returned consumer endpoint.
+  FjordConsumer HostPullSource(std::unique_ptr<StreamSource> source,
+                               std::unique_ptr<ArrivalProcess> arrivals);
+
+  /// A push source: the caller (playing the remote data source that
+  /// "connects to a well-known port served by the Wrapper") pushes tuples
+  /// itself through the returned producer; the executor consumes from the
+  /// returned consumer.
+  std::pair<FjordProducer, FjordConsumer> HostPushSource(
+      const std::string& name);
+
+  /// Starts the pull threads.
+  void Start();
+
+  /// Stops all threads and closes all streamers.
+  void Stop();
+
+  uint64_t tuples_forwarded() const { return forwarded_.load(); }
+  uint64_t tuples_dropped() const { return dropped_.load(); }
+
+ private:
+  struct PullTask {
+    std::unique_ptr<StreamSource> source;
+    std::unique_ptr<ArrivalProcess> arrivals;
+    std::unique_ptr<FjordProducer> producer;
+  };
+
+  void RunPullTask(PullTask* task);
+
+  Options opts_;
+  std::vector<std::unique_ptr<PullTask>> tasks_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> forwarded_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace tcq

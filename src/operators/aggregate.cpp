@@ -1,0 +1,168 @@
+#include "operators/aggregate.h"
+
+#include <cassert>
+
+namespace tcq {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kAvg:
+      return "avg";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+void LandmarkAggregator::Add(const Value& v, Timestamp) {
+  if (v.is_null()) return;
+  ++count_;
+  if (fn_ == AggFn::kSum || fn_ == AggFn::kAvg) sum_ += v.ToDouble();
+  if (fn_ == AggFn::kMin) {
+    if (!extreme_ || v.Compare(*extreme_) < 0) extreme_ = v;
+  } else if (fn_ == AggFn::kMax) {
+    if (!extreme_ || v.Compare(*extreme_) > 0) extreme_ = v;
+  }
+}
+
+Value LandmarkAggregator::Result() const {
+  switch (fn_) {
+    case AggFn::kCount:
+      return Value::Int64(static_cast<int64_t>(count_));
+    case AggFn::kSum:
+      return count_ ? Value::Double(sum_) : Value::Null();
+    case AggFn::kAvg:
+      return count_ ? Value::Double(sum_ / static_cast<double>(count_))
+                    : Value::Null();
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return extreme_.value_or(Value::Null());
+  }
+  return Value::Null();
+}
+
+void LandmarkAggregator::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  extreme_.reset();
+}
+
+void SlidingAggregator::Add(const Value& v, Timestamp ts) {
+  if (v.is_null()) return;
+  double d = v.ToDouble();
+  buffer_.push_back(Item{d, ts});
+  sum_ += d;
+  if (fn_ == AggFn::kMin || fn_ == AggFn::kMax) {
+    // Maintain the monotonic deque: pop dominated entries from the back.
+    while (!mono_.empty()) {
+      bool dominated = fn_ == AggFn::kMax ? mono_.back().v <= d
+                                          : mono_.back().v >= d;
+      if (!dominated) break;
+      mono_.pop_back();
+    }
+    mono_.push_back(Item{d, ts});
+  }
+}
+
+void SlidingAggregator::AdvanceTime(Timestamp now) {
+  Timestamp cutoff = now - window_;
+  while (!buffer_.empty() && buffer_.front().ts <= cutoff) {
+    sum_ -= buffer_.front().v;
+    buffer_.pop_front();
+  }
+  while (!mono_.empty() && mono_.front().ts <= cutoff) {
+    mono_.pop_front();
+  }
+}
+
+Value SlidingAggregator::Result() const {
+  switch (fn_) {
+    case AggFn::kCount:
+      return Value::Int64(static_cast<int64_t>(buffer_.size()));
+    case AggFn::kSum:
+      return buffer_.empty() ? Value::Null() : Value::Double(sum_);
+    case AggFn::kAvg:
+      return buffer_.empty()
+                 ? Value::Null()
+                 : Value::Double(sum_ / static_cast<double>(buffer_.size()));
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return mono_.empty() ? Value::Null() : Value::Double(mono_.front().v);
+  }
+  return Value::Null();
+}
+
+size_t SlidingAggregator::StateBytes() const {
+  return sizeof(*this) + (buffer_.size() + mono_.size()) * sizeof(Item);
+}
+
+std::unique_ptr<Aggregator> MakeLandmarkAggregator(AggFn fn) {
+  return std::make_unique<LandmarkAggregator>(fn);
+}
+
+std::unique_ptr<Aggregator> MakeSlidingAggregator(AggFn fn,
+                                                  Timestamp window) {
+  return std::make_unique<SlidingAggregator>(fn, window);
+}
+
+Aggregator* GroupedAggregate::GroupFor(const Value& key) {
+  auto it = groups_.find(key);
+  if (it == groups_.end()) {
+    std::unique_ptr<Aggregator> agg =
+        opts_.window > 0 ? MakeSlidingAggregator(opts_.fn, opts_.window)
+                         : MakeLandmarkAggregator(opts_.fn);
+    it = groups_.emplace(key, std::move(agg)).first;
+  }
+  return it->second.get();
+}
+
+void GroupedAggregate::Consume(const Tuple& tuple) {
+  const Value* v = ResolveAttr(tuple, opts_.value_attr);
+  assert(v != nullptr && "aggregate value attribute missing");
+  Value key = Value::Null();
+  if (opts_.group_attr) {
+    const Value* k = ResolveAttr(tuple, *opts_.group_attr);
+    assert(k != nullptr && "group attribute missing");
+    key = *k;
+  }
+  GroupFor(key)->Add(*v, tuple.timestamp());
+}
+
+void GroupedAggregate::AdvanceTime(Timestamp now) {
+  if (opts_.window == 0) return;
+  for (auto& [key, agg] : groups_) {
+    static_cast<SlidingAggregator*>(agg.get())->AdvanceTime(now);
+  }
+}
+
+std::vector<std::pair<Value, Value>> GroupedAggregate::Snapshot() const {
+  std::vector<std::pair<Value, Value>> out;
+  out.reserve(groups_.size());
+  for (const auto& [key, agg] : groups_) {
+    out.emplace_back(key, agg->Result());
+  }
+  return out;
+}
+
+Value GroupedAggregate::ResultFor(const Value& group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? Value::Null() : it->second->Result();
+}
+
+Value GroupedAggregate::GlobalResult() const {
+  return ResultFor(Value::Null());
+}
+
+size_t GroupedAggregate::StateBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& [key, agg] : groups_) total += agg->StateBytes();
+  return total;
+}
+
+}  // namespace tcq

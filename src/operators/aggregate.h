@@ -1,0 +1,128 @@
+// Aggregation over streams. The paper (§4.1.2) observes that window class
+// dictates aggregate state: a landmark MAX needs O(1) state (compare the
+// running max against each arrival), while a sliding-window MAX must retain
+// the window. Both aggregator kinds are provided, plus a grouped, windowed
+// aggregation operator built on them.
+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "operators/predicate.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+enum class AggFn : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFnName(AggFn fn);
+
+/// Incremental aggregator interface. Add() feeds values; Result() is the
+/// aggregate of everything currently in scope.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual void Add(const Value& v, Timestamp ts) = 0;
+  /// Value of the aggregate; null when no input is in scope.
+  virtual Value Result() const = 0;
+  /// Bytes of state retained (drives the E6 state-size comparison).
+  virtual size_t StateBytes() const = 0;
+};
+
+/// O(1)-state aggregator for expanding (landmark) windows: old values never
+/// leave the window, so a running scalar suffices for every AggFn.
+class LandmarkAggregator : public Aggregator {
+ public:
+  explicit LandmarkAggregator(AggFn fn) : fn_(fn) {}
+
+  void Add(const Value& v, Timestamp ts) override;
+  Value Result() const override;
+  size_t StateBytes() const override { return sizeof(*this); }
+
+  /// Resets to empty (used when a landmark window's fixed end restarts).
+  void Reset();
+
+ private:
+  AggFn fn_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  std::optional<Value> extreme_;
+};
+
+/// Sliding-window aggregator: values expire as time advances, so the window
+/// contents (or a monotonic summary of them, for MIN/MAX) must be retained.
+class SlidingAggregator : public Aggregator {
+ public:
+  SlidingAggregator(AggFn fn, Timestamp window) : fn_(fn), window_(window) {}
+
+  void Add(const Value& v, Timestamp ts) override;
+  Value Result() const override;
+  size_t StateBytes() const override;
+
+  /// Expires values with ts <= now - window.
+  void AdvanceTime(Timestamp now);
+
+  size_t window_population() const { return buffer_.size(); }
+
+ private:
+  struct Item {
+    double v;
+    Timestamp ts;
+  };
+
+  AggFn fn_;
+  Timestamp window_;
+  std::deque<Item> buffer_;  // all in-window values (sum/count/avg)
+  // Monotonic deque for MIN/MAX: front is the current extreme.
+  std::deque<Item> mono_;
+  double sum_ = 0;
+};
+
+std::unique_ptr<Aggregator> MakeLandmarkAggregator(AggFn fn);
+std::unique_ptr<Aggregator> MakeSlidingAggregator(AggFn fn, Timestamp window);
+
+/// Grouped windowed aggregation: maintains one aggregator per group key and
+/// emits (group, aggregate) rows on demand. `group_attr` unset = one global
+/// group. Window = 0 selects landmark aggregators.
+class GroupedAggregate {
+ public:
+  struct Options {
+    AggFn fn = AggFn::kCount;
+    AttrRef value_attr;
+    std::optional<AttrRef> group_attr;
+    /// 0 = landmark (never expires); > 0 = sliding window width.
+    Timestamp window = 0;
+  };
+
+  explicit GroupedAggregate(Options opts) : opts_(std::move(opts)) {}
+
+  /// Feeds one tuple (uses the tuple's timestamp for expiry).
+  void Consume(const Tuple& tuple);
+
+  /// Expires sliding-window state.
+  void AdvanceTime(Timestamp now);
+
+  /// Current (group key, aggregate) pairs, ordered by group key.
+  std::vector<std::pair<Value, Value>> Snapshot() const;
+
+  /// Aggregate for one group (or the global group).
+  Value ResultFor(const Value& group) const;
+  Value GlobalResult() const;
+
+  size_t num_groups() const { return groups_.size(); }
+  size_t StateBytes() const;
+
+ private:
+  Aggregator* GroupFor(const Value& key);
+
+  Options opts_;
+  std::map<Value, std::unique_ptr<Aggregator>> groups_;
+};
+
+}  // namespace tcq

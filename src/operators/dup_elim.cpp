@@ -1,0 +1,47 @@
+#include "operators/dup_elim.h"
+
+#include <cassert>
+
+namespace tcq {
+
+std::string DupElim::KeyOf(const Tuple& tuple) const {
+  std::string key;
+  if (opts_.key_attrs.empty()) {
+    // Full-tuple identity includes the timestamp: the same reading at a
+    // different time is a distinct stream event.
+    key = std::to_string(tuple.timestamp());
+    key += '\x1f';
+    for (size_t i = 0; i < tuple.num_fields(); ++i) {
+      key += tuple.at(i).ToString();
+      key += '\x1f';
+    }
+    return key;
+  }
+  for (const AttrRef& a : opts_.key_attrs) {
+    const Value* v = ResolveAttr(tuple, a);
+    assert(v != nullptr && "dup-elim key attribute missing");
+    key += v->ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+EddyModule::Action DupElim::Process(const Envelope& env,
+                                    std::vector<Envelope>*) {
+  std::string key = KeyOf(env.tuple);
+  auto [it, inserted] = seen_.insert(std::move(key));
+  if (!inserted) return Action::kDrop;
+  if (opts_.window > 0) by_time_.emplace_back(env.tuple.timestamp(), *it);
+  return Action::kPass;
+}
+
+void DupElim::AdvanceTime(Timestamp now) {
+  if (opts_.window == 0) return;
+  Timestamp cutoff = now - opts_.window;
+  while (!by_time_.empty() && by_time_.front().first <= cutoff) {
+    seen_.erase(by_time_.front().second);
+    by_time_.pop_front();
+  }
+}
+
+}  // namespace tcq

@@ -1,0 +1,54 @@
+// Duplicate elimination: a pipelined, non-blocking module (listed among the
+// Telegraph query modules in Fig. 1). Keeps a set of seen keys over the
+// configured attributes; over infinite streams the set can be bounded by a
+// window so state does not grow without limit.
+
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <deque>
+#include <vector>
+
+#include "eddy/module.h"
+#include "operators/predicate.h"
+
+namespace tcq {
+
+class DupElim : public EddyModule {
+ public:
+  struct Options {
+    /// Attributes defining tuple identity; empty = all fields.
+    std::vector<AttrRef> key_attrs;
+    /// Forget keys older than this many time units; 0 = remember forever.
+    Timestamp window = 0;
+  };
+
+  DupElim(std::string name, Options opts)
+      : EddyModule(std::move(name)), opts_(std::move(opts)) {
+    for (const AttrRef& a : opts_.key_attrs) sources_ |= SourceBit(a.source);
+  }
+
+  bool AppliesTo(SourceSet sources) const override {
+    return (sources_ & ~sources) == 0;
+  }
+
+  Action Process(const Envelope& env, std::vector<Envelope>* out) override;
+
+  SourceSet contributes() const override { return sources_; }
+
+  /// Expires remembered keys under the window policy.
+  void AdvanceTime(Timestamp now);
+
+  size_t distinct_seen() const { return seen_.size(); }
+
+ private:
+  std::string KeyOf(const Tuple& tuple) const;
+
+  Options opts_;
+  SourceSet sources_ = 0;
+  std::unordered_set<std::string> seen_;
+  std::deque<std::pair<Timestamp, std::string>> by_time_;
+};
+
+}  // namespace tcq

@@ -1,0 +1,148 @@
+#include "operators/grouped_filter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcq {
+
+void GroupedFilter::AddFactor(QueryId q, CmpOp op, Value literal) {
+  // Re-registering a removed query must not resurrect its old factors.
+  if (dead_.Contains(q)) Compact();
+  switch (op) {
+    case CmpOp::kEq:
+      eq_[std::move(literal)].push_back(q);
+      break;
+    case CmpOp::kNe:
+      ne_.emplace_back(std::move(literal), q);
+      break;
+    case CmpOp::kGt:
+      lower_.push_back(Bound{std::move(literal), q, true});
+      lower_sorted_ = false;
+      break;
+    case CmpOp::kGe:
+      lower_.push_back(Bound{std::move(literal), q, false});
+      lower_sorted_ = false;
+      break;
+    case CmpOp::kLt:
+      upper_.push_back(Bound{std::move(literal), q, true});
+      upper_sorted_ = false;
+      break;
+    case CmpOp::kLe:
+      upper_.push_back(Bound{std::move(literal), q, false});
+      upper_sorted_ = false;
+      break;
+  }
+  ++factor_count_[q];
+  ++num_factors_;
+  interested_.Add(q);
+  dead_.Remove(q);
+}
+
+void GroupedFilter::AddRange(QueryId q, Value lo, bool lo_incl, Value hi,
+                             bool hi_incl) {
+  if (dead_.Contains(q)) Compact();
+  ranges_.Add(IntervalIndex::Interval{std::move(lo), lo_incl, std::move(hi),
+                                      hi_incl, q});
+  ++factor_count_[q];
+  ++num_factors_;
+  interested_.Add(q);
+  dead_.Remove(q);
+}
+
+void GroupedFilter::RemoveQuery(QueryId q) {
+  if (!interested_.Contains(q)) return;
+  dead_.Add(q);
+  interested_.Remove(q);
+  ranges_.Remove(q);
+}
+
+void GroupedFilter::Compact() {
+  auto is_dead = [&](QueryId q) { return dead_.Contains(q); };
+  for (auto it = eq_.begin(); it != eq_.end();) {
+    auto& qs = it->second;
+    qs.erase(std::remove_if(qs.begin(), qs.end(), is_dead), qs.end());
+    it = qs.empty() ? eq_.erase(it) : std::next(it);
+  }
+  std::erase_if(ne_, [&](const auto& p) { return is_dead(p.second); });
+  std::erase_if(lower_, [&](const Bound& b) { return is_dead(b.query); });
+  std::erase_if(upper_, [&](const Bound& b) { return is_dead(b.query); });
+  ranges_.Compact();
+  num_factors_ = ne_.size() + lower_.size() + upper_.size() + ranges_.size();
+  for (const auto& [v, qs] : eq_) num_factors_ += qs.size();
+  for (auto it = factor_count_.begin(); it != factor_count_.end();) {
+    it = is_dead(it->first) ? factor_count_.erase(it) : std::next(it);
+  }
+  dead_ = QuerySet();
+}
+
+void GroupedFilter::BumpMatch(QueryId q, std::vector<QueryId>* touched) const {
+  if (matched_.size() <= q) {
+    matched_.resize(q + 1, 0);
+    probe_epoch_.resize(q + 1, 0);
+  }
+  if (probe_epoch_[q] != epoch_) {
+    probe_epoch_[q] = epoch_;
+    matched_[q] = 0;
+    touched->push_back(q);
+  }
+  ++matched_[q];
+}
+
+void GroupedFilter::Match(const Value& v, QuerySet* out) const {
+  if (!lower_sorted_) {
+    auto& lower = const_cast<std::vector<Bound>&>(lower_);
+    std::sort(lower.begin(), lower.end(),
+              [](const Bound& a, const Bound& b) {
+                return a.literal.Compare(b.literal) < 0;
+              });
+    const_cast<bool&>(lower_sorted_) = true;
+  }
+  if (!upper_sorted_) {
+    auto& upper = const_cast<std::vector<Bound>&>(upper_);
+    std::sort(upper.begin(), upper.end(),
+              [](const Bound& a, const Bound& b) {
+                return a.literal.Compare(b.literal) < 0;
+              });
+    const_cast<bool&>(upper_sorted_) = true;
+  }
+
+  ++epoch_;
+  touched_.clear();
+
+  // Equality: one hash lookup.
+  if (auto it = eq_.find(v); it != eq_.end()) {
+    for (QueryId q : it->second) BumpMatch(q, &touched_);
+  }
+  // Inequality: satisfied unless equal.
+  for (const auto& [literal, q] : ne_) {
+    if (v.Compare(literal) != 0) BumpMatch(q, &touched_);
+  }
+  // Lower bounds: the prefix with literal < v matches; literal == v matches
+  // only non-strict bounds.
+  for (const Bound& b : lower_) {
+    int c = b.literal.Compare(v);
+    if (c > 0) break;
+    if (c < 0 || !b.strict) BumpMatch(b.query, &touched_);
+  }
+  // Upper bounds: the suffix with literal > v matches. Walk backwards.
+  for (auto it = upper_.rbegin(); it != upper_.rend(); ++it) {
+    int c = it->literal.Compare(v);
+    if (c < 0) break;
+    if (c > 0 || !it->strict) BumpMatch(it->query, &touched_);
+  }
+  // Two-sided ranges: interval-tree stab, O(log n + matches).
+  if (ranges_.size() > 0) {
+    range_scratch_ = QuerySet();
+    ranges_.Stab(v, &range_scratch_);
+    range_scratch_.ForEach([&](QueryId q) { BumpMatch(q, &touched_); });
+  }
+
+  for (QueryId q : touched_) {
+    if (dead_.Contains(q)) continue;
+    auto it = factor_count_.find(q);
+    assert(it != factor_count_.end());
+    if (matched_[q] == it->second) out->Add(q);
+  }
+}
+
+}  // namespace tcq

@@ -1,0 +1,94 @@
+// GroupedFilter: "an index for single-variable boolean factors over the same
+// attribute" (paper §3.1, from CACQ [MSHR02]). When a query enters the
+// system it is decomposed into boolean factors; single-variable factors are
+// inserted here, keyed by attribute. A probe with a tuple's value returns
+// the set of queries whose factors on this attribute are ALL satisfied, in
+// time proportional to the answer rather than to the number of queries.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/query_set.h"
+#include "operators/interval_index.h"
+#include "operators/predicate.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+class GroupedFilter {
+ public:
+  explicit GroupedFilter(AttrRef attr) : attr_(std::move(attr)) {}
+
+  const AttrRef& attr() const { return attr_; }
+
+  /// Registers one boolean factor `attr op literal` for query `q`. A query
+  /// may register several factors (e.g. a range is a kGe + kLe pair); it
+  /// matches a value only when every registered factor holds.
+  void AddFactor(QueryId q, CmpOp op, Value literal);
+
+  /// Registers a two-sided range factor lo..hi as ONE factor, indexed in a
+  /// centered interval tree so a probe costs O(log n + matches) instead of
+  /// walking every satisfied bound. Prefer this over an AddFactor pair when
+  /// both ends of a range are known together.
+  void AddRange(QueryId q, Value lo, bool lo_incl, Value hi, bool hi_incl);
+
+  /// Removes every factor of query `q` (lazy: excluded from matches
+  /// immediately, storage reclaimed by Compact()).
+  void RemoveQuery(QueryId q);
+
+  /// Rebuilds internal structures, dropping factors of removed queries.
+  void Compact();
+
+  /// Adds to `out` every registered query all of whose factors are
+  /// satisfied by `v`.
+  void Match(const Value& v, QuerySet* out) const;
+
+  /// All queries with at least one factor here (live only).
+  const QuerySet& interested() const { return interested_; }
+
+  size_t num_factors() const { return num_factors_; }
+
+ private:
+  struct Bound {
+    Value literal;
+    QueryId query;
+    bool strict;  // kGt/kLt vs kGe/kLe
+  };
+
+  void BumpMatch(QueryId q, std::vector<QueryId>* touched) const;
+
+  AttrRef attr_;
+  // Equality factors: literal -> queries.
+  std::unordered_map<Value, std::vector<QueryId>, ValueHash> eq_;
+  // Inequality (!=) factors, satisfied unless the value equals the literal.
+  std::vector<std::pair<Value, QueryId>> ne_;
+  // Lower bounds (v > / >= literal), sorted ascending by literal: a probe
+  // value satisfies the prefix of bounds below it.
+  std::vector<Bound> lower_;
+  bool lower_sorted_ = true;
+  // Upper bounds (v < / <= literal), sorted ascending: a probe value
+  // satisfies the suffix of bounds above it.
+  std::vector<Bound> upper_;
+  bool upper_sorted_ = true;
+  // Two-sided ranges, stabbed via a centered interval tree.
+  IntervalIndex ranges_;
+
+  // Factors required per query; a probe matches a query when its per-probe
+  // counter reaches this.
+  std::unordered_map<QueryId, uint32_t> factor_count_;
+  QuerySet interested_;
+  QuerySet dead_;
+  size_t num_factors_ = 0;
+
+  // Per-probe scratch (epoch-tagged counters so Match is O(answer)).
+  mutable std::vector<uint32_t> probe_epoch_;
+  mutable std::vector<uint32_t> matched_;
+  mutable uint32_t epoch_ = 0;
+  mutable std::vector<QueryId> touched_;
+  mutable QuerySet range_scratch_;
+};
+
+}  // namespace tcq

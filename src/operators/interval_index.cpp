@@ -1,0 +1,107 @@
+#include "operators/interval_index.h"
+
+#include <algorithm>
+
+namespace tcq {
+
+void IntervalIndex::Add(Interval interval) {
+  dead_.Remove(interval.query);
+  intervals_.push_back(std::move(interval));
+  dirty_ = true;
+}
+
+void IntervalIndex::Remove(QueryId query) { dead_.Add(query); }
+
+void IntervalIndex::Compact() {
+  std::erase_if(intervals_,
+                [&](const Interval& iv) { return dead_.Contains(iv.query); });
+  dead_ = QuerySet();
+  dirty_ = true;
+}
+
+bool IntervalIndex::Contains(const Interval& iv, const Value& v) const {
+  int cl = v.Compare(iv.lo);
+  if (cl < 0 || (cl == 0 && !iv.lo_incl)) return false;
+  int ch = v.Compare(iv.hi);
+  if (ch > 0 || (ch == 0 && !iv.hi_incl)) return false;
+  return true;
+}
+
+std::unique_ptr<IntervalIndex::Node> IntervalIndex::Build(
+    std::vector<size_t> ids) const {
+  if (ids.empty()) return nullptr;
+  // Center: median of interval low endpoints.
+  std::vector<size_t> by_lo = ids;
+  std::sort(by_lo.begin(), by_lo.end(), [&](size_t a, size_t b) {
+    return intervals_[a].lo.Compare(intervals_[b].lo) < 0;
+  });
+  Value center = intervals_[by_lo[by_lo.size() / 2]].lo;
+
+  auto node = std::make_unique<Node>();
+  node->center = center;
+  std::vector<size_t> lefts, rights;
+  for (size_t id : ids) {
+    const Interval& iv = intervals_[id];
+    if (iv.hi.Compare(center) < 0) {
+      lefts.push_back(id);
+    } else if (iv.lo.Compare(center) > 0) {
+      rights.push_back(id);
+    } else {
+      node->by_lo_asc.push_back(id);
+    }
+  }
+  node->by_hi_desc = node->by_lo_asc;
+  std::sort(node->by_lo_asc.begin(), node->by_lo_asc.end(),
+            [&](size_t a, size_t b) {
+              return intervals_[a].lo.Compare(intervals_[b].lo) < 0;
+            });
+  std::sort(node->by_hi_desc.begin(), node->by_hi_desc.end(),
+            [&](size_t a, size_t b) {
+              return intervals_[a].hi.Compare(intervals_[b].hi) > 0;
+            });
+  // Guard against degenerate recursion when every interval straddles the
+  // center (then lefts/rights strictly shrink the problem).
+  node->left = Build(std::move(lefts));
+  node->right = Build(std::move(rights));
+  return node;
+}
+
+void IntervalIndex::RebuildIfDirty() const {
+  if (!dirty_) return;
+  std::vector<size_t> ids(intervals_.size());
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  root_ = Build(std::move(ids));
+  dirty_ = false;
+}
+
+void IntervalIndex::StabNode(const Node* node, const Value& v,
+                             QuerySet* out) const {
+  if (node == nullptr) return;
+  int c = v.Compare(node->center);
+  if (c <= 0) {
+    // Candidates at this node are those whose lo end is at or below v.
+    for (size_t id : node->by_lo_asc) {
+      const Interval& iv = intervals_[id];
+      if (iv.lo.Compare(v) > 0) break;
+      if (!dead_.Contains(iv.query) && Contains(iv, v)) out->Add(iv.query);
+    }
+    StabNode(node->left.get(), v, out);
+  }
+  if (c >= 0) {
+    for (size_t id : node->by_hi_desc) {
+      const Interval& iv = intervals_[id];
+      if (iv.hi.Compare(v) < 0) break;
+      // At v == center both walks see straddling intervals; Add() is
+      // idempotent so duplicates are harmless.
+      if (!dead_.Contains(iv.query) && Contains(iv, v)) out->Add(iv.query);
+    }
+    StabNode(node->right.get(), v, out);
+  }
+}
+
+void IntervalIndex::Stab(const Value& v, QuerySet* out) const {
+  RebuildIfDirty();
+  StabNode(root_.get(), v, out);
+}
+
+}  // namespace tcq

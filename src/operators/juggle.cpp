@@ -1,0 +1,44 @@
+#include "operators/juggle.h"
+
+#include <algorithm>
+
+namespace tcq {
+
+void Juggle::Push(const Tuple& tuple) {
+  heap_.push(Item{priority_(tuple), arrivals_++, tuple});
+  if (heap_.size() > opts_.capacity) {
+    // Evict the lowest-priority buffered tuples to the spool. A heap only
+    // exposes its max, so rebuild once: pull everything, keep the top
+    // `capacity`, spool the rest. Amortized by evicting a 25% batch.
+    size_t keep = opts_.capacity - opts_.capacity / 4;
+    std::vector<Item> items;
+    items.reserve(heap_.size());
+    while (!heap_.empty()) {
+      items.push_back(heap_.top());
+      heap_.pop();
+    }
+    // items are in descending priority order (heap pops max first).
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i < keep) {
+        heap_.push(std::move(items[i]));
+      } else {
+        spool_.push_back(std::move(items[i]));
+      }
+    }
+  }
+}
+
+Tuple Juggle::Pop() {
+  if (!heap_.empty()) {
+    Tuple t = heap_.top().tuple;
+    heap_.pop();
+    return t;
+  }
+  // Serve the best spooled tuple.
+  auto best = std::max_element(spool_.begin(), spool_.end());
+  Tuple t = best->tuple;
+  spool_.erase(best);
+  return t;
+}
+
+}  // namespace tcq

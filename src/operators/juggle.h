@@ -1,0 +1,64 @@
+// Juggle: online reordering that prioritizes records by content
+// ([RRH99], paper §2.1). Sits between the engine and a consumer that
+// processes results slower than they are produced, reordering the buffered
+// backlog so the most interesting tuples are delivered first.
+
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+class Juggle {
+ public:
+  /// Larger priority = delivered sooner.
+  using PriorityFn = std::function<double(const Tuple&)>;
+
+  struct Options {
+    /// Maximum buffered tuples; pushes beyond this evict the LOWEST
+    /// priority buffered tuple to side storage (spooled vector), mirroring
+    /// the juggle's disk spool.
+    size_t capacity = 1024;
+  };
+
+  Juggle(PriorityFn priority, Options opts)
+      : priority_(std::move(priority)), opts_(opts) {}
+
+  /// Buffers a tuple for reordered delivery.
+  void Push(const Tuple& tuple);
+
+  /// True if a tuple is available (buffered or spooled).
+  bool HasNext() const { return !heap_.empty() || !spool_.empty(); }
+
+  /// Delivers the highest-priority available tuple. Buffered tuples are
+  /// served before spooled ones (the spool models disk: touched only when
+  /// the hot buffer drains).
+  Tuple Pop();
+
+  size_t buffered() const { return heap_.size(); }
+  size_t spooled() const { return spool_.size(); }
+
+ private:
+  struct Item {
+    double priority;
+    uint64_t tie;  // arrival order, for deterministic FIFO among equals
+    Tuple tuple;
+    bool operator<(const Item& other) const {
+      if (priority != other.priority) return priority < other.priority;
+      return tie > other.tie;
+    }
+  };
+
+  PriorityFn priority_;
+  Options opts_;
+  std::priority_queue<Item> heap_;
+  std::vector<Item> spool_;
+  uint64_t arrivals_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,162 @@
+#include "operators/predicate.h"
+
+#include <cassert>
+
+namespace tcq {
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(const Value& left, CmpOp op, const Value& right) {
+  // SQL-style: comparisons against null are false.
+  if (left.is_null() || right.is_null()) return false;
+  int c = left.Compare(right);
+  switch (op) {
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+const Value* ResolveAttr(const Tuple& tuple, const AttrRef& attr) {
+  auto idx = tuple.schema()->IndexOf(attr.name, attr.source);
+  if (!idx.has_value()) return nullptr;
+  return &tuple.at(*idx);
+}
+
+bool CompareConst::Eval(const Tuple& tuple) const {
+  const Value* v = ResolveAttr(tuple, attr_);
+  assert(v != nullptr && "attribute not present; check CanEval first");
+  return EvalCmp(*v, op_, literal_);
+}
+
+std::string CompareConst::ToString() const {
+  return attr_.ToString() + " " + CmpOpName(op_) + " " + literal_.ToString();
+}
+
+bool RangePredicate::Eval(const Tuple& tuple) const {
+  const Value* v = ResolveAttr(tuple, attr_);
+  assert(v != nullptr && "attribute not present; check CanEval first");
+  if (v->is_null()) return false;
+  int cl = v->Compare(lo_);
+  if (cl < 0 || (cl == 0 && !lo_inclusive_)) return false;
+  int ch = v->Compare(hi_);
+  if (ch > 0 || (ch == 0 && !hi_inclusive_)) return false;
+  return true;
+}
+
+std::string RangePredicate::ToString() const {
+  return attr_.ToString() + " in " + (lo_inclusive_ ? "[" : "(") +
+         lo_.ToString() + ", " + hi_.ToString() + (hi_inclusive_ ? "]" : ")");
+}
+
+bool CompareAttrs::Eval(const Tuple& tuple) const {
+  const Value* l = ResolveAttr(tuple, left_);
+  const Value* r = ResolveAttr(tuple, right_);
+  assert(l != nullptr && r != nullptr &&
+         "attribute not present; check CanEval first");
+  return EvalCmp(*l, op_, *r);
+}
+
+std::string CompareAttrs::ToString() const {
+  return left_.ToString() + " " + CmpOpName(op_) + " " + right_.ToString();
+}
+
+AndPredicate::AndPredicate(std::vector<PredicateRef> children)
+    : children_(std::move(children)) {
+  for (const auto& c : children_) sources_ |= c->sources();
+}
+
+bool AndPredicate::Eval(const Tuple& tuple) const {
+  for (const auto& c : children_) {
+    if (!c->Eval(tuple)) return false;
+  }
+  return true;
+}
+
+std::string AndPredicate::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i) out += " AND ";
+    out += children_[i]->ToString();
+  }
+  return out + ")";
+}
+
+OrPredicate::OrPredicate(std::vector<PredicateRef> children)
+    : children_(std::move(children)) {
+  for (const auto& c : children_) sources_ |= c->sources();
+}
+
+bool OrPredicate::Eval(const Tuple& tuple) const {
+  for (const auto& c : children_) {
+    if (c->Eval(tuple)) return true;
+  }
+  return false;
+}
+
+std::string OrPredicate::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i) out += " OR ";
+    out += children_[i]->ToString();
+  }
+  return out + ")";
+}
+
+PredicateRef MakeCompareConst(AttrRef attr, CmpOp op, Value literal) {
+  return std::make_shared<CompareConst>(std::move(attr), op,
+                                        std::move(literal));
+}
+
+PredicateRef MakeRange(AttrRef attr, Value lo, Value hi, bool lo_inclusive,
+                       bool hi_inclusive) {
+  return std::make_shared<RangePredicate>(std::move(attr), std::move(lo),
+                                          lo_inclusive, std::move(hi),
+                                          hi_inclusive);
+}
+
+PredicateRef MakeCompareAttrs(AttrRef left, CmpOp op, AttrRef right) {
+  return std::make_shared<CompareAttrs>(std::move(left), op, std::move(right));
+}
+
+PredicateRef MakeAnd(std::vector<PredicateRef> children) {
+  return std::make_shared<AndPredicate>(std::move(children));
+}
+
+PredicateRef MakeOr(std::vector<PredicateRef> children) {
+  return std::make_shared<OrPredicate>(std::move(children));
+}
+
+PredicateRef MakeNot(PredicateRef child) {
+  return std::make_shared<NotPredicate>(std::move(child));
+}
+
+PredicateRef MakeTrue() { return std::make_shared<TruePredicate>(); }
+
+}  // namespace tcq

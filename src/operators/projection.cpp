@@ -1,0 +1,46 @@
+#include "operators/projection.h"
+
+namespace tcq {
+
+Result<SchemaRef> Projection::OutputSchema(const SchemaRef& input) const {
+  std::vector<Field> fields;
+  fields.reserve(attrs_.size());
+  for (const AttrRef& a : attrs_) {
+    auto idx = input->IndexOf(a.name, a.source);
+    if (!idx.has_value()) {
+      return Status::NotFound("projection attribute " + a.ToString() +
+                              " not in schema " + input->ToString());
+    }
+    fields.push_back(input->field(*idx));
+  }
+  return Schema::Make(std::move(fields));
+}
+
+Result<Tuple> Projection::Apply(const Tuple& tuple) const {
+  const Schema* key = tuple.schema().get();
+  SchemaRef out_schema;
+  for (const auto& [cached_key, cached] : schema_cache_) {
+    if (cached_key == key) {
+      out_schema = cached;
+      break;
+    }
+  }
+  if (!out_schema) {
+    TCQ_ASSIGN_OR_RETURN(out_schema, OutputSchema(tuple.schema()));
+    schema_cache_.emplace_back(key, out_schema);
+  }
+  std::vector<Value> values;
+  values.reserve(attrs_.size());
+  for (const AttrRef& a : attrs_) {
+    const Value* v = ResolveAttr(tuple, a);
+    if (v == nullptr) {
+      return Status::NotFound("projection attribute " + a.ToString() +
+                              " missing at runtime");
+    }
+    values.push_back(*v);
+  }
+  return Tuple::Make(std::move(out_schema), std::move(values),
+                     tuple.timestamp());
+}
+
+}  // namespace tcq

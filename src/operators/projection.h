@@ -1,0 +1,37 @@
+// Projection: maps tuples onto a subset (or reordering) of attributes.
+// Applied at the output boundary of a query rather than routed inside the
+// eddy, since projecting early would destroy attributes later modules need.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "operators/predicate.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+class Projection {
+ public:
+  /// Projects onto the given attributes, in order.
+  explicit Projection(std::vector<AttrRef> attrs) : attrs_(std::move(attrs)) {}
+
+  /// Builds the output schema for a given input schema. Fails if an
+  /// attribute is missing.
+  Result<SchemaRef> OutputSchema(const SchemaRef& input) const;
+
+  /// Projects one tuple. The output schema is resolved (and cached) per
+  /// distinct input schema, since eddy intermediates vary in format.
+  Result<Tuple> Apply(const Tuple& tuple) const;
+
+  const std::vector<AttrRef>& attrs() const { return attrs_; }
+
+ private:
+  std::vector<AttrRef> attrs_;
+  // Cache of input-schema pointer -> output schema (single-threaded use).
+  mutable std::vector<std::pair<const Schema*, SchemaRef>> schema_cache_;
+};
+
+}  // namespace tcq

@@ -1,0 +1,20 @@
+#include "operators/selection.h"
+
+namespace tcq {
+
+namespace {
+// Opaque unit of synthetic work; volatile sink defeats the optimizer.
+void BurnCpu(uint32_t loops) {
+  volatile uint64_t sink = 0;
+  for (uint32_t i = 0; i < loops; ++i) sink = sink + i * 2654435761u;
+  (void)sink;
+}
+}  // namespace
+
+EddyModule::Action Selection::Process(const Envelope& env,
+                                      std::vector<Envelope>*) {
+  if (cost_loops_ > 0) BurnCpu(cost_loops_);
+  return predicate_->Eval(env.tuple) ? Action::kPass : Action::kDrop;
+}
+
+}  // namespace tcq

@@ -1,0 +1,43 @@
+// Selection: a pipelined, non-blocking filter module routable by an eddy.
+// Optionally burns synthetic CPU per tuple so benchmarks can model expensive
+// predicates (remote lookups, UDFs) with controllable cost.
+
+#pragma once
+
+#include <memory>
+
+#include "eddy/module.h"
+#include "operators/predicate.h"
+
+namespace tcq {
+
+class Selection : public EddyModule {
+ public:
+  Selection(std::string name, PredicateRef predicate, uint32_t cost_loops = 0)
+      : EddyModule(std::move(name)),
+        predicate_(std::move(predicate)),
+        cost_loops_(cost_loops) {}
+
+  bool AppliesTo(SourceSet sources) const override {
+    // Evaluable once every referenced source is present in the tuple.
+    return (predicate_->sources() & ~sources) == 0;
+  }
+
+  Action Process(const Envelope& env, std::vector<Envelope>* out) override;
+
+  SourceSet contributes() const override { return predicate_->sources(); }
+
+  const PredicateRef& predicate() const { return predicate_; }
+
+  /// Replaces the predicate, modelling content drift experiments where a
+  /// filter's selectivity changes mid-stream.
+  void ReplacePredicate(PredicateRef predicate) {
+    predicate_ = std::move(predicate);
+  }
+
+ private:
+  PredicateRef predicate_;
+  uint32_t cost_loops_;
+};
+
+}  // namespace tcq

@@ -1,0 +1,50 @@
+#include "operators/sort.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcq {
+
+void SortTuplesBy(std::vector<Tuple>* tuples, const AttrRef& attr,
+                  bool ascending) {
+  std::stable_sort(tuples->begin(), tuples->end(),
+                   [&](const Tuple& a, const Tuple& b) {
+                     const Value* va = ResolveAttr(a, attr);
+                     const Value* vb = ResolveAttr(b, attr);
+                     assert(va != nullptr && vb != nullptr);
+                     int c = va->Compare(*vb);
+                     return ascending ? c < 0 : c > 0;
+                   });
+}
+
+void TopK::Add(const Tuple& tuple) {
+  const Value* v = ResolveAttr(tuple, attr_);
+  assert(v != nullptr && "top-k attribute missing");
+  uint64_t seq = consumed_++;
+  if (heap_.size() < k_) {
+    heap_.push(Item{*v, seq, tuple});
+    return;
+  }
+  const Item& worst = heap_.top();
+  int c = v->Compare(worst.key);
+  bool better = largest_ ? c > 0 : c < 0;
+  if (better) {
+    heap_.pop();
+    heap_.push(Item{*v, seq, tuple});
+  }
+}
+
+std::vector<Tuple> TopK::Snapshot() const {
+  // Drain a copy of the heap: pops come out worst-first.
+  auto copy = heap_;
+  std::vector<Tuple> out;
+  out.reserve(copy.size());
+  while (!copy.empty()) {
+    out.push_back(copy.top().tuple);
+    copy.pop();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tcq

@@ -1,0 +1,63 @@
+// Sort (listed among the Telegraph query modules, Fig. 1). Over infinite
+// streams a blocking full sort is impossible, so two non-blocking forms are
+// provided: windowed sort (sort each window's contents on emission) and a
+// streaming top-K that maintains the K best tuples seen so far — the
+// CONTROL-style "interesting results first" companion to Juggle.
+
+#pragma once
+
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "operators/predicate.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// Stable in-place sort by an attribute. Null values order first (ascending)
+/// per the Value comparison rules.
+void SortTuplesBy(std::vector<Tuple>* tuples, const AttrRef& attr,
+                  bool ascending = true);
+
+/// Streaming top-K by attribute: feeds arbitrarily many tuples, retains the
+/// K largest (or smallest), and snapshots them in order on demand.
+class TopK {
+ public:
+  TopK(size_t k, AttrRef attr, bool largest = true)
+      : k_(k), attr_(std::move(attr)), largest_(largest) {}
+
+  void Add(const Tuple& tuple);
+
+  /// Current top-K, best first.
+  std::vector<Tuple> Snapshot() const;
+
+  size_t size() const { return heap_.size(); }
+  uint64_t consumed() const { return consumed_; }
+
+ private:
+  struct Item {
+    Value key;
+    uint64_t seq;  // tie-break: earlier arrival wins
+    Tuple tuple;
+  };
+  // Comparator orders the heap so that top() is the WORST retained item,
+  // ready for eviction.
+  struct WorstFirst {
+    bool largest;
+    bool operator()(const Item& a, const Item& b) const {
+      int c = a.key.Compare(b.key);
+      if (c != 0) return largest ? c > 0 : c < 0;
+      return a.seq < b.seq;
+    }
+  };
+
+  size_t k_;
+  AttrRef attr_;
+  bool largest_;
+  std::priority_queue<Item, std::vector<Item>, WorstFirst> heap_{
+      WorstFirst{largest_}};
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,73 @@
+#include "operators/transitive_closure.h"
+
+#include <cassert>
+
+namespace tcq {
+
+bool TransitiveClosure::Insert(int64_t from, int64_t to) {
+  auto [it, fresh] = forward_[from].insert(to);
+  if (!fresh) return false;
+  backward_[to].insert(from);
+  ++pairs_;
+  return true;
+}
+
+std::vector<std::pair<int64_t, int64_t>> TransitiveClosure::AddEdge(
+    int64_t from, int64_t to) {
+  ++edges_;
+  std::vector<std::pair<int64_t, int64_t>> fresh;
+  if (Reaches(from, to)) return fresh;
+
+  // Delta: ({x reaching from} ∪ {from}) × ({y reachable from to} ∪ {to}).
+  std::vector<int64_t> lefts{from};
+  if (auto it = backward_.find(from); it != backward_.end()) {
+    lefts.insert(lefts.end(), it->second.begin(), it->second.end());
+  }
+  std::vector<int64_t> rights{to};
+  if (auto it = forward_.find(to); it != forward_.end()) {
+    rights.insert(rights.end(), it->second.begin(), it->second.end());
+  }
+  for (int64_t x : lefts) {
+    for (int64_t y : rights) {
+      if (x == y) continue;  // closure of reachability, irreflexive
+      if (Insert(x, y)) fresh.emplace_back(x, y);
+    }
+  }
+  return fresh;
+}
+
+bool TransitiveClosure::Reaches(int64_t from, int64_t to) const {
+  auto it = forward_.find(from);
+  return it != forward_.end() && it->second.contains(to);
+}
+
+TransitiveClosureModule::TransitiveClosureModule(std::string name,
+                                                 AttrRef from_attr,
+                                                 AttrRef to_attr,
+                                                 SchemaRef out_schema)
+    : EddyModule(std::move(name)),
+      from_attr_(std::move(from_attr)),
+      to_attr_(std::move(to_attr)),
+      out_schema_(std::move(out_schema)) {
+  assert(out_schema_->num_fields() == 2 && "closure schema is (from, to)");
+  required_ = SourceBit(from_attr_.source) | SourceBit(to_attr_.source);
+}
+
+EddyModule::Action TransitiveClosureModule::Process(
+    const Envelope& env, std::vector<Envelope>* out) {
+  const Value* from = ResolveAttr(env.tuple, from_attr_);
+  const Value* to = ResolveAttr(env.tuple, to_attr_);
+  assert(from != nullptr && to != nullptr && "edge attributes missing");
+  auto fresh = closure_.AddEdge(from->AsInt64(), to->AsInt64());
+  if (fresh.empty()) return Action::kDrop;
+  out->reserve(fresh.size());
+  for (auto [x, y] : fresh) {
+    out->push_back(Envelope{
+        Tuple::Make(out_schema_, {Value::Int64(x), Value::Int64(y)},
+                    env.tuple.timestamp()),
+        0, env.seq_max});
+  }
+  return Action::kExpand;
+}
+
+}  // namespace tcq

@@ -1,0 +1,73 @@
+// TransitiveClosure (listed among the Telegraph query modules, Fig. 1):
+// incremental reachability over a stream of edges. Each arriving edge
+// (a, b) derives the new closure pairs it enables — the semi-naive delta
+// {x : x→*a} × {y : b→*y} — so downstream modules see reachability facts as
+// soon as they become true, never recomputed from scratch.
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "eddy/module.h"
+#include "operators/predicate.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// Incremental transitive-closure state over int64 node ids.
+class TransitiveClosure {
+ public:
+  /// Inserts edge (from, to); returns the closure pairs that became newly
+  /// reachable (including (from, to) itself if new). Self-loops derive
+  /// nothing new beyond themselves.
+  std::vector<std::pair<int64_t, int64_t>> AddEdge(int64_t from, int64_t to);
+
+  bool Reaches(int64_t from, int64_t to) const;
+
+  size_t closure_size() const { return pairs_; }
+  uint64_t edges_added() const { return edges_; }
+
+ private:
+  // forward_[a] = nodes reachable from a; backward_[b] = nodes reaching b.
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> forward_;
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> backward_;
+  size_t pairs_ = 0;
+  uint64_t edges_ = 0;
+
+  bool Insert(int64_t from, int64_t to);
+};
+
+/// Eddy module form: consumes edge tuples and expands each into the tuples
+/// of the newly derived closure pairs (same schema, with the module's
+/// source id). A pass-through for already-known pairs would re-derive
+/// results, so known pairs are dropped.
+class TransitiveClosureModule : public EddyModule {
+ public:
+  /// `from_attr`/`to_attr` name the edge endpoints in the input schema; the
+  /// emitted tuples use `out_schema` (two int64 fields plus timestamp).
+  TransitiveClosureModule(std::string name, AttrRef from_attr,
+                          AttrRef to_attr, SchemaRef out_schema);
+
+  bool AppliesTo(SourceSet sources) const override {
+    return (required_ & ~sources) == 0;
+  }
+
+  Action Process(const Envelope& env, std::vector<Envelope>* out) override;
+
+  SourceSet contributes() const override { return required_; }
+
+  const TransitiveClosure& closure() const { return closure_; }
+
+ private:
+  AttrRef from_attr_;
+  AttrRef to_attr_;
+  SchemaRef out_schema_;
+  SourceSet required_;
+  TransitiveClosure closure_;
+};
+
+}  // namespace tcq

@@ -1,0 +1,14 @@
+#include "psoup/data_stem.h"
+
+namespace tcq {
+
+void DataSteM::Insert(const Tuple& tuple) {
+  ++inserts_;
+  history_.Append(tuple);
+}
+
+void DataSteM::AdvanceTime(Timestamp now) {
+  if (retention_ > 0) history_.PruneBefore(now - retention_);
+}
+
+}  // namespace tcq

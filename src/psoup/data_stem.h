@@ -1,0 +1,50 @@
+// Data SteM (paper §3.2, Fig. 3): the repository of previously arrived
+// stream data. New queries are applied to its contents ("new queries over
+// old data"); new data is inserted here before being applied to old
+// queries. Backed by a timestamp-ordered history with optional retention.
+
+#pragma once
+
+#include <map>
+
+#include "common/status.h"
+#include "tuple/tuple.h"
+#include "window/window_exec.h"
+
+namespace tcq {
+
+class DataSteM {
+ public:
+  /// `retention` bounds how far back history is kept (0 = keep everything).
+  /// PSoup can only answer windows up to the retention span.
+  DataSteM(SourceId source, SchemaRef schema, Timestamp retention = 0)
+      : source_(source), schema_(std::move(schema)), retention_(retention) {}
+
+  SourceId source() const { return source_; }
+  const SchemaRef& schema() const { return schema_; }
+  Timestamp retention() const { return retention_; }
+
+  /// Inserts an arrived tuple (the "build" of the data side).
+  void Insert(const Tuple& tuple);
+
+  /// Applies a retention cutoff relative to `now`.
+  void AdvanceTime(Timestamp now);
+
+  /// Tuples with l <= ts <= r (the "probe" by a new query's window).
+  void Scan(Timestamp l, Timestamp r, std::vector<Tuple>* out) const {
+    history_.Range(l, r, out);
+  }
+
+  const StreamHistory& history() const { return history_; }
+  size_t size() const { return history_.size(); }
+  uint64_t inserts() const { return inserts_; }
+
+ private:
+  SourceId source_;
+  SchemaRef schema_;
+  Timestamp retention_;
+  StreamHistory history_;
+  uint64_t inserts_ = 0;
+};
+
+}  // namespace tcq

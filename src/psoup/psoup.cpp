@@ -1,0 +1,152 @@
+#include "psoup/psoup.h"
+
+#include <cassert>
+
+namespace tcq {
+
+PSoup::PSoup(Options opts)
+    : opts_(opts), eddy_(MakeLotteryPolicy(opts.seed)) {
+  eddy_.SetOutput([this](QueryId q, const Tuple& t) {
+    results_.Insert(q, t, t.timestamp());
+  });
+}
+
+void PSoup::RegisterStream(SourceId source, SchemaRef schema,
+                           Timestamp retention) {
+  StemOptions stem_opts;
+  stem_opts.window = retention;
+  eddy_.RegisterStream(source, schema, std::move(stem_opts));
+  data_stems_[source] =
+      std::make_unique<DataSteM>(source, std::move(schema), retention);
+}
+
+const DataSteM* PSoup::data_stem(SourceId source) const {
+  auto it = data_stems_.find(source);
+  return it == data_stems_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Tuple> PSoup::EvaluateOverHistory(const PSoupQuery& query,
+                                              Timestamp lo,
+                                              Timestamp hi) const {
+  // One snapshot window per involved source covering [lo, hi].
+  WindowedQuery wq;
+  ForLoopSpec loop;
+  loop.t_init = 0;
+  loop.condition = {LoopCondition::Kind::kEq, 0};
+  loop.t_step = -1;
+  SourceSet footprint = query.where.Footprint();
+  std::map<SourceId, StreamHistory> histories;
+  for (SourceId s = 0; s < 32; ++s) {
+    if (!(footprint & SourceBit(s))) continue;
+    loop.windows.push_back(
+        {s, WindowBound::Constant(lo), WindowBound::Constant(hi)});
+    auto it = data_stems_.find(s);
+    if (it == data_stems_.end()) return {};
+    StreamHistory h;
+    std::vector<Tuple> content;
+    it->second->Scan(lo, hi, &content);
+    for (const Tuple& t : content) h.Append(t);
+    histories.emplace(s, std::move(h));
+  }
+  wq.loop = std::move(loop);
+  for (const FilterFactor& f : query.where.filters) {
+    wq.predicates.push_back(MakeCompareConst(f.attr, f.op, f.literal));
+  }
+  for (const JoinEdge& j : query.where.joins) {
+    wq.predicates.push_back(MakeCompareAttrs(j.left, CmpOp::kEq, j.right));
+  }
+  for (const PredicateRef& r : query.where.residuals) {
+    wq.predicates.push_back(r);
+  }
+  auto results = RunOverHistory(wq, histories);
+  assert(results.size() == 1u);
+  return std::move(results.front().tuples);
+}
+
+Result<QueryId> PSoup::Register(PSoupQuery query) {
+  // 1. Register the continuous half with the shared eddy ("new data will be
+  //    applied to this old query").
+  TCQ_ASSIGN_OR_RETURN(QueryId id, eddy_.AddQuery(query.where));
+  query_stem_.Insert(id, query);
+
+  // 2. Backfill freshly created shared SteMs so old data can still join
+  //    with future arrivals.
+  SourceSet footprint = query.where.Footprint();
+  for (SourceId s = 0; s < 32; ++s) {
+    if (!(footprint & SourceBit(s))) continue;
+    if (eddy_.GetSteM(s) != nullptr && !backfilled_.contains(s)) {
+      std::vector<Tuple> history;
+      data_stems_[s]->Scan(kMinTimestamp, kMaxTimestamp, &history);
+      eddy_.BackfillSteM(s, history);
+      backfilled_.insert(s);
+    }
+  }
+
+  // 3. Apply the new query to old data (PSoup's historical half) and
+  //    materialize those results. Evaluation scans full retained history;
+  //    the query's window applies to result production time (max component
+  //    arrival), matching the continuous path's semantics.
+  for (const Tuple& t : EvaluateOverHistory(query, kMinTimestamp, now_)) {
+    if (query.window != 0 && t.timestamp() <= now_ - query.window) continue;
+    results_.Insert(id, t, t.timestamp());
+  }
+  return id;
+}
+
+Status PSoup::Unregister(QueryId id) {
+  TCQ_RETURN_IF_ERROR(query_stem_.Remove(id));
+  TCQ_RETURN_IF_ERROR(eddy_.RemoveQuery(id));
+  results_.Drop(id);
+  return Status::OK();
+}
+
+void PSoup::Ingest(SourceId source, const Tuple& tuple) {
+  auto it = data_stems_.find(source);
+  assert(it != data_stems_.end() && "ingest on unregistered stream");
+  now_ = std::max(now_, tuple.timestamp());
+  // Insert into the Data SteM (new data becomes old data for future
+  // queries), then apply to old queries via the shared eddy.
+  it->second->Insert(tuple);
+  eddy_.Ingest(source, tuple);
+  if (++ingests_ % opts_.eviction_interval == 0) EvictionPass(now_);
+}
+
+void PSoup::EvictionPass(Timestamp now) {
+  eddy_.AdvanceTime(now);
+  for (auto& [source, stem] : data_stems_) stem->AdvanceTime(now);
+  for (QueryId id = 0; id < query_stem_.size(); ++id) {
+    const PSoupQuery* q = query_stem_.Get(id);
+    if (!query_stem_.IsActive(id) || q->window == 0) continue;
+    results_.EvictBefore(id, now - q->window);
+  }
+}
+
+Result<std::vector<Tuple>> PSoup::Invoke(QueryId id, Timestamp now) const {
+  if (!query_stem_.IsActive(id)) {
+    return Status::NotFound("psoup query " + std::to_string(id) +
+                            " is not active");
+  }
+  const PSoupQuery* q = query_stem_.Get(id);
+  return results_.Fetch(id, now, q->window);
+}
+
+Result<std::vector<Tuple>> PSoup::InvokeByRecompute(QueryId id,
+                                                    Timestamp now) const {
+  if (!query_stem_.IsActive(id)) {
+    return Status::NotFound("psoup query " + std::to_string(id) +
+                            " is not active");
+  }
+  // Recompute from scratch over retained history, then impose the window on
+  // production time — the same semantics the materialized path provides.
+  const PSoupQuery* q = query_stem_.Get(id);
+  std::vector<Tuple> all = EvaluateOverHistory(*q, kMinTimestamp, now);
+  std::vector<Tuple> out;
+  for (Tuple& t : all) {
+    if (t.timestamp() > now) continue;
+    if (q->window != 0 && t.timestamp() <= now - q->window) continue;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace tcq

@@ -1,0 +1,90 @@
+// PSoup (paper §3.2): treats data and queries symmetrically. "When a client
+// first registers a query, the SELECT-FROM-WHERE clause is extracted and
+// inserted into a Query SteM, and is then applied to previously arrived data
+// stored in Data SteMs... when a new data element arrives, it is inserted
+// into the appropriate Data SteM, and is then applied to previously
+// specified queries stored in the Query SteM." Results are continuously
+// materialized (Results Structure) so intermittently connected clients can
+// return and fetch the current window instantly.
+//
+// Internally the "new data -> old queries" half runs on the CACQ shared
+// eddy; the "new query -> old data" half replays Data SteM history through
+// an offline evaluation; and cross-boundary joins (old data with future
+// partners) are covered by backfilling the shared SteMs.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "cacq/shared_eddy.h"
+#include "psoup/data_stem.h"
+#include "psoup/query_stem.h"
+#include "psoup/results.h"
+
+namespace tcq {
+
+class PSoup {
+ public:
+  struct Options {
+    /// Routing policy seed for the internal shared eddy.
+    uint64_t seed = 42;
+    /// Evict materialized results / data history every this many ingests.
+    uint64_t eviction_interval = 256;
+  };
+
+  PSoup() : PSoup(Options()) {}
+  explicit PSoup(Options opts);
+
+  /// Declares a stream. `retention` bounds how much history the Data SteM
+  /// keeps (0 = unbounded); queries can reach at most that far back.
+  void RegisterStream(SourceId source, SchemaRef schema,
+                      Timestamp retention = 0);
+
+  /// Registers a standing query: applies it to old data immediately, then
+  /// keeps its results continuously materialized. Returns the query id the
+  /// client later invokes with.
+  Result<QueryId> Register(PSoupQuery query);
+
+  /// Unregisters a query and drops its materialized results.
+  Status Unregister(QueryId id);
+
+  /// Feeds one new data element (timestamps must be non-decreasing per
+  /// stream).
+  void Ingest(SourceId source, const Tuple& tuple);
+
+  /// Disconnected-client invocation: imposes the query's window on the
+  /// Results Structure as of `now` and returns the current answer set.
+  Result<std::vector<Tuple>> Invoke(QueryId id, Timestamp now) const;
+
+  /// Number of currently materialized results for a query.
+  size_t MaterializedCount(QueryId id) const {
+    return results_.ResultCount(id);
+  }
+  size_t TotalMaterialized() const { return results_.TotalMaterialized(); }
+  const QuerySteM& query_stem() const { return query_stem_; }
+  const DataSteM* data_stem(SourceId source) const;
+
+  /// Reference path for the E5 benchmark: recomputes the query's current
+  /// answer from Data SteM history instead of reading materialized results
+  /// (what a system without the Results Structure must do per invocation).
+  Result<std::vector<Tuple>> InvokeByRecompute(QueryId id,
+                                               Timestamp now) const;
+
+ private:
+  void EvictionPass(Timestamp now);
+  std::vector<Tuple> EvaluateOverHistory(const PSoupQuery& query,
+                                         Timestamp lo, Timestamp hi) const;
+
+  Options opts_;
+  SharedEddy eddy_;
+  QuerySteM query_stem_;
+  std::map<SourceId, std::unique_ptr<DataSteM>> data_stems_;
+  ResultsStructure results_;
+  std::set<SourceId> backfilled_;
+  Timestamp now_ = 0;
+  uint64_t ingests_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,40 @@
+#include "psoup/query_stem.h"
+
+namespace tcq {
+
+void QuerySteM::Insert(QueryId id, PSoupQuery query) {
+  if (queries_.size() <= id) queries_.resize(id + 1);
+  queries_[id] = {std::move(query), true};
+  ++active_count_;
+}
+
+Status QuerySteM::Remove(QueryId id) {
+  if (id >= queries_.size() || !queries_[id].second) {
+    return Status::NotFound("psoup query " + std::to_string(id) +
+                            " is not active");
+  }
+  queries_[id].second = false;
+  --active_count_;
+  return Status::OK();
+}
+
+const PSoupQuery* QuerySteM::Get(QueryId id) const {
+  if (id >= queries_.size()) return nullptr;
+  return &queries_[id].first;
+}
+
+bool QuerySteM::IsActive(QueryId id) const {
+  return id < queries_.size() && queries_[id].second;
+}
+
+Timestamp QuerySteM::MaxWindow() const {
+  Timestamp max = 0;
+  for (const auto& [q, active] : queries_) {
+    if (!active) continue;
+    if (q.window == 0) return 0;  // unbounded retention required
+    max = std::max(max, q.window);
+  }
+  return max;
+}
+
+}  // namespace tcq

@@ -1,0 +1,51 @@
+// Query SteM (paper §3.2): the repository of registered queries — "a
+// generalization of the notion of a grouped filter". PSoup treats query
+// processing as a symmetric join between data and queries: new data probes
+// this SteM (via the shared eddy's grouped filters) and new queries are
+// built into it, then applied to the Data SteMs.
+
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "cacq/query_registry.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace tcq {
+
+/// A PSoup standing query: a SELECT-FROM-WHERE clause plus the time-based
+/// window imposed on the Results Structure at invocation (§3.2).
+struct PSoupQuery {
+  CQSpec where;
+  /// Window width: an invocation at time `now` returns results produced in
+  /// (now - window, now]. 0 = everything materialized.
+  Timestamp window = 0;
+};
+
+class QuerySteM {
+ public:
+  /// Builds a query into the SteM under an externally assigned id (PSoup
+  /// uses the shared eddy's query id so both sides of the data/query join
+  /// agree).
+  void Insert(QueryId id, PSoupQuery query);
+
+  Status Remove(QueryId id);
+
+  const PSoupQuery* Get(QueryId id) const;
+  bool IsActive(QueryId id) const;
+
+  /// Widest window of any active query (bounds result retention).
+  Timestamp MaxWindow() const;
+
+  size_t num_active() const { return active_count_; }
+  /// One past the largest id ever inserted (for iteration).
+  size_t size() const { return queries_.size(); }
+
+ private:
+  std::vector<std::pair<PSoupQuery, bool>> queries_;  // (query, active)
+  size_t active_count_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,57 @@
+#include "psoup/results.h"
+
+#include <algorithm>
+
+namespace tcq {
+
+void ResultsStructure::Insert(QueryId query, const Tuple& tuple,
+                              Timestamp ts) {
+  auto& entries = per_query_[query];
+  // Production times are monotone per query in the common case; tolerate
+  // slight disorder by positioning the insert.
+  if (entries.empty() || entries.back().ts <= ts) {
+    entries.push_back({ts, tuple});
+  } else {
+    auto it = std::upper_bound(
+        entries.begin(), entries.end(), ts,
+        [](Timestamp v, const Entry& e) { return v < e.ts; });
+    entries.insert(it, {ts, tuple});
+  }
+  ++total_;
+}
+
+std::vector<Tuple> ResultsStructure::Fetch(QueryId query, Timestamp now,
+                                           Timestamp window) const {
+  std::vector<Tuple> out;
+  auto it = per_query_.find(query);
+  if (it == per_query_.end()) return out;
+  Timestamp lo = window == 0 ? kMinTimestamp : now - window;
+  for (const Entry& e : it->second) {
+    if (e.ts > now) break;
+    if (window == 0 || e.ts > lo) out.push_back(e.tuple);
+  }
+  return out;
+}
+
+void ResultsStructure::EvictBefore(QueryId query, Timestamp cutoff) {
+  auto it = per_query_.find(query);
+  if (it == per_query_.end()) return;
+  while (!it->second.empty() && it->second.front().ts <= cutoff) {
+    it->second.pop_front();
+    --total_;
+  }
+}
+
+void ResultsStructure::Drop(QueryId query) {
+  auto it = per_query_.find(query);
+  if (it == per_query_.end()) return;
+  total_ -= it->second.size();
+  per_query_.erase(it);
+}
+
+size_t ResultsStructure::ResultCount(QueryId query) const {
+  auto it = per_query_.find(query);
+  return it == per_query_.end() ? 0 : it->second.size();
+}
+
+}  // namespace tcq

@@ -1,0 +1,47 @@
+// Results Structure (paper §3.2): PSoup "continuously computes the answers
+// to all active queries, effectively materializing the results until they
+// are specifically requested". The materialization is what enables
+// disconnected operation and efficient set-based retrieval: an invocation
+// imposes the query's window on this structure instead of recomputing.
+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/query_set.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+class ResultsStructure {
+ public:
+  /// Materializes one result for a query. `ts` is the result's production
+  /// time (max component arrival time for join results).
+  void Insert(QueryId query, const Tuple& tuple, Timestamp ts);
+
+  /// Results with ts in (now - window, now]; window 0 = everything.
+  std::vector<Tuple> Fetch(QueryId query, Timestamp now,
+                           Timestamp window) const;
+
+  /// Drops results of `query` with ts <= cutoff (retention enforcement).
+  void EvictBefore(QueryId query, Timestamp cutoff);
+
+  /// Drops all results of a removed query.
+  void Drop(QueryId query);
+
+  size_t ResultCount(QueryId query) const;
+  size_t TotalMaterialized() const { return total_; }
+
+ private:
+  struct Entry {
+    Timestamp ts;
+    Tuple tuple;
+  };
+  std::map<QueryId, std::deque<Entry>> per_query_;
+  size_t total_ = 0;
+};
+
+}  // namespace tcq

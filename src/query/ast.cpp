@@ -1,0 +1,5 @@
+#include "query/ast.h"
+
+// Header-only AST; this translation unit anchors the target.
+
+namespace tcq::ast {}

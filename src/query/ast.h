@@ -1,0 +1,77 @@
+// Abstract syntax for the TelegraphCQ query language: a basic SQL
+// SELECT-FROM-WHERE plus the §4.1 for-loop window construct
+// ("for(t=..; cond(t); change(t)) { WindowIs(Stream, left(t), right(t)); }").
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "operators/predicate.h"
+#include "window/window_spec.h"
+
+namespace tcq::ast {
+
+/// `[alias.]column`.
+struct ColumnRef {
+  std::string table;  // alias or stream name; empty = unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// A comparison operand: column or literal.
+using Operand = std::variant<ColumnRef, Value>;
+
+/// One conjunct of the WHERE clause: `lhs op rhs`.
+struct Comparison {
+  Operand lhs;
+  CmpOp op = CmpOp::kEq;
+  Operand rhs;
+};
+
+/// `FROM stream [alias]`.
+struct StreamRef {
+  std::string stream;
+  std::string alias;  // defaults to the stream name
+
+  const std::string& EffectiveAlias() const {
+    return alias.empty() ? stream : alias;
+  }
+};
+
+/// A window-end expression: `coef*t + offset` with coef in {0, 1}.
+struct WindowExpr {
+  bool uses_t = false;
+  Timestamp offset = 0;
+};
+
+/// `WindowIs(alias, left, right);`
+struct WindowIsStmt {
+  std::string target;  // stream alias
+  WindowExpr left;
+  WindowExpr right;
+};
+
+/// The for-loop clause.
+struct ForLoop {
+  Timestamp t_init = 0;
+  LoopCondition condition;
+  Timestamp t_step = 1;
+  std::vector<WindowIsStmt> windows;
+};
+
+/// A full parsed statement.
+struct SelectStatement {
+  bool select_all = false;
+  std::vector<ColumnRef> select_list;
+  std::vector<StreamRef> from;
+  std::vector<Comparison> where;
+  std::optional<ForLoop> for_loop;
+};
+
+}  // namespace tcq::ast

@@ -1,0 +1,53 @@
+#include "query/catalog.h"
+
+namespace tcq {
+
+Result<SourceId> Catalog::NextSource() {
+  if (next_source_ >= 32) {
+    return Status::ResourceExhausted("catalog is limited to 32 source ids");
+  }
+  return next_source_++;
+}
+
+Result<SourceId> Catalog::DefineStream(const std::string& name,
+                                       const std::vector<Field>& fields) {
+  if (by_name_.contains(name)) {
+    return Status::AlreadyExists("stream '" + name + "' already defined");
+  }
+  TCQ_ASSIGN_OR_RETURN(SourceId source, NextSource());
+  std::vector<Field> rewritten = fields;
+  for (Field& f : rewritten) f.source = source;
+  StreamEntry entry{name, source, Schema::Make(std::move(rewritten))};
+  by_name_[name] = entry;
+  by_source_[source] = entry;
+  return source;
+}
+
+Result<Catalog::StreamEntry> Catalog::InstantiateAlias(
+    const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no stream '" + name + "' in catalog");
+  }
+  TCQ_ASSIGN_OR_RETURN(SourceId source, NextSource());
+  std::vector<Field> fields = it->second.schema->fields();
+  for (Field& f : fields) f.source = source;
+  StreamEntry entry{name, source, Schema::Make(std::move(fields))};
+  by_source_[source] = entry;
+  return entry;
+}
+
+Result<Catalog::StreamEntry> Catalog::Lookup(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no stream '" + name + "' in catalog");
+  }
+  return it->second;
+}
+
+const Catalog::StreamEntry* Catalog::LookupBySource(SourceId source) const {
+  auto it = by_source_.find(source);
+  return it == by_source_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tcq

@@ -1,0 +1,428 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+namespace tcq {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kSymbol,  // punctuation / operators
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '_')) {
+          ++i;
+        }
+        out.push_back({TokKind::kIdent, text_.substr(start, i - start), start});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[i + 1])) &&
+           NumberMayFollow(out))) {
+        size_t start = i;
+        if (c == '-') ++i;
+        bool is_float = false;
+        while (i < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '.')) {
+          if (text_[i] == '.') is_float = true;
+          ++i;
+        }
+        (void)is_float;
+        out.push_back(
+            {TokKind::kNumber, text_.substr(start, i - start), start});
+        continue;
+      }
+      if (c == '\'') {
+        size_t start = ++i;
+        while (i < text_.size() && text_[i] != '\'') ++i;
+        if (i >= text_.size()) {
+          return Status::InvalidArgument("unterminated string literal");
+        }
+        out.push_back({TokKind::kString, text_.substr(start, i - start),
+                       start - 1});
+        ++i;
+        continue;
+      }
+      // Multi-char operators first.
+      static const char* kTwoChar[] = {"<=", ">=", "!=", "<>", "==", "+=",
+                                       "-=", "++", "--"};
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (text_.compare(i, 2, op) == 0) {
+          out.push_back({TokKind::kSymbol, op, i});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      static const std::string kOneChar = "=<>(),;{}*.+-";
+      if (kOneChar.find(c) != std::string::npos) {
+        out.push_back({TokKind::kSymbol, std::string(1, c), i});
+        ++i;
+        continue;
+      }
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at offset " +
+                                     std::to_string(i));
+    }
+    out.push_back({TokKind::kEnd, "", text_.size()});
+    return out;
+  }
+
+ private:
+  // A leading '-' starts a number only where an operand may begin (after an
+  // operator/comma/paren), not after an identifier/number (binary minus).
+  static bool NumberMayFollow(const std::vector<Token>& out) {
+    if (out.empty()) return true;
+    const Token& prev = out.back();
+    return prev.kind == TokKind::kSymbol && prev.text != ")";
+  }
+
+  const std::string& text_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ast::SelectStatement> Parse() {
+    ast::SelectStatement stmt;
+    TCQ_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    TCQ_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    TCQ_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    TCQ_RETURN_IF_ERROR(ParseFromList(&stmt));
+    if (IsKeyword("WHERE")) {
+      Advance();
+      TCQ_RETURN_IF_ERROR(ParseWhere(&stmt));
+    }
+    if (IsKeyword("FOR")) {
+      Advance();
+      ast::ForLoop loop;
+      TCQ_RETURN_IF_ERROR(ParseForLoop(&loop));
+      stmt.for_loop = std::move(loop);
+    }
+    if (IsSymbol(";")) Advance();
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("trailing input after statement: '" +
+                                     Peek().text + "'");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  static std::string Upper(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::toupper(c));
+    return s;
+  }
+  bool IsKeyword(const std::string& kw) const {
+    return Peek().kind == TokKind::kIdent && Upper(Peek().text) == kw;
+  }
+  bool IsSymbol(const std::string& s) const {
+    return Peek().kind == TokKind::kSymbol && Peek().text == s;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!IsKeyword(kw)) {
+      return Status::InvalidArgument("expected " + kw + " near '" +
+                                     Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectSymbol(const std::string& s) {
+    if (!IsSymbol(s)) {
+      return Status::InvalidArgument("expected '" + s + "' near '" +
+                                     Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<ast::ColumnRef> ParseColumnRef() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("expected column near '" + Peek().text +
+                                     "'");
+    }
+    ast::ColumnRef ref;
+    ref.column = Peek().text;
+    Advance();
+    if (IsSymbol(".")) {
+      Advance();
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::InvalidArgument("expected column after '.'");
+      }
+      ref.table = ref.column;
+      ref.column = Peek().text;
+      Advance();
+    }
+    return ref;
+  }
+
+  Status ParseSelectList(ast::SelectStatement* stmt) {
+    if (IsSymbol("*")) {
+      stmt->select_all = true;
+      Advance();
+      return Status::OK();
+    }
+    for (;;) {
+      TCQ_ASSIGN_OR_RETURN(ast::ColumnRef ref, ParseColumnRef());
+      stmt->select_list.push_back(std::move(ref));
+      if (!IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseFromList(ast::SelectStatement* stmt) {
+    for (;;) {
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::InvalidArgument("expected stream name near '" +
+                                       Peek().text + "'");
+      }
+      ast::StreamRef ref;
+      ref.stream = Peek().text;
+      Advance();
+      // Optional alias: a following identifier that is not a keyword.
+      if (Peek().kind == TokKind::kIdent && !IsKeyword("WHERE") &&
+          !IsKeyword("FOR")) {
+        ref.alias = Peek().text;
+        Advance();
+      }
+      stmt->from.push_back(std::move(ref));
+      if (!IsSymbol(",")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<ast::Operand> ParseOperand() {
+    if (Peek().kind == TokKind::kNumber) {
+      std::string num = Peek().text;
+      Advance();
+      if (num.find('.') != std::string::npos) {
+        return ast::Operand{Value::Double(std::stod(num))};
+      }
+      return ast::Operand{Value::Int64(std::stoll(num))};
+    }
+    if (Peek().kind == TokKind::kString) {
+      std::string s = Peek().text;
+      Advance();
+      return ast::Operand{Value::String(std::move(s))};
+    }
+    TCQ_ASSIGN_OR_RETURN(ast::ColumnRef ref, ParseColumnRef());
+    return ast::Operand{std::move(ref)};
+  }
+
+  Result<CmpOp> ParseCmpOp() {
+    if (Peek().kind != TokKind::kSymbol) {
+      return Status::InvalidArgument("expected comparison near '" +
+                                     Peek().text + "'");
+    }
+    std::string s = Peek().text;
+    Advance();
+    if (s == "=" || s == "==") return CmpOp::kEq;
+    if (s == "!=" || s == "<>") return CmpOp::kNe;
+    if (s == "<") return CmpOp::kLt;
+    if (s == "<=") return CmpOp::kLe;
+    if (s == ">") return CmpOp::kGt;
+    if (s == ">=") return CmpOp::kGe;
+    return Status::InvalidArgument("unknown comparison operator '" + s + "'");
+  }
+
+  Status ParseWhere(ast::SelectStatement* stmt) {
+    for (;;) {
+      ast::Comparison cmp;
+      TCQ_ASSIGN_OR_RETURN(cmp.lhs, ParseOperand());
+      TCQ_ASSIGN_OR_RETURN(cmp.op, ParseCmpOp());
+      TCQ_ASSIGN_OR_RETURN(cmp.rhs, ParseOperand());
+      stmt->where.push_back(std::move(cmp));
+      if (!IsKeyword("AND")) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<Timestamp> ParseInt() {
+    if (Peek().kind != TokKind::kNumber) {
+      return Status::InvalidArgument("expected integer near '" + Peek().text +
+                                     "'");
+    }
+    Timestamp v = std::stoll(Peek().text);
+    Advance();
+    return v;
+  }
+
+  // `t`, `t+N`, `t-N`, or `N`.
+  Result<ast::WindowExpr> ParseWindowExpr() {
+    ast::WindowExpr expr;
+    if (Peek().kind == TokKind::kIdent && Peek().text == "t") {
+      expr.uses_t = true;
+      Advance();
+      if (IsSymbol("+") || IsSymbol("-")) {
+        int sign = Peek().text == "-" ? -1 : 1;
+        Advance();
+        TCQ_ASSIGN_OR_RETURN(Timestamp n, ParseInt());
+        expr.offset = sign * n;
+      }
+      return expr;
+    }
+    TCQ_ASSIGN_OR_RETURN(expr.offset, ParseInt());
+    return expr;
+  }
+
+  Status ParseForLoop(ast::ForLoop* loop) {
+    TCQ_RETURN_IF_ERROR(ExpectSymbol("("));
+    // init: `t = N` or empty (defaults to 0).
+    if (!IsSymbol(";")) {
+      if (!(Peek().kind == TokKind::kIdent && Peek().text == "t")) {
+        return Status::InvalidArgument("for-loop must iterate 't'");
+      }
+      Advance();
+      TCQ_RETURN_IF_ERROR(ExpectSymbol("="));
+      TCQ_ASSIGN_OR_RETURN(loop->t_init, ParseInt());
+    }
+    TCQ_RETURN_IF_ERROR(ExpectSymbol(";"));
+    // condition: `true`, or `t OP N`.
+    if (IsKeyword("TRUE")) {
+      loop->condition = {LoopCondition::Kind::kAlways, 0};
+      Advance();
+    } else {
+      if (!(Peek().kind == TokKind::kIdent && Peek().text == "t")) {
+        return Status::InvalidArgument("for-loop condition must test 't'");
+      }
+      Advance();
+      TCQ_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp());
+      TCQ_ASSIGN_OR_RETURN(Timestamp bound, ParseInt());
+      switch (op) {
+        case CmpOp::kLt:
+          loop->condition = {LoopCondition::Kind::kLt, bound};
+          break;
+        case CmpOp::kLe:
+          loop->condition = {LoopCondition::Kind::kLe, bound};
+          break;
+        case CmpOp::kGt:
+          loop->condition = {LoopCondition::Kind::kGt, bound};
+          break;
+        case CmpOp::kGe:
+          loop->condition = {LoopCondition::Kind::kGe, bound};
+          break;
+        case CmpOp::kEq:
+          loop->condition = {LoopCondition::Kind::kEq, bound};
+          break;
+        default:
+          return Status::InvalidArgument("bad for-loop condition operator");
+      }
+    }
+    TCQ_RETURN_IF_ERROR(ExpectSymbol(";"));
+    // step: `t += N`, `t -= N`, `t++`... we accept `t += N`, `t -= N`,
+    // `t = N` (one-shot snapshot idiom `t = -1`), or empty (defaults +1).
+    if (!IsSymbol(")")) {
+      if (!(Peek().kind == TokKind::kIdent && Peek().text == "t")) {
+        return Status::InvalidArgument("for-loop step must assign 't'");
+      }
+      Advance();
+      if (IsSymbol("++")) {
+        Advance();
+        loop->t_step = 1;
+      } else if (IsSymbol("--")) {
+        Advance();
+        loop->t_step = -1;
+      } else if (IsSymbol("+=")) {
+        Advance();
+        TCQ_ASSIGN_OR_RETURN(loop->t_step, ParseInt());
+      } else if (IsSymbol("-=")) {
+        Advance();
+        TCQ_ASSIGN_OR_RETURN(Timestamp n, ParseInt());
+        loop->t_step = -n;
+      } else if (IsSymbol("=")) {
+        Advance();
+        TCQ_ASSIGN_OR_RETURN(Timestamp target, ParseInt());
+        // `t = X`: treated as a step that leaves the loop (snapshot form
+        // "for (; t==0; t = -1)").
+        loop->t_step = target - loop->t_init;
+        if (loop->t_step == 0) loop->t_step = -1;
+      } else {
+        return Status::InvalidArgument("bad for-loop step near '" +
+                                       Peek().text + "'");
+      }
+    }
+    TCQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+    TCQ_RETURN_IF_ERROR(ExpectSymbol("{"));
+    while (!IsSymbol("}")) {
+      if (!IsKeyword("WINDOWIS")) {
+        return Status::InvalidArgument("expected WindowIs near '" +
+                                       Peek().text + "'");
+      }
+      Advance();
+      TCQ_RETURN_IF_ERROR(ExpectSymbol("("));
+      if (Peek().kind != TokKind::kIdent) {
+        return Status::InvalidArgument("expected stream alias in WindowIs");
+      }
+      ast::WindowIsStmt w;
+      w.target = Peek().text;
+      Advance();
+      TCQ_RETURN_IF_ERROR(ExpectSymbol(","));
+      TCQ_ASSIGN_OR_RETURN(w.left, ParseWindowExpr());
+      TCQ_RETURN_IF_ERROR(ExpectSymbol(","));
+      TCQ_ASSIGN_OR_RETURN(w.right, ParseWindowExpr());
+      TCQ_RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (IsSymbol(";")) Advance();
+      loop->windows.push_back(std::move(w));
+    }
+    TCQ_RETURN_IF_ERROR(ExpectSymbol("}"));
+    if (loop->windows.empty()) {
+      return Status::InvalidArgument("for-loop has no WindowIs statements");
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ast::SelectStatement> ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  TCQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace tcq

@@ -1,0 +1,28 @@
+// Recursive-descent parser for the TelegraphCQ query language ("a basic
+// version of SQL" plus the §4.1 for-loop/WindowIs construct). Example, from
+// the paper's sliding self-join:
+//
+//   SELECT c2.stockSymbol, c2.closingPrice
+//   FROM ClosingStockPrices c1, ClosingStockPrices c2
+//   WHERE c1.stockSymbol = 'MSFT'
+//     AND c2.closingPrice > c1.closingPrice
+//     AND c2.timestamp = c1.timestamp
+//   for (t = ST; t < ST + 20; t += 1) {
+//     WindowIs(c1, t - 4, t);
+//     WindowIs(c2, t - 4, t);
+//   }
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+
+namespace tcq {
+
+/// Parses one statement. Keywords are case-insensitive; identifiers are
+/// case-sensitive. Strings use single quotes.
+Result<ast::SelectStatement> ParseQuery(const std::string& text);
+
+}  // namespace tcq

@@ -1,0 +1,326 @@
+#include "server/telegraphcq.h"
+
+#include <chrono>
+
+namespace tcq {
+
+// --- WindowResultBuffer -------------------------------------------------------
+
+void WindowResultBuffer::Push(WindowResult result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  results_.push_back(std::move(result));
+}
+
+bool WindowResultBuffer::Poll(WindowResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (results_.empty()) return false;
+  *out = std::move(results_.front());
+  results_.pop_front();
+  return true;
+}
+
+bool WindowResultBuffer::Finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return finished_ && results_.empty();
+}
+
+void WindowResultBuffer::MarkFinished() {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_ = true;
+}
+
+size_t WindowResultBuffer::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.size();
+}
+
+// --- TelegraphCQ ---------------------------------------------------------------
+
+TelegraphCQ::TelegraphCQ(Options opts)
+    : opts_(opts),
+      executor_(opts.executor),
+      wrapper_(opts.wrapper),
+      spool_pool_(BufferPool::Options{opts.spool_buffer_pages,
+                                      ReplacementPolicy::kLru}) {}
+
+TelegraphCQ::~TelegraphCQ() { Stop(); }
+
+Result<SourceId> TelegraphCQ::DefineStream(const std::string& name,
+                                           const std::vector<Field>& fields) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TCQ_ASSIGN_OR_RETURN(SourceId source, catalog_.DefineStream(name, fields));
+  TCQ_ASSIGN_OR_RETURN(Catalog::StreamEntry entry, catalog_.Lookup(name));
+  PhysicalStream stream;
+  stream.name = name;
+  stream.canonical = source;
+  stream.schema = entry.schema;
+  if (!opts_.spool_dir.empty()) {
+    TCQ_ASSIGN_OR_RETURN(
+        stream.spool,
+        StreamStore::Create(opts_.spool_dir + "/" + name + ".log",
+                            entry.schema));
+  }
+  streams_[name] = std::move(stream);
+  TCQ_RETURN_IF_ERROR(executor_.RegisterStream(source, entry.schema));
+  return source;
+}
+
+Status TelegraphCQ::AttachSource(const std::string& stream_name,
+                                 std::unique_ptr<StreamSource> source,
+                                 std::unique_ptr<ArrivalProcess> arrivals) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(stream_name);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream '" + stream_name + "'");
+  }
+  if (started_) {
+    return Status::FailedPrecondition("attach sources before Start()");
+  }
+  FjordConsumer feed =
+      wrapper_.HostPullSource(std::move(source), std::move(arrivals));
+  it->second.wrapper_feeds.push_back(std::move(feed));
+  return Status::OK();
+}
+
+void TelegraphCQ::Route(PhysicalStream* stream, const Tuple& tuple) {
+  ingested_.fetch_add(1, std::memory_order_relaxed);
+  if (stream->spool != nullptr) (void)stream->spool->Append(tuple);
+  for (const Subscription& sub : stream->subs) {
+    if (sub.logical == stream->canonical &&
+        sub.schema.get() == tuple.schema().get()) {
+      sub.deliver(tuple);
+    } else {
+      // Re-tag under the subscription's logical source (self-join alias).
+      sub.deliver(
+          Tuple::Make(sub.schema, tuple.values(), tuple.timestamp()));
+    }
+  }
+}
+
+Status TelegraphCQ::Push(const std::string& stream_name,
+                         std::vector<Value> values, Timestamp timestamp) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = streams_.find(stream_name);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream '" + stream_name + "'");
+  }
+  PhysicalStream& stream = it->second;
+  if (stream.closed) {
+    return Status::FailedPrecondition("stream '" + stream_name +
+                                      "' is closed");
+  }
+  TCQ_RETURN_IF_ERROR(stream.schema->Validate(values));
+  Tuple tuple = Tuple::Make(stream.schema, std::move(values), timestamp);
+  Route(&stream, tuple);
+  return Status::OK();
+}
+
+Status TelegraphCQ::CloseStream(const std::string& stream_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(stream_name);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream '" + stream_name + "'");
+  }
+  it->second.closed = true;
+  // Executor-side close lets shared-CQ DUs drain to completion.
+  for (const Subscription& sub : it->second.subs) {
+    (void)executor_.CloseStream(sub.logical);
+  }
+  return Status::OK();
+}
+
+Status TelegraphCQ::SubscribeContinuous(const std::string& physical,
+                                        const Catalog::StreamEntry& entry) {
+  PhysicalStream& stream = streams_[physical];
+  for (const Subscription& sub : stream.subs) {
+    if (sub.logical == entry.source) return Status::OK();
+  }
+  // Alias sources must be registered with the executor once.
+  if (entry.source != stream.canonical) {
+    Status s = executor_.RegisterStream(entry.source, entry.schema);
+    if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+  }
+  Subscription sub;
+  sub.logical = entry.source;
+  sub.schema = entry.schema;
+  sub.deliver = [this, logical = entry.source](const Tuple& t) {
+    (void)executor_.IngestTuple(logical, t);
+  };
+  stream.subs.push_back(std::move(sub));
+  return Status::OK();
+}
+
+Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
+  TCQ_ASSIGN_OR_RETURN(ast::SelectStatement stmt, ParseQuery(sql));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  TCQ_ASSIGN_OR_RETURN(PlannedQuery plan, PlanQuery(stmt, &catalog_));
+
+  // Map each binding back to its physical stream.
+  std::vector<std::pair<std::string, Catalog::StreamEntry>> bindings =
+      plan.bindings;
+  for (const auto& [alias, entry] : bindings) {
+    if (!streams_.contains(entry.name)) {
+      return Status::NotFound("stream '" + entry.name +
+                              "' is not backed by a physical stream");
+    }
+  }
+
+  ClientHandle handle;
+
+  if (plan.window_loop.has_value()) {
+    // Windowed query: its own DU fed by dedicated fjords.
+    auto buffer = std::make_shared<WindowResultBuffer>();
+    auto projection = plan.projection;
+    WindowedQuery wq;
+    wq.loop = *plan.window_loop;
+    wq.predicates = plan.all_predicates;
+    auto du = std::make_shared<WindowedQueryDispatchUnit>(
+        "windowed" + std::to_string(next_window_query_id_), std::move(wq),
+        [buffer, projection](const WindowResult& r) {
+          if (!projection.has_value()) {
+            buffer->Push(r);
+            return;
+          }
+          WindowResult projected;
+          projected.t = r.t;
+          for (const Tuple& t : r.tuples) {
+            auto p = projection->Apply(t);
+            if (p.ok()) projected.tuples.push_back(std::move(*p));
+          }
+          buffer->Push(std::move(projected));
+        });
+    for (const auto& [alias, entry] : bindings) {
+      auto endpoints = Fjord::Make(FjordMode::kPush, opts_.egress_capacity,
+                                   "win:" + alias);
+      du->AddInput(entry.source, endpoints.consumer);
+      PhysicalStream& stream = streams_[entry.name];
+      Subscription sub;
+      sub.logical = entry.source;
+      sub.schema = entry.schema;
+      sub.deliver = [producer = std::make_shared<FjordProducer>(
+                         endpoints.producer)](const Tuple& t) {
+        // Push mode: drop on overload (windowed clients are best-effort
+        // under backpressure).
+        (void)producer->Produce(t);
+      };
+      stream.subs.push_back(std::move(sub));
+    }
+    // Host the windowed DU on its own EO so it cannot starve classes.
+    auto eo = std::make_unique<ExecutionObject>(
+        "win-eo" + std::to_string(window_eos_.size()),
+        MakeRoundRobinScheduler());
+    eo->AddDispatchUnit(du);
+    if (started_) eo->Start();
+    window_dus_.push_back(du);
+    window_eos_.push_back(std::move(eo));
+    handle.id = next_window_query_id_++;
+    handle.windows = buffer;
+    return handle;
+  }
+
+  // Continuous query through the shared executor.
+  for (const auto& [alias, entry] : bindings) {
+    TCQ_RETURN_IF_ERROR(SubscribeContinuous(entry.name, entry));
+  }
+  auto egress = std::make_shared<PushEgress>(
+      PushEgress::Options{opts_.egress_capacity, opts_.egress_shed});
+  auto projection = plan.projection;
+  Executor::Sink sink = [egress, projection](GlobalQueryId id,
+                                             const Tuple& t) {
+    if (!projection.has_value()) {
+      egress->Offer(Delivery{id, t});
+      return;
+    }
+    auto p = projection->Apply(t);
+    if (p.ok()) egress->Offer(Delivery{id, std::move(*p)});
+  };
+  lock.unlock();  // SubmitQuery blocks on admission; don't hold the mutex
+  TCQ_ASSIGN_OR_RETURN(GlobalQueryId id,
+                       executor_.SubmitQuery(plan.spec, std::move(sink)));
+  handle.id = id;
+  handle.results = egress;
+  return handle;
+}
+
+Result<std::vector<Tuple>> TelegraphCQ::ScanHistory(const std::string& name,
+                                                    Timestamp l,
+                                                    Timestamp r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(name);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream '" + name + "'");
+  }
+  if (it->second.spool == nullptr) {
+    return Status::FailedPrecondition(
+        "stream '" + name + "' is not spooled (set Options::spool_dir)");
+  }
+  WindowedScanner scanner(it->second.spool.get(), &spool_pool_);
+  std::vector<Tuple> out;
+  TCQ_RETURN_IF_ERROR(scanner.Scan(l, r, &out));
+  return out;
+}
+
+Status TelegraphCQ::Cancel(GlobalQueryId id) {
+  return executor_.RemoveQuery(id);
+}
+
+void TelegraphCQ::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
+  executor_.Start();
+  for (auto& eo : window_eos_) eo->Start();
+  wrapper_.Start();
+  stop_.store(false);
+  pump_thread_ = std::thread([this] { PumpLoop(); });
+}
+
+void TelegraphCQ::PumpLoop() {
+  // Drains wrapper feeds into the routing fabric.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    bool any = false;
+    bool all_closed = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [name, stream] : streams_) {
+        for (FjordConsumer& feed : stream.wrapper_feeds) {
+          Tuple tuple;
+          for (int burst = 0; burst < 64; ++burst) {
+            QueueOp op = feed.Consume(&tuple);
+            if (op == QueueOp::kOk) {
+              Route(&stream, tuple);
+              any = true;
+              continue;
+            }
+            if (op == QueueOp::kWouldBlock) all_closed = false;
+            break;
+          }
+          if (!feed.Exhausted()) all_closed = false;
+        }
+        if (stream.wrapper_feeds.empty()) all_closed = false;
+      }
+    }
+    if (!any) {
+      if (all_closed) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+void TelegraphCQ::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  wrapper_.Stop();
+  stop_.store(true);
+  if (pump_thread_.joinable()) pump_thread_.join();
+  for (auto& eo : window_eos_) eo->Stop();
+  executor_.Stop();
+}
+
+}  // namespace tcq

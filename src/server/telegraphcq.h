@@ -1,0 +1,145 @@
+// TelegraphCQ server facade: wires the Figure-5 architecture together —
+// Wrapper (ingress) -> streamers -> Executor (EOs hosting shared-CQ and
+// windowed DUs) -> Egress — behind the public API the examples use:
+// define streams, attach sources, submit SQL, consume results.
+
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "egress/egress.h"
+#include "exec/executor.h"
+#include "ingress/wrapper.h"
+#include "storage/buffer_pool.h"
+#include "storage/scanner.h"
+#include "query/catalog.h"
+#include "query/parser.h"
+#include "query/planner.h"
+
+namespace tcq {
+
+/// Thread-safe buffer of fired windows for a windowed query's client.
+class WindowResultBuffer {
+ public:
+  void Push(WindowResult result);
+  /// Non-blocking: pops the oldest fired window.
+  bool Poll(WindowResult* out);
+  /// True once the query's loop finished and the buffer drained.
+  bool Finished() const;
+  void MarkFinished();
+  size_t pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<WindowResult> results_;
+  bool finished_ = false;
+};
+
+class TelegraphCQ {
+ public:
+  struct Options {
+    Executor::Options executor;
+    Wrapper::Options wrapper;
+    size_t egress_capacity = 4096;
+    ShedPolicy egress_shed = ShedPolicy::kBlock;
+    /// When non-empty, every stream is also spooled to an append-only
+    /// store under this directory in the background (paper §4.3: "data
+    /// must be processed on-the-fly as it arrives and can be spooled to
+    /// disk only in the background"), making history scannable.
+    std::string spool_dir;
+    size_t spool_buffer_pages = 64;
+  };
+
+  /// A submitted query's client handle. Exactly one of `results` (continuous
+  /// queries) or `windows` (windowed queries) is non-null.
+  struct ClientHandle {
+    GlobalQueryId id = 0;
+    std::shared_ptr<PushEgress> results;
+    std::shared_ptr<WindowResultBuffer> windows;
+  };
+
+  TelegraphCQ() : TelegraphCQ(Options()) {}
+  explicit TelegraphCQ(Options opts);
+  ~TelegraphCQ();
+
+  /// Defines a stream in the catalog and the executor.
+  Result<SourceId> DefineStream(const std::string& name,
+                                const std::vector<Field>& fields);
+
+  /// Attaches a wrapper-hosted pull source feeding the named stream
+  /// (`arrivals` nullptr = as fast as possible). Call before Start().
+  Status AttachSource(const std::string& stream,
+                      std::unique_ptr<StreamSource> source,
+                      std::unique_ptr<ArrivalProcess> arrivals = nullptr);
+
+  /// Push-server ingestion: the caller delivers tuples directly (values
+  /// must match the stream's schema; timestamps non-decreasing).
+  Status Push(const std::string& stream, std::vector<Value> values,
+              Timestamp timestamp);
+
+  /// Declares a pushed stream finished (windowed queries over it can fire
+  /// their remaining windows).
+  Status CloseStream(const std::string& stream);
+
+  /// Parses, plans, and submits a query; returns the client handle.
+  Result<ClientHandle> Submit(const std::string& sql);
+
+  /// Scans a spooled stream's history for tuples with l <= ts <= r
+  /// (requires Options::spool_dir). Reads go through the buffer pool.
+  Result<std::vector<Tuple>> ScanHistory(const std::string& stream,
+                                         Timestamp l, Timestamp r);
+
+  /// Cancels a continuous query.
+  Status Cancel(GlobalQueryId id);
+
+  void Start();
+  void Stop();
+
+  const Catalog& catalog() const { return catalog_; }
+  Executor& executor() { return executor_; }
+  uint64_t tuples_ingested() const { return ingested_.load(); }
+
+ private:
+  struct Subscription {
+    SourceId logical = 0;
+    SchemaRef schema;
+    std::function<void(const Tuple&)> deliver;
+  };
+  struct PhysicalStream {
+    std::string name;
+    SourceId canonical = 0;
+    SchemaRef schema;
+    std::vector<Subscription> subs;
+    std::vector<FjordConsumer> wrapper_feeds;
+    std::unique_ptr<StreamStore> spool;
+    bool closed = false;
+  };
+
+  /// Routes one physical tuple to every logical subscription.
+  void Route(PhysicalStream* stream, const Tuple& tuple);
+  /// Ensures the executor knows `entry` and tuples reach it.
+  Status SubscribeContinuous(const std::string& physical,
+                             const Catalog::StreamEntry& entry);
+  void PumpLoop();
+
+  Options opts_;
+  Catalog catalog_;
+  Executor executor_;
+  Wrapper wrapper_;
+  BufferPool spool_pool_;
+  mutable std::mutex mu_;
+  std::map<std::string, PhysicalStream> streams_;
+  std::vector<std::shared_ptr<DispatchUnit>> window_dus_;
+  std::vector<std::unique_ptr<ExecutionObject>> window_eos_;
+  std::thread pump_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> ingested_{0};
+  bool started_ = false;
+  GlobalQueryId next_window_query_id_ = 1u << 20;  // distinct id space
+};
+
+}  // namespace tcq

@@ -1,0 +1,38 @@
+#include "stem/index.h"
+
+#include <algorithm>
+
+namespace tcq {
+
+void HashIndex::Lookup(const Value& key, const EntryLog& log,
+                       std::vector<uint64_t>* out) {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return;
+  std::vector<uint64_t>& ids = it->second;
+  // Ids are appended in increasing order; dead ones form a prefix.
+  size_t dead = 0;
+  while (dead < ids.size() && ids[dead] < log.base()) ++dead;
+  if (dead > 0) ids.erase(ids.begin(), ids.begin() + static_cast<long>(dead));
+  if (ids.empty()) {
+    buckets_.erase(it);
+    return;
+  }
+  out->insert(out->end(), ids.begin(), ids.end());
+}
+
+void HashIndex::Vacuum(const EntryLog& log) {
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    std::vector<uint64_t>& ids = it->second;
+    size_t dead = 0;
+    while (dead < ids.size() && ids[dead] < log.base()) ++dead;
+    if (dead > 0)
+      ids.erase(ids.begin(), ids.begin() + static_cast<long>(dead));
+    if (ids.empty()) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace tcq

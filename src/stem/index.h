@@ -1,0 +1,75 @@
+// In-memory indexes that back SteMs ("to speed processing, SteMs can be
+// augmented with indexes", paper §2.2). The hash index supports equality
+// probes; the scan list supports arbitrary-predicate probes (non-equijoins).
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+/// One stored build tuple with its global arrival sequence number.
+struct StemEntry {
+  Tuple tuple;
+  Timestamp seq = 0;
+};
+
+/// Append-only entry log with FIFO eviction from the front. Entry ids are
+/// absolute (monotonically increasing); ids below `base()` are evicted.
+class EntryLog {
+ public:
+  /// Appends and returns the absolute id.
+  uint64_t Append(StemEntry entry) {
+    entries_.push_back(std::move(entry));
+    return base_ + entries_.size() - 1;
+  }
+
+  /// Pops the oldest live entry.
+  void PopFront() {
+    entries_.pop_front();
+    ++base_;
+  }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  uint64_t base() const { return base_; }
+  uint64_t end() const { return base_ + entries_.size(); }
+
+  bool IsLive(uint64_t id) const { return id >= base_ && id < end(); }
+
+  const StemEntry& Get(uint64_t id) const { return entries_[id - base_]; }
+  const StemEntry& Front() const { return entries_.front(); }
+
+ private:
+  std::deque<StemEntry> entries_;
+  uint64_t base_ = 0;
+};
+
+/// Equality hash index over an attribute: key value -> absolute entry ids.
+/// Eviction is lazy: probes prune bucket prefixes that fell below the log
+/// base, so no work is spent on buckets never probed again.
+class HashIndex {
+ public:
+  void Insert(const Value& key, uint64_t id) { buckets_[key].push_back(id); }
+
+  /// Appends live ids matching `key` to `out`, pruning dead ones.
+  void Lookup(const Value& key, const EntryLog& log,
+              std::vector<uint64_t>* out);
+
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Drops buckets that became entirely dead (called occasionally).
+  void Vacuum(const EntryLog& log);
+
+ private:
+  std::unordered_map<Value, std::vector<uint64_t>, ValueHash> buckets_;
+};
+
+}  // namespace tcq

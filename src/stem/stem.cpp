@@ -1,0 +1,169 @@
+#include "stem/stem.h"
+
+#include <cassert>
+
+namespace tcq {
+
+SteM::SteM(std::string name, SourceId source, SchemaRef schema,
+           StemOptions opts)
+    : name_(std::move(name)),
+      source_(source),
+      schema_(std::move(schema)),
+      opts_(std::move(opts)) {
+  if (!opts_.key_attr.empty()) EnsureIndex(opts_.key_attr);
+}
+
+size_t SteM::ResolveField(const std::string& attr) const {
+  auto idx = schema_->IndexOf(attr, source_);
+  if (!idx) idx = schema_->IndexOf(attr);
+  assert(idx.has_value() && "SteM index attribute not in schema");
+  return *idx;
+}
+
+SteM::AttrIndex* SteM::FindIndex(const std::string& attr) {
+  for (AttrIndex& ai : indexes_) {
+    if (ai.attr == attr) return &ai;
+  }
+  return nullptr;
+}
+
+void SteM::EnsureIndex(const std::string& attr) {
+  if (FindIndex(attr) != nullptr) return;
+  AttrIndex ai;
+  ai.attr = attr;
+  ai.field = ResolveField(attr);
+  // Backfill from live entries so late index creation sees earlier builds.
+  for (uint64_t id = log_.base(); id < log_.end(); ++id) {
+    ai.index.Insert(log_.Get(id).tuple.at(ai.field), id);
+  }
+  indexes_.push_back(std::move(ai));
+}
+
+void SteM::Build(const Tuple& tuple, Timestamp seq) {
+  ++builds_;
+  uint64_t id = log_.Append(StemEntry{tuple, seq});
+  for (AttrIndex& ai : indexes_) ai.index.Insert(tuple.at(ai.field), id);
+  EnforceCapacity();
+}
+
+void SteM::EnforceCapacity() {
+  if (opts_.max_count == 0) return;
+  while (log_.size() > opts_.max_count) {
+    log_.PopFront();
+    ++evictions_;
+  }
+}
+
+void SteM::ProbeEq(const Value& key, Timestamp seq_bound,
+                   std::vector<const StemEntry*>* out) {
+  assert(!opts_.key_attr.empty() &&
+         "default ProbeEq requires a key_attr; use the attr overload");
+  ProbeEq(opts_.key_attr, key, seq_bound, out);
+}
+
+void SteM::ProbeEq(const std::string& attr, const Value& key,
+                   Timestamp seq_bound, std::vector<const StemEntry*>* out) {
+  AttrIndex* ai = FindIndex(attr);
+  assert(ai != nullptr && "ProbeEq on unindexed attribute");
+  ++probes_;
+  scratch_ids_.clear();
+  ai->index.Lookup(key, log_, &scratch_ids_);
+  for (uint64_t id : scratch_ids_) {
+    if (!log_.IsLive(id)) continue;
+    const StemEntry& e = log_.Get(id);
+    if (e.seq < seq_bound) {
+      out->push_back(&e);
+      ++matches_;
+    }
+  }
+}
+
+void SteM::ProbeScan(Timestamp seq_bound, std::vector<const StemEntry*>* out) {
+  ++probes_;
+  for (uint64_t id = log_.base(); id < log_.end(); ++id) {
+    const StemEntry& e = log_.Get(id);
+    if (e.seq < seq_bound) {
+      out->push_back(&e);
+      ++matches_;
+    }
+  }
+}
+
+void SteM::AdvanceTime(Timestamp now) {
+  if (opts_.window == 0) return;
+  Timestamp cutoff = now - opts_.window;
+  while (!log_.empty() && log_.Front().tuple.timestamp() <= cutoff) {
+    log_.PopFront();
+    ++evictions_;
+  }
+}
+
+SteMProbe::SteMProbe(std::string name, SteM* stem, JoinSpec spec)
+    : EddyModule(std::move(name)), stem_(stem), spec_(std::move(spec)) {
+  assert(spec_.probe_key.has_value() == spec_.build_key.has_value() &&
+         "probe_key and build_key must be set together");
+  if (spec_.build_key) stem_->EnsureIndex(spec_.build_key->name);
+  if (spec_.required_override != 0) {
+    required_ = spec_.required_override;
+  } else if (spec_.probe_key) {
+    required_ = SourceBit(spec_.probe_key->source);
+  } else {
+    // Scan join: require the probe-side sources of every predicate that
+    // touches the SteM's source.
+    required_ = 0;
+    for (const auto& p : spec_.predicates) {
+      if (p->sources() & SourceBit(stem_->source())) {
+        required_ |= p->sources() & ~SourceBit(stem_->source());
+      }
+    }
+  }
+}
+
+bool SteMProbe::AppliesTo(SourceSet sources) const {
+  // A tuple probes this SteM iff it does not yet span the SteM's source but
+  // does span everything the join predicate needs on the probe side.
+  if (sources & SourceBit(stem_->source())) return false;
+  return (required_ & ~sources) == 0;
+}
+
+SchemaRef SteMProbe::ConcatSchemaFor(const SchemaRef& input) {
+  const Schema* key = input.get();
+  for (const auto& [cached_key, cached] : schema_cache_) {
+    if (cached_key == key) return cached;
+  }
+  SchemaRef out = Schema::Concat(input, stem_->schema());
+  schema_cache_.emplace_back(key, out);
+  return out;
+}
+
+EddyModule::Action SteMProbe::Process(const Envelope& env,
+                                      std::vector<Envelope>* out) {
+  scratch_.clear();
+  if (spec_.probe_key) {
+    const Value* key = ResolveAttr(env.tuple, *spec_.probe_key);
+    assert(key != nullptr && "probe key attribute missing");
+    stem_->ProbeEq(spec_.build_key->name, *key, env.seq_max, &scratch_);
+  } else {
+    stem_->ProbeScan(env.seq_max, &scratch_);
+  }
+  if (scratch_.empty()) return Action::kDrop;
+  SchemaRef out_schema = ConcatSchemaFor(env.tuple.schema());
+  for (const StemEntry* e : scratch_) {
+    Tuple child = Tuple::Concat(env.tuple, e->tuple, out_schema);
+    // The hashed equality already holds; enforce every other predicate that
+    // just became evaluable on the concatenation.
+    bool ok = true;
+    for (const auto& p : spec_.predicates) {
+      if (p->CanEval(child) && !p->Eval(child)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    out->push_back(
+        Envelope{std::move(child), 0, std::max(env.seq_max, e->seq)});
+  }
+  return Action::kExpand;
+}
+
+}  // namespace tcq

@@ -1,0 +1,147 @@
+// SteM (State Module): "a temporary repository of tuples, essentially
+// corresponding to half of a traditional join operator" (paper §2.2).
+// Supports insert (build), search (probe), and delete (eviction). A pair of
+// hash-indexed SteMs routed by an eddy implements an adaptive symmetric hash
+// join; a SteM can also act as a rendezvous buffer or a lookup cache for
+// asynchronous index joins.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "eddy/module.h"
+#include "operators/predicate.h"
+#include "stem/index.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// Eviction configuration. Both knobs may be active at once.
+struct StemOptions {
+  /// Attribute (on this SteM's source) used as the equality-probe key.
+  /// Empty string = scan-only SteM (no initial hash index). Additional
+  /// indexes can be added later with EnsureIndex (one per join edge).
+  std::string key_attr;
+  /// Keep at most this many build tuples (FIFO eviction); 0 = unbounded.
+  size_t max_count = 0;
+  /// Evict build tuples with timestamp <= now - window when AdvanceTime is
+  /// called; 0 = unbounded. Assumes per-stream monotone timestamps.
+  Timestamp window = 0;
+};
+
+class SteM {
+ public:
+  SteM(std::string name, SourceId source, SchemaRef schema, StemOptions opts);
+
+  const std::string& name() const { return name_; }
+  SourceId source() const { return source_; }
+  const SchemaRef& schema() const { return schema_; }
+  bool has_hash_index() const { return !indexes_.empty(); }
+  const StemOptions& options() const { return opts_; }
+
+  /// Ensures a hash index exists on `attr` (one per join edge touching this
+  /// SteM's source), backfilling it from the live entries.
+  void EnsureIndex(const std::string& attr);
+
+  /// Inserts a build tuple with its global arrival sequence number.
+  void Build(const Tuple& tuple, Timestamp seq);
+
+  /// Equality probe on the index over the SteM's default key attribute:
+  /// appends entries whose key equals `key` and whose seq is strictly below
+  /// `seq_bound` (the exactly-once match rule).
+  void ProbeEq(const Value& key, Timestamp seq_bound,
+               std::vector<const StemEntry*>* out);
+
+  /// Equality probe on the index over `attr` (must exist via key_attr or
+  /// EnsureIndex).
+  void ProbeEq(const std::string& attr, const Value& key, Timestamp seq_bound,
+               std::vector<const StemEntry*>* out);
+
+  /// Scan probe: every live entry with seq < seq_bound.
+  void ProbeScan(Timestamp seq_bound, std::vector<const StemEntry*>* out);
+
+  /// Advances this SteM's notion of stream time, evicting expired entries
+  /// under the window policy.
+  void AdvanceTime(Timestamp now);
+
+  size_t size() const { return log_.size(); }
+  uint64_t builds() const { return builds_; }
+  uint64_t probes() const { return probes_; }
+  uint64_t matches() const { return matches_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct AttrIndex {
+    std::string attr;
+    size_t field = 0;  // position of attr in the schema
+    HashIndex index;
+  };
+
+  void EnforceCapacity();
+  AttrIndex* FindIndex(const std::string& attr);
+  size_t ResolveField(const std::string& attr) const;
+
+  std::string name_;
+  SourceId source_;
+  SchemaRef schema_;
+  StemOptions opts_;
+  EntryLog log_;
+  std::vector<AttrIndex> indexes_;
+  std::vector<uint64_t> scratch_ids_;
+  uint64_t builds_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t matches_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// The join description a SteM probe enforces between the probing tuple and
+/// the SteM's stored source. Build one SteMProbe per join-predicate edge
+/// touching the SteM's source, so any tuple sharing a predicate with the
+/// source can probe it (the completeness requirement of §2.2).
+struct JoinSpec {
+  /// Equality pair: probe-side attribute (on an already-spanned source) and
+  /// build-side attribute (on the SteM's source). Unset => scan join.
+  std::optional<AttrRef> probe_key;
+  std::optional<AttrRef> build_key;
+  /// The query's join predicates; each is enforced on a concatenation as
+  /// soon as it becomes evaluable. (Re-checking ones an ancestor already
+  /// passed is harmless.)
+  std::vector<PredicateRef> predicates;
+  /// Sources the probing tuple must span before using this module. Zero =
+  /// derive automatically (probe_key's source, else predicate sources that
+  /// co-occur with the SteM's source).
+  SourceSet required_override = 0;
+};
+
+/// Eddy module that probes a SteM: consumes the probing tuple and emits its
+/// concatenations with matching builds (paper Fig. 2 dataflow).
+class SteMProbe : public EddyModule {
+ public:
+  SteMProbe(std::string name, SteM* stem, JoinSpec spec);
+
+  bool AppliesTo(SourceSet sources) const override;
+
+  Action Process(const Envelope& env, std::vector<Envelope>* out) override;
+
+  SourceSet contributes() const override {
+    return SourceBit(stem_->source()) | required_;
+  }
+
+  SteM* stem() const { return stem_; }
+
+ private:
+  SchemaRef ConcatSchemaFor(const SchemaRef& input);
+
+  SteM* stem_;
+  JoinSpec spec_;
+  /// Sources the probing tuple must already span.
+  SourceSet required_;
+  std::vector<std::pair<const Schema*, SchemaRef>> schema_cache_;
+  std::vector<const StemEntry*> scratch_;
+};
+
+}  // namespace tcq

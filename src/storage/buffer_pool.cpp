@@ -1,0 +1,114 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace tcq {
+
+const char* ReplacementPolicyName(ReplacementPolicy p) {
+  switch (p) {
+    case ReplacementPolicy::kLru:
+      return "lru";
+    case ReplacementPolicy::kMru:
+      return "mru";
+    case ReplacementPolicy::kClock:
+      return "clock";
+  }
+  return "?";
+}
+
+Result<const std::string*> BufferPool::Fetch(const PageProvider* provider,
+                                             uint64_t page_id) {
+  FrameKey key{provider, page_id};
+  auto it = frames_.find(key);
+  if (it != frames_.end()) {
+    ++hits_;
+    it->second.referenced = true;
+    if (opts_.policy != ReplacementPolicy::kClock) {
+      // Move to the most-recent end.
+      auto pos = recency_pos_.find(key);
+      recency_.erase(pos->second);
+      recency_.push_back(key);
+      pos->second = std::prev(recency_.end());
+    }
+    return &it->second.data;
+  }
+
+  ++misses_;
+  while (frames_.size() >= opts_.capacity_pages) EvictOne();
+
+  Frame frame;
+  TCQ_RETURN_IF_ERROR(provider->ReadPage(page_id, &frame.data));
+  auto [ins, ok] = frames_.emplace(key, std::move(frame));
+  assert(ok);
+  if (opts_.policy == ReplacementPolicy::kClock) {
+    clock_ring_.push_back(key);
+  } else {
+    recency_.push_back(key);
+    recency_pos_[key] = std::prev(recency_.end());
+  }
+  return &ins->second.data;
+}
+
+void BufferPool::EvictOne() {
+  assert(!frames_.empty());
+  ++evictions_;
+  FrameKey victim{nullptr, 0};
+  switch (opts_.policy) {
+    case ReplacementPolicy::kLru:
+      victim = recency_.front();
+      recency_.pop_front();
+      recency_pos_.erase(victim);
+      break;
+    case ReplacementPolicy::kMru:
+      victim = recency_.back();
+      recency_.pop_back();
+      recency_pos_.erase(victim);
+      break;
+    case ReplacementPolicy::kClock: {
+      // Sweep: clear reference bits until an unreferenced frame is found.
+      for (;;) {
+        if (clock_ring_.empty()) return;
+        clock_hand_ %= clock_ring_.size();
+        FrameKey cand = clock_ring_[clock_hand_];
+        auto it = frames_.find(cand);
+        if (it == frames_.end()) {
+          clock_ring_.erase(clock_ring_.begin() +
+                            static_cast<long>(clock_hand_));
+          continue;
+        }
+        if (it->second.referenced) {
+          it->second.referenced = false;
+          ++clock_hand_;
+          continue;
+        }
+        victim = cand;
+        clock_ring_.erase(clock_ring_.begin() +
+                          static_cast<long>(clock_hand_));
+        break;
+      }
+      break;
+    }
+  }
+  frames_.erase(victim);
+}
+
+void BufferPool::Invalidate(const PageProvider* provider) {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->first.provider == provider) {
+      if (opts_.policy == ReplacementPolicy::kClock) {
+        std::erase(clock_ring_, it->first);
+      } else {
+        auto pos = recency_pos_.find(it->first);
+        if (pos != recency_pos_.end()) {
+          recency_.erase(pos->second);
+          recency_pos_.erase(pos);
+        }
+      }
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace tcq

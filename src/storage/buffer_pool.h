@@ -1,0 +1,89 @@
+// Buffer pool over stream-store pages. The paper (§4.3) notes that the
+// buffer manager "must be tuned to both accept new bursty streaming data, as
+// well as service queries that access historical data", and that windowed
+// read workloads resemble periodic broadcast-disk patterns [AAFZ95] rather
+// than classic OLTP — hence pluggable replacement policies, including an
+// MRU-style one that behaves well under cyclic scans.
+
+#pragma once
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "storage/stream_store.h"
+
+namespace tcq {
+
+enum class ReplacementPolicy {
+  kLru,    ///< classic least-recently-used
+  kMru,    ///< most-recently-used: optimal for repeated cyclic scans
+  kClock,  ///< second-chance approximation of LRU
+};
+
+const char* ReplacementPolicyName(ReplacementPolicy p);
+
+class BufferPool {
+ public:
+  struct Options {
+    size_t capacity_pages = 64;
+    ReplacementPolicy policy = ReplacementPolicy::kLru;
+  };
+
+  BufferPool() : BufferPool(Options()) {}
+  explicit BufferPool(Options opts) : opts_(opts) {}
+
+  /// Returns the page contents, reading through the provider on a miss.
+  /// The returned pointer is valid until the next Fetch (frames are
+  /// recycled); callers decode immediately.
+  Result<const std::string*> Fetch(const PageProvider* provider,
+                                   uint64_t page_id);
+
+  /// Drops every cached page of a provider (e.g. a store being destroyed).
+  void Invalidate(const PageProvider* provider);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  size_t cached_pages() const { return frames_.size(); }
+  double HitRate() const {
+    uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / double(total);
+  }
+
+ private:
+  struct FrameKey {
+    const PageProvider* provider;
+    uint64_t page_id;
+    bool operator==(const FrameKey&) const = default;
+  };
+  struct FrameKeyHash {
+    size_t operator()(const FrameKey& k) const {
+      return std::hash<const void*>{}(k.provider) ^
+             (std::hash<uint64_t>{}(k.page_id) * 0x9e3779b97f4a7c15ull);
+    }
+  };
+  struct Frame {
+    std::string data;
+    bool referenced = true;  // for the clock policy
+  };
+
+  void EvictOne();
+
+  Options opts_;
+  std::unordered_map<FrameKey, Frame, FrameKeyHash> frames_;
+  // Recency list: front = next eviction candidate under LRU (back = most
+  // recent). MRU evicts from the back.
+  std::list<FrameKey> recency_;
+  std::unordered_map<FrameKey, std::list<FrameKey>::iterator, FrameKeyHash>
+      recency_pos_;
+  size_t clock_hand_ = 0;
+  std::vector<FrameKey> clock_ring_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,40 @@
+#include "storage/scanner.h"
+
+namespace tcq {
+
+Status WindowedScanner::Scan(Timestamp l, Timestamp r,
+                             std::vector<Tuple>* out) {
+  for (uint64_t page_id : store_->PagesInRange(l, r)) {
+    ++pages_visited_;
+    std::vector<Tuple> tuples;
+    if (page_id >= store_->pages_sealed()) {
+      // The in-memory tail page is still mutable; caching it in the pool
+      // would serve stale snapshots. Read it directly.
+      std::string tail;
+      TCQ_RETURN_IF_ERROR(store_->ReadPage(page_id, &tail));
+      TCQ_RETURN_IF_ERROR(store_->DecodePage(tail, &tuples));
+    } else {
+      TCQ_ASSIGN_OR_RETURN(const std::string* page,
+                           pool_->Fetch(store_, page_id));
+      TCQ_RETURN_IF_ERROR(store_->DecodePage(*page, &tuples));
+    }
+    for (Tuple& t : tuples) {
+      if (t.timestamp() >= l && t.timestamp() <= r) {
+        out->push_back(std::move(t));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status WindowedScanner::ScanWindow(const WindowInstance& inst, SourceId source,
+                                   std::vector<Tuple>* out) {
+  auto range = inst.RangeFor(source);
+  if (!range.has_value()) {
+    return Status::InvalidArgument("window instance has no range for s" +
+                                   std::to_string(source));
+  }
+  return Scan(range->first, range->second, out);
+}
+
+}  // namespace tcq

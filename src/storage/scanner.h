@@ -1,0 +1,35 @@
+// Windowed scanner (paper §4.2.3): "tuples in buffer pool pages are accessed
+// via a 'scanner' operator, which is similar to the standard scan operators
+// in classic systems, except that it is driven by window descriptors."
+// Reads only the pages whose timestamp range intersects the window.
+
+#pragma once
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/stream_store.h"
+#include "window/window_spec.h"
+
+namespace tcq {
+
+class WindowedScanner {
+ public:
+  WindowedScanner(const StreamStore* store, BufferPool* pool)
+      : store_(store), pool_(pool) {}
+
+  /// Appends all stored tuples with l <= ts <= r to `out`.
+  Status Scan(Timestamp l, Timestamp r, std::vector<Tuple>* out);
+
+  /// Scans the window instance's range for this store's stream.
+  Status ScanWindow(const WindowInstance& inst, SourceId source,
+                    std::vector<Tuple>* out);
+
+  uint64_t pages_visited() const { return pages_visited_; }
+
+ private:
+  const StreamStore* store_;
+  BufferPool* pool_;
+  uint64_t pages_visited_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,224 @@
+#include "storage/stream_store.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace tcq {
+
+namespace {
+
+template <typename T>
+void PutRaw(std::string* buf, T v) {
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool GetRaw(const std::string& buf, size_t* pos, T* out) {
+  if (*pos + sizeof(T) > buf.size()) return false;
+  std::memcpy(out, buf.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+constexpr size_t kPageHeaderSize = sizeof(uint32_t);
+
+}  // namespace
+
+size_t TupleCodec::Encode(const Tuple& tuple, std::string* buf) const {
+  size_t start = buf->size();
+  PutRaw<int64_t>(buf, tuple.timestamp());
+  uint16_t n = static_cast<uint16_t>(tuple.num_fields());
+  PutRaw<uint16_t>(buf, n);
+  for (size_t i = 0; i < n; ++i) {
+    const Value& v = tuple.at(i);
+    PutRaw<uint8_t>(buf, static_cast<uint8_t>(v.type()));
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kBool:
+        PutRaw<uint8_t>(buf, v.AsBool() ? 1 : 0);
+        break;
+      case ValueType::kInt64:
+      case ValueType::kTimestamp:
+        PutRaw<int64_t>(buf, v.AsInt64());
+        break;
+      case ValueType::kDouble:
+        PutRaw<double>(buf, v.AsDouble());
+        break;
+      case ValueType::kString: {
+        PutRaw<uint32_t>(buf, static_cast<uint32_t>(v.AsString().size()));
+        buf->append(v.AsString());
+        break;
+      }
+    }
+  }
+  return buf->size() - start;
+}
+
+Result<Tuple> TupleCodec::Decode(const std::string& buf, size_t* pos) const {
+  int64_t ts = 0;
+  uint16_t n = 0;
+  if (!GetRaw(buf, pos, &ts) || !GetRaw(buf, pos, &n)) {
+    return Status::IOError("truncated tuple header");
+  }
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    uint8_t type = 0;
+    if (!GetRaw(buf, pos, &type)) return Status::IOError("truncated value");
+    switch (static_cast<ValueType>(type)) {
+      case ValueType::kNull:
+        values.push_back(Value::Null());
+        break;
+      case ValueType::kBool: {
+        uint8_t b = 0;
+        if (!GetRaw(buf, pos, &b)) return Status::IOError("truncated bool");
+        values.push_back(Value::Bool(b != 0));
+        break;
+      }
+      case ValueType::kInt64: {
+        int64_t v = 0;
+        if (!GetRaw(buf, pos, &v)) return Status::IOError("truncated int64");
+        values.push_back(Value::Int64(v));
+        break;
+      }
+      case ValueType::kTimestamp: {
+        int64_t v = 0;
+        if (!GetRaw(buf, pos, &v)) {
+          return Status::IOError("truncated timestamp");
+        }
+        values.push_back(Value::TimestampVal(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        double v = 0;
+        if (!GetRaw(buf, pos, &v)) return Status::IOError("truncated double");
+        values.push_back(Value::Double(v));
+        break;
+      }
+      case ValueType::kString: {
+        uint32_t len = 0;
+        if (!GetRaw(buf, pos, &len) || *pos + len > buf.size()) {
+          return Status::IOError("truncated string");
+        }
+        values.push_back(Value::String(buf.substr(*pos, len)));
+        *pos += len;
+        break;
+      }
+      default:
+        return Status::IOError("unknown value type tag");
+    }
+  }
+  return Tuple::Make(schema_, std::move(values), ts);
+}
+
+Result<std::unique_ptr<StreamStore>> StreamStore::Create(
+    const std::string& path, SchemaRef schema) {
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot create stream store at " + path);
+  }
+  return std::unique_ptr<StreamStore>(
+      new StreamStore(path, f, std::move(schema)));
+}
+
+StreamStore::~StreamStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status StreamStore::Append(const Tuple& tuple) {
+  std::string encoded;
+  codec_.Encode(tuple, &encoded);
+  if (encoded.size() + kPageHeaderSize > kPageSize) {
+    return Status::InvalidArgument("tuple larger than a page");
+  }
+  if (kPageHeaderSize + current_page_.size() + encoded.size() > kPageSize) {
+    TCQ_RETURN_IF_ERROR(SealCurrentPage());
+  }
+  current_page_ += encoded;
+  ++current_meta_.count;
+  current_meta_.min_ts = std::min(current_meta_.min_ts, tuple.timestamp());
+  current_meta_.max_ts = std::max(current_meta_.max_ts, tuple.timestamp());
+  ++appended_;
+  return Status::OK();
+}
+
+Status StreamStore::SealCurrentPage() {
+  if (current_meta_.count == 0) return Status::OK();
+  std::string page;
+  page.reserve(kPageSize);
+  PutRaw<uint32_t>(&page, current_meta_.count);
+  page += current_page_;
+  page.resize(kPageSize, '\0');
+  if (std::fseek(file_, static_cast<long>(sealed_ * kPageSize), SEEK_SET) !=
+          0 ||
+      std::fwrite(page.data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("write failed on " + path_);
+  }
+  metas_.push_back(current_meta_);
+  ++sealed_;
+  current_page_.clear();
+  current_meta_ = PageMeta{};
+  return Status::OK();
+}
+
+Status StreamStore::Flush() {
+  TCQ_RETURN_IF_ERROR(SealCurrentPage());
+  std::fflush(file_);
+  return Status::OK();
+}
+
+uint64_t StreamStore::NumPages() const {
+  return sealed_ + (current_meta_.count > 0 ? 1 : 0);
+}
+
+Status StreamStore::ReadPage(uint64_t page_id, std::string* out) const {
+  if (page_id < sealed_) {
+    out->resize(kPageSize);
+    if (std::fseek(file_, static_cast<long>(page_id * kPageSize), SEEK_SET) !=
+            0 ||
+        std::fread(out->data(), 1, kPageSize, file_) != kPageSize) {
+      return Status::IOError("read failed on " + path_);
+    }
+    return Status::OK();
+  }
+  if (page_id == sealed_ && current_meta_.count > 0) {
+    // In-memory tail page.
+    out->clear();
+    PutRaw<uint32_t>(out, current_meta_.count);
+    *out += current_page_;
+    return Status::OK();
+  }
+  return Status::OutOfRange("page " + std::to_string(page_id) +
+                            " out of range");
+}
+
+Status StreamStore::DecodePage(const std::string& page,
+                               std::vector<Tuple>* out) const {
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!GetRaw(page, &pos, &count)) {
+    return Status::IOError("truncated page header");
+  }
+  out->reserve(out->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    TCQ_ASSIGN_OR_RETURN(Tuple t, codec_.Decode(page, &pos));
+    out->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> StreamStore::PagesInRange(Timestamp l,
+                                                Timestamp r) const {
+  std::vector<uint64_t> out;
+  for (uint64_t p = 0; p < sealed_; ++p) {
+    if (metas_[p].max_ts >= l && metas_[p].min_ts <= r) out.push_back(p);
+  }
+  if (current_meta_.count > 0 && current_meta_.max_ts >= l &&
+      current_meta_.min_ts <= r) {
+    out.push_back(sealed_);
+  }
+  return out;
+}
+
+}  // namespace tcq

@@ -1,0 +1,106 @@
+// Append-only stream storage (paper §4.3): "data must be processed on the
+// fly as it arrives and can be spooled to disk only in the background...
+// we are designing a storage subsystem that exploits the sequential write
+// workload". Tuples are serialized into fixed-size pages; full pages are
+// appended to a segment file; per-page [min_ts, max_ts] metadata supports
+// windowed scans that touch only relevant pages.
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+constexpr size_t kPageSize = 8192;
+
+/// Serializes tuple values (schema-directed). The timestamp rides along so
+/// deserialization restores the full tuple.
+class TupleCodec {
+ public:
+  explicit TupleCodec(SchemaRef schema) : schema_(std::move(schema)) {}
+
+  /// Appends the encoding of `tuple` to `buf`. Returns encoded size.
+  size_t Encode(const Tuple& tuple, std::string* buf) const;
+
+  /// Decodes one tuple starting at buf[*pos]; advances *pos.
+  Result<Tuple> Decode(const std::string& buf, size_t* pos) const;
+
+  const SchemaRef& schema() const { return schema_; }
+
+ private:
+  SchemaRef schema_;
+};
+
+/// Read access to immutable pages, keyed by page id. The buffer pool caches
+/// on top of this.
+class PageProvider {
+ public:
+  virtual ~PageProvider() = default;
+  virtual Status ReadPage(uint64_t page_id, std::string* out) const = 0;
+  virtual uint64_t NumPages() const = 0;
+};
+
+/// One stream's on-disk log. Not thread-safe (one writer per stream, as in
+/// the Wrapper -> streamer -> disk path).
+class StreamStore : public PageProvider {
+ public:
+  struct PageMeta {
+    Timestamp min_ts = kMaxTimestamp;
+    Timestamp max_ts = kMinTimestamp;
+    uint32_t count = 0;
+  };
+
+  /// Creates (truncates) the backing file.
+  static Result<std::unique_ptr<StreamStore>> Create(const std::string& path,
+                                                     SchemaRef schema);
+
+  ~StreamStore() override;
+
+  /// Appends a tuple (timestamps must be non-decreasing for page pruning to
+  /// be exact; out-of-order input degrades pruning, not correctness).
+  Status Append(const Tuple& tuple);
+
+  /// Forces the current partial page to disk.
+  Status Flush();
+
+  /// Reads a sealed page (or the in-memory tail page) into `out`.
+  Status ReadPage(uint64_t page_id, std::string* out) const override;
+  uint64_t NumPages() const override;
+
+  /// Decodes every tuple in a page buffer.
+  Status DecodePage(const std::string& page, std::vector<Tuple>* out) const;
+
+  /// Page ids whose [min_ts, max_ts] intersects [l, r].
+  std::vector<uint64_t> PagesInRange(Timestamp l, Timestamp r) const;
+
+  const PageMeta& page_meta(uint64_t page_id) const {
+    return metas_[page_id];
+  }
+  uint64_t tuples_appended() const { return appended_; }
+  uint64_t pages_sealed() const { return sealed_; }
+  const SchemaRef& schema() const { return codec_.schema(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  StreamStore(std::string path, std::FILE* file, SchemaRef schema)
+      : path_(std::move(path)), file_(file), codec_(std::move(schema)) {}
+
+  Status SealCurrentPage();
+
+  std::string path_;
+  std::FILE* file_;
+  TupleCodec codec_;
+  std::string current_page_;
+  PageMeta current_meta_;
+  std::vector<PageMeta> metas_;  // sealed pages + (last) tail if flushed
+  uint64_t appended_ = 0;
+  uint64_t sealed_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,70 @@
+#include "tuple/schema.h"
+
+#include <sstream>
+
+namespace tcq {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (const Field& f : fields_) sources_ |= SourceBit(f.source);
+}
+
+SchemaRef Schema::Concat(const SchemaRef& left, const SchemaRef& right) {
+  std::vector<Field> fields = left->fields();
+  fields.insert(fields.end(), right->fields().begin(), right->fields().end());
+  return Make(std::move(fields));
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name,
+                                      SourceId source) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].source == source && fields_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Status Schema::Validate(const std::vector<Value>& values) const {
+  if (values.size() != fields_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " != schema arity " +
+        std::to_string(fields_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null()) continue;
+    if (values[i].type() != fields_[i].type) {
+      // int64 is acceptable where timestamp is declared and vice versa.
+      bool both_time_like =
+          (values[i].type() == ValueType::kInt64 &&
+           fields_[i].type == ValueType::kTimestamp) ||
+          (values[i].type() == ValueType::kTimestamp &&
+           fields_[i].type == ValueType::kInt64);
+      if (!both_time_like) {
+        return Status::InvalidArgument(
+            "field '" + fields_[i].name + "' expects " +
+            ValueTypeName(fields_[i].type) + " got " +
+            ValueTypeName(values[i].type()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    os << fields_[i].name << ":" << ValueTypeName(fields_[i].type) << "@s"
+       << fields_[i].source;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace tcq

@@ -1,0 +1,80 @@
+// Schema: ordered, named, typed fields of a stream or intermediate tuple.
+// Eddy intermediates span several base streams ("homogeneous tuples spanning
+// the same set of tables", paper §2.2), so schemas can be concatenated and
+// every field remembers which base stream it came from.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+/// Base streams/tables are identified by a small integer id; a set of them is
+/// a bitmask (at most 32 sources per eddy, far beyond any practical plan).
+using SourceId = uint32_t;
+using SourceSet = uint32_t;
+
+inline SourceSet SourceBit(SourceId id) { return SourceSet{1} << id; }
+
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  /// The base stream this field originates from.
+  SourceId source = 0;
+
+  bool operator==(const Field&) const = default;
+};
+
+class Schema;
+using SchemaRef = std::shared_ptr<const Schema>;
+
+/// Immutable field list. Shared by reference between all tuples of a stream.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  static SchemaRef Make(std::vector<Field> fields) {
+    return std::make_shared<const Schema>(std::move(fields));
+  }
+
+  /// Concatenation for join outputs. Duplicate names are qualified by their
+  /// position, so lookups by name find the first occurrence.
+  static SchemaRef Concat(const SchemaRef& left, const SchemaRef& right);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the first field with this name, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  /// Index of the field `name` restricted to fields of `source`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name, SourceId source) const;
+
+  /// All base sources contributing fields.
+  SourceSet sources() const { return sources_; }
+
+  /// Validates that a value row matches the schema arity and types
+  /// (null is allowed in any field).
+  Status Validate(const std::vector<Value>& values) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+  SourceSet sources_ = 0;
+};
+
+}  // namespace tcq

@@ -1,0 +1,56 @@
+#include "tuple/tuple.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tcq {
+
+Tuple Tuple::Make(SchemaRef schema, std::vector<Value> values,
+                  Timestamp timestamp) {
+  auto data = std::make_shared<TupleData>();
+  data->sources = schema->sources();
+  data->schema = std::move(schema);
+  data->values = std::move(values);
+  data->timestamp = timestamp;
+  return Tuple(std::move(data));
+}
+
+Tuple Tuple::Concat(const Tuple& left, const Tuple& right,
+                    SchemaRef out_schema) {
+  auto data = std::make_shared<TupleData>();
+  data->schema = std::move(out_schema);
+  data->values.reserve(left.num_fields() + right.num_fields());
+  data->values = left.values();
+  data->values.insert(data->values.end(), right.values().begin(),
+                      right.values().end());
+  data->timestamp = std::max(left.timestamp(), right.timestamp());
+  data->sources = left.sources() | right.sources();
+  return Tuple(std::move(data));
+}
+
+const Value& Tuple::Get(const std::string& name) const {
+  auto idx = data_->schema->IndexOf(name);
+  assert(idx.has_value() && "no such field");
+  return data_->values[*idx];
+}
+
+std::string Tuple::ToString() const {
+  if (!valid()) return "<invalid>";
+  std::ostringstream os;
+  os << "[t=" << data_->timestamp << " ";
+  for (size_t i = 0; i < data_->values.size(); ++i) {
+    if (i) os << ", ";
+    os << data_->schema->field(i).name << "=" << data_->values[i].ToString();
+  }
+  os << "]";
+  return os.str();
+}
+
+bool Tuple::operator==(const Tuple& other) const {
+  if (data_ == other.data_) return true;
+  if (!valid() || !other.valid()) return false;
+  return data_->timestamp == other.data_->timestamp &&
+         data_->values == other.data_->values;
+}
+
+}  // namespace tcq

@@ -1,0 +1,73 @@
+// Tuple: an immutable record flowing through the dataflow. Copies are cheap
+// (shared payload) because eddies, SteMs, and the CACQ lineage machinery all
+// hold references to the same record concurrently.
+
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "tuple/schema.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+/// Immutable payload shared by all copies of a Tuple.
+struct TupleData {
+  SchemaRef schema;
+  std::vector<Value> values;
+  /// Stream timestamp (logical sequence number or physical time, per the
+  /// stream's declared notion of time — paper §4.1).
+  Timestamp timestamp = 0;
+  /// Which base streams this (possibly intermediate) tuple spans.
+  SourceSet sources = 0;
+};
+
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Builds a base-stream tuple. The source set is taken from the schema.
+  static Tuple Make(SchemaRef schema, std::vector<Value> values,
+                    Timestamp timestamp);
+
+  /// Concatenates two tuples into a join intermediate using a precomputed
+  /// output schema (see Schema::Concat). The result timestamp is the max of
+  /// the inputs' (the moment the match could first exist).
+  static Tuple Concat(const Tuple& left, const Tuple& right,
+                      SchemaRef out_schema);
+
+  bool valid() const { return data_ != nullptr; }
+
+  const SchemaRef& schema() const { return data_->schema; }
+  size_t num_fields() const { return data_->values.size(); }
+  const Value& at(size_t i) const {
+    assert(i < data_->values.size());
+    return data_->values[i];
+  }
+  const std::vector<Value>& values() const { return data_->values; }
+  Timestamp timestamp() const { return data_->timestamp; }
+  SourceSet sources() const { return data_->sources; }
+
+  /// Value of the named field; asserts that the field exists.
+  const Value& Get(const std::string& name) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const;
+
+ private:
+  explicit Tuple(std::shared_ptr<const TupleData> data)
+      : data_(std::move(data)) {}
+
+  std::shared_ptr<const TupleData> data_;
+};
+
+/// A batch of tuples. Modules exchange batches when the eddy's
+/// "adapting adaptivity" batching knob (paper §4.3) is turned up.
+using TupleBatch = std::vector<Tuple>;
+
+}  // namespace tcq

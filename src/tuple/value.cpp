@@ -1,0 +1,152 @@
+#include "tuple/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+namespace tcq {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kTimestamp:
+      return "timestamp";
+  }
+  return "unknown";
+}
+
+Value Value::TimestampVal(Timestamp t) {
+  Value v;
+  v.repr_ = TimestampBox{t};
+  return v;
+}
+
+ValueType Value::type() const {
+  switch (repr_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kBool;
+    case 2:
+      return ValueType::kInt64;
+    case 3:
+      return ValueType::kDouble;
+    case 4:
+      return ValueType::kString;
+    case 5:
+      return ValueType::kTimestamp;
+  }
+  return ValueType::kNull;
+}
+
+int64_t Value::AsInt64() const {
+  if (auto* p = std::get_if<TimestampBox>(&repr_)) return p->t;
+  return std::get<int64_t>(repr_);
+}
+
+double Value::AsDouble() const { return std::get<double>(repr_); }
+
+Timestamp Value::AsTimestamp() const {
+  if (auto* p = std::get_if<int64_t>(&repr_)) return *p;
+  return std::get<TimestampBox>(repr_).t;
+}
+
+double Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(std::get<int64_t>(repr_));
+    case ValueType::kDouble:
+      return std::get<double>(repr_);
+    case ValueType::kTimestamp:
+      return static_cast<double>(std::get<TimestampBox>(repr_).t);
+    case ValueType::kBool:
+      return std::get<bool>(repr_) ? 1.0 : 0.0;
+    default:
+      assert(false && "ToDouble on non-numeric Value");
+      return std::nan("");
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  bool ln = is_null(), rn = other.is_null();
+  if (ln || rn) return (ln ? 0 : 1) - (rn ? 0 : 1);
+  if (is_numeric() && other.is_numeric()) {
+    // Compare exactly when both are integral to avoid double rounding.
+    bool li = type() != ValueType::kDouble;
+    bool ri = other.type() != ValueType::kDouble;
+    if (li && ri) {
+      int64_t a = AsInt64(), b = other.AsInt64();
+      return (a > b) - (a < b);
+    }
+    double a = ToDouble(), b = other.ToDouble();
+    return (a > b) - (a < b);
+  }
+  if (type() == ValueType::kBool && other.type() == ValueType::kBool) {
+    return int(AsBool()) - int(other.AsBool());
+  }
+  if (type() == ValueType::kString && other.type() == ValueType::kString) {
+    int c = AsString().compare(other.AsString());
+    return (c > 0) - (c < 0);
+  }
+  assert(false && "comparison across incompatible Value families");
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case ValueType::kBool:
+      return std::hash<bool>{}(AsBool());
+    case ValueType::kInt64:
+    case ValueType::kTimestamp: {
+      int64_t i = AsInt64();
+      double d = static_cast<double>(i);
+      // Hash integral doubles like their int64 so 2 and 2.0 collide.
+      if (static_cast<int64_t>(d) == i) return std::hash<double>{}(d);
+      return std::hash<int64_t>{}(i);
+    }
+    case ValueType::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (type()) {
+    case ValueType::kNull:
+      os << "null";
+      break;
+    case ValueType::kBool:
+      os << (AsBool() ? "true" : "false");
+      break;
+    case ValueType::kInt64:
+      os << AsInt64();
+      break;
+    case ValueType::kDouble:
+      os << AsDouble();
+      break;
+    case ValueType::kString:
+      os << '"' << AsString() << '"';
+      break;
+    case ValueType::kTimestamp:
+      os << "@" << AsTimestamp();
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace tcq

@@ -1,0 +1,97 @@
+// Value: the dynamically typed cell used in tuples. TelegraphCQ streams carry
+// relational records; we support the types the paper's examples use
+// (ClosingStockPrices: long timestamp, char(4) symbol, float price) plus
+// bool/null for predicate results and missing sensor readings.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/clock.h"
+
+namespace tcq {
+
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kTimestamp,
+};
+
+/// Returns the lowercase name of a type ("int64", "string", ...).
+const char* ValueTypeName(ValueType t);
+
+/// A single dynamically typed cell.
+///
+/// Ordering: values of the same numeric family (int64/double/timestamp)
+/// compare numerically across types; strings compare lexicographically;
+/// null compares less than everything else. Cross-family comparisons between
+/// numeric and string are invalid and assert in debug builds.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  explicit Value(bool b) : repr_(b) {}
+  explicit Value(int64_t i) : repr_(i) {}
+  explicit Value(double d) : repr_(d) {}
+  explicit Value(std::string s) : repr_(std::move(s)) {}
+  explicit Value(const char* s) : repr_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(b); }
+  static Value Int64(int64_t i) { return Value(i); }
+  static Value Double(double d) { return Value(d); }
+  static Value String(std::string s) { return Value(std::move(s)); }
+  static Value TimestampVal(Timestamp t);
+
+  ValueType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_numeric() const {
+    ValueType t = type();
+    return t == ValueType::kInt64 || t == ValueType::kDouble ||
+           t == ValueType::kTimestamp;
+  }
+
+  /// Typed accessors; require the matching type.
+  bool AsBool() const { return std::get<bool>(repr_); }
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+  Timestamp AsTimestamp() const;
+
+  /// Numeric coercion: int64/double/timestamp -> double. Asserts otherwise.
+  double ToDouble() const;
+
+  /// Three-way comparison per the ordering rules above: -1, 0, +1.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Stable hash usable for SteM hash indexes and grouped filters. Numeric
+  /// family members that compare equal hash equally.
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  struct TimestampBox {
+    Timestamp t;
+    bool operator==(const TimestampBox&) const = default;
+  };
+  std::variant<std::monostate, bool, int64_t, double, std::string, TimestampBox>
+      repr_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace tcq

@@ -1,0 +1,63 @@
+#include "window/time.h"
+
+namespace tcq {
+
+void WatermarkTracker::Update(SourceId source, Timestamp ts) {
+  auto [it, inserted] = marks_.try_emplace(source, ts);
+  if (!inserted && it->second < ts) it->second = ts;
+}
+
+Timestamp WatermarkTracker::WatermarkOf(SourceId source) const {
+  auto it = marks_.find(source);
+  return it == marks_.end() ? kMinTimestamp : it->second;
+}
+
+Timestamp WatermarkTracker::MinWatermark(SourceSet sources) const {
+  Timestamp min = kMaxTimestamp;
+  for (SourceId s = 0; s < 32; ++s) {
+    if (!(sources & SourceBit(s))) continue;
+    min = std::min(min, WatermarkOf(s));
+  }
+  return min == kMaxTimestamp ? kMinTimestamp : min;
+}
+
+Timestamp WatermarkTracker::GlobalWatermark() const {
+  Timestamp min = kMaxTimestamp;
+  for (const auto& [s, ts] : marks_) min = std::min(min, ts);
+  return min == kMaxTimestamp ? kMinTimestamp : min;
+}
+
+bool WatermarkTracker::Ordered(SourceId a, Timestamp ta, SourceId b,
+                               Timestamp tb) const {
+  Timestamp joint = std::min(WatermarkOf(a), WatermarkOf(b));
+  return ta <= joint && tb <= joint;
+}
+
+void TimeTransform::Observe(Timestamp seq, Timestamp ts) {
+  if (!by_seq_.empty()) {
+    // Keep both coordinates monotone.
+    if (seq <= by_seq_.back().first) return;
+    if (ts < by_seq_.back().second) ts = by_seq_.back().second;
+  }
+  by_seq_.emplace_back(seq, ts);
+}
+
+Timestamp TimeTransform::ToPhysical(Timestamp seq) const {
+  if (by_seq_.empty()) return kMinTimestamp;
+  auto it = std::upper_bound(
+      by_seq_.begin(), by_seq_.end(), seq,
+      [](Timestamp v, const auto& p) { return v < p.first; });
+  if (it == by_seq_.begin()) return kMinTimestamp;
+  return std::prev(it)->second;
+}
+
+Timestamp TimeTransform::ToLogical(Timestamp ts) const {
+  if (by_seq_.empty()) return kMinTimestamp;
+  auto it = std::upper_bound(
+      by_seq_.begin(), by_seq_.end(), ts,
+      [](Timestamp v, const auto& p) { return v < p.second; });
+  if (it == by_seq_.begin()) return kMinTimestamp;
+  return std::prev(it)->first;
+}
+
+}  // namespace tcq

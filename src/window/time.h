@@ -1,0 +1,78 @@
+// Time handling for loosely synchronized distributed sources (paper §4.1.1):
+// "we treat time as a partial order, rather than as a complete order".
+// Each stream advances its own watermark; an operation over several streams
+// may only rely on the region of the timeline all of them have passed. The
+// paper also allows "multiple simultaneous notions of time" — logical
+// sequence numbers or physical timestamps — with transformations between
+// them.
+
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/clock.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+/// Notions of time a stream can be windowed by (§4.1.2).
+enum class TimeDomain {
+  kLogical,   ///< tuple sequence number: window memory needs known a priori
+  kPhysical,  ///< wall-clock: memory depends on arrival-rate fluctuations
+};
+
+/// Tracks per-source watermarks and exposes the joint (partial-order) lower
+/// bound: the latest instant that EVERY involved stream has reached. A
+/// window [l, r] over a set of streams is complete once MinWatermark >= r.
+class WatermarkTracker {
+ public:
+  /// Advances `source`'s watermark to `ts` (monotone; regressions ignored).
+  void Update(SourceId source, Timestamp ts);
+
+  /// Watermark of one source (kMinTimestamp if never updated).
+  Timestamp WatermarkOf(SourceId source) const;
+
+  /// The joint watermark of the given sources: min over their watermarks.
+  /// Sources never seen yield kMinTimestamp (nothing is complete yet).
+  Timestamp MinWatermark(SourceSet sources) const;
+
+  /// Joint watermark over every known source.
+  Timestamp GlobalWatermark() const;
+
+  /// Two timestamps from different sources are only comparable up to the
+  /// joint watermark; both-below means their order is decided.
+  bool Ordered(SourceId a, Timestamp ta, SourceId b, Timestamp tb) const;
+
+ private:
+  std::map<SourceId, Timestamp> marks_;
+};
+
+/// Transforms a stream's notion of time, e.g. logical sequence numbers into
+/// the physical timestamps observed at arrival (the paper's algebra allows
+/// "a stream defined using one notion of time to be transformed into a
+/// stream using another"). Records (logical, physical) correspondence pairs
+/// and interpolates.
+class TimeTransform {
+ public:
+  /// Registers that logical instant `seq` occurred at physical time `ts`.
+  void Observe(Timestamp seq, Timestamp ts);
+
+  /// Physical time of a logical instant (nearest observation at or before;
+  /// kMinTimestamp when nothing observed yet).
+  Timestamp ToPhysical(Timestamp seq) const;
+
+  /// Latest logical instant at or before a physical time (kMinTimestamp
+  /// when nothing observed yet).
+  Timestamp ToLogical(Timestamp ts) const;
+
+  size_t observations() const { return by_seq_.size(); }
+
+ private:
+  // Monotone map seq -> ts (both ascending).
+  std::vector<std::pair<Timestamp, Timestamp>> by_seq_;
+};
+
+}  // namespace tcq

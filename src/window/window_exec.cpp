@@ -1,0 +1,233 @@
+#include "window/window_exec.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tcq {
+
+void StreamHistory::Append(const Tuple& tuple) {
+  if (tuples_.empty() || tuples_.back().timestamp() <= tuple.timestamp()) {
+    tuples_.push_back(tuple);
+    return;
+  }
+  // Slightly out-of-order arrival: insert at the right position.
+  auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), tuple.timestamp(),
+      [](Timestamp ts, const Tuple& t) { return ts < t.timestamp(); });
+  tuples_.insert(it, tuple);
+}
+
+void StreamHistory::Range(Timestamp l, Timestamp r,
+                          std::vector<Tuple>* out) const {
+  auto lo = std::lower_bound(
+      tuples_.begin(), tuples_.end(), l,
+      [](const Tuple& t, Timestamp ts) { return t.timestamp() < ts; });
+  for (auto it = lo; it != tuples_.end() && it->timestamp() <= r; ++it) {
+    out->push_back(*it);
+  }
+}
+
+void StreamHistory::PruneBefore(Timestamp cutoff) {
+  while (!tuples_.empty() && tuples_.front().timestamp() < cutoff) {
+    tuples_.pop_front();
+  }
+}
+
+SourceSet WindowedQuery::Sources() const {
+  SourceSet s = 0;
+  for (const WindowIs& w : loop.windows) s |= SourceBit(w.source);
+  return s;
+}
+
+namespace {
+
+// Joins the per-source window contents with early predicate pruning.
+void JoinWindows(const std::vector<SourceId>& order,
+                 const std::vector<std::vector<Tuple>>& contents,
+                 const std::vector<PredicateRef>& predicates, size_t depth,
+                 const Tuple& acc, std::vector<Tuple>* out) {
+  if (depth == contents.size()) {
+    out->push_back(acc);
+    return;
+  }
+  for (const Tuple& t : contents[depth]) {
+    Tuple next =
+        depth == 0
+            ? t
+            : Tuple::Concat(acc, t, Schema::Concat(acc.schema(), t.schema()));
+    bool viable = true;
+    for (const auto& p : predicates) {
+      if (p->CanEval(next) && !p->Eval(next)) {
+        viable = false;
+        break;
+      }
+    }
+    if (viable) JoinWindows(order, contents, predicates, depth + 1, next, out);
+  }
+}
+
+WindowResult EvaluateInstance(const WindowedQuery& query,
+                              const WindowInstance& inst,
+                              const std::map<SourceId, StreamHistory>& hist) {
+  WindowResult result;
+  result.t = inst.t;
+  std::vector<SourceId> order;
+  std::vector<std::vector<Tuple>> contents;
+  for (const auto& [source, range] : inst.ranges) {
+    order.push_back(source);
+    contents.emplace_back();
+    auto it = hist.find(source);
+    if (it != hist.end()) {
+      it->second.Range(range.first, range.second, &contents.back());
+    }
+    if (contents.back().empty()) return result;  // empty join input
+  }
+  JoinWindows(order, contents, query.predicates, 0, Tuple(), &result.tuples);
+  return result;
+}
+
+}  // namespace
+
+std::vector<WindowResult> RunOverHistory(
+    const WindowedQuery& query,
+    const std::map<SourceId, StreamHistory>& history, uint64_t max_windows) {
+  std::vector<WindowResult> out;
+  WindowIterator iter(query.loop);
+  for (uint64_t n = 0; iter.HasNext() && n < max_windows; ++n) {
+    out.push_back(EvaluateInstance(query, iter.Next(), history));
+  }
+  return out;
+}
+
+OnlineWindowRunner::OnlineWindowRunner(WindowedQuery query)
+    : query_(std::move(query)), iter_(query_.loop) {
+  if (iter_.HasNext()) pending_ = iter_.Next();
+}
+
+void OnlineWindowRunner::Ingest(SourceId source, const Tuple& tuple) {
+  history_[source].Append(tuple);
+  watermarks_.Update(source, tuple.timestamp());
+}
+
+void OnlineWindowRunner::AdvanceWatermark(SourceId source, Timestamp ts) {
+  watermarks_.Update(source, ts);
+}
+
+void OnlineWindowRunner::Poll(const Callback& cb) {
+  while (pending_.has_value()) {
+    // The window fires once every involved stream has passed its right end.
+    bool complete = true;
+    for (const auto& [source, range] : pending_->ranges) {
+      if (watermarks_.WatermarkOf(source) < range.second) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) break;
+    cb(EvaluateInstance(query_, *pending_, history_));
+    pending_ = iter_.HasNext() ? std::optional(iter_.Next()) : std::nullopt;
+    MaybePrune();
+  }
+}
+
+void OnlineWindowRunner::MaybePrune() {
+  if (!pending_.has_value()) {
+    // Loop exhausted: nothing will ever be read again.
+    for (auto& [source, hist] : history_) hist.PruneBefore(kMaxTimestamp);
+    return;
+  }
+  // Safe to prune below the minimum left end of all future windows. For
+  // forward-moving loops with left ends that advance with t, that minimum
+  // is the current instance's left end; otherwise keep everything.
+  if (query_.loop.t_step <= 0) return;
+  for (const auto& [source, range] : pending_->ranges) {
+    bool left_advances = false;
+    for (const WindowIs& w : query_.loop.windows) {
+      if (w.source == source && w.left.t_coef > 0) left_advances = true;
+    }
+    if (left_advances) history_[source].PruneBefore(range.first);
+  }
+}
+
+size_t OnlineWindowRunner::buffered_tuples() const {
+  size_t n = 0;
+  for (const auto& [source, hist] : history_) n += hist.size();
+  return n;
+}
+
+std::vector<WindowAggregateResult> RunAggregateOverHistory(
+    const ForLoopSpec& loop, AggFn fn, const AttrRef& value_attr,
+    const StreamHistory& history, uint64_t max_windows,
+    size_t* peak_state_bytes) {
+  std::vector<WindowAggregateResult> out;
+  WindowClass cls = loop.Classify();
+  size_t peak = 0;
+  WindowIterator iter(loop);
+
+  if (cls == WindowClass::kLandmark) {
+    // Incremental O(1)-state strategy: consecutive windows share the fixed
+    // left end; only the newly exposed suffix is added.
+    LandmarkAggregator agg(fn);
+    Timestamp fed_through = kMinTimestamp;
+    for (uint64_t n = 0; iter.HasNext() && n < max_windows; ++n) {
+      WindowInstance inst = iter.Next();
+      auto range = inst.ranges.front().second;
+      if (fed_through == kMinTimestamp) fed_through = range.first - 1;
+      std::vector<Tuple> fresh;
+      history.Range(fed_through + 1, range.second, &fresh);
+      for (const Tuple& t : fresh) {
+        const Value* v = ResolveAttr(t, value_attr);
+        assert(v != nullptr);
+        agg.Add(*v, t.timestamp());
+      }
+      fed_through = range.second;
+      out.push_back({inst.t, agg.Result()});
+      peak = std::max(peak, agg.StateBytes());
+    }
+  } else if (cls == WindowClass::kSliding) {
+    // Incremental with window retention: feed new suffix, expire old prefix.
+    WindowInstance first_peek = WindowIterator(loop).Next();
+    Timestamp width = first_peek.ranges.front().second.second -
+                      first_peek.ranges.front().second.first + 1;
+    SlidingAggregator agg(fn, width);
+    Timestamp fed_through = kMinTimestamp;
+    for (uint64_t n = 0; iter.HasNext() && n < max_windows; ++n) {
+      WindowInstance inst = iter.Next();
+      auto range = inst.ranges.front().second;
+      if (fed_through == kMinTimestamp) fed_through = range.first - 1;
+      std::vector<Tuple> fresh;
+      history.Range(fed_through + 1, range.second, &fresh);
+      for (const Tuple& t : fresh) {
+        const Value* v = ResolveAttr(t, value_attr);
+        assert(v != nullptr);
+        agg.Add(*v, t.timestamp());
+      }
+      fed_through = range.second;
+      agg.AdvanceTime(range.second);
+      out.push_back({inst.t, agg.Result()});
+      peak = std::max(peak, agg.StateBytes());
+    }
+  } else {
+    // Snapshot / hopping / backward: recompute each window from history
+    // (hop > width means windows share nothing; backward windows revisit
+    // the past arbitrarily).
+    for (uint64_t n = 0; iter.HasNext() && n < max_windows; ++n) {
+      WindowInstance inst = iter.Next();
+      auto range = inst.ranges.front().second;
+      LandmarkAggregator agg(fn);
+      std::vector<Tuple> content;
+      history.Range(range.first, range.second, &content);
+      for (const Tuple& t : content) {
+        const Value* v = ResolveAttr(t, value_attr);
+        assert(v != nullptr);
+        agg.Add(*v, t.timestamp());
+      }
+      out.push_back({inst.t, agg.Result()});
+      peak = std::max(peak, agg.StateBytes() + content.size() * sizeof(Tuple));
+    }
+  }
+  if (peak_state_bytes != nullptr) *peak_state_bytes = peak;
+  return out;
+}
+
+}  // namespace tcq

@@ -1,0 +1,117 @@
+// Execution of windowed continuous queries (paper §4.1): "for every instant
+// in time, a window on a stream defines a set of tuples over which the query
+// is to be executed... the output of a query is presented to the end-user as
+// a sequence of sets, each set being associated with an instant in time."
+//
+// Two modes are provided:
+//  * offline: evaluate a for-loop query over fully arrived histories (how
+//    PSoup applies new queries to old data);
+//  * online: ingest tuples, advance per-stream watermarks, and fire each
+//    window instance as soon as every involved stream has passed its right
+//    end (partial-order time, §4.1.1).
+
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "operators/aggregate.h"
+#include "operators/predicate.h"
+#include "window/time.h"
+#include "window/window_spec.h"
+
+namespace tcq {
+
+/// Per-source history buffer ordered by timestamp (streams deliver in
+/// timestamp order; slight disorder is tolerated by insertion position).
+class StreamHistory {
+ public:
+  void Append(const Tuple& tuple);
+
+  /// Appends to `out` all tuples with l <= ts <= r.
+  void Range(Timestamp l, Timestamp r, std::vector<Tuple>* out) const;
+
+  /// Drops tuples with ts < cutoff (reclaims memory once no remaining
+  /// window can reach back before `cutoff`).
+  void PruneBefore(Timestamp cutoff);
+
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+ private:
+  std::deque<Tuple> tuples_;
+};
+
+/// One fired window: the loop instant and the query's result set over it.
+struct WindowResult {
+  Timestamp t = 0;
+  std::vector<Tuple> tuples;
+};
+
+/// A windowed query: the for-loop plus a conjunctive predicate set (filters
+/// and join conditions). Self-joins are expressed by feeding one physical
+/// stream to two SourceIds.
+struct WindowedQuery {
+  ForLoopSpec loop;
+  std::vector<PredicateRef> predicates;
+
+  /// Sources involved (from the loop's WindowIs statements).
+  SourceSet Sources() const;
+};
+
+/// Offline evaluation: runs the entire (bounded) loop over given histories.
+/// `max_windows` guards against unbounded loops.
+std::vector<WindowResult> RunOverHistory(
+    const WindowedQuery& query,
+    const std::map<SourceId, StreamHistory>& history,
+    uint64_t max_windows = 1u << 16);
+
+/// Online evaluation: fires windows as watermarks pass their right ends.
+class OnlineWindowRunner {
+ public:
+  using Callback = std::function<void(const WindowResult&)>;
+
+  explicit OnlineWindowRunner(WindowedQuery query);
+
+  /// Appends a tuple and advances its stream's watermark.
+  void Ingest(SourceId source, const Tuple& tuple);
+
+  /// Declares that `source` has progressed to `ts` even without a tuple
+  /// (punctuation/heartbeat).
+  void AdvanceWatermark(SourceId source, Timestamp ts);
+
+  /// Fires every complete, not-yet-fired window in loop order.
+  void Poll(const Callback& cb);
+
+  /// True once the loop is exhausted AND every instance has fired.
+  bool Done() const { return !pending_.has_value(); }
+
+  size_t buffered_tuples() const;
+
+ private:
+  void MaybePrune();
+
+  WindowedQuery query_;
+  WindowIterator iter_;
+  std::optional<WindowInstance> pending_;  // next unfired window
+  WatermarkTracker watermarks_;
+  std::map<SourceId, StreamHistory> history_;
+};
+
+/// (value, t) pair per fired window.
+struct WindowAggregateResult {
+  Timestamp t = 0;
+  Value value;
+};
+
+/// Runs an aggregate windowed query over a single stream history, returning
+/// one value per window. Strategy is chosen from the loop's classification.
+std::vector<WindowAggregateResult> RunAggregateOverHistory(
+    const ForLoopSpec& loop, AggFn fn, const AttrRef& value_attr,
+    const StreamHistory& history, uint64_t max_windows = 1u << 16,
+    size_t* peak_state_bytes = nullptr);
+
+}  // namespace tcq

@@ -1,0 +1,218 @@
+#include "window/window_spec.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace tcq {
+
+std::string WindowBound::ToString() const {
+  std::ostringstream os;
+  if (t_coef == 0) {
+    os << offset;
+  } else {
+    if (t_coef == 1) {
+      os << "t";
+    } else {
+      os << t_coef << "*t";
+    }
+    if (offset > 0) os << "+" << offset;
+    if (offset < 0) os << offset;
+  }
+  return os.str();
+}
+
+bool LoopCondition::Holds(Timestamp t) const {
+  switch (kind) {
+    case Kind::kAlways:
+      return true;
+    case Kind::kLt:
+      return t < bound;
+    case Kind::kLe:
+      return t <= bound;
+    case Kind::kGt:
+      return t > bound;
+    case Kind::kGe:
+      return t >= bound;
+    case Kind::kEq:
+      return t == bound;
+  }
+  return false;
+}
+
+std::string LoopCondition::ToString() const {
+  switch (kind) {
+    case Kind::kAlways:
+      return "true";
+    case Kind::kLt:
+      return "t < " + std::to_string(bound);
+    case Kind::kLe:
+      return "t <= " + std::to_string(bound);
+    case Kind::kGt:
+      return "t > " + std::to_string(bound);
+    case Kind::kGe:
+      return "t >= " + std::to_string(bound);
+    case Kind::kEq:
+      return "t == " + std::to_string(bound);
+  }
+  return "?";
+}
+
+std::string WindowIs::ToString() const {
+  return "WindowIs(s" + std::to_string(source) + ", " + left.ToString() +
+         ", " + right.ToString() + ")";
+}
+
+const char* WindowClassName(WindowClass c) {
+  switch (c) {
+    case WindowClass::kSnapshot:
+      return "snapshot";
+    case WindowClass::kLandmark:
+      return "landmark";
+    case WindowClass::kSliding:
+      return "sliding";
+    case WindowClass::kHopping:
+      return "hopping";
+    case WindowClass::kBackward:
+      return "backward";
+    case WindowClass::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+WindowClass ForLoopSpec::Classify() const {
+  assert(!windows.empty());
+  auto classify_one = [&](const WindowIs& w) -> WindowClass {
+    bool left_moves = w.left.t_coef != 0;
+    bool right_moves = w.right.t_coef != 0;
+    auto iters = IterationCount();
+    bool single = iters.has_value() && *iters <= 1;
+    if (single || (!left_moves && !right_moves)) return WindowClass::kSnapshot;
+    if (t_step < 0) return WindowClass::kBackward;
+    if (!left_moves && right_moves) return WindowClass::kLandmark;
+    // Both ends move: sliding vs hopping by hop size vs width.
+    Timestamp width = w.right.Eval(t_init) - w.left.Eval(t_init) + 1;
+    Timestamp hop = (w.right.Eval(t_init + t_step) - w.right.Eval(t_init));
+    return hop > width ? WindowClass::kHopping : WindowClass::kSliding;
+  };
+  WindowClass first = classify_one(windows.front());
+  for (size_t i = 1; i < windows.size(); ++i) {
+    if (classify_one(windows[i]) != first) return WindowClass::kMixed;
+  }
+  return first;
+}
+
+bool ForLoopSpec::Bounded() const {
+  using K = LoopCondition::Kind;
+  switch (condition.kind) {
+    case K::kAlways:
+      return false;
+    case K::kEq:
+      return true;
+    case K::kLt:
+    case K::kLe:
+      return t_step > 0 || !condition.Holds(t_init);
+    case K::kGt:
+    case K::kGe:
+      return t_step < 0 || !condition.Holds(t_init);
+  }
+  return false;
+}
+
+std::optional<uint64_t> ForLoopSpec::IterationCount(uint64_t limit) const {
+  if (!Bounded()) return std::nullopt;
+  uint64_t n = 0;
+  Timestamp t = t_init;
+  while (condition.Holds(t)) {
+    if (++n > limit) return std::nullopt;
+    if (condition.kind == LoopCondition::Kind::kEq && t_step == 0) break;
+    t += t_step;
+    if (t_step == 0) break;  // degenerate: at most one iteration counted
+  }
+  return n;
+}
+
+std::string ForLoopSpec::ToString() const {
+  std::ostringstream os;
+  os << "for (t=" << t_init << "; " << condition.ToString()
+     << "; t+=" << t_step << ") { ";
+  for (const WindowIs& w : windows) os << w.ToString() << "; ";
+  os << "}";
+  return os.str();
+}
+
+ForLoopSpec ForLoopSpec::Snapshot(SourceId source, Timestamp left,
+                                  Timestamp right) {
+  // for (; t == 0; t = -1) { WindowIs(S, left, right); } — paper example 1.
+  ForLoopSpec spec;
+  spec.t_init = 0;
+  spec.condition = {LoopCondition::Kind::kEq, 0};
+  spec.t_step = -1;
+  spec.windows.push_back(
+      {source, WindowBound::Constant(left), WindowBound::Constant(right)});
+  return spec;
+}
+
+ForLoopSpec ForLoopSpec::Landmark(SourceId source, Timestamp fixed_left,
+                                  Timestamp t_begin, Timestamp t_end) {
+  ForLoopSpec spec;
+  spec.t_init = t_begin;
+  spec.condition = {LoopCondition::Kind::kLe, t_end};
+  spec.t_step = 1;
+  spec.windows.push_back(
+      {source, WindowBound::Constant(fixed_left), WindowBound::AtT()});
+  return spec;
+}
+
+ForLoopSpec ForLoopSpec::Sliding(std::vector<SourceId> sources,
+                                 Timestamp width, Timestamp t_begin,
+                                 Timestamp t_end, Timestamp hop) {
+  ForLoopSpec spec;
+  spec.t_init = t_begin;
+  spec.condition = {LoopCondition::Kind::kLe, t_end};
+  spec.t_step = hop;
+  for (SourceId s : sources) {
+    spec.windows.push_back(
+        {s, WindowBound::AtT(-(width - 1)), WindowBound::AtT()});
+  }
+  return spec;
+}
+
+ForLoopSpec ForLoopSpec::Backward(SourceId source, Timestamp width,
+                                  Timestamp now, Timestamp hop,
+                                  uint64_t count) {
+  ForLoopSpec spec;
+  spec.t_init = now;
+  spec.condition = {LoopCondition::Kind::kGt,
+                    now - static_cast<Timestamp>(count) * hop};
+  spec.t_step = -hop;
+  spec.windows.push_back(
+      {source, WindowBound::AtT(-(width - 1)), WindowBound::AtT()});
+  return spec;
+}
+
+std::optional<std::pair<Timestamp, Timestamp>> WindowInstance::RangeFor(
+    SourceId source) const {
+  for (const auto& [s, range] : ranges) {
+    if (s == source) return range;
+  }
+  return std::nullopt;
+}
+
+WindowInstance WindowIterator::Next() {
+  assert(HasNext());
+  WindowInstance inst;
+  inst.t = t_;
+  for (const WindowIs& w : spec_.windows) {
+    inst.ranges.emplace_back(
+        w.source, std::make_pair(w.left.Eval(t_), w.right.Eval(t_)));
+  }
+  t_ += spec_.t_step;
+  if (spec_.t_step == 0) {
+    // Degenerate loop; force termination after one instance.
+    spec_.condition = {LoopCondition::Kind::kEq, t_ - 1};
+  }
+  return inst;
+}
+
+}  // namespace tcq

@@ -1,0 +1,142 @@
+// The TelegraphCQ window mechanism (paper §4.1.1): a for-loop declares the
+// sequence of windows over which a continuous query is executed:
+//
+//   for (t = init; continue_condition(t); change(t)) {
+//     WindowIs(StreamA, left_end(t), right_end(t));
+//     WindowIs(StreamB, left_end(t), right_end(t));
+//   }
+//
+// Window ends are affine in the loop variable (left = coef*t + offset),
+// which covers every example in the paper: snapshot ([1,5]), landmark
+// ([101, t]), sliding ([t-9, t]), hopping (t += 5), and backward-moving
+// windows (negative step). Both ends are inclusive.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "tuple/schema.h"
+
+namespace tcq {
+
+/// An affine bound: coef * t + offset.
+struct WindowBound {
+  int64_t t_coef = 0;
+  Timestamp offset = 0;
+
+  Timestamp Eval(Timestamp t) const { return t_coef * t + offset; }
+
+  static WindowBound Constant(Timestamp v) { return {0, v}; }
+  static WindowBound AtT(Timestamp delta = 0) { return {1, delta}; }
+
+  std::string ToString() const;
+  bool operator==(const WindowBound&) const = default;
+};
+
+/// Loop continuation condition on t.
+struct LoopCondition {
+  enum class Kind { kAlways, kLt, kLe, kGt, kGe, kEq };
+  Kind kind = Kind::kAlways;
+  Timestamp bound = 0;
+
+  bool Holds(Timestamp t) const;
+  std::string ToString() const;
+};
+
+/// `WindowIs(stream, left(t), right(t))`.
+struct WindowIs {
+  SourceId source = 0;
+  WindowBound left;
+  WindowBound right;
+
+  std::string ToString() const;
+};
+
+/// The window classes the paper discusses (§4.1.1, §4.1.2).
+enum class WindowClass {
+  kSnapshot,  ///< executes exactly once over one fixed window
+  kLandmark,  ///< fixed left end, advancing right end
+  kSliding,   ///< both ends advance; hop <= width
+  kHopping,   ///< both ends advance; hop > width (stream portions skipped)
+  kBackward,  ///< windows move backwards in time (browsing history)
+  kMixed,     ///< per-stream windows differ in class
+};
+
+const char* WindowClassName(WindowClass c);
+
+/// One for-loop: a group of streams sharing the same window transition
+/// behaviour (the paper allows one loop per such group).
+struct ForLoopSpec {
+  Timestamp t_init = 0;
+  LoopCondition condition;
+  /// t += step each iteration (may be negative for backward windows; must
+  /// be nonzero unless the condition bounds the loop to one iteration).
+  Timestamp t_step = 1;
+  std::vector<WindowIs> windows;
+
+  /// Classifies the loop's windows.
+  WindowClass Classify() const;
+
+  /// True when the loop terminates on its own.
+  bool Bounded() const;
+
+  /// Number of iterations if bounded (and <= limit), else nullopt.
+  std::optional<uint64_t> IterationCount(uint64_t limit = 1u << 20) const;
+
+  std::string ToString() const;
+
+  // --- Convenience factories for the paper's §4.1 examples ------------------
+
+  /// Example 1: snapshot — one window [left, right] on one stream.
+  static ForLoopSpec Snapshot(SourceId source, Timestamp left,
+                              Timestamp right);
+
+  /// Example 2: landmark — [fixed_left, t] for t in [t_begin, t_end].
+  static ForLoopSpec Landmark(SourceId source, Timestamp fixed_left,
+                              Timestamp t_begin, Timestamp t_end);
+
+  /// Example 3/5: sliding — [t - width + 1, t] for t in [t_begin, t_end],
+  /// hopping by `hop` (hop > width skips data, per §4.1.2).
+  static ForLoopSpec Sliding(std::vector<SourceId> sources, Timestamp width,
+                             Timestamp t_begin, Timestamp t_end,
+                             Timestamp hop = 1);
+
+  /// Backward browsing: [t - width + 1, t] for t starting at `now` and
+  /// moving back by `hop` for `count` windows.
+  static ForLoopSpec Backward(SourceId source, Timestamp width, Timestamp now,
+                              Timestamp hop, uint64_t count);
+};
+
+/// One materialized loop iteration: the value of t and each stream's
+/// concrete [left, right] range.
+struct WindowInstance {
+  Timestamp t = 0;
+  std::vector<std::pair<SourceId, std::pair<Timestamp, Timestamp>>> ranges;
+
+  std::optional<std::pair<Timestamp, Timestamp>> RangeFor(
+      SourceId source) const;
+};
+
+/// Iterates the for-loop lazily (loops may be unbounded).
+class WindowIterator {
+ public:
+  explicit WindowIterator(const ForLoopSpec& spec)
+      : spec_(spec), t_(spec.t_init) {}
+
+  /// True if another window instance exists.
+  bool HasNext() const { return spec_.condition.Holds(t_); }
+
+  /// Returns the next instance and advances t.
+  WindowInstance Next();
+
+  Timestamp current_t() const { return t_; }
+
+ private:
+  ForLoopSpec spec_;
+  Timestamp t_;
+};
+
+}  // namespace tcq

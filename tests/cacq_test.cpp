@@ -1,0 +1,305 @@
+// CACQ tests: the shared eddy must deliver to each registered query exactly
+// what that query would get if executed alone, while actually sharing
+// filters and SteMs — plus on-the-fly query addition/removal.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cacq/shared_eddy.h"
+#include "common/rng.h"
+#include "reference/reference.h"
+
+namespace tcq {
+namespace {
+
+using testref::CanonicalMultiset;
+using testref::NaiveFilter;
+using testref::NaiveJoin;
+
+SchemaRef Sch(SourceId source) {
+  return Schema::Make({
+      {"k", ValueType::kInt64, source},
+      {"v", ValueType::kInt64, source},
+  });
+}
+
+Tuple Row(SourceId source, int64_t k, int64_t v, Timestamp ts) {
+  return Tuple::Make(Sch(source), {Value::Int64(k), Value::Int64(v)}, ts);
+}
+
+std::vector<Tuple> RandomStream(SourceId source, size_t n, int64_t key_range,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Row(source, rng.UniformInt(0, key_range - 1),
+                      rng.UniformInt(0, 99), static_cast<Timestamp>(i)));
+  }
+  return out;
+}
+
+struct PerQueryCollector {
+  std::map<QueryId, std::vector<Tuple>> results;
+  SharedEddy::Sink Sink() {
+    return [this](QueryId q, const Tuple& t) { results[q].push_back(t); };
+  }
+};
+
+TEST(SharedEddyTest, SingleFilterQuery) {
+  SharedEddy eddy(MakeLotteryPolicy(1));
+  eddy.RegisterStream(0, Sch(0));
+  PerQueryCollector got;
+  eddy.SetOutput(got.Sink());
+
+  CQSpec spec;
+  spec.filters.push_back({{0, "k"}, CmpOp::kLt, Value::Int64(50)});
+  auto q = eddy.AddQuery(spec);
+  ASSERT_TRUE(q.ok());
+
+  auto stream = RandomStream(0, 300, 100, 1);
+  for (const Tuple& t : stream) eddy.Ingest(0, t);
+
+  auto expected = NaiveFilter(
+      stream, {MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(50))});
+  EXPECT_EQ(CanonicalMultiset(got.results[*q]), CanonicalMultiset(expected));
+}
+
+TEST(SharedEddyTest, ManyFilterQueriesEachSeeOwnResults) {
+  SharedEddy eddy(MakeLotteryPolicy(2));
+  eddy.RegisterStream(0, Sch(0));
+  PerQueryCollector got;
+  eddy.SetOutput(got.Sink());
+
+  // 32 range queries k in [q, q+30], all sharing one grouped filter.
+  std::vector<QueryId> ids;
+  for (int64_t q = 0; q < 32; ++q) {
+    CQSpec spec;
+    spec.filters.push_back({{0, "k"}, CmpOp::kGe, Value::Int64(q)});
+    spec.filters.push_back({{0, "k"}, CmpOp::kLe, Value::Int64(q + 30)});
+    auto id = eddy.AddQuery(spec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  // All 64 factors land in one shared grouped-filter module.
+  EXPECT_EQ(eddy.num_modules(), 1u);
+
+  auto stream = RandomStream(0, 500, 100, 2);
+  for (const Tuple& t : stream) eddy.Ingest(0, t);
+
+  for (int64_t q = 0; q < 32; ++q) {
+    auto expected = NaiveFilter(
+        stream,
+        {MakeRange({0, "k"}, Value::Int64(q), Value::Int64(q + 30))});
+    EXPECT_EQ(CanonicalMultiset(got.results[ids[q]]),
+              CanonicalMultiset(expected))
+        << "query " << q;
+  }
+}
+
+TEST(SharedEddyTest, JoinQueryMatchesReference) {
+  SharedEddy eddy(MakeLotteryPolicy(3));
+  eddy.RegisterStream(0, Sch(0));
+  eddy.RegisterStream(1, Sch(1));
+  PerQueryCollector got;
+  eddy.SetOutput(got.Sink());
+
+  CQSpec spec;
+  spec.joins.push_back({{0, "k"}, {1, "k"}});
+  auto q = eddy.AddQuery(spec);
+  ASSERT_TRUE(q.ok());
+
+  auto s = RandomStream(0, 100, 15, 3);
+  auto t = RandomStream(1, 100, 15, 4);
+  for (size_t i = 0; i < s.size(); ++i) {
+    eddy.Ingest(0, s[i]);
+    eddy.Ingest(1, t[i]);
+  }
+  auto expected =
+      NaiveJoin({s, t}, {MakeCompareAttrs({0, "k"}, CmpOp::kEq, {1, "k"})});
+  EXPECT_EQ(CanonicalMultiset(got.results[*q]), CanonicalMultiset(expected));
+}
+
+TEST(SharedEddyTest, MixedFootprintQueriesShareOneDataflow) {
+  // q0: filter-only on S; q1: S join T; q2: filter on T. All share.
+  SharedEddy eddy(MakeLotteryPolicy(4));
+  eddy.RegisterStream(0, Sch(0));
+  eddy.RegisterStream(1, Sch(1));
+  PerQueryCollector got;
+  eddy.SetOutput(got.Sink());
+
+  CQSpec s0;
+  s0.filters.push_back({{0, "v"}, CmpOp::kLt, Value::Int64(30)});
+  CQSpec s1;
+  s1.joins.push_back({{0, "k"}, {1, "k"}});
+  s1.filters.push_back({{0, "v"}, CmpOp::kGe, Value::Int64(10)});
+  CQSpec s2;
+  s2.filters.push_back({{1, "v"}, CmpOp::kGe, Value::Int64(70)});
+
+  auto q0 = eddy.AddQuery(s0);
+  auto q1 = eddy.AddQuery(s1);
+  auto q2 = eddy.AddQuery(s2);
+  ASSERT_TRUE(q0.ok() && q1.ok() && q2.ok());
+
+  auto s = RandomStream(0, 150, 12, 5);
+  auto t = RandomStream(1, 150, 12, 6);
+  for (size_t i = 0; i < s.size(); ++i) {
+    eddy.Ingest(0, s[i]);
+    eddy.Ingest(1, t[i]);
+  }
+
+  EXPECT_EQ(CanonicalMultiset(got.results[*q0]),
+            CanonicalMultiset(NaiveFilter(
+                s, {MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(30))})));
+  EXPECT_EQ(
+      CanonicalMultiset(got.results[*q1]),
+      CanonicalMultiset(NaiveJoin(
+          {s, t},
+          {MakeCompareAttrs({0, "k"}, CmpOp::kEq, {1, "k"}),
+           MakeCompareConst({0, "v"}, CmpOp::kGe, Value::Int64(10))})));
+  EXPECT_EQ(CanonicalMultiset(got.results[*q2]),
+            CanonicalMultiset(NaiveFilter(
+                t, {MakeCompareConst({1, "v"}, CmpOp::kGe, Value::Int64(70))})));
+}
+
+TEST(SharedEddyTest, ResidualPredicateQuery) {
+  // The paper's §4.1 example shape: join on timestamp equality plus a
+  // non-equi residual (c2.closingPrice > c1.closingPrice).
+  SharedEddy eddy(MakeLotteryPolicy(5));
+  eddy.RegisterStream(0, Sch(0));
+  eddy.RegisterStream(1, Sch(1));
+  PerQueryCollector got;
+  eddy.SetOutput(got.Sink());
+
+  CQSpec spec;
+  spec.joins.push_back({{0, "k"}, {1, "k"}});
+  spec.residuals.push_back(
+      MakeCompareAttrs({1, "v"}, CmpOp::kGt, {0, "v"}));
+  auto q = eddy.AddQuery(spec);
+  ASSERT_TRUE(q.ok());
+
+  auto s = RandomStream(0, 120, 10, 7);
+  auto t = RandomStream(1, 120, 10, 8);
+  for (size_t i = 0; i < s.size(); ++i) {
+    eddy.Ingest(0, s[i]);
+    eddy.Ingest(1, t[i]);
+  }
+  auto expected =
+      NaiveJoin({s, t}, {MakeCompareAttrs({0, "k"}, CmpOp::kEq, {1, "k"}),
+                         MakeCompareAttrs({1, "v"}, CmpOp::kGt, {0, "v"})});
+  EXPECT_EQ(CanonicalMultiset(got.results[*q]), CanonicalMultiset(expected));
+}
+
+TEST(SharedEddyTest, QueriesAddedMidStreamSeeOnlyNewData) {
+  SharedEddy eddy(MakeLotteryPolicy(6));
+  eddy.RegisterStream(0, Sch(0));
+  PerQueryCollector got;
+  eddy.SetOutput(got.Sink());
+
+  auto stream = RandomStream(0, 200, 100, 9);
+  CQSpec spec;
+  spec.filters.push_back({{0, "k"}, CmpOp::kLt, Value::Int64(100)});
+
+  std::optional<QueryId> q;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (i == 100) {
+      auto r = eddy.AddQuery(spec);
+      ASSERT_TRUE(r.ok());
+      q = *r;
+    }
+    eddy.Ingest(0, stream[i]);
+  }
+  ASSERT_TRUE(q.has_value());
+  // The filter passes everything (k < 100 always); the query should have
+  // exactly the second half of the stream.
+  EXPECT_EQ(got.results[*q].size(), 100u);
+}
+
+TEST(SharedEddyTest, RemovedQueriesStopReceiving) {
+  SharedEddy eddy(MakeLotteryPolicy(7));
+  eddy.RegisterStream(0, Sch(0));
+  PerQueryCollector got;
+  eddy.SetOutput(got.Sink());
+
+  CQSpec spec;
+  spec.filters.push_back({{0, "k"}, CmpOp::kLt, Value::Int64(100)});
+  auto q = eddy.AddQuery(spec);
+  ASSERT_TRUE(q.ok());
+
+  auto stream = RandomStream(0, 100, 100, 10);
+  for (size_t i = 0; i < 50; ++i) eddy.Ingest(0, stream[i]);
+  ASSERT_TRUE(eddy.RemoveQuery(*q).ok());
+  for (size_t i = 50; i < 100; ++i) eddy.Ingest(0, stream[i]);
+
+  EXPECT_EQ(got.results[*q].size(), 50u);
+  // Removing again is an error.
+  EXPECT_TRUE(eddy.RemoveQuery(*q).IsNotFound());
+}
+
+TEST(SharedEddyTest, JoinQueriesShareStems) {
+  SharedEddy eddy(MakeLotteryPolicy(8));
+  eddy.RegisterStream(0, Sch(0));
+  eddy.RegisterStream(1, Sch(1));
+
+  // Ten queries over the same join edge with different filters.
+  for (int64_t i = 0; i < 10; ++i) {
+    CQSpec spec;
+    spec.joins.push_back({{0, "k"}, {1, "k"}});
+    spec.filters.push_back({{0, "v"}, CmpOp::kGe, Value::Int64(i * 10)});
+    ASSERT_TRUE(eddy.AddQuery(spec).ok());
+  }
+  // Modules: 2 probe directions + 1 grouped filter = 3, not 30.
+  EXPECT_EQ(eddy.num_modules(), 3u);
+}
+
+TEST(SharedEddyTest, WindowedSharedJoinEvicts) {
+  SharedEddy eddy(MakeLotteryPolicy(9));
+  eddy.RegisterStream(0, Sch(0), StemOptions{.key_attr = "", .max_count = 0, .window = 5});
+  eddy.RegisterStream(1, Sch(1), StemOptions{.key_attr = "", .max_count = 0, .window = 5});
+  PerQueryCollector got;
+  eddy.SetOutput(got.Sink());
+
+  CQSpec spec;
+  spec.joins.push_back({{0, "k"}, {1, "k"}});
+  auto q = eddy.AddQuery(spec);
+  ASSERT_TRUE(q.ok());
+
+  eddy.Ingest(0, Row(0, 7, 1, 0));
+  eddy.AdvanceTime(100);
+  eddy.Ingest(1, Row(1, 7, 2, 100));  // partner expired: no result
+  EXPECT_TRUE(got.results[*q].empty());
+
+  eddy.Ingest(0, Row(0, 9, 1, 101));
+  eddy.Ingest(1, Row(1, 9, 2, 102));
+  EXPECT_EQ(got.results[*q].size(), 1u);
+}
+
+TEST(SharedEddyTest, UnregisteredStreamIsAnError) {
+  SharedEddy eddy(MakeLotteryPolicy(10));
+  eddy.RegisterStream(0, Sch(0));
+  CQSpec spec;
+  spec.filters.push_back({{5, "k"}, CmpOp::kLt, Value::Int64(1)});
+  EXPECT_TRUE(eddy.AddQuery(spec).status().IsNotFound());
+
+  CQSpec bad_attr;
+  bad_attr.filters.push_back({{0, "nope"}, CmpOp::kLt, Value::Int64(1)});
+  EXPECT_TRUE(eddy.AddQuery(bad_attr).status().IsNotFound());
+}
+
+TEST(QueryRegistryTest, FootprintAndInterestSets) {
+  QueryRegistry reg;
+  CQSpec spec;
+  spec.filters.push_back({{0, "k"}, CmpOp::kLt, Value::Int64(1)});
+  spec.joins.push_back({{0, "k"}, {1, "k"}});
+  QueryId q = reg.Add(spec);
+  EXPECT_EQ(reg.Get(q)->footprint, SourceBit(0) | SourceBit(1));
+  EXPECT_TRUE(reg.QueriesTouching(0).Contains(q));
+  EXPECT_TRUE(reg.QueriesTouching(1).Contains(q));
+  EXPECT_FALSE(reg.QueriesTouching(2).Contains(q));
+  ASSERT_TRUE(reg.Remove(q).ok());
+  EXPECT_FALSE(reg.QueriesTouching(0).Contains(q));
+  EXPECT_EQ(reg.num_active(), 0u);
+}
+
+}  // namespace
+}  // namespace tcq

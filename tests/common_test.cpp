@@ -1,0 +1,219 @@
+// Tests for the common substrate: Status/Result, Rng, clocks, QuerySet.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/query_set.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace tcq {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad window");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad window");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad window");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kIOError); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    TCQ_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(9), 7);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::OutOfRange("window past end");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+  EXPECT_EQ(r.value_or(9), 9);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto make = []() -> Result<int> { return 5; };
+  auto use = [&]() -> Result<int> {
+    TCQ_ASSIGN_OR_RETURN(int v, make());
+    return v * 2;
+  };
+  ASSERT_TRUE(use().ok());
+  EXPECT_EQ(use().value(), 10);
+}
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ZipfSkewsTowardsZero) {
+  Rng rng(3);
+  const uint64_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Zipf(n, 0.99)];
+  // Rank 0 should dominate rank 50 heavily under theta ~ 1.
+  EXPECT_GT(counts[0], counts[50] * 5);
+}
+
+TEST(RngTest, ZipfThetaZeroIsUniform) {
+  Rng rng(3);
+  const uint64_t n = 10;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.Zipf(n, 0.0)];
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(counts[i], 5000, 500) << "rank " << i;
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(11);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.WeightedIndex(w), 1u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  rng.Shuffle(&v);
+  std::multiset<int> got(v.begin(), v.end());
+  EXPECT_EQ(got, (std::multiset<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150);
+  clock.Set(10);
+  EXPECT_EQ(clock.Now(), 10);
+}
+
+TEST(ClockTest, WallClockMonotone) {
+  WallClock clock;
+  Timestamp a = clock.Now();
+  Timestamp b = clock.Now();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, SequenceCounterThreadSafe) {
+  SequenceCounter counter;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 1000; ++j) counter.Next();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Peek(), 4000);
+}
+
+TEST(QuerySetTest, AddRemoveContains) {
+  QuerySet s;
+  s.Add(3);
+  s.Add(100);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(100));
+  EXPECT_FALSE(s.Contains(4));
+  s.Remove(3);
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_EQ(s.Count(), 1u);
+}
+
+TEST(QuerySetTest, AllAndEmpty) {
+  QuerySet s = QuerySet::All(70);
+  EXPECT_EQ(s.Count(), 70u);
+  EXPECT_FALSE(s.Empty());
+  EXPECT_TRUE(QuerySet().Empty());
+}
+
+TEST(QuerySetTest, SetAlgebra) {
+  QuerySet a, b;
+  a.Add(1);
+  a.Add(2);
+  a.Add(65);
+  b.Add(2);
+  b.Add(65);
+  b.Add(90);
+
+  QuerySet inter = a;
+  inter.IntersectWith(b);
+  EXPECT_EQ(inter.ToVector(), (std::vector<QueryId>{2, 65}));
+
+  QuerySet uni = a;
+  uni.UnionWith(b);
+  EXPECT_EQ(uni.ToVector(), (std::vector<QueryId>{1, 2, 65, 90}));
+
+  QuerySet diff = a;
+  diff.SubtractWith(b);
+  EXPECT_EQ(diff.ToVector(), (std::vector<QueryId>{1}));
+
+  EXPECT_TRUE(a.Intersects(b));
+  QuerySet disjoint;
+  disjoint.Add(40);
+  EXPECT_FALSE(a.Intersects(disjoint));
+}
+
+TEST(QuerySetTest, ForEachAscending) {
+  QuerySet s;
+  s.Add(5);
+  s.Add(64);
+  s.Add(0);
+  std::vector<QueryId> seen;
+  s.ForEach([&](QueryId q) { seen.push_back(q); });
+  EXPECT_EQ(seen, (std::vector<QueryId>{0, 5, 64}));
+}
+
+TEST(QuerySetTest, EqualityIgnoresWidth) {
+  QuerySet a(10), b(200);
+  a.Add(3);
+  b.Add(3);
+  EXPECT_TRUE(a == b);
+  b.Add(150);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace tcq

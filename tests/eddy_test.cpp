@@ -1,0 +1,414 @@
+// Eddy tests: correctness of adaptive routing against the naive reference
+// evaluator, for every routing policy and for the adaptivity knobs
+// (batching, operator fixing). The central property: an eddy's output is
+// plan-invariant — any routing order yields the same result multiset.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "eddy/eddy.h"
+#include "eddy/routing_policy.h"
+#include "operators/selection.h"
+#include "reference/reference.h"
+#include "stem/stem.h"
+
+namespace tcq {
+namespace {
+
+using testref::CanonicalMultiset;
+using testref::NaiveFilter;
+using testref::NaiveJoin;
+
+SchemaRef Sch(SourceId source) {
+  return Schema::Make({
+      {"k", ValueType::kInt64, source},
+      {"v", ValueType::kInt64, source},
+  });
+}
+
+Tuple Row(SourceId source, int64_t k, int64_t v, Timestamp ts) {
+  return Tuple::Make(Sch(source), {Value::Int64(k), Value::Int64(v)}, ts);
+}
+
+std::vector<Tuple> RandomStream(SourceId source, size_t n, int64_t key_range,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Row(source, rng.UniformInt(0, key_range - 1),
+                      rng.UniformInt(0, 99), static_cast<Timestamp>(i)));
+  }
+  return out;
+}
+
+// Collects eddy output into a vector.
+struct Collector {
+  std::vector<Tuple> tuples;
+  std::function<void(const Tuple&)> Sink() {
+    return [this](const Tuple& t) { tuples.push_back(t); };
+  }
+};
+
+std::unique_ptr<RoutingPolicy> MakePolicy(const std::string& kind) {
+  if (kind == "lottery") return MakeLotteryPolicy(7);
+  if (kind == "round-robin") return MakeRoundRobinPolicy();
+  if (kind == "greedy") return MakeGreedyPolicy(0.1, 7);
+  if (kind == "fixed") return MakeFixedOrderPolicy({0, 1, 2, 3});
+  if (kind == "fixed-reversed") return MakeFixedOrderPolicy({3, 2, 1, 0});
+  ADD_FAILURE() << "unknown policy " << kind;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Filter-only queries.
+// ---------------------------------------------------------------------------
+
+class EddyPolicyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EddyPolicyTest, TwoFiltersMatchReference) {
+  auto p1 = MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(50));
+  auto p2 = MakeCompareConst({0, "v"}, CmpOp::kGe, Value::Int64(20));
+
+  Eddy eddy(MakePolicy(GetParam()));
+  eddy.AddModule(std::make_unique<Selection>("f1", p1));
+  eddy.AddModule(std::make_unique<Selection>("f2", p2));
+  Collector got;
+  eddy.SetOutput(got.Sink());
+
+  auto stream = RandomStream(0, 500, 100, 1);
+  for (const Tuple& t : stream) eddy.Ingest(0, t);
+
+  auto expected = NaiveFilter(stream, {p1, p2});
+  EXPECT_EQ(CanonicalMultiset(got.tuples), CanonicalMultiset(expected));
+  EXPECT_EQ(eddy.tuples_output(), expected.size());
+}
+
+TEST_P(EddyPolicyTest, SymmetricHashJoinMatchesReference) {
+  // S(k,v) join T(k,v) on S.k = T.k, interleaved arrival.
+  auto stem_s = std::make_shared<SteM>("stemS", 0, Sch(0),
+                                       StemOptions{.key_attr = "k"});
+  auto stem_t = std::make_shared<SteM>("stemT", 1, Sch(1),
+                                       StemOptions{.key_attr = "k"});
+
+  Eddy eddy(MakePolicy(GetParam()));
+  eddy.AttachSteM(stem_s);
+  eddy.AttachSteM(stem_t);
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeS", stem_s.get(),
+      JoinSpec{AttrRef{1, "k"}, AttrRef{0, "k"}, {}}));
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeT", stem_t.get(),
+      JoinSpec{AttrRef{0, "k"}, AttrRef{1, "k"}, {}}));
+  Collector got;
+  eddy.SetOutput(got.Sink());
+
+  auto s = RandomStream(0, 120, 20, 2);
+  auto t = RandomStream(1, 120, 20, 3);
+  for (size_t i = 0; i < s.size(); ++i) {
+    eddy.Ingest(0, s[i]);
+    eddy.Ingest(1, t[i]);
+  }
+
+  auto expected = NaiveJoin(
+      {s, t}, {MakeCompareAttrs({0, "k"}, CmpOp::kEq, {1, "k"})});
+  EXPECT_EQ(CanonicalMultiset(got.tuples), CanonicalMultiset(expected));
+}
+
+TEST_P(EddyPolicyTest, JoinPlusFiltersMatchReference) {
+  auto stem_s = std::make_shared<SteM>("stemS", 0, Sch(0),
+                                       StemOptions{.key_attr = "k"});
+  auto stem_t = std::make_shared<SteM>("stemT", 1, Sch(1),
+                                       StemOptions{.key_attr = "k"});
+  auto f_s = MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(70));
+  auto f_t = MakeCompareConst({1, "v"}, CmpOp::kGe, Value::Int64(10));
+
+  Eddy eddy(MakePolicy(GetParam()));
+  eddy.AttachSteM(stem_s);
+  eddy.AttachSteM(stem_t);
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeS", stem_s.get(),
+      JoinSpec{AttrRef{1, "k"}, AttrRef{0, "k"}, {}}));
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeT", stem_t.get(),
+      JoinSpec{AttrRef{0, "k"}, AttrRef{1, "k"}, {}}));
+  eddy.AddModule(std::make_unique<Selection>("fS", f_s));
+  eddy.AddModule(std::make_unique<Selection>("fT", f_t));
+  Collector got;
+  eddy.SetOutput(got.Sink());
+
+  auto s = RandomStream(0, 100, 15, 4);
+  auto t = RandomStream(1, 100, 15, 5);
+  for (size_t i = 0; i < s.size(); ++i) {
+    eddy.Ingest(0, s[i]);
+    eddy.Ingest(1, t[i]);
+  }
+
+  auto expected = NaiveJoin(
+      {s, t},
+      {MakeCompareAttrs({0, "k"}, CmpOp::kEq, {1, "k"}), f_s, f_t});
+  EXPECT_EQ(CanonicalMultiset(got.tuples), CanonicalMultiset(expected));
+}
+
+TEST_P(EddyPolicyTest, ThreeWayJoinMatchesReference) {
+  // Chain join: S.k = T.k and T.v = U.k (predicates form a path S-T-U).
+  auto stem_s = std::make_shared<SteM>("stemS", 0, Sch(0),
+                                       StemOptions{.key_attr = "k"});
+  auto stem_t = std::make_shared<SteM>("stemT", 1, Sch(1),
+                                       StemOptions{.key_attr = "k"});
+  auto stem_u = std::make_shared<SteM>("stemU", 2, Sch(2),
+                                       StemOptions{.key_attr = "k"});
+
+  // One probe module per join-predicate edge touching each SteM, with the
+  // full predicate list so cross-edge predicates are enforced on
+  // concatenations as soon as they become evaluable.
+  std::vector<PredicateRef> join_preds = {
+      MakeCompareAttrs({0, "k"}, CmpOp::kEq, {1, "k"}),
+      MakeCompareAttrs({1, "v"}, CmpOp::kEq, {2, "k"})};
+
+  Eddy eddy(MakePolicy(GetParam()));
+  eddy.AttachSteM(stem_s);
+  eddy.AttachSteM(stem_t);
+  eddy.AttachSteM(stem_u);
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeS", stem_s.get(),
+      JoinSpec{AttrRef{1, "k"}, AttrRef{0, "k"}, join_preds}));
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeT.bySk", stem_t.get(),
+      JoinSpec{AttrRef{0, "k"}, AttrRef{1, "k"}, join_preds}));
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeT.byUk", stem_t.get(),
+      JoinSpec{AttrRef{2, "k"}, AttrRef{1, "v"}, join_preds}));
+  // U joins T on T.v = U.k.
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeU", stem_u.get(),
+      JoinSpec{AttrRef{1, "v"}, AttrRef{2, "k"}, join_preds}));
+  Collector got;
+  eddy.SetOutput(got.Sink());
+
+  auto s = RandomStream(0, 60, 8, 6);
+  auto t = RandomStream(1, 60, 8, 7);
+  auto u = RandomStream(2, 60, 8, 8);
+  // Narrow T.v so the T-U join has hits: remap v into the key range.
+  for (auto& tup : t) {
+    tup = Row(1, tup.Get("k").AsInt64(), tup.Get("v").AsInt64() % 8,
+              tup.timestamp());
+  }
+  for (size_t i = 0; i < s.size(); ++i) {
+    eddy.Ingest(0, s[i]);
+    eddy.Ingest(1, t[i]);
+    eddy.Ingest(2, u[i]);
+  }
+
+  auto expected =
+      NaiveJoin({s, t, u}, {MakeCompareAttrs({0, "k"}, CmpOp::kEq, {1, "k"}),
+                            MakeCompareAttrs({1, "v"}, CmpOp::kEq, {2, "k"})});
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(CanonicalMultiset(got.tuples), CanonicalMultiset(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, EddyPolicyTest,
+                         ::testing::Values("lottery", "round-robin", "greedy",
+                                           "fixed", "fixed-reversed"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------------
+// Adaptivity knobs: batching and operator fixing must not change results.
+// ---------------------------------------------------------------------------
+
+struct KnobParam {
+  uint32_t batch_size;
+  uint32_t fix_len;
+};
+
+class EddyKnobTest : public ::testing::TestWithParam<KnobParam> {};
+
+TEST_P(EddyKnobTest, KnobsPreserveResults) {
+  auto [batch, fix] = GetParam();
+  auto p1 = MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(60));
+  auto p2 = MakeCompareConst({0, "v"}, CmpOp::kGe, Value::Int64(30));
+  auto p3 = MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(90));
+
+  Eddy eddy(MakeLotteryPolicy(11), Eddy::Options{batch, fix});
+  eddy.AddModule(std::make_unique<Selection>("f1", p1));
+  eddy.AddModule(std::make_unique<Selection>("f2", p2));
+  eddy.AddModule(std::make_unique<Selection>("f3", p3));
+  Collector got;
+  eddy.SetOutput(got.Sink());
+
+  auto stream = RandomStream(0, 800, 100, 9);
+  for (const Tuple& t : stream) eddy.Ingest(0, t);
+
+  auto expected = NaiveFilter(stream, {p1, p2, p3});
+  EXPECT_EQ(CanonicalMultiset(got.tuples), CanonicalMultiset(expected));
+}
+
+TEST_P(EddyKnobTest, KnobsPreserveJoinResults) {
+  auto [batch, fix] = GetParam();
+  auto stem_s = std::make_shared<SteM>("stemS", 0, Sch(0),
+                                       StemOptions{.key_attr = "k"});
+  auto stem_t = std::make_shared<SteM>("stemT", 1, Sch(1),
+                                       StemOptions{.key_attr = "k"});
+  Eddy eddy(MakeLotteryPolicy(13), Eddy::Options{batch, fix});
+  eddy.AttachSteM(stem_s);
+  eddy.AttachSteM(stem_t);
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeS", stem_s.get(),
+      JoinSpec{AttrRef{1, "k"}, AttrRef{0, "k"}, {}}));
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeT", stem_t.get(),
+      JoinSpec{AttrRef{0, "k"}, AttrRef{1, "k"}, {}}));
+  Collector got;
+  eddy.SetOutput(got.Sink());
+
+  auto s = RandomStream(0, 80, 10, 14);
+  auto t = RandomStream(1, 80, 10, 15);
+  for (size_t i = 0; i < s.size(); ++i) {
+    eddy.Ingest(0, s[i]);
+    eddy.Ingest(1, t[i]);
+  }
+  auto expected =
+      NaiveJoin({s, t}, {MakeCompareAttrs({0, "k"}, CmpOp::kEq, {1, "k"})});
+  EXPECT_EQ(CanonicalMultiset(got.tuples), CanonicalMultiset(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnobSweep, EddyKnobTest,
+    ::testing::Values(KnobParam{1, 1}, KnobParam{8, 1}, KnobParam{64, 1},
+                      KnobParam{1, 2}, KnobParam{1, 4}, KnobParam{32, 3}),
+    [](const auto& info) {
+      return "batch" + std::to_string(info.param.batch_size) + "_fix" +
+             std::to_string(info.param.fix_len);
+    });
+
+// ---------------------------------------------------------------------------
+// Behavioural details.
+// ---------------------------------------------------------------------------
+
+TEST(EddyTest, BatchingReducesRoutingDecisions) {
+  auto make_eddy = [](uint32_t batch) {
+    auto eddy = std::make_unique<Eddy>(MakeLotteryPolicy(3),
+                                       Eddy::Options{batch, 1});
+    eddy->AddModule(std::make_unique<Selection>(
+        "f1", MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(50))));
+    eddy->AddModule(std::make_unique<Selection>(
+        "f2", MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(50))));
+    return eddy;
+  };
+  auto stream = RandomStream(0, 1000, 100, 21);
+
+  auto fine = make_eddy(1);
+  auto coarse = make_eddy(64);
+  for (const Tuple& t : stream) {
+    fine->Ingest(0, t);
+    coarse->Ingest(0, t);
+  }
+  EXPECT_LT(coarse->routing_decisions(), fine->routing_decisions() / 4);
+  EXPECT_EQ(fine->tuples_output(), coarse->tuples_output());
+}
+
+TEST(EddyTest, LotteryLearnsToRouteToSelectiveFilterFirst) {
+  // f_selective drops 99%, f_permissive drops 1%. After a warmup, the
+  // lottery should send most tuples to the selective filter first, so the
+  // permissive filter sees far fewer tuples than the selective one.
+  auto selective = MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(1));
+  auto permissive = MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(99));
+
+  Eddy eddy(MakeLotteryPolicy(5));
+  size_t s_slot = eddy.AddModule(std::make_unique<Selection>("sel", selective));
+  size_t p_slot =
+      eddy.AddModule(std::make_unique<Selection>("perm", permissive));
+
+  auto stream = RandomStream(0, 5000, 100, 22);
+  for (const Tuple& t : stream) eddy.Ingest(0, t);
+
+  uint64_t s_seen = eddy.module(s_slot)->consumed();
+  uint64_t p_seen = eddy.module(p_slot)->consumed();
+  EXPECT_GT(s_seen, p_seen * 2)
+      << "lottery failed to favour the selective filter";
+}
+
+TEST(EddyTest, WindowedJoinEvictsOldState) {
+  auto stem_s = std::make_shared<SteM>(
+      "stemS", 0, Sch(0), StemOptions{.key_attr = "k", .window = 5});
+  auto stem_t = std::make_shared<SteM>(
+      "stemT", 1, Sch(1), StemOptions{.key_attr = "k", .window = 5});
+  Eddy eddy(MakeLotteryPolicy(5));
+  eddy.AttachSteM(stem_s);
+  eddy.AttachSteM(stem_t);
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeS", stem_s.get(),
+      JoinSpec{AttrRef{1, "k"}, AttrRef{0, "k"}, {}}));
+  eddy.AddModule(std::make_unique<SteMProbe>(
+      "probeT", stem_t.get(),
+      JoinSpec{AttrRef{0, "k"}, AttrRef{1, "k"}, {}}));
+  Collector got;
+  eddy.SetOutput(got.Sink());
+
+  // Matching keys 100 time units apart: outside any 5-unit window.
+  eddy.Ingest(0, Row(0, 7, 1, 0));
+  eddy.AdvanceTime(100);
+  eddy.Ingest(1, Row(1, 7, 2, 100));
+  EXPECT_TRUE(got.tuples.empty());
+
+  // Matching keys close in time: joined.
+  eddy.Ingest(0, Row(0, 9, 1, 101));
+  eddy.Ingest(1, Row(1, 9, 2, 102));
+  EXPECT_EQ(got.tuples.size(), 1u);
+}
+
+TEST(EddyTest, ContentDriftIsHandled) {
+  // Swap a filter's predicate mid-stream (the eddy re-learns); results must
+  // equal applying the first predicate to the first half and the second to
+  // the second half.
+  auto phase1 = MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(10));
+  auto phase2 = MakeCompareConst({0, "k"}, CmpOp::kGe, Value::Int64(90));
+
+  Eddy eddy(MakeLotteryPolicy(5));
+  auto sel = std::make_unique<Selection>("drift", phase1);
+  Selection* sel_ptr = sel.get();
+  eddy.AddModule(std::move(sel));
+  Collector got;
+  eddy.SetOutput(got.Sink());
+
+  auto stream = RandomStream(0, 400, 100, 30);
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (i == stream.size() / 2) sel_ptr->ReplacePredicate(phase2);
+    eddy.Ingest(0, stream[i]);
+  }
+
+  std::vector<Tuple> first_half(stream.begin(),
+                                stream.begin() + stream.size() / 2);
+  std::vector<Tuple> second_half(stream.begin() + stream.size() / 2,
+                                 stream.end());
+  auto expected = NaiveFilter(first_half, {phase1});
+  auto expected2 = NaiveFilter(second_half, {phase2});
+  expected.insert(expected.end(), expected2.begin(), expected2.end());
+  EXPECT_EQ(CanonicalMultiset(got.tuples), CanonicalMultiset(expected));
+}
+
+TEST(EddyTest, StatsAreConsistent) {
+  Eddy eddy(MakeRoundRobinPolicy());
+  eddy.AddModule(std::make_unique<Selection>(
+      "f", MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(50))));
+  Collector got;
+  eddy.SetOutput(got.Sink());
+  auto stream = RandomStream(0, 200, 100, 31);
+  for (const Tuple& t : stream) eddy.Ingest(0, t);
+  EXPECT_EQ(eddy.tuples_ingested(), 200u);
+  EXPECT_EQ(eddy.tuples_output(), got.tuples.size());
+  EXPECT_GE(eddy.module_invocations(), eddy.tuples_ingested());
+  EXPECT_EQ(eddy.module(0)->consumed(), 200u);
+  EXPECT_EQ(eddy.module(0)->passed() + eddy.module(0)->dropped(), 200u);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,149 @@
+// Tests for the Fjords inter-module communication layer: queue semantics
+// (push vs pull vs exchange), close/drain behaviour, and non-blocking
+// guarantees under concurrency.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "fjords/fjord.h"
+#include "fjords/queue.h"
+#include "tuple/tuple.h"
+
+namespace tcq {
+namespace {
+
+SchemaRef OneIntSchema() {
+  return Schema::Make({{"v", ValueType::kInt64, 0}});
+}
+
+Tuple IntTuple(int64_t v) {
+  return Tuple::Make(OneIntSchema(), {Value::Int64(v)}, v);
+}
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.TryEnqueue(1), QueueOp::kOk);
+  EXPECT_EQ(q.TryEnqueue(2), QueueOp::kOk);
+  int out = 0;
+  EXPECT_EQ(q.TryDequeue(&out), QueueOp::kOk);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(q.TryDequeue(&out), QueueOp::kOk);
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, TryEnqueueFailsWhenFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.TryEnqueue(1), QueueOp::kOk);
+  EXPECT_EQ(q.TryEnqueue(2), QueueOp::kOk);
+  EXPECT_EQ(q.TryEnqueue(3), QueueOp::kWouldBlock);
+  EXPECT_EQ(q.enqueue_blocked_count(), 1u);
+}
+
+TEST(BoundedQueueTest, TryDequeueFailsWhenEmpty) {
+  BoundedQueue<int> q(2);
+  int out = 0;
+  EXPECT_EQ(q.TryDequeue(&out), QueueOp::kWouldBlock);
+  EXPECT_EQ(q.dequeue_blocked_count(), 1u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReportsClosed) {
+  BoundedQueue<int> q(4);
+  ASSERT_EQ(q.TryEnqueue(1), QueueOp::kOk);
+  q.Close();
+  EXPECT_EQ(q.TryEnqueue(2), QueueOp::kClosed);
+  int out = 0;
+  EXPECT_EQ(q.TryDequeue(&out), QueueOp::kOk);  // pending item still there
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(q.TryDequeue(&out), QueueOp::kClosed);
+  EXPECT_TRUE(q.exhausted());
+}
+
+TEST(BoundedQueueTest, BlockingHandoffAcrossThreads) {
+  BoundedQueue<int> q(1);
+  std::atomic<int> sum{0};
+  std::thread consumer([&] {
+    int v;
+    while (q.DequeueBlocking(&v)) sum += v;
+  });
+  for (int i = 1; i <= 100; ++i) ASSERT_TRUE(q.EnqueueBlocking(i));
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> q(1);
+  std::thread consumer([&] {
+    int v;
+    EXPECT_FALSE(q.DequeueBlocking(&v));
+  });
+  q.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_EQ(q.TryEnqueue(1), QueueOp::kOk);
+  std::thread producer([&] { EXPECT_FALSE(q.EnqueueBlocking(2)); });
+  q.Close();
+  producer.join();
+}
+
+TEST(FjordTest, PushModeNeverBlocksConsumer) {
+  auto [producer, consumer, fjord] = Fjord::Make(FjordMode::kPush, 2);
+  Tuple t;
+  // Empty queue: control returns immediately with kWouldBlock.
+  EXPECT_EQ(consumer.Consume(&t), QueueOp::kWouldBlock);
+  EXPECT_EQ(producer.Produce(IntTuple(1)), QueueOp::kOk);
+  EXPECT_EQ(consumer.Consume(&t), QueueOp::kOk);
+  EXPECT_EQ(t.at(0).AsInt64(), 1);
+}
+
+TEST(FjordTest, PushModeProducerSeesBackpressure) {
+  auto [producer, consumer, fjord] = Fjord::Make(FjordMode::kPush, 1);
+  EXPECT_EQ(producer.Produce(IntTuple(1)), QueueOp::kOk);
+  EXPECT_EQ(producer.Produce(IntTuple(2)), QueueOp::kWouldBlock);
+}
+
+TEST(FjordTest, PullModeDeliversInOrderAcrossThreads) {
+  auto [producer, consumer, fjord] = Fjord::Make(FjordMode::kPull, 4);
+  std::thread t([p = producer]() mutable {
+    for (int i = 0; i < 50; ++i) ASSERT_EQ(p.Produce(IntTuple(i)), QueueOp::kOk);
+    p.Close();
+  });
+  int expected = 0;
+  Tuple tuple;
+  while (consumer.Consume(&tuple) == QueueOp::kOk) {
+    EXPECT_EQ(tuple.at(0).AsInt64(), expected++);
+  }
+  EXPECT_EQ(expected, 50);
+  EXPECT_TRUE(consumer.Exhausted());
+  t.join();
+}
+
+TEST(FjordTest, ExchangeModeBlocksConsumerOnly) {
+  auto [producer, consumer, fjord] = Fjord::Make(FjordMode::kExchange, 1);
+  EXPECT_EQ(producer.Produce(IntTuple(1)), QueueOp::kOk);
+  // Producer side is non-blocking when full.
+  EXPECT_EQ(producer.Produce(IntTuple(2)), QueueOp::kWouldBlock);
+  Tuple t;
+  EXPECT_EQ(consumer.Consume(&t), QueueOp::kOk);
+}
+
+TEST(FjordTest, CloseEndsStreamForConsumer) {
+  auto [producer, consumer, fjord] = Fjord::Make(FjordMode::kPush, 4);
+  producer.Close();
+  Tuple t;
+  EXPECT_EQ(consumer.Consume(&t), QueueOp::kClosed);
+}
+
+TEST(FjordTest, ModeNames) {
+  EXPECT_STREQ(FjordModeName(FjordMode::kPull), "pull");
+  EXPECT_STREQ(FjordModeName(FjordMode::kPush), "push");
+  EXPECT_STREQ(FjordModeName(FjordMode::kExchange), "exchange");
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,226 @@
+// Flux tests (paper §2.4): partitioning correctness, exactly-once counting
+// under online repartitioning, skew rebalancing, replicated failover with
+// no state loss, and the reliability-vs-performance knob.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "flux/flux.h"
+
+namespace tcq {
+namespace {
+
+TEST(PartitionerTest, StableAndComplete) {
+  Partitioner p(64, 4);
+  for (int64_t k = 0; k < 1000; ++k) {
+    size_t b = p.BucketOf(k);
+    EXPECT_LT(b, 64u);
+    EXPECT_EQ(b, p.BucketOf(k));  // stable
+    EXPECT_LT(p.OwnerOf(b), 4u);
+  }
+  size_t total = 0;
+  for (size_t w = 0; w < 4; ++w) total += p.BucketsOf(w).size();
+  EXPECT_EQ(total, 64u);
+}
+
+TEST(PartitionerTest, ReassignMovesOwnership) {
+  Partitioner p(8, 2);
+  p.Reassign(3, 1);
+  EXPECT_EQ(p.OwnerOf(3), 1u);
+}
+
+TEST(SimulatedWorkerTest, ProcessesUpToCapacity) {
+  SimulatedWorker w(0, 3);
+  for (int i = 0; i < 10; ++i) w.Enqueue({int64_t(i), 0});
+  EXPECT_EQ(w.Tick(), 3u);
+  EXPECT_EQ(w.QueueLength(), 7u);
+  EXPECT_EQ(w.ProcessedTotal(), 3u);
+}
+
+TEST(SimulatedWorkerTest, FailLosesEverything) {
+  SimulatedWorker w(0, 10);
+  w.Enqueue({7, 0});
+  w.Tick();
+  EXPECT_EQ(w.CountFor(0, 7), 1u);
+  w.Fail();
+  EXPECT_EQ(w.CountFor(0, 7), 0u);
+  EXPECT_EQ(w.QueueLength(), 0u);
+  w.Enqueue({7, 0});  // network can't deliver to a failed machine
+  EXPECT_EQ(w.QueueLength(), 0u);
+}
+
+TEST(SimulatedWorkerTest, StateMovementPrimitives) {
+  SimulatedWorker a(0, 100), b(1, 100);
+  for (int i = 0; i < 5; ++i) a.Enqueue({7, 3});
+  a.Tick();
+  a.Enqueue({7, 3});  // one still queued
+  BucketState st = a.ExtractBucket(3);
+  b.InstallBucket(3, st);
+  auto queued = a.ExtractQueued(3);
+  for (const WorkItem& item : queued) b.Enqueue(item);
+  b.Tick();
+  EXPECT_EQ(b.CountFor(3, 7), 6u);
+  EXPECT_EQ(a.CountFor(3, 7), 0u);
+}
+
+// Ground truth for exactly-once checks.
+std::map<int64_t, uint64_t> Feed(Flux* flux, size_t n, double skew,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::map<int64_t, uint64_t> truth;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Zipf(1000, skew));
+    flux->Ingest(key);
+    ++truth[key];
+  }
+  return truth;
+}
+
+TEST(FluxTest, CountsAreExactWithoutFailures) {
+  Flux flux({.num_workers = 4, .worker_capacity = 32});
+  auto truth = Feed(&flux, 20000, 0.0, 1);
+  flux.RunUntilDrained();
+  for (const auto& [key, count] : truth) {
+    EXPECT_EQ(flux.CountForKey(key), count) << "key " << key;
+  }
+  EXPECT_EQ(flux.TotalProcessed(), 20000u);
+}
+
+TEST(FluxTest, RebalancePreservesExactCounts) {
+  Flux flux({.num_workers = 4,
+             .worker_capacity = 16,
+             .num_buckets = 64,
+             .rebalance = true,
+             .rebalance_interval = 5});
+  Rng rng(2);
+  std::map<int64_t, uint64_t> truth;
+  // Interleave ingestion and ticking so rebalancing happens mid-stream.
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      int64_t key = static_cast<int64_t>(rng.Zipf(500, 0.9));
+      flux.Ingest(key);
+      ++truth[key];
+    }
+    flux.Tick();
+  }
+  flux.RunUntilDrained();
+  EXPECT_GT(flux.buckets_moved(), 0u) << "skew should trigger movement";
+  for (const auto& [key, count] : truth) {
+    EXPECT_EQ(flux.CountForKey(key), count) << "key " << key;
+  }
+}
+
+TEST(FluxTest, RebalanceReducesImbalanceUnderSkew) {
+  auto run = [&](bool rebalance) {
+    Flux flux({.num_workers = 8,
+               .worker_capacity = 8,
+               .num_buckets = 128,
+               .rebalance = rebalance,
+               .rebalance_interval = 4});
+    Rng rng(3);
+    for (int round = 0; round < 150; ++round) {
+      for (int i = 0; i < 80; ++i) {
+        flux.Ingest(static_cast<int64_t>(rng.Zipf(2000, 1.1)));
+      }
+      flux.Tick();
+    }
+    return flux;
+  };
+  Flux off = run(false);
+  Flux on = run(true);
+  // With rebalancing the hot worker's backlog is spread out.
+  EXPECT_LT(on.MaxQueueLength(), off.MaxQueueLength())
+      << "rebalancing should cap the hot worker's backlog";
+  EXPECT_GT(on.TotalProcessed(), off.TotalProcessed());
+}
+
+TEST(FluxTest, ReplicatedFailoverLosesNothing) {
+  Flux flux({.num_workers = 4,
+             .worker_capacity = 64,
+             .num_buckets = 32,
+             .replication = true});
+  Rng rng(4);
+  std::map<int64_t, uint64_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Zipf(300, 0.5));
+    flux.Ingest(key);
+    ++truth[key];
+    if (i % 7 == 0) flux.Tick();
+  }
+  // Crash a worker mid-stream (some items processed, some in flight).
+  ASSERT_TRUE(flux.FailWorker(1).ok());
+  for (int i = 0; i < 5000; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Zipf(300, 0.5));
+    flux.Ingest(key);
+    ++truth[key];
+    if (i % 7 == 0) flux.Tick();
+  }
+  flux.RunUntilDrained();
+  uint64_t missing = 0;
+  for (const auto& [key, count] : truth) {
+    uint64_t got = flux.CountForKey(key);
+    EXPECT_EQ(got, count) << "key " << key;
+    if (got < count) missing += count - got;
+  }
+  EXPECT_EQ(missing, 0u) << "replicated failover must preserve all state";
+}
+
+TEST(FluxTest, UnreplicatedFailureLosesState) {
+  Flux flux({.num_workers = 4,
+             .worker_capacity = 64,
+             .num_buckets = 32,
+             .replication = false});
+  Rng rng(5);
+  std::map<int64_t, uint64_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t key = static_cast<int64_t>(rng.Zipf(300, 0.5));
+    flux.Ingest(key);
+    ++truth[key];
+    if (i % 7 == 0) flux.Tick();
+  }
+  ASSERT_TRUE(flux.FailWorker(1).ok());
+  flux.RunUntilDrained();
+  uint64_t missing = 0;
+  for (const auto& [key, count] : truth) {
+    uint64_t got = flux.CountForKey(key);
+    if (got < count) missing += count - got;
+  }
+  EXPECT_GT(missing, 0u) << "without replication a crash must lose results";
+}
+
+TEST(FluxTest, ReplicationCostsThroughput) {
+  // The QoS knob: replication dual-routes every item, halving effective
+  // capacity.
+  auto run = [&](bool replication) {
+    Flux flux({.num_workers = 4,
+               .worker_capacity = 16,
+               .num_buckets = 32,
+               .replication = replication});
+    Rng rng(6);
+    for (int round = 0; round < 100; ++round) {
+      for (int i = 0; i < 64; ++i) {
+        flux.Ingest(static_cast<int64_t>(rng.Zipf(300, 0.0)));
+      }
+      flux.Tick();
+    }
+    return flux.TotalQueueLength();
+  };
+  size_t backlog_plain = run(false);
+  size_t backlog_replicated = run(true);
+  EXPECT_GT(backlog_replicated, backlog_plain)
+      << "replication consumes capacity and grows backlog";
+}
+
+TEST(FluxTest, FailureGuards) {
+  Flux flux({.num_workers = 2, .worker_capacity = 8});
+  EXPECT_TRUE(flux.FailWorker(9).IsInvalidArgument());
+  ASSERT_TRUE(flux.FailWorker(0).ok());
+  EXPECT_EQ(flux.FailWorker(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(flux.FailWorker(1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(flux.num_live_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,227 @@
+// Tests for the centered interval tree behind grouped-filter ranges,
+// including an exhaustive brute-force property sweep and the AddRange
+// integration (grouped filter + shared eddy).
+
+#include <gtest/gtest.h>
+
+#include "cacq/shared_eddy.h"
+#include "common/rng.h"
+#include "operators/grouped_filter.h"
+#include "operators/interval_index.h"
+#include "reference/reference.h"
+
+namespace tcq {
+namespace {
+
+std::vector<QueryId> Stab(const IntervalIndex& index, int64_t v) {
+  QuerySet out;
+  index.Stab(Value::Int64(v), &out);
+  return out.ToVector();
+}
+
+TEST(IntervalIndexTest, BasicStab) {
+  IntervalIndex index;
+  index.Add({Value::Int64(10), true, Value::Int64(20), true, 1});
+  index.Add({Value::Int64(15), true, Value::Int64(30), true, 2});
+  index.Add({Value::Int64(40), true, Value::Int64(50), true, 3});
+  EXPECT_EQ(Stab(index, 12), (std::vector<QueryId>{1}));
+  EXPECT_EQ(Stab(index, 18), (std::vector<QueryId>{1, 2}));
+  EXPECT_EQ(Stab(index, 25), (std::vector<QueryId>{2}));
+  EXPECT_EQ(Stab(index, 45), (std::vector<QueryId>{3}));
+  EXPECT_TRUE(Stab(index, 35).empty());
+  EXPECT_TRUE(Stab(index, 5).empty());
+}
+
+TEST(IntervalIndexTest, InclusivityAtEndpoints) {
+  IntervalIndex index;
+  index.Add({Value::Int64(10), false, Value::Int64(20), false, 1});
+  index.Add({Value::Int64(10), true, Value::Int64(20), true, 2});
+  EXPECT_EQ(Stab(index, 10), (std::vector<QueryId>{2}));
+  EXPECT_EQ(Stab(index, 20), (std::vector<QueryId>{2}));
+  EXPECT_EQ(Stab(index, 15), (std::vector<QueryId>{1, 2}));
+}
+
+TEST(IntervalIndexTest, PointIntervalsAndNesting) {
+  IntervalIndex index;
+  index.Add({Value::Int64(7), true, Value::Int64(7), true, 1});   // point
+  index.Add({Value::Int64(0), true, Value::Int64(100), true, 2});  // covers
+  EXPECT_EQ(Stab(index, 7), (std::vector<QueryId>{1, 2}));
+  EXPECT_EQ(Stab(index, 8), (std::vector<QueryId>{2}));
+}
+
+TEST(IntervalIndexTest, RemoveAndCompact) {
+  IntervalIndex index;
+  index.Add({Value::Int64(0), true, Value::Int64(10), true, 1});
+  index.Add({Value::Int64(0), true, Value::Int64(10), true, 2});
+  index.Remove(1);
+  EXPECT_EQ(Stab(index, 5), (std::vector<QueryId>{2}));
+  EXPECT_EQ(index.size(), 2u);  // lazily retained
+  index.Compact();
+  EXPECT_EQ(index.size(), 1u);
+  EXPECT_EQ(Stab(index, 5), (std::vector<QueryId>{2}));
+}
+
+TEST(IntervalIndexTest, MatchesBruteForceProperty) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    IntervalIndex index;
+    struct Iv {
+      int64_t lo, hi;
+      bool li, hi_i;
+    };
+    std::vector<Iv> ivs;
+    size_t n = static_cast<size_t>(rng.UniformInt(1, 200));
+    for (QueryId q = 0; q < n; ++q) {
+      int64_t lo = rng.UniformInt(0, 1000);
+      int64_t hi = lo + rng.UniformInt(0, 200);
+      bool li = rng.Bernoulli(0.5), hi_i = rng.Bernoulli(0.5);
+      ivs.push_back({lo, hi, li, hi_i});
+      index.Add({Value::Int64(lo), li, Value::Int64(hi), hi_i, q});
+    }
+    for (int probe = 0; probe < 200; ++probe) {
+      int64_t v = rng.UniformInt(-10, 1210);
+      QuerySet got;
+      index.Stab(Value::Int64(v), &got);
+      for (QueryId q = 0; q < n; ++q) {
+        const Iv& iv = ivs[q];
+        bool expect = (v > iv.lo || (v == iv.lo && iv.li)) &&
+                      (v < iv.hi || (v == iv.hi && iv.hi_i));
+        EXPECT_EQ(got.Contains(q), expect)
+            << "trial " << trial << " v=" << v << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(IntervalIndexTest, DoubleKeys) {
+  IntervalIndex index;
+  index.Add({Value::Double(0.5), true, Value::Double(1.5), true, 1});
+  QuerySet out;
+  index.Stab(Value::Double(1.0), &out);
+  EXPECT_TRUE(out.Contains(1));
+  out = QuerySet();
+  index.Stab(Value::Double(2.0), &out);
+  EXPECT_TRUE(out.Empty());
+}
+
+// --- GroupedFilter::AddRange integration -------------------------------------
+
+TEST(GroupedFilterRangeTest, AddRangeCountsAsOneFactor) {
+  GroupedFilter gf({0, "k"});
+  gf.AddRange(1, Value::Int64(10), true, Value::Int64(20), true);
+  QuerySet out;
+  gf.Match(Value::Int64(15), &out);
+  EXPECT_TRUE(out.Contains(1));
+  out = QuerySet();
+  gf.Match(Value::Int64(25), &out);
+  EXPECT_TRUE(out.Empty());
+  EXPECT_EQ(gf.num_factors(), 1u);
+}
+
+TEST(GroupedFilterRangeTest, RangePlusEqualityConjunction) {
+  // Query 1 needs k in [0, 100] AND k = 50 (both factors must hold).
+  GroupedFilter gf({0, "k"});
+  gf.AddRange(1, Value::Int64(0), true, Value::Int64(100), true);
+  gf.AddFactor(1, CmpOp::kEq, Value::Int64(50));
+  QuerySet out;
+  gf.Match(Value::Int64(50), &out);
+  EXPECT_TRUE(out.Contains(1));
+  out = QuerySet();
+  gf.Match(Value::Int64(60), &out);  // in range, fails equality
+  EXPECT_TRUE(out.Empty());
+}
+
+TEST(GroupedFilterRangeTest, RemoveQueryDropsRanges) {
+  GroupedFilter gf({0, "k"});
+  gf.AddRange(1, Value::Int64(0), true, Value::Int64(100), true);
+  gf.AddRange(2, Value::Int64(0), true, Value::Int64(100), true);
+  gf.RemoveQuery(1);
+  QuerySet out;
+  gf.Match(Value::Int64(50), &out);
+  EXPECT_EQ(out.ToVector(), (std::vector<QueryId>{2}));
+  gf.Compact();
+  gf.Match(Value::Int64(50), &out);
+  EXPECT_EQ(out.ToVector(), (std::vector<QueryId>{2}));
+}
+
+TEST(GroupedFilterRangeTest, SharedEddyPairsRangeFactors) {
+  // The shared eddy detects a query's ge+le pair on one attribute and
+  // registers it as one interval; results are unchanged.
+  SchemaRef sch = Schema::Make({{"k", ValueType::kInt64, 0}});
+  SharedEddy eddy(MakeLotteryPolicy(1));
+  eddy.RegisterStream(0, sch);
+  std::map<QueryId, size_t> hits;
+  eddy.SetOutput([&](QueryId q, const Tuple&) { ++hits[q]; });
+
+  CQSpec range_q;
+  range_q.filters.push_back({{0, "k"}, CmpOp::kGe, Value::Int64(10)});
+  range_q.filters.push_back({{0, "k"}, CmpOp::kLe, Value::Int64(20)});
+  auto q1 = eddy.AddQuery(range_q);
+  ASSERT_TRUE(q1.ok());
+
+  CQSpec mixed_q;  // three factors: not pairable
+  mixed_q.filters.push_back({{0, "k"}, CmpOp::kGe, Value::Int64(0)});
+  mixed_q.filters.push_back({{0, "k"}, CmpOp::kLe, Value::Int64(50)});
+  mixed_q.filters.push_back({{0, "k"}, CmpOp::kNe, Value::Int64(15)});
+  auto q2 = eddy.AddQuery(mixed_q);
+  ASSERT_TRUE(q2.ok());
+
+  for (int64_t k = 0; k <= 60; ++k) {
+    eddy.Ingest(0, Tuple::Make(sch, {Value::Int64(k)}, k));
+  }
+  EXPECT_EQ(hits[*q1], 11u);  // 10..20
+  EXPECT_EQ(hits[*q2], 50u);  // 0..50 minus k=15
+}
+
+TEST(SharedEddyTest, DisconnectedMultiStreamQueryRejected) {
+  SchemaRef s0 = Schema::Make({{"k", ValueType::kInt64, 0}});
+  SchemaRef s1 = Schema::Make({{"k", ValueType::kInt64, 1}});
+  SharedEddy eddy(MakeLotteryPolicy(1));
+  eddy.RegisterStream(0, s0);
+  eddy.RegisterStream(1, s1);
+  // Cross-source residual without an equality edge: not executable.
+  CQSpec spec;
+  spec.residuals.push_back(
+      MakeCompareAttrs({0, "k"}, CmpOp::kGt, {1, "k"}));
+  auto r = eddy.AddQuery(spec);
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status();
+}
+
+TEST(SharedEddyTest, ThreeWayJoinSharedMatchesReference) {
+  using testref::CanonicalMultiset;
+  using testref::NaiveJoin;
+  auto sch = [](SourceId s) {
+    return Schema::Make({{"k", ValueType::kInt64, s},
+                         {"v", ValueType::kInt64, s}});
+  };
+  SharedEddy eddy(MakeLotteryPolicy(5));
+  for (SourceId s = 0; s < 3; ++s) eddy.RegisterStream(s, sch(s));
+  std::vector<Tuple> results;
+  eddy.SetOutput([&](QueryId, const Tuple& t) { results.push_back(t); });
+
+  CQSpec spec;  // chain: S0.k = S1.k, S1.v = S2.k
+  spec.joins.push_back({{0, "k"}, {1, "k"}});
+  spec.joins.push_back({{1, "v"}, {2, "k"}});
+  ASSERT_TRUE(eddy.AddQuery(spec).ok());
+
+  Rng rng(9);
+  std::vector<std::vector<Tuple>> streams(3);
+  for (int i = 0; i < 50; ++i) {
+    for (SourceId s = 0; s < 3; ++s) {
+      Tuple t = Tuple::Make(sch(s),
+                            {Value::Int64(rng.UniformInt(0, 7)),
+                             Value::Int64(rng.UniformInt(0, 7))},
+                            i);
+      streams[s].push_back(t);
+      eddy.Ingest(s, t);
+    }
+  }
+  auto expected = NaiveJoin(
+      streams, {MakeCompareAttrs({0, "k"}, CmpOp::kEq, {1, "k"}),
+                MakeCompareAttrs({1, "v"}, CmpOp::kEq, {2, "k"})});
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(CanonicalMultiset(results), CanonicalMultiset(expected));
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,247 @@
+// PSoup tests (paper §3.2): new queries over old data, old queries over new
+// data, cross-boundary joins, windowed invocation for disconnected clients,
+// and equivalence between materialized retrieval and full recomputation.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "psoup/psoup.h"
+#include "reference/reference.h"
+
+namespace tcq {
+namespace {
+
+using testref::CanonicalMultiset;
+
+SchemaRef Sch(SourceId source) {
+  return Schema::Make({
+      {"k", ValueType::kInt64, source},
+      {"v", ValueType::kInt64, source},
+  });
+}
+
+Tuple Row(SourceId source, int64_t k, int64_t v, Timestamp ts) {
+  return Tuple::Make(Sch(source), {Value::Int64(k), Value::Int64(v)}, ts);
+}
+
+PSoupQuery FilterQuery(int64_t k_below, Timestamp window = 0) {
+  PSoupQuery q;
+  q.where.filters.push_back({{0, "k"}, CmpOp::kLt, Value::Int64(k_below)});
+  q.window = window;
+  return q;
+}
+
+TEST(PSoupTest, NewDataAppliedToOldQueries) {
+  PSoup psoup;
+  psoup.RegisterStream(0, Sch(0));
+  auto q = psoup.Register(FilterQuery(50));
+  ASSERT_TRUE(q.ok());
+
+  for (Timestamp t = 1; t <= 10; ++t) {
+    psoup.Ingest(0, Row(0, t * 10, 0, t));  // k = 10..100
+  }
+  auto res = psoup.Invoke(*q, 10);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->size(), 4u);  // k in {10,20,30,40}
+}
+
+TEST(PSoupTest, NewQueryAppliedToOldData) {
+  PSoup psoup;
+  psoup.RegisterStream(0, Sch(0));
+  for (Timestamp t = 1; t <= 10; ++t) {
+    psoup.Ingest(0, Row(0, t * 10, 0, t));
+  }
+  // Query registered AFTER the data arrived still sees history.
+  auto q = psoup.Register(FilterQuery(50));
+  ASSERT_TRUE(q.ok());
+  auto res = psoup.Invoke(*q, 10);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->size(), 4u);
+}
+
+TEST(PSoupTest, HalfOldHalfNewData) {
+  PSoup psoup;
+  psoup.RegisterStream(0, Sch(0));
+  for (Timestamp t = 1; t <= 5; ++t) psoup.Ingest(0, Row(0, 1, 0, t));
+  auto q = psoup.Register(FilterQuery(50));
+  ASSERT_TRUE(q.ok());
+  for (Timestamp t = 6; t <= 10; ++t) psoup.Ingest(0, Row(0, 1, 0, t));
+  EXPECT_EQ(psoup.Invoke(*q, 10)->size(), 10u);
+}
+
+TEST(PSoupTest, WindowImposedAtInvocationTime) {
+  PSoup psoup;
+  psoup.RegisterStream(0, Sch(0));
+  auto q = psoup.Register(FilterQuery(100, /*window=*/5));
+  ASSERT_TRUE(q.ok());
+  for (Timestamp t = 1; t <= 20; ++t) psoup.Ingest(0, Row(0, 1, 0, t));
+
+  // Invocation at t=20 sees (15, 20]; at t=10 sees (5, 10].
+  EXPECT_EQ(psoup.Invoke(*q, 20)->size(), 5u);
+  EXPECT_EQ(psoup.Invoke(*q, 10)->size(), 5u);
+  // Disconnected client returning later sees the window as of "later".
+  EXPECT_EQ(psoup.Invoke(*q, 23)->size(), 2u);  // only t=19,20 remain
+}
+
+TEST(PSoupTest, JoinAcrossRegistrationBoundary) {
+  // s tuples arrive BEFORE the join query registers; matching t tuples
+  // arrive after. The backfilled SteM must produce the cross matches.
+  PSoup psoup;
+  psoup.RegisterStream(0, Sch(0));
+  psoup.RegisterStream(1, Sch(1));
+  psoup.Ingest(0, Row(0, 7, 1, 1));
+  psoup.Ingest(0, Row(0, 8, 2, 2));
+
+  PSoupQuery q;
+  q.where.joins.push_back({{0, "k"}, {1, "k"}});
+  auto id = psoup.Register(q);
+  ASSERT_TRUE(id.ok());
+
+  psoup.Ingest(1, Row(1, 7, 3, 3));  // joins with old s (k=7)
+  psoup.Ingest(1, Row(1, 9, 4, 4));  // no partner
+
+  auto res = psoup.Invoke(*id, 10);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 1u);
+  EXPECT_EQ(res->front().sources(), SourceBit(0) | SourceBit(1));
+}
+
+TEST(PSoupTest, JoinFullyHistorical) {
+  PSoup psoup;
+  psoup.RegisterStream(0, Sch(0));
+  psoup.RegisterStream(1, Sch(1));
+  psoup.Ingest(0, Row(0, 7, 1, 1));
+  psoup.Ingest(1, Row(1, 7, 2, 2));
+
+  PSoupQuery q;
+  q.where.joins.push_back({{0, "k"}, {1, "k"}});
+  auto id = psoup.Register(q);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(psoup.Invoke(*id, 5)->size(), 1u);
+}
+
+TEST(PSoupTest, MaterializedEqualsRecompute) {
+  // Property: for random data and a mixed old/new registration point, the
+  // materialized answer equals recomputing from history.
+  Rng rng(42);
+  PSoup psoup;
+  psoup.RegisterStream(0, Sch(0));
+  psoup.RegisterStream(1, Sch(1));
+
+  auto feed = [&](Timestamp t) {
+    psoup.Ingest(0, Row(0, rng.UniformInt(0, 9), rng.UniformInt(0, 99), t));
+    psoup.Ingest(1, Row(1, rng.UniformInt(0, 9), rng.UniformInt(0, 99), t));
+  };
+  for (Timestamp t = 1; t <= 40; ++t) feed(t);
+
+  PSoupQuery join_q;
+  join_q.where.joins.push_back({{0, "k"}, {1, "k"}});
+  join_q.where.filters.push_back({{0, "v"}, CmpOp::kLt, Value::Int64(80)});
+  join_q.window = 30;
+  auto jid = psoup.Register(join_q);
+  ASSERT_TRUE(jid.ok());
+
+  PSoupQuery filter_q = FilterQuery(6, 25);
+  auto fid = psoup.Register(filter_q);
+  ASSERT_TRUE(fid.ok());
+
+  for (Timestamp t = 41; t <= 80; ++t) feed(t);
+
+  for (Timestamp now : {50, 65, 80}) {
+    auto mat_j = psoup.Invoke(*jid, now);
+    auto rec_j = psoup.InvokeByRecompute(*jid, now);
+    ASSERT_TRUE(mat_j.ok() && rec_j.ok());
+    EXPECT_EQ(CanonicalMultiset(*mat_j), CanonicalMultiset(*rec_j))
+        << "join query at now=" << now;
+
+    auto mat_f = psoup.Invoke(*fid, now);
+    auto rec_f = psoup.InvokeByRecompute(*fid, now);
+    ASSERT_TRUE(mat_f.ok() && rec_f.ok());
+    EXPECT_EQ(CanonicalMultiset(*mat_f), CanonicalMultiset(*rec_f))
+        << "filter query at now=" << now;
+  }
+}
+
+TEST(PSoupTest, UnregisterDropsResultsAndRejectsInvoke) {
+  PSoup psoup;
+  psoup.RegisterStream(0, Sch(0));
+  auto q = psoup.Register(FilterQuery(100));
+  ASSERT_TRUE(q.ok());
+  psoup.Ingest(0, Row(0, 1, 0, 1));
+  EXPECT_EQ(psoup.MaterializedCount(*q), 1u);
+  ASSERT_TRUE(psoup.Unregister(*q).ok());
+  EXPECT_EQ(psoup.MaterializedCount(*q), 0u);
+  EXPECT_TRUE(psoup.Invoke(*q, 10).status().IsNotFound());
+  EXPECT_TRUE(psoup.Unregister(*q).IsNotFound());
+}
+
+TEST(PSoupTest, EvictionBoundsMaterialization) {
+  PSoup psoup(PSoup::Options{.seed = 1, .eviction_interval = 16});
+  psoup.RegisterStream(0, Sch(0));
+  auto q = psoup.Register(FilterQuery(100, /*window=*/10));
+  ASSERT_TRUE(q.ok());
+  for (Timestamp t = 1; t <= 2000; ++t) psoup.Ingest(0, Row(0, 1, 0, t));
+  // Materialized results stay near the window size, not the stream length.
+  EXPECT_LE(psoup.MaterializedCount(*q), 10u + 16u);
+  EXPECT_EQ(psoup.Invoke(*q, 2000)->size(), 10u);
+}
+
+TEST(PSoupTest, DataRetentionLimitsHistoricalQueries) {
+  PSoup psoup(PSoup::Options{.seed = 1, .eviction_interval = 8});
+  psoup.RegisterStream(0, Sch(0), /*retention=*/50);
+  for (Timestamp t = 1; t <= 200; ++t) psoup.Ingest(0, Row(0, 1, 0, t));
+  // History before 150 has been reclaimed.
+  EXPECT_LE(psoup.data_stem(0)->size(), 50u + 8u);
+  auto q = psoup.Register(FilterQuery(100));
+  // A new query sees only retained history.
+  EXPECT_LE(psoup.Invoke(*q, 200)->size(), 50u + 8u);
+  EXPECT_GE(psoup.Invoke(*q, 200)->size(), 50u);
+}
+
+TEST(PSoupTest, ManyDisconnectedClients) {
+  // Several standing queries with different windows; clients "reconnect" at
+  // different times and each sees exactly its own window.
+  PSoup psoup;
+  psoup.RegisterStream(0, Sch(0));
+  std::vector<QueryId> ids;
+  for (Timestamp w = 1; w <= 5; ++w) {
+    auto q = psoup.Register(FilterQuery(100, w * 10));
+    ASSERT_TRUE(q.ok());
+    ids.push_back(*q);
+  }
+  for (Timestamp t = 1; t <= 100; ++t) psoup.Ingest(0, Row(0, 1, 0, t));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(psoup.Invoke(ids[i], 100)->size(), (i + 1) * 10)
+        << "window " << (i + 1) * 10;
+  }
+}
+
+TEST(PSoupTest, QuerySteMBookkeeping) {
+  QuerySteM qs;
+  qs.Insert(0, PSoupQuery{{}, 10});
+  qs.Insert(1, PSoupQuery{{}, 0});
+  EXPECT_EQ(qs.num_active(), 2u);
+  EXPECT_EQ(qs.MaxWindow(), 0);  // an unbounded-window query forces 0
+  ASSERT_TRUE(qs.Remove(1).ok());
+  EXPECT_EQ(qs.MaxWindow(), 10);
+  EXPECT_FALSE(qs.IsActive(1));
+  EXPECT_TRUE(qs.IsActive(0));
+}
+
+TEST(ResultsStructureTest, FetchRespectsWindowAndNow) {
+  ResultsStructure rs;
+  SchemaRef sch = Sch(0);
+  for (Timestamp t = 1; t <= 10; ++t) {
+    rs.Insert(3, Tuple::Make(sch, {Value::Int64(t), Value::Int64(0)}, t), t);
+  }
+  EXPECT_EQ(rs.Fetch(3, 10, 0).size(), 10u);
+  EXPECT_EQ(rs.Fetch(3, 10, 4).size(), 4u);   // (6, 10]
+  EXPECT_EQ(rs.Fetch(3, 7, 4).size(), 4u);    // (3, 7]
+  EXPECT_EQ(rs.Fetch(3, 100, 4).size(), 0u);  // window moved past data
+  EXPECT_TRUE(rs.Fetch(99, 10, 0).empty());
+  rs.EvictBefore(3, 8);
+  EXPECT_EQ(rs.ResultCount(3), 2u);
+}
+
+}  // namespace
+}  // namespace tcq

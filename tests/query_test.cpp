@@ -1,0 +1,257 @@
+// Query frontend tests: parser (including every §4.1 example), planner
+// lowering (CACQ decomposition, self-join aliasing, window loops), and
+// catalog bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "query/catalog.h"
+#include "query/parser.h"
+#include "query/planner.h"
+
+namespace tcq {
+namespace {
+
+std::vector<Field> StockFields() {
+  return {{"timestamp", ValueType::kTimestamp, 0},
+          {"stockSymbol", ValueType::kString, 0},
+          {"closingPrice", ValueType::kDouble, 0}};
+}
+
+// --- Parser -----------------------------------------------------------------
+
+TEST(ParserTest, SimpleSelect) {
+  auto r = ParseQuery("SELECT closingPrice FROM ClosingStockPrices");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->select_all);
+  ASSERT_EQ(r->select_list.size(), 1u);
+  EXPECT_EQ(r->select_list[0].column, "closingPrice");
+  ASSERT_EQ(r->from.size(), 1u);
+  EXPECT_EQ(r->from[0].stream, "ClosingStockPrices");
+}
+
+TEST(ParserTest, SelectStarAndWhere) {
+  auto r = ParseQuery(
+      "SELECT * FROM S WHERE price > 50.5 AND sym = 'MSFT' AND n != 3;");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->select_all);
+  ASSERT_EQ(r->where.size(), 3u);
+  EXPECT_EQ(r->where[0].op, CmpOp::kGt);
+  EXPECT_DOUBLE_EQ(std::get<Value>(r->where[0].rhs).AsDouble(), 50.5);
+  EXPECT_EQ(std::get<Value>(r->where[1].rhs).AsString(), "MSFT");
+  EXPECT_EQ(r->where[2].op, CmpOp::kNe);
+}
+
+TEST(ParserTest, PaperSnapshotQuery) {
+  // Example 1 verbatim (§4.1.1).
+  auto r = ParseQuery(
+      "SELECT closingPrice, timestamp "
+      "FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_TRUE(r->for_loop.has_value());
+  EXPECT_EQ(r->for_loop->t_init, 0);
+  EXPECT_EQ(r->for_loop->condition.kind, LoopCondition::Kind::kEq);
+  EXPECT_EQ(r->for_loop->t_step, -1);
+  ASSERT_EQ(r->for_loop->windows.size(), 1u);
+  EXPECT_FALSE(r->for_loop->windows[0].left.uses_t);
+  EXPECT_EQ(r->for_loop->windows[0].left.offset, 1);
+  EXPECT_EQ(r->for_loop->windows[0].right.offset, 5);
+}
+
+TEST(ParserTest, PaperLandmarkQuery) {
+  // Example 2 (§4.1.1), with t++ step.
+  auto r = ParseQuery(
+      "SELECT closingPrice, timestamp "
+      "FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' AND closingPrice > 50.00 "
+      "for (t = 101; t <= 1100; t++) "
+      "{ WindowIs(ClosingStockPrices, 101, t); }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->for_loop->t_init, 101);
+  EXPECT_EQ(r->for_loop->condition.kind, LoopCondition::Kind::kLe);
+  EXPECT_EQ(r->for_loop->condition.bound, 1100);
+  EXPECT_EQ(r->for_loop->t_step, 1);
+  EXPECT_TRUE(r->for_loop->windows[0].right.uses_t);
+}
+
+TEST(ParserTest, PaperSlidingSelfJoin) {
+  // Example 5 (§4.1.1): two aliases of one stream, windows on both.
+  auto r = ParseQuery(
+      "SELECT c2.stockSymbol, c2.closingPrice "
+      "FROM ClosingStockPrices c1, ClosingStockPrices c2 "
+      "WHERE c1.stockSymbol = 'MSFT' "
+      "AND c2.closingPrice > c1.closingPrice "
+      "AND c2.timestamp = c1.timestamp "
+      "for (t = 10; t < 30; t += 1) { "
+      "WindowIs(c1, t - 4, t); WindowIs(c2, t - 4, t); }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->from.size(), 2u);
+  EXPECT_EQ(r->from[0].EffectiveAlias(), "c1");
+  EXPECT_EQ(r->from[1].EffectiveAlias(), "c2");
+  ASSERT_EQ(r->for_loop->windows.size(), 2u);
+  EXPECT_EQ(r->for_loop->windows[0].target, "c1");
+  EXPECT_TRUE(r->for_loop->windows[0].left.uses_t);
+  EXPECT_EQ(r->for_loop->windows[0].left.offset, -4);
+}
+
+TEST(ParserTest, UnboundedLoop) {
+  auto r = ParseQuery(
+      "SELECT * FROM S for (t = 5; true; t += 2) { WindowIs(S, t - 1, t); }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->for_loop->condition.kind, LoopCondition::Kind::kAlways);
+  EXPECT_EQ(r->for_loop->t_step, 2);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("SELEC x FROM S").ok());
+  EXPECT_FALSE(ParseQuery("SELECT x").ok());
+  EXPECT_FALSE(ParseQuery("SELECT x FROM S WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT x FROM S WHERE a = 'unterminated").ok());
+  EXPECT_FALSE(ParseQuery("SELECT x FROM S extra garbage ( )").ok());
+  EXPECT_FALSE(
+      ParseQuery("SELECT x FROM S for (t=0; t<5; t++) { }").ok());
+}
+
+// --- Catalog ------------------------------------------------------------------
+
+TEST(CatalogTest, DefineAndLookup) {
+  Catalog cat;
+  auto sid = cat.DefineStream("Stocks", StockFields());
+  ASSERT_TRUE(sid.ok());
+  auto entry = cat.Lookup("Stocks");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->source, *sid);
+  EXPECT_EQ(entry->schema->field(0).source, *sid);
+  EXPECT_TRUE(cat.Lookup("Nope").status().IsNotFound());
+  EXPECT_TRUE(cat.DefineStream("Stocks", StockFields())
+                  .status()
+                  .code() == StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, AliasGetsFreshSource) {
+  Catalog cat;
+  ASSERT_TRUE(cat.DefineStream("Stocks", StockFields()).ok());
+  auto alias = cat.InstantiateAlias("Stocks");
+  ASSERT_TRUE(alias.ok());
+  auto canonical = cat.Lookup("Stocks");
+  EXPECT_NE(alias->source, canonical->source);
+  EXPECT_EQ(alias->name, "Stocks");
+  EXPECT_EQ(alias->schema->field(1).source, alias->source);
+  EXPECT_NE(cat.LookupBySource(alias->source), nullptr);
+}
+
+// --- Planner ------------------------------------------------------------------
+
+TEST(PlannerTest, FiltersBecomeFactors) {
+  Catalog cat;
+  ASSERT_TRUE(cat.DefineStream("S", StockFields()).ok());
+  auto stmt = ParseQuery(
+      "SELECT closingPrice FROM S "
+      "WHERE closingPrice > 50.0 AND stockSymbol = 'MSFT'");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = PlanQuery(*stmt, &cat);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->spec.filters.size(), 2u);
+  EXPECT_TRUE(plan->spec.joins.empty());
+  EXPECT_TRUE(plan->spec.residuals.empty());
+  ASSERT_TRUE(plan->projection.has_value());
+  EXPECT_EQ(plan->projection->attrs().size(), 1u);
+}
+
+TEST(PlannerTest, LiteralOnLeftIsFlipped) {
+  Catalog cat;
+  ASSERT_TRUE(cat.DefineStream("S", StockFields()).ok());
+  auto stmt = ParseQuery("SELECT * FROM S WHERE 50.0 < closingPrice");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = PlanQuery(*stmt, &cat);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->spec.filters.size(), 1u);
+  EXPECT_EQ(plan->spec.filters[0].op, CmpOp::kGt);  // price > 50
+}
+
+TEST(PlannerTest, SelfJoinDecomposition) {
+  Catalog cat;
+  ASSERT_TRUE(cat.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto stmt = ParseQuery(
+      "SELECT c2.stockSymbol FROM ClosingStockPrices c1, "
+      "ClosingStockPrices c2 "
+      "WHERE c1.stockSymbol = 'MSFT' "
+      "AND c2.closingPrice > c1.closingPrice "
+      "AND c2.timestamp = c1.timestamp");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = PlanQuery(*stmt, &cat);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // Distinct logical sources for the two aliases.
+  ASSERT_EQ(plan->bindings.size(), 2u);
+  SourceId s1 = plan->bindings[0].second.source;
+  SourceId s2 = plan->bindings[1].second.source;
+  EXPECT_NE(s1, s2);
+  // Decomposition: 1 single-variable factor, 1 equality join edge (the
+  // timestamp equality), 1 residual (the > comparison).
+  EXPECT_EQ(plan->spec.filters.size(), 1u);
+  ASSERT_EQ(plan->spec.joins.size(), 1u);
+  EXPECT_EQ(plan->spec.joins[0].left.name, "timestamp");
+  ASSERT_EQ(plan->spec.residuals.size(), 1u);
+  EXPECT_EQ(plan->spec.Footprint(), SourceBit(s1) | SourceBit(s2));
+  EXPECT_EQ(plan->all_predicates.size(), 3u);
+}
+
+TEST(PlannerTest, SameSourceComparisonIsResidual) {
+  Catalog cat;
+  ASSERT_TRUE(cat.DefineStream("S", StockFields()).ok());
+  auto stmt = ParseQuery("SELECT * FROM S WHERE timestamp = closingPrice");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = PlanQuery(*stmt, &cat);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->spec.joins.empty());
+  EXPECT_EQ(plan->spec.residuals.size(), 1u);
+}
+
+TEST(PlannerTest, WindowLoopIsLowered) {
+  Catalog cat;
+  ASSERT_TRUE(cat.DefineStream("S", StockFields()).ok());
+  auto stmt = ParseQuery(
+      "SELECT * FROM S WHERE closingPrice > 1.0 "
+      "for (t = 10; t <= 20; t += 5) { WindowIs(S, t - 4, t); }");
+  ASSERT_TRUE(stmt.ok());
+  auto plan = PlanQuery(*stmt, &cat);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_TRUE(plan->window_loop.has_value());
+  EXPECT_EQ(plan->window_loop->t_init, 10);
+  EXPECT_EQ(plan->window_loop->t_step, 5);
+  ASSERT_EQ(plan->window_loop->windows.size(), 1u);
+  EXPECT_EQ(plan->window_loop->windows[0].left.t_coef, 1);
+  EXPECT_EQ(plan->window_loop->windows[0].left.offset, -4);
+  EXPECT_EQ(plan->window_loop->Classify(), WindowClass::kSliding);
+}
+
+TEST(PlannerTest, Errors) {
+  Catalog cat;
+  ASSERT_TRUE(cat.DefineStream("S", StockFields()).ok());
+
+  auto missing_stream = ParseQuery("SELECT * FROM Nope");
+  ASSERT_TRUE(missing_stream.ok());
+  EXPECT_TRUE(PlanQuery(*missing_stream, &cat).status().IsNotFound());
+
+  auto missing_col = ParseQuery("SELECT volume FROM S");
+  ASSERT_TRUE(missing_col.ok());
+  EXPECT_TRUE(PlanQuery(*missing_col, &cat).status().IsNotFound());
+
+  ASSERT_TRUE(cat.DefineStream("T", StockFields()).ok());
+  auto ambiguous = ParseQuery("SELECT * FROM S, T WHERE closingPrice > 1.0");
+  ASSERT_TRUE(ambiguous.ok());
+  EXPECT_TRUE(PlanQuery(*ambiguous, &cat).status().IsInvalidArgument());
+
+  auto dup_alias = ParseQuery("SELECT * FROM S a, T a");
+  ASSERT_TRUE(dup_alias.ok());
+  EXPECT_TRUE(PlanQuery(*dup_alias, &cat).status().IsInvalidArgument());
+
+  auto bad_window = ParseQuery(
+      "SELECT * FROM S for (t=0; t<5; t++) { WindowIs(zzz, t-1, t); }");
+  ASSERT_TRUE(bad_window.ok());
+  EXPECT_TRUE(PlanQuery(*bad_window, &cat).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace tcq

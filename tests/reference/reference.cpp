@@ -1,0 +1,86 @@
+#include "reference/reference.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tcq::testref {
+
+std::string CanonicalKey(const Tuple& tuple) {
+  std::vector<std::pair<std::string, std::string>> parts;
+  const Schema& schema = *tuple.schema();
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const Field& f = schema.field(i);
+    parts.emplace_back(
+        "s" + std::to_string(f.source) + "." + f.name,
+        tuple.at(i).ToString());
+  }
+  std::sort(parts.begin(), parts.end());
+  std::ostringstream os;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) os << "|";
+    os << parts[i].first << "=" << parts[i].second;
+  }
+  return os.str();
+}
+
+std::map<std::string, int> CanonicalMultiset(
+    const std::vector<Tuple>& tuples) {
+  std::map<std::string, int> out;
+  for (const Tuple& t : tuples) ++out[CanonicalKey(t)];
+  return out;
+}
+
+namespace {
+void JoinRec(const std::vector<std::vector<Tuple>>& streams,
+             const std::vector<PredicateRef>& predicates, size_t depth,
+             Tuple acc, std::vector<Tuple>* out) {
+  if (depth == streams.size()) {
+    for (const auto& p : predicates) {
+      if (!p->Eval(acc)) return;
+    }
+    out->push_back(std::move(acc));
+    return;
+  }
+  for (const Tuple& t : streams[depth]) {
+    Tuple next = depth == 0
+                     ? t
+                     : Tuple::Concat(acc, t,
+                                     Schema::Concat(acc.schema(), t.schema()));
+    // Prune early with predicates that became evaluable.
+    bool viable = true;
+    for (const auto& p : predicates) {
+      if (p->CanEval(next) && !p->Eval(next)) {
+        viable = false;
+        break;
+      }
+    }
+    if (viable) JoinRec(streams, predicates, depth + 1, std::move(next), out);
+  }
+}
+}  // namespace
+
+std::vector<Tuple> NaiveJoin(const std::vector<std::vector<Tuple>>& streams,
+                             const std::vector<PredicateRef>& predicates) {
+  std::vector<Tuple> out;
+  if (streams.empty()) return out;
+  JoinRec(streams, predicates, 0, Tuple(), &out);
+  return out;
+}
+
+std::vector<Tuple> NaiveFilter(const std::vector<Tuple>& stream,
+                               const std::vector<PredicateRef>& predicates) {
+  std::vector<Tuple> out;
+  for (const Tuple& t : stream) {
+    bool keep = true;
+    for (const auto& p : predicates) {
+      if (!p->Eval(t)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace tcq::testref

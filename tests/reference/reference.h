@@ -1,0 +1,36 @@
+// Naive reference evaluator used by property tests: computes the expected
+// output of filter/join queries by brute force, independent of eddies,
+// SteMs, and routing policies. Output order and field order are
+// canonicalized before comparison because an adaptive engine is free to
+// produce matches in any order and any concatenation layout.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "operators/predicate.h"
+#include "tuple/tuple.h"
+
+namespace tcq::testref {
+
+/// Canonical form of a tuple: fields sorted by (source, name), rendered as
+/// "s0.a=1|s1.b=2". Join outputs with different concatenation orders
+/// canonicalize identically.
+std::string CanonicalKey(const Tuple& tuple);
+
+/// Canonical multiset (key -> count) of a batch of tuples.
+std::map<std::string, int> CanonicalMultiset(const std::vector<Tuple>& tuples);
+
+/// Brute-force evaluation of a conjunctive filter+join query: emits every
+/// combination of one tuple per source satisfying all predicates. Sources
+/// are indexed by position in `streams`.
+std::vector<Tuple> NaiveJoin(const std::vector<std::vector<Tuple>>& streams,
+                             const std::vector<PredicateRef>& predicates);
+
+/// Brute-force filter of one stream.
+std::vector<Tuple> NaiveFilter(const std::vector<Tuple>& stream,
+                               const std::vector<PredicateRef>& predicates);
+
+}  // namespace tcq::testref

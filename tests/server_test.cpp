@@ -1,0 +1,222 @@
+// End-to-end server tests: SQL in, streams through the wrapper/executor,
+// results out through egress — including the paper's §4.1 windowed queries
+// and self-joins against the full stack.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "ingress/generators.h"
+#include "server/telegraphcq.h"
+
+namespace tcq {
+namespace {
+
+std::vector<Field> StockFields() {
+  return {{"timestamp", ValueType::kTimestamp, 0},
+          {"stockSymbol", ValueType::kString, 0},
+          {"closingPrice", ValueType::kDouble, 0}};
+}
+
+// Pushes `days` of deterministic prices: MSFT at 50, AAPL alternating
+// 40/60 (beats MSFT on even days).
+void PushStocks(TelegraphCQ* server, Timestamp days) {
+  for (Timestamp d = 1; d <= days; ++d) {
+    ASSERT_TRUE(server
+                    ->Push("ClosingStockPrices",
+                           {Value::TimestampVal(d), Value::String("MSFT"),
+                            Value::Double(50.0)},
+                           d)
+                    .ok());
+    double aapl = d % 2 == 0 ? 60.0 : 40.0;
+    ASSERT_TRUE(server
+                    ->Push("ClosingStockPrices",
+                           {Value::TimestampVal(d), Value::String("AAPL"),
+                            Value::Double(aapl)},
+                           d)
+                    .ok());
+  }
+}
+
+size_t DrainCount(PushEgress* egress, size_t expected, int patience_ms) {
+  size_t got = 0;
+  Delivery d;
+  for (int waited = 0; waited < patience_ms; ++waited) {
+    while (egress->Poll(&d)) ++got;
+    if (got >= expected) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return got;
+}
+
+TEST(ServerTest, ContinuousFilterQueryEndToEnd) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto handle = server.Submit(
+      "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' AND closingPrice > 45.0");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_NE(handle->results, nullptr);
+  server.Start();
+
+  PushStocks(&server, 50);
+  size_t got = DrainCount(handle->results.get(), 50, 2000);
+  server.Stop();
+  EXPECT_EQ(got, 50u);  // MSFT every day; AAPL filtered by symbol
+}
+
+TEST(ServerTest, ProjectionIsApplied) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto handle = server.Submit(
+      "SELECT closingPrice FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'AAPL'");
+  ASSERT_TRUE(handle.ok());
+  server.Start();
+  PushStocks(&server, 5);
+  Delivery d;
+  for (int i = 0; i < 2000; ++i) {
+    if (handle->results->Poll(&d)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+  ASSERT_EQ(d.tuple.num_fields(), 1u);
+  EXPECT_EQ(d.tuple.schema()->field(0).name, "closingPrice");
+}
+
+TEST(ServerTest, MultipleQueriesShareOneStream) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto q_msft = server.Submit(
+      "SELECT * FROM ClosingStockPrices WHERE stockSymbol = 'MSFT'");
+  auto q_cheap = server.Submit(
+      "SELECT * FROM ClosingStockPrices WHERE closingPrice < 45.0");
+  ASSERT_TRUE(q_msft.ok() && q_cheap.ok());
+  EXPECT_EQ(server.executor().num_classes(), 1u);  // shared class
+  server.Start();
+  PushStocks(&server, 40);
+  size_t msft = DrainCount(q_msft->results.get(), 40, 2000);
+  size_t cheap = DrainCount(q_cheap->results.get(), 20, 2000);
+  server.Stop();
+  EXPECT_EQ(msft, 40u);
+  EXPECT_EQ(cheap, 20u);  // AAPL on odd days at 40 < 45
+}
+
+TEST(ServerTest, CancelStopsDeliveries) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto handle =
+      server.Submit("SELECT * FROM ClosingStockPrices WHERE closingPrice > 0.0");
+  ASSERT_TRUE(handle.ok());
+  server.Start();
+  PushStocks(&server, 10);
+  ASSERT_EQ(DrainCount(handle->results.get(), 20, 2000), 20u);
+  ASSERT_TRUE(server.Cancel(handle->id).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  PushStocks(&server, 10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Delivery d;
+  EXPECT_FALSE(handle->results->Poll(&d));
+  server.Stop();
+}
+
+TEST(ServerTest, WindowedSnapshotQuery) {
+  // Paper example 1: the first five days of MSFT.
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto handle = server.Submit(
+      "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_NE(handle->windows, nullptr);
+  server.Start();
+  PushStocks(&server, 10);
+
+  WindowResult wr;
+  bool fired = false;
+  for (int i = 0; i < 2000 && !fired; ++i) {
+    fired = handle->windows->Poll(&wr);
+    if (!fired) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(wr.tuples.size(), 5u);
+  for (const Tuple& t : wr.tuples) EXPECT_LE(t.Get("timestamp").AsInt64(), 5);
+}
+
+TEST(ServerTest, WindowedSlidingSelfJoin) {
+  // Paper example 5: stocks that beat MSFT, over 5-day sliding windows.
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto handle = server.Submit(
+      "SELECT c2.stockSymbol, c2.closingPrice "
+      "FROM ClosingStockPrices c1, ClosingStockPrices c2 "
+      "WHERE c1.stockSymbol = 'MSFT' "
+      "AND c2.closingPrice > c1.closingPrice "
+      "AND c2.timestamp = c1.timestamp "
+      "for (t = 5; t <= 12; t += 1) { "
+      "WindowIs(c1, t - 4, t); WindowIs(c2, t - 4, t); }");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  server.Start();
+  PushStocks(&server, 20);
+
+  std::vector<WindowResult> fired;
+  for (int i = 0; i < 3000 && fired.size() < 8; ++i) {
+    WindowResult wr;
+    while (handle->windows->Poll(&wr)) fired.push_back(wr);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+  ASSERT_EQ(fired.size(), 8u);
+  for (const WindowResult& wr : fired) {
+    // AAPL beats MSFT on even days: each 5-day window has 2 or 3 of them.
+    size_t evens = 0;
+    for (Timestamp d = wr.t - 4; d <= wr.t; ++d) {
+      if (d % 2 == 0) ++evens;
+    }
+    EXPECT_EQ(wr.tuples.size(), evens) << "window ending " << wr.t;
+    for (const Tuple& t : wr.tuples) {
+      EXPECT_EQ(t.Get("stockSymbol").AsString(), "AAPL");
+      EXPECT_DOUBLE_EQ(t.Get("closingPrice").AsDouble(), 60.0);
+    }
+  }
+}
+
+TEST(ServerTest, WrapperSourceFeedsQueries) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto gen = std::make_unique<StockTickGenerator>(
+      "gen", SourceId{0},
+      StockTickGenerator::Options{
+          .symbols = {"MSFT", "AAPL"}, .seed = 1, .days = 100});
+  ASSERT_TRUE(server.AttachSource("ClosingStockPrices", std::move(gen)).ok());
+  auto handle = server.Submit(
+      "SELECT * FROM ClosingStockPrices WHERE stockSymbol = 'MSFT'");
+  ASSERT_TRUE(handle.ok());
+  server.Start();
+  size_t got = DrainCount(handle->results.get(), 100, 3000);
+  server.Stop();
+  EXPECT_EQ(got, 100u);
+}
+
+TEST(ServerTest, ErrorPaths) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("S", StockFields()).ok());
+  EXPECT_TRUE(server.DefineStream("S", StockFields()).status().code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(server.Submit("SELECT * FROM Nope").status().IsNotFound());
+  EXPECT_FALSE(server.Submit("garbage !!").ok());
+  EXPECT_TRUE(server
+                  .Push("Nope", {Value::TimestampVal(1), Value::String("x"),
+                                 Value::Double(1.0)},
+                        1)
+                  .IsNotFound());
+  // Arity mismatch caught by schema validation.
+  EXPECT_TRUE(server.Push("S", {Value::TimestampVal(1)}, 1)
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tcq

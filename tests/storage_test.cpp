@@ -1,0 +1,267 @@
+// Storage tests: tuple codec round-trips, page sealing and metadata,
+// windowed scans touching only relevant pages, and buffer-pool replacement
+// policies (including the broadcast-cyclic MRU advantage of §4.3).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "storage/buffer_pool.h"
+#include "storage/scanner.h"
+#include "storage/stream_store.h"
+
+namespace tcq {
+namespace {
+
+SchemaRef Sch() {
+  return Schema::Make({
+      {"k", ValueType::kInt64, 0},
+      {"name", ValueType::kString, 0},
+      {"price", ValueType::kDouble, 0},
+      {"flag", ValueType::kBool, 0},
+      {"when", ValueType::kTimestamp, 0},
+  });
+}
+
+Tuple Row(int64_t k, const std::string& name, double price, bool flag,
+          Timestamp ts) {
+  return Tuple::Make(Sch(),
+                     {Value::Int64(k), Value::String(name),
+                      Value::Double(price), Value::Bool(flag),
+                      Value::TimestampVal(ts)},
+                     ts);
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(TupleCodecTest, RoundTripsAllTypes) {
+  TupleCodec codec(Sch());
+  Tuple original = Row(42, "hello world", 3.25, true, 99);
+  std::string buf;
+  codec.Encode(original, &buf);
+  size_t pos = 0;
+  auto decoded = codec.Decode(buf, &pos);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, original);
+  EXPECT_EQ(decoded->timestamp(), 99);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(TupleCodecTest, RoundTripsNulls) {
+  SchemaRef sch = Sch();
+  TupleCodec codec(sch);
+  Tuple original = Tuple::Make(
+      sch, {Value::Null(), Value::Null(), Value::Null(), Value::Null(),
+            Value::Null()},
+      5);
+  std::string buf;
+  codec.Encode(original, &buf);
+  size_t pos = 0;
+  auto decoded = codec.Decode(buf, &pos);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->at(0).is_null());
+}
+
+TEST(TupleCodecTest, TruncatedBufferIsError) {
+  TupleCodec codec(Sch());
+  std::string buf;
+  codec.Encode(Row(1, "abc", 1.0, false, 1), &buf);
+  buf.resize(buf.size() / 2);
+  size_t pos = 0;
+  EXPECT_FALSE(codec.Decode(buf, &pos).ok());
+}
+
+TEST(StreamStoreTest, AppendSealsPagesAndScans) {
+  auto store = StreamStore::Create(TempPath("tcq_store1.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  const int kN = 2000;
+  for (int i = 1; i <= kN; ++i) {
+    ASSERT_TRUE(
+        (*store)->Append(Row(i, "sym" + std::to_string(i % 50), i * 1.5,
+                             i % 2 == 0, i))
+            .ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_EQ((*store)->tuples_appended(), uint64_t(kN));
+  EXPECT_GT((*store)->pages_sealed(), 5u);  // definitely multiple pages
+
+  BufferPool pool({.capacity_pages = 8});
+  WindowedScanner scanner(store->get(), &pool);
+  std::vector<Tuple> out;
+  ASSERT_TRUE(scanner.Scan(500, 600, &out).ok());
+  ASSERT_EQ(out.size(), 101u);
+  EXPECT_EQ(out.front().timestamp(), 500);
+  EXPECT_EQ(out.back().timestamp(), 600);
+  EXPECT_EQ(out.front().Get("name").AsString(), "sym0");
+}
+
+TEST(StreamStoreTest, TailPageIsReadableBeforeFlush) {
+  auto store = StreamStore::Create(TempPath("tcq_store2.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Append(Row(1, "a", 1.0, false, 1)).ok());
+  // Not flushed: still only the in-memory tail.
+  EXPECT_EQ((*store)->pages_sealed(), 0u);
+  EXPECT_EQ((*store)->NumPages(), 1u);
+
+  BufferPool pool;
+  WindowedScanner scanner(store->get(), &pool);
+  std::vector<Tuple> out;
+  ASSERT_TRUE(scanner.Scan(0, 10, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(StreamStoreTest, TailPageScansSeeFreshAppends) {
+  // Regression: the mutable tail page must not be served from the buffer
+  // pool's cache — a scan, more appends, then another scan must see the
+  // new tuples.
+  auto store = StreamStore::Create(TempPath("tcq_store_tail2.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  BufferPool pool;
+  WindowedScanner scanner(store->get(), &pool);
+
+  ASSERT_TRUE((*store)->Append(Row(1, "a", 1.0, false, 1)).ok());
+  std::vector<Tuple> out;
+  ASSERT_TRUE(scanner.Scan(0, 100, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+
+  ASSERT_TRUE((*store)->Append(Row(2, "b", 2.0, false, 2)).ok());
+  out.clear();
+  ASSERT_TRUE(scanner.Scan(0, 100, &out).ok());
+  EXPECT_EQ(out.size(), 2u) << "stale tail page served from cache";
+}
+
+TEST(StreamStoreTest, PageMetadataPrunesScans) {
+  auto store = StreamStore::Create(TempPath("tcq_store3.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  for (int i = 1; i <= 5000; ++i) {
+    ASSERT_TRUE((*store)->Append(Row(i, "x", 1.0, false, i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  uint64_t total_pages = (*store)->NumPages();
+  // A narrow window touches a small fraction of pages.
+  auto touched = (*store)->PagesInRange(100, 120);
+  EXPECT_LT(touched.size(), total_pages / 10);
+  auto all = (*store)->PagesInRange(kMinTimestamp, kMaxTimestamp);
+  EXPECT_EQ(all.size(), total_pages);
+}
+
+TEST(StreamStoreTest, ReadPageOutOfRange) {
+  auto store = StreamStore::Create(TempPath("tcq_store4.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  std::string page;
+  EXPECT_TRUE((*store)->ReadPage(5, &page).IsOutOfRange());
+}
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  auto store = StreamStore::Create(TempPath("tcq_store5.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  for (int i = 1; i <= 3000; ++i) {
+    ASSERT_TRUE((*store)->Append(Row(i, "x", 1.0, false, i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  BufferPool pool({.capacity_pages = 4});
+  ASSERT_TRUE(pool.Fetch(store->get(), 0).ok());
+  ASSERT_TRUE(pool.Fetch(store->get(), 0).ok());
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPoolTest, CapacityEnforced) {
+  auto store = StreamStore::Create(TempPath("tcq_store6.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  for (int i = 1; i <= 5000; ++i) {
+    ASSERT_TRUE((*store)->Append(Row(i, "x", 1.0, false, i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  BufferPool pool({.capacity_pages = 3});
+  for (uint64_t p = 0; p < (*store)->NumPages(); ++p) {
+    ASSERT_TRUE(pool.Fetch(store->get(), p).ok());
+  }
+  EXPECT_LE(pool.cached_pages(), 3u);
+  EXPECT_GT(pool.evictions(), 0u);
+}
+
+class BufferPolicyTest : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(BufferPolicyTest, AllPoliciesServeCorrectData) {
+  auto store = StreamStore::Create(
+      TempPath(std::string("tcq_store_p_") +
+               ReplacementPolicyName(GetParam()) + ".log"),
+      Sch());
+  ASSERT_TRUE(store.ok());
+  for (int i = 1; i <= 4000; ++i) {
+    ASSERT_TRUE((*store)->Append(Row(i, "x", double(i), false, i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  BufferPool pool({.capacity_pages = 4, .policy = GetParam()});
+  WindowedScanner scanner(store->get(), &pool);
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    Timestamp lo = rng.UniformInt(1, 3000);
+    std::vector<Tuple> out;
+    ASSERT_TRUE(scanner.Scan(lo, lo + 99, &out).ok());
+    ASSERT_EQ(out.size(), 100u) << "window at " << lo;
+    EXPECT_EQ(out.front().timestamp(), lo);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, BufferPolicyTest,
+                         ::testing::Values(ReplacementPolicy::kLru,
+                                           ReplacementPolicy::kMru,
+                                           ReplacementPolicy::kClock),
+                         [](const auto& info) {
+                           return ReplacementPolicyName(info.param);
+                         });
+
+TEST(BufferPoolTest, MruBeatsLruOnCyclicScan) {
+  // The broadcast-disk observation: a repeated cyclic scan larger than the
+  // pool thrashes LRU (every access misses) but MRU retains a stable prefix.
+  auto store = StreamStore::Create(TempPath("tcq_store_cyc.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  for (int i = 1; i <= 6000; ++i) {
+    ASSERT_TRUE((*store)->Append(Row(i, "x", 1.0, false, i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  uint64_t pages = (*store)->NumPages();
+  ASSERT_GT(pages, 10u);
+
+  auto run = [&](ReplacementPolicy policy) {
+    BufferPool pool({.capacity_pages = size_t(pages / 2), .policy = policy});
+    for (int cycle = 0; cycle < 5; ++cycle) {
+      for (uint64_t p = 0; p < pages; ++p) {
+        EXPECT_TRUE(pool.Fetch(store->get(), p).ok());
+      }
+    }
+    return pool.HitRate();
+  };
+  double lru = run(ReplacementPolicy::kLru);
+  double mru = run(ReplacementPolicy::kMru);
+  EXPECT_GT(mru, lru + 0.2) << "MRU should dominate on cyclic re-scans";
+}
+
+TEST(ScannerTest, WindowInstanceIntegration) {
+  auto store = StreamStore::Create(TempPath("tcq_store_w.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  for (int i = 1; i <= 300; ++i) {
+    ASSERT_TRUE((*store)->Append(Row(i, "x", 1.0, false, i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  BufferPool pool;
+  WindowedScanner scanner(store->get(), &pool);
+
+  auto loop = ForLoopSpec::Sliding({0}, 10, 100, 100);
+  WindowIterator iter(loop);
+  WindowInstance inst = iter.Next();
+  std::vector<Tuple> out;
+  ASSERT_TRUE(scanner.ScanWindow(inst, 0, &out).ok());
+  EXPECT_EQ(out.size(), 10u);  // [91, 100]
+  EXPECT_TRUE(scanner.ScanWindow(inst, 7, &out).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace tcq

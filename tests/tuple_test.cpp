@@ -1,0 +1,146 @@
+// Tests for Value, Schema, and Tuple.
+
+#include <gtest/gtest.h>
+
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace tcq {
+namespace {
+
+SchemaRef StockSchema(SourceId source = 0) {
+  return Schema::Make({
+      {"timestamp", ValueType::kTimestamp, source},
+      {"stockSymbol", ValueType::kString, source},
+      {"closingPrice", ValueType::kDouble, source},
+  });
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int64(42).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("MSFT").AsString(), "MSFT");
+  EXPECT_EQ(Value::TimestampVal(99).AsTimestamp(), 99);
+  EXPECT_EQ(Value::TimestampVal(99).type(), ValueType::kTimestamp);
+}
+
+TEST(ValueTest, NumericFamilyComparesAcrossTypes) {
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int64(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::TimestampVal(10).Compare(Value::Int64(9)), 0);
+  EXPECT_EQ(Value::TimestampVal(10).Compare(Value::Int64(10)), 0);
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // 2^62 and 2^62+1 are indistinguishable as doubles.
+  int64_t big = int64_t{1} << 62;
+  EXPECT_LT(Value::Int64(big).Compare(Value::Int64(big + 1)), 0);
+}
+
+TEST(ValueTest, StringsCompareLexicographically) {
+  EXPECT_LT(Value::String("AAPL").Compare(Value::String("MSFT")), 0);
+  EXPECT_EQ(Value::String("MSFT").Compare(Value::String("MSFT")), 0);
+}
+
+TEST(ValueTest, NullComparesLowest) {
+  EXPECT_LT(Value::Null().Compare(Value::Int64(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_GT(Value::String("").Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, EqualNumericsHashEqually) {
+  EXPECT_EQ(Value::Int64(2).Hash(), Value::Double(2.0).Hash());
+  EXPECT_EQ(Value::Int64(7).Hash(), Value::TimestampVal(7).Hash());
+}
+
+TEST(ValueTest, ToStringRendersAllTypes) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int64(3).ToString(), "3");
+  EXPECT_EQ(Value::String("x").ToString(), "\"x\"");
+  EXPECT_EQ(Value::TimestampVal(5).ToString(), "@5");
+}
+
+TEST(SchemaTest, IndexLookup) {
+  SchemaRef s = StockSchema();
+  ASSERT_TRUE(s->IndexOf("closingPrice").has_value());
+  EXPECT_EQ(*s->IndexOf("closingPrice"), 2u);
+  EXPECT_FALSE(s->IndexOf("volume").has_value());
+}
+
+TEST(SchemaTest, SourceQualifiedLookup) {
+  SchemaRef joined = Schema::Concat(StockSchema(0), StockSchema(1));
+  EXPECT_EQ(*joined->IndexOf("closingPrice", 0), 2u);
+  EXPECT_EQ(*joined->IndexOf("closingPrice", 1), 5u);
+  EXPECT_FALSE(joined->IndexOf("closingPrice", 2).has_value());
+  EXPECT_EQ(joined->sources(), SourceBit(0) | SourceBit(1));
+}
+
+TEST(SchemaTest, ValidateChecksArityAndTypes) {
+  SchemaRef s = StockSchema();
+  EXPECT_TRUE(s->Validate({Value::TimestampVal(1), Value::String("MSFT"),
+                           Value::Double(50.0)})
+                  .ok());
+  EXPECT_TRUE(s->Validate({Value::TimestampVal(1), Value::String("MSFT")})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(s->Validate({Value::TimestampVal(1), Value::Int64(7),
+                           Value::Double(50.0)})
+                  .IsInvalidArgument());
+  // Null allowed anywhere; int64 accepted for timestamp fields.
+  EXPECT_TRUE(
+      s->Validate({Value::Int64(1), Value::Null(), Value::Double(1.0)}).ok());
+}
+
+TEST(TupleTest, MakeAndAccess) {
+  Tuple t = Tuple::Make(
+      StockSchema(),
+      {Value::TimestampVal(5), Value::String("MSFT"), Value::Double(51.5)}, 5);
+  EXPECT_TRUE(t.valid());
+  EXPECT_EQ(t.timestamp(), 5);
+  EXPECT_EQ(t.num_fields(), 3u);
+  EXPECT_EQ(t.Get("stockSymbol").AsString(), "MSFT");
+  EXPECT_EQ(t.sources(), SourceBit(0));
+}
+
+TEST(TupleTest, ConcatMergesFieldsSourcesAndTimestamps) {
+  Tuple a = Tuple::Make(
+      StockSchema(0),
+      {Value::TimestampVal(5), Value::String("MSFT"), Value::Double(51.5)}, 5);
+  Tuple b = Tuple::Make(
+      StockSchema(1),
+      {Value::TimestampVal(9), Value::String("AAPL"), Value::Double(20.0)}, 9);
+  SchemaRef joined = Schema::Concat(a.schema(), b.schema());
+  Tuple c = Tuple::Concat(a, b, joined);
+  EXPECT_EQ(c.num_fields(), 6u);
+  EXPECT_EQ(c.timestamp(), 9);  // max of inputs
+  EXPECT_EQ(c.sources(), SourceBit(0) | SourceBit(1));
+  EXPECT_EQ(c.at(1).AsString(), "MSFT");
+  EXPECT_EQ(c.at(4).AsString(), "AAPL");
+}
+
+TEST(TupleTest, CopiesShareData) {
+  Tuple a = Tuple::Make(
+      StockSchema(),
+      {Value::TimestampVal(5), Value::String("MSFT"), Value::Double(51.5)}, 5);
+  Tuple b = a;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(&a.at(0), &b.at(0));  // same payload, not a deep copy
+}
+
+TEST(TupleTest, EqualityIsValueBased) {
+  auto mk = [](double price) {
+    return Tuple::Make(StockSchema(),
+                       {Value::TimestampVal(5), Value::String("MSFT"),
+                        Value::Double(price)},
+                       5);
+  };
+  EXPECT_EQ(mk(51.5), mk(51.5));
+  EXPECT_FALSE(mk(51.5) == mk(52.0));
+}
+
+}  // namespace
+}  // namespace tcq

@@ -1,0 +1,393 @@
+// Window semantics tests: the paper's §4.1 examples (snapshot, landmark,
+// sliding, hopping, backward), watermark-driven online firing, and the
+// aggregate strategies of §4.1.2.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "window/time.h"
+#include "window/window_exec.h"
+#include "window/window_spec.h"
+
+namespace tcq {
+namespace {
+
+SchemaRef StockSchema(SourceId source) {
+  return Schema::Make({
+      {"timestamp", ValueType::kTimestamp, source},
+      {"stockSymbol", ValueType::kString, source},
+      {"closingPrice", ValueType::kDouble, source},
+  });
+}
+
+Tuple Stock(SourceId source, Timestamp ts, const std::string& sym,
+            double price) {
+  return Tuple::Make(
+      StockSchema(source),
+      {Value::TimestampVal(ts), Value::String(sym), Value::Double(price)}, ts);
+}
+
+// A daily stock history: one MSFT entry per trading day 1..n with price f(d).
+StreamHistory MsftHistory(Timestamp n,
+                          const std::function<double(Timestamp)>& price) {
+  StreamHistory h;
+  for (Timestamp d = 1; d <= n; ++d) h.Append(Stock(0, d, "MSFT", price(d)));
+  return h;
+}
+
+// --- ForLoopSpec classification ---------------------------------------------
+
+TEST(WindowSpecTest, SnapshotClassification) {
+  auto spec = ForLoopSpec::Snapshot(0, 1, 5);
+  EXPECT_EQ(spec.Classify(), WindowClass::kSnapshot);
+  EXPECT_TRUE(spec.Bounded());
+  EXPECT_EQ(spec.IterationCount().value(), 1u);
+}
+
+TEST(WindowSpecTest, LandmarkClassification) {
+  auto spec = ForLoopSpec::Landmark(0, 101, 101, 1100);
+  EXPECT_EQ(spec.Classify(), WindowClass::kLandmark);
+  EXPECT_EQ(spec.IterationCount().value(), 1000u);
+}
+
+TEST(WindowSpecTest, SlidingClassification) {
+  auto spec = ForLoopSpec::Sliding({0}, 5, 10, 30);
+  EXPECT_EQ(spec.Classify(), WindowClass::kSliding);
+}
+
+TEST(WindowSpecTest, HoppingClassification) {
+  // Paper example 4: windows of 5 days every 5 days — hop == width is still
+  // "sliding" (nothing skipped); hop > width skips data and is hopping.
+  auto tumbling = ForLoopSpec::Sliding({0}, 5, 5, 50, 5);
+  EXPECT_EQ(tumbling.Classify(), WindowClass::kSliding);
+  auto hopping = ForLoopSpec::Sliding({0}, 5, 5, 50, 8);
+  EXPECT_EQ(hopping.Classify(), WindowClass::kHopping);
+}
+
+TEST(WindowSpecTest, BackwardClassification) {
+  auto spec = ForLoopSpec::Backward(0, 10, 100, 10, 5);
+  EXPECT_EQ(spec.Classify(), WindowClass::kBackward);
+  EXPECT_EQ(spec.IterationCount().value(), 5u);
+}
+
+TEST(WindowSpecTest, UnboundedLoop) {
+  ForLoopSpec spec;
+  spec.condition = {LoopCondition::Kind::kAlways, 0};
+  spec.windows.push_back({0, WindowBound::AtT(-4), WindowBound::AtT()});
+  EXPECT_FALSE(spec.Bounded());
+  EXPECT_FALSE(spec.IterationCount().has_value());
+}
+
+TEST(WindowSpecTest, IteratorProducesConcreteRanges) {
+  auto spec = ForLoopSpec::Sliding({0, 1}, 5, 10, 12);
+  WindowIterator iter(spec);
+  ASSERT_TRUE(iter.HasNext());
+  WindowInstance w0 = iter.Next();
+  EXPECT_EQ(w0.t, 10);
+  EXPECT_EQ(w0.RangeFor(0).value(), (std::pair<Timestamp, Timestamp>{6, 10}));
+  EXPECT_EQ(w0.RangeFor(1).value(), (std::pair<Timestamp, Timestamp>{6, 10}));
+  EXPECT_FALSE(w0.RangeFor(7).has_value());
+  iter.Next();
+  WindowInstance w2 = iter.Next();
+  EXPECT_EQ(w2.t, 12);
+  EXPECT_FALSE(iter.HasNext());
+}
+
+TEST(WindowSpecTest, ToStringRendersLoop) {
+  auto spec = ForLoopSpec::Landmark(0, 101, 101, 1100);
+  EXPECT_EQ(spec.ToString(),
+            "for (t=101; t <= 1100; t+=1) { WindowIs(s0, 101, t); }");
+}
+
+// --- Paper §4.1 examples end to end ------------------------------------------
+
+TEST(WindowExecTest, PaperExample1Snapshot) {
+  // "Select the closing prices for MSFT on the first five days of trading."
+  StreamHistory h = MsftHistory(20, [](Timestamp d) { return 40.0 + d; });
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Snapshot(0, 1, 5);
+  q.predicates = {MakeCompareConst({0, "stockSymbol"}, CmpOp::kEq,
+                                   Value::String("MSFT"))};
+  auto results = RunOverHistory(q, {{0, std::move(h)}});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].tuples.size(), 5u);
+  for (const Tuple& t : results[0].tuples) {
+    EXPECT_LE(t.timestamp(), 5);
+    EXPECT_GE(t.timestamp(), 1);
+  }
+}
+
+TEST(WindowExecTest, PaperExample2Landmark) {
+  // "All days after the hundredth trading day on which MSFT closed over
+  // $50, standing for 1000 days": for (t=101; t<=1100; t++) window [101,t].
+  StreamHistory h = MsftHistory(150, [](Timestamp d) {
+    return d % 2 == 0 ? 55.0 : 45.0;  // closes above 50 on even days
+  });
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Landmark(0, 101, 101, 110);
+  q.predicates = {MakeCompareConst({0, "closingPrice"}, CmpOp::kGt,
+                                   Value::Double(50.0))};
+  auto results = RunOverHistory(q, {{0, std::move(h)}});
+  ASSERT_EQ(results.size(), 10u);
+  // Window [101, 101]: day 101 is odd -> empty; [101, 102] has day 102; the
+  // result set grows as the right end expands over even days.
+  EXPECT_TRUE(results[0].tuples.empty());
+  EXPECT_EQ(results[1].tuples.size(), 1u);
+  EXPECT_EQ(results[9].tuples.size(), 5u);  // even days in [101, 110]
+}
+
+TEST(WindowExecTest, PaperExample5SlidingSelfJoin) {
+  // "Stocks that closed higher than MSFT over windows of the five most
+  // recent days": self-join c1 x c2 with c2.price > c1.price and equal
+  // timestamps, c1 filtered to MSFT. Self-join = same data as two sources.
+  StreamHistory c1, c2;
+  Rng rng(1);
+  for (Timestamp d = 1; d <= 30; ++d) {
+    c1.Append(Stock(0, d, "MSFT", 50.0));
+    c2.Append(Stock(1, d, "MSFT", 50.0));
+    double aapl = d % 3 == 0 ? 60.0 : 40.0;  // beats MSFT every 3rd day
+    c1.Append(Stock(0, d, "AAPL", aapl));
+    c2.Append(Stock(1, d, "AAPL", aapl));
+  }
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0, 1}, 5, 5, 24);
+  q.predicates = {
+      MakeCompareConst({0, "stockSymbol"}, CmpOp::kEq, Value::String("MSFT")),
+      MakeCompareAttrs({1, "closingPrice"}, CmpOp::kGt, {0, "closingPrice"}),
+      MakeCompareAttrs({1, "timestamp"}, CmpOp::kEq, {0, "timestamp"}),
+  };
+  auto results = RunOverHistory(q, {{0, std::move(c1)}, {1, std::move(c2)}});
+  ASSERT_EQ(results.size(), 20u);
+  for (const WindowResult& r : results) {
+    // Each 5-day window contains either 1 or 2 third-days.
+    size_t third_days = 0;
+    for (Timestamp d = r.t - 4; d <= r.t; ++d) {
+      if (d % 3 == 0) ++third_days;
+    }
+    EXPECT_EQ(r.tuples.size(), third_days) << "window ending " << r.t;
+    for (const Tuple& m : r.tuples) {
+      EXPECT_EQ(m.Get("stockSymbol").AsString(), "MSFT");
+    }
+  }
+}
+
+TEST(WindowExecTest, HoppingWindowsSkipData) {
+  // hop (8) > width (5): timestamps 6..8 of each period never appear.
+  StreamHistory h = MsftHistory(40, [](Timestamp) { return 50.0; });
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0}, 5, 5, 40, 8);
+  auto results = RunOverHistory(q, {{0, std::move(h)}});
+  std::set<Timestamp> covered;
+  for (const auto& r : results) {
+    for (const Tuple& t : r.tuples) covered.insert(t.timestamp());
+  }
+  EXPECT_FALSE(covered.contains(6));
+  EXPECT_FALSE(covered.contains(7));
+  EXPECT_FALSE(covered.contains(8));
+  EXPECT_TRUE(covered.contains(5));
+  EXPECT_TRUE(covered.contains(9));
+}
+
+TEST(WindowExecTest, BackwardWindowsBrowseHistory) {
+  StreamHistory h = MsftHistory(100, [](Timestamp d) { return double(d); });
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Backward(0, 10, 100, 10, 3);
+  auto results = RunOverHistory(q, {{0, std::move(h)}});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].t, 100);  // [91, 100]
+  EXPECT_EQ(results[1].t, 90);   // [81, 90]
+  EXPECT_EQ(results[2].t, 80);   // [71, 80]
+  EXPECT_EQ(results[0].tuples.size(), 10u);
+  EXPECT_EQ(results[2].tuples.front().timestamp(), 71);
+}
+
+// --- Online runner ------------------------------------------------------------
+
+TEST(OnlineWindowTest, FiresOnlyWhenWatermarkPasses) {
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0}, 3, 3, 9);
+  OnlineWindowRunner runner(q);
+  std::vector<WindowResult> fired;
+  auto cb = [&](const WindowResult& r) { fired.push_back(r); };
+
+  for (Timestamp d = 1; d <= 4; ++d) {
+    runner.Ingest(0, Stock(0, d, "MSFT", 50.0));
+  }
+  runner.Poll(cb);
+  // Watermark at 4: windows ending at 3 and 4 fired.
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0].t, 3);
+  EXPECT_EQ(fired[0].tuples.size(), 3u);
+
+  for (Timestamp d = 5; d <= 9; ++d) {
+    runner.Ingest(0, Stock(0, d, "MSFT", 50.0));
+  }
+  runner.Poll(cb);
+  EXPECT_EQ(fired.size(), 7u);
+  EXPECT_TRUE(runner.Done());
+}
+
+TEST(OnlineWindowTest, JoinWaitsForSlowestStream) {
+  // Partial-order time: a two-stream window fires only when BOTH streams
+  // pass its right end.
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0, 1}, 2, 2, 4);
+  q.predicates = {
+      MakeCompareAttrs({1, "timestamp"}, CmpOp::kEq, {0, "timestamp"})};
+  OnlineWindowRunner runner(q);
+  size_t fired = 0;
+  auto cb = [&](const WindowResult&) { ++fired; };
+
+  for (Timestamp d = 1; d <= 4; ++d) {
+    runner.Ingest(0, Stock(0, d, "MSFT", 50.0));
+  }
+  runner.Poll(cb);
+  EXPECT_EQ(fired, 0u);  // stream 1 has not arrived at all
+
+  runner.Ingest(1, Stock(1, 1, "MSFT", 50.0));
+  runner.Ingest(1, Stock(1, 2, "MSFT", 50.0));
+  runner.Poll(cb);
+  EXPECT_EQ(fired, 1u);  // window [1,2] complete on both streams
+
+  runner.AdvanceWatermark(1, 4);  // heartbeat: stream 1 is quiet but current
+  runner.Poll(cb);
+  EXPECT_EQ(fired, 3u);
+}
+
+TEST(OnlineWindowTest, SlidingHistoryIsPruned) {
+  WindowedQuery q;
+  ForLoopSpec loop = ForLoopSpec::Sliding({0}, 10, 10, 100000);
+  q.loop = loop;
+  OnlineWindowRunner runner(q);
+  size_t fired = 0;
+  for (Timestamp d = 1; d <= 5000; ++d) {
+    runner.Ingest(0, Stock(0, d, "MSFT", 50.0));
+    runner.Poll([&](const WindowResult&) { ++fired; });
+  }
+  EXPECT_GT(fired, 4000u);
+  // Only about one window's worth of history is retained.
+  EXPECT_LE(runner.buffered_tuples(), 32u);
+}
+
+TEST(OnlineWindowTest, LandmarkHistoryIsKept) {
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Landmark(0, 1, 1, 100000);
+  OnlineWindowRunner runner(q);
+  for (Timestamp d = 1; d <= 1000; ++d) {
+    runner.Ingest(0, Stock(0, d, "MSFT", 50.0));
+  }
+  runner.Poll([](const WindowResult&) {});
+  EXPECT_EQ(runner.buffered_tuples(), 1000u);  // left end is fixed: keep all
+}
+
+// --- Watermarks & time transforms ----------------------------------------------
+
+TEST(WatermarkTest, TracksPerSourceAndJoint) {
+  WatermarkTracker wm;
+  EXPECT_EQ(wm.WatermarkOf(0), kMinTimestamp);
+  wm.Update(0, 10);
+  wm.Update(1, 5);
+  wm.Update(0, 7);  // regression ignored
+  EXPECT_EQ(wm.WatermarkOf(0), 10);
+  EXPECT_EQ(wm.MinWatermark(SourceBit(0) | SourceBit(1)), 5);
+  EXPECT_EQ(wm.MinWatermark(SourceBit(2)), kMinTimestamp);
+  EXPECT_EQ(wm.GlobalWatermark(), 5);
+}
+
+TEST(WatermarkTest, OrderedOnlyBelowJointWatermark) {
+  WatermarkTracker wm;
+  wm.Update(0, 10);
+  wm.Update(1, 5);
+  EXPECT_TRUE(wm.Ordered(0, 3, 1, 4));
+  EXPECT_FALSE(wm.Ordered(0, 8, 1, 4));  // 8 > joint watermark 5
+}
+
+TEST(TimeTransformTest, RoundTrips) {
+  TimeTransform tt;
+  tt.Observe(1, 1000);
+  tt.Observe(2, 1500);
+  tt.Observe(5, 4000);
+  EXPECT_EQ(tt.ToPhysical(1), 1000);
+  EXPECT_EQ(tt.ToPhysical(3), 1500);  // nearest at-or-before
+  EXPECT_EQ(tt.ToPhysical(0), kMinTimestamp);
+  EXPECT_EQ(tt.ToLogical(1500), 2);
+  EXPECT_EQ(tt.ToLogical(3999), 2);
+  EXPECT_EQ(tt.ToLogical(4000), 5);
+  EXPECT_EQ(tt.ToLogical(10), kMinTimestamp);
+}
+
+// --- Aggregate strategies (§4.1.2) -----------------------------------------------
+
+TEST(WindowAggregateTest, LandmarkMaxIncrementalMatchesRecompute) {
+  StreamHistory h = MsftHistory(
+      200, [](Timestamp d) { return 50.0 + ((d * 37) % 23) - 11; });
+  auto loop = ForLoopSpec::Landmark(0, 1, 1, 200);
+  size_t state = 0;
+  auto results =
+      RunAggregateOverHistory(loop, AggFn::kMax, {0, "closingPrice"}, h,
+                              1u << 16, &state);
+  ASSERT_EQ(results.size(), 200u);
+  // Cross-check a few against brute force.
+  for (Timestamp t : {1, 50, 200}) {
+    double expect = -1;
+    std::vector<Tuple> content;
+    h.Range(1, t, &content);
+    for (const Tuple& tup : content) {
+      expect = std::max(expect, tup.Get("closingPrice").AsDouble());
+    }
+    EXPECT_DOUBLE_EQ(results[size_t(t) - 1].value.AsDouble(), expect);
+  }
+  EXPECT_LE(state, sizeof(LandmarkAggregator));  // O(1) state claim
+}
+
+TEST(WindowAggregateTest, SlidingMaxMatchesRecomputeAndNeedsWindowState) {
+  StreamHistory h = MsftHistory(
+      300, [](Timestamp d) { return 50.0 + ((d * 37) % 23) - 11; });
+  auto loop = ForLoopSpec::Sliding({0}, 20, 20, 300);
+  size_t state = 0;
+  auto results = RunAggregateOverHistory(loop, AggFn::kMax,
+                                         {0, "closingPrice"}, h, 1u << 16,
+                                         &state);
+  ASSERT_EQ(results.size(), 281u);
+  for (size_t i = 0; i < results.size(); i += 40) {
+    Timestamp t = results[i].t;
+    double expect = -1;
+    std::vector<Tuple> content;
+    h.Range(t - 19, t, &content);
+    for (const Tuple& tup : content) {
+      expect = std::max(expect, tup.Get("closingPrice").AsDouble());
+    }
+    EXPECT_DOUBLE_EQ(results[i].value.AsDouble(), expect) << "t=" << t;
+  }
+  EXPECT_GT(state, sizeof(LandmarkAggregator));  // must hold window contents
+}
+
+TEST(WindowAggregateTest, HoppingRecomputesCorrectly) {
+  StreamHistory h = MsftHistory(100, [](Timestamp d) { return double(d); });
+  auto loop = ForLoopSpec::Sliding({0}, 5, 5, 100, 12);  // hop > width
+  auto results = RunAggregateOverHistory(loop, AggFn::kSum,
+                                         {0, "closingPrice"}, h);
+  ASSERT_FALSE(results.empty());
+  for (const auto& r : results) {
+    double expect = 0;
+    for (Timestamp d = r.t - 4; d <= r.t; ++d) expect += double(d);
+    EXPECT_DOUBLE_EQ(r.value.AsDouble(), expect);
+  }
+}
+
+TEST(WindowAggregateTest, CountAvgMinOverSliding) {
+  StreamHistory h = MsftHistory(50, [](Timestamp d) { return double(d); });
+  auto loop = ForLoopSpec::Sliding({0}, 10, 10, 50);
+  auto count = RunAggregateOverHistory(loop, AggFn::kCount,
+                                       {0, "closingPrice"}, h);
+  auto avg =
+      RunAggregateOverHistory(loop, AggFn::kAvg, {0, "closingPrice"}, h);
+  auto min =
+      RunAggregateOverHistory(loop, AggFn::kMin, {0, "closingPrice"}, h);
+  EXPECT_EQ(count.back().value.AsInt64(), 10);
+  EXPECT_DOUBLE_EQ(avg.back().value.AsDouble(), (41 + 50) / 2.0);
+  EXPECT_DOUBLE_EQ(min.back().value.AsDouble(), 41.0);
+}
+
+}  // namespace
+}  // namespace tcq
