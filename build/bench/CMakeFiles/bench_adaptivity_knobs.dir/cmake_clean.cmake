@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptivity_knobs.dir/bench_adaptivity_knobs.cpp.o"
+  "CMakeFiles/bench_adaptivity_knobs.dir/bench_adaptivity_knobs.cpp.o.d"
+  "bench_adaptivity_knobs"
+  "bench_adaptivity_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptivity_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cacq_scaling.dir/bench_cacq_scaling.cpp.o"
+  "CMakeFiles/bench_cacq_scaling.dir/bench_cacq_scaling.cpp.o.d"
+  "bench_cacq_scaling"
+  "bench_cacq_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cacq_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

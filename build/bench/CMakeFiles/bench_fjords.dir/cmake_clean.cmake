@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fjords.dir/bench_fjords.cpp.o"
+  "CMakeFiles/bench_fjords.dir/bench_fjords.cpp.o.d"
+  "bench_fjords"
+  "bench_fjords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fjords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

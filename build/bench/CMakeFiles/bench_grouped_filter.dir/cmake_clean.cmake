@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grouped_filter.dir/bench_grouped_filter.cpp.o"
+  "CMakeFiles/bench_grouped_filter.dir/bench_grouped_filter.cpp.o.d"
+  "bench_grouped_filter"
+  "bench_grouped_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grouped_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_psoup_materialization.dir/bench_psoup_materialization.cpp.o"
+  "CMakeFiles/bench_psoup_materialization.dir/bench_psoup_materialization.cpp.o.d"
+  "bench_psoup_materialization"
+  "bench_psoup_materialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_psoup_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

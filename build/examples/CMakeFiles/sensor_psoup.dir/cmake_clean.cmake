@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_psoup.dir/sensor_psoup.cpp.o"
+  "CMakeFiles/sensor_psoup.dir/sensor_psoup.cpp.o.d"
+  "sensor_psoup"
+  "sensor_psoup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_psoup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cacq/query_registry.cpp" "src/CMakeFiles/tcq.dir/cacq/query_registry.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/cacq/query_registry.cpp.o.d"
+  "/root/repo/src/cacq/shared_eddy.cpp" "src/CMakeFiles/tcq.dir/cacq/shared_eddy.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/cacq/shared_eddy.cpp.o.d"
+  "/root/repo/src/common/clock.cpp" "src/CMakeFiles/tcq.dir/common/clock.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/common/clock.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/tcq.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/tcq.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/tcq.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/common/status.cpp.o.d"
+  "/root/repo/src/eddy/eddy.cpp" "src/CMakeFiles/tcq.dir/eddy/eddy.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/eddy/eddy.cpp.o.d"
+  "/root/repo/src/eddy/module.cpp" "src/CMakeFiles/tcq.dir/eddy/module.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/eddy/module.cpp.o.d"
+  "/root/repo/src/eddy/routing_policy.cpp" "src/CMakeFiles/tcq.dir/eddy/routing_policy.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/eddy/routing_policy.cpp.o.d"
+  "/root/repo/src/egress/egress.cpp" "src/CMakeFiles/tcq.dir/egress/egress.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/egress/egress.cpp.o.d"
+  "/root/repo/src/exec/dispatch_unit.cpp" "src/CMakeFiles/tcq.dir/exec/dispatch_unit.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/exec/dispatch_unit.cpp.o.d"
+  "/root/repo/src/exec/execution_object.cpp" "src/CMakeFiles/tcq.dir/exec/execution_object.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/exec/execution_object.cpp.o.d"
+  "/root/repo/src/exec/executor.cpp" "src/CMakeFiles/tcq.dir/exec/executor.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/exec/executor.cpp.o.d"
+  "/root/repo/src/exec/scheduler.cpp" "src/CMakeFiles/tcq.dir/exec/scheduler.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/exec/scheduler.cpp.o.d"
+  "/root/repo/src/fjords/fjord.cpp" "src/CMakeFiles/tcq.dir/fjords/fjord.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/fjords/fjord.cpp.o.d"
+  "/root/repo/src/fjords/queue.cpp" "src/CMakeFiles/tcq.dir/fjords/queue.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/fjords/queue.cpp.o.d"
+  "/root/repo/src/flux/cluster.cpp" "src/CMakeFiles/tcq.dir/flux/cluster.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/flux/cluster.cpp.o.d"
+  "/root/repo/src/flux/flux.cpp" "src/CMakeFiles/tcq.dir/flux/flux.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/flux/flux.cpp.o.d"
+  "/root/repo/src/flux/partitioner.cpp" "src/CMakeFiles/tcq.dir/flux/partitioner.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/flux/partitioner.cpp.o.d"
+  "/root/repo/src/ingress/generators.cpp" "src/CMakeFiles/tcq.dir/ingress/generators.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/ingress/generators.cpp.o.d"
+  "/root/repo/src/ingress/rate.cpp" "src/CMakeFiles/tcq.dir/ingress/rate.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/ingress/rate.cpp.o.d"
+  "/root/repo/src/ingress/remote_index.cpp" "src/CMakeFiles/tcq.dir/ingress/remote_index.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/ingress/remote_index.cpp.o.d"
+  "/root/repo/src/ingress/source.cpp" "src/CMakeFiles/tcq.dir/ingress/source.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/ingress/source.cpp.o.d"
+  "/root/repo/src/ingress/wrapper.cpp" "src/CMakeFiles/tcq.dir/ingress/wrapper.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/ingress/wrapper.cpp.o.d"
+  "/root/repo/src/operators/aggregate.cpp" "src/CMakeFiles/tcq.dir/operators/aggregate.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/operators/aggregate.cpp.o.d"
+  "/root/repo/src/operators/dup_elim.cpp" "src/CMakeFiles/tcq.dir/operators/dup_elim.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/operators/dup_elim.cpp.o.d"
+  "/root/repo/src/operators/grouped_filter.cpp" "src/CMakeFiles/tcq.dir/operators/grouped_filter.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/operators/grouped_filter.cpp.o.d"
+  "/root/repo/src/operators/interval_index.cpp" "src/CMakeFiles/tcq.dir/operators/interval_index.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/operators/interval_index.cpp.o.d"
+  "/root/repo/src/operators/juggle.cpp" "src/CMakeFiles/tcq.dir/operators/juggle.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/operators/juggle.cpp.o.d"
+  "/root/repo/src/operators/predicate.cpp" "src/CMakeFiles/tcq.dir/operators/predicate.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/operators/predicate.cpp.o.d"
+  "/root/repo/src/operators/projection.cpp" "src/CMakeFiles/tcq.dir/operators/projection.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/operators/projection.cpp.o.d"
+  "/root/repo/src/operators/selection.cpp" "src/CMakeFiles/tcq.dir/operators/selection.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/operators/selection.cpp.o.d"
+  "/root/repo/src/operators/sort.cpp" "src/CMakeFiles/tcq.dir/operators/sort.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/operators/sort.cpp.o.d"
+  "/root/repo/src/operators/transitive_closure.cpp" "src/CMakeFiles/tcq.dir/operators/transitive_closure.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/operators/transitive_closure.cpp.o.d"
+  "/root/repo/src/psoup/data_stem.cpp" "src/CMakeFiles/tcq.dir/psoup/data_stem.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/psoup/data_stem.cpp.o.d"
+  "/root/repo/src/psoup/psoup.cpp" "src/CMakeFiles/tcq.dir/psoup/psoup.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/psoup/psoup.cpp.o.d"
+  "/root/repo/src/psoup/query_stem.cpp" "src/CMakeFiles/tcq.dir/psoup/query_stem.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/psoup/query_stem.cpp.o.d"
+  "/root/repo/src/psoup/results.cpp" "src/CMakeFiles/tcq.dir/psoup/results.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/psoup/results.cpp.o.d"
+  "/root/repo/src/query/ast.cpp" "src/CMakeFiles/tcq.dir/query/ast.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/query/ast.cpp.o.d"
+  "/root/repo/src/query/catalog.cpp" "src/CMakeFiles/tcq.dir/query/catalog.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/query/catalog.cpp.o.d"
+  "/root/repo/src/query/parser.cpp" "src/CMakeFiles/tcq.dir/query/parser.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/query/parser.cpp.o.d"
+  "/root/repo/src/query/planner.cpp" "src/CMakeFiles/tcq.dir/query/planner.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/query/planner.cpp.o.d"
+  "/root/repo/src/server/telegraphcq.cpp" "src/CMakeFiles/tcq.dir/server/telegraphcq.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/server/telegraphcq.cpp.o.d"
+  "/root/repo/src/stem/index.cpp" "src/CMakeFiles/tcq.dir/stem/index.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/stem/index.cpp.o.d"
+  "/root/repo/src/stem/stem.cpp" "src/CMakeFiles/tcq.dir/stem/stem.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/stem/stem.cpp.o.d"
+  "/root/repo/src/storage/buffer_pool.cpp" "src/CMakeFiles/tcq.dir/storage/buffer_pool.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/storage/buffer_pool.cpp.o.d"
+  "/root/repo/src/storage/scanner.cpp" "src/CMakeFiles/tcq.dir/storage/scanner.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/storage/scanner.cpp.o.d"
+  "/root/repo/src/storage/stream_store.cpp" "src/CMakeFiles/tcq.dir/storage/stream_store.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/storage/stream_store.cpp.o.d"
+  "/root/repo/src/tuple/schema.cpp" "src/CMakeFiles/tcq.dir/tuple/schema.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/tuple/schema.cpp.o.d"
+  "/root/repo/src/tuple/tuple.cpp" "src/CMakeFiles/tcq.dir/tuple/tuple.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/tuple/tuple.cpp.o.d"
+  "/root/repo/src/tuple/value.cpp" "src/CMakeFiles/tcq.dir/tuple/value.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/tuple/value.cpp.o.d"
+  "/root/repo/src/window/time.cpp" "src/CMakeFiles/tcq.dir/window/time.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/window/time.cpp.o.d"
+  "/root/repo/src/window/window_exec.cpp" "src/CMakeFiles/tcq.dir/window/window_exec.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/window/window_exec.cpp.o.d"
+  "/root/repo/src/window/window_spec.cpp" "src/CMakeFiles/tcq.dir/window/window_spec.cpp.o" "gcc" "src/CMakeFiles/tcq.dir/window/window_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

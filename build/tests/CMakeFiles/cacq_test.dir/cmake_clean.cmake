@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cacq_test.dir/cacq_test.cpp.o"
+  "CMakeFiles/cacq_test.dir/cacq_test.cpp.o.d"
+  "cacq_test"
+  "cacq_test.pdb"
+  "cacq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cacq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fjords_test.dir/fjords_test.cpp.o"
+  "CMakeFiles/fjords_test.dir/fjords_test.cpp.o.d"
+  "fjords_test"
+  "fjords_test.pdb"
+  "fjords_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fjords_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingress_test.dir/ingress_test.cpp.o"
+  "CMakeFiles/ingress_test.dir/ingress_test.cpp.o.d"
+  "ingress_test"
+  "ingress_test.pdb"
+  "ingress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psoup_test.dir/psoup_test.cpp.o"
+  "CMakeFiles/psoup_test.dir/psoup_test.cpp.o.d"
+  "psoup_test"
+  "psoup_test.pdb"
+  "psoup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psoup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

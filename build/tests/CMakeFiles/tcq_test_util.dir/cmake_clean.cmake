@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcq_test_util.dir/reference/reference.cpp.o"
+  "CMakeFiles/tcq_test_util.dir/reference/reference.cpp.o.d"
+  "libtcq_test_util.a"
+  "libtcq_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcq_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
