@@ -7,7 +7,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <mutex>
+
 #include "bench_common.h"
+#include "common/metrics.h"
 #include "eddy/eddy.h"
 #include "eddy/routing_policy.h"
 #include "operators/selection.h"
@@ -63,9 +67,11 @@ void BM_SelectivityDrift(benchmark::State& state) {
   auto f2_selective = MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(10));
   auto f2_permissive = MakeCompareConst({0, "v"}, CmpOp::kLt, Value::Int64(90));
 
+  auto metrics = std::make_shared<MetricsRegistry>();
   uint64_t invocations = 0, decisions = 0, outputs = 0, tuples = 0;
   for (auto _ : state) {
-    Eddy eddy(PolicyFor(policy_id));
+    Eddy eddy(PolicyFor(policy_id), Eddy::Options{}, metrics,
+              PolicyName(policy_id));
     auto s1 = std::make_unique<Selection>("f1", f1_selective, kFilterCost);
     auto s2 = std::make_unique<Selection>("f2", f2_permissive, kFilterCost);
     Selection* f1 = s1.get();
@@ -95,6 +101,14 @@ void BM_SelectivityDrift(benchmark::State& state) {
   state.counters["selected_frac"] =
       static_cast<double>(outputs) / static_cast<double>(tuples);
   state.SetLabel(PolicyName(policy_id));
+  // One-shot text dump of the eddy's instruments (routing decisions,
+  // per-module selectivity gauges, ...) so a bench run doubles as a smoke
+  // test of the metrics exposition.
+  static std::once_flag dumped;
+  std::call_once(dumped, [&] {
+    std::cout << "--- metrics dump (" << PolicyName(policy_id) << ") ---\n"
+              << metrics->FormatText();
+  });
 }
 BENCHMARK(BM_SelectivityDrift)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
 

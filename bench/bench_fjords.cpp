@@ -6,9 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <mutex>
 #include <thread>
 
 #include "bench_common.h"
+#include "common/metrics.h"
 #include "fjords/fjord.h"
 
 namespace tcq {
@@ -44,9 +47,11 @@ uint64_t OtherWorkUnit() {
 }
 
 void BM_PushConsumerOverlapsWork(benchmark::State& state) {
+  auto metrics = std::make_shared<MetricsRegistry>();
   uint64_t consumed_total = 0, other_work = 0;
   for (auto _ : state) {
-    auto endpoints = Fjord::Make(FjordMode::kPush, 1024);
+    auto endpoints =
+        Fjord::Make(FjordMode::kPush, 1024, "bench:push", metrics.get());
     std::thread producer(ProduceBursts, endpoints.producer);
     Tuple t;
     size_t consumed = 0;
@@ -68,6 +73,12 @@ void BM_PushConsumerOverlapsWork(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(consumed_total));
   state.counters["other_work_done"] =
       static_cast<double>(other_work) / static_cast<double>(state.iterations());
+  // One-shot dump of the queue instruments (depth, blocked ops, residence
+  // time histogram) accumulated across iterations.
+  static std::once_flag dumped;
+  std::call_once(dumped,
+                 [&] { std::cout << "--- metrics dump ---\n"
+                                 << metrics->FormatText(); });
 }
 BENCHMARK(BM_PushConsumerOverlapsWork)->Unit(benchmark::kMillisecond);
 

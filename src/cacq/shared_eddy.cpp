@@ -89,8 +89,18 @@ ModuleAction ResidualFilterModule::Process(SharedEnvelope* env,
 
 // --- SharedEddy ---------------------------------------------------------
 
-SharedEddy::SharedEddy(std::unique_ptr<RoutingPolicy> policy)
-    : policy_(std::move(policy)) {}
+SharedEddy::SharedEddy(std::unique_ptr<RoutingPolicy> policy,
+                       MetricsRegistryRef metrics, std::string label)
+    : policy_(std::move(policy)),
+      metrics_(OrPrivateRegistry(std::move(metrics))),
+      label_(std::move(label)) {
+  routing_decisions_ = metrics_->GetCounter(
+      MetricName("tcq_shared_eddy_routing_decisions_total", "eddy", label_));
+  module_invocations_ = metrics_->GetCounter(
+      MetricName("tcq_shared_eddy_module_invocations_total", "eddy", label_));
+  deliveries_ = metrics_->GetCounter(
+      MetricName("tcq_shared_eddy_deliveries_total", "eddy", label_));
+}
 
 void SharedEddy::RegisterStream(SourceId source, SchemaRef schema,
                                 StemOptions stem_opts) {
@@ -104,6 +114,12 @@ size_t SharedEddy::AddModule(std::unique_ptr<SharedModule> module) {
   assert(modules_.size() < 64 && "at most 64 modules per shared eddy");
   modules_.push_back(std::move(module));
   module_stats_.push_back(modules_.back().get());
+  std::string slot_label = label_.empty()
+                               ? modules_.back()->name()
+                               : label_ + "/" + modules_.back()->name();
+  slot_selectivity_permille_.push_back(metrics_->GetGauge(
+      MetricName("tcq_shared_eddy_module_selectivity_permille", "module",
+                 slot_label)));
   policy_->OnModuleCountChanged(modules_.size());
   return modules_.size() - 1;
 }
@@ -125,8 +141,10 @@ SteM* SharedEddy::StemFor(SourceId source) {
   assert(it != streams_.end() && "join references an unregistered stream");
   StreamInfo& info = it->second;
   if (!info.stem) {
-    info.stem = std::make_shared<SteM>("stem(s" + std::to_string(source) + ")",
-                                       source, info.schema, info.stem_opts);
+    std::string stem_name = "stem(s" + std::to_string(source) + ")";
+    if (!label_.empty()) stem_name = label_ + "/" + stem_name;
+    info.stem = std::make_shared<SteM>(std::move(stem_name), source,
+                                       info.schema, info.stem_opts, metrics_);
   }
   return info.stem.get();
 }
@@ -330,7 +348,7 @@ void SharedEddy::DeliverIfComplete(SharedEnvelope&& env) {
   env.live.ForEach([&](QueryId q) {
     const RegisteredQuery* rq = registry_.Get(q);
     if (rq->footprint != span) return;
-    ++deliveries_;
+    deliveries_->Inc();
     ++registry_.GetMutable(q)->results_delivered;
     if (sink_) sink_(q, env.tuple);
   });
@@ -349,9 +367,9 @@ void SharedEddy::Drain() {
       }
       order_scratch_.clear();
       policy_->Rank(ready_scratch_, module_stats_, &order_scratch_);
-      ++routing_decisions_;
+      routing_decisions_->Inc();
       size_t slot = order_scratch_.front();
-      ++module_invocations_;
+      module_invocations_->Inc();
       out_scratch_.clear();
       ModuleAction action = modules_[slot]->Process(&env, &out_scratch_);
       // For stats/ticket purposes a probe that emitted children counts as an
@@ -360,6 +378,8 @@ void SharedEddy::Drain() {
           out_scratch_.empty() ? action : ModuleAction::kExpand;
       modules_[slot]->RecordResult(stats_action, out_scratch_.size());
       policy_->OnResult(slot, stats_action, out_scratch_.size());
+      slot_selectivity_permille_[slot]->Set(static_cast<int64_t>(
+          module_stats_[slot]->ObservedSelectivity() * 1000.0));
       for (SharedEnvelope& child : out_scratch_) {
         child.done |= env.done | (uint64_t{1} << slot);
         queue_.push_back(std::move(child));

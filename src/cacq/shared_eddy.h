@@ -18,6 +18,7 @@
 
 #include "cacq/lineage.h"
 #include "cacq/query_registry.h"
+#include "common/metrics.h"
 #include "eddy/routing_policy.h"
 #include "operators/grouped_filter.h"
 #include "stem/stem.h"
@@ -143,7 +144,11 @@ class SharedEddy {
   /// Receives one delivery per (query, result tuple).
   using Sink = std::function<void(QueryId, const Tuple&)>;
 
-  explicit SharedEddy(std::unique_ptr<RoutingPolicy> policy);
+  /// When `metrics` is null the eddy observes itself in a private registry;
+  /// `label` distinguishes instances (query classes) sharing one registry.
+  explicit SharedEddy(std::unique_ptr<RoutingPolicy> policy,
+                      MetricsRegistryRef metrics = nullptr,
+                      std::string label = "");
 
   /// Declares a stream before queries reference it. `stem_opts` configures
   /// the shared SteM created if/when a join touches the stream.
@@ -176,9 +181,11 @@ class SharedEddy {
 
   const QueryRegistry& registry() const { return registry_; }
   size_t num_modules() const { return modules_.size(); }
-  uint64_t routing_decisions() const { return routing_decisions_; }
-  uint64_t module_invocations() const { return module_invocations_; }
-  uint64_t deliveries() const { return deliveries_; }
+  // Thin reads over the metrics registry.
+  uint64_t routing_decisions() const { return routing_decisions_->Value(); }
+  uint64_t module_invocations() const { return module_invocations_->Value(); }
+  uint64_t deliveries() const { return deliveries_->Value(); }
+  const MetricsRegistryRef& metrics() const { return metrics_; }
 
  private:
   struct StreamInfo {
@@ -212,9 +219,12 @@ class SharedEddy {
   std::vector<size_t> order_scratch_;
   std::vector<SharedEnvelope> out_scratch_;
 
-  uint64_t routing_decisions_ = 0;
-  uint64_t module_invocations_ = 0;
-  uint64_t deliveries_ = 0;
+  MetricsRegistryRef metrics_;
+  std::string label_;
+  Counter* routing_decisions_;
+  Counter* module_invocations_;
+  Counter* deliveries_;
+  std::vector<Gauge*> slot_selectivity_permille_;
 };
 
 }  // namespace tcq

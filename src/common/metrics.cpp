@@ -1,0 +1,163 @@
+#include "common/metrics.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace tcq {
+
+uint64_t MetricsSnapshot::HistogramData::ApproxQuantile(double q) const {
+  if (count == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  uint64_t seen = 0;
+  for (const auto& [le, c] : buckets) {
+    seen += c;
+    if (seen > rank) return le;
+  }
+  return buckets.empty() ? 0 : buckets.back().first;
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const MetricsSnapshot::HistogramData* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterFamilySum(const std::string& prefix) const {
+  uint64_t sum = 0;
+  for (const auto& [n, v] : counters) {
+    if (n.compare(0, prefix.size(), prefix) == 0) sum += v;
+  }
+  return sum;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    data.count = h->Count();
+    data.sum = h->Sum();
+    for (size_t i = 0; i <= Histogram::kNumBuckets; ++i) {
+      uint64_t c = h->BucketCount(i);
+      if (c > 0) data.buckets.emplace_back(Histogram::BucketBound(i), c);
+    }
+    snap.histograms.push_back(std::move(data));
+  }
+  return snap;
+}
+
+size_t MetricsRegistry::num_instruments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::FormatText() const {
+  return FormatText(Snapshot());
+}
+
+namespace {
+
+// "fam{k="v"}" + "_sum" -> "fam_sum{k="v"}" (suffix goes before the labels).
+std::string SuffixedName(const std::string& name, const std::string& suffix) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) return name + suffix;
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+// Same, but merging an extra le label into any existing label set.
+std::string BucketName(const std::string& name, const std::string& le) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + "_bucket{le=\"" + le + "\"}";
+  }
+  std::string labels = name.substr(brace + 1, name.size() - brace - 2);
+  return name.substr(0, brace) + "_bucket{" + labels + ",le=\"" + le + "\"}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::FormatText(const MetricsSnapshot& snap) {
+  std::ostringstream out;
+  for (const auto& [name, v] : snap.counters) out << name << " " << v << "\n";
+  for (const auto& [name, v] : snap.gauges) out << name << " " << v << "\n";
+  for (const auto& h : snap.histograms) {
+    // Prometheus histograms are cumulative per bucket.
+    uint64_t cumulative = 0;
+    for (const auto& [le, c] : h.buckets) {
+      cumulative += c;
+      out << BucketName(h.name,
+                        le == UINT64_MAX ? "+Inf" : std::to_string(le))
+          << " " << cumulative << "\n";
+    }
+    out << SuffixedName(h.name, "_sum") << " " << h.sum << "\n";
+    out << SuffixedName(h.name, "_count") << " " << h.count << "\n";
+  }
+  return out.str();
+}
+
+MetricsRegistryRef OrPrivateRegistry(MetricsRegistryRef metrics) {
+  return metrics != nullptr ? std::move(metrics)
+                            : std::make_shared<MetricsRegistry>();
+}
+
+std::string MetricName(const std::string& family, const std::string& label_key,
+                       const std::string& label_value) {
+  if (label_value.empty()) return family;
+  return family + "{" + label_key + "=\"" + label_value + "\"}";
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace tcq

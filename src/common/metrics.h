@@ -1,0 +1,154 @@
+// Unified metrics & introspection layer. Every adaptive component of the
+// Figure-1/Figure-5 stack (eddy routing, SteM state, Fjord queues, the
+// executor's EOs/DUs, egress shedding) registers named instruments with a
+// MetricsRegistry; a cheap Snapshot() gives a consistent-enough point-in-time
+// view and FormatText() renders a Prometheus-style text dump. Adaptivity is
+// the paper's whole premise — this layer is what makes it observable.
+//
+// Design:
+//  * Instruments (Counter, Gauge, Histogram) are lock-free std::atomic on
+//    the hot path; registration (name -> instrument) takes a mutex once.
+//  * Instrument pointers returned by the registry are stable for the
+//    registry's lifetime, so components cache them and never re-look-up.
+//  * Components that are not handed a registry create a private one, so the
+//    same code path runs with and without external observation.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tcq {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void Inc(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth, selectivity permille, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency/size histogram. Bucket i counts observations with
+/// value < 2^i (the last bucket is +inf), covering 1us..~8.4s when values
+/// are microseconds. Observe() is three relaxed atomic adds.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 24;  // 2^0 .. 2^23, then +inf
+
+  void Observe(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of bucket i (inclusive, "le"); UINT64_MAX for the last.
+  static uint64_t BucketBound(size_t i) {
+    return i + 1 >= kNumBuckets + 1 ? UINT64_MAX : (uint64_t{1} << (i + 1)) - 1;
+  }
+
+  static size_t BucketFor(uint64_t value) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      if (value < (uint64_t{1} << (i + 1))) return i;
+    }
+    return kNumBuckets;  // +inf
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets + 1> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Point-in-time copy of every instrument in a registry.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;  // (le, count)
+    /// Smallest bucket bound covering quantile q in [0,1] (crude but
+    /// monotone); 0 when empty.
+    uint64_t ApproxQuantile(double q) const;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramData> histograms;
+
+  /// Lookup helpers (0 / nullptr when absent).
+  uint64_t CounterValue(const std::string& name) const;
+  int64_t GaugeValue(const std::string& name) const;
+  const HistogramData* FindHistogram(const std::string& name) const;
+  /// Sum of every counter whose name starts with `prefix` — aggregates one
+  /// metric family across instance labels.
+  uint64_t CounterFamilySum(const std::string& prefix) const;
+};
+
+/// Thread-safe instrument registry. Get* returns the existing instrument
+/// when the name is already registered, so instances sharing a name share
+/// (aggregate into) one instrument.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus-style text exposition of the current snapshot.
+  std::string FormatText() const;
+  static std::string FormatText(const MetricsSnapshot& snap);
+
+  size_t num_instruments() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+using MetricsRegistryRef = std::shared_ptr<MetricsRegistry>;
+
+/// The registry handed in, or a fresh private one — so components observe
+/// themselves identically whether or not anyone is watching.
+MetricsRegistryRef OrPrivateRegistry(MetricsRegistryRef metrics);
+
+/// "family{key="value"}" (or just "family" when the label is empty).
+std::string MetricName(const std::string& family, const std::string& label_key,
+                       const std::string& label_value);
+
+/// Microseconds on the steady clock, for enqueue->dequeue latencies.
+int64_t NowMicros();
+
+}  // namespace tcq

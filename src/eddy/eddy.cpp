@@ -4,10 +4,22 @@
 
 namespace tcq {
 
-Eddy::Eddy(std::unique_ptr<RoutingPolicy> policy, Options opts)
-    : policy_(std::move(policy)), opts_(opts) {
+Eddy::Eddy(std::unique_ptr<RoutingPolicy> policy, Options opts,
+           MetricsRegistryRef metrics, std::string label)
+    : policy_(std::move(policy)),
+      opts_(opts),
+      metrics_(OrPrivateRegistry(std::move(metrics))),
+      label_(std::move(label)) {
   assert(opts_.batch_size >= 1);
   assert(opts_.fix_len >= 1);
+  routing_decisions_ = metrics_->GetCounter(
+      MetricName("tcq_eddy_routing_decisions_total", "eddy", label_));
+  module_invocations_ = metrics_->GetCounter(
+      MetricName("tcq_eddy_module_invocations_total", "eddy", label_));
+  tuples_ingested_ = metrics_->GetCounter(
+      MetricName("tcq_eddy_tuples_ingested_total", "eddy", label_));
+  tuples_output_ = metrics_->GetCounter(
+      MetricName("tcq_eddy_tuples_output_total", "eddy", label_));
 }
 
 size_t Eddy::AddModule(std::unique_ptr<EddyModule> module) {
@@ -15,6 +27,14 @@ size_t Eddy::AddModule(std::unique_ptr<EddyModule> module) {
   sources_seen_ |= module->contributes();
   modules_.push_back(std::move(module));
   module_stats_.push_back(modules_.back().get());
+  std::string slot_label = label_.empty()
+                               ? modules_.back()->name()
+                               : label_ + "/" + modules_.back()->name();
+  slot_selectivity_permille_.push_back(metrics_->GetGauge(
+      MetricName("tcq_eddy_module_selectivity_permille", "module",
+                 slot_label)));
+  slot_consumed_.push_back(metrics_->GetGauge(
+      MetricName("tcq_eddy_module_consumed", "module", slot_label)));
   policy_->OnModuleCountChanged(modules_.size());
   // Any cached routing decision may be stale once the module set changes.
   decision_cache_.clear();
@@ -24,6 +44,9 @@ size_t Eddy::AddModule(std::unique_ptr<EddyModule> module) {
 void Eddy::AttachSteM(std::shared_ptr<SteM> stem) {
   sources_seen_ |= SourceBit(stem->source());
   stems_.push_back(std::move(stem));
+  // The SteM widens the sources the eddy spans; cached routing decisions
+  // predate it and carry stale completion assumptions.
+  decision_cache_.clear();
 }
 
 SourceSet Eddy::RequiredSources() const {
@@ -31,7 +54,7 @@ SourceSet Eddy::RequiredSources() const {
 }
 
 void Eddy::Ingest(SourceId source, const Tuple& tuple) {
-  ++tuples_ingested_;
+  tuples_ingested_->Inc();
   Timestamp seq = next_seq_++;
   for (auto& stem : stems_) {
     if (stem->source() == source) stem->Build(tuple, seq);
@@ -60,7 +83,7 @@ void Eddy::EmitIfComplete(Envelope&& env) {
   // footprint (a partial join result that can no longer grow is a dead end).
   SourceSet required = RequiredSources();
   if ((required & ~env.tuple.sources()) == 0) {
-    ++tuples_output_;
+    tuples_output_->Inc();
     if (output_) output_(env.tuple);
   }
 }
@@ -92,7 +115,7 @@ void Eddy::Drain() {
       } else {
         order_scratch_.clear();
         policy_->Rank(ready_scratch_, module_stats_, &order_scratch_);
-        ++routing_decisions_;
+        routing_decisions_->Inc();
         assert(!order_scratch_.empty());
         if (cached != nullptr) {
           cached->order = order_scratch_;
@@ -108,11 +131,15 @@ void Eddy::Drain() {
       for (size_t slot : *order) {
         if (applied >= opts_.fix_len) break;
         ++applied;
-        ++module_invocations_;
+        module_invocations_->Inc();
         out_scratch_.clear();
         ModuleAction action = modules_[slot]->Process(env, &out_scratch_);
         modules_[slot]->RecordResult(action, out_scratch_.size());
         policy_->OnResult(slot, action, out_scratch_.size());
+        const RoutableStats* stats = module_stats_[slot];
+        slot_selectivity_permille_[slot]->Set(
+            static_cast<int64_t>(stats->ObservedSelectivity() * 1000.0));
+        slot_consumed_[slot]->Set(static_cast<int64_t>(stats->consumed()));
         switch (action) {
           case ModuleAction::kPass:
             env.done |= (uint32_t{1} << slot);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "eddy/module.h"
 #include "eddy/routing_policy.h"
 #include "stem/stem.h"
@@ -37,7 +38,10 @@ class Eddy {
 
   explicit Eddy(std::unique_ptr<RoutingPolicy> policy)
       : Eddy(std::move(policy), Options()) {}
-  Eddy(std::unique_ptr<RoutingPolicy> policy, Options opts);
+  /// When `metrics` is null the eddy observes itself in a private registry;
+  /// `label` distinguishes instances sharing one registry.
+  Eddy(std::unique_ptr<RoutingPolicy> policy, Options opts,
+       MetricsRegistryRef metrics = nullptr, std::string label = "");
 
   /// Adds a module; returns its slot. At most 32 modules per eddy (done
   /// bits are a 32-bit mask; "each individual Eddy provides a scope for
@@ -52,6 +56,9 @@ class Eddy {
   /// union of sources contributed by modules and attached SteMs.
   void SetRequiredSources(SourceSet required) {
     required_override_ = required;
+    // Cached routing decisions were taken under the old completion
+    // assumptions; force fresh decisions.
+    decision_cache_.clear();
   }
 
   /// Receives completed tuples.
@@ -69,11 +76,12 @@ class Eddy {
   EddyModule* module(size_t slot) { return modules_[slot].get(); }
   size_t num_modules() const { return modules_.size(); }
 
-  // --- Statistics -----------------------------------------------------------
-  uint64_t routing_decisions() const { return routing_decisions_; }
-  uint64_t module_invocations() const { return module_invocations_; }
-  uint64_t tuples_ingested() const { return tuples_ingested_; }
-  uint64_t tuples_output() const { return tuples_output_; }
+  // --- Statistics (thin reads over the metrics registry) --------------------
+  uint64_t routing_decisions() const { return routing_decisions_->Value(); }
+  uint64_t module_invocations() const { return module_invocations_->Value(); }
+  uint64_t tuples_ingested() const { return tuples_ingested_->Value(); }
+  uint64_t tuples_output() const { return tuples_output_->Value(); }
+  const MetricsRegistryRef& metrics() const { return metrics_; }
 
  private:
   SourceSet RequiredSources() const;
@@ -109,10 +117,15 @@ class Eddy {
   std::vector<size_t> order_scratch_;
   std::vector<Envelope> out_scratch_;
 
-  uint64_t routing_decisions_ = 0;
-  uint64_t module_invocations_ = 0;
-  uint64_t tuples_ingested_ = 0;
-  uint64_t tuples_output_ = 0;
+  MetricsRegistryRef metrics_;
+  std::string label_;
+  Counter* routing_decisions_;
+  Counter* module_invocations_;
+  Counter* tuples_ingested_;
+  Counter* tuples_output_;
+  // Parallel to modules_: per-slot observed selectivity/cost gauges.
+  std::vector<Gauge*> slot_selectivity_permille_;
+  std::vector<Gauge*> slot_consumed_;
 };
 
 }  // namespace tcq

@@ -16,17 +16,35 @@ const char* ShedPolicyName(ShedPolicy p) {
   return "?";
 }
 
+PushEgress::PushEgress(Options opts, MetricsRegistryRef metrics,
+                       std::string label)
+    : opts_(opts), metrics_(OrPrivateRegistry(std::move(metrics))) {
+  delivered_ = metrics_->GetCounter(
+      MetricName("tcq_egress_delivered_total", "client", label));
+  // Shed counts carry the policy so a dashboard can tell intentional
+  // drop-oldest QoS from back-pressure starvation at a glance.
+  std::string shed_name =
+      label.empty()
+          ? MetricName("tcq_egress_shed_total", "policy",
+                       ShedPolicyName(opts_.shed))
+          : "tcq_egress_shed_total{client=\"" + label + "\",policy=\"" +
+                ShedPolicyName(opts_.shed) + "\"}";
+  shed_ = metrics_->GetCounter(shed_name);
+  buffered_gauge_ = metrics_->GetGauge(
+      MetricName("tcq_egress_buffered", "client", label));
+}
+
 bool PushEgress::Offer(const Delivery& delivery) {
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_) return false;
   if (queue_.size() >= opts_.capacity) {
     switch (opts_.shed) {
       case ShedPolicy::kDropNewest:
-        ++shed_;
+        shed_->Inc();
         return false;
       case ShedPolicy::kDropOldest:
         queue_.pop_front();
-        ++shed_;
+        shed_->Inc();
         break;
       case ShedPolicy::kBlock:
         cv_.wait(lock,
@@ -36,7 +54,8 @@ bool PushEgress::Offer(const Delivery& delivery) {
     }
   }
   queue_.push_back(delivery);
-  ++delivered_;
+  delivered_->Inc();
+  buffered_gauge_->Set(static_cast<int64_t>(queue_.size()));
   cv_.notify_all();
   return true;
 }
@@ -46,6 +65,7 @@ bool PushEgress::Poll(Delivery* out) {
   if (queue_.empty()) return false;
   *out = std::move(queue_.front());
   queue_.pop_front();
+  buffered_gauge_->Set(static_cast<int64_t>(queue_.size()));
   cv_.notify_all();
   return true;
 }
@@ -56,6 +76,7 @@ bool PushEgress::Receive(Delivery* out) {
   if (queue_.empty()) return false;
   *out = std::move(queue_.front());
   queue_.pop_front();
+  buffered_gauge_->Set(static_cast<int64_t>(queue_.size()));
   cv_.notify_all();
   return true;
 }
@@ -66,15 +87,9 @@ void PushEgress::Close() {
   cv_.notify_all();
 }
 
-uint64_t PushEgress::delivered() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return delivered_;
-}
+uint64_t PushEgress::delivered() const { return delivered_->Value(); }
 
-uint64_t PushEgress::shed() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return shed_;
-}
+uint64_t PushEgress::shed() const { return shed_->Value(); }
 
 size_t PushEgress::buffered() const {
   std::lock_guard<std::mutex> lock(mu_);

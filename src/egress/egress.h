@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "tuple/tuple.h"
 
@@ -43,8 +44,12 @@ class PushEgress {
     ShedPolicy shed = ShedPolicy::kDropOldest;
   };
 
+  /// When `metrics` is null the egress observes itself in a private
+  /// registry; `label` distinguishes clients sharing one registry. Shed
+  /// counts are labeled by policy (tcq_egress_shed_total{policy="..."}).
   PushEgress() : PushEgress(Options()) {}
-  explicit PushEgress(Options opts) : opts_(opts) {}
+  explicit PushEgress(Options opts, MetricsRegistryRef metrics = nullptr,
+                      std::string label = "");
 
   /// Engine side. Returns false if the delivery was shed.
   bool Offer(const Delivery& delivery);
@@ -60,6 +65,7 @@ class PushEgress {
   uint64_t delivered() const;
   uint64_t shed() const;
   size_t buffered() const;
+  const MetricsRegistryRef& metrics() const { return metrics_; }
 
  private:
   Options opts_;
@@ -67,8 +73,10 @@ class PushEgress {
   std::condition_variable cv_;
   std::deque<Delivery> queue_;
   bool closed_ = false;
-  uint64_t delivered_ = 0;
-  uint64_t shed_ = 0;
+  MetricsRegistryRef metrics_;
+  Counter* delivered_;
+  Counter* shed_;
+  Gauge* buffered_gauge_;
 };
 
 /// Pull egress: logs results per query so intermittently connected clients

@@ -5,15 +5,29 @@
 namespace tcq {
 
 ExecutionObject::ExecutionObject(std::string name,
-                                 std::unique_ptr<Scheduler> scheduler)
-    : name_(std::move(name)), scheduler_(std::move(scheduler)) {}
+                                 std::unique_ptr<Scheduler> scheduler,
+                                 MetricsRegistryRef metrics)
+    : name_(std::move(name)),
+      scheduler_(std::move(scheduler)),
+      metrics_(OrPrivateRegistry(std::move(metrics))) {
+  quanta_ = metrics_->GetCounter(MetricName("tcq_eo_quanta_total", "eo",
+                                            name_));
+  idle_backoffs_ = metrics_->GetCounter(
+      MetricName("tcq_eo_idle_backoffs_total", "eo", name_));
+  num_dus_gauge_ = metrics_->GetGauge(MetricName("tcq_eo_dus", "eo", name_));
+}
 
 ExecutionObject::~ExecutionObject() { Stop(); }
 
 void ExecutionObject::AddDispatchUnit(std::shared_ptr<DispatchUnit> du) {
   std::lock_guard<std::mutex> lock(mu_);
+  du_quanta_.push_back(metrics_->GetCounter(
+      MetricName("tcq_du_quanta_total", "du", du->name())));
+  du_progress_.push_back(metrics_->GetCounter(
+      MetricName("tcq_du_progress_total", "du", du->name())));
   dus_.push_back(std::move(du));
   infos_.push_back(DuSchedInfo{});
+  num_dus_gauge_->Set(static_cast<int64_t>(dus_.size()));
 }
 
 size_t ExecutionObject::num_dus() const {
@@ -46,7 +60,7 @@ void ExecutionObject::Run() {
       break;  // every DU is done
     }
     DispatchUnit::StepResult result = du->Step();
-    quanta_.fetch_add(1, std::memory_order_relaxed);
+    quanta_->Inc();
     {
       std::lock_guard<std::mutex> lock(mu_);
       DuSchedInfo& info = infos_[pick];
@@ -54,12 +68,17 @@ void ExecutionObject::Run() {
           result == DispatchUnit::StepResult::kProgress ? 1.0 : 0.0;
       info.recent_progress = 0.8 * info.recent_progress + 0.2 * progressed;
       if (result == DispatchUnit::StepResult::kDone) info.done = true;
+      du_quanta_[pick]->Inc();
+      if (result == DispatchUnit::StepResult::kProgress) {
+        du_progress_[pick]->Inc();
+      }
     }
     if (result == DispatchUnit::StepResult::kProgress) {
       idle_streak = 0;
     } else if (++idle_streak > static_cast<int>(num_dus())) {
       // Everything idled this round: yield rather than burn the core
       // (non-blocking dequeues let us do this — the Fjords design point).
+      idle_backoffs_->Inc();
       std::this_thread::sleep_for(std::chrono::microseconds(200));
       idle_streak = 0;
     }

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "exec/dispatch_unit.h"
 #include "exec/scheduler.h"
 
@@ -20,7 +21,11 @@ namespace tcq {
 
 class ExecutionObject {
  public:
-  ExecutionObject(std::string name, std::unique_ptr<Scheduler> scheduler);
+  /// When `metrics` is null the EO observes itself in a private registry;
+  /// instruments are labeled with the EO's name (and per-DU counters with
+  /// each DU's name).
+  ExecutionObject(std::string name, std::unique_ptr<Scheduler> scheduler,
+                  MetricsRegistryRef metrics = nullptr);
   ~ExecutionObject();
 
   const std::string& name() const { return name_; }
@@ -35,7 +40,7 @@ class ExecutionObject {
   void Join();
 
   bool running() const { return running_.load(); }
-  uint64_t quanta_run() const { return quanta_.load(); }
+  uint64_t quanta_run() const { return quanta_->Value(); }
   size_t num_dus() const;
 
  private:
@@ -49,7 +54,14 @@ class ExecutionObject {
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};
-  std::atomic<uint64_t> quanta_{0};
+
+  MetricsRegistryRef metrics_;
+  Counter* quanta_;
+  Counter* idle_backoffs_;
+  Gauge* num_dus_gauge_;
+  // Parallel to dus_: per-DU quanta/progress counters (scheduler picks).
+  std::vector<Counter*> du_quanta_;
+  std::vector<Counter*> du_progress_;
 };
 
 }  // namespace tcq

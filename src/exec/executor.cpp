@@ -38,13 +38,16 @@ struct AdmissionGate {
 
 }  // namespace
 
-Executor::Executor(Options opts) : opts_(opts) {
+Executor::Executor(Options opts, MetricsRegistryRef metrics)
+    : opts_(opts), metrics_(OrPrivateRegistry(std::move(metrics))) {
+  dropped_unrouted_ =
+      metrics_->GetCounter("tcq_executor_tuples_dropped_unrouted_total");
   for (size_t i = 0; i < opts_.num_eos; ++i) {
     auto sched = opts_.ticket_scheduler
                      ? MakeTicketScheduler(opts_.seed + i)
                      : MakeRoundRobinScheduler();
     eos_.push_back(std::make_unique<ExecutionObject>(
-        "eo" + std::to_string(i), std::move(sched)));
+        "eo" + std::to_string(i), std::move(sched), metrics_));
   }
 }
 
@@ -80,7 +83,8 @@ Result<size_t> Executor::ClassFor(SourceSet footprint) {
   if (touching.empty()) {
     // New class with its own shared eddy and DU.
     auto eddy = std::make_unique<SharedEddy>(
-        MakeLotteryPolicy(opts_.seed + classes_.size()));
+        MakeLotteryPolicy(opts_.seed + classes_.size()), metrics_,
+        "class" + std::to_string(classes_.size()));
     auto du = std::make_shared<SharedCQDispatchUnit>(
         "class" + std::to_string(classes_.size()), std::move(eddy),
         SharedCQDispatchUnit::Options{opts_.quantum});
@@ -108,7 +112,7 @@ Result<size_t> Executor::ClassFor(SourceSet footprint) {
           " is already owned by another query class");
     }
     auto endpoints = Fjord::Make(FjordMode::kPush, opts_.queue_capacity,
-                                 "exec:s" + std::to_string(s));
+                                 "exec:s" + std::to_string(s), metrics_.get());
     info.producer = std::make_unique<FjordProducer>(endpoints.producer);
     info.owner_class = class_idx;
     SchemaRef schema = info.schema;
@@ -198,7 +202,7 @@ Status Executor::IngestTuple(SourceId source, const Tuple& tuple) {
   }
   if (producer == nullptr) {
     // No query class consumes this stream yet.
-    dropped_unrouted_.fetch_add(1, std::memory_order_relaxed);
+    dropped_unrouted_->Inc();
     return Status::OK();
   }
   for (int attempt = 0; attempt < 200; ++attempt) {
@@ -210,7 +214,7 @@ Status Executor::IngestTuple(SourceId source, const Tuple& tuple) {
     }
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
-  dropped_unrouted_.fetch_add(1, std::memory_order_relaxed);
+  dropped_unrouted_->Inc();
   return Status::ResourceExhausted("stream s" + std::to_string(source) +
                                    " back-pressured; tuple dropped");
 }

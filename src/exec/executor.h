@@ -15,6 +15,7 @@
 #include <memory>
 #include <mutex>
 
+#include "common/metrics.h"
 #include "exec/dispatch_unit.h"
 #include "exec/execution_object.h"
 #include "fjords/fjord.h"
@@ -38,8 +39,11 @@ class Executor {
   /// Receives (global id, result tuple) deliveries; called from EO threads.
   using Sink = std::function<void(GlobalQueryId, const Tuple&)>;
 
+  /// When `metrics` is null the executor observes itself (and everything it
+  /// creates: EOs, query classes' shared eddies and SteMs, stream fjords) in
+  /// a private registry.
   Executor() : Executor(Options()) {}
-  explicit Executor(Options opts);
+  explicit Executor(Options opts, MetricsRegistryRef metrics = nullptr);
   ~Executor();
 
   /// Declares a stream the executor may route. `stem_opts` configures the
@@ -66,7 +70,10 @@ class Executor {
 
   size_t num_classes() const;
   size_t num_eos() const { return eos_.size(); }
-  uint64_t tuples_dropped_unrouted() const { return dropped_unrouted_; }
+  uint64_t tuples_dropped_unrouted() const {
+    return dropped_unrouted_->Value();
+  }
+  const MetricsRegistryRef& metrics() const { return metrics_; }
 
  private:
   struct StreamInfo {
@@ -98,7 +105,8 @@ class Executor {
   std::map<GlobalQueryId, QueryInfo> queries_;
   GlobalQueryId next_query_id_ = 1;
   std::vector<std::unique_ptr<ExecutionObject>> eos_;
-  std::atomic<uint64_t> dropped_unrouted_{0};
+  MetricsRegistryRef metrics_;
+  Counter* dropped_unrouted_;
   bool started_ = false;
 };
 

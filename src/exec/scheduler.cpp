@@ -6,7 +6,9 @@ size_t RoundRobinScheduler::PickNext(const std::vector<DuSchedInfo>& dus) {
   for (size_t i = 0; i < dus.size(); ++i) {
     size_t cand = (next_ + i) % dus.size();
     if (!dus[cand].done) {
-      next_ = cand + 1;
+      // Store the cursor already wrapped so it stays a valid index even if
+      // the DU set grows between calls.
+      next_ = (cand + 1) % dus.size();
       return cand;
     }
   }

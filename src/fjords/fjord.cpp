@@ -15,8 +15,11 @@ const char* FjordModeName(FjordMode mode) {
 }
 
 Fjord::Endpoints Fjord::Make(FjordMode mode, size_t capacity,
-                             std::string name) {
+                             std::string name, MetricsRegistry* metrics) {
   auto fjord = std::make_shared<Fjord>(mode, capacity, std::move(name));
+  if (metrics != nullptr) {
+    fjord->queue().SetMetrics(QueueMetrics::For(metrics, fjord->name()));
+  }
   return Endpoints{FjordProducer(fjord), FjordConsumer(fjord), fjord};
 }
 

@@ -72,8 +72,12 @@ class Fjord : public std::enable_shared_from_this<Fjord> {
     std::shared_ptr<Fjord> fjord;
   };
 
+  /// When `metrics` is non-null the fjord's queue exports depth, blocked-op
+  /// counters, dropped-on-close, and enqueue->dequeue latency instruments
+  /// named tcq_queue_*{queue="<name>"}.
   static Endpoints Make(FjordMode mode, size_t capacity,
-                        std::string name = "fjord");
+                        std::string name = "fjord",
+                        MetricsRegistry* metrics = nullptr);
 
   FjordMode mode() const { return mode_; }
   const std::string& name() const { return name_; }

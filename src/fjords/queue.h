@@ -11,7 +11,9 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
 
+#include "common/metrics.h"
 #include "tuple/tuple.h"
 
 namespace tcq {
@@ -23,33 +25,80 @@ enum class QueueOp {
   kClosed,    ///< Producer closed the queue and it has drained.
 };
 
+/// Registry instruments a BoundedQueue exports into (all optional). The
+/// queue's own counters stay authoritative for per-instance accessors; these
+/// mirror them into a shared registry for Introspect()/FormatText().
+struct QueueMetrics {
+  Gauge* depth = nullptr;
+  Counter* enqueued = nullptr;
+  Counter* enqueue_blocked = nullptr;
+  Counter* dequeue_blocked = nullptr;
+  Counter* dropped_on_close = nullptr;
+  /// Enqueue->dequeue residence time, microseconds.
+  Histogram* wait_us = nullptr;
+
+  /// Instruments named tcq_queue_*{queue="<name>"}.
+  static QueueMetrics For(MetricsRegistry* registry, const std::string& name) {
+    QueueMetrics m;
+    if (registry == nullptr) return m;
+    m.depth = registry->GetGauge(MetricName("tcq_queue_depth", "queue", name));
+    m.enqueued = registry->GetCounter(
+        MetricName("tcq_queue_enqueued_total", "queue", name));
+    m.enqueue_blocked = registry->GetCounter(
+        MetricName("tcq_queue_enqueue_blocked_total", "queue", name));
+    m.dequeue_blocked = registry->GetCounter(
+        MetricName("tcq_queue_dequeue_blocked_total", "queue", name));
+    m.dropped_on_close = registry->GetCounter(
+        MetricName("tcq_queue_dropped_on_close_total", "queue", name));
+    m.wait_us = registry->GetHistogram(
+        MetricName("tcq_queue_wait_us", "queue", name));
+    return m;
+  }
+};
+
 /// A bounded MPMC queue. All operations are thread-safe.
 template <typename T>
 class BoundedQueue {
  public:
   explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
 
+  /// Attaches registry instruments. Call before concurrent use.
+  void SetMetrics(const QueueMetrics& metrics) {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = metrics;
+  }
+
   /// Non-blocking enqueue: fails with kWouldBlock when full, kClosed after
-  /// Close().
+  /// Close(). On kClosed the item is destroyed; the loss is counted in
+  /// dropped_on_close_count().
   QueueOp TryEnqueue(T item) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_) return QueueOp::kClosed;
+    if (closed_) {
+      CountDroppedOnClose();
+      return QueueOp::kClosed;
+    }
     if (items_.size() >= capacity_) {
       ++enqueue_blocked_;
+      if (metrics_.enqueue_blocked != nullptr) metrics_.enqueue_blocked->Inc();
       return QueueOp::kWouldBlock;
     }
-    items_.push_back(std::move(item));
+    PushLocked(std::move(item));
     not_empty_.notify_one();
     return QueueOp::kOk;
   }
 
-  /// Blocking enqueue; returns false if the queue was closed.
+  /// Blocking enqueue; returns false if the queue was closed. A false
+  /// return means the in-flight item was destroyed — the loss is counted in
+  /// dropped_on_close_count() so callers (and the metrics layer) can see it.
   bool EnqueueBlocking(T item) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
                    [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
+    if (closed_) {
+      CountDroppedOnClose();
+      return false;
+    }
+    PushLocked(std::move(item));
     not_empty_.notify_one();
     return true;
   }
@@ -60,10 +109,10 @@ class BoundedQueue {
     if (items_.empty()) {
       if (closed_) return QueueOp::kClosed;
       ++dequeue_blocked_;
+      if (metrics_.dequeue_blocked != nullptr) metrics_.dequeue_blocked->Inc();
       return QueueOp::kWouldBlock;
     }
-    *out = std::move(items_.front());
-    items_.pop_front();
+    PopLocked(out);
     not_full_.notify_one();
     return QueueOp::kOk;
   }
@@ -73,8 +122,7 @@ class BoundedQueue {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;
-    *out = std::move(items_.front());
-    items_.pop_front();
+    PopLocked(out);
     not_full_.notify_one();
     return true;
   }
@@ -114,16 +162,52 @@ class BoundedQueue {
     std::lock_guard<std::mutex> lock(mu_);
     return dequeue_blocked_;
   }
+  /// Items destroyed because they were offered to a closed queue.
+  uint64_t dropped_on_close_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_on_close_;
+  }
 
  private:
+  struct Slot {
+    T item;
+    int64_t enq_us;
+  };
+
+  void PushLocked(T item) {
+    int64_t now = metrics_.wait_us != nullptr ? NowMicros() : 0;
+    items_.push_back(Slot{std::move(item), now});
+    if (metrics_.depth != nullptr) metrics_.depth->Add(1);
+    if (metrics_.enqueued != nullptr) metrics_.enqueued->Inc();
+  }
+
+  void PopLocked(T* out) {
+    Slot& front = items_.front();
+    *out = std::move(front.item);
+    if (metrics_.wait_us != nullptr) {
+      int64_t waited = NowMicros() - front.enq_us;
+      metrics_.wait_us->Observe(waited > 0 ? static_cast<uint64_t>(waited)
+                                           : 0);
+    }
+    items_.pop_front();
+    if (metrics_.depth != nullptr) metrics_.depth->Add(-1);
+  }
+
+  void CountDroppedOnClose() {
+    ++dropped_on_close_;
+    if (metrics_.dropped_on_close != nullptr) metrics_.dropped_on_close->Inc();
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<T> items_;
+  std::deque<Slot> items_;
   bool closed_ = false;
   uint64_t enqueue_blocked_ = 0;
   uint64_t dequeue_blocked_ = 0;
+  uint64_t dropped_on_close_ = 0;
+  QueueMetrics metrics_;
 };
 
 using TupleQueue = BoundedQueue<Tuple>;

@@ -4,13 +4,21 @@
 
 namespace tcq {
 
+Wrapper::Wrapper(Options opts, MetricsRegistryRef metrics)
+    : opts_(opts), metrics_(OrPrivateRegistry(std::move(metrics))) {
+  forwarded_ = metrics_->GetCounter("tcq_wrapper_tuples_forwarded_total");
+  dropped_ = metrics_->GetCounter("tcq_wrapper_tuples_dropped_total");
+  lost_on_close_ =
+      metrics_->GetCounter("tcq_wrapper_tuples_lost_on_close_total");
+}
+
 Wrapper::~Wrapper() { Stop(); }
 
 FjordConsumer Wrapper::HostPullSource(
     std::unique_ptr<StreamSource> source,
     std::unique_ptr<ArrivalProcess> arrivals) {
   auto endpoints = Fjord::Make(FjordMode::kPush, opts_.queue_capacity,
-                               "streamer:" + source->name());
+                               "streamer:" + source->name(), metrics_.get());
   auto task = std::make_unique<PullTask>();
   task->source = std::move(source);
   task->arrivals = std::move(arrivals);
@@ -21,8 +29,8 @@ FjordConsumer Wrapper::HostPullSource(
 
 std::pair<FjordProducer, FjordConsumer> Wrapper::HostPushSource(
     const std::string& name) {
-  auto endpoints =
-      Fjord::Make(FjordMode::kPush, opts_.queue_capacity, "streamer:" + name);
+  auto endpoints = Fjord::Make(FjordMode::kPush, opts_.queue_capacity,
+                               "streamer:" + name, metrics_.get());
   return {endpoints.producer, endpoints.consumer};
 }
 
@@ -47,13 +55,18 @@ void Wrapper::RunPullTask(PullTask* task) {
     while (!stop_.load(std::memory_order_relaxed)) {
       QueueOp op = task->producer->Produce(tuple);
       if (op == QueueOp::kOk) {
-        forwarded_.fetch_add(1, std::memory_order_relaxed);
+        forwarded_->Inc();
         break;
       }
-      if (op == QueueOp::kClosed) return;
+      if (op == QueueOp::kClosed) {
+        // The consumer closed the streamer under us: the tuple in hand is
+        // lost. Count it — silent data loss is a bug magnet.
+        lost_on_close_->Inc();
+        return;
+      }
       // Queue full: non-blocking semantics let us choose a policy.
       if (opts_.drop_on_full) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
+        dropped_->Inc();
         break;
       }
       std::this_thread::sleep_for(std::chrono::microseconds(50));

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "fjords/fjord.h"
 #include "ingress/rate.h"
@@ -31,8 +32,10 @@ class Wrapper {
     bool drop_on_full = false;
   };
 
+  /// When `metrics` is null the wrapper observes itself (and its streamer
+  /// queues) in a private registry.
   Wrapper() : Wrapper(Options()) {}
-  explicit Wrapper(Options opts) : opts_(opts) {}
+  explicit Wrapper(Options opts, MetricsRegistryRef metrics = nullptr);
   ~Wrapper();
 
   /// Hosts a pull source: a wrapper thread drives `source->Next()` paced by
@@ -54,8 +57,12 @@ class Wrapper {
   /// Stops all threads and closes all streamers.
   void Stop();
 
-  uint64_t tuples_forwarded() const { return forwarded_.load(); }
-  uint64_t tuples_dropped() const { return dropped_.load(); }
+  uint64_t tuples_forwarded() const { return forwarded_->Value(); }
+  uint64_t tuples_dropped() const { return dropped_->Value(); }
+  /// Tuples a source produced after its streamer was closed downstream
+  /// (e.g. Stop() raced an in-flight Produce). Lost, but accounted for.
+  uint64_t tuples_lost_on_close() const { return lost_on_close_->Value(); }
+  const MetricsRegistryRef& metrics() const { return metrics_; }
 
  private:
   struct PullTask {
@@ -71,8 +78,10 @@ class Wrapper {
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};
-  std::atomic<uint64_t> forwarded_{0};
-  std::atomic<uint64_t> dropped_{0};
+  MetricsRegistryRef metrics_;
+  Counter* forwarded_;
+  Counter* dropped_;
+  Counter* lost_on_close_;
 };
 
 }  // namespace tcq

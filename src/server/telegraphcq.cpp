@@ -1,5 +1,6 @@
 #include "server/telegraphcq.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace tcq {
@@ -8,7 +9,30 @@ namespace tcq {
 
 void WindowResultBuffer::Push(WindowResult result) {
   std::lock_guard<std::mutex> lock(mu_);
+  ++fired_;
+  tuples_ += result.tuples.size();
+  if (fired_counter_ != nullptr) fired_counter_->Inc();
+  if (tuples_counter_ != nullptr) {
+    tuples_counter_->Inc(result.tuples.size());
+  }
   results_.push_back(std::move(result));
+}
+
+void WindowResultBuffer::AttachMetrics(Counter* windows_fired,
+                                       Counter* tuples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fired_counter_ = windows_fired;
+  tuples_counter_ = tuples;
+}
+
+uint64_t WindowResultBuffer::windows_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+uint64_t WindowResultBuffer::tuples_out() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tuples_;
 }
 
 bool WindowResultBuffer::Poll(WindowResult* out) {
@@ -36,12 +60,15 @@ size_t WindowResultBuffer::pending() const {
 
 // --- TelegraphCQ ---------------------------------------------------------------
 
-TelegraphCQ::TelegraphCQ(Options opts)
+TelegraphCQ::TelegraphCQ(Options opts, MetricsRegistryRef metrics)
     : opts_(opts),
-      executor_(opts.executor),
-      wrapper_(opts.wrapper),
+      metrics_(OrPrivateRegistry(std::move(metrics))),
+      executor_(opts.executor, metrics_),
+      wrapper_(opts.wrapper, metrics_),
       spool_pool_(BufferPool::Options{opts.spool_buffer_pages,
-                                      ReplacementPolicy::kLru}) {}
+                                      ReplacementPolicy::kLru}) {
+  ingested_ = metrics_->GetCounter("tcq_server_tuples_ingested_total");
+}
 
 TelegraphCQ::~TelegraphCQ() { Stop(); }
 
@@ -54,6 +81,8 @@ Result<SourceId> TelegraphCQ::DefineStream(const std::string& name,
   stream.name = name;
   stream.canonical = source;
   stream.schema = entry.schema;
+  stream.ingested = metrics_->GetCounter(
+      MetricName("tcq_server_stream_ingested_total", "stream", name));
   if (!opts_.spool_dir.empty()) {
     TCQ_ASSIGN_OR_RETURN(
         stream.spool,
@@ -83,7 +112,8 @@ Status TelegraphCQ::AttachSource(const std::string& stream_name,
 }
 
 void TelegraphCQ::Route(PhysicalStream* stream, const Tuple& tuple) {
-  ingested_.fetch_add(1, std::memory_order_relaxed);
+  ingested_->Inc();
+  stream->ingested->Inc();
   if (stream->spool != nullptr) (void)stream->spool->Append(tuple);
   for (const Subscription& sub : stream->subs) {
     if (sub.logical == stream->canonical &&
@@ -171,6 +201,12 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
   if (plan.window_loop.has_value()) {
     // Windowed query: its own DU fed by dedicated fjords.
     auto buffer = std::make_shared<WindowResultBuffer>();
+    std::string qlabel = "q" + std::to_string(next_window_query_id_);
+    buffer->AttachMetrics(
+        metrics_->GetCounter(
+            MetricName("tcq_window_fired_total", "query", qlabel)),
+        metrics_->GetCounter(
+            MetricName("tcq_window_tuples_total", "query", qlabel)));
     auto projection = plan.projection;
     WindowedQuery wq;
     wq.loop = *plan.window_loop;
@@ -192,7 +228,7 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
         });
     for (const auto& [alias, entry] : bindings) {
       auto endpoints = Fjord::Make(FjordMode::kPush, opts_.egress_capacity,
-                                   "win:" + alias);
+                                   "win:" + alias, metrics_.get());
       du->AddInput(entry.source, endpoints.consumer);
       PhysicalStream& stream = streams_[entry.name];
       Subscription sub;
@@ -209,13 +245,24 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
     // Host the windowed DU on its own EO so it cannot starve classes.
     auto eo = std::make_unique<ExecutionObject>(
         "win-eo" + std::to_string(window_eos_.size()),
-        MakeRoundRobinScheduler());
+        MakeRoundRobinScheduler(), metrics_);
     eo->AddDispatchUnit(du);
     if (started_) eo->Start();
     window_dus_.push_back(du);
     window_eos_.push_back(std::move(eo));
     handle.id = next_window_query_id_++;
     handle.windows = buffer;
+    ClientInfo& client = clients_[handle.id];
+    client.windowed = true;
+    client.windows = buffer;
+    for (const auto& [alias, entry] : bindings) {
+      // Self-joins bind one physical stream under several aliases; count it
+      // once per query.
+      if (std::find(client.streams.begin(), client.streams.end(),
+                    entry.name) == client.streams.end()) {
+        client.streams.push_back(entry.name);
+      }
+    }
     return handle;
   }
 
@@ -224,7 +271,8 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
     TCQ_RETURN_IF_ERROR(SubscribeContinuous(entry.name, entry));
   }
   auto egress = std::make_shared<PushEgress>(
-      PushEgress::Options{opts_.egress_capacity, opts_.egress_shed});
+      PushEgress::Options{opts_.egress_capacity, opts_.egress_shed}, metrics_,
+      "client" + std::to_string(next_client_label_++));
   auto projection = plan.projection;
   Executor::Sink sink = [egress, projection](GlobalQueryId id,
                                              const Tuple& t) {
@@ -240,6 +288,17 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
                        executor_.SubmitQuery(plan.spec, std::move(sink)));
   handle.id = id;
   handle.results = egress;
+  {
+    std::lock_guard<std::mutex> relock(mu_);
+    ClientInfo& client = clients_[id];
+    client.egress = egress;
+    for (const auto& [alias, entry] : bindings) {
+      if (std::find(client.streams.begin(), client.streams.end(),
+                    entry.name) == client.streams.end()) {
+        client.streams.push_back(entry.name);
+      }
+    }
+  }
   return handle;
 }
 
@@ -262,7 +321,37 @@ Result<std::vector<Tuple>> TelegraphCQ::ScanHistory(const std::string& name,
 }
 
 Status TelegraphCQ::Cancel(GlobalQueryId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    clients_.erase(id);
+  }
   return executor_.RemoveQuery(id);
+}
+
+TelegraphCQ::Introspection TelegraphCQ::Introspect() const {
+  Introspection out;
+  out.metrics = metrics_->Snapshot();
+  out.tuples_ingested = ingested_->Value();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, client] : clients_) {
+    QueryStats qs;
+    qs.id = id;
+    qs.windowed = client.windowed;
+    for (const std::string& name : client.streams) {
+      auto it = streams_.find(name);
+      if (it != streams_.end()) qs.tuples_in += it->second.ingested->Value();
+    }
+    if (client.egress != nullptr) {
+      qs.tuples_out = client.egress->delivered();
+      qs.shed = client.egress->shed();
+    }
+    if (client.windows != nullptr) {
+      qs.windows_fired = client.windows->windows_fired();
+      qs.tuples_out = client.windows->tuples_out();
+    }
+    out.queries.push_back(qs);
+  }
+  return out;
 }
 
 void TelegraphCQ::Start() {

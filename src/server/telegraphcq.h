@@ -33,10 +33,20 @@ class WindowResultBuffer {
   void MarkFinished();
   size_t pending() const;
 
+  /// Optionally mirrors fired-window / result-tuple counts into registry
+  /// instruments (call before the first Push).
+  void AttachMetrics(Counter* windows_fired, Counter* tuples);
+  uint64_t windows_fired() const;
+  uint64_t tuples_out() const;
+
  private:
   mutable std::mutex mu_;
   std::deque<WindowResult> results_;
   bool finished_ = false;
+  uint64_t fired_ = 0;
+  uint64_t tuples_ = 0;
+  Counter* fired_counter_ = nullptr;
+  Counter* tuples_counter_ = nullptr;
 };
 
 class TelegraphCQ {
@@ -62,8 +72,33 @@ class TelegraphCQ {
     std::shared_ptr<WindowResultBuffer> windows;
   };
 
+  /// Per-query view computed by Introspect().
+  struct QueryStats {
+    GlobalQueryId id = 0;
+    bool windowed = false;
+    /// Tuples ingested on the physical streams the query reads (an upper
+    /// bound on what the query saw; shared streams count once per query).
+    uint64_t tuples_in = 0;
+    /// Results delivered to the client (continuous: egress deliveries;
+    /// windowed: tuples across fired windows).
+    uint64_t tuples_out = 0;
+    uint64_t windows_fired = 0;  ///< windowed queries only
+    uint64_t shed = 0;           ///< continuous queries only
+  };
+
+  /// One-stop introspection: the full metrics snapshot plus per-query
+  /// stats derived from it and from the client handles.
+  struct Introspection {
+    MetricsSnapshot metrics;
+    uint64_t tuples_ingested = 0;
+    std::vector<QueryStats> queries;
+  };
+
+  /// When `metrics` is null the server creates a private registry; every
+  /// component it wires (wrapper, executor, EOs, eddies, SteMs, fjord
+  /// queues, egress) reports into it, so Introspect() sees the whole engine.
   TelegraphCQ() : TelegraphCQ(Options()) {}
-  explicit TelegraphCQ(Options opts);
+  explicit TelegraphCQ(Options opts, MetricsRegistryRef metrics = nullptr);
   ~TelegraphCQ();
 
   /// Defines a stream in the catalog and the executor.
@@ -101,7 +136,12 @@ class TelegraphCQ {
 
   const Catalog& catalog() const { return catalog_; }
   Executor& executor() { return executor_; }
-  uint64_t tuples_ingested() const { return ingested_.load(); }
+  uint64_t tuples_ingested() const { return ingested_->Value(); }
+  const MetricsRegistryRef& metrics() const { return metrics_; }
+
+  /// Snapshots every instrument in the registry and derives per-query
+  /// stats. Cheap enough to poll (one pass over the instrument map).
+  Introspection Introspect() const;
 
  private:
   struct Subscription {
@@ -117,6 +157,14 @@ class TelegraphCQ {
     std::vector<FjordConsumer> wrapper_feeds;
     std::unique_ptr<StreamStore> spool;
     bool closed = false;
+    Counter* ingested = nullptr;
+  };
+  /// What Introspect() needs to remember about a submitted query.
+  struct ClientInfo {
+    bool windowed = false;
+    std::vector<std::string> streams;  // physical stream names it reads
+    std::shared_ptr<PushEgress> egress;
+    std::shared_ptr<WindowResultBuffer> windows;
   };
 
   /// Routes one physical tuple to every logical subscription.
@@ -127,19 +175,23 @@ class TelegraphCQ {
   void PumpLoop();
 
   Options opts_;
+  // Declared before executor_/wrapper_: they receive it at construction.
+  MetricsRegistryRef metrics_;
   Catalog catalog_;
   Executor executor_;
   Wrapper wrapper_;
   BufferPool spool_pool_;
   mutable std::mutex mu_;
   std::map<std::string, PhysicalStream> streams_;
+  std::map<GlobalQueryId, ClientInfo> clients_;
   std::vector<std::shared_ptr<DispatchUnit>> window_dus_;
   std::vector<std::unique_ptr<ExecutionObject>> window_eos_;
   std::thread pump_thread_;
   std::atomic<bool> stop_{false};
-  std::atomic<uint64_t> ingested_{0};
+  Counter* ingested_;
   bool started_ = false;
   GlobalQueryId next_window_query_id_ = 1u << 20;  // distinct id space
+  uint64_t next_client_label_ = 0;  // egress labels (gid unknown pre-admit)
 };
 
 }  // namespace tcq

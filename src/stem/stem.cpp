@@ -5,11 +5,22 @@
 namespace tcq {
 
 SteM::SteM(std::string name, SourceId source, SchemaRef schema,
-           StemOptions opts)
+           StemOptions opts, MetricsRegistryRef metrics)
     : name_(std::move(name)),
       source_(source),
       schema_(std::move(schema)),
-      opts_(std::move(opts)) {
+      opts_(std::move(opts)),
+      metrics_(OrPrivateRegistry(std::move(metrics))) {
+  builds_ = metrics_->GetCounter(
+      MetricName("tcq_stem_builds_total", "stem", name_));
+  probes_ = metrics_->GetCounter(
+      MetricName("tcq_stem_probes_total", "stem", name_));
+  matches_ = metrics_->GetCounter(
+      MetricName("tcq_stem_matches_total", "stem", name_));
+  evictions_ = metrics_->GetCounter(
+      MetricName("tcq_stem_evictions_total", "stem", name_));
+  live_entries_ = metrics_->GetGauge(
+      MetricName("tcq_stem_live_entries", "stem", name_));
   if (!opts_.key_attr.empty()) EnsureIndex(opts_.key_attr);
 }
 
@@ -40,17 +51,18 @@ void SteM::EnsureIndex(const std::string& attr) {
 }
 
 void SteM::Build(const Tuple& tuple, Timestamp seq) {
-  ++builds_;
+  builds_->Inc();
   uint64_t id = log_.Append(StemEntry{tuple, seq});
   for (AttrIndex& ai : indexes_) ai.index.Insert(tuple.at(ai.field), id);
   EnforceCapacity();
+  live_entries_->Set(static_cast<int64_t>(log_.size()));
 }
 
 void SteM::EnforceCapacity() {
   if (opts_.max_count == 0) return;
   while (log_.size() > opts_.max_count) {
     log_.PopFront();
-    ++evictions_;
+    evictions_->Inc();
   }
 }
 
@@ -65,7 +77,7 @@ void SteM::ProbeEq(const std::string& attr, const Value& key,
                    Timestamp seq_bound, std::vector<const StemEntry*>* out) {
   AttrIndex* ai = FindIndex(attr);
   assert(ai != nullptr && "ProbeEq on unindexed attribute");
-  ++probes_;
+  probes_->Inc();
   scratch_ids_.clear();
   ai->index.Lookup(key, log_, &scratch_ids_);
   for (uint64_t id : scratch_ids_) {
@@ -73,18 +85,18 @@ void SteM::ProbeEq(const std::string& attr, const Value& key,
     const StemEntry& e = log_.Get(id);
     if (e.seq < seq_bound) {
       out->push_back(&e);
-      ++matches_;
+      matches_->Inc();
     }
   }
 }
 
 void SteM::ProbeScan(Timestamp seq_bound, std::vector<const StemEntry*>* out) {
-  ++probes_;
+  probes_->Inc();
   for (uint64_t id = log_.base(); id < log_.end(); ++id) {
     const StemEntry& e = log_.Get(id);
     if (e.seq < seq_bound) {
       out->push_back(&e);
-      ++matches_;
+      matches_->Inc();
     }
   }
 }
@@ -94,8 +106,9 @@ void SteM::AdvanceTime(Timestamp now) {
   Timestamp cutoff = now - opts_.window;
   while (!log_.empty() && log_.Front().tuple.timestamp() <= cutoff) {
     log_.PopFront();
-    ++evictions_;
+    evictions_->Inc();
   }
+  live_entries_->Set(static_cast<int64_t>(log_.size()));
 }
 
 SteMProbe::SteMProbe(std::string name, SteM* stem, JoinSpec spec)

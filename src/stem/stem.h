@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "eddy/module.h"
 #include "operators/predicate.h"
 #include "stem/index.h"
@@ -35,7 +36,10 @@ struct StemOptions {
 
 class SteM {
  public:
-  SteM(std::string name, SourceId source, SchemaRef schema, StemOptions opts);
+  /// When `metrics` is null the SteM observes itself in a private registry;
+  /// instruments are labeled with the SteM's name.
+  SteM(std::string name, SourceId source, SchemaRef schema, StemOptions opts,
+       MetricsRegistryRef metrics = nullptr);
 
   const std::string& name() const { return name_; }
   SourceId source() const { return source_; }
@@ -69,10 +73,11 @@ class SteM {
   void AdvanceTime(Timestamp now);
 
   size_t size() const { return log_.size(); }
-  uint64_t builds() const { return builds_; }
-  uint64_t probes() const { return probes_; }
-  uint64_t matches() const { return matches_; }
-  uint64_t evictions() const { return evictions_; }
+  // Thin reads over the metrics registry.
+  uint64_t builds() const { return builds_->Value(); }
+  uint64_t probes() const { return probes_->Value(); }
+  uint64_t matches() const { return matches_->Value(); }
+  uint64_t evictions() const { return evictions_->Value(); }
 
  private:
   struct AttrIndex {
@@ -92,10 +97,12 @@ class SteM {
   EntryLog log_;
   std::vector<AttrIndex> indexes_;
   std::vector<uint64_t> scratch_ids_;
-  uint64_t builds_ = 0;
-  uint64_t probes_ = 0;
-  uint64_t matches_ = 0;
-  uint64_t evictions_ = 0;
+  MetricsRegistryRef metrics_;
+  Counter* builds_;
+  Counter* probes_;
+  Counter* matches_;
+  Counter* evictions_;
+  Gauge* live_entries_;
 };
 
 /// The join description a SteM probe enforces between the probing tuple and

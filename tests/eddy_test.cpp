@@ -395,6 +395,36 @@ TEST(EddyTest, ContentDriftIsHandled) {
   EXPECT_EQ(CanonicalMultiset(got.tuples), CanonicalMultiset(expected));
 }
 
+TEST(EddyTest, StructuralChangesInvalidateDecisionCache) {
+  // Regression: AddModule cleared the decision cache but AttachSteM and
+  // SetRequiredSources did not, so with batching enabled a routing decision
+  // taken before a structural change kept being replayed after it. The
+  // cache hit is observable through the routing-decision counter.
+  Eddy eddy(MakeRoundRobinPolicy(), Eddy::Options{.batch_size = 8});
+  eddy.AddModule(std::make_unique<Selection>(
+      "f", MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(1000))));
+
+  eddy.Ingest(0, Row(0, 1, 0, 0));
+  EXPECT_EQ(eddy.routing_decisions(), 1u);
+  eddy.Ingest(0, Row(0, 2, 0, 1));
+  EXPECT_EQ(eddy.routing_decisions(), 1u);  // same-signature batch: cache hit
+
+  // The SteM widens the eddy's span; cached orders predate it and must not
+  // be replayed.
+  eddy.AttachSteM(std::make_shared<SteM>("stemT", 1, Sch(1),
+                                         StemOptions{.key_attr = "k"}));
+  eddy.Ingest(0, Row(0, 3, 0, 2));
+  EXPECT_EQ(eddy.routing_decisions(), 2u);  // fresh decision, not the cache
+
+  eddy.Ingest(0, Row(0, 4, 0, 3));
+  EXPECT_EQ(eddy.routing_decisions(), 2u);  // new batch resumes caching
+
+  // Overriding the completion footprint likewise invalidates the cache.
+  eddy.SetRequiredSources(SourceBit(0));
+  eddy.Ingest(0, Row(0, 5, 0, 4));
+  EXPECT_EQ(eddy.routing_decisions(), 3u);
+}
+
 TEST(EddyTest, StatsAreConsistent) {
   Eddy eddy(MakeRoundRobinPolicy());
   eddy.AddModule(std::make_unique<Selection>(

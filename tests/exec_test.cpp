@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -37,6 +38,45 @@ TEST(SchedulerTest, RoundRobinSkipsDone) {
   EXPECT_EQ(sched.PickNext(dus), 0u);
   dus[0].done = dus[2].done = true;
   EXPECT_EQ(sched.PickNext(dus), SIZE_MAX);
+}
+
+TEST(SchedulerTest, RoundRobinStaysFairWhenDuSetGrows) {
+  // Regression: the cursor was stored un-wrapped (cand + 1), so after
+  // serving a 1-DU set it pointed past that DU; once the set grew, the
+  // rotation resumed from the wrong slot and skipped DU 0.
+  RoundRobinScheduler sched;
+  std::vector<DuSchedInfo> dus(1);
+  EXPECT_EQ(sched.PickNext(dus), 0u);
+  dus.resize(3);
+  EXPECT_EQ(sched.PickNext(dus), 0u);  // wrapped cursor: rotation continues
+  EXPECT_EQ(sched.PickNext(dus), 1u);
+  EXPECT_EQ(sched.PickNext(dus), 2u);
+  EXPECT_EQ(sched.PickNext(dus), 0u);
+}
+
+TEST(SchedulerTest, TicketNeverStarvesZeroProgressDu) {
+  // Starvation regression: a DU whose recent_progress decayed to exactly 0
+  // must still be drawn within a bounded number of picks — the 0.05 ticket
+  // floor gives it ~0.05/3.20 of the draws here (expected gap ~64).
+  TicketScheduler sched(42);
+  std::vector<DuSchedInfo> dus(4);
+  for (size_t i = 0; i + 1 < dus.size(); ++i) dus[i].recent_progress = 1.0;
+  dus.back().recent_progress = 0.0;  // the starvation candidate
+
+  int gap = 0;
+  int max_gap = 0;
+  for (int i = 0; i < 20000; ++i) {
+    size_t pick = sched.PickNext(dus);
+    ASSERT_LT(pick, dus.size());
+    if (pick == dus.size() - 1) {
+      gap = 0;
+    } else {
+      max_gap = std::max(max_gap, ++gap);
+    }
+  }
+  // A generous bound (~30x the expected gap) that only a zero-weight
+  // starvation bug would exceed with this seed.
+  EXPECT_LT(max_gap, 2000);
 }
 
 TEST(SchedulerTest, TicketFavoursProgress) {

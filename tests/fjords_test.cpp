@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
+#include "common/metrics.h"
 #include "fjords/fjord.h"
 #include "fjords/queue.h"
 #include "tuple/tuple.h"
@@ -89,6 +91,51 @@ TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
   std::thread producer([&] { EXPECT_FALSE(q.EnqueueBlocking(2)); });
   q.Close();
   producer.join();
+}
+
+TEST(BoundedQueueTest, CountsItemsDroppedOnClose) {
+  // Regression: enqueueing into a closed queue silently destroyed the item
+  // with no trace. The loss is now counted.
+  BoundedQueue<int> q(2);
+  ASSERT_EQ(q.TryEnqueue(1), QueueOp::kOk);
+  q.Close();
+  EXPECT_EQ(q.dropped_on_close_count(), 0u);
+  EXPECT_EQ(q.TryEnqueue(2), QueueOp::kClosed);
+  EXPECT_EQ(q.dropped_on_close_count(), 1u);
+  EXPECT_FALSE(q.EnqueueBlocking(3));
+  EXPECT_EQ(q.dropped_on_close_count(), 2u);
+  // Pending items remain dequeuable — only the offered ones were lost.
+  int out = 0;
+  EXPECT_EQ(q.TryDequeue(&out), QueueOp::kOk);
+  EXPECT_EQ(out, 1);
+}
+
+TEST(BoundedQueueTest, MirrorsIntoRegistryInstruments) {
+  auto registry = std::make_shared<MetricsRegistry>();
+  BoundedQueue<int> q(1);
+  q.SetMetrics(QueueMetrics::For(registry.get(), "test"));
+
+  ASSERT_EQ(q.TryEnqueue(1), QueueOp::kOk);
+  EXPECT_EQ(q.TryEnqueue(2), QueueOp::kWouldBlock);
+  int out = 0;
+  EXPECT_EQ(q.TryDequeue(&out), QueueOp::kOk);
+  EXPECT_EQ(q.TryDequeue(&out), QueueOp::kWouldBlock);
+  q.Close();
+  EXPECT_EQ(q.TryEnqueue(3), QueueOp::kClosed);
+
+  MetricsSnapshot snap = registry->Snapshot();
+  EXPECT_EQ(snap.CounterValue("tcq_queue_enqueued_total{queue=\"test\"}"), 1);
+  EXPECT_EQ(
+      snap.CounterValue("tcq_queue_enqueue_blocked_total{queue=\"test\"}"), 1);
+  EXPECT_EQ(
+      snap.CounterValue("tcq_queue_dequeue_blocked_total{queue=\"test\"}"), 1);
+  EXPECT_EQ(
+      snap.CounterValue("tcq_queue_dropped_on_close_total{queue=\"test\"}"), 1);
+  EXPECT_EQ(snap.GaugeValue("tcq_queue_depth{queue=\"test\"}"), 0);
+  const MetricsSnapshot::HistogramData* wait =
+      snap.FindHistogram("tcq_queue_wait_us{queue=\"test\"}");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->count, 1u);  // one enqueue->dequeue residence observed
 }
 
 TEST(FjordTest, PushModeNeverBlocksConsumer) {

@@ -1,0 +1,138 @@
+// Tests for the unified metrics layer: instrument semantics, histogram
+// bucketing, snapshot/text export, and multi-threaded counting.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace tcq {
+namespace {
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("tcq_test_events_total");
+  c->Inc();
+  c->Inc(4);
+  EXPECT_EQ(c->Value(), 5u);
+
+  Gauge* g = reg.GetGauge("tcq_test_depth");
+  g->Set(7);
+  g->Add(-2);
+  EXPECT_EQ(g->Value(), 5);
+
+  // Same name returns the same instrument (aggregation on collision).
+  EXPECT_EQ(reg.GetCounter("tcq_test_events_total"), c);
+  EXPECT_EQ(reg.GetGauge("tcq_test_depth"), g);
+}
+
+TEST(MetricsTest, HistogramBucketing) {
+  Histogram h;
+  h.Observe(0);    // bucket le=1
+  h.Observe(1);    // bucket le=1
+  h.Observe(2);    // bucket le=3
+  h.Observe(3);    // bucket le=3
+  h.Observe(100);  // bucket le=127
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 106u);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketFor(0)), 2u);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketFor(2)), 2u);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketFor(100)), 1u);
+  // Huge values land in the +inf bucket.
+  h.Observe(UINT64_MAX);
+  EXPECT_EQ(h.BucketCount(Histogram::kNumBuckets), 1u);
+}
+
+TEST(MetricsTest, SnapshotAndLookup) {
+  MetricsRegistry reg;
+  reg.GetCounter("tcq_a_total")->Inc(3);
+  reg.GetGauge("tcq_b")->Set(-1);
+  reg.GetHistogram("tcq_lat_us")->Observe(5);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("tcq_a_total"), 3u);
+  EXPECT_EQ(snap.CounterValue("tcq_missing"), 0u);
+  EXPECT_EQ(snap.GaugeValue("tcq_b"), -1);
+  const auto* h = snap.FindHistogram("tcq_lat_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_EQ(h->sum, 5u);
+}
+
+TEST(MetricsTest, CounterFamilySumAggregatesLabels) {
+  MetricsRegistry reg;
+  reg.GetCounter(MetricName("tcq_stem_builds_total", "stem", "s0"))->Inc(2);
+  reg.GetCounter(MetricName("tcq_stem_builds_total", "stem", "s1"))->Inc(3);
+  reg.GetCounter("tcq_other_total")->Inc(9);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterFamilySum("tcq_stem_builds_total"), 5u);
+}
+
+TEST(MetricsTest, FormatTextExport) {
+  MetricsRegistry reg;
+  reg.GetCounter("tcq_events_total")->Inc(2);
+  reg.GetGauge(MetricName("tcq_depth", "queue", "q0"))->Set(4);
+  Histogram* h = reg.GetHistogram("tcq_wait_us");
+  h->Observe(1);
+  h->Observe(2);
+
+  Histogram* labeled =
+      reg.GetHistogram(MetricName("tcq_lat_us", "queue", "q0"));
+  labeled->Observe(1);
+
+  std::string text = reg.FormatText();
+  EXPECT_NE(text.find("tcq_events_total 2"), std::string::npos);
+  EXPECT_NE(text.find("tcq_depth{queue=\"q0\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("tcq_wait_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("tcq_wait_us_sum 3"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\""), std::string::npos);
+  // Labeled histograms splice the suffix before the labels and merge le in.
+  EXPECT_NE(text.find("tcq_lat_us_count{queue=\"q0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("tcq_lat_us_bucket{queue=\"q0\",le=\"1\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, ApproxQuantileIsMonotone) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("tcq_q_us");
+  for (uint64_t v = 0; v < 1000; ++v) h->Observe(v);
+  const auto* data = reg.Snapshot().FindHistogram("tcq_q_us");
+  ASSERT_NE(data, nullptr);
+  uint64_t p50 = data->ApproxQuantile(0.5);
+  uint64_t p99 = data->ApproxQuantile(0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_GE(p99, 511u);  // 99th percentile of 0..999 is >= bucket le=1023
+}
+
+TEST(MetricsTest, ConcurrentCountingIsExact) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("tcq_mt_total");
+  Histogram* h = reg.GetHistogram("tcq_mt_us");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Inc();
+        h->Observe(static_cast<uint64_t>(i % 64));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->Count(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsTest, PrivateRegistryFallback) {
+  MetricsRegistryRef shared = std::make_shared<MetricsRegistry>();
+  EXPECT_EQ(OrPrivateRegistry(shared), shared);
+  MetricsRegistryRef private_reg = OrPrivateRegistry(nullptr);
+  ASSERT_NE(private_reg, nullptr);
+  EXPECT_NE(private_reg, shared);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -201,6 +201,70 @@ TEST(ServerTest, WrapperSourceFeedsQueries) {
   EXPECT_EQ(got, 100u);
 }
 
+TEST(ServerTest, IntrospectSeesEveryLayerAfterEndToEndRun) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  // A continuous self-join: exercises the shared eddy AND its SteMs.
+  auto joined = server.Submit(
+      "SELECT c2.stockSymbol FROM ClosingStockPrices c1, "
+      "ClosingStockPrices c2 WHERE c1.stockSymbol = c2.stockSymbol "
+      "AND c1.closingPrice > 55.0");
+  ASSERT_TRUE(joined.ok()) << joined.status();
+  // A windowed query: exercises window fjords and the fired-window stats.
+  auto windowed = server.Submit(
+      "SELECT closingPrice FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }");
+  ASSERT_TRUE(windowed.ok()) << windowed.status();
+  server.Start();
+  PushStocks(&server, 10);
+
+  // Wait until both clients saw output (AAPL beats 55 on even days and
+  // joins its own history; the snapshot window fires once day 6 arrives).
+  ASSERT_GE(DrainCount(joined->results.get(), 1, 2000), 1u);
+  WindowResult wr;
+  for (int i = 0; i < 2000 && !windowed->windows->Poll(&wr); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+
+  TelegraphCQ::Introspection view = server.Introspect();
+  EXPECT_EQ(view.tuples_ingested, 20u);
+
+  // Every layer of the engine reported into the one registry.
+  const MetricsSnapshot& m = view.metrics;
+  EXPECT_GT(m.CounterFamilySum("tcq_shared_eddy_routing_decisions_total"), 0u);
+  EXPECT_GT(m.CounterFamilySum("tcq_stem_builds_total"), 0u);
+  EXPECT_GT(m.CounterFamilySum("tcq_stem_probes_total"), 0u);
+  EXPECT_GT(m.CounterFamilySum("tcq_queue_enqueued_total"), 0u);
+  EXPECT_GT(m.CounterFamilySum("tcq_eo_quanta_total"), 0u);
+  EXPECT_GT(m.CounterFamilySum("tcq_egress_delivered_total"), 0u);
+  EXPECT_GT(m.CounterFamilySum("tcq_window_fired_total"), 0u);
+  EXPECT_EQ(m.CounterValue(
+                "tcq_server_stream_ingested_total{stream=\"ClosingStockPrices"
+                "\"}"),
+            20u);
+
+  // Per-query stats distinguish the two clients.
+  ASSERT_EQ(view.queries.size(), 2u);
+  for (const TelegraphCQ::QueryStats& qs : view.queries) {
+    EXPECT_EQ(qs.tuples_in, 20u);  // both read the one physical stream
+    if (qs.windowed) {
+      EXPECT_GE(qs.windows_fired, 1u);
+      EXPECT_EQ(qs.tuples_out, 5u);  // MSFT days 1..5
+    } else {
+      EXPECT_EQ(qs.id, joined->id);
+      EXPECT_GT(qs.tuples_out, 0u);
+    }
+  }
+
+  // The text exposition renders the same registry.
+  std::string text = server.metrics()->FormatText();
+  EXPECT_NE(text.find("tcq_server_tuples_ingested_total 20"),
+            std::string::npos);
+  EXPECT_NE(text.find("tcq_queue_wait_us"), std::string::npos);
+}
+
 TEST(ServerTest, ErrorPaths) {
   TelegraphCQ server;
   ASSERT_TRUE(server.DefineStream("S", StockFields()).ok());

@@ -101,6 +101,59 @@ TEST(WindowSpecTest, ToStringRendersLoop) {
 
 // --- Paper §4.1 examples end to end ------------------------------------------
 
+// --- StreamHistory ----------------------------------------------------------
+
+TEST(StreamHistoryTest, OutOfOrderAppendKeepsTimestampOrder) {
+  // Streams deliver roughly in timestamp order; slight disorder must land
+  // tuples at their sorted position, not at the tail.
+  StreamHistory h;
+  h.Append(Stock(0, 1, "A", 1.0));
+  h.Append(Stock(0, 5, "B", 2.0));
+  h.Append(Stock(0, 3, "C", 3.0));  // late arrival
+  h.Append(Stock(0, 5, "D", 4.0));  // duplicate timestamp
+  h.Append(Stock(0, 2, "E", 5.0));  // late again
+  ASSERT_EQ(h.size(), 5u);
+  std::vector<Tuple> all;
+  h.Range(0, 100, &all);
+  ASSERT_EQ(all.size(), 5u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].timestamp(), all[i].timestamp());
+  }
+}
+
+TEST(StreamHistoryTest, RangeIsClosedOnBothEnds) {
+  // WindowIs(S, l, r) is a closed interval (§4.1): Range(l, r) must include
+  // tuples at exactly l and exactly r.
+  StreamHistory h = MsftHistory(10, [](Timestamp d) { return double(d); });
+  std::vector<Tuple> out;
+  h.Range(3, 7, &out);
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out.front().timestamp(), 3);
+  EXPECT_EQ(out.back().timestamp(), 7);
+
+  out.clear();
+  h.Range(4, 4, &out);  // degenerate window: a single instant
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].timestamp(), 4);
+
+  out.clear();
+  h.Range(11, 20, &out);  // entirely past the data
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WindowExecTest, WindowIsIncludesBothEndpoints) {
+  // Pin the closed-interval contract end to end: a snapshot window [l, r]
+  // returns the tuples at l and at r, not a half-open slice.
+  StreamHistory h = MsftHistory(10, [](Timestamp d) { return double(d); });
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Snapshot(0, 3, 7);
+  auto results = RunOverHistory(q, {{0, std::move(h)}});
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_EQ(results[0].tuples.size(), 5u);  // days 3,4,5,6,7
+  EXPECT_EQ(results[0].tuples.front().timestamp(), 3);
+  EXPECT_EQ(results[0].tuples.back().timestamp(), 7);
+}
+
 TEST(WindowExecTest, PaperExample1Snapshot) {
   // "Select the closing prices for MSFT on the first five days of trading."
   StreamHistory h = MsftHistory(20, [](Timestamp d) { return 40.0 + d; });
