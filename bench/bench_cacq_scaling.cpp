@@ -151,6 +151,85 @@ void BM_QueryChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_QueryChurn)->Unit(benchmark::kMillisecond);
 
+// Batched vs per-tuple ingest into the shared eddy, on the workload batching
+// targets: a network-monitor-style rule set whose point filters spread over
+// eight attributes, so every tuple makes eight routing hops through eight
+// grouped-filter modules (most rules match nothing — exactly when per-tuple
+// routing overhead dominates). Arg(1) is the per-tuple Ingest() baseline;
+// larger args cut the stream into IngestBatch() calls, amortizing the stream
+// lookup, the QueriesTouching scan, and — via the drain-scoped decision
+// cache — all eight ready-computations and rankings across identical-lineage
+// tuples. The BENCH_batching.json criterion compares Arg(64) against Arg(1).
+void BM_SharedCACQBatchedIngest(benchmark::State& state) {
+  size_t batch_size = static_cast<size_t>(state.range(0));
+  constexpr size_t kQueries = 64;
+  constexpr size_t kAttrs = 8;
+  constexpr size_t kStream = 20000;
+  constexpr int64_t kWideKeyRange = 4096;
+
+  std::vector<Field> fields;
+  for (size_t a = 0; a < kAttrs; ++a) {
+    fields.push_back({"a" + std::to_string(a), ValueType::kInt64, 0});
+  }
+  SchemaRef schema = Schema::Make(std::move(fields));
+
+  std::vector<Tuple> s;
+  s.reserve(kStream);
+  {
+    Rng rng(7);
+    for (size_t i = 0; i < kStream; ++i) {
+      std::vector<Value> vals;
+      vals.reserve(kAttrs);
+      for (size_t a = 0; a < kAttrs; ++a) {
+        vals.push_back(Value::Int64(rng.UniformInt(0, kWideKeyRange - 1)));
+      }
+      s.push_back(Tuple::Make(schema, std::move(vals),
+                              static_cast<Timestamp>(i)));
+    }
+  }
+
+  uint64_t tuples = 0, reused = 0;
+  for (auto _ : state) {
+    SharedEddy eddy(MakeLotteryPolicy(3));
+    eddy.RegisterStream(0, schema);
+    eddy.SetOutput([](QueryId, const Tuple&) {});
+    Rng rng(11);
+    for (size_t q = 0; q < kQueries; ++q) {
+      CQSpec spec;
+      spec.filters.push_back(
+          {{0, "a" + std::to_string(q % kAttrs)},
+           CmpOp::kEq,
+           Value::Int64(rng.UniformInt(0, kWideKeyRange))});
+      (void)eddy.AddQuery(spec);
+    }
+    if (batch_size <= 1) {
+      for (const Tuple& t : s) eddy.Ingest(0, t);
+    } else {
+      TupleBatch batch;
+      batch.set_source(0);
+      for (const Tuple& t : s) {
+        batch.push_back(t);
+        if (batch.size() >= batch_size) {
+          eddy.IngestBatch(batch);
+          batch.clear();
+        }
+      }
+      if (!batch.empty()) eddy.IngestBatch(batch);
+    }
+    tuples += kStream;
+    reused = eddy.routing_decisions_reused();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.counters["batch_size"] = static_cast<double>(batch_size);
+  state.counters["decisions_reused"] = static_cast<double>(reused);
+}
+BENCHMARK(BM_SharedCACQBatchedIngest)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace tcq
 

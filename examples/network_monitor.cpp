@@ -69,13 +69,22 @@ int main() {
   std::printf("%zu queries registered, %zu shared modules\n", ids.size(),
               eddy.num_modules());
 
-  // Stream packets; halfway through, churn a third of the queries (CACQ's
-  // on-the-fly add/remove).
+  // Stream packets in batches of 64 — one routing decision serves a run of
+  // identical-lineage packets. Halfway through, churn a third of the
+  // queries (CACQ's on-the-fly add/remove).
   Tuple pkt;
+  TupleBatch batch;
+  batch.set_source(0);
   uint64_t n = 0;
+  auto flush = [&] {
+    eddy.IngestBatch(batch);
+    batch.clear();
+  };
   while (gen.Next(&pkt)) {
-    eddy.Ingest(0, pkt);
+    batch.push_back(std::move(pkt));
+    if (batch.size() >= 64) flush();
     if (++n == 30000) {
+      flush();  // drain in-flight packets before churning queries
       for (size_t i = 0; i < ids.size(); i += 3) {
         (void)eddy.RemoveQuery(ids[i]);
       }
@@ -91,6 +100,7 @@ int main() {
                   eddy.num_modules());
     }
   }
+  flush();
 
   uint64_t total_hits = 0, active_with_hits = 0;
   for (uint64_t h : hits) {

@@ -38,7 +38,8 @@ int main() {
   server.Start();
 
   // 3. Push data (a push-server ingress; generators and CSV files work
-  //    too — see the other examples).
+  //    too — see the other examples). PushBatch is the primary entry point:
+  //    the whole day's ticks travel the dataflow as one batch.
   struct Tick {
     Timestamp day;
     const char* symbol;
@@ -48,13 +49,14 @@ int main() {
       {1, "MSFT", 49.5}, {1, "AAPL", 61.0}, {2, "MSFT", 51.25},
       {2, "AAPL", 59.0}, {3, "MSFT", 52.0}, {3, "AAPL", 58.5},
   };
+  std::vector<TelegraphCQ::TupleBatchRow> rows;
   for (const Tick& t : ticks) {
-    Status s = server.Push("ClosingStockPrices",
-                           {Value::TimestampVal(t.day),
-                            Value::String(t.symbol), Value::Double(t.price)},
-                           t.day);
-    if (!s.ok()) std::fprintf(stderr, "Push: %s\n", s.ToString().c_str());
+    rows.push_back({{Value::TimestampVal(t.day), Value::String(t.symbol),
+                     Value::Double(t.price)},
+                    t.day});
   }
+  Status s = server.PushBatch("ClosingStockPrices", std::move(rows));
+  if (!s.ok()) std::fprintf(stderr, "PushBatch: %s\n", s.ToString().c_str());
 
   // 4. Consume results. Two MSFT days exceed $50.
   std::printf("results:\n");

@@ -40,16 +40,24 @@ int main() {
   std::printf("hot-spot query %u registered; engineer disconnects\n",
               *hot_id);
 
-  // Stream half the readings while nobody is connected. PSoup keeps the
-  // query's answer materialized the whole time.
+  // Stream half the readings while nobody is connected, batch-at-a-time —
+  // PSoup keeps the query's answer materialized the whole time.
   Tuple reading;
+  TupleBatch batch;
+  batch.set_source(0);
   Timestamp now = 0;
   uint64_t streamed = 0;
+  auto flush = [&] {
+    psoup.IngestBatch(batch);
+    batch.clear();
+  };
   while (streamed < 2000 && gen.Next(&reading)) {
-    psoup.Ingest(0, reading);
     now = std::max(now, reading.timestamp());
+    batch.push_back(std::move(reading));
+    if (batch.size() >= 32) flush();
     ++streamed;
   }
+  flush();
 
   // The engineer reconnects: the invocation imposes the window on the
   // materialized Results Structure — no recomputation.
@@ -75,10 +83,12 @@ int main() {
 
   // Stream the rest; both standing queries keep materializing.
   while (gen.Next(&reading)) {
-    psoup.Ingest(0, reading);
     now = std::max(now, reading.timestamp());
+    batch.push_back(std::move(reading));
+    if (batch.size() >= 32) flush();
     ++streamed;
   }
+  flush();
 
   auto hot_final = psoup.Invoke(*hot_id, now);
   auto s3_final = psoup.Invoke(*s3_id, now);

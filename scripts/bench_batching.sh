@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Bench smoke for the batched pipeline: runs the batched-vs-per-tuple
+# comparisons in bench_fjords (queue batch transfer) and bench_cacq_scaling
+# (shared-eddy batched ingest) and merges the results into BENCH_batching.json
+# at the repo root, including the batch-64-vs-1 speedup ratios the acceptance
+# criterion reads (>= 2x on both benches).
+#
+# Usage: scripts/bench_batching.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+if [[ ! -x "$BUILD/bench/bench_fjords" || ! -x "$BUILD/bench/bench_cacq_scaling" ]]; then
+  echo "benchmarks not built; run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+MIN_TIME="${TCQ_BENCH_MIN_TIME:-0.3}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/bench_fjords" \
+  --benchmark_filter='BM_QueueBatchTransfer' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$TMP/fjords.json"
+
+"$BUILD/bench/bench_cacq_scaling" \
+  --benchmark_filter='BM_SharedCACQBatchedIngest' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$TMP/cacq.json"
+
+python3 - "$TMP/fjords.json" "$TMP/cacq.json" <<'PY'
+import json, sys
+
+def load(path, prefix):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        batch = int(b.get("batch_size", 0)) or int(name.rsplit("/", 1)[-1])
+        rows[batch] = {
+            "name": name,
+            "batch_size": batch,
+            "items_per_second": b.get("items_per_second"),
+            "cpu_time_ms": b.get("cpu_time") if b.get("time_unit") == "ms"
+                           else b.get("cpu_time", 0) / 1e6,
+        }
+    out = {"results": [rows[k] for k in sorted(rows)]}
+    if 1 in rows and 64 in rows:
+        out["speedup_64_vs_1"] = rows[64]["items_per_second"] / rows[1]["items_per_second"]
+    return out
+
+report = {
+    "fjords_queue_batch_transfer": load(sys.argv[1], "fjords"),
+    "cacq_batched_ingest": load(sys.argv[2], "cacq"),
+}
+with open("BENCH_batching.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+ok = True
+for key, section in report.items():
+    ratio = section.get("speedup_64_vs_1")
+    status = "n/a" if ratio is None else f"{ratio:.2f}x"
+    print(f"{key}: batch-64 vs batch-1 speedup = {status}")
+    if ratio is None or ratio < 2.0:
+        ok = False
+print("wrote BENCH_batching.json")
+sys.exit(0 if ok else 1)
+PY

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Repo verification gate:
+#   1. tier-1 verify: configure + build + full ctest (ROADMAP.md)
+#   2. AddressSanitizer configure + build + ctest in a separate build dir
+#   3. bench smoke: batched-vs-per-tuple comparison -> BENCH_batching.json
+#
+# Usage: scripts/check.sh [--no-asan] [--no-bench]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_ASAN=1
+RUN_BENCH=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) RUN_ASAN=0 ;;
+    --no-bench) RUN_BENCH=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "== asan: configure + build + ctest =="
+  cmake -B build-asan -S . -DTCQ_SANITIZE=address
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure -j
+fi
+
+if [[ "$RUN_BENCH" == 1 ]]; then
+  echo "== bench smoke: BENCH_batching.json =="
+  scripts/bench_batching.sh build
+fi
+
+echo "== check.sh: all gates passed =="

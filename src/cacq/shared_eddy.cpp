@@ -96,6 +96,8 @@ SharedEddy::SharedEddy(std::unique_ptr<RoutingPolicy> policy,
       label_(std::move(label)) {
   routing_decisions_ = metrics_->GetCounter(
       MetricName("tcq_shared_eddy_routing_decisions_total", "eddy", label_));
+  routing_decisions_reused_ = metrics_->GetCounter(MetricName(
+      "tcq_shared_eddy_routing_decisions_reused_total", "eddy", label_));
   module_invocations_ = metrics_->GetCounter(
       MetricName("tcq_shared_eddy_module_invocations_total", "eddy", label_));
   deliveries_ = metrics_->GetCounter(
@@ -310,6 +312,31 @@ void SharedEddy::Ingest(SourceId source, const Tuple& tuple) {
   if (!draining_) Drain();
 }
 
+void SharedEddy::IngestBatch(const TupleBatch& batch) {
+  if (batch.empty()) return;
+  auto it = streams_.find(batch.source());
+  assert(it != streams_.end() && "ingest on unregistered stream");
+  SteM* stem = it->second.stem.get();
+  // One lineage computation for the whole batch (the registry cannot change
+  // mid-call: queries are added/removed between ingests).
+  const QuerySet live = registry_.QueriesTouching(batch.source());
+
+  // Hoisted build loop: every tuple enters the SteM before any probing.
+  // Safe ahead-of-probe because ProbeEq bounds matches by sequence number,
+  // so an envelope never joins with same-batch successors.
+  for (const Tuple& t : batch) {
+    Timestamp seq = next_seq_++;
+    if (stem != nullptr) stem->Build(t, seq);
+    if (live.Empty()) continue;  // no active query cares about this stream
+    SharedEnvelope env;
+    env.tuple = t;
+    env.seq_max = seq;
+    env.live = live;
+    queue_.push_back(std::move(env));
+  }
+  if (!draining_ && !queue_.empty()) Drain();
+}
+
 SteM* SharedEddy::GetSteM(SourceId source) const {
   auto it = streams_.find(source);
   if (it == streams_.end()) return nullptr;
@@ -356,30 +383,68 @@ void SharedEddy::DeliverIfComplete(SharedEnvelope&& env) {
 
 void SharedEddy::Drain() {
   draining_ = true;
+  // Drain-scoped routing-decision cache: envelopes with identical lineage
+  // (done-set, live-set, span) see the same ready set, so both the ready
+  // computation and the last ranked slot apply verbatim — including across
+  // the several hops a tuple makes through a bank of modules, since each
+  // hop's lineage key maps to its own cache slot. Per-tuple Ingest drains
+  // after every tuple, so the big wins come from IngestBatch, where the
+  // envelopes of a batch walk identical hop sequences. Bumping the
+  // generation empties the whole cache at once; this happens on expansion
+  // (SteM feedback mid-batch): new children change the policy's observed
+  // stats, so later envelopes fall back to fresh per-tuple ranking.
+  ++drain_generation_;
   while (!queue_.empty()) {
     SharedEnvelope env = std::move(queue_.front());
     queue_.pop_front();
 
     while (true) {
-      if (!ComputeReady(env, &ready_scratch_)) {
-        DeliverIfComplete(std::move(env));
-        break;
+      SourceSet span = env.tuple.sources();
+      CachedDecision& entry = decision_cache_[DecisionCacheIndex(env.done, span)];
+      bool fresh = entry.generation != drain_generation_ ||
+                   entry.done != env.done || entry.span != span ||
+                   !(entry.live == env.live);
+      size_t slot;
+      if (fresh) {
+        entry.generation = drain_generation_;
+        entry.done = env.done;
+        entry.span = span;
+        entry.live = env.live;
+        entry.has_ready = ComputeReady(env, &ready_scratch_);
+        if (!entry.has_ready) {
+          DeliverIfComplete(std::move(env));
+          break;
+        }
+        order_scratch_.clear();
+        policy_->Rank(ready_scratch_, module_stats_, &order_scratch_);
+        routing_decisions_->Inc();
+        slot = order_scratch_.front();
+        entry.slot = slot;
+      } else {
+        if (!entry.has_ready) {
+          DeliverIfComplete(std::move(env));
+          break;
+        }
+        slot = entry.slot;
+        routing_decisions_reused_->Inc();
       }
-      order_scratch_.clear();
-      policy_->Rank(ready_scratch_, module_stats_, &order_scratch_);
-      routing_decisions_->Inc();
-      size_t slot = order_scratch_.front();
       module_invocations_->Inc();
       out_scratch_.clear();
       ModuleAction action = modules_[slot]->Process(&env, &out_scratch_);
+      if (!out_scratch_.empty()) ++drain_generation_;
       // For stats/ticket purposes a probe that emitted children counts as an
       // expansion even though the parent keeps routing.
       ModuleAction stats_action =
           out_scratch_.empty() ? action : ModuleAction::kExpand;
       modules_[slot]->RecordResult(stats_action, out_scratch_.size());
       policy_->OnResult(slot, stats_action, out_scratch_.size());
-      slot_selectivity_permille_[slot]->Set(static_cast<int64_t>(
-          module_stats_[slot]->ObservedSelectivity() * 1000.0));
+      if (fresh || !out_scratch_.empty()) {
+        // The selectivity gauge is pure observability; refreshing it on
+        // fresh decisions (and expansions) keeps it current without paying
+        // the float math on every cached invocation.
+        slot_selectivity_permille_[slot]->Set(static_cast<int64_t>(
+            module_stats_[slot]->ObservedSelectivity() * 1000.0));
+      }
       for (SharedEnvelope& child : out_scratch_) {
         child.done |= env.done | (uint64_t{1} << slot);
         queue_.push_back(std::move(child));

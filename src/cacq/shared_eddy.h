@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <map>
@@ -22,6 +23,7 @@
 #include "eddy/routing_policy.h"
 #include "operators/grouped_filter.h"
 #include "stem/stem.h"
+#include "tuple/tuple_batch.h"
 
 namespace tcq {
 
@@ -165,7 +167,18 @@ class SharedEddy {
   Status RemoveQuery(QueryId id);
 
   /// Ingests one stream tuple and runs the shared dataflow to quiescence.
+  /// Equivalent to a batch of one.
   void Ingest(SourceId source, const Tuple& tuple);
+
+  /// Ingests a whole same-source batch under one stream lookup and one
+  /// lineage computation, then drains to quiescence. SteM builds are hoisted
+  /// ahead of any probing: safe because probes bound matches by sequence
+  /// number, so a tuple never sees same-batch successors (identical results
+  /// to per-tuple ingest). Within the drain, one routing decision is reused
+  /// for every envelope with identical lineage (same done-set, live-set and
+  /// span); the eddy falls back to fresh per-tuple ranking as soon as a
+  /// module expands an envelope, i.e. when SteM feedback changes mid-batch.
+  void IngestBatch(const TupleBatch& batch);
 
   /// Advances stream time: evicts shared SteM state per its window options.
   void AdvanceTime(Timestamp now);
@@ -183,6 +196,9 @@ class SharedEddy {
   size_t num_modules() const { return modules_.size(); }
   // Thin reads over the metrics registry.
   uint64_t routing_decisions() const { return routing_decisions_->Value(); }
+  uint64_t routing_decisions_reused() const {
+    return routing_decisions_reused_->Value();
+  }
   uint64_t module_invocations() const { return module_invocations_->Value(); }
   uint64_t deliveries() const { return deliveries_->Value(); }
   const MetricsRegistryRef& metrics() const { return metrics_; }
@@ -219,9 +235,32 @@ class SharedEddy {
   std::vector<size_t> order_scratch_;
   std::vector<SharedEnvelope> out_scratch_;
 
+  /// Drain-scoped routing-decision cache (see Drain()): direct-mapped by
+  /// lineage key, so identical-lineage envelopes in one drain reuse the
+  /// ready computation and the ranked slot even across multi-hop routes.
+  /// Entries are valid only for the current drain generation; expansion
+  /// (SteM feedback) bumps the generation and empties the cache at once.
+  struct CachedDecision {
+    uint64_t generation = 0;
+    uint64_t done = 0;
+    SourceSet span = 0;
+    QuerySet live;
+    size_t slot = 0;
+    bool has_ready = false;
+  };
+  static constexpr size_t kDecisionCacheSlots = 16;
+  static size_t DecisionCacheIndex(uint64_t done, SourceSet span) {
+    uint64_t h =
+        (done ^ (static_cast<uint64_t>(span) << 32)) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(h >> 60);
+  }
+  std::array<CachedDecision, kDecisionCacheSlots> decision_cache_;
+  uint64_t drain_generation_ = 0;
+
   MetricsRegistryRef metrics_;
   std::string label_;
   Counter* routing_decisions_;
+  Counter* routing_decisions_reused_;
   Counter* module_invocations_;
   Counter* deliveries_;
   std::vector<Gauge*> slot_selectivity_permille_;

@@ -1,9 +1,15 @@
 // QuerySet: a dynamic bitset over registered continuous-query ids. CACQ tuple
 // lineage (paper §3.1) tracks, per tuple, which queries are still "live" for
 // it; grouped filters return the set of queries a value satisfies.
+//
+// Lineage travels with EVERY envelope through the shared eddy, so copying a
+// QuerySet is on the ingest hot path. Sets up to kInlineWords*64 queries live
+// in an inline buffer — copying them is a memcpy, no allocation; only larger
+// registries spill to the heap.
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -15,8 +21,7 @@ using QueryId = uint32_t;
 class QuerySet {
  public:
   QuerySet() = default;
-  explicit QuerySet(size_t num_queries)
-      : bits_((num_queries + 63) / 64, 0), size_(num_queries) {}
+  explicit QuerySet(size_t num_queries) { Resize(num_queries); }
 
   /// A set of the given size with every query present.
   static QuerySet All(size_t num_queries) {
@@ -28,59 +33,70 @@ class QuerySet {
   size_t size() const { return size_; }
 
   void Resize(size_t num_queries) {
-    bits_.resize((num_queries + 63) / 64, 0);
-    size_ = num_queries;
+    GrowWords((num_queries + 63) / 64);
+    size_ = std::max(size_, num_queries);
   }
 
   void Add(QueryId q) {
     EnsureCapacity(q);
-    bits_[q >> 6] |= (uint64_t{1} << (q & 63));
+    words()[q >> 6] |= (uint64_t{1} << (q & 63));
   }
 
   void Remove(QueryId q) {
-    if ((q >> 6) < bits_.size()) bits_[q >> 6] &= ~(uint64_t{1} << (q & 63));
+    if ((q >> 6) < words_) words()[q >> 6] &= ~(uint64_t{1} << (q & 63));
   }
 
   bool Contains(QueryId q) const {
-    return (q >> 6) < bits_.size() &&
-           (bits_[q >> 6] >> (q & 63)) & 1;
+    return (q >> 6) < words_ && (words()[q >> 6] >> (q & 63)) & 1;
   }
 
   bool Empty() const {
-    for (uint64_t w : bits_) {
-      if (w) return false;
+    const uint64_t* w = words();
+    for (size_t i = 0; i < words_; ++i) {
+      if (w[i]) return false;
     }
     return true;
   }
 
   size_t Count() const {
+    const uint64_t* w = words();
     size_t n = 0;
-    for (uint64_t w : bits_) n += static_cast<size_t>(__builtin_popcountll(w));
+    for (size_t i = 0; i < words_; ++i) {
+      n += static_cast<size_t>(__builtin_popcountll(w[i]));
+    }
     return n;
   }
 
   /// In-place intersection; the result has the max of the two word widths.
   void IntersectWith(const QuerySet& other) {
-    size_t n = std::min(bits_.size(), other.bits_.size());
-    for (size_t i = 0; i < n; ++i) bits_[i] &= other.bits_[i];
-    for (size_t i = n; i < bits_.size(); ++i) bits_[i] = 0;
+    uint64_t* w = words();
+    const uint64_t* ow = other.words();
+    size_t n = std::min(words_, other.words_);
+    for (size_t i = 0; i < n; ++i) w[i] &= ow[i];
+    for (size_t i = n; i < words_; ++i) w[i] = 0;
   }
 
   void UnionWith(const QuerySet& other) {
-    if (other.bits_.size() > bits_.size()) bits_.resize(other.bits_.size(), 0);
+    GrowWords(other.words_);
     if (other.size_ > size_) size_ = other.size_;
-    for (size_t i = 0; i < other.bits_.size(); ++i) bits_[i] |= other.bits_[i];
+    uint64_t* w = words();
+    const uint64_t* ow = other.words();
+    for (size_t i = 0; i < other.words_; ++i) w[i] |= ow[i];
   }
 
   void SubtractWith(const QuerySet& other) {
-    size_t n = std::min(bits_.size(), other.bits_.size());
-    for (size_t i = 0; i < n; ++i) bits_[i] &= ~other.bits_[i];
+    uint64_t* w = words();
+    const uint64_t* ow = other.words();
+    size_t n = std::min(words_, other.words_);
+    for (size_t i = 0; i < n; ++i) w[i] &= ~ow[i];
   }
 
   bool Intersects(const QuerySet& other) const {
-    size_t n = std::min(bits_.size(), other.bits_.size());
+    const uint64_t* w = words();
+    const uint64_t* ow = other.words();
+    size_t n = std::min(words_, other.words_);
     for (size_t i = 0; i < n; ++i) {
-      if (bits_[i] & other.bits_[i]) return true;
+      if (w[i] & ow[i]) return true;
     }
     return false;
   }
@@ -88,11 +104,12 @@ class QuerySet {
   /// Calls fn(QueryId) for every member, ascending.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (size_t w = 0; w < bits_.size(); ++w) {
-      uint64_t word = bits_[w];
+    const uint64_t* w = words();
+    for (size_t i = 0; i < words_; ++i) {
+      uint64_t word = w[i];
       while (word) {
         int b = __builtin_ctzll(word);
-        fn(static_cast<QueryId>(w * 64 + static_cast<size_t>(b)));
+        fn(static_cast<QueryId>(i * 64 + static_cast<size_t>(b)));
         word &= word - 1;
       }
     }
@@ -106,10 +123,12 @@ class QuerySet {
   }
 
   bool operator==(const QuerySet& other) const {
-    size_t n = std::max(bits_.size(), other.bits_.size());
+    const uint64_t* w = words();
+    const uint64_t* ow = other.words();
+    size_t n = std::max(words_, other.words_);
     for (size_t i = 0; i < n; ++i) {
-      uint64_t a = i < bits_.size() ? bits_[i] : 0;
-      uint64_t b = i < other.bits_.size() ? other.bits_[i] : 0;
+      uint64_t a = i < words_ ? w[i] : 0;
+      uint64_t b = i < other.words_ ? ow[i] : 0;
       if (a != b) return false;
     }
     return true;
@@ -128,13 +147,32 @@ class QuerySet {
   }
 
  private:
-  void EnsureCapacity(QueryId q) {
-    size_t need = (static_cast<size_t>(q) >> 6) + 1;
-    if (bits_.size() < need) bits_.resize(need, 0);
-    if (size_ <= q) size_ = q + 1;
+  static constexpr size_t kInlineWords = 2;  // 128 queries without allocating
+
+  // Storage invariant: the live words are inline_ iff words_ <= kInlineWords,
+  // heap_ otherwise. Growth only (no caller shrinks a set).
+  const uint64_t* words() const {
+    return words_ <= kInlineWords ? inline_ : heap_.data();
+  }
+  uint64_t* words() { return words_ <= kInlineWords ? inline_ : heap_.data(); }
+
+  void GrowWords(size_t need) {
+    if (need <= words_) return;
+    if (need > kInlineWords) {
+      if (words_ <= kInlineWords) heap_.assign(inline_, inline_ + words_);
+      heap_.resize(need, 0);
+    }
+    words_ = need;
   }
 
-  std::vector<uint64_t> bits_;
+  void EnsureCapacity(QueryId q) {
+    GrowWords((static_cast<size_t>(q) >> 6) + 1);
+    if (size_ <= q) size_ = static_cast<size_t>(q) + 1;
+  }
+
+  uint64_t inline_[kInlineWords] = {};
+  std::vector<uint64_t> heap_;
+  size_t words_ = 0;
   size_t size_ = 0;
 };
 

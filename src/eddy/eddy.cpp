@@ -63,6 +63,25 @@ void Eddy::Ingest(SourceId source, const Tuple& tuple) {
   if (!draining_) Drain();
 }
 
+void Eddy::IngestBatch(const TupleBatch& batch) {
+  if (batch.empty()) return;
+  tuples_ingested_->Inc(batch.size());
+  // Resolve the batch's SteM build targets once instead of scanning the
+  // attached-SteM list per tuple.
+  build_stems_scratch_.clear();
+  for (auto& stem : stems_) {
+    if (stem->source() == batch.source()) {
+      build_stems_scratch_.push_back(stem.get());
+    }
+  }
+  for (const Tuple& t : batch) {
+    Timestamp seq = next_seq_++;
+    for (SteM* stem : build_stems_scratch_) stem->Build(t, seq);
+    queue_.push_back(Envelope{t, 0, seq});
+  }
+  if (!draining_) Drain();
+}
+
 void Eddy::AdvanceTime(Timestamp now) {
   for (auto& stem : stems_) stem->AdvanceTime(now);
 }

@@ -24,6 +24,7 @@
 #include "eddy/routing_policy.h"
 #include "stem/stem.h"
 #include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
 
 namespace tcq {
 
@@ -67,7 +68,16 @@ class Eddy {
   }
 
   /// Ingests one base tuple and runs the dataflow to quiescence.
+  /// Equivalent to a batch of one.
   void Ingest(SourceId source, const Tuple& tuple);
+
+  /// Ingests a whole same-source batch: the SteM build targets are resolved
+  /// once, all tuples are built and enqueued, and the dataflow drains to
+  /// quiescence once. Combined with the batch_size knob, one routing
+  /// decision covers same-signature tuples across the entire batch. SteM
+  /// builds ahead of probing are safe: probes bound matches by sequence
+  /// number, so results are identical to per-tuple ingest.
+  void IngestBatch(const TupleBatch& batch);
 
   /// Advances stream time on all attached SteMs (window eviction).
   void AdvanceTime(Timestamp now);
@@ -113,6 +123,7 @@ class Eddy {
   std::unordered_map<uint64_t, CachedDecision> decision_cache_;
 
   // Scratch buffers.
+  std::vector<SteM*> build_stems_scratch_;
   std::vector<size_t> ready_scratch_;
   std::vector<size_t> order_scratch_;
   std::vector<Envelope> out_scratch_;

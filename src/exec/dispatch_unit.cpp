@@ -4,16 +4,17 @@ namespace tcq {
 
 namespace {
 
-/// Pulls up to `quantum` tuples round-robin from push-mode inputs, invoking
-/// `deliver(source, tuple)`. Returns (consumed, all_exhausted).
+/// Pulls up to `quantum` tuples round-robin from push-mode inputs, draining
+/// each visited input in whole batches (one queue lock per batch instead of
+/// one per tuple) and invoking `deliver(source, batch)`. Returns
+/// (consumed, all_exhausted).
 template <typename InputVec, typename Fn>
 std::pair<size_t, bool> PumpInputs(InputVec& inputs, size_t* next_input,
                                    size_t quantum, Fn&& deliver) {
   if (inputs.empty()) return {0, false};
   size_t consumed = 0;
   size_t attempts = 0;
-  bool all_exhausted = true;
-  Tuple tuple;
+  TupleBatch batch;
   while (consumed < quantum && attempts < inputs.size()) {
     auto& input = inputs[*next_input % inputs.size()];
     ++*next_input;
@@ -21,25 +22,22 @@ std::pair<size_t, bool> PumpInputs(InputVec& inputs, size_t* next_input,
       ++attempts;
       continue;
     }
-    all_exhausted = false;
-    QueueOp op = input.consumer.Consume(&tuple);
-    switch (op) {
-      case QueueOp::kOk:
-        deliver(input.source, tuple);
-        ++consumed;
-        attempts = 0;
-        break;
-      case QueueOp::kWouldBlock:
-        ++attempts;
-        break;
-      case QueueOp::kClosed:
-        input.exhausted = true;
-        ++attempts;
-        break;
+    batch.clear();
+    batch.set_source(input.source);
+    QueueOp op;
+    size_t got =
+        input.consumer.ConsumeBatch(&batch, quantum - consumed, &op);
+    if (op == QueueOp::kClosed) input.exhausted = true;
+    if (got > 0) {
+      deliver(input.source, batch);
+      consumed += got;
+      attempts = 0;
+    } else {
+      ++attempts;
     }
   }
   // Recompute exhaustion after the pump: inputs may have closed mid-loop.
-  all_exhausted = true;
+  bool all_exhausted = true;
   for (const auto& input : inputs) {
     if (!input.exhausted) {
       all_exhausted = false;
@@ -96,7 +94,7 @@ DispatchUnit::StepResult SharedCQDispatchUnit::Step() {
   DrainPlanQueue();
   auto [consumed, exhausted] = PumpInputs(
       inputs_, &next_input_, opts_.quantum,
-      [&](SourceId s, const Tuple& t) { eddy_->Ingest(s, t); });
+      [&](SourceId, const TupleBatch& b) { eddy_->IngestBatch(b); });
   StepResult r = consumed > 0 ? StepResult::kProgress
                  : exhausted  ? StepResult::kDone
                               : StepResult::kIdle;
@@ -119,7 +117,7 @@ void EddyDispatchUnit::AddInput(SourceId source, FjordConsumer consumer) {
 DispatchUnit::StepResult EddyDispatchUnit::Step() {
   auto [consumed, exhausted] = PumpInputs(
       inputs_, &next_input_, quantum_,
-      [&](SourceId s, const Tuple& t) { eddy_->Ingest(s, t); });
+      [&](SourceId, const TupleBatch& b) { eddy_->IngestBatch(b); });
   StepResult r = consumed > 0 ? StepResult::kProgress
                  : exhausted  ? StepResult::kDone
                               : StepResult::kIdle;
@@ -146,7 +144,9 @@ void WindowedQueryDispatchUnit::AddInput(SourceId source,
 DispatchUnit::StepResult WindowedQueryDispatchUnit::Step() {
   auto [consumed, exhausted] = PumpInputs(
       inputs_, &next_input_, quantum_,
-      [&](SourceId s, const Tuple& t) { runner_.Ingest(s, t); });
+      [&](SourceId s, const TupleBatch& b) {
+        for (const Tuple& t : b) runner_.Ingest(s, t);
+      });
   if (exhausted) {
     // End of streams: everything that will ever arrive has arrived.
     for (auto& input : inputs_) {

@@ -63,6 +63,9 @@ Status Executor::RegisterStream(SourceId source, SchemaRef schema,
   StreamInfo info;
   info.schema = std::move(schema);
   info.stem_opts = std::move(stem_opts);
+  info.dropped = metrics_->GetCounter(MetricName(
+      "tcq_executor_stream_dropped_total", "stream",
+      "s" + std::to_string(source)));
   streams_.emplace(source, std::move(info));
   return Status::OK();
 }
@@ -190,7 +193,16 @@ Status Executor::RemoveQuery(GlobalQueryId id) {
 }
 
 Status Executor::IngestTuple(SourceId source, const Tuple& tuple) {
+  TupleBatch batch(source);
+  batch.push_back(tuple);
+  return IngestBatch(std::move(batch));
+}
+
+Status Executor::IngestBatch(TupleBatch batch) {
+  if (batch.empty()) return Status::OK();
+  SourceId source = batch.source();
   FjordProducer* producer = nullptr;
+  Counter* dropped = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = streams_.find(source);
@@ -199,24 +211,40 @@ Status Executor::IngestTuple(SourceId source, const Tuple& tuple) {
                               " is not registered");
     }
     producer = it->second.producer.get();
+    dropped = it->second.dropped;
   }
   if (producer == nullptr) {
-    // No query class consumes this stream yet.
-    dropped_unrouted_->Inc();
-    return Status::OK();
+    // No query class consumes this stream: drop loudly, not silently.
+    dropped_unrouted_->Inc(batch.size());
+    dropped->Inc(batch.size());
+    return Status::FailedPrecondition(
+        "stream s" + std::to_string(source) +
+        " is not consumed by any active query class; " +
+        std::to_string(batch.size()) + " tuple(s) dropped");
   }
   for (int attempt = 0; attempt < 200; ++attempt) {
-    QueueOp op = producer->Produce(tuple);
-    if (op == QueueOp::kOk) return Status::OK();
+    QueueOp op = producer->ProduceBatch(&batch);
+    if (batch.empty()) return Status::OK();
     if (op == QueueOp::kClosed) {
+      dropped->Inc(batch.size());
       return Status::FailedPrecondition("stream s" + std::to_string(source) +
                                         " is closed");
     }
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
-  dropped_unrouted_->Inc();
+  dropped_unrouted_->Inc(batch.size());
+  dropped->Inc(batch.size());
   return Status::ResourceExhausted("stream s" + std::to_string(source) +
-                                   " back-pressured; tuple dropped");
+                                   " back-pressured; " +
+                                   std::to_string(batch.size()) +
+                                   " tuple(s) dropped");
+}
+
+uint64_t Executor::stream_tuples_dropped(SourceId source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(source);
+  if (it == streams_.end()) return 0;
+  return it->second.dropped->Value();
 }
 
 Status Executor::CloseStream(SourceId source) {

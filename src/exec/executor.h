@@ -51,9 +51,19 @@ class Executor {
   Status RegisterStream(SourceId source, SchemaRef schema,
                         StemOptions stem_opts = StemOptions{});
 
-  /// Thread-safe ingestion: routes to the query class consuming the stream
-  /// (tuples for streams no active query covers are counted and dropped).
+  /// Thread-safe ingestion of one tuple: a batch of one (see IngestBatch).
   Status IngestTuple(SourceId source, const Tuple& tuple);
+
+  /// Thread-safe batch ingestion: routes the whole batch to the query class
+  /// consuming its stream in ONE catalog lookup, moving it into the class's
+  /// fjord in whole-batch pushes. Returns:
+  ///   * kNotFound            — the stream was never registered;
+  ///   * kFailedPrecondition  — no active query class consumes the stream
+  ///                            (the batch is dropped and counted, per-stream
+  ///                            and globally), or the stream is closed;
+  ///   * kResourceExhausted   — back-pressure outlasted the retry budget; the
+  ///                            undelivered suffix is dropped and counted.
+  Status IngestBatch(TupleBatch batch);
 
   /// Closes a stream: its class eventually drains and completes.
   Status CloseStream(SourceId source);
@@ -73,6 +83,9 @@ class Executor {
   uint64_t tuples_dropped_unrouted() const {
     return dropped_unrouted_->Value();
   }
+  /// Tuples dropped on one stream (unrouted, closed, or back-pressured
+  /// past the retry budget). 0 for unknown streams.
+  uint64_t stream_tuples_dropped(SourceId source) const;
   const MetricsRegistryRef& metrics() const { return metrics_; }
 
  private:
@@ -82,6 +95,8 @@ class Executor {
     /// Producing endpoint into the owning class (null until claimed).
     std::unique_ptr<FjordProducer> producer;
     size_t owner_class = SIZE_MAX;
+    /// Drops on this stream: tcq_executor_stream_dropped_total{stream=...}.
+    Counter* dropped = nullptr;
   };
 
   struct QueryClass {

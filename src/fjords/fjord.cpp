@@ -35,6 +35,28 @@ QueueOp FjordProducer::Produce(Tuple t) {
   return QueueOp::kClosed;
 }
 
+QueueOp FjordProducer::ProduceBatch(TupleBatch* batch) {
+  if (batch->empty()) return QueueOp::kOk;
+  switch (fjord_->mode()) {
+    case FjordMode::kPull: {
+      size_t pushed = fjord_->queue().PushBatchBlocking(batch->data(),
+                                                        batch->size());
+      bool all = pushed == batch->size();
+      batch->clear();
+      return all ? QueueOp::kOk : QueueOp::kClosed;
+    }
+    case FjordMode::kPush:
+    case FjordMode::kExchange: {
+      QueueOp op;
+      size_t pushed =
+          fjord_->queue().TryPushBatch(batch->data(), batch->size(), &op);
+      batch->DropFront(pushed);
+      return op;
+    }
+  }
+  return QueueOp::kClosed;
+}
+
 void FjordProducer::Close() { fjord_->queue().Close(); }
 
 QueueOp FjordConsumer::Consume(Tuple* out) {
@@ -47,6 +69,21 @@ QueueOp FjordConsumer::Consume(Tuple* out) {
       return fjord_->queue().TryDequeue(out);
   }
   return QueueOp::kClosed;
+}
+
+size_t FjordConsumer::ConsumeBatch(TupleBatch* out, size_t max, QueueOp* op) {
+  switch (fjord_->mode()) {
+    case FjordMode::kPull:
+    case FjordMode::kExchange: {
+      size_t got = fjord_->queue().PopBatchBlocking(out, max);
+      *op = got > 0 ? QueueOp::kOk : QueueOp::kClosed;
+      return got;
+    }
+    case FjordMode::kPush:
+      return fjord_->queue().TryPopBatch(out, max, op);
+  }
+  *op = QueueOp::kClosed;
+  return 0;
 }
 
 bool FjordConsumer::Exhausted() const { return fjord_->queue().exhausted(); }

@@ -36,6 +36,14 @@ class FjordProducer {
   /// (push mode, queue full) or kClosed.
   QueueOp Produce(Tuple t);
 
+  /// Offers a whole batch, moving every tuple that fits under ONE queue
+  /// lock acquisition. Consumed tuples are removed from `*batch`; on
+  /// kWouldBlock (push mode, queue filled up) the unconsumed suffix stays
+  /// in the batch for the caller to retry; on kClosed the batch is left
+  /// untouched (pull mode: drained and counted as dropped-on-close, like
+  /// Produce).
+  QueueOp ProduceBatch(TupleBatch* batch);
+
   /// Signals end of stream.
   void Close();
 
@@ -52,6 +60,11 @@ class FjordConsumer {
   /// Fetches a tuple per the fjord's modality. kWouldBlock means "no data
   /// right now" (push mode only); kClosed means the stream ended.
   QueueOp Consume(Tuple* out);
+
+  /// Fetches up to `max` queued tuples in ONE lock acquisition, appending
+  /// to `*out`. Returns the count fetched; `*op` mirrors Consume's codes
+  /// (kOk when anything arrived).
+  size_t ConsumeBatch(TupleBatch* out, size_t max, QueueOp* op);
 
   /// True once the stream has ended and all queued tuples were consumed.
   bool Exhausted() const;

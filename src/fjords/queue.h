@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -15,6 +16,7 @@
 
 #include "common/metrics.h"
 #include "tuple/tuple.h"
+#include "tuple/tuple_batch.h"
 
 namespace tcq {
 
@@ -125,6 +127,112 @@ class BoundedQueue {
     PopLocked(out);
     not_full_.notify_one();
     return true;
+  }
+
+  // --- Batch operations (one lock acquisition per whole batch) --------------
+
+  /// Non-blocking batch enqueue: moves as many of items[0..n) as fit under
+  /// ONE lock acquisition. Returns the count moved; `*op` is kOk when
+  /// everything fit, kWouldBlock on a partial/empty transfer (queue filled
+  /// up), kClosed after Close() (remaining items are left with the caller,
+  /// NOT destroyed — only the caller knows whether to drop or retry them).
+  size_t TryPushBatch(T* items, size_t n, QueueOp* op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      *op = QueueOp::kClosed;
+      return 0;
+    }
+    size_t room = capacity_ > items_.size() ? capacity_ - items_.size() : 0;
+    size_t take = std::min(room, n);
+    for (size_t i = 0; i < take; ++i) PushLocked(std::move(items[i]));
+    if (take > 0) {
+      if (take == 1) {
+        not_empty_.notify_one();
+      } else {
+        not_empty_.notify_all();
+      }
+    }
+    if (take < n) {
+      ++enqueue_blocked_;
+      if (metrics_.enqueue_blocked != nullptr) metrics_.enqueue_blocked->Inc();
+      *op = QueueOp::kWouldBlock;
+    } else {
+      *op = QueueOp::kOk;
+    }
+    return take;
+  }
+
+  /// Blocking batch enqueue: waits for space and moves chunks until all n
+  /// items are enqueued or the queue closes. Returns the count enqueued
+  /// (< n only on close; the shortfall is counted in
+  /// dropped_on_close_count(), matching EnqueueBlocking's contract).
+  size_t PushBatchBlocking(T* items, size_t n) {
+    size_t pushed = 0;
+    while (pushed < n) {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        for (size_t i = pushed; i < n; ++i) CountDroppedOnClose();
+        return pushed;
+      }
+      while (pushed < n && items_.size() < capacity_) {
+        PushLocked(std::move(items[pushed++]));
+      }
+      not_empty_.notify_all();
+    }
+    return pushed;
+  }
+
+  /// Non-blocking batch dequeue: appends up to `max` items to `*out` (any
+  /// container with push_back) under ONE lock acquisition. Returns the count
+  /// popped; `*op` is kOk when anything was popped, kClosed when the queue
+  /// is closed and drained, kWouldBlock when it is just empty.
+  template <typename OutContainer>
+  size_t TryPopBatch(OutContainer* out, size_t max, QueueOp* op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      if (closed_) {
+        *op = QueueOp::kClosed;
+      } else {
+        ++dequeue_blocked_;
+        if (metrics_.dequeue_blocked != nullptr) {
+          metrics_.dequeue_blocked->Inc();
+        }
+        *op = QueueOp::kWouldBlock;
+      }
+      return 0;
+    }
+    size_t take = std::min(items_.size(), max);
+    T item;
+    for (size_t i = 0; i < take; ++i) {
+      PopLocked(&item);
+      out->push_back(std::move(item));
+    }
+    if (take == 1) {
+      not_full_.notify_one();
+    } else {
+      not_full_.notify_all();
+    }
+    *op = QueueOp::kOk;
+    return take;
+  }
+
+  /// Blocking batch dequeue: waits for at least one item (or close), then
+  /// appends up to `max` to `*out` under the same lock. Returns the count
+  /// (0 iff closed and drained).
+  template <typename OutContainer>
+  size_t PopBatchBlocking(OutContainer* out, size_t max) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    size_t take = std::min(items_.size(), max);
+    T item;
+    for (size_t i = 0; i < take; ++i) {
+      PopLocked(&item);
+      out->push_back(std::move(item));
+    }
+    if (take > 0) not_full_.notify_all();
+    return take;
   }
 
   /// Marks end-of-stream. Pending items remain dequeuable; blocked callers

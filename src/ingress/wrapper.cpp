@@ -1,15 +1,24 @@
 #include "ingress/wrapper.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace tcq {
 
 Wrapper::Wrapper(Options opts, MetricsRegistryRef metrics)
     : opts_(opts), metrics_(OrPrivateRegistry(std::move(metrics))) {
+  opts_.batch_max_size = std::max<size_t>(opts_.batch_max_size, 1);
   forwarded_ = metrics_->GetCounter("tcq_wrapper_tuples_forwarded_total");
   dropped_ = metrics_->GetCounter("tcq_wrapper_tuples_dropped_total");
   lost_on_close_ =
       metrics_->GetCounter("tcq_wrapper_tuples_lost_on_close_total");
+  batch_size_ = metrics_->GetHistogram("tcq_wrapper_batch_size");
+  flush_size_ = metrics_->GetCounter(
+      MetricName("tcq_wrapper_batch_flush_total", "reason", "size"));
+  flush_delay_ = metrics_->GetCounter(
+      MetricName("tcq_wrapper_batch_flush_total", "reason", "delay"));
+  flush_close_ = metrics_->GetCounter(
+      MetricName("tcq_wrapper_batch_flush_total", "reason", "close"));
 }
 
 Wrapper::~Wrapper() { Stop(); }
@@ -43,6 +52,43 @@ void Wrapper::Start() {
 }
 
 void Wrapper::RunPullTask(PullTask* task) {
+  TupleBatch batch;
+  int64_t oldest_us = 0;  // arrival of the oldest accumulated tuple
+
+  // Pushes the whole accumulated batch downstream (one queue lock per
+  // attempt), honoring drop_on_full. Returns false when the streamer was
+  // closed under us (the task is over).
+  auto flush = [&](Counter* reason) -> bool {
+    if (batch.empty()) return true;
+    reason->Inc();
+    batch_size_->Observe(batch.size());
+    while (true) {
+      size_t before = batch.size();
+      QueueOp op = task->producer->ProduceBatch(&batch);
+      forwarded_->Inc(before - batch.size());
+      if (batch.empty()) return true;
+      if (op == QueueOp::kClosed) {
+        // The consumer closed the streamer under us: the tuples in hand are
+        // lost. Count them — silent data loss is a bug magnet.
+        lost_on_close_->Inc(batch.size());
+        batch.clear();
+        return false;
+      }
+      // Queue full: non-blocking semantics let us choose a policy.
+      if (opts_.drop_on_full) {
+        dropped_->Inc(batch.size());
+        batch.clear();
+        return true;
+      }
+      if (stop_.load(std::memory_order_relaxed)) {
+        dropped_->Inc(batch.size());
+        batch.clear();
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  };
+
   Tuple tuple;
   while (!stop_.load(std::memory_order_relaxed)) {
     if (!task->source->Next(&tuple)) break;  // end of stream
@@ -52,26 +98,18 @@ void Wrapper::RunPullTask(PullTask* task) {
         std::this_thread::sleep_for(std::chrono::microseconds(gap_us));
       }
     }
-    while (!stop_.load(std::memory_order_relaxed)) {
-      QueueOp op = task->producer->Produce(tuple);
-      if (op == QueueOp::kOk) {
-        forwarded_->Inc();
-        break;
-      }
-      if (op == QueueOp::kClosed) {
-        // The consumer closed the streamer under us: the tuple in hand is
-        // lost. Count it — silent data loss is a bug magnet.
-        lost_on_close_->Inc();
-        return;
-      }
-      // Queue full: non-blocking semantics let us choose a policy.
-      if (opts_.drop_on_full) {
-        dropped_->Inc();
-        break;
-      }
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    if (batch.empty()) oldest_us = NowMicros();
+    batch.push_back(std::move(tuple));
+    bool size_trip = batch.size() >= opts_.batch_max_size;
+    bool delay_trip =
+        !size_trip && opts_.batch_max_delay_us > 0 &&
+        NowMicros() - oldest_us >=
+            static_cast<int64_t>(opts_.batch_max_delay_us);
+    if (size_trip || delay_trip) {
+      if (!flush(size_trip ? flush_size_ : flush_delay_)) return;
     }
   }
+  flush(flush_close_);
   task->producer->Close();
 }
 

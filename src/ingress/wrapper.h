@@ -30,6 +30,15 @@ class Wrapper {
     /// When a streamer queue is full: true = drop the tuple (count it),
     /// false = retry until space (throttling the source).
     bool drop_on_full = false;
+    /// Flush policy: a pull task accumulates tuples into a batch and pushes
+    /// the whole batch downstream under one queue lock when either bound
+    /// trips. batch_max_size = 1 degenerates to per-tuple forwarding.
+    size_t batch_max_size = 64;
+    /// Max time the oldest accumulated tuple may wait before the batch is
+    /// flushed regardless of size (0 = no delay bound; flush on size or
+    /// end-of-stream only). Checked between source pulls, so a source that
+    /// stalls inside Next() can exceed this bound until it yields.
+    uint64_t batch_max_delay_us = 1000;
   };
 
   /// When `metrics` is null the wrapper observes itself (and its streamer
@@ -82,6 +91,12 @@ class Wrapper {
   Counter* forwarded_;
   Counter* dropped_;
   Counter* lost_on_close_;
+  /// Distribution of flushed batch sizes: tcq_wrapper_batch_size.
+  Histogram* batch_size_;
+  /// Flush cause: tcq_wrapper_batch_flush_total{reason=size|delay|close}.
+  Counter* flush_size_;
+  Counter* flush_delay_;
+  Counter* flush_close_;
 };
 
 }  // namespace tcq

@@ -111,6 +111,24 @@ void PSoup::Ingest(SourceId source, const Tuple& tuple) {
   if (++ingests_ % opts_.eviction_interval == 0) EvictionPass(now_);
 }
 
+void PSoup::IngestBatch(const TupleBatch& batch) {
+  if (batch.empty()) return;
+  auto it = data_stems_.find(batch.source());
+  assert(it != data_stems_.end() && "ingest on unregistered stream");
+  DataSteM* data = it->second.get();
+  for (const Tuple& t : batch) {
+    now_ = std::max(now_, t.timestamp());
+    data->Insert(t);
+  }
+  eddy_.IngestBatch(batch);
+  // Preserve the per-tuple eviction cadence: fire once per crossed interval.
+  uint64_t before = ingests_;
+  ingests_ += batch.size();
+  if (ingests_ / opts_.eviction_interval > before / opts_.eviction_interval) {
+    EvictionPass(now_);
+  }
+}
+
 void PSoup::EvictionPass(Timestamp now) {
   eddy_.AdvanceTime(now);
   for (auto& [source, stem] : data_stems_) stem->AdvanceTime(now);

@@ -51,8 +51,13 @@ class PSoup {
   Status Unregister(QueryId id);
 
   /// Feeds one new data element (timestamps must be non-decreasing per
-  /// stream).
+  /// stream). Equivalent to a batch of one.
   void Ingest(SourceId source, const Tuple& tuple);
+
+  /// Feeds a whole same-source batch: one Data SteM lookup, a hoisted
+  /// insert loop, then a single shared-eddy batch ingest. Results are
+  /// identical to per-tuple Ingest (see SharedEddy::IngestBatch).
+  void IngestBatch(const TupleBatch& batch);
 
   /// Disconnected-client invocation: imposes the query's window on the
   /// Results Structure as of `now` and returns the current answer set.

@@ -111,24 +111,41 @@ Status TelegraphCQ::AttachSource(const std::string& stream_name,
   return Status::OK();
 }
 
-void TelegraphCQ::Route(PhysicalStream* stream, const Tuple& tuple) {
-  ingested_->Inc();
-  stream->ingested->Inc();
-  if (stream->spool != nullptr) (void)stream->spool->Append(tuple);
+void TelegraphCQ::RouteBatch(PhysicalStream* stream, const TupleBatch& batch) {
+  if (batch.empty()) return;
+  ingested_->Inc(batch.size());
+  stream->ingested->Inc(batch.size());
+  if (stream->spool != nullptr) {
+    for (const Tuple& t : batch) (void)stream->spool->Append(t);
+  }
   for (const Subscription& sub : stream->subs) {
-    if (sub.logical == stream->canonical &&
-        sub.schema.get() == tuple.schema().get()) {
-      sub.deliver(tuple);
+    // A canonical-source batch whose tuples already carry the
+    // subscription's schema passes through untouched; anything else is
+    // re-tagged under the subscription's logical source (self-join alias).
+    bool direct = sub.logical == stream->canonical;
+    if (direct) {
+      for (const Tuple& t : batch) {
+        if (t.schema().get() != sub.schema.get()) {
+          direct = false;
+          break;
+        }
+      }
+    }
+    if (direct) {
+      sub.deliver(batch);
     } else {
-      // Re-tag under the subscription's logical source (self-join alias).
-      sub.deliver(
-          Tuple::Make(sub.schema, tuple.values(), tuple.timestamp()));
+      TupleBatch retagged(sub.logical);
+      retagged.reserve(batch.size());
+      for (const Tuple& t : batch) {
+        retagged.push_back(Tuple::Make(sub.schema, t.values(), t.timestamp()));
+      }
+      sub.deliver(retagged);
     }
   }
 }
 
-Status TelegraphCQ::Push(const std::string& stream_name,
-                         std::vector<Value> values, Timestamp timestamp) {
+Status TelegraphCQ::PushBatch(const std::string& stream_name,
+                              std::vector<TupleBatchRow> rows) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = streams_.find(stream_name);
   if (it == streams_.end()) {
@@ -139,10 +156,30 @@ Status TelegraphCQ::Push(const std::string& stream_name,
     return Status::FailedPrecondition("stream '" + stream_name +
                                       "' is closed");
   }
-  TCQ_RETURN_IF_ERROR(stream.schema->Validate(values));
-  Tuple tuple = Tuple::Make(stream.schema, std::move(values), timestamp);
-  Route(&stream, tuple);
+  // Atomic validation: reject the whole batch before any row is ingested.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    Status s = stream.schema->Validate(rows[i].values);
+    if (!s.ok()) {
+      return Status::InvalidArgument("row " + std::to_string(i) + " of " +
+                                     std::to_string(rows.size()) + ": " +
+                                     s.message());
+    }
+  }
+  TupleBatch batch(stream.canonical);
+  batch.reserve(rows.size());
+  for (TupleBatchRow& row : rows) {
+    batch.push_back(
+        Tuple::Make(stream.schema, std::move(row.values), row.timestamp));
+  }
+  RouteBatch(&stream, batch);
   return Status::OK();
+}
+
+Status TelegraphCQ::Push(const std::string& stream_name,
+                         std::vector<Value> values, Timestamp timestamp) {
+  std::vector<TupleBatchRow> rows;
+  rows.push_back(TupleBatchRow{std::move(values), timestamp});
+  return PushBatch(stream_name, std::move(rows));
 }
 
 Status TelegraphCQ::CloseStream(const std::string& stream_name) {
@@ -152,9 +189,11 @@ Status TelegraphCQ::CloseStream(const std::string& stream_name) {
     return Status::NotFound("no stream '" + stream_name + "'");
   }
   it->second.closed = true;
-  // Executor-side close lets shared-CQ DUs drain to completion.
+  // Executor-side close lets shared-CQ DUs drain to completion; windowed
+  // subscriptions close their input fjords and fire remaining windows.
   for (const Subscription& sub : it->second.subs) {
     (void)executor_.CloseStream(sub.logical);
+    if (sub.close) sub.close();
   }
   return Status::OK();
 }
@@ -173,8 +212,10 @@ Status TelegraphCQ::SubscribeContinuous(const std::string& physical,
   Subscription sub;
   sub.logical = entry.source;
   sub.schema = entry.schema;
-  sub.deliver = [this, logical = entry.source](const Tuple& t) {
-    (void)executor_.IngestTuple(logical, t);
+  sub.deliver = [this, logical = entry.source](const TupleBatch& b) {
+    TupleBatch routed = b;
+    routed.set_source(logical);
+    (void)executor_.IngestBatch(std::move(routed));
   };
   stream.subs.push_back(std::move(sub));
   return Status::OK();
@@ -200,8 +241,9 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
 
   if (plan.window_loop.has_value()) {
     // Windowed query: its own DU fed by dedicated fjords.
+    GlobalQueryId wid = next_window_query_id_++;
     auto buffer = std::make_shared<WindowResultBuffer>();
-    std::string qlabel = "q" + std::to_string(next_window_query_id_);
+    std::string qlabel = "q" + std::to_string(wid);
     buffer->AttachMetrics(
         metrics_->GetCounter(
             MetricName("tcq_window_fired_total", "query", qlabel)),
@@ -212,7 +254,7 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
     wq.loop = *plan.window_loop;
     wq.predicates = plan.all_predicates;
     auto du = std::make_shared<WindowedQueryDispatchUnit>(
-        "windowed" + std::to_string(next_window_query_id_), std::move(wq),
+        "windowed" + std::to_string(wid), std::move(wq),
         [buffer, projection](const WindowResult& r) {
           if (!projection.has_value()) {
             buffer->Push(r);
@@ -234,27 +276,31 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
       Subscription sub;
       sub.logical = entry.source;
       sub.schema = entry.schema;
-      sub.deliver = [producer = std::make_shared<FjordProducer>(
-                         endpoints.producer)](const Tuple& t) {
+      sub.owner = wid;
+      auto producer = std::make_shared<FjordProducer>(endpoints.producer);
+      sub.deliver = [producer](const TupleBatch& b) {
         // Push mode: drop on overload (windowed clients are best-effort
         // under backpressure).
-        (void)producer->Produce(t);
+        TupleBatch offered = b;
+        (void)producer->ProduceBatch(&offered);
       };
+      // CloseStream closes the input fjord so the DU sees end-of-stream and
+      // fires the windows it is still holding open.
+      sub.close = [producer] { producer->Close(); };
       stream.subs.push_back(std::move(sub));
     }
     // Host the windowed DU on its own EO so it cannot starve classes.
     auto eo = std::make_unique<ExecutionObject>(
-        "win-eo" + std::to_string(window_eos_.size()),
-        MakeRoundRobinScheduler(), metrics_);
+        "win-eo" + std::to_string(wid), MakeRoundRobinScheduler(), metrics_);
     eo->AddDispatchUnit(du);
     if (started_) eo->Start();
-    window_dus_.push_back(du);
-    window_eos_.push_back(std::move(eo));
-    handle.id = next_window_query_id_++;
+    handle.id = wid;
     handle.windows = buffer;
     ClientInfo& client = clients_[handle.id];
     client.windowed = true;
     client.windows = buffer;
+    client.window_du = du;
+    client.window_eo = std::move(eo);
     for (const auto& [alias, entry] : bindings) {
       // Self-joins bind one physical stream under several aliases; count it
       // once per query.
@@ -321,9 +367,32 @@ Result<std::vector<Tuple>> TelegraphCQ::ScanHistory(const std::string& name,
 }
 
 Status TelegraphCQ::Cancel(GlobalQueryId id) {
+  std::shared_ptr<WindowResultBuffer> windows;
+  std::unique_ptr<ExecutionObject> eo;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    clients_.erase(id);
+    auto it = clients_.find(id);
+    if (it == clients_.end()) {
+      return Status::NotFound("no query " + std::to_string(id));
+    }
+    if (it->second.windowed) {
+      windows = it->second.windows;
+      eo = std::move(it->second.window_eo);
+      // Detach the query's subscriptions so its fjords stop filling.
+      for (auto& [name, stream] : streams_) {
+        std::erase_if(stream.subs, [id](const Subscription& s) {
+          return s.owner == id;
+        });
+      }
+    }
+    clients_.erase(it);
+  }
+  if (windows != nullptr) {
+    // Windowed queries never entered the executor: stop their dedicated EO
+    // (outside mu_ — Stop joins the EO thread) and finish the buffer.
+    if (eo != nullptr) eo->Stop();
+    windows->MarkFinished();
+    return Status::OK();
   }
   return executor_.RemoveQuery(id);
 }
@@ -351,6 +420,21 @@ TelegraphCQ::Introspection TelegraphCQ::Introspect() const {
     }
     out.queries.push_back(qs);
   }
+  for (const auto& [name, stream] : streams_) {
+    StreamStats ss;
+    ss.name = name;
+    ss.source = stream.canonical;
+    ss.tuples_in = stream.ingested->Value();
+    // Executor-side drops accrue against each logical subscription the
+    // physical stream fans out to (the canonical id plus re-tagged aliases).
+    ss.dropped = executor_.stream_tuples_dropped(stream.canonical);
+    for (const Subscription& sub : stream.subs) {
+      if (sub.logical != stream.canonical) {
+        ss.dropped += executor_.stream_tuples_dropped(sub.logical);
+      }
+    }
+    out.streams.push_back(std::move(ss));
+  }
   return out;
 }
 
@@ -361,7 +445,12 @@ void TelegraphCQ::Start() {
     started_ = true;
   }
   executor_.Start();
-  for (auto& eo : window_eos_) eo->Start();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, client] : clients_) {
+      if (client.window_eo != nullptr) client.window_eo->Start();
+    }
+  }
   wrapper_.Start();
   stop_.store(false);
   pump_thread_ = std::thread([this] { PumpLoop(); });
@@ -376,17 +465,15 @@ void TelegraphCQ::PumpLoop() {
       std::lock_guard<std::mutex> lock(mu_);
       for (auto& [name, stream] : streams_) {
         for (FjordConsumer& feed : stream.wrapper_feeds) {
-          Tuple tuple;
-          for (int burst = 0; burst < 64; ++burst) {
-            QueueOp op = feed.Consume(&tuple);
-            if (op == QueueOp::kOk) {
-              Route(&stream, tuple);
-              any = true;
-              continue;
-            }
-            if (op == QueueOp::kWouldBlock) all_closed = false;
-            break;
+          TupleBatch batch;
+          batch.set_source(stream.canonical);
+          QueueOp op = QueueOp::kOk;
+          size_t got = feed.ConsumeBatch(&batch, 64, &op);
+          if (got > 0) {
+            RouteBatch(&stream, batch);
+            any = true;
           }
+          if (op == QueueOp::kWouldBlock) all_closed = false;
           if (!feed.Exhausted()) all_closed = false;
         }
         if (stream.wrapper_feeds.empty()) all_closed = false;
@@ -408,7 +495,12 @@ void TelegraphCQ::Stop() {
   wrapper_.Stop();
   stop_.store(true);
   if (pump_thread_.joinable()) pump_thread_.join();
-  for (auto& eo : window_eos_) eo->Stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, client] : clients_) {
+      if (client.window_eo != nullptr) client.window_eo->Stop();
+    }
+  }
   executor_.Stop();
 }
 

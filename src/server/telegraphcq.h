@@ -49,6 +49,16 @@ class WindowResultBuffer {
   Counter* tuples_counter_ = nullptr;
 };
 
+// Error contract of the server facade (shared by all entry points below):
+//   * kNotFound            — the named stream / query id does not exist;
+//   * kInvalidArgument     — the request is malformed (schema mismatch,
+//                            unparsable SQL, bad plan);
+//   * kFailedPrecondition  — the request is well-formed but the engine is in
+//                            the wrong state for it (stream closed, sources
+//                            attached after Start(), tuples pushed to a
+//                            stream no query consumes);
+//   * kResourceExhausted   — back-pressure outlasted the retry budget.
+// Methods state only the codes they add beyond this contract.
 class TelegraphCQ {
  public:
   struct Options {
@@ -86,12 +96,31 @@ class TelegraphCQ {
     uint64_t shed = 0;           ///< continuous queries only
   };
 
-  /// One-stop introspection: the full metrics snapshot plus per-query
-  /// stats derived from it and from the client handles.
+  /// Per-physical-stream view computed by Introspect().
+  struct StreamStats {
+    std::string name;
+    SourceId source = 0;
+    /// Tuples routed into the fabric on this stream.
+    uint64_t tuples_in = 0;
+    /// Executor-side drops across the stream's logical subscriptions
+    /// (unrouted — no query class consumed them — plus back-pressure and
+    /// closed-stream drops).
+    uint64_t dropped = 0;
+  };
+
+  /// One-stop introspection: the full metrics snapshot plus per-query and
+  /// per-stream stats derived from it and from the client handles.
   struct Introspection {
     MetricsSnapshot metrics;
     uint64_t tuples_ingested = 0;
     std::vector<QueryStats> queries;
+    std::vector<StreamStats> streams;
+  };
+
+  /// One client-facing row of a PushBatch call.
+  struct TupleBatchRow {
+    std::vector<Value> values;
+    Timestamp timestamp = 0;
   };
 
   /// When `metrics` is null the server creates a private registry; every
@@ -106,18 +135,28 @@ class TelegraphCQ {
                                 const std::vector<Field>& fields);
 
   /// Attaches a wrapper-hosted pull source feeding the named stream
-  /// (`arrivals` nullptr = as fast as possible). Call before Start().
+  /// (`arrivals` nullptr = as fast as possible).
+  /// kNotFound for an unknown stream; kFailedPrecondition after Start().
   Status AttachSource(const std::string& stream,
                       std::unique_ptr<StreamSource> source,
                       std::unique_ptr<ArrivalProcess> arrivals = nullptr);
 
-  /// Push-server ingestion: the caller delivers tuples directly (values
-  /// must match the stream's schema; timestamps non-decreasing).
+  /// PRIMARY push-server ingestion: delivers a whole batch of rows to the
+  /// named stream under one lock/lookup, routed batch-at-a-time through the
+  /// dataflow. Validation is atomic: every row is checked against the
+  /// stream's schema before any is ingested, so a kInvalidArgument return
+  /// means NO row of the batch entered the engine. Timestamps must be
+  /// non-decreasing across rows and calls. kNotFound for an unknown
+  /// stream; kFailedPrecondition for a closed stream.
+  Status PushBatch(const std::string& stream, std::vector<TupleBatchRow> rows);
+
+  /// Single-row convenience wrapper over PushBatch (a batch of one).
   Status Push(const std::string& stream, std::vector<Value> values,
               Timestamp timestamp);
 
   /// Declares a pushed stream finished (windowed queries over it can fire
-  /// their remaining windows).
+  /// their remaining windows). Idempotent: closing a closed stream is OK.
+  /// kNotFound for an unknown stream.
   Status CloseStream(const std::string& stream);
 
   /// Parses, plans, and submits a query; returns the client handle.
@@ -128,7 +167,10 @@ class TelegraphCQ {
   Result<std::vector<Tuple>> ScanHistory(const std::string& stream,
                                          Timestamp l, Timestamp r);
 
-  /// Cancels a continuous query.
+  /// Cancels a query — continuous or windowed. For a windowed query the
+  /// dedicated execution object is stopped, its subscriptions are detached,
+  /// and the client's window buffer is marked finished. kNotFound for an
+  /// id no live query owns (including double-cancel).
   Status Cancel(GlobalQueryId id);
 
   void Start();
@@ -147,7 +189,14 @@ class TelegraphCQ {
   struct Subscription {
     SourceId logical = 0;
     SchemaRef schema;
-    std::function<void(const Tuple&)> deliver;
+    /// Windowed subscriptions are owned by one query (detached on Cancel);
+    /// continuous subscriptions are shared by every query on the logical
+    /// source (owner stays 0).
+    GlobalQueryId owner = 0;
+    std::function<void(const TupleBatch&)> deliver;
+    /// Invoked by CloseStream so end-of-stream reaches the subscriber
+    /// (windowed queries close their input fjords and fire what remains).
+    std::function<void()> close;
   };
   struct PhysicalStream {
     std::string name;
@@ -159,16 +208,20 @@ class TelegraphCQ {
     bool closed = false;
     Counter* ingested = nullptr;
   };
-  /// What Introspect() needs to remember about a submitted query.
+  /// What Introspect() and Cancel() need to remember about a submitted
+  /// query. Windowed queries own their dispatch unit and execution object.
   struct ClientInfo {
     bool windowed = false;
     std::vector<std::string> streams;  // physical stream names it reads
     std::shared_ptr<PushEgress> egress;
     std::shared_ptr<WindowResultBuffer> windows;
+    std::shared_ptr<DispatchUnit> window_du;
+    std::unique_ptr<ExecutionObject> window_eo;
   };
 
-  /// Routes one physical tuple to every logical subscription.
-  void Route(PhysicalStream* stream, const Tuple& tuple);
+  /// Routes a whole physical batch to every logical subscription (re-tagged
+  /// per subscription for self-join aliases).
+  void RouteBatch(PhysicalStream* stream, const TupleBatch& batch);
   /// Ensures the executor knows `entry` and tuples reach it.
   Status SubscribeContinuous(const std::string& physical,
                              const Catalog::StreamEntry& entry);
@@ -184,8 +237,6 @@ class TelegraphCQ {
   mutable std::mutex mu_;
   std::map<std::string, PhysicalStream> streams_;
   std::map<GlobalQueryId, ClientInfo> clients_;
-  std::vector<std::shared_ptr<DispatchUnit>> window_dus_;
-  std::vector<std::unique_ptr<ExecutionObject>> window_eos_;
   std::thread pump_thread_;
   std::atomic<bool> stop_{false};
   Counter* ingested_;

@@ -66,8 +66,7 @@ class Tuple {
   std::shared_ptr<const TupleData> data_;
 };
 
-/// A batch of tuples. Modules exchange batches when the eddy's
-/// "adapting adaptivity" batching knob (paper §4.3) is turned up.
-using TupleBatch = std::vector<Tuple>;
+// The batched-pipeline unit, TupleBatch, lives in tuple/tuple_batch.h: a
+// contiguous same-source run of tuples with a small-batch inline buffer.
 
 }  // namespace tcq

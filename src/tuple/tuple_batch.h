@@ -1,0 +1,153 @@
+// TupleBatch: a contiguous run of tuples from ONE base stream, the unit the
+// batched dataflow pipeline moves end-to-end (wrapper -> fjords -> executor
+// -> shared eddy). Propagating batches amortizes the per-tuple lock
+// acquisition, catalog lookup, and routing decision that otherwise dominate
+// the ingest hot path, while per-tuple semantics are preserved (every batch
+// entry point degrades to a batch of one).
+//
+// Small batches (the common case for low-rate streams flushed on delay) live
+// in an inline buffer; only batches larger than kInlineCapacity allocate.
+
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "tuple/tuple.h"
+
+namespace tcq {
+
+class TupleBatch {
+ public:
+  /// Batches at or below this size never touch the heap.
+  static constexpr size_t kInlineCapacity = 8;
+
+  TupleBatch() = default;
+  explicit TupleBatch(SourceId source) : source_(source) {}
+
+  TupleBatch(const TupleBatch& other) { CopyFrom(other); }
+  TupleBatch& operator=(const TupleBatch& other) {
+    if (this != &other) {
+      clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  TupleBatch(TupleBatch&& other) noexcept { MoveFrom(std::move(other)); }
+  TupleBatch& operator=(TupleBatch&& other) noexcept {
+    if (this != &other) {
+      clear();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  /// The base stream every tuple in the batch belongs to. Meaningful only
+  /// for ingest batches (intermediates span several sources).
+  SourceId source() const { return source_; }
+  void set_source(SourceId source) { source_ = source; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push_back(Tuple t) {
+    if (size_ < kInlineCapacity) {
+      inline_[size_] = std::move(t);
+    } else {
+      if (size_ == kInlineCapacity && heap_.empty()) Spill();
+      heap_.push_back(std::move(t));
+    }
+    ++size_;
+  }
+
+  Tuple& operator[](size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const Tuple& operator[](size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+  const Tuple& front() const { return (*this)[0]; }
+  const Tuple& back() const { return (*this)[size_ - 1]; }
+
+  /// Contiguous storage: inline until the batch spills, heap after.
+  /// Invariant: elements live in heap_ iff heap_ is non-empty.
+  Tuple* data() { return heap_.empty() ? inline_.data() : heap_.data(); }
+  const Tuple* data() const {
+    return heap_.empty() ? inline_.data() : heap_.data();
+  }
+
+  Tuple* begin() { return data(); }
+  Tuple* end() { return data() + size_; }
+  const Tuple* begin() const { return data(); }
+  const Tuple* end() const { return data() + size_; }
+
+  void clear() {
+    for (size_t i = 0; i < size_ && i < kInlineCapacity; ++i) {
+      inline_[i] = Tuple();
+    }
+    heap_.clear();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > kInlineCapacity) {
+      if (heap_.empty() && size_ > 0) Spill();
+      heap_.reserve(n);
+    }
+  }
+
+  /// Drops the first `n` tuples (used after a partial batch enqueue).
+  void DropFront(size_t n) {
+    assert(n <= size_);
+    if (n == 0) return;
+    Tuple* d = data();
+    for (size_t i = n; i < size_; ++i) d[i - n] = std::move(d[i]);
+    if (heap_.empty()) {
+      for (size_t i = size_ - n; i < size_; ++i) inline_[i] = Tuple();
+    } else {
+      heap_.resize(size_ - n);
+    }
+    size_ -= n;
+  }
+
+ private:
+  /// Moves the inline elements into heap_ (called when the batch outgrows
+  /// the inline buffer).
+  void Spill() {
+    heap_.reserve(kInlineCapacity * 2);
+    for (size_t i = 0; i < size_; ++i) {
+      heap_.push_back(std::move(inline_[i]));
+      inline_[i] = Tuple();
+    }
+  }
+
+  void CopyFrom(const TupleBatch& other) {
+    source_ = other.source_;
+    reserve(other.size_);
+    for (size_t i = 0; i < other.size_; ++i) push_back(other[i]);
+  }
+
+  void MoveFrom(TupleBatch&& other) {
+    source_ = other.source_;
+    if (!other.heap_.empty()) {
+      heap_ = std::move(other.heap_);
+    } else {
+      inline_ = std::move(other.inline_);
+    }
+    size_ = other.size_;
+    other.heap_.clear();
+    other.size_ = 0;
+  }
+
+  SourceId source_ = 0;
+  size_t size_ = 0;
+  std::array<Tuple, kInlineCapacity> inline_;
+  std::vector<Tuple> heap_;
+};
+
+}  // namespace tcq

@@ -1,0 +1,568 @@
+// Batch-pipeline tests: TupleBatch container semantics, queue/fjord batch
+// ops, and the load-bearing property of the whole PR — batched ingestion is
+// RESULT-EQUIVALENT to per-tuple ingestion on every path (classic eddy,
+// CACQ shared eddy, PSoup, the server's continuous and windowed queries),
+// differing only in result ordering for joins.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "cacq/shared_eddy.h"
+#include "common/rng.h"
+#include "eddy/eddy.h"
+#include "exec/executor.h"
+#include "fjords/fjord.h"
+#include "psoup/psoup.h"
+#include "reference/reference.h"
+#include "server/telegraphcq.h"
+#include "tuple/tuple_batch.h"
+
+namespace tcq {
+namespace {
+
+using testref::CanonicalMultiset;
+using testref::NaiveFilter;
+using testref::NaiveJoin;
+
+SchemaRef Sch(SourceId source) {
+  return Schema::Make({
+      {"k", ValueType::kInt64, source},
+      {"v", ValueType::kInt64, source},
+  });
+}
+
+Tuple Row(SourceId source, int64_t k, int64_t v, Timestamp ts) {
+  return Tuple::Make(Sch(source), {Value::Int64(k), Value::Int64(v)}, ts);
+}
+
+std::vector<Tuple> RandomStream(SourceId source, size_t n, int64_t key_range,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Row(source, rng.UniformInt(0, key_range - 1),
+                      rng.UniformInt(0, 99), static_cast<Timestamp>(i)));
+  }
+  return out;
+}
+
+/// Cuts `stream` into batches of `batch_size` tagged with `source`.
+std::vector<TupleBatch> Batched(const std::vector<Tuple>& stream,
+                                SourceId source, size_t batch_size) {
+  std::vector<TupleBatch> out;
+  TupleBatch batch;
+  batch.set_source(source);
+  for (const Tuple& t : stream) {
+    batch.push_back(t);
+    if (batch.size() >= batch_size) {
+      out.push_back(std::move(batch));
+      batch = TupleBatch();
+      batch.set_source(source);
+    }
+  }
+  if (!batch.empty()) out.push_back(std::move(batch));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TupleBatch container semantics.
+
+TEST(TupleBatchTest, InlineThenSpillToHeapKeepsContiguityAndOrder) {
+  TupleBatch batch;
+  batch.set_source(3);
+  for (int i = 0; i < 20; ++i) {
+    batch.push_back(Row(3, i, i * 10, i));
+  }
+  ASSERT_EQ(batch.size(), 20u);
+  ASSERT_GT(batch.size(), TupleBatch::kInlineCapacity);
+  EXPECT_EQ(batch.source(), 3u);
+  // data() is one contiguous run regardless of the inline/heap transition.
+  const Tuple* base = batch.data();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(&batch[i], base + i);
+    EXPECT_EQ(batch[i].Get("k").AsInt64(), static_cast<int64_t>(i));
+  }
+  size_t seen = 0;
+  for (const Tuple& t : batch) {
+    EXPECT_EQ(t.Get("v").AsInt64(), static_cast<int64_t>(seen) * 10);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 20u);
+}
+
+TEST(TupleBatchTest, DropFrontOnInlineAndHeapBatches) {
+  for (size_t n : {size_t{6}, size_t{20}}) {  // below and above inline cap
+    TupleBatch batch;
+    for (size_t i = 0; i < n; ++i) batch.push_back(Row(0, i, 0, i));
+    batch.DropFront(4);
+    ASSERT_EQ(batch.size(), n - 4);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i].Get("k").AsInt64(), static_cast<int64_t>(i + 4));
+    }
+    batch.DropFront(batch.size());
+    EXPECT_TRUE(batch.empty());
+  }
+}
+
+TEST(TupleBatchTest, CopyAndMovePreserveContentsAndSource) {
+  TupleBatch a;
+  a.set_source(7);
+  for (int i = 0; i < 12; ++i) a.push_back(Row(7, i, i, i));
+
+  TupleBatch copied = a;
+  ASSERT_EQ(copied.size(), 12u);
+  EXPECT_EQ(copied.source(), 7u);
+  EXPECT_EQ(copied[11].Get("k").AsInt64(), 11);
+
+  TupleBatch moved = std::move(a);
+  ASSERT_EQ(moved.size(), 12u);
+  EXPECT_EQ(moved.source(), 7u);
+
+  copied.clear();
+  EXPECT_TRUE(copied.empty());
+  EXPECT_EQ(copied.source(), 7u);  // clear() keeps the stream tag
+}
+
+// ---------------------------------------------------------------------------
+// Queue and fjord batch operations.
+
+TEST(QueueBatchTest, TryPushBatchFillsToCapacityAndReportsWouldBlock) {
+  BoundedQueue<int> q(4);
+  int items[6] = {1, 2, 3, 4, 5, 6};
+  QueueOp op;
+  EXPECT_EQ(q.TryPushBatch(items, 6, &op), 4u);
+  EXPECT_EQ(op, QueueOp::kWouldBlock);
+  int got;
+  for (int want = 1; want <= 4; ++want) {
+    ASSERT_EQ(q.TryDequeue(&got), QueueOp::kOk);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(QueueBatchTest, TryPushBatchOnClosedQueueLeavesItemsWithCaller) {
+  BoundedQueue<int> q(4);
+  q.Close();
+  int items[3] = {7, 8, 9};
+  QueueOp op;
+  EXPECT_EQ(q.TryPushBatch(items, 3, &op), 0u);
+  EXPECT_EQ(op, QueueOp::kClosed);
+  EXPECT_EQ(items[0], 7);  // untouched, caller still owns them
+}
+
+TEST(QueueBatchTest, BlockingBatchRoundTripAcrossThreads) {
+  BoundedQueue<int> q(8);
+  constexpr int kTotal = 1000;
+  std::thread producer([&q] {
+    std::vector<int> chunk;
+    for (int i = 0; i < kTotal; i += 50) {
+      chunk.clear();
+      for (int j = i; j < i + 50; ++j) chunk.push_back(j);
+      EXPECT_EQ(q.PushBatchBlocking(chunk.data(), chunk.size()), 50u);
+    }
+    q.Close();
+  });
+  std::vector<int> got;
+  std::vector<int> chunk;
+  while (true) {
+    chunk.clear();
+    if (q.PopBatchBlocking(&chunk, 64) == 0) break;
+    got.insert(got.end(), chunk.begin(), chunk.end());
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), static_cast<size_t>(kTotal));
+  for (int i = 0; i < kTotal; ++i) EXPECT_EQ(got[i], i);  // FIFO preserved
+}
+
+TEST(QueueBatchTest, TryPopBatchDrainsThenReportsClosed) {
+  BoundedQueue<int> q(8);
+  ASSERT_EQ(q.TryEnqueue(1), QueueOp::kOk);
+  ASSERT_EQ(q.TryEnqueue(2), QueueOp::kOk);
+  q.Close();
+  std::vector<int> out;
+  QueueOp op;
+  EXPECT_EQ(q.TryPopBatch(&out, 10, &op), 2u);
+  EXPECT_EQ(op, QueueOp::kOk);
+  EXPECT_EQ(q.TryPopBatch(&out, 10, &op), 0u);
+  EXPECT_EQ(op, QueueOp::kClosed);
+}
+
+TEST(FjordBatchTest, PushModeProduceBatchDropsDeliveredPrefix) {
+  auto endpoints = Fjord::Make(FjordMode::kPush, /*capacity=*/4, "t");
+  FjordProducer producer(endpoints.producer);
+  TupleBatch batch;
+  batch.set_source(0);
+  for (int i = 0; i < 6; ++i) batch.push_back(Row(0, i, 0, i));
+
+  // Capacity 4: the first produce moves 4 and keeps the suffix in hand.
+  EXPECT_EQ(producer.ProduceBatch(&batch), QueueOp::kWouldBlock);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].Get("k").AsInt64(), 4);
+
+  TupleBatch out;
+  QueueOp op;
+  EXPECT_EQ(endpoints.consumer.ConsumeBatch(&out, 64, &op), 4u);
+  EXPECT_EQ(producer.ProduceBatch(&batch), QueueOp::kOk);
+  EXPECT_TRUE(batch.empty());
+  producer.Close();
+  out.clear();
+  EXPECT_EQ(endpoints.consumer.ConsumeBatch(&out, 64, &op), 2u);
+  EXPECT_EQ(out[0].Get("k").AsInt64(), 4);
+  out.clear();
+  EXPECT_EQ(endpoints.consumer.ConsumeBatch(&out, 64, &op), 0u);
+  EXPECT_EQ(op, QueueOp::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Result equivalence: batched vs per-tuple ingestion.
+
+TEST(BatchEquivalenceTest, ClassicEddyJoinMatchesPerTuple) {
+  auto s = RandomStream(0, 200, 15, 11);
+  auto t = RandomStream(1, 200, 15, 12);
+
+  auto run = [&](bool batched) {
+    auto stem_s = std::make_shared<SteM>("stemS", 0, Sch(0),
+                                         StemOptions{.key_attr = "k"});
+    auto stem_t = std::make_shared<SteM>("stemT", 1, Sch(1),
+                                         StemOptions{.key_attr = "k"});
+    Eddy eddy(MakeLotteryPolicy(5));
+    eddy.AttachSteM(stem_s);
+    eddy.AttachSteM(stem_t);
+    eddy.AddModule(std::make_unique<SteMProbe>(
+        "probeS", stem_s.get(),
+        JoinSpec{AttrRef{1, "k"}, AttrRef{0, "k"}, {}}));
+    eddy.AddModule(std::make_unique<SteMProbe>(
+        "probeT", stem_t.get(),
+        JoinSpec{AttrRef{0, "k"}, AttrRef{1, "k"}, {}}));
+    std::vector<Tuple> results;
+    eddy.SetOutput([&](const Tuple& t) { results.push_back(t); });
+    if (batched) {
+      for (const TupleBatch& b : Batched(s, 0, 23)) eddy.IngestBatch(b);
+      for (const TupleBatch& b : Batched(t, 1, 23)) eddy.IngestBatch(b);
+    } else {
+      for (const Tuple& tu : s) eddy.Ingest(0, tu);
+      for (const Tuple& tu : t) eddy.Ingest(1, tu);
+    }
+    return results;
+  };
+
+  EXPECT_EQ(CanonicalMultiset(run(false)), CanonicalMultiset(run(true)));
+  auto expected =
+      NaiveJoin({s, t}, {MakeCompareAttrs({0, "k"}, CmpOp::kEq, {1, "k"})});
+  EXPECT_EQ(CanonicalMultiset(run(true)), CanonicalMultiset(expected));
+}
+
+TEST(BatchEquivalenceTest, SharedEddyMixedQueriesMatchPerTuple) {
+  auto s = RandomStream(0, 250, 12, 21);
+  auto t = RandomStream(1, 250, 12, 22);
+
+  // One filter query, one join+filter, one join+residual — the three CACQ
+  // module types, all live at once.
+  auto run = [&](bool batched, uint64_t* reused) {
+    SharedEddy eddy(MakeLotteryPolicy(9));
+    eddy.RegisterStream(0, Sch(0));
+    eddy.RegisterStream(1, Sch(1));
+    std::map<QueryId, std::vector<Tuple>> results;
+    eddy.SetOutput(
+        [&](QueryId q, const Tuple& t) { results[q].push_back(t); });
+
+    CQSpec filter_only;
+    filter_only.filters.push_back({{0, "k"}, CmpOp::kLt, Value::Int64(6)});
+    CQSpec join_filter;
+    join_filter.joins.push_back({{0, "k"}, {1, "k"}});
+    join_filter.filters.push_back({{0, "v"}, CmpOp::kGe, Value::Int64(40)});
+    CQSpec join_residual;
+    join_residual.joins.push_back({{0, "k"}, {1, "k"}});
+    join_residual.residuals.push_back(
+        MakeCompareAttrs({1, "v"}, CmpOp::kGt, {0, "v"}));
+    EXPECT_TRUE(eddy.AddQuery(filter_only).ok());
+    EXPECT_TRUE(eddy.AddQuery(join_filter).ok());
+    EXPECT_TRUE(eddy.AddQuery(join_residual).ok());
+
+    if (batched) {
+      // Interleave stream batches the way the dispatch loop would.
+      auto sb = Batched(s, 0, 17);
+      auto tb = Batched(t, 1, 17);
+      for (size_t i = 0; i < sb.size() || i < tb.size(); ++i) {
+        if (i < sb.size()) eddy.IngestBatch(sb[i]);
+        if (i < tb.size()) eddy.IngestBatch(tb[i]);
+      }
+    } else {
+      for (size_t i = 0; i < s.size(); ++i) {
+        eddy.Ingest(0, s[i]);
+        eddy.Ingest(1, t[i]);
+      }
+    }
+    if (reused != nullptr) *reused = eddy.routing_decisions_reused();
+    return results;
+  };
+
+  uint64_t reused_batched = 0;
+  auto per_tuple = run(false, nullptr);
+  auto batched = run(true, &reused_batched);
+  ASSERT_EQ(per_tuple.size(), batched.size());
+  for (auto& [q, tuples] : per_tuple) {
+    EXPECT_EQ(CanonicalMultiset(tuples), CanonicalMultiset(batched[q]))
+        << "query " << q;
+  }
+  // The whole point of batch routing: identical-lineage runs reuse one
+  // decision instead of re-ranking per envelope.
+  EXPECT_GT(reused_batched, 0u);
+}
+
+TEST(BatchEquivalenceTest, PSoupInvokeMatchesPerTuple) {
+  auto stream = RandomStream(0, 400, 20, 31);
+
+  auto run = [&](bool batched) {
+    PSoup psoup;
+    psoup.RegisterStream(0, Sch(0), /*retention=*/1000);
+    PSoupQuery q;
+    q.where.filters.push_back({{0, "k"}, CmpOp::kLt, Value::Int64(8)});
+    q.window = 100;
+    auto id = psoup.Register(q);
+    EXPECT_TRUE(id.ok());
+    if (batched) {
+      for (const TupleBatch& b : Batched(stream, 0, 29)) {
+        psoup.IngestBatch(b);
+      }
+    } else {
+      for (const Tuple& t : stream) psoup.Ingest(0, t);
+    }
+    auto answer = psoup.Invoke(*id, /*now=*/399);
+    EXPECT_TRUE(answer.ok());
+    return *answer;
+  };
+
+  auto per_tuple = run(false);
+  auto batched = run(true);
+  EXPECT_FALSE(per_tuple.empty());
+  EXPECT_EQ(CanonicalMultiset(per_tuple), CanonicalMultiset(batched));
+}
+
+// ---------------------------------------------------------------------------
+// Server-level equivalence and error paths.
+
+std::vector<Field> StockFields() {
+  return {{"timestamp", ValueType::kTimestamp, 0},
+          {"stockSymbol", ValueType::kString, 0},
+          {"closingPrice", ValueType::kDouble, 0}};
+}
+
+TelegraphCQ::TupleBatchRow StockRow(Timestamp day, const char* symbol,
+                                    double price) {
+  return {{Value::TimestampVal(day), Value::String(symbol),
+           Value::Double(price)},
+          day};
+}
+
+size_t DrainCount(PushEgress* egress, size_t expected, int patience_ms) {
+  size_t got = 0;
+  Delivery d;
+  for (int waited = 0; waited < patience_ms; ++waited) {
+    while (egress->Poll(&d)) ++got;
+    if (got >= expected) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return got;
+}
+
+TEST(ServerBatchTest, PushBatchMatchesPerTuplePushOnContinuousQuery) {
+  auto run = [](bool batched) {
+    TelegraphCQ server;
+    EXPECT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+    auto handle = server.Submit(
+        "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+        "WHERE stockSymbol = 'MSFT' AND closingPrice > 45.0");
+    EXPECT_TRUE(handle.ok()) << handle.status();
+    server.Start();
+    if (batched) {
+      std::vector<TelegraphCQ::TupleBatchRow> rows;
+      for (Timestamp d = 1; d <= 30; ++d) {
+        rows.push_back(StockRow(d, "MSFT", 50.0));
+        rows.push_back(StockRow(d, "AAPL", d % 2 == 0 ? 60.0 : 40.0));
+      }
+      EXPECT_TRUE(
+          server.PushBatch("ClosingStockPrices", std::move(rows)).ok());
+    } else {
+      for (Timestamp d = 1; d <= 30; ++d) {
+        EXPECT_TRUE(server
+                        .Push("ClosingStockPrices",
+                              {Value::TimestampVal(d), Value::String("MSFT"),
+                               Value::Double(50.0)},
+                              d)
+                        .ok());
+        EXPECT_TRUE(server
+                        .Push("ClosingStockPrices",
+                              {Value::TimestampVal(d), Value::String("AAPL"),
+                               Value::Double(d % 2 == 0 ? 60.0 : 40.0)},
+                              d)
+                        .ok());
+      }
+    }
+    size_t got = DrainCount(handle->results.get(), 30, 2000);
+    server.Stop();
+    return got;
+  };
+  size_t per_tuple = run(false);
+  size_t batched = run(true);
+  EXPECT_EQ(per_tuple, 30u);
+  EXPECT_EQ(batched, per_tuple);
+}
+
+TEST(ServerBatchTest, PushBatchFeedsWindowedQuery) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto handle = server.Submit(
+      "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  server.Start();
+
+  std::vector<TelegraphCQ::TupleBatchRow> rows;
+  for (Timestamp d = 1; d <= 10; ++d) rows.push_back(StockRow(d, "MSFT", 50.0));
+  ASSERT_TRUE(server.PushBatch("ClosingStockPrices", std::move(rows)).ok());
+
+  WindowResult wr;
+  bool fired = false;
+  for (int i = 0; i < 2000 && !fired; ++i) {
+    fired = handle->windows->Poll(&wr);
+    if (!fired) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(wr.tuples.size(), 5u);
+}
+
+TEST(ServerBatchTest, PushBatchValidationIsAtomic) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto handle = server.Submit(
+      "SELECT * FROM ClosingStockPrices WHERE closingPrice > 0.0");
+  ASSERT_TRUE(handle.ok());
+  server.Start();
+
+  // Row 1 of 3 is malformed (arity): NO row may enter the engine.
+  std::vector<TelegraphCQ::TupleBatchRow> rows;
+  rows.push_back(StockRow(1, "MSFT", 50.0));
+  rows.push_back({{Value::TimestampVal(2)}, 2});
+  rows.push_back(StockRow(3, "MSFT", 52.0));
+  Status s = server.PushBatch("ClosingStockPrices", std::move(rows));
+  EXPECT_TRUE(s.IsInvalidArgument()) << s;
+  EXPECT_NE(s.message().find("row 1"), std::string::npos) << s;
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(server.tuples_ingested(), 0u);
+  Delivery d;
+  EXPECT_FALSE(handle->results->Poll(&d));
+  server.Stop();
+}
+
+TEST(ServerBatchTest, CloseStreamMidBatchSequenceIsOrderly) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto handle = server.Submit(
+      "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  server.Start();
+
+  // First half of the data arrives, then the stream closes with the window
+  // still open — the windowed query must fire off the tuples it has.
+  std::vector<TelegraphCQ::TupleBatchRow> first;
+  for (Timestamp d = 1; d <= 4; ++d) first.push_back(StockRow(d, "MSFT", 50.0));
+  ASSERT_TRUE(server.PushBatch("ClosingStockPrices", std::move(first)).ok());
+  ASSERT_TRUE(server.CloseStream("ClosingStockPrices").ok());
+  EXPECT_TRUE(server.CloseStream("ClosingStockPrices").ok());  // idempotent
+
+  // Batches after close are rejected whole — none of their rows leak in.
+  std::vector<TelegraphCQ::TupleBatchRow> late;
+  for (Timestamp d = 5; d <= 8; ++d) late.push_back(StockRow(d, "MSFT", 50.0));
+  Status s = server.PushBatch("ClosingStockPrices", std::move(late));
+  EXPECT_TRUE(s.code() == StatusCode::kFailedPrecondition) << s;
+  EXPECT_TRUE(server.CloseStream("Nope").IsNotFound());
+
+  WindowResult wr;
+  bool fired = false;
+  for (int i = 0; i < 2000 && !fired; ++i) {
+    fired = handle->windows->Poll(&wr);
+    if (!fired) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+  ASSERT_TRUE(fired);
+  EXPECT_EQ(wr.tuples.size(), 4u);  // days 1..4 only; late batch kept out
+  EXPECT_EQ(server.tuples_ingested(), 4u);
+}
+
+TEST(ServerBatchTest, CancelErrorsAndWindowedCancel) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto windowed = server.Submit(
+      "SELECT closingPrice FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (; t == 0; t = -1) { WindowIs(ClosingStockPrices, 1, 5); }");
+  ASSERT_TRUE(windowed.ok()) << windowed.status();
+  server.Start();
+
+  EXPECT_TRUE(server.Cancel(9999).IsNotFound());
+  ASSERT_TRUE(server.Cancel(windowed->id).ok());
+  EXPECT_TRUE(windowed->windows->Finished());
+  EXPECT_TRUE(server.Cancel(windowed->id).IsNotFound());  // double-cancel
+
+  // The stream outlives the cancelled query; pushes still succeed and are
+  // simply unrouted past the detached subscription.
+  std::vector<TelegraphCQ::TupleBatchRow> rows;
+  rows.push_back(StockRow(1, "MSFT", 50.0));
+  EXPECT_TRUE(server.PushBatch("ClosingStockPrices", std::move(rows)).ok());
+  server.Stop();
+}
+
+TEST(ExecutorBatchTest, UnroutedBatchIsCountedPerStreamAndSurfaced) {
+  Executor exec;
+  SchemaRef schema = Sch(0);
+  ASSERT_TRUE(exec.RegisterStream(0, schema).ok());
+  exec.Start();
+
+  TupleBatch batch;
+  batch.set_source(0);
+  for (int i = 0; i < 5; ++i) batch.push_back(Row(0, i, i, i));
+  Status s = exec.IngestBatch(std::move(batch));
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s;
+  EXPECT_EQ(exec.tuples_dropped_unrouted(), 5u);
+  EXPECT_EQ(exec.stream_tuples_dropped(0), 5u);
+  EXPECT_EQ(exec.stream_tuples_dropped(42), 0u);  // unknown stream: zero
+
+  TupleBatch unknown;
+  unknown.set_source(42);
+  unknown.push_back(Row(0, 1, 1, 1));
+  EXPECT_TRUE(exec.IngestBatch(std::move(unknown)).IsNotFound());
+  exec.Stop();
+}
+
+TEST(ServerBatchTest, IntrospectReportsPerStreamStats) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto handle = server.Submit(
+      "SELECT * FROM ClosingStockPrices WHERE closingPrice > 0.0");
+  ASSERT_TRUE(handle.ok());
+  server.Start();
+  std::vector<TelegraphCQ::TupleBatchRow> rows;
+  for (Timestamp d = 1; d <= 8; ++d) rows.push_back(StockRow(d, "MSFT", 50.0));
+  ASSERT_TRUE(server.PushBatch("ClosingStockPrices", std::move(rows)).ok());
+  ASSERT_EQ(DrainCount(handle->results.get(), 8, 2000), 8u);
+  server.Stop();
+
+  TelegraphCQ::Introspection view = server.Introspect();
+  ASSERT_EQ(view.streams.size(), 1u);
+  EXPECT_EQ(view.streams[0].name, "ClosingStockPrices");
+  EXPECT_EQ(view.streams[0].tuples_in, 8u);
+  EXPECT_EQ(view.streams[0].dropped, 0u);
+  // The per-stream drop counter exists in the registry even when zero.
+  EXPECT_EQ(view.metrics.CounterFamilySum("tcq_executor_stream_dropped_total"),
+            0u);
+}
+
+}  // namespace
+}  // namespace tcq

@@ -98,7 +98,8 @@ TEST(MetricsTest, ApproxQuantileIsMonotone) {
   MetricsRegistry reg;
   Histogram* h = reg.GetHistogram("tcq_q_us");
   for (uint64_t v = 0; v < 1000; ++v) h->Observe(v);
-  const auto* data = reg.Snapshot().FindHistogram("tcq_q_us");
+  MetricsSnapshot snap = reg.Snapshot();
+  const auto* data = snap.FindHistogram("tcq_q_us");
   ASSERT_NE(data, nullptr);
   uint64_t p50 = data->ApproxQuantile(0.5);
   uint64_t p99 = data->ApproxQuantile(0.99);
