@@ -2,18 +2,23 @@
 # Repo verification gate:
 #   1. tier-1 verify: configure + build + full ctest (ROADMAP.md)
 #   2. AddressSanitizer configure + build + ctest in a separate build dir
-#   3. bench smoke: batched-vs-per-tuple comparison -> BENCH_batching.json
+#   3. ThreadSanitizer build running the concurrency-heavy suites
+#      (exec, exec_lifecycle, fjords, cacq) — must be TSan-clean
+#   4. bench smoke: batched-vs-per-tuple comparison -> BENCH_batching.json,
+#      class lifecycle (merge/GC/rebalance) -> BENCH_exec_lifecycle.json
 #
-# Usage: scripts/check.sh [--no-asan] [--no-bench]
+# Usage: scripts/check.sh [--no-asan] [--no-tsan] [--no-bench]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_ASAN=1
+RUN_TSAN=1
 RUN_BENCH=1
 for arg in "$@"; do
   case "$arg" in
     --no-asan) RUN_ASAN=0 ;;
+    --no-tsan) RUN_TSAN=0 ;;
     --no-bench) RUN_BENCH=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -31,9 +36,22 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   ctest --test-dir build-asan --output-on-failure -j
 fi
 
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== tsan: configure + build + concurrency suites =="
+  cmake -B build-tsan -S . -DTCQ_SANITIZE=thread
+  cmake --build build-tsan -j --target \
+    exec_test exec_lifecycle_test fjords_test cacq_test
+  for t in exec_test exec_lifecycle_test fjords_test cacq_test; do
+    echo "-- tsan: $t"
+    ./build-tsan/tests/"$t"
+  done
+fi
+
 if [[ "$RUN_BENCH" == 1 ]]; then
   echo "== bench smoke: BENCH_batching.json =="
   scripts/bench_batching.sh build
+  echo "== bench smoke: BENCH_exec_lifecycle.json =="
+  scripts/bench_exec_lifecycle.sh build
 fi
 
 echo "== check.sh: all gates passed =="

@@ -21,12 +21,10 @@ QueryId QueryRegistry::Add(CQSpec spec) {
   rq.active = true;
   queries_.push_back(std::move(rq));
   active_.Add(id);
-  for (SourceId s = 0; s < 32; ++s) {
-    if (queries_.back().footprint & SourceBit(s)) {
-      if (by_source_.size() <= s) by_source_.resize(s + 1);
-      by_source_[s].Add(id);
-    }
-  }
+  ForEachSource(queries_.back().footprint, [&](SourceId s) {
+    if (by_source_.size() <= s) by_source_.resize(s + 1);
+    by_source_[s].Add(id);
+  });
   return id;
 }
 

@@ -212,9 +212,7 @@ Result<QueryId> SharedEddy::AddQuery(CQSpec spec) {
   {
     SourceSet footprint = spec.Footprint();
     std::vector<SourceId> srcs;
-    for (SourceId s = 0; s < 32; ++s) {
-      if (footprint & SourceBit(s)) srcs.push_back(s);
-    }
+    ForEachSource(footprint, [&](SourceId s) { srcs.push_back(s); });
     if (srcs.size() > 1) {
       // Union-find over sources via join edges.
       std::map<SourceId, SourceId> parent;
@@ -348,6 +346,47 @@ void SharedEddy::BackfillSteM(SourceId source,
   SteM* stem = GetSteM(source);
   assert(stem != nullptr && "backfill requires an existing SteM");
   for (const Tuple& t : history) stem->Build(t, next_seq_++);
+}
+
+SharedEddy::ExportedState SharedEddy::ExportState() const {
+  assert(queue_.empty() && !draining_ && "export requires a quiescent eddy");
+  ExportedState st;
+  st.next_seq = next_seq_;
+  st.streams.reserve(streams_.size());
+  for (const auto& [source, info] : streams_) {
+    st.streams.push_back(
+        ExportedStream{source, info.schema, info.stem_opts, info.stem});
+  }
+  registry_.active().ForEach([&](QueryId q) {
+    const RegisteredQuery* rq = registry_.Get(q);
+    st.queries.push_back(ExportedState::ExportedQuery{
+        q, rq->spec, rq->results_delivered});
+  });
+  return st;
+}
+
+void SharedEddy::ImportState(
+    ExportedState state, const std::function<void(QueryId, QueryId)>& remap) {
+  for (ExportedStream& s : state.streams) {
+    assert(!streams_.contains(s.source) &&
+           "imported stream already registered (classes own disjoint sets)");
+    StreamInfo info;
+    info.schema = std::move(s.schema);
+    info.stem_opts = std::move(s.stem_opts);
+    info.stem = std::move(s.stem);  // built state travels with the SteM
+    streams_[s.source] = std::move(info);
+  }
+  // Reconcile sequence spaces: future tuples must out-sequence every
+  // imported entry or the exactly-once probe bound would hide them.
+  next_seq_ = std::max(next_seq_, state.next_seq);
+  for (ExportedState::ExportedQuery& q : state.queries) {
+    Result<QueryId> nid = AddQuery(std::move(q.spec));
+    // The spec was admissible in the exporting eddy and every stream it
+    // references was just adopted, so re-admission cannot fail.
+    assert(nid.ok() && "imported query failed re-admission");
+    registry_.GetMutable(*nid)->results_delivered = q.results_delivered;
+    remap(q.local_id, *nid);
+  }
 }
 
 void SharedEddy::AdvanceTime(Timestamp now) {

@@ -183,6 +183,50 @@ class SharedEddy {
   /// Advances stream time: evicts shared SteM state per its window options.
   void AdvanceTime(Timestamp now);
 
+  // --- State movement (executor class merge, §4.2.2 re-adjustment) -----------
+
+  /// One registered stream as exported: its schema/options and the shared
+  /// SteM (with all built state) by reference — entries are transferred, not
+  /// copied.
+  struct ExportedStream {
+    SourceId source = 0;
+    SchemaRef schema;
+    StemOptions stem_opts;
+    std::shared_ptr<SteM> stem;  // null if no join ever touched the stream
+  };
+
+  /// A quiescent eddy's portable state. Valid only when no envelope is in
+  /// flight (the queue drained to quiescence, which every Ingest* call
+  /// guarantees on return).
+  struct ExportedState {
+    std::vector<ExportedStream> streams;
+    /// Live queries under their exporting-eddy local ids.
+    struct ExportedQuery {
+      QueryId local_id = 0;
+      CQSpec spec;
+      uint64_t results_delivered = 0;
+    };
+    std::vector<ExportedQuery> queries;
+    /// The exporter's sequence horizon; the importer advances its own seq
+    /// space past it so imported SteM entries stay probe-visible.
+    Timestamp next_seq = 1;
+  };
+
+  /// Exports registered streams, live queries, and SteM state for merging
+  /// into another eddy. The exporting eddy must be quiescent and is expected
+  /// to be discarded afterwards (its modules keep raw SteM pointers).
+  ExportedState ExportState() const;
+
+  /// Imports a quiescent peer's state: adopts its streams (sources must be
+  /// disjoint from this eddy's — executor classes never share a stream),
+  /// reconciles the sequence space, and re-admits each query, reporting the
+  /// lineage remap old-local-id -> new-local-id through `remap`. Imported
+  /// SteM entries keep their original seqs; because next_seq_ jumps past the
+  /// exporter's horizon, every future tuple probes them exactly like
+  /// locally built state.
+  void ImportState(ExportedState state,
+                   const std::function<void(QueryId, QueryId)>& remap);
+
   /// The shared SteM of a stream, or nullptr if no join touches it yet.
   SteM* GetSteM(SourceId source) const;
 

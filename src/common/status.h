@@ -86,6 +86,9 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
   bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 

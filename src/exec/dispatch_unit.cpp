@@ -78,6 +78,29 @@ void SharedCQDispatchUnit::SubmitTask(std::function<void(SharedEddy*)> task) {
   pending_tasks_.push_back(std::move(task));
 }
 
+void SharedCQDispatchUnit::Quiesce() { DrainPlanQueue(); }
+
+std::vector<std::pair<SourceId, FjordConsumer>>
+SharedCQDispatchUnit::DetachInputs() {
+  DrainPlanQueue();  // fold pending inputs in before moving them out
+  std::vector<std::pair<SourceId, FjordConsumer>> out;
+  out.reserve(inputs_.size());
+  for (Input& input : inputs_) {
+    if (input.exhausted) continue;
+    out.emplace_back(input.source, std::move(input.consumer));
+  }
+  inputs_.clear();
+  next_input_ = 0;
+  return out;
+}
+
+std::map<QueryId, std::pair<uint64_t, SharedCQDispatchUnit::GlobalSink>>
+SharedCQDispatchUnit::TakeSinks() {
+  std::map<QueryId, std::pair<uint64_t, GlobalSink>> out;
+  out.swap(sinks_);
+  return out;
+}
+
 void SharedCQDispatchUnit::DrainPlanQueue() {
   std::deque<std::function<void(SharedEddy*)>> tasks;
   std::vector<Input> inputs;

@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -37,19 +38,25 @@ class DispatchUnit {
   /// Performs one bounded, non-preemptive quantum of work.
   virtual StepResult Step() = 0;
 
-  uint64_t steps() const { return steps_; }
-  uint64_t progress_steps() const { return progress_steps_; }
+  /// Step counters are atomics: the owning EO updates them from its thread
+  /// while the executor's rebalance pass reads them to estimate per-DU load.
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+  uint64_t progress_steps() const {
+    return progress_steps_.load(std::memory_order_relaxed);
+  }
 
  protected:
   void CountStep(StepResult r) {
-    ++steps_;
-    if (r == StepResult::kProgress) ++progress_steps_;
+    steps_.fetch_add(1, std::memory_order_relaxed);
+    if (r == StepResult::kProgress) {
+      progress_steps_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
  private:
   std::string name_;
-  uint64_t steps_ = 0;
-  uint64_t progress_steps_ = 0;
+  std::atomic<uint64_t> steps_{0};
+  std::atomic<uint64_t> progress_steps_{0};
 };
 
 /// The shared "continuous query" mode DU (paper §4.2.2 mode 3): one CACQ
@@ -84,6 +91,26 @@ class SharedCQDispatchUnit : public DispatchUnit {
   StepResult Step() override;
 
   SharedEddy* eddy() { return eddy_.get(); }
+
+  // --- Quiesce protocol (class merge / GC / migration) ------------------------
+  // The methods below are safe ONLY while the DU is detached from every EO
+  // (ExecutionObject::RemoveDispatchUnit blocks until the current quantum
+  // finishes, so after it returns the caller owns the DU exclusively).
+
+  /// Runs every pending plan-queue task and folds pending inputs in — the
+  /// work a Step() would do at its next quantum boundary, without ingesting.
+  void Quiesce();
+
+  /// Moves every stream input (active and pending) out of the DU, preserving
+  /// per-stream order: the FjordConsumer endpoints carry their queued tuples
+  /// with them, so re-attaching them to another DU loses nothing. Inputs
+  /// whose fjords already closed and drained are dropped (nothing left to
+  /// consume).
+  std::vector<std::pair<SourceId, FjordConsumer>> DetachInputs();
+
+  /// Moves the delivery table (local id -> (global id, sink)) out of the DU,
+  /// for rebinding under remapped local ids in a merge target.
+  std::map<QueryId, std::pair<uint64_t, GlobalSink>> TakeSinks();
 
  private:
   void DrainPlanQueue();

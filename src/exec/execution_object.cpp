@@ -30,6 +30,25 @@ void ExecutionObject::AddDispatchUnit(std::shared_ptr<DispatchUnit> du) {
   num_dus_gauge_->Set(static_cast<int64_t>(dus_.size()));
 }
 
+bool ExecutionObject::RemoveDispatchUnit(const std::shared_ptr<DispatchUnit>& du) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = std::find(dus_.begin(), dus_.end(), du);
+  if (it == dus_.end()) return false;
+  // Wait out the in-flight quantum (if any): DUs are non-preemptive, so the
+  // only safe detach point is a quantum boundary.
+  step_done_.wait(lock, [&] { return stepping_ != du.get(); });
+  // Re-find: the vector may have shifted while we waited.
+  it = std::find(dus_.begin(), dus_.end(), du);
+  if (it == dus_.end()) return false;
+  size_t idx = static_cast<size_t>(it - dus_.begin());
+  dus_.erase(dus_.begin() + idx);
+  infos_.erase(infos_.begin() + idx);
+  du_quanta_.erase(du_quanta_.begin() + idx);
+  du_progress_.erase(du_progress_.begin() + idx);
+  num_dus_gauge_->Set(static_cast<int64_t>(dus_.size()));
+  return true;
+}
+
 size_t ExecutionObject::num_dus() const {
   std::lock_guard<std::mutex> lock(mu_);
   return dus_.size();
@@ -45,15 +64,18 @@ void ExecutionObject::Run() {
   int idle_streak = 0;
   while (!stop_.load(std::memory_order_relaxed)) {
     std::shared_ptr<DispatchUnit> du;
-    size_t pick = SIZE_MAX;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      pick = scheduler_->PickNext(infos_);
-      if (pick != SIZE_MAX) du = dus_[pick];
+      size_t pick = scheduler_->PickNext(infos_);
+      if (pick != SIZE_MAX) {
+        du = dus_[pick];
+        stepping_ = du.get();
+      }
     }
-    if (pick == SIZE_MAX) {
-      if (num_dus() == 0) {
-        // No work assigned yet; wait for a DU.
+    if (du == nullptr) {
+      if (persistent_ || num_dus() == 0) {
+        // No runnable DU right now: a persistent EO (or one with no DUs
+        // yet) waits for work to be added or migrated in.
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
         continue;
       }
@@ -63,16 +85,24 @@ void ExecutionObject::Run() {
     quanta_->Inc();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      DuSchedInfo& info = infos_[pick];
-      double progressed =
-          result == DispatchUnit::StepResult::kProgress ? 1.0 : 0.0;
-      info.recent_progress = 0.8 * info.recent_progress + 0.2 * progressed;
-      if (result == DispatchUnit::StepResult::kDone) info.done = true;
-      du_quanta_[pick]->Inc();
-      if (result == DispatchUnit::StepResult::kProgress) {
-        du_progress_[pick]->Inc();
+      stepping_ = nullptr;
+      // Re-find by pointer: RemoveDispatchUnit may have erased OTHER DUs
+      // while this quantum ran, shifting indices.
+      auto it = std::find(dus_.begin(), dus_.end(), du);
+      if (it != dus_.end()) {
+        size_t idx = static_cast<size_t>(it - dus_.begin());
+        DuSchedInfo& info = infos_[idx];
+        double progressed =
+            result == DispatchUnit::StepResult::kProgress ? 1.0 : 0.0;
+        info.recent_progress = 0.8 * info.recent_progress + 0.2 * progressed;
+        if (result == DispatchUnit::StepResult::kDone) info.done = true;
+        du_quanta_[idx]->Inc();
+        if (result == DispatchUnit::StepResult::kProgress) {
+          du_progress_[idx]->Inc();
+        }
       }
     }
+    step_done_.notify_all();
     if (result == DispatchUnit::StepResult::kProgress) {
       idle_streak = 0;
     } else if (++idle_streak > static_cast<int>(num_dus())) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +34,20 @@ class ExecutionObject {
   /// Thread-safe: adds a DU (picked up on the next scheduling round).
   void AddDispatchUnit(std::shared_ptr<DispatchUnit> du);
 
+  /// Persistent EOs idle when every DU is done instead of exiting the run
+  /// loop, so they can receive DUs added or migrated in later (the
+  /// executor's EOs are persistent; Join() then only returns via Stop()).
+  /// Call before Start().
+  void set_persistent(bool persistent) { persistent_ = persistent; }
+
+  /// Thread-safe quiesce point: removes a DU, BLOCKING until any in-flight
+  /// quantum of it finishes (DU quanta are non-preemptive; this waits out
+  /// the current one rather than interrupting it). After a true return the
+  /// caller owns the DU exclusively — no EO thread will step it again — so
+  /// it can be mutated, migrated to another EO, or dropped. Returns false if
+  /// the DU is not hosted here.
+  bool RemoveDispatchUnit(const std::shared_ptr<DispatchUnit>& du);
+
   void Start();
   void Stop();
 
@@ -51,9 +66,15 @@ class ExecutionObject {
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<DispatchUnit>> dus_;
   std::vector<DuSchedInfo> infos_;
+  /// The DU whose quantum is running right now (set under mu_ before the
+  /// step, cleared after). RemoveDispatchUnit waits on step_done_ until its
+  /// target is not this.
+  DispatchUnit* stepping_ = nullptr;
+  std::condition_variable step_done_;
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> running_{false};
+  bool persistent_ = false;
 
   MetricsRegistryRef metrics_;
   Counter* quanta_;

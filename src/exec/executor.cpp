@@ -1,7 +1,10 @@
 #include "exec/executor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdint>
+#include <optional>
 #include <thread>
 
 #include "eddy/routing_policy.h"
@@ -9,12 +12,6 @@
 namespace tcq {
 
 namespace {
-
-/// Per-class routing of local eddy ids to (global id, client sink). Only
-/// touched on the class's DU thread.
-struct ClassDeliveries {
-  std::map<QueryId, std::pair<GlobalQueryId, Executor::Sink>> sinks;
-};
 
 /// One-shot synchronization for blocking admission.
 struct AdmissionGate {
@@ -42,12 +39,21 @@ Executor::Executor(Options opts, MetricsRegistryRef metrics)
     : opts_(opts), metrics_(OrPrivateRegistry(std::move(metrics))) {
   dropped_unrouted_ =
       metrics_->GetCounter("tcq_executor_tuples_dropped_unrouted_total");
+  dropped_backpressure_ =
+      metrics_->GetCounter("tcq_executor_tuples_dropped_backpressure_total");
+  merges_ = metrics_->GetCounter("tcq_executor_class_merges_total");
+  migrations_ = metrics_->GetCounter("tcq_executor_class_migrations_total");
+  gcs_ = metrics_->GetCounter("tcq_executor_class_gcs_total");
+  classes_gauge_ = metrics_->GetGauge("tcq_executor_classes");
   for (size_t i = 0; i < opts_.num_eos; ++i) {
     auto sched = opts_.ticket_scheduler
                      ? MakeTicketScheduler(opts_.seed + i)
                      : MakeRoundRobinScheduler();
     eos_.push_back(std::make_unique<ExecutionObject>(
         "eo" + std::to_string(i), std::move(sched), metrics_));
+    // Executor EOs never self-exit: a drained EO must stay schedulable for
+    // classes created later or migrated in by the rebalance pass.
+    eos_.back()->set_persistent(true);
   }
 }
 
@@ -70,53 +76,148 @@ Status Executor::RegisterStream(SourceId source, SchemaRef schema,
   return Status::OK();
 }
 
+size_t Executor::CountLiveClasses() const {
+  size_t n = 0;
+  for (const QueryClass& qc : classes_) {
+    if (qc.live) ++n;
+  }
+  return n;
+}
+
+void Executor::MergeClassInto(size_t dst, size_t src) {
+  QueryClass& d = classes_[dst];
+  QueryClass& s = classes_[src];
+  assert(d.live && s.live && dst != src);
+  // Quiesce both DUs at a quantum boundary: after RemoveDispatchUnit returns
+  // nothing steps them, so their eddies can be mutated from this thread.
+  eos_[d.eo]->RemoveDispatchUnit(d.du);
+  eos_[s.eo]->RemoveDispatchUnit(s.du);
+  d.du->Quiesce();
+  s.du->Quiesce();
+
+  // Transfer the source class's state: streams + SteM contents + queries,
+  // with lineage bits remapped into the survivor's QuerySet.
+  SharedEddy::ExportedState st = s.du->eddy()->ExportState();
+  auto sinks = s.du->TakeSinks();
+  std::map<QueryId, QueryId> remap;
+  d.du->eddy()->ImportState(
+      std::move(st),
+      [&](QueryId old_id, QueryId new_id) { remap[old_id] = new_id; });
+  for (auto& [old_local, binding] : sinks) {
+    auto it = remap.find(old_local);
+    if (it == remap.end()) continue;  // query was already removed
+    d.du->BindSink(it->second, binding.first, std::move(binding.second));
+  }
+  for (auto& [gid, qi] : queries_) {
+    if (qi.query_class != src) continue;
+    auto it = remap.find(qi.local_id);
+    assert(it != remap.end() && "live query missing from export remap");
+    qi.query_class = dst;
+    qi.local_id = it->second;
+  }
+
+  // The Flux-style marker point: stream producers are NEVER repointed — the
+  // consumer endpoints (with everything still queued in them) move to the
+  // survivor, so per-stream order is preserved and nothing in flight is
+  // lost. Tuples the source class already absorbed live on in the
+  // transferred SteMs.
+  for (auto& [source, consumer] : s.du->DetachInputs()) {
+    d.du->AddInput(source, std::move(consumer));
+  }
+  ForEachSource(s.streams, [&](SourceId stream) {
+    auto it = streams_.find(stream);
+    assert(it != streams_.end());
+    it->second.owner_class = dst;
+  });
+  d.streams |= s.streams;
+  s.du.reset();
+  s.live = false;
+  s.streams = 0;
+
+  eos_[d.eo]->AddDispatchUnit(d.du);
+  merges_->Inc();
+  classes_gauge_->Set(static_cast<int64_t>(CountLiveClasses()));
+}
+
+void Executor::GcClass(size_t cls) {
+  QueryClass& qc = classes_[cls];
+  assert(qc.live);
+  eos_[qc.eo]->RemoveDispatchUnit(qc.du);
+  qc.du->Quiesce();
+  // Release stream ownership: close the producing endpoints (a concurrent
+  // IngestBatch holding the shared endpoint sees kClosed and counts the
+  // drop) and unclaim, so a later query re-claims with fresh fjords.
+  ForEachSource(qc.streams, [&](SourceId stream) {
+    auto it = streams_.find(stream);
+    if (it == streams_.end()) return;
+    if (it->second.producer != nullptr) it->second.producer->Close();
+    it->second.producer.reset();
+    it->second.owner_class = SIZE_MAX;
+  });
+  // Dropping the DU drops its eddy, SteMs, and the fjord consumer
+  // endpoints; anything still queued had no query left to care about it.
+  qc.du.reset();
+  qc.live = false;
+  qc.streams = 0;
+  gcs_->Inc();
+  classes_gauge_->Set(static_cast<int64_t>(CountLiveClasses()));
+}
+
 Result<size_t> Executor::ClassFor(SourceSet footprint) {
-  // Which existing classes does the footprint touch?
+  // Which live classes does the footprint touch?
   std::vector<size_t> touching;
   for (size_t c = 0; c < classes_.size(); ++c) {
-    if (classes_[c].streams & footprint) touching.push_back(c);
-  }
-  if (touching.size() > 1) {
-    return Status::Unimplemented(
-        "query footprint bridges two query classes; class re-adjustment is "
-        "not supported (paper §4.2.2 open issue)");
+    if (classes_[c].live && (classes_[c].streams & footprint)) {
+      touching.push_back(c);
+    }
   }
 
   size_t class_idx;
   if (touching.empty()) {
-    // New class with its own shared eddy and DU.
+    // New class with its own shared eddy and DU, placed on the EO hosting
+    // the fewest live classes (the rebalance pass revisits this later).
+    std::vector<size_t> hosted(eos_.size(), 0);
+    for (const QueryClass& qc : classes_) {
+      if (qc.live) ++hosted[qc.eo];
+    }
+    size_t label = next_class_label_++;
     auto eddy = std::make_unique<SharedEddy>(
-        MakeLotteryPolicy(opts_.seed + classes_.size()), metrics_,
-        "class" + std::to_string(classes_.size()));
+        MakeLotteryPolicy(opts_.seed + label), metrics_,
+        "class" + std::to_string(label));
     auto du = std::make_shared<SharedCQDispatchUnit>(
-        "class" + std::to_string(classes_.size()), std::move(eddy),
+        "class" + std::to_string(label), std::move(eddy),
         SharedCQDispatchUnit::Options{opts_.quantum});
     QueryClass qc;
     qc.du = du;
-    qc.eo = classes_.size() % eos_.size();
+    qc.live = true;
+    qc.eo = static_cast<size_t>(
+        std::min_element(hosted.begin(), hosted.end()) - hosted.begin());
     classes_.push_back(std::move(qc));
     class_idx = classes_.size() - 1;
     eos_[classes_[class_idx].eo]->AddDispatchUnit(du);
+    classes_gauge_->Set(static_cast<int64_t>(CountLiveClasses()));
   } else {
+    // The paper's §4.2.2 open issue, closed: a bridging footprint MERGES
+    // every touched class into the first one.
     class_idx = touching.front();
+    for (size_t i = 1; i < touching.size(); ++i) {
+      MergeClassInto(class_idx, touching[i]);
+    }
   }
 
   // Claim any footprint streams the class does not yet consume.
   QueryClass& qc = classes_[class_idx];
   SourceSet missing = footprint & ~qc.streams;
-  for (SourceId s = 0; s < 32; ++s) {
-    if (!(missing & SourceBit(s))) continue;
+  ForEachSource(missing, [&](SourceId s) {
     auto it = streams_.find(s);
     assert(it != streams_.end());
     StreamInfo& info = it->second;
-    if (info.owner_class != SIZE_MAX && info.owner_class != class_idx) {
-      return Status::Unimplemented(
-          "stream s" + std::to_string(s) +
-          " is already owned by another query class");
-    }
+    // Any class owning a footprint stream was in `touching` and has been
+    // merged in, so unclaimed is the only possibility left.
+    assert(info.owner_class == SIZE_MAX && "stream owned by a merged class");
     auto endpoints = Fjord::Make(FjordMode::kPush, opts_.queue_capacity,
                                  "exec:s" + std::to_string(s), metrics_.get());
-    info.producer = std::make_unique<FjordProducer>(endpoints.producer);
+    info.producer = std::make_shared<FjordProducer>(endpoints.producer);
     info.owner_class = class_idx;
     SchemaRef schema = info.schema;
     StemOptions stem_opts = info.stem_opts;
@@ -125,7 +226,7 @@ Result<size_t> Executor::ClassFor(SourceSet footprint) {
     });
     qc.du->AddInput(s, endpoints.consumer);
     qc.streams |= SourceBit(s);
-  }
+  });
   return class_idx;
 }
 
@@ -134,61 +235,79 @@ Result<GlobalQueryId> Executor::SubmitQuery(const CQSpec& spec, Sink sink) {
   if (footprint == 0) {
     return Status::InvalidArgument("query has an empty footprint");
   }
-  std::shared_ptr<SharedCQDispatchUnit> du;
-  GlobalQueryId gid;
-  size_t class_idx;
-  auto gate = std::make_shared<AdmissionGate>();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (SourceId s = 0; s < 32; ++s) {
-      if ((footprint & SourceBit(s)) && !streams_.contains(s)) {
-        return Status::NotFound("stream s" + std::to_string(s) +
-                                " is not registered");
-      }
+  // mu_ is held across admission: the wait below is serviced by an EO
+  // thread (or the inline Step pre-start), and EO threads never take mu_ —
+  // so a concurrent merge/GC cannot remap the class between the eddy
+  // admitting the query and queries_ recording its (class, local id).
+  std::lock_guard<std::mutex> lock(mu_);
+  Status unknown = Status::OK();
+  ForEachSource(footprint, [&](SourceId s) {
+    if (unknown.ok() && !streams_.contains(s)) {
+      unknown = Status::NotFound("stream s" + std::to_string(s) +
+                                 " is not registered");
     }
-    TCQ_ASSIGN_OR_RETURN(class_idx, ClassFor(footprint));
-    du = classes_[class_idx].du;
-    gid = next_query_id_++;
+  });
+  if (!unknown.ok()) return unknown;
+  size_t class_idx;
+  TCQ_ASSIGN_OR_RETURN(class_idx, ClassFor(footprint));
+  auto du = classes_[class_idx].du;
+  GlobalQueryId gid = next_query_id_++;
 
-    du->SubmitTask([du_raw = du.get(), gid, sink = std::move(sink), spec,
-                    gate](SharedEddy* eddy) mutable {
-      Result<QueryId> r = eddy->AddQuery(std::move(spec));
-      if (r.ok()) du_raw->BindSink(*r, gid, std::move(sink));
-      gate->Set(std::move(r));
-    });
-  }
+  auto gate = std::make_shared<AdmissionGate>();
+  du->SubmitTask([du_raw = du.get(), gid, sink = std::move(sink), spec,
+                  gate](SharedEddy* eddy) mutable {
+    Result<QueryId> r = eddy->AddQuery(std::move(spec));
+    if (r.ok()) du_raw->BindSink(*r, gid, std::move(sink));
+    gate->Set(std::move(r));
+  });
   // Pre-start admission: the EO is not pumping yet, so run one quantum
   // inline (single-threaded at this point).
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!started_) du->Step();
-  }
+  if (!started_) du->Step();
   Result<QueryId> local = gate->Wait();
-  if (!local.ok()) return local.status();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queries_[gid] = QueryInfo{class_idx, *local};
+  if (!local.ok()) {
+    // If admission left the class without any query (e.g. a class freshly
+    // created for this footprint), reclaim it right away.
+    bool any = false;
+    for (const auto& [g, qi] : queries_) {
+      if (qi.query_class == class_idx) {
+        any = true;
+        break;
+      }
+    }
+    if (!any && classes_[class_idx].live) GcClass(class_idx);
+    return local.status();
   }
+  queries_[gid] = QueryInfo{class_idx, *local};
   return gid;
 }
 
 Status Executor::RemoveQuery(GlobalQueryId id) {
-  std::shared_ptr<SharedCQDispatchUnit> du;
-  QueryId local;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = queries_.find(id);
-    if (it == queries_.end()) {
-      return Status::NotFound("no query " + std::to_string(id));
-    }
-    du = classes_[it->second.query_class].du;
-    local = it->second.local_id;
-    queries_.erase(it);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(id);
+  if (it == queries_.end()) {
+    return Status::NotFound("no query " + std::to_string(id));
   }
-  du->SubmitTask([local, du_raw = du.get()](SharedEddy* eddy) {
-    (void)eddy->RemoveQuery(local);
-    du_raw->UnbindSink(local);
-  });
+  size_t cls = it->second.query_class;
+  QueryId local = it->second.local_id;
+  queries_.erase(it);
+  bool last = true;
+  for (const auto& [gid, qi] : queries_) {
+    if (qi.query_class == cls) {
+      last = false;
+      break;
+    }
+  }
+  if (!last) {
+    auto du = classes_[cls].du;
+    du->SubmitTask([local, du_raw = du.get()](SharedEddy* eddy) {
+      (void)eddy->RemoveQuery(local);
+      du_raw->UnbindSink(local);
+    });
+    return Status::OK();
+  }
+  // Last query of the class: GC it — DU, eddy, SteMs, and fjords all go;
+  // the streams are freed for a later query to re-claim.
+  GcClass(cls);
   return Status::OK();
 }
 
@@ -201,7 +320,9 @@ Status Executor::IngestTuple(SourceId source, const Tuple& tuple) {
 Status Executor::IngestBatch(TupleBatch batch) {
   if (batch.empty()) return Status::OK();
   SourceId source = batch.source();
-  FjordProducer* producer = nullptr;
+  // Hold the endpoint by shared_ptr: a concurrent GC may release the stream
+  // (closing the fjord) while this batch is in flight.
+  std::shared_ptr<FjordProducer> producer;
   Counter* dropped = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -210,7 +331,7 @@ Status Executor::IngestBatch(TupleBatch batch) {
       return Status::NotFound("stream s" + std::to_string(source) +
                               " is not registered");
     }
-    producer = it->second.producer.get();
+    producer = it->second.producer;
     dropped = it->second.dropped;
   }
   if (producer == nullptr) {
@@ -232,7 +353,9 @@ Status Executor::IngestBatch(TupleBatch batch) {
     }
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
-  dropped_unrouted_->Inc(batch.size());
+  // Routed but back-pressured past the retry budget: counted separately
+  // from unrouted drops (a consumer exists; it just can't keep up).
+  dropped_backpressure_->Inc(batch.size());
   dropped->Inc(batch.size());
   return Status::ResourceExhausted("stream s" + std::to_string(source) +
                                    " back-pressured; " +
@@ -258,10 +381,96 @@ Status Executor::CloseStream(SourceId source) {
   return Status::OK();
 }
 
-void Executor::Start() {
+bool Executor::RebalanceLocked() {
+  if (eos_.size() < 2) return false;
+  // Per-EO load = recent progress (quanta that did work) of its live class
+  // DUs since the previous pass; per-class deltas double as the "busiest
+  // DU" ranking.
+  std::vector<uint64_t> load(eos_.size(), 0);
+  std::vector<size_t> hosted(eos_.size(), 0);
+  std::vector<std::pair<size_t, uint64_t>> deltas;  // (class, delta)
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    QueryClass& qc = classes_[c];
+    if (!qc.live) continue;
+    uint64_t now = qc.du->progress_steps();
+    uint64_t delta = now - qc.last_progress;
+    qc.last_progress = now;
+    load[qc.eo] += delta;
+    ++hosted[qc.eo];
+    deltas.emplace_back(c, delta);
+  }
+  size_t max_eo = 0;
+  size_t min_eo = 0;
+  for (size_t e = 1; e < eos_.size(); ++e) {
+    if (load[e] > load[max_eo]) max_eo = e;
+    if (load[e] < load[min_eo] ||
+        (load[e] == load[min_eo] && hosted[e] < hosted[min_eo])) {
+      min_eo = e;
+    }
+  }
+  if (max_eo == min_eo || hosted[max_eo] < 2) return false;
+  double floor = static_cast<double>(std::max<uint64_t>(load[min_eo], 1));
+  if (static_cast<double>(load[max_eo]) <=
+      opts_.rebalance_imbalance_threshold * floor) {
+    return false;
+  }
+  if (started_ && !eos_[min_eo]->running()) return false;  // EO retired
+  // Migrate the busiest DU off the most-loaded EO.
+  size_t busiest = SIZE_MAX;
+  uint64_t busiest_delta = 0;
+  for (const auto& [c, delta] : deltas) {
+    if (classes_[c].eo != max_eo) continue;
+    if (busiest == SIZE_MAX || delta > busiest_delta) {
+      busiest = c;
+      busiest_delta = delta;
+    }
+  }
+  if (busiest == SIZE_MAX || busiest_delta == 0) return false;
+  // Anti-thrash gate: move only if it strictly lowers the peak load.
+  // Moving a DU that carries most of its EO's load onto the least-loaded
+  // EO would just relocate the hot spot (and ping-pong on the next pass).
+  uint64_t src_after = load[max_eo] - busiest_delta;
+  uint64_t dst_after = load[min_eo] + busiest_delta;
+  if (std::max(src_after, dst_after) >= load[max_eo]) return false;
+  QueryClass& qc = classes_[busiest];
+  // Quiesce at a quantum boundary, then re-home. The DU's fjords and eddy
+  // state move untouched — only the thread stepping it changes.
+  eos_[max_eo]->RemoveDispatchUnit(qc.du);
+  qc.eo = min_eo;
+  eos_[min_eo]->AddDispatchUnit(qc.du);
+  migrations_->Inc();
+  return true;
+}
+
+bool Executor::RebalanceOnce() {
   std::lock_guard<std::mutex> lock(mu_);
-  started_ = true;
+  return RebalanceLocked();
+}
+
+void Executor::RebalanceLoop() {
+  const auto interval = std::chrono::milliseconds(opts_.rebalance_interval_ms);
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (!rebalance_stop_.load(std::memory_order_relaxed)) {
+    // Short chunks keep Stop() responsive and honor small intervals.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (std::chrono::steady_clock::now() < next) continue;
+    next = std::chrono::steady_clock::now() + interval;
+    std::lock_guard<std::mutex> lock(mu_);
+    (void)RebalanceLocked();
+  }
+}
+
+void Executor::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return;
+    started_ = true;
+  }
   for (auto& eo : eos_) eo->Start();
+  if (opts_.rebalance && eos_.size() > 1) {
+    rebalance_stop_.store(false);
+    rebalance_thread_ = std::thread([this] { RebalanceLoop(); });
+  }
 }
 
 void Executor::Stop() {
@@ -269,12 +478,33 @@ void Executor::Stop() {
     std::lock_guard<std::mutex> lock(mu_);
     started_ = false;
   }
+  rebalance_stop_.store(true);
+  if (rebalance_thread_.joinable()) rebalance_thread_.join();
   for (auto& eo : eos_) eo->Stop();
 }
 
 size_t Executor::num_classes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return classes_.size();
+  return CountLiveClasses();
+}
+
+std::vector<Executor::ClassInfo> Executor::Topology() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ClassInfo> out;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    const QueryClass& qc = classes_[c];
+    if (!qc.live) continue;
+    ClassInfo info;
+    info.id = c;
+    info.name = qc.du->name();
+    info.eo = qc.eo;
+    info.streams = qc.streams;
+    for (const auto& [gid, qi] : queries_) {
+      if (qi.query_class == c) ++info.num_queries;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 }  // namespace tcq

@@ -3,17 +3,31 @@
 // Units. "The goal is to separate queries into classes that have
 // significant potential for sharing work... based on the set of streams and
 // tables over which the queries are defined, which we call the query
-// footprint. In the current implementation, we create query classes for
-// disjoint sets of footprints" — so does this one: each class owns a CACQ
-// shared eddy; a query whose footprint would bridge two existing classes is
-// rejected (class re-adjustment is the paper's stated open issue).
+// footprint." Each class owns a CACQ shared eddy behind one DU.
+//
+// Unlike the paper's snapshot — which creates classes only for DISJOINT
+// footprints and leaves "class re-adjustment" as §4.2.2's open issue — this
+// executor gives classes a full dynamic lifecycle:
+//   * MERGE: a query whose footprint bridges existing classes is admitted by
+//     merging the touched classes into one. The merge quiesces each DU at a
+//     quantum boundary (Flux-style pause/drain), transfers SteM state and
+//     live queries (lineage bits remapped into the survivor's QuerySet), and
+//     moves the stream fjords' consumer endpoints — producers never repoint,
+//     so no in-flight batch is lost or reordered.
+//   * GC: removing a class's last query retires the class — its DU detaches,
+//     fjords close, and stream ownership is released for later queries.
+//   * MIGRATE: a background rebalance pass watches per-DU progress counters
+//     and moves the busiest DU off the most-loaded EO when the imbalance
+//     exceeds a threshold (enable via Options::rebalance).
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 
 #include "common/metrics.h"
 #include "exec/dispatch_unit.h"
@@ -34,10 +48,25 @@ class Executor {
     size_t queue_capacity = 4096;
     bool ticket_scheduler = false;
     uint64_t seed = 42;
+    /// Run the background rebalance pass (class migration across EOs).
+    bool rebalance = false;
+    uint64_t rebalance_interval_ms = 100;
+    /// Migrate when the most-loaded EO's recent progress exceeds this
+    /// multiple of the least-loaded EO's (and it hosts >= 2 DUs).
+    double rebalance_imbalance_threshold = 2.0;
   };
 
   /// Receives (global id, result tuple) deliveries; called from EO threads.
   using Sink = std::function<void(GlobalQueryId, const Tuple&)>;
+
+  /// One live query class, as reported by Topology().
+  struct ClassInfo {
+    size_t id = 0;          ///< stable class index (survives merges of others)
+    std::string name;       ///< the class DU's name
+    size_t eo = 0;          ///< hosting ExecutionObject index (migrates)
+    SourceSet streams = 0;  ///< streams the class owns
+    size_t num_queries = 0; ///< live queries routed to the class
+  };
 
   /// When `metrics` is null the executor observes itself (and everything it
   /// creates: EOs, query classes' shared eddies and SteMs, stream fjords) in
@@ -62,30 +91,51 @@ class Executor {
   ///                            (the batch is dropped and counted, per-stream
   ///                            and globally), or the stream is closed;
   ///   * kResourceExhausted   — back-pressure outlasted the retry budget; the
-  ///                            undelivered suffix is dropped and counted.
+  ///                            undelivered suffix is dropped and counted
+  ///                            (per-stream and under the dedicated
+  ///                            back-pressure counter — these tuples WERE
+  ///                            routed, unlike the unrouted drops above).
   Status IngestBatch(TupleBatch batch);
 
   /// Closes a stream: its class eventually drains and completes.
   Status CloseStream(SourceId source);
 
   /// Submits a continuous query; blocks until the owning class's DU admits
-  /// it (milliseconds). Deliveries go to `sink`.
+  /// it (milliseconds). A footprint bridging several classes first merges
+  /// them (also blocking, at quantum boundaries). Deliveries go to `sink`.
   Result<GlobalQueryId> SubmitQuery(const CQSpec& spec, Sink sink);
 
-  /// Removes a query at the next quantum boundary.
+  /// Removes a query at the next quantum boundary. Removing a class's LAST
+  /// query garbage-collects the class synchronously: the DU detaches from
+  /// its EO, the class fjords close, and stream ownership is released (a
+  /// later query re-claims the streams with fresh fjords).
   Status RemoveQuery(GlobalQueryId id);
+
+  /// Runs one rebalance pass immediately (also what the background thread
+  /// does every rebalance_interval_ms). Returns true if a DU migrated.
+  bool RebalanceOnce();
 
   void Start();
   void Stop();
 
+  /// Live query classes only (merged-away and GC'd classes are excluded).
   size_t num_classes() const;
   size_t num_eos() const { return eos_.size(); }
+  /// Snapshot of the live class -> EO topology.
+  std::vector<ClassInfo> Topology() const;
+
   uint64_t tuples_dropped_unrouted() const {
     return dropped_unrouted_->Value();
+  }
+  uint64_t tuples_dropped_backpressure() const {
+    return dropped_backpressure_->Value();
   }
   /// Tuples dropped on one stream (unrouted, closed, or back-pressured
   /// past the retry budget). 0 for unknown streams.
   uint64_t stream_tuples_dropped(SourceId source) const;
+  uint64_t class_merges() const { return merges_->Value(); }
+  uint64_t class_migrations() const { return migrations_->Value(); }
+  uint64_t class_gcs() const { return gcs_->Value(); }
   const MetricsRegistryRef& metrics() const { return metrics_; }
 
  private:
@@ -93,7 +143,9 @@ class Executor {
     SchemaRef schema;
     StemOptions stem_opts;
     /// Producing endpoint into the owning class (null until claimed).
-    std::unique_ptr<FjordProducer> producer;
+    /// Shared so a concurrent IngestBatch keeps the endpoint alive while a
+    /// GC pass releases the stream.
+    std::shared_ptr<FjordProducer> producer;
     size_t owner_class = SIZE_MAX;
     /// Drops on this stream: tcq_executor_stream_dropped_total{stream=...}.
     Counter* dropped = nullptr;
@@ -103,6 +155,9 @@ class Executor {
     std::shared_ptr<SharedCQDispatchUnit> du;
     SourceSet streams = 0;
     size_t eo = 0;
+    bool live = false;  ///< false once merged away or GC'd
+    /// progress_steps() snapshot at the last rebalance pass.
+    uint64_t last_progress = 0;
   };
 
   struct QueryInfo {
@@ -110,8 +165,18 @@ class Executor {
     QueryId local_id = 0;
   };
 
-  /// Finds or creates the class covering `footprint` (caller holds mu_).
+  /// Finds or creates the class covering `footprint`, merging every touched
+  /// class into one when the footprint bridges them (caller holds mu_).
   Result<size_t> ClassFor(SourceSet footprint);
+  /// Merges class `src` into class `dst`: quiesces both DUs, transfers
+  /// eddy/SteM state, remaps query lineage, moves fjord consumers (caller
+  /// holds mu_; both classes must be live).
+  void MergeClassInto(size_t dst, size_t src);
+  /// Retires a live class with no queries left (caller holds mu_).
+  void GcClass(size_t cls);
+  size_t CountLiveClasses() const;  // caller holds mu_
+  bool RebalanceLocked();           // caller holds mu_
+  void RebalanceLoop();
 
   Options opts_;
   mutable std::mutex mu_;
@@ -119,10 +184,18 @@ class Executor {
   std::vector<QueryClass> classes_;
   std::map<GlobalQueryId, QueryInfo> queries_;
   GlobalQueryId next_query_id_ = 1;
+  size_t next_class_label_ = 0;  // DU/eddy labels stay unique across GC
   std::vector<std::unique_ptr<ExecutionObject>> eos_;
   MetricsRegistryRef metrics_;
   Counter* dropped_unrouted_;
+  Counter* dropped_backpressure_;
+  Counter* merges_;
+  Counter* migrations_;
+  Counter* gcs_;
+  Gauge* classes_gauge_;
   bool started_ = false;
+  std::thread rebalance_thread_;
+  std::atomic<bool> rebalance_stop_{false};
 };
 
 }  // namespace tcq

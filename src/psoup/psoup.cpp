@@ -36,18 +36,23 @@ std::vector<Tuple> PSoup::EvaluateOverHistory(const PSoupQuery& query,
   loop.t_step = -1;
   SourceSet footprint = query.where.Footprint();
   std::map<SourceId, StreamHistory> histories;
-  for (SourceId s = 0; s < 32; ++s) {
-    if (!(footprint & SourceBit(s))) continue;
+  bool missing_stem = false;
+  ForEachSource(footprint, [&](SourceId s) {
+    if (missing_stem) return;
     loop.windows.push_back(
         {s, WindowBound::Constant(lo), WindowBound::Constant(hi)});
     auto it = data_stems_.find(s);
-    if (it == data_stems_.end()) return {};
+    if (it == data_stems_.end()) {
+      missing_stem = true;
+      return;
+    }
     StreamHistory h;
     std::vector<Tuple> content;
     it->second->Scan(lo, hi, &content);
     for (const Tuple& t : content) h.Append(t);
     histories.emplace(s, std::move(h));
-  }
+  });
+  if (missing_stem) return {};
   wq.loop = std::move(loop);
   for (const FilterFactor& f : query.where.filters) {
     wq.predicates.push_back(MakeCompareConst(f.attr, f.op, f.literal));
@@ -72,15 +77,14 @@ Result<QueryId> PSoup::Register(PSoupQuery query) {
   // 2. Backfill freshly created shared SteMs so old data can still join
   //    with future arrivals.
   SourceSet footprint = query.where.Footprint();
-  for (SourceId s = 0; s < 32; ++s) {
-    if (!(footprint & SourceBit(s))) continue;
+  ForEachSource(footprint, [&](SourceId s) {
     if (eddy_.GetSteM(s) != nullptr && !backfilled_.contains(s)) {
       std::vector<Tuple> history;
       data_stems_[s]->Scan(kMinTimestamp, kMaxTimestamp, &history);
       eddy_.BackfillSteM(s, history);
       backfilled_.insert(s);
     }
-  }
+  });
 
   // 3. Apply the new query to old data (PSoup's historical half) and
   //    materialize those results. Evaluation scans full retained history;

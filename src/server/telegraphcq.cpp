@@ -435,6 +435,10 @@ TelegraphCQ::Introspection TelegraphCQ::Introspect() const {
     }
     out.streams.push_back(std::move(ss));
   }
+  out.classes = executor_.Topology();
+  out.class_merges = executor_.class_merges();
+  out.class_migrations = executor_.class_migrations();
+  out.class_gcs = executor_.class_gcs();
   return out;
 }
 

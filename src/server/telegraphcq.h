@@ -109,12 +109,20 @@ class TelegraphCQ {
   };
 
   /// One-stop introspection: the full metrics snapshot plus per-query and
-  /// per-stream stats derived from it and from the client handles.
+  /// per-stream stats derived from it and from the client handles, plus the
+  /// executor's live query-class topology (which class runs on which EO,
+  /// over which streams) and its lifecycle counters.
   struct Introspection {
     MetricsSnapshot metrics;
     uint64_t tuples_ingested = 0;
     std::vector<QueryStats> queries;
     std::vector<StreamStats> streams;
+    /// Live query classes (continuous queries only; windowed queries run on
+    /// their own dedicated EOs outside the class system).
+    std::vector<Executor::ClassInfo> classes;
+    uint64_t class_merges = 0;      ///< bridging-query class merges so far
+    uint64_t class_migrations = 0;  ///< rebalance DU migrations so far
+    uint64_t class_gcs = 0;         ///< classes retired (last query removed)
   };
 
   /// One client-facing row of a PushBatch call.

@@ -21,7 +21,27 @@ namespace tcq {
 using SourceId = uint32_t;
 using SourceSet = uint32_t;
 
-inline SourceSet SourceBit(SourceId id) { return SourceSet{1} << id; }
+inline constexpr SourceSet SourceBit(SourceId id) {
+  return SourceSet{1} << id;
+}
+
+/// Upper bound on distinct SourceIds, tied to the actual SourceSet width so
+/// widening SourceSet automatically widens every loop written against this
+/// constant (no silently truncated footprints).
+inline constexpr SourceId kMaxSources = sizeof(SourceSet) * 8;
+static_assert(SourceBit(kMaxSources - 1) != 0,
+              "kMaxSources must not overflow SourceSet");
+
+/// Calls fn(SourceId) for every set bit of `set`, ascending. Prefer this over
+/// hand-written `for (s = 0; s < 32; ...)` loops: it costs O(popcount) and
+/// cannot miss high bits if SourceSet is ever widened.
+template <typename Fn>
+inline void ForEachSource(SourceSet set, Fn&& fn) {
+  while (set != 0) {
+    fn(static_cast<SourceId>(__builtin_ctzll(set)));
+    set &= set - 1;
+  }
+}
 
 struct Field {
   std::string name;

@@ -14,10 +14,8 @@ Timestamp WatermarkTracker::WatermarkOf(SourceId source) const {
 
 Timestamp WatermarkTracker::MinWatermark(SourceSet sources) const {
   Timestamp min = kMaxTimestamp;
-  for (SourceId s = 0; s < 32; ++s) {
-    if (!(sources & SourceBit(s))) continue;
-    min = std::min(min, WatermarkOf(s));
-  }
+  ForEachSource(sources,
+                [&](SourceId s) { min = std::min(min, WatermarkOf(s)); });
   return min == kMaxTimestamp ? kMinTimestamp : min;
 }
 

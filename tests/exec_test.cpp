@@ -207,7 +207,7 @@ TEST(ExecutorTest, DisjointFootprintsGetSeparateClasses) {
   EXPECT_EQ(exec.num_classes(), 2u);
 }
 
-TEST(ExecutorTest, BridgingQueryIsRejected) {
+TEST(ExecutorTest, BridgingQueryMergesClasses) {
   Executor exec;
   ASSERT_TRUE(exec.RegisterStream(0, Sch(0)).ok());
   ASSERT_TRUE(exec.RegisterStream(1, Sch(1)).ok());
@@ -217,10 +217,34 @@ TEST(ExecutorTest, BridgingQueryIsRejected) {
   q1.filters.push_back({{1, "k"}, CmpOp::kLt, Value::Int64(5)});
   ASSERT_TRUE(exec.SubmitQuery(q0, [](GlobalQueryId, const Tuple&) {}).ok());
   ASSERT_TRUE(exec.SubmitQuery(q1, [](GlobalQueryId, const Tuple&) {}).ok());
+  EXPECT_EQ(exec.num_classes(), 2u);
+
+  // A join bridging both classes merges them instead of being rejected
+  // (closing the paper's §4.2.2 "class re-adjustment" open issue).
   CQSpec bridge;
   bridge.joins.push_back({{0, "k"}, {1, "k"}});
-  auto r = exec.SubmitQuery(bridge, [](GlobalQueryId, const Tuple&) {});
-  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+  std::atomic<size_t> joined{0};
+  auto r = exec.SubmitQuery(
+      bridge, [&](GlobalQueryId, const Tuple&) { ++joined; });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(exec.num_classes(), 1u);
+  EXPECT_EQ(exec.class_merges(), 1u);
+  auto topo = exec.Topology();
+  ASSERT_EQ(topo.size(), 1u);
+  EXPECT_EQ(topo[0].streams, SourceBit(0) | SourceBit(1));
+  EXPECT_EQ(topo[0].num_queries, 3u);
+
+  // The merged class actually executes the bridging join.
+  exec.Start();
+  ASSERT_TRUE(exec.IngestTuple(0, Row(0, 7, 0, 1)).ok());
+  ASSERT_TRUE(exec.IngestTuple(1, Row(1, 7, 0, 2)).ok());
+  ASSERT_TRUE(exec.CloseStream(0).ok());
+  ASSERT_TRUE(exec.CloseStream(1).ok());
+  for (int i = 0; i < 500 && joined.load() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  exec.Stop();
+  EXPECT_EQ(joined.load(), 1u);
 }
 
 TEST(ExecutorTest, UnknownStreamRejected) {
@@ -294,10 +318,15 @@ TEST(ExecutorTest, RemoveQueryStopsDeliveries) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   ASSERT_EQ(got.load(), 100u);
+  // Removing the class's last query GCs the whole class: the stream is no
+  // longer consumed, so further ingest is refused (and counted) rather than
+  // silently buffered for nobody.
   ASSERT_TRUE(exec.RemoveQuery(*id).ok());
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(exec.num_classes(), 0u);
+  EXPECT_EQ(exec.class_gcs(), 1u);
   for (int i = 0; i < 100; ++i) {
-    ASSERT_TRUE(exec.IngestTuple(0, Row(0, 1, 1, 100 + i)).ok());
+    EXPECT_TRUE(
+        exec.IngestTuple(0, Row(0, 1, 1, 100 + i)).IsFailedPrecondition());
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   exec.Stop();
