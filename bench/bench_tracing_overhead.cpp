@@ -1,0 +1,102 @@
+// Tracing overhead (DESIGN.md §9): ingest throughput on the E2/E4 shared-CACQ
+// workload (64 point-filter queries over 8 attributes, batched ingest) with
+// the tracer compiled in at four settings — disabled (Arg 0, the zero-cost
+// baseline: one relaxed atomic load per batch) and sample periods 64 / 8 / 1.
+// BENCH_tracing.json compares 1/64 against disabled; the acceptance bound is
+// <= 5% regression at the default sampling rate.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "cacq/shared_eddy.h"
+#include "common/rng.h"
+#include "obs/trace.h"
+
+namespace tcq {
+namespace {
+
+constexpr size_t kQueries = 64;
+constexpr size_t kAttrs = 8;
+constexpr size_t kStream = 20000;
+constexpr int64_t kWideKeyRange = 4096;
+constexpr size_t kBatch = 64;
+
+// state.range(0): 0 = tracer disabled, otherwise the sample period.
+void BM_TracedSharedCACQIngest(benchmark::State& state) {
+  uint32_t period = static_cast<uint32_t>(state.range(0));
+
+  std::vector<Field> fields;
+  for (size_t a = 0; a < kAttrs; ++a) {
+    fields.push_back({"a" + std::to_string(a), ValueType::kInt64, 0});
+  }
+  SchemaRef schema = Schema::Make(std::move(fields));
+
+  std::vector<Tuple> s;
+  s.reserve(kStream);
+  {
+    Rng rng(7);
+    for (size_t i = 0; i < kStream; ++i) {
+      std::vector<Value> vals;
+      vals.reserve(kAttrs);
+      for (size_t a = 0; a < kAttrs; ++a) {
+        vals.push_back(Value::Int64(rng.UniformInt(0, kWideKeyRange - 1)));
+      }
+      s.push_back(Tuple::Make(schema, std::move(vals),
+                              static_cast<Timestamp>(i)));
+    }
+  }
+
+  obs::TraceOptions topts;
+  topts.enabled = period > 0;
+  topts.sample_period = period > 0 ? period : 1;
+  obs::Tracer tracer(topts);
+
+  uint64_t tuples = 0;
+  for (auto _ : state) {
+    SharedEddy eddy(MakeLotteryPolicy(3));
+    eddy.RegisterStream(0, schema);
+    eddy.SetOutput([](QueryId, const Tuple&) {});
+    Rng rng(11);
+    for (size_t q = 0; q < kQueries; ++q) {
+      CQSpec spec;
+      spec.filters.push_back(
+          {{0, "a" + std::to_string(q % kAttrs)},
+           CmpOp::kEq,
+           Value::Int64(rng.UniformInt(0, kWideKeyRange))});
+      (void)eddy.AddQuery(spec);
+    }
+    TupleBatch batch;
+    batch.set_source(0);
+    for (const Tuple& t : s) {
+      batch.push_back(t);
+      if (batch.size() >= kBatch) {
+        // The batch boundary a DU pump pays: one scope per dequeued batch.
+        obs::TraceBatchScope scope(&tracer);
+        eddy.IngestBatch(batch);
+        batch.clear();
+      }
+    }
+    if (!batch.empty()) {
+      obs::TraceBatchScope scope(&tracer);
+      eddy.IngestBatch(batch);
+    }
+    tuples += kStream;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.counters["sample_period"] = static_cast<double>(period);
+  state.counters["batches_sampled"] =
+      static_cast<double>(tracer.batches_sampled());
+  state.counters["spans_recorded"] =
+      static_cast<double>(tracer.spans_recorded());
+}
+BENCHMARK(BM_TracedSharedCACQIngest)
+    ->Arg(0)
+    ->Arg(64)
+    ->Arg(8)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Tracing-overhead smoke (DESIGN.md §9): runs bench_tracing_overhead — the
+# shared-CACQ batched-ingest workload with the tracer disabled and at sample
+# periods 64 / 8 / 1 — and writes BENCH_tracing.json at the repo root with
+# the throughput ratios against the disabled baseline. The acceptance
+# criterion: <= 5% regression at the default 1/64 sampling rate.
+#
+# Usage: scripts/bench_tracing.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+if [[ ! -x "$BUILD/bench/bench_tracing_overhead" ]]; then
+  echo "benchmarks not built; run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+MIN_TIME="${TCQ_BENCH_MIN_TIME:-0.3}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/bench_tracing_overhead" \
+  --benchmark_filter='BM_TracedSharedCACQIngest' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$TMP/tracing.json"
+
+python3 - "$TMP/tracing.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+rows = {}
+for b in doc.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    period = int(b.get("sample_period", -1))
+    if period < 0:
+        period = int(b["name"].rsplit("/", 1)[-1])
+    rows[period] = {
+        "name": b["name"],
+        "sample_period": period,
+        "items_per_second": b.get("items_per_second"),
+        "batches_sampled": b.get("batches_sampled"),
+        "spans_recorded": b.get("spans_recorded"),
+    }
+
+base = rows.get(0, {}).get("items_per_second")
+results = []
+for period in sorted(rows):
+    row = rows[period]
+    row["slowdown_vs_disabled"] = (
+        base / row["items_per_second"]
+        if base and row.get("items_per_second") else None
+    )
+    results.append(row)
+
+report = {"workload": "shared-CACQ batched ingest (64 queries, 8 attrs)",
+          "results": results}
+with open("BENCH_tracing.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+for row in results:
+    label = "off" if row["sample_period"] == 0 else f"1/{row['sample_period']}"
+    slow = row["slowdown_vs_disabled"]
+    print(f"sample {label}: {row['items_per_second']:.0f} items/s"
+          + (f" ({slow:.3f}x of disabled)" if slow else ""))
+print("wrote BENCH_tracing.json")
+
+slow64 = rows.get(64, {}).get("slowdown_vs_disabled")
+if slow64 is None:
+    print("missing 1/64 or disabled run", file=sys.stderr)
+    sys.exit(1)
+if slow64 > 1.05:
+    print(f"FAIL: 1/64 sampling costs {100 * (slow64 - 1):.1f}% > 5% bound",
+          file=sys.stderr)
+    sys.exit(1)
+sys.exit(0)
+PY

@@ -3,22 +3,27 @@
 #   1. tier-1 verify: configure + build + full ctest (ROADMAP.md)
 #   2. AddressSanitizer configure + build + ctest in a separate build dir
 #   3. ThreadSanitizer build running the concurrency-heavy suites
-#      (exec, exec_lifecycle, fjords, cacq) — must be TSan-clean
-#   4. bench smoke: batched-vs-per-tuple comparison -> BENCH_batching.json,
-#      class lifecycle (merge/GC/rebalance) -> BENCH_exec_lifecycle.json
+#      (exec, exec_lifecycle, fjords, cacq, obs) — must be TSan-clean
+#   4. UBSan build running the trace/queue/routing suites (the seqlock ring
+#      and histogram interpolation are the prime UB suspects)
+#   5. bench smoke: batched-vs-per-tuple comparison -> BENCH_batching.json,
+#      class lifecycle (merge/GC/rebalance) -> BENCH_exec_lifecycle.json,
+#      tracing overhead -> BENCH_tracing.json
 #
-# Usage: scripts/check.sh [--no-asan] [--no-tsan] [--no-bench]
+# Usage: scripts/check.sh [--no-asan] [--no-tsan] [--no-ubsan] [--no-bench]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_ASAN=1
 RUN_TSAN=1
+RUN_UBSAN=1
 RUN_BENCH=1
 for arg in "$@"; do
   case "$arg" in
     --no-asan) RUN_ASAN=0 ;;
     --no-tsan) RUN_TSAN=0 ;;
+    --no-ubsan) RUN_UBSAN=0 ;;
     --no-bench) RUN_BENCH=0 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
@@ -40,10 +45,20 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: configure + build + concurrency suites =="
   cmake -B build-tsan -S . -DTCQ_SANITIZE=thread
   cmake --build build-tsan -j --target \
-    exec_test exec_lifecycle_test fjords_test cacq_test
-  for t in exec_test exec_lifecycle_test fjords_test cacq_test; do
+    exec_test exec_lifecycle_test fjords_test cacq_test obs_test
+  for t in exec_test exec_lifecycle_test fjords_test cacq_test obs_test; do
     echo "-- tsan: $t"
     ./build-tsan/tests/"$t"
+  done
+fi
+
+if [[ "$RUN_UBSAN" == 1 ]]; then
+  echo "== ubsan: configure + build + trace/queue/routing suites =="
+  cmake -B build-ubsan -S . -DTCQ_SANITIZE=undefined
+  cmake --build build-ubsan -j --target obs_test fjords_test eddy_test
+  for t in obs_test fjords_test eddy_test; do
+    echo "-- ubsan: $t"
+    UBSAN_OPTIONS=halt_on_error=1 ./build-ubsan/tests/"$t"
   done
 fi
 
@@ -52,6 +67,8 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   scripts/bench_batching.sh build
   echo "== bench smoke: BENCH_exec_lifecycle.json =="
   scripts/bench_exec_lifecycle.sh build
+  echo "== bench smoke: BENCH_tracing.json =="
+  scripts/bench_tracing.sh build
 fi
 
 echo "== check.sh: all gates passed =="

@@ -23,6 +23,9 @@ struct SharedEnvelope {
   Timestamp seq_max = 0;
   /// Queries that may still be satisfied by (a descendant of) this tuple.
   QuerySet live;
+  /// Module invocations absorbed, inherited by probe children — the eddy
+  /// hop count (routing-quality signal, DESIGN.md §9).
+  uint32_t hops = 0;
 };
 
 }  // namespace tcq

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace tcq {
 
 // --- GroupedFilterModule ----------------------------------------------------
@@ -422,6 +424,8 @@ void SharedEddy::DeliverIfComplete(SharedEnvelope&& env) {
 
 void SharedEddy::Drain() {
   draining_ = true;
+  // Bound once per drain: non-null only inside a sampled trace batch.
+  obs::TraceContext& tc = obs::CurrentTrace();
   // Drain-scoped routing-decision cache: envelopes with identical lineage
   // (done-set, live-set, span) see the same ready set, so both the ready
   // computation and the last ranked slot apply verbatim — including across
@@ -451,6 +455,7 @@ void SharedEddy::Drain() {
         entry.live = env.live;
         entry.has_ready = ComputeReady(env, &ready_scratch_);
         if (!entry.has_ready) {
+          if (tc.tracer != nullptr) tc.tracer->RecordHopCount(env.hops);
           DeliverIfComplete(std::move(env));
           break;
         }
@@ -461,6 +466,7 @@ void SharedEddy::Drain() {
         entry.slot = slot;
       } else {
         if (!entry.has_ready) {
+          if (tc.tracer != nullptr) tc.tracer->RecordHopCount(env.hops);
           DeliverIfComplete(std::move(env));
           break;
         }
@@ -469,7 +475,13 @@ void SharedEddy::Drain() {
       }
       module_invocations_->Inc();
       out_scratch_.clear();
+      int64_t hop_t0 = tc.tracer != nullptr ? NowMicros() : 0;
       ModuleAction action = modules_[slot]->Process(&env, &out_scratch_);
+      ++env.hops;
+      if (tc.tracer != nullptr) {
+        tc.tracer->RecordHop(slot, modules_[slot]->name(), hop_t0,
+                             NowMicros() - hop_t0);
+      }
       if (!out_scratch_.empty()) ++drain_generation_;
       // For stats/ticket purposes a probe that emitted children counts as an
       // expansion even though the parent keeps routing.
@@ -486,9 +498,13 @@ void SharedEddy::Drain() {
       }
       for (SharedEnvelope& child : out_scratch_) {
         child.done |= env.done | (uint64_t{1} << slot);
+        child.hops = env.hops;
         queue_.push_back(std::move(child));
       }
-      if (action == ModuleAction::kDrop) break;
+      if (action == ModuleAction::kDrop) {
+        if (tc.tracer != nullptr) tc.tracer->RecordHopCount(env.hops);
+        break;
+      }
       env.done |= (uint64_t{1} << slot);
       // kPass: continue routing the (narrowed) envelope.
     }

@@ -10,11 +10,21 @@ uint64_t MetricsSnapshot::HistogramData::ApproxQuantile(double q) const {
   uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
   if (rank >= count) rank = count - 1;
   uint64_t seen = 0;
+  uint64_t prev_bound = 0;
   for (const auto& [le, c] : buckets) {
+    if (seen + c > rank) {
+      // +inf bucket has no finite upper edge to interpolate toward.
+      if (le == UINT64_MAX) return prev_bound;
+      double frac = c == 0 ? 1.0
+                           : (static_cast<double>(rank - seen) + 1.0) /
+                                 static_cast<double>(c);
+      return prev_bound + static_cast<uint64_t>(
+                              frac * static_cast<double>(le - prev_bound));
+    }
     seen += c;
-    if (seen > rank) return le;
+    prev_bound = le;
   }
-  return buckets.empty() ? 0 : buckets.back().first;
+  return prev_bound;
 }
 
 uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
@@ -89,6 +99,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
       uint64_t c = h->BucketCount(i);
       if (c > 0) data.buckets.emplace_back(Histogram::BucketBound(i), c);
     }
+    data.p50 = data.ApproxQuantile(0.50);
+    data.p95 = data.ApproxQuantile(0.95);
+    data.p99 = data.ApproxQuantile(0.99);
     snap.histograms.push_back(std::move(data));
   }
   return snap;
@@ -122,13 +135,40 @@ std::string BucketName(const std::string& name, const std::string& le) {
   return name.substr(0, brace) + "_bucket{" + labels + ",le=\"" + le + "\"}";
 }
 
+// Metric family = name up to the label set. "tcq_queue_depth{queue="a"}" and
+// "tcq_queue_depth{queue="b"}" are two series of one family.
+std::string FamilyOf(const std::string& name) {
+  return name.substr(0, name.find('{'));
+}
+
+// Emits the "# HELP"/"# TYPE" header the first time a family is seen.
+// Snapshot maps are name-ordered, so a family's series are contiguous and
+// `last` alone suffices; the exposition format requires exactly one header
+// per family, before its first sample.
+void EmitFamilyHeader(std::ostringstream& out, const std::string& name,
+                      const char* type, std::string* last) {
+  std::string family = FamilyOf(name);
+  if (family == *last) return;
+  *last = family;
+  out << "# HELP " << family << " " << family << "\n";
+  out << "# TYPE " << family << " " << type << "\n";
+}
+
 }  // namespace
 
 std::string MetricsRegistry::FormatText(const MetricsSnapshot& snap) {
   std::ostringstream out;
-  for (const auto& [name, v] : snap.counters) out << name << " " << v << "\n";
-  for (const auto& [name, v] : snap.gauges) out << name << " " << v << "\n";
+  std::string last_family;
+  for (const auto& [name, v] : snap.counters) {
+    EmitFamilyHeader(out, name, "counter", &last_family);
+    out << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    EmitFamilyHeader(out, name, "gauge", &last_family);
+    out << name << " " << v << "\n";
+  }
   for (const auto& h : snap.histograms) {
+    EmitFamilyHeader(out, h.name, "histogram", &last_family);
     // Prometheus histograms are cumulative per bucket.
     uint64_t cumulative = 0;
     for (const auto& [le, c] : h.buckets) {
@@ -151,7 +191,22 @@ MetricsRegistryRef OrPrivateRegistry(MetricsRegistryRef metrics) {
 std::string MetricName(const std::string& family, const std::string& label_key,
                        const std::string& label_value) {
   if (label_value.empty()) return family;
-  return family + "{" + label_key + "=\"" + label_value + "\"}";
+  return family + "{" + label_key + "=\"" + EscapeLabelValue(label_value) +
+         "\"}";
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
 }
 
 int64_t NowMicros() {

@@ -96,8 +96,14 @@ struct MetricsSnapshot {
     uint64_t count = 0;
     uint64_t sum = 0;
     std::vector<std::pair<uint64_t, uint64_t>> buckets;  // (le, count)
-    /// Smallest bucket bound covering quantile q in [0,1] (crude but
-    /// monotone); 0 when empty.
+    /// Derived quantiles (see ApproxQuantile), precomputed by Snapshot()
+    /// so Introspect() callers and the tcq$latency stream share one
+    /// interpolation. 0 when the histogram is empty.
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t p99 = 0;
+    /// Quantile q in [0,1], linearly interpolated within the covering
+    /// bucket (monotone in q); 0 when empty.
     uint64_t ApproxQuantile(double q) const;
   };
 
@@ -144,9 +150,14 @@ using MetricsRegistryRef = std::shared_ptr<MetricsRegistry>;
 /// themselves identically whether or not anyone is watching.
 MetricsRegistryRef OrPrivateRegistry(MetricsRegistryRef metrics);
 
-/// "family{key="value"}" (or just "family" when the label is empty).
+/// "family{key="value"}" (or just "family" when the label is empty). The
+/// label value is escaped per the Prometheus exposition format.
 std::string MetricName(const std::string& family, const std::string& label_key,
                        const std::string& label_value);
+
+/// Prometheus label-value escaping: backslash, double quote, and newline.
+/// Callers assembling label sets by hand must apply this to each value.
+std::string EscapeLabelValue(const std::string& value);
 
 /// Microseconds on the steady clock, for enqueue->dequeue latencies.
 int64_t NowMicros();

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace tcq {
 
 Eddy::Eddy(std::unique_ptr<RoutingPolicy> policy, Options opts,
@@ -109,12 +111,15 @@ void Eddy::EmitIfComplete(Envelope&& env) {
 
 void Eddy::Drain() {
   draining_ = true;
+  // Bound once per drain: non-null only inside a sampled trace batch.
+  obs::TraceContext& tc = obs::CurrentTrace();
   while (!queue_.empty()) {
     Envelope env = std::move(queue_.front());
     queue_.pop_front();
 
     while (true) {
       if (!ComputeReady(env, &ready_scratch_)) {
+        if (tc.tracer != nullptr) tc.tracer->RecordHopCount(env.hops);
         EmitIfComplete(std::move(env));
         break;
       }
@@ -152,7 +157,13 @@ void Eddy::Drain() {
         ++applied;
         module_invocations_->Inc();
         out_scratch_.clear();
+        int64_t hop_t0 = tc.tracer != nullptr ? NowMicros() : 0;
         ModuleAction action = modules_[slot]->Process(env, &out_scratch_);
+        ++env.hops;
+        if (tc.tracer != nullptr) {
+          tc.tracer->RecordHop(slot, modules_[slot]->name(), hop_t0,
+                               NowMicros() - hop_t0);
+        }
         modules_[slot]->RecordResult(action, out_scratch_.size());
         policy_->OnResult(slot, action, out_scratch_.size());
         const RoutableStats* stats = module_stats_[slot];
@@ -164,11 +175,13 @@ void Eddy::Drain() {
             env.done |= (uint32_t{1} << slot);
             continue;
           case ModuleAction::kDrop:
+            if (tc.tracer != nullptr) tc.tracer->RecordHopCount(env.hops);
             terminal = true;
             break;
           case ModuleAction::kExpand:
             for (Envelope& child : out_scratch_) {
               child.done |= env.done | (uint32_t{1} << slot);
+              child.hops = env.hops;
               queue_.push_back(std::move(child));
             }
             terminal = true;

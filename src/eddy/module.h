@@ -32,6 +32,9 @@ struct Envelope {
   /// (possibly intermediate) tuple spans. Used for the exactly-once match
   /// rule in SteM probes: a probe retrieves only builds with a smaller seq.
   Timestamp seq_max = 0;
+  /// Module invocations this tuple has absorbed, inherited (+1) by expand
+  /// children — the eddy hop count (routing-quality signal, DESIGN.md §9).
+  uint32_t hops = 0;
 };
 
 /// Per-module observations that drive routing policies. Both the

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace tcq {
 
 const char* ShedPolicyName(ShedPolicy p) {
@@ -27,14 +29,19 @@ PushEgress::PushEgress(Options opts, MetricsRegistryRef metrics,
       label.empty()
           ? MetricName("tcq_egress_shed_total", "policy",
                        ShedPolicyName(opts_.shed))
-          : "tcq_egress_shed_total{client=\"" + label + "\",policy=\"" +
-                ShedPolicyName(opts_.shed) + "\"}";
+          : "tcq_egress_shed_total{client=\"" + EscapeLabelValue(label) +
+                "\",policy=\"" + ShedPolicyName(opts_.shed) + "\"}";
   shed_ = metrics_->GetCounter(shed_name);
   buffered_gauge_ = metrics_->GetGauge(
       MetricName("tcq_egress_buffered", "client", label));
 }
 
 bool PushEgress::Offer(const Delivery& delivery) {
+  // Sampled-batch context: the shared eddy delivers to egress synchronously
+  // on the ingesting thread, so the context armed at the batch boundary is
+  // still live here; emit + end-to-end spans close the trace.
+  obs::TraceContext& tc = obs::CurrentTrace();
+  int64_t t0 = tc.tracer != nullptr ? NowMicros() : 0;
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_) return false;
   if (queue_.size() >= opts_.capacity) {
@@ -57,6 +64,15 @@ bool PushEgress::Offer(const Delivery& delivery) {
   delivered_->Inc();
   buffered_gauge_->Set(static_cast<int64_t>(queue_.size()));
   cv_.notify_all();
+  if (tc.tracer != nullptr) {
+    int64_t now = NowMicros();
+    tc.tracer->Record(obs::SpanKind::kEgressEmit, 0, delivery.query_id, t0,
+                      now - t0);
+    if (tc.ingest_us > 0) {
+      tc.tracer->RecordEndToEnd(delivery.query_id, tc.ingest_us,
+                                now - tc.ingest_us);
+    }
+  }
   return true;
 }
 

@@ -6,8 +6,9 @@ namespace {
 
 /// Pulls up to `quantum` tuples round-robin from push-mode inputs, draining
 /// each visited input in whole batches (one queue lock per batch instead of
-/// one per tuple) and invoking `deliver(source, batch)`. Returns
-/// (consumed, all_exhausted).
+/// one per tuple) and invoking `deliver(source, batch, first_enq_us)`, where
+/// first_enq_us is the enqueue time of the batch's oldest tuple (0 when the
+/// queue keeps no timestamps). Returns (consumed, all_exhausted).
 template <typename InputVec, typename Fn>
 std::pair<size_t, bool> PumpInputs(InputVec& inputs, size_t* next_input,
                                    size_t quantum, Fn&& deliver) {
@@ -25,11 +26,12 @@ std::pair<size_t, bool> PumpInputs(InputVec& inputs, size_t* next_input,
     batch.clear();
     batch.set_source(input.source);
     QueueOp op;
+    int64_t enq_us = 0;
     size_t got =
-        input.consumer.ConsumeBatch(&batch, quantum - consumed, &op);
+        input.consumer.ConsumeBatch(&batch, quantum - consumed, &op, &enq_us);
     if (op == QueueOp::kClosed) input.exhausted = true;
     if (got > 0) {
-      deliver(input.source, batch);
+      deliver(input.source, batch, enq_us);
       consumed += got;
       attempts = 0;
     } else {
@@ -117,7 +119,16 @@ DispatchUnit::StepResult SharedCQDispatchUnit::Step() {
   DrainPlanQueue();
   auto [consumed, exhausted] = PumpInputs(
       inputs_, &next_input_, opts_.quantum,
-      [&](SourceId, const TupleBatch& b) { eddy_->IngestBatch(b); });
+      [&](SourceId source, const TupleBatch& b, int64_t enq_us) {
+        // The sampled-batch boundary: arms the thread-local context for the
+        // whole synchronous dataflow below (eddy hops, SteM ops, egress).
+        obs::TraceBatchScope scope(tracer_.get(), enq_us);
+        if (scope.sampled() && enq_us > 0) {
+          tracer_->Record(obs::SpanKind::kQueueWait, source, 0, enq_us,
+                          NowMicros() - enq_us);
+        }
+        eddy_->IngestBatch(b);
+      });
   StepResult r = consumed > 0 ? StepResult::kProgress
                  : exhausted  ? StepResult::kDone
                               : StepResult::kIdle;
@@ -140,7 +151,14 @@ void EddyDispatchUnit::AddInput(SourceId source, FjordConsumer consumer) {
 DispatchUnit::StepResult EddyDispatchUnit::Step() {
   auto [consumed, exhausted] = PumpInputs(
       inputs_, &next_input_, quantum_,
-      [&](SourceId, const TupleBatch& b) { eddy_->IngestBatch(b); });
+      [&](SourceId source, const TupleBatch& b, int64_t enq_us) {
+        obs::TraceBatchScope scope(tracer_.get(), enq_us);
+        if (scope.sampled() && enq_us > 0) {
+          tracer_->Record(obs::SpanKind::kQueueWait, source, 0, enq_us,
+                          NowMicros() - enq_us);
+        }
+        eddy_->IngestBatch(b);
+      });
   StepResult r = consumed > 0 ? StepResult::kProgress
                  : exhausted  ? StepResult::kDone
                               : StepResult::kIdle;
@@ -167,7 +185,7 @@ void WindowedQueryDispatchUnit::AddInput(SourceId source,
 DispatchUnit::StepResult WindowedQueryDispatchUnit::Step() {
   auto [consumed, exhausted] = PumpInputs(
       inputs_, &next_input_, quantum_,
-      [&](SourceId s, const TupleBatch& b) {
+      [&](SourceId s, const TupleBatch& b, int64_t) {
         for (const Tuple& t : b) runner_.Ingest(s, t);
       });
   if (exhausted) {

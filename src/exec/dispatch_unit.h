@@ -18,6 +18,7 @@
 #include "cacq/shared_eddy.h"
 #include "eddy/eddy.h"
 #include "fjords/fjord.h"
+#include "obs/trace.h"
 #include "window/window_exec.h"
 
 namespace tcq {
@@ -92,6 +93,10 @@ class SharedCQDispatchUnit : public DispatchUnit {
 
   SharedEddy* eddy() { return eddy_.get(); }
 
+  /// Attaches the dataflow tracer: each ingest quantum becomes a potential
+  /// trace batch (sampling decided per batch). Call before the DU runs.
+  void set_tracer(obs::TracerRef tracer) { tracer_ = std::move(tracer); }
+
   // --- Quiesce protocol (class merge / GC / migration) ------------------------
   // The methods below are safe ONLY while the DU is detached from every EO
   // (ExecutionObject::RemoveDispatchUnit blocks until the current quantum
@@ -117,6 +122,7 @@ class SharedCQDispatchUnit : public DispatchUnit {
 
   Options opts_;
   std::unique_ptr<SharedEddy> eddy_;
+  obs::TracerRef tracer_;
   struct Input {
     SourceId source;
     FjordConsumer consumer;
@@ -145,8 +151,11 @@ class EddyDispatchUnit : public DispatchUnit {
 
   Eddy* eddy() { return eddy_.get(); }
 
+  void set_tracer(obs::TracerRef tracer) { tracer_ = std::move(tracer); }
+
  private:
   std::unique_ptr<Eddy> eddy_;
+  obs::TracerRef tracer_;
   size_t quantum_;
   struct Input {
     SourceId source;

@@ -35,8 +35,11 @@ struct AdmissionGate {
 
 }  // namespace
 
-Executor::Executor(Options opts, MetricsRegistryRef metrics)
-    : opts_(opts), metrics_(OrPrivateRegistry(std::move(metrics))) {
+Executor::Executor(Options opts, MetricsRegistryRef metrics,
+                   obs::TracerRef tracer)
+    : opts_(opts),
+      metrics_(OrPrivateRegistry(std::move(metrics))),
+      tracer_(std::move(tracer)) {
   dropped_unrouted_ =
       metrics_->GetCounter("tcq_executor_tuples_dropped_unrouted_total");
   dropped_backpressure_ =
@@ -187,6 +190,7 @@ Result<size_t> Executor::ClassFor(SourceSet footprint) {
     auto du = std::make_shared<SharedCQDispatchUnit>(
         "class" + std::to_string(label), std::move(eddy),
         SharedCQDispatchUnit::Options{opts_.quantum});
+    du->set_tracer(tracer_);
     QueryClass qc;
     qc.du = du;
     qc.live = true;
@@ -343,9 +347,19 @@ Status Executor::IngestBatch(TupleBatch batch) {
         " is not consumed by any active query class; " +
         std::to_string(batch.size()) + " tuple(s) dropped");
   }
+  // Producer-side enqueue span: timed across back-pressure retries, so its
+  // duration shows blocked producers (the consumer-side wait is kQueueWait).
+  bool sampled = tracer_ != nullptr && tracer_->ShouldSample();
+  int64_t t0 = sampled ? NowMicros() : 0;
   for (int attempt = 0; attempt < 200; ++attempt) {
     QueueOp op = producer->ProduceBatch(&batch);
-    if (batch.empty()) return Status::OK();
+    if (batch.empty()) {
+      if (sampled) {
+        tracer_->Record(obs::SpanKind::kQueueEnqueue, source, 0, t0,
+                        NowMicros() - t0);
+      }
+      return Status::OK();
+    }
     if (op == QueueOp::kClosed) {
       dropped->Inc(batch.size());
       return Status::FailedPrecondition("stream s" + std::to_string(source) +

@@ -70,9 +70,11 @@ class Executor {
 
   /// When `metrics` is null the executor observes itself (and everything it
   /// creates: EOs, query classes' shared eddies and SteMs, stream fjords) in
-  /// a private registry.
+  /// a private registry. A non-null `tracer` is handed to every class DU so
+  /// ingest batches can be trace-sampled end to end.
   Executor() : Executor(Options()) {}
-  explicit Executor(Options opts, MetricsRegistryRef metrics = nullptr);
+  explicit Executor(Options opts, MetricsRegistryRef metrics = nullptr,
+                    obs::TracerRef tracer = nullptr);
   ~Executor();
 
   /// Declares a stream the executor may route. `stem_opts` configures the
@@ -187,6 +189,7 @@ class Executor {
   size_t next_class_label_ = 0;  // DU/eddy labels stay unique across GC
   std::vector<std::unique_ptr<ExecutionObject>> eos_;
   MetricsRegistryRef metrics_;
+  obs::TracerRef tracer_;
   Counter* dropped_unrouted_;
   Counter* dropped_backpressure_;
   Counter* merges_;

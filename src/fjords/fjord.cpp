@@ -71,16 +71,17 @@ QueueOp FjordConsumer::Consume(Tuple* out) {
   return QueueOp::kClosed;
 }
 
-size_t FjordConsumer::ConsumeBatch(TupleBatch* out, size_t max, QueueOp* op) {
+size_t FjordConsumer::ConsumeBatch(TupleBatch* out, size_t max, QueueOp* op,
+                                   int64_t* first_enq_us) {
   switch (fjord_->mode()) {
     case FjordMode::kPull:
     case FjordMode::kExchange: {
-      size_t got = fjord_->queue().PopBatchBlocking(out, max);
+      size_t got = fjord_->queue().PopBatchBlocking(out, max, first_enq_us);
       *op = got > 0 ? QueueOp::kOk : QueueOp::kClosed;
       return got;
     }
     case FjordMode::kPush:
-      return fjord_->queue().TryPopBatch(out, max, op);
+      return fjord_->queue().TryPopBatch(out, max, op, first_enq_us);
   }
   *op = QueueOp::kClosed;
   return 0;

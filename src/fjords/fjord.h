@@ -63,8 +63,11 @@ class FjordConsumer {
 
   /// Fetches up to `max` queued tuples in ONE lock acquisition, appending
   /// to `*out`. Returns the count fetched; `*op` mirrors Consume's codes
-  /// (kOk when anything arrived).
-  size_t ConsumeBatch(TupleBatch* out, size_t max, QueueOp* op);
+  /// (kOk when anything arrived). When `first_enq_us` is non-null it
+  /// receives the enqueue time of the oldest fetched tuple (0 when the
+  /// queue has no metrics attached), for queue-wait tracing.
+  size_t ConsumeBatch(TupleBatch* out, size_t max, QueueOp* op,
+                      int64_t* first_enq_us = nullptr);
 
   /// True once the stream has ended and all queued tuples were consumed.
   bool Exhausted() const;

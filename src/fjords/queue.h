@@ -187,9 +187,13 @@ class BoundedQueue {
   /// Non-blocking batch dequeue: appends up to `max` items to `*out` (any
   /// container with push_back) under ONE lock acquisition. Returns the count
   /// popped; `*op` is kOk when anything was popped, kClosed when the queue
-  /// is closed and drained, kWouldBlock when it is just empty.
+  /// is closed and drained, kWouldBlock when it is just empty. When
+  /// `first_enq_us` is non-null it receives the enqueue timestamp of the
+  /// oldest popped item (0 when timestamps are off, i.e. no wait_us metric
+  /// attached) — the tracing layer's queue-wait anchor.
   template <typename OutContainer>
-  size_t TryPopBatch(OutContainer* out, size_t max, QueueOp* op) {
+  size_t TryPopBatch(OutContainer* out, size_t max, QueueOp* op,
+                     int64_t* first_enq_us = nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     if (items_.empty()) {
       if (closed_) {
@@ -203,6 +207,7 @@ class BoundedQueue {
       }
       return 0;
     }
+    if (first_enq_us != nullptr) *first_enq_us = items_.front().enq_us;
     size_t take = std::min(items_.size(), max);
     T item;
     for (size_t i = 0; i < take; ++i) {
@@ -220,11 +225,15 @@ class BoundedQueue {
 
   /// Blocking batch dequeue: waits for at least one item (or close), then
   /// appends up to `max` to `*out` under the same lock. Returns the count
-  /// (0 iff closed and drained).
+  /// (0 iff closed and drained). `first_enq_us` as in TryPopBatch.
   template <typename OutContainer>
-  size_t PopBatchBlocking(OutContainer* out, size_t max) {
+  size_t PopBatchBlocking(OutContainer* out, size_t max,
+                          int64_t* first_enq_us = nullptr) {
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (first_enq_us != nullptr && !items_.empty()) {
+      *first_enq_us = items_.front().enq_us;
+    }
     size_t take = std::min(items_.size(), max);
     T item;
     for (size_t i = 0; i < take; ++i) {

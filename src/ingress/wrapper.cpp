@@ -5,8 +5,11 @@
 
 namespace tcq {
 
-Wrapper::Wrapper(Options opts, MetricsRegistryRef metrics)
-    : opts_(opts), metrics_(OrPrivateRegistry(std::move(metrics))) {
+Wrapper::Wrapper(Options opts, MetricsRegistryRef metrics,
+                 obs::TracerRef tracer)
+    : opts_(opts),
+      metrics_(OrPrivateRegistry(std::move(metrics))),
+      tracer_(std::move(tracer)) {
   opts_.batch_max_size = std::max<size_t>(opts_.batch_max_size, 1);
   forwarded_ = metrics_->GetCounter("tcq_wrapper_tuples_forwarded_total");
   dropped_ = metrics_->GetCounter("tcq_wrapper_tuples_dropped_total");
@@ -62,11 +65,21 @@ void Wrapper::RunPullTask(PullTask* task) {
     if (batch.empty()) return true;
     reason->Inc();
     batch_size_->Observe(batch.size());
+    // Flush span: timed across full-queue retries, so blocked streamers
+    // show up as long kWrapperFlush durations.
+    bool sampled = tracer_ != nullptr && tracer_->ShouldSample();
+    int64_t t0 = sampled ? NowMicros() : 0;
     while (true) {
       size_t before = batch.size();
       QueueOp op = task->producer->ProduceBatch(&batch);
       forwarded_->Inc(before - batch.size());
-      if (batch.empty()) return true;
+      if (batch.empty()) {
+        if (sampled) {
+          tracer_->Record(obs::SpanKind::kWrapperFlush, batch.source(), 0, t0,
+                          NowMicros() - t0);
+        }
+        return true;
+      }
       if (op == QueueOp::kClosed) {
         // The consumer closed the streamer under us: the tuples in hand are
         // lost. Count them — silent data loss is a bug magnet.

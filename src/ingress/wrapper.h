@@ -19,6 +19,7 @@
 #include "fjords/fjord.h"
 #include "ingress/rate.h"
 #include "ingress/source.h"
+#include "obs/trace.h"
 
 namespace tcq {
 
@@ -42,9 +43,11 @@ class Wrapper {
   };
 
   /// When `metrics` is null the wrapper observes itself (and its streamer
-  /// queues) in a private registry.
+  /// queues) in a private registry. A non-null `tracer` samples pull-task
+  /// batch flushes (kWrapperFlush spans).
   Wrapper() : Wrapper(Options()) {}
-  explicit Wrapper(Options opts, MetricsRegistryRef metrics = nullptr);
+  explicit Wrapper(Options opts, MetricsRegistryRef metrics = nullptr,
+                   obs::TracerRef tracer = nullptr);
   ~Wrapper();
 
   /// Hosts a pull source: a wrapper thread drives `source->Next()` paced by
@@ -88,6 +91,7 @@ class Wrapper {
   std::atomic<bool> stop_{false};
   std::atomic<bool> started_{false};
   MetricsRegistryRef metrics_;
+  obs::TracerRef tracer_;
   Counter* forwarded_;
   Counter* dropped_;
   Counter* lost_on_close_;

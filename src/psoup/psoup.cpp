@@ -107,6 +107,7 @@ Status PSoup::Unregister(QueryId id) {
 void PSoup::Ingest(SourceId source, const Tuple& tuple) {
   auto it = data_stems_.find(source);
   assert(it != data_stems_.end() && "ingest on unregistered stream");
+  obs::TraceBatchScope scope(opts_.tracer.get());
   now_ = std::max(now_, tuple.timestamp());
   // Insert into the Data SteM (new data becomes old data for future
   // queries), then apply to old queries via the shared eddy.
@@ -119,6 +120,7 @@ void PSoup::IngestBatch(const TupleBatch& batch) {
   if (batch.empty()) return;
   auto it = data_stems_.find(batch.source());
   assert(it != data_stems_.end() && "ingest on unregistered stream");
+  obs::TraceBatchScope scope(opts_.tracer.get());
   DataSteM* data = it->second.get();
   for (const Tuple& t : batch) {
     now_ = std::max(now_, t.timestamp());
@@ -149,6 +151,13 @@ Result<std::vector<Tuple>> PSoup::Invoke(QueryId id, Timestamp now) const {
                             " is not active");
   }
   const PSoupQuery* q = query_stem_.Get(id);
+  if (opts_.tracer != nullptr && opts_.tracer->enabled()) {
+    int64_t t0 = NowMicros();
+    Result<std::vector<Tuple>> r = results_.Fetch(id, now, q->window);
+    opts_.tracer->Record(obs::SpanKind::kPsoupProbe, 0, id, t0,
+                         NowMicros() - t0);
+    return r;
+  }
   return results_.Fetch(id, now, q->window);
 }
 

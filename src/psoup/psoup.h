@@ -19,6 +19,7 @@
 #include <set>
 
 #include "cacq/shared_eddy.h"
+#include "obs/trace.h"
 #include "psoup/data_stem.h"
 #include "psoup/query_stem.h"
 #include "psoup/results.h"
@@ -32,6 +33,9 @@ class PSoup {
     uint64_t seed = 42;
     /// Evict materialized results / data history every this many ingests.
     uint64_t eviction_interval = 256;
+    /// Optional dataflow tracer: samples ingest batches (arming the internal
+    /// eddy's hop spans) and times Invoke as kPsoupProbe.
+    obs::TracerRef tracer = nullptr;
   };
 
   PSoup() : PSoup(Options()) {}

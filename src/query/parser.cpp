@@ -35,9 +35,11 @@ class Lexer {
       }
       if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
         size_t start = i;
+        // '$' continues an identifier so the reserved introspection streams
+        // (tcq$metrics, tcq$queues, tcq$latency) parse as ordinary names.
         while (i < text_.size() &&
                (std::isalnum(static_cast<unsigned char>(text_[i])) ||
-                text_[i] == '_')) {
+                text_[i] == '_' || text_[i] == '$')) {
           ++i;
         }
         out.push_back({TokKind::kIdent, text_.substr(start, i - start), start});

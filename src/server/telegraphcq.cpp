@@ -63,17 +63,51 @@ size_t WindowResultBuffer::pending() const {
 TelegraphCQ::TelegraphCQ(Options opts, MetricsRegistryRef metrics)
     : opts_(opts),
       metrics_(OrPrivateRegistry(std::move(metrics))),
-      executor_(opts.executor, metrics_),
-      wrapper_(opts.wrapper, metrics_),
+      tracer_(std::make_shared<obs::Tracer>(opts.trace, metrics_)),
+      executor_(opts.executor, metrics_, tracer_),
+      wrapper_(opts.wrapper, metrics_, tracer_),
       spool_pool_(BufferPool::Options{opts.spool_buffer_pages,
                                       ReplacementPolicy::kLru}) {
   ingested_ = metrics_->GetCounter("tcq_server_tuples_ingested_total");
+  if (opts_.system_streams.enabled) {
+    // The reserved streams exist from construction on, so clients can submit
+    // queries over them before Start(). Registration cannot fail here: the
+    // catalog is empty and the names are unreachable through the public API.
+    (void)DefineStreamInternal(obs::SystemStreamSource::kMetricsStream,
+                               obs::SystemStreamSource::MetricsSchema());
+    (void)DefineStreamInternal(obs::SystemStreamSource::kQueuesStream,
+                               obs::SystemStreamSource::QueuesSchema());
+    (void)DefineStreamInternal(obs::SystemStreamSource::kLatencyStream,
+                               obs::SystemStreamSource::LatencySchema());
+    system_streams_ = std::make_unique<obs::SystemStreamSource>(
+        opts_.system_streams, metrics_, tracer_,
+        [this](const std::string& stream,
+               std::vector<obs::SystemStreamSource::Row> rows,
+               Timestamp tick) {
+          std::vector<TupleBatchRow> batch;
+          batch.reserve(rows.size());
+          for (auto& row : rows) {
+            batch.push_back(TupleBatchRow{std::move(row.values), tick});
+          }
+          (void)PushBatch(stream, std::move(batch));
+        });
+  }
 }
 
 TelegraphCQ::~TelegraphCQ() { Stop(); }
 
 Result<SourceId> TelegraphCQ::DefineStream(const std::string& name,
                                            const std::vector<Field>& fields) {
+  if (name.rfind("tcq$", 0) == 0) {
+    return Status::InvalidArgument(
+        "stream names starting with 'tcq$' are reserved for introspection "
+        "streams");
+  }
+  return DefineStreamInternal(name, fields);
+}
+
+Result<SourceId> TelegraphCQ::DefineStreamInternal(
+    const std::string& name, const std::vector<Field>& fields) {
   std::lock_guard<std::mutex> lock(mu_);
   TCQ_ASSIGN_OR_RETURN(SourceId source, catalog_.DefineStream(name, fields));
   TCQ_ASSIGN_OR_RETURN(Catalog::StreamEntry entry, catalog_.Lookup(name));
@@ -458,6 +492,7 @@ void TelegraphCQ::Start() {
   wrapper_.Start();
   stop_.store(false);
   pump_thread_ = std::thread([this] { PumpLoop(); });
+  if (system_streams_ != nullptr) system_streams_->Start();
 }
 
 void TelegraphCQ::PumpLoop() {
@@ -496,6 +531,8 @@ void TelegraphCQ::Stop() {
     if (!started_) return;
     started_ = false;
   }
+  // Stop the publisher first: it pushes into streams_ via PushBatch.
+  if (system_streams_ != nullptr) system_streams_->Stop();
   wrapper_.Stop();
   stop_.store(true);
   if (pump_thread_.joinable()) pump_thread_.join();

@@ -14,6 +14,8 @@
 #include "egress/egress.h"
 #include "exec/executor.h"
 #include "ingress/wrapper.h"
+#include "obs/system_streams.h"
+#include "obs/trace.h"
 #include "storage/buffer_pool.h"
 #include "storage/scanner.h"
 #include "query/catalog.h"
@@ -72,6 +74,14 @@ class TelegraphCQ {
     /// disk only in the background"), making history scannable.
     std::string spool_dir;
     size_t spool_buffer_pages = 64;
+    /// Sampled dataflow tracing (DESIGN.md §9). Disabled by default;
+    /// enabling it costs one relaxed atomic load per batch plus the sampled
+    /// fraction's span recording.
+    obs::TraceOptions trace;
+    /// Reserved tcq$* introspection streams. When enabled, tcq$metrics /
+    /// tcq$queues / tcq$latency are defined at construction and a publisher
+    /// thread pushes engine snapshots into them while the server runs.
+    obs::SystemStreamOptions system_streams;
   };
 
   /// A submitted query's client handle. Exactly one of `results` (continuous
@@ -138,7 +148,9 @@ class TelegraphCQ {
   explicit TelegraphCQ(Options opts, MetricsRegistryRef metrics = nullptr);
   ~TelegraphCQ();
 
-  /// Defines a stream in the catalog and the executor.
+  /// Defines a stream in the catalog and the executor. Names starting with
+  /// "tcq$" are reserved for the engine's introspection streams and are
+  /// rejected with kInvalidArgument.
   Result<SourceId> DefineStream(const std::string& name,
                                 const std::vector<Field>& fields);
 
@@ -188,6 +200,13 @@ class TelegraphCQ {
   Executor& executor() { return executor_; }
   uint64_t tuples_ingested() const { return ingested_->Value(); }
   const MetricsRegistryRef& metrics() const { return metrics_; }
+  const obs::TracerRef& tracer() const { return tracer_; }
+
+  /// Post-mortem dump of the trace flight recorder: the last N raw spans
+  /// across all recording threads, ordered by start time.
+  std::vector<obs::Span> DumpFlightRecorder() const {
+    return tracer_->DumpFlightRecorder();
+  }
 
   /// Snapshots every instrument in the registry and derives per-query
   /// stats. Cheap enough to poll (one pass over the instrument map).
@@ -230,6 +249,10 @@ class TelegraphCQ {
   /// Routes a whole physical batch to every logical subscription (re-tagged
   /// per subscription for self-join aliases).
   void RouteBatch(PhysicalStream* stream, const TupleBatch& batch);
+  /// DefineStream minus the tcq$ reservation check — the path the engine
+  /// itself uses to register the reserved introspection streams.
+  Result<SourceId> DefineStreamInternal(const std::string& name,
+                                        const std::vector<Field>& fields);
   /// Ensures the executor knows `entry` and tuples reach it.
   Status SubscribeContinuous(const std::string& physical,
                              const Catalog::StreamEntry& entry);
@@ -238,10 +261,13 @@ class TelegraphCQ {
   Options opts_;
   // Declared before executor_/wrapper_: they receive it at construction.
   MetricsRegistryRef metrics_;
+  // Likewise before executor_/wrapper_ (both hold a reference).
+  obs::TracerRef tracer_;
   Catalog catalog_;
   Executor executor_;
   Wrapper wrapper_;
   BufferPool spool_pool_;
+  std::unique_ptr<obs::SystemStreamSource> system_streams_;
   mutable std::mutex mu_;
   std::map<std::string, PhysicalStream> streams_;
   std::map<GlobalQueryId, ClientInfo> clients_;

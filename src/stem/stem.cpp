@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace tcq {
 
 SteM::SteM(std::string name, SourceId source, SchemaRef schema,
@@ -52,10 +54,16 @@ void SteM::EnsureIndex(const std::string& attr) {
 
 void SteM::Build(const Tuple& tuple, Timestamp seq) {
   builds_->Inc();
+  obs::TraceContext& tc = obs::CurrentTrace();
+  int64_t t0 = tc.tracer != nullptr ? NowMicros() : 0;
   uint64_t id = log_.Append(StemEntry{tuple, seq});
   for (AttrIndex& ai : indexes_) ai.index.Insert(tuple.at(ai.field), id);
   EnforceCapacity();
   live_entries_->Set(static_cast<int64_t>(log_.size()));
+  if (tc.tracer != nullptr) {
+    tc.tracer->Record(obs::SpanKind::kStemBuild, source_, 0, t0,
+                      NowMicros() - t0);
+  }
 }
 
 void SteM::EnforceCapacity() {
@@ -78,6 +86,8 @@ void SteM::ProbeEq(const std::string& attr, const Value& key,
   AttrIndex* ai = FindIndex(attr);
   assert(ai != nullptr && "ProbeEq on unindexed attribute");
   probes_->Inc();
+  obs::TraceContext& tc = obs::CurrentTrace();
+  int64_t t0 = tc.tracer != nullptr ? NowMicros() : 0;
   scratch_ids_.clear();
   ai->index.Lookup(key, log_, &scratch_ids_);
   for (uint64_t id : scratch_ids_) {
@@ -88,16 +98,26 @@ void SteM::ProbeEq(const std::string& attr, const Value& key,
       matches_->Inc();
     }
   }
+  if (tc.tracer != nullptr) {
+    tc.tracer->Record(obs::SpanKind::kStemProbe, source_, 0, t0,
+                      NowMicros() - t0);
+  }
 }
 
 void SteM::ProbeScan(Timestamp seq_bound, std::vector<const StemEntry*>* out) {
   probes_->Inc();
+  obs::TraceContext& tc = obs::CurrentTrace();
+  int64_t t0 = tc.tracer != nullptr ? NowMicros() : 0;
   for (uint64_t id = log_.base(); id < log_.end(); ++id) {
     const StemEntry& e = log_.Get(id);
     if (e.seq < seq_bound) {
       out->push_back(&e);
       matches_->Inc();
     }
+  }
+  if (tc.tracer != nullptr) {
+    tc.tracer->Record(obs::SpanKind::kStemProbe, source_, 0, t0,
+                      NowMicros() - t0);
   }
 }
 

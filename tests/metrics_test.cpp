@@ -127,6 +127,64 @@ TEST(MetricsTest, ConcurrentCountingIsExact) {
   EXPECT_EQ(h->Count(), uint64_t{kThreads} * kPerThread);
 }
 
+TEST(MetricsTest, FormatTextEscapesLabelValues) {
+  MetricsRegistry reg;
+  reg.GetGauge(MetricName("tcq_depth", "queue", "a\\b\"c\nd"))->Set(1);
+  std::string text = reg.FormatText();
+  // Backslash, quote, and newline must appear escaped per the Prometheus
+  // exposition format, keeping the line parseable.
+  EXPECT_NE(text.find("tcq_depth{queue=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(text.find("c\nd"), std::string::npos);
+}
+
+// Counts non-overlapping occurrences of `needle` in `hay`.
+size_t CountOf(const std::string& hay, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(MetricsTest, FormatTextEmitsOneHeaderPerFamily) {
+  MetricsRegistry reg;
+  reg.GetCounter(MetricName("tcq_stem_builds_total", "stem", "s0"))->Inc();
+  reg.GetCounter(MetricName("tcq_stem_builds_total", "stem", "s1"))->Inc();
+  Histogram* h0 = reg.GetHistogram(MetricName("tcq_lat_us", "queue", "q0"));
+  Histogram* h1 = reg.GetHistogram(MetricName("tcq_lat_us", "queue", "q1"));
+  h0->Observe(1);
+  h1->Observe(2);
+  std::string text = reg.FormatText();
+  EXPECT_EQ(CountOf(text, "# TYPE tcq_stem_builds_total counter"), 1u);
+  EXPECT_EQ(CountOf(text, "# HELP tcq_stem_builds_total"), 1u);
+  // Histogram headers attach to the base family, not the _bucket/_count
+  // series or each labeled instance.
+  EXPECT_EQ(CountOf(text, "# TYPE tcq_lat_us histogram"), 1u);
+  EXPECT_EQ(CountOf(text, "# TYPE tcq_lat_us_bucket"), 0u);
+  // Both labeled series still rendered.
+  EXPECT_EQ(CountOf(text, "tcq_stem_builds_total{stem="), 1u * 2);
+}
+
+TEST(MetricsTest, SnapshotDerivesQuantiles) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("tcq_q_us");
+  for (uint64_t v = 0; v < 1000; ++v) h->Observe(v);
+  MetricsSnapshot snap = reg.Snapshot();
+  const auto* data = snap.FindHistogram("tcq_q_us");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->p50, data->ApproxQuantile(0.5));
+  EXPECT_EQ(data->p95, data->ApproxQuantile(0.95));
+  EXPECT_EQ(data->p99, data->ApproxQuantile(0.99));
+  EXPECT_LE(data->p50, data->p95);
+  EXPECT_LE(data->p95, data->p99);
+  // Interpolated p50 of uniform 0..999 lands near 500, well inside the
+  // covering bucket (256, 511] rather than pinned to its edge.
+  EXPECT_GE(data->p50, 400u);
+  EXPECT_LE(data->p50, 600u);
+}
+
 TEST(MetricsTest, PrivateRegistryFallback) {
   MetricsRegistryRef shared = std::make_shared<MetricsRegistry>();
   EXPECT_EQ(OrPrivateRegistry(shared), shared);
