@@ -7,9 +7,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+
 #include "bench_common.h"
 #include "cacq/shared_eddy.h"
 #include "eddy/eddy.h"
+#include "exec/executor.h"
 #include "operators/selection.h"
 
 namespace tcq {
@@ -228,6 +235,97 @@ BENCHMARK(BM_SharedCACQBatchedIngest)
     ->Arg(8)
     ->Arg(64)
     ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// E12 — Flux-sharded executor scaling (paper §2.4 + §4.2.2): ONE query
+// class (a shared join plus a fan of range filters) partitioned across
+// Arg(0) shard replicas, each pumped by its own dispatch unit on its own
+// execution object. Ingest is batched; tuples hash-partition on the join
+// key at the class boundary. Each iteration runs the workload to full
+// drain (delivery count == precomputed ground truth), so wall time covers
+// admission, partitioned ingest, parallel pumping, and merge-back.
+// Speedup vs Arg(1) measures shard scaling — meaningful only on a
+// multi-core host; a 1-core container serializes the shard pumps.
+void BM_ShardedExecutor(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  constexpr size_t kSide = 6000;
+  constexpr int64_t kKeys = 2048;
+  constexpr size_t kFilters = 16;
+  constexpr size_t kIngestBatch = 256;
+  auto s = UniformStream(0, kSide, kKeys, 21);
+  auto t = UniformStream(1, kSide, kKeys, 22);
+
+  // Ground-truth delivery count so every iteration waits for full drain.
+  uint64_t expected = 0;
+  {
+    std::map<int64_t, uint64_t> lhs;
+    for (const Tuple& row : s) ++lhs[row.at(0).AsInt64()];
+    for (const Tuple& row : t) expected += lhs[row.at(0).AsInt64()];
+    for (size_t q = 0; q < kFilters; ++q) {
+      const int64_t lo = static_cast<int64_t>(q) * 6;
+      for (const Tuple& row : s) {
+        if (row.at(1).AsInt64() >= lo) ++expected;
+      }
+    }
+  }
+
+  uint64_t tuples = 0;
+  bool drained = true;
+  for (auto _ : state) {
+    Executor::Options opts;
+    opts.num_eos = shards;
+    opts.shards = shards;
+    Executor exec(opts);
+    (void)exec.RegisterStream(0, KVSchema(0));
+    (void)exec.RegisterStream(1, KVSchema(1));
+    std::atomic<uint64_t> delivered{0};
+    Executor::Sink sink = [&delivered](GlobalQueryId, const Tuple&) {
+      delivered.fetch_add(1, std::memory_order_relaxed);
+    };
+    CQSpec join;
+    join.joins.push_back({{0, "k"}, {1, "k"}});
+    (void)exec.SubmitQuery(join, sink);
+    for (size_t q = 0; q < kFilters; ++q) {
+      CQSpec f;
+      f.filters.push_back({{0, "v"},
+                           CmpOp::kGe,
+                           Value::Int64(static_cast<int64_t>(q) * 6)});
+      (void)exec.SubmitQuery(f, sink);
+    }
+    exec.Start();
+    for (size_t off = 0; off < kSide; off += kIngestBatch) {
+      for (SourceId src = 0; src < 2; ++src) {
+        const auto& stream = src == 0 ? s : t;
+        TupleBatch batch;
+        batch.set_source(src);
+        const size_t end = std::min(off + kIngestBatch, kSide);
+        for (size_t i = off; i < end; ++i) batch.push_back(stream[i]);
+        (void)exec.IngestBatch(std::move(batch));
+      }
+    }
+    (void)exec.CloseStream(0);
+    (void)exec.CloseStream(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (delivered.load(std::memory_order_relaxed) < expected &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    drained = drained && delivered.load() == expected;
+    exec.Stop();
+    tuples += 2 * kSide;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(tuples));
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["expected"] = static_cast<double>(expected);
+  state.counters["drained"] = drained ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ShardedExecutor)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

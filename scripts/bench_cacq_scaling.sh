@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Bench smoke for the Flux-sharded executor: runs BM_ShardedExecutor at
+# 1/2/4/8 shard replicas and writes BENCH_cacq_scaling.json at the repo
+# root, including the 4-shard-vs-1-shard speedup ratio the acceptance
+# criterion reads (>= 3x is only expected on a host with >= 4 cores; the
+# JSON records the host's core count so the number can be read honestly).
+#
+# Usage: scripts/bench_cacq_scaling.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+if [[ ! -x "$BUILD/bench/bench_cacq_scaling" ]]; then
+  echo "benchmarks not built; run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+MIN_TIME="${TCQ_BENCH_MIN_TIME:-0.3}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/bench_cacq_scaling" \
+  --benchmark_filter='BM_ShardedExecutor' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$TMP/sharded.json"
+
+python3 - "$TMP/sharded.json" <<'PY'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+rows = {}
+for b in doc.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    shards = int(b["shards"])
+    rows[shards] = {
+        "name": b["name"],
+        "shards": shards,
+        "items_per_second": b.get("items_per_second"),
+        "real_time_ms": b.get("real_time") if b.get("time_unit") == "ms"
+                        else b.get("real_time", 0) / 1e6,
+        "cpu_time_ms": b.get("cpu_time") if b.get("time_unit") == "ms"
+                       else b.get("cpu_time", 0) / 1e6,
+        "drained": bool(b.get("drained", 0)),
+    }
+
+report = {
+    "host_cores": os.cpu_count(),
+    "results": [rows[k] for k in sorted(rows)],
+}
+if 1 in rows and 4 in rows:
+    report["speedup_4_vs_1"] = (
+        rows[4]["items_per_second"] / rows[1]["items_per_second"])
+with open("BENCH_cacq_scaling.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+ok = all(r["drained"] for r in report["results"])
+ratio = report.get("speedup_4_vs_1")
+cores = report["host_cores"] or 1
+print(f"host cores: {cores}")
+for r in report["results"]:
+    print(f"  shards={r['shards']}: {r['items_per_second']:.0f} items/s "
+          f"(drained={r['drained']})")
+if ratio is not None:
+    print(f"4-shard vs 1-shard speedup = {ratio:.2f}x")
+    if cores >= 4 and ratio < 3.0:
+        print("FAIL: expected >= 3x on a >=4-core host", file=sys.stderr)
+        ok = False
+    elif cores < 4:
+        print(f"(host has {cores} core(s); shard pumps serialize — "
+              "speedup criterion applies on multi-core hosts only)")
+else:
+    ok = False
+print("wrote BENCH_cacq_scaling.json")
+sys.exit(0 if ok else 1)
+PY

@@ -3,12 +3,15 @@
 #   1. tier-1 verify: configure + build + full ctest (ROADMAP.md)
 #   2. AddressSanitizer configure + build + ctest in a separate build dir
 #   3. ThreadSanitizer build running the concurrency-heavy suites
-#      (exec, exec_lifecycle, fjords, cacq, obs) — must be TSan-clean
+#      (exec, exec_lifecycle, exec_sharding, fjords, cacq, obs) — must be
+#      TSan-clean
 #   4. UBSan build running the trace/queue/routing suites (the seqlock ring
 #      and histogram interpolation are the prime UB suspects)
 #   5. bench smoke: batched-vs-per-tuple comparison -> BENCH_batching.json,
 #      class lifecycle (merge/GC/rebalance) -> BENCH_exec_lifecycle.json,
-#      tracing overhead -> BENCH_tracing.json
+#      tracing overhead -> BENCH_tracing.json,
+#      shard scaling (1/2/4/8 replicas) -> BENCH_cacq_scaling.json,
+#      plus a quick 2-shard correctness smoke
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan] [--no-ubsan] [--no-bench]
 set -euo pipefail
@@ -45,8 +48,10 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   echo "== tsan: configure + build + concurrency suites =="
   cmake -B build-tsan -S . -DTCQ_SANITIZE=thread
   cmake --build build-tsan -j --target \
-    exec_test exec_lifecycle_test fjords_test cacq_test obs_test
-  for t in exec_test exec_lifecycle_test fjords_test cacq_test obs_test; do
+    exec_test exec_lifecycle_test exec_sharding_test fjords_test cacq_test \
+    obs_test
+  for t in exec_test exec_lifecycle_test exec_sharding_test fjords_test \
+           cacq_test obs_test; do
     echo "-- tsan: $t"
     ./build-tsan/tests/"$t"
   done
@@ -69,6 +74,11 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   scripts/bench_exec_lifecycle.sh build
   echo "== bench smoke: BENCH_tracing.json =="
   scripts/bench_tracing.sh build
+  echo "== bench smoke: BENCH_cacq_scaling.json =="
+  scripts/bench_cacq_scaling.sh build
+  echo "== 2-shard correctness smoke =="
+  ./build/tests/exec_sharding_test \
+    --gtest_filter='ExecShardingTest.ShardedJoinMatchesSingleShardAndReference'
 fi
 
 echo "== check.sh: all gates passed =="

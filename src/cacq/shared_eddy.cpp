@@ -350,6 +350,13 @@ void SharedEddy::BackfillSteM(SourceId source,
   for (const Tuple& t : history) stem->Build(t, next_seq_++);
 }
 
+void SharedEddy::BuildHistorical(SourceId source, const Tuple& tuple,
+                                 Timestamp seq) {
+  SteM* stem = GetSteM(source);
+  if (stem == nullptr) return;  // no join touches the stream in this replica
+  stem->Build(tuple, seq);
+}
+
 SharedEddy::ExportedState SharedEddy::ExportState() const {
   assert(queue_.empty() && !draining_ && "export requires a quiescent eddy");
   ExportedState st;

@@ -236,6 +236,23 @@ class SharedEddy {
   /// joining with data yet to come).
   void BackfillSteM(SourceId source, const std::vector<Tuple>& history);
 
+  /// Builds one historical tuple into a stream's SteM preserving its
+  /// ORIGINAL sequence number (next_seq_ untouched). No-op when no join has
+  /// created a SteM for the stream. The sharded executor replays exported
+  /// SteM entries through this when re-partitioning a class, then calls
+  /// AdvanceSeqHorizon once with the exporters' max horizon — after which
+  /// every future tuple probes the replayed entries exactly like locally
+  /// built state (seq < seq_bound holds, the exactly-once rule).
+  void BuildHistorical(SourceId source, const Tuple& tuple, Timestamp seq);
+
+  /// Jumps the sequence horizon forward (monotone; regressions ignored) so
+  /// entries imported with BuildHistorical stay strictly below every future
+  /// tuple's seq.
+  void AdvanceSeqHorizon(Timestamp t) { next_seq_ = std::max(next_seq_, t); }
+
+  /// The next sequence number this eddy would assign.
+  Timestamp seq_horizon() const { return next_seq_; }
+
   const QueryRegistry& registry() const { return registry_; }
   size_t num_modules() const { return modules_.size(); }
   // Thin reads over the metrics registry.

@@ -123,6 +123,7 @@ DispatchUnit::StepResult SharedCQDispatchUnit::Step() {
         // The sampled-batch boundary: arms the thread-local context for the
         // whole synchronous dataflow below (eddy hops, SteM ops, egress).
         obs::TraceBatchScope scope(tracer_.get(), enq_us);
+        if (scope.sampled()) obs::CurrentTrace().shard = shard_;
         if (scope.sampled() && enq_us > 0) {
           tracer_->Record(obs::SpanKind::kQueueWait, source, 0, enq_us,
                           NowMicros() - enq_us);

@@ -97,6 +97,11 @@ class SharedCQDispatchUnit : public DispatchUnit {
   /// trace batch (sampling decided per batch). Call before the DU runs.
   void set_tracer(obs::TracerRef tracer) { tracer_ = std::move(tracer); }
 
+  /// Shard replica id this DU pumps (stamped on every sampled span). Call
+  /// before the DU runs; defaults to 0 for unsharded classes.
+  void set_shard(uint32_t shard) { shard_ = shard; }
+  uint32_t shard() const { return shard_; }
+
   // --- Quiesce protocol (class merge / GC / migration) ------------------------
   // The methods below are safe ONLY while the DU is detached from every EO
   // (ExecutionObject::RemoveDispatchUnit blocks until the current quantum
@@ -123,6 +128,7 @@ class SharedCQDispatchUnit : public DispatchUnit {
   Options opts_;
   std::unique_ptr<SharedEddy> eddy_;
   obs::TracerRef tracer_;
+  uint32_t shard_ = 0;
   struct Input {
     SourceId source;
     FjordConsumer consumer;

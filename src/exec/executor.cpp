@@ -4,42 +4,16 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
-#include <optional>
 #include <thread>
 
-#include "eddy/routing_policy.h"
-
 namespace tcq {
-
-namespace {
-
-/// One-shot synchronization for blocking admission.
-struct AdmissionGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::optional<Result<QueryId>> result;
-
-  void Set(Result<QueryId> r) {
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      result = std::move(r);
-    }
-    cv.notify_all();
-  }
-  Result<QueryId> Wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return result.has_value(); });
-    return *result;
-  }
-};
-
-}  // namespace
 
 Executor::Executor(Options opts, MetricsRegistryRef metrics,
                    obs::TracerRef tracer)
     : opts_(opts),
       metrics_(OrPrivateRegistry(std::move(metrics))),
       tracer_(std::move(tracer)) {
+  if (opts_.shards == 0) opts_.shards = 1;
   dropped_unrouted_ =
       metrics_->GetCounter("tcq_executor_tuples_dropped_unrouted_total");
   dropped_backpressure_ =
@@ -87,30 +61,32 @@ size_t Executor::CountLiveClasses() const {
   return n;
 }
 
+void Executor::ApplyRemap(size_t cls, const ShardedClass::RemapMap& remap) {
+  for (auto& [gid, qi] : queries_) {
+    if (qi.query_class != cls) continue;
+    auto it = remap.find(qi.local_id);
+    assert(it != remap.end() && "live query missing from repartition remap");
+    if (it != remap.end()) qi.local_id = it->second;
+  }
+}
+
 void Executor::MergeClassInto(size_t dst, size_t src) {
+  assert(classes_[dst].live && classes_[src].live && dst != src);
+  // The disjoint-stream ImportState path works on single eddies, so both
+  // classes first collapse to one shard (a no-op at the default shard
+  // count; a real collapse re-partitions online and remaps local ids).
+  classes_[dst].sc->RepartitionTo(
+      1, [&](const ShardedClass::RemapMap& m) { ApplyRemap(dst, m); });
+  classes_[src].sc->RepartitionTo(
+      1, [&](const ShardedClass::RemapMap& m) { ApplyRemap(src, m); });
+
   QueryClass& d = classes_[dst];
   QueryClass& s = classes_[src];
-  assert(d.live && s.live && dst != src);
-  // Quiesce both DUs at a quantum boundary: after RemoveDispatchUnit returns
-  // nothing steps them, so their eddies can be mutated from this thread.
-  eos_[d.eo]->RemoveDispatchUnit(d.du);
-  eos_[s.eo]->RemoveDispatchUnit(s.du);
-  d.du->Quiesce();
-  s.du->Quiesce();
-
-  // Transfer the source class's state: streams + SteM contents + queries,
-  // with lineage bits remapped into the survivor's QuerySet.
-  SharedEddy::ExportedState st = s.du->eddy()->ExportState();
-  auto sinks = s.du->TakeSinks();
-  std::map<QueryId, QueryId> remap;
-  d.du->eddy()->ImportState(
-      std::move(st),
-      [&](QueryId old_id, QueryId new_id) { remap[old_id] = new_id; });
-  for (auto& [old_local, binding] : sinks) {
-    auto it = remap.find(old_local);
-    if (it == remap.end()) continue;  // query was already removed
-    d.du->BindSink(it->second, binding.first, std::move(binding.second));
-  }
+  // Absorb: quiesces both, transfers streams + SteM contents + queries
+  // (lineage bits remapped into the survivor's QuerySet), moves fjord
+  // consumers with their queued tuples, and leaves src retired so an
+  // in-flight RouteBatch re-resolves to the survivor.
+  ShardedClass::RemapMap remap = d.sc->AbsorbSingleShard(s.sc.get());
   for (auto& [gid, qi] : queries_) {
     if (qi.query_class != src) continue;
     auto it = remap.find(qi.local_id);
@@ -118,26 +94,17 @@ void Executor::MergeClassInto(size_t dst, size_t src) {
     qi.query_class = dst;
     qi.local_id = it->second;
   }
-
-  // The Flux-style marker point: stream producers are NEVER repointed — the
-  // consumer endpoints (with everything still queued in them) move to the
-  // survivor, so per-stream order is preserved and nothing in flight is
-  // lost. Tuples the source class already absorbed live on in the
-  // transferred SteMs.
-  for (auto& [source, consumer] : s.du->DetachInputs()) {
-    d.du->AddInput(source, std::move(consumer));
-  }
   ForEachSource(s.streams, [&](SourceId stream) {
     auto it = streams_.find(stream);
     assert(it != streams_.end());
     it->second.owner_class = dst;
+    it->second.owner = d.sc;
   });
   d.streams |= s.streams;
-  s.du.reset();
+  s.sc.reset();
   s.live = false;
   s.streams = 0;
 
-  eos_[d.eo]->AddDispatchUnit(d.du);
   merges_->Inc();
   classes_gauge_->Set(static_cast<int64_t>(CountLiveClasses()));
 }
@@ -145,21 +112,17 @@ void Executor::MergeClassInto(size_t dst, size_t src) {
 void Executor::GcClass(size_t cls) {
   QueryClass& qc = classes_[cls];
   assert(qc.live);
-  eos_[qc.eo]->RemoveDispatchUnit(qc.du);
-  qc.du->Quiesce();
-  // Release stream ownership: close the producing endpoints (a concurrent
-  // IngestBatch holding the shared endpoint sees kClosed and counts the
-  // drop) and unclaim, so a later query re-claims with fresh fjords.
+  // Shutdown detaches every shard DU, closes all stream producers (a
+  // concurrent IngestBatch holding the shared class ref sees kClosed and
+  // counts the drop), and drops the replicas.
+  qc.sc->Shutdown();
   ForEachSource(qc.streams, [&](SourceId stream) {
     auto it = streams_.find(stream);
     if (it == streams_.end()) return;
-    if (it->second.producer != nullptr) it->second.producer->Close();
-    it->second.producer.reset();
+    it->second.owner.reset();
     it->second.owner_class = SIZE_MAX;
   });
-  // Dropping the DU drops its eddy, SteMs, and the fjord consumer
-  // endpoints; anything still queued had no query left to care about it.
-  qc.du.reset();
+  qc.sc.reset();
   qc.live = false;
   qc.streams = 0;
   gcs_->Inc();
@@ -177,28 +140,38 @@ Result<size_t> Executor::ClassFor(SourceSet footprint) {
 
   size_t class_idx;
   if (touching.empty()) {
-    // New class with its own shared eddy and DU, placed on the EO hosting
-    // the fewest live classes (the rebalance pass revisits this later).
+    // New class, placed on the EO hosting the fewest shard DUs (the
+    // rebalance pass revisits this later).
     std::vector<size_t> hosted(eos_.size(), 0);
     for (const QueryClass& qc : classes_) {
-      if (qc.live) ++hosted[qc.eo];
+      if (!qc.live) continue;
+      for (size_t k = 0; k < qc.sc->num_shards(); ++k) {
+        ++hosted[qc.sc->shard_eo(k)];
+      }
     }
     size_t label = next_class_label_++;
-    auto eddy = std::make_unique<SharedEddy>(
-        MakeLotteryPolicy(opts_.seed + label), metrics_,
-        "class" + std::to_string(label));
-    auto du = std::make_shared<SharedCQDispatchUnit>(
-        "class" + std::to_string(label), std::move(eddy),
-        SharedCQDispatchUnit::Options{opts_.quantum});
-    du->set_tracer(tracer_);
+    ShardedClass::Options sc_opts;
+    sc_opts.shards = opts_.shards;
+    sc_opts.quantum = opts_.quantum;
+    sc_opts.queue_capacity = opts_.queue_capacity;
+    sc_opts.buckets = opts_.shard_buckets;
+    sc_opts.skew_threshold = opts_.shard_skew_threshold;
+    sc_opts.min_skew_volume = opts_.shard_min_skew_volume;
+    sc_opts.seed = opts_.seed + label;
+    std::vector<ExecutionObject*> eo_ptrs;
+    eo_ptrs.reserve(eos_.size());
+    for (auto& eo : eos_) eo_ptrs.push_back(eo.get());
     QueryClass qc;
-    qc.du = du;
+    qc.sc = std::make_shared<ShardedClass>(
+        "class" + std::to_string(label), sc_opts, std::move(eo_ptrs),
+        metrics_, tracer_);
     qc.live = true;
-    qc.eo = static_cast<size_t>(
+    size_t eo = static_cast<size_t>(
         std::min_element(hosted.begin(), hosted.end()) - hosted.begin());
+    qc.sc->set_shard_eo(0, eo);
     classes_.push_back(std::move(qc));
     class_idx = classes_.size() - 1;
-    eos_[classes_[class_idx].eo]->AddDispatchUnit(du);
+    eos_[eo]->AddDispatchUnit(classes_[class_idx].sc->shard_du(0));
     classes_gauge_->Set(static_cast<int64_t>(CountLiveClasses()));
   } else {
     // The paper's §4.2.2 open issue, closed: a bridging footprint MERGES
@@ -219,16 +192,9 @@ Result<size_t> Executor::ClassFor(SourceSet footprint) {
     // Any class owning a footprint stream was in `touching` and has been
     // merged in, so unclaimed is the only possibility left.
     assert(info.owner_class == SIZE_MAX && "stream owned by a merged class");
-    auto endpoints = Fjord::Make(FjordMode::kPush, opts_.queue_capacity,
-                                 "exec:s" + std::to_string(s), metrics_.get());
-    info.producer = std::make_shared<FjordProducer>(endpoints.producer);
+    qc.sc->ClaimStream(s, info.schema, info.stem_opts);
+    info.owner = qc.sc;
     info.owner_class = class_idx;
-    SchemaRef schema = info.schema;
-    StemOptions stem_opts = info.stem_opts;
-    qc.du->SubmitTask([s, schema, stem_opts](SharedEddy* eddy) {
-      eddy->RegisterStream(s, schema, stem_opts);
-    });
-    qc.du->AddInput(s, endpoints.consumer);
     qc.streams |= SourceBit(s);
   });
   return class_idx;
@@ -239,9 +205,9 @@ Result<GlobalQueryId> Executor::SubmitQuery(const CQSpec& spec, Sink sink) {
   if (footprint == 0) {
     return Status::InvalidArgument("query has an empty footprint");
   }
-  // mu_ is held across admission: the wait below is serviced by an EO
-  // thread (or the inline Step pre-start), and EO threads never take mu_ —
-  // so a concurrent merge/GC cannot remap the class between the eddy
+  // mu_ is held across admission: the wait inside AdmitQuery is serviced by
+  // EO threads (or the inline Step pre-start), and EO threads never take
+  // mu_ — so a concurrent merge/GC cannot remap the class between the eddy
   // admitting the query and queries_ recording its (class, local id).
   std::lock_guard<std::mutex> lock(mu_);
   Status unknown = Status::OK();
@@ -254,20 +220,11 @@ Result<GlobalQueryId> Executor::SubmitQuery(const CQSpec& spec, Sink sink) {
   if (!unknown.ok()) return unknown;
   size_t class_idx;
   TCQ_ASSIGN_OR_RETURN(class_idx, ClassFor(footprint));
-  auto du = classes_[class_idx].du;
   GlobalQueryId gid = next_query_id_++;
 
-  auto gate = std::make_shared<AdmissionGate>();
-  du->SubmitTask([du_raw = du.get(), gid, sink = std::move(sink), spec,
-                  gate](SharedEddy* eddy) mutable {
-    Result<QueryId> r = eddy->AddQuery(std::move(spec));
-    if (r.ok()) du_raw->BindSink(*r, gid, std::move(sink));
-    gate->Set(std::move(r));
-  });
-  // Pre-start admission: the EO is not pumping yet, so run one quantum
-  // inline (single-threaded at this point).
-  if (!started_) du->Step();
-  Result<QueryId> local = gate->Wait();
+  Result<QueryId> local = classes_[class_idx].sc->AdmitQuery(
+      spec, gid, std::move(sink), started_,
+      [&](const ShardedClass::RemapMap& m) { ApplyRemap(class_idx, m); });
   if (!local.ok()) {
     // If admission left the class without any query (e.g. a class freshly
     // created for this footprint), reclaim it right away.
@@ -302,14 +259,10 @@ Status Executor::RemoveQuery(GlobalQueryId id) {
     }
   }
   if (!last) {
-    auto du = classes_[cls].du;
-    du->SubmitTask([local, du_raw = du.get()](SharedEddy* eddy) {
-      (void)eddy->RemoveQuery(local);
-      du_raw->UnbindSink(local);
-    });
+    classes_[cls].sc->RemoveQuery(local);
     return Status::OK();
   }
-  // Last query of the class: GC it — DU, eddy, SteMs, and fjords all go;
+  // Last query of the class: GC it — DUs, eddies, SteMs, and fjords all go;
   // the streams are freed for a later query to re-claim.
   GcClass(cls);
   return Status::OK();
@@ -324,21 +277,24 @@ Status Executor::IngestTuple(SourceId source, const Tuple& tuple) {
 Status Executor::IngestBatch(TupleBatch batch) {
   if (batch.empty()) return Status::OK();
   SourceId source = batch.source();
-  // Hold the endpoint by shared_ptr: a concurrent GC may release the stream
-  // (closing the fjord) while this batch is in flight.
-  std::shared_ptr<FjordProducer> producer;
+  // Hold the class by shared_ptr: a concurrent GC may release the stream
+  // (closing its fjords) while this batch is in flight.
+  std::shared_ptr<ShardedClass> sc;
   Counter* dropped = nullptr;
-  {
+  auto lookup = [&]() -> Status {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = streams_.find(source);
     if (it == streams_.end()) {
       return Status::NotFound("stream s" + std::to_string(source) +
                               " is not registered");
     }
-    producer = it->second.producer;
+    sc = it->second.owner;
     dropped = it->second.dropped;
-  }
-  if (producer == nullptr) {
+    return Status::OK();
+  };
+  Status st = lookup();
+  if (!st.ok()) return st;
+  auto unrouted = [&]() {
     // No query class consumes this stream: drop loudly, not silently.
     dropped_unrouted_->Inc(batch.size());
     dropped->Inc(batch.size());
@@ -346,13 +302,14 @@ Status Executor::IngestBatch(TupleBatch batch) {
         "stream s" + std::to_string(source) +
         " is not consumed by any active query class; " +
         std::to_string(batch.size()) + " tuple(s) dropped");
-  }
+  };
+  if (sc == nullptr) return unrouted();
   // Producer-side enqueue span: timed across back-pressure retries, so its
   // duration shows blocked producers (the consumer-side wait is kQueueWait).
   bool sampled = tracer_ != nullptr && tracer_->ShouldSample();
   int64_t t0 = sampled ? NowMicros() : 0;
   for (int attempt = 0; attempt < 200; ++attempt) {
-    QueueOp op = producer->ProduceBatch(&batch);
+    ShardedClass::RouteResult r = sc->RouteBatch(&batch);
     if (batch.empty()) {
       if (sampled) {
         tracer_->Record(obs::SpanKind::kQueueEnqueue, source, 0, t0,
@@ -360,10 +317,18 @@ Status Executor::IngestBatch(TupleBatch batch) {
       }
       return Status::OK();
     }
-    if (op == QueueOp::kClosed) {
+    if (r == ShardedClass::RouteResult::kClosed) {
       dropped->Inc(batch.size());
       return Status::FailedPrecondition("stream s" + std::to_string(source) +
                                         " is closed");
+    }
+    if (r == ShardedClass::RouteResult::kRetired) {
+      // The class was merged away mid-flight: re-resolve the stream's
+      // current owner (the merge survivor) and route there.
+      st = lookup();
+      if (!st.ok()) return st;
+      if (sc == nullptr) return unrouted();
+      continue;
     }
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
@@ -391,27 +356,33 @@ Status Executor::CloseStream(SourceId source) {
     return Status::NotFound("stream s" + std::to_string(source) +
                             " is not registered");
   }
-  if (it->second.producer != nullptr) it->second.producer->Close();
+  if (it->second.owner != nullptr) it->second.owner->CloseStream(source);
   return Status::OK();
 }
 
 bool Executor::RebalanceLocked() {
   if (eos_.size() < 2) return false;
-  // Per-EO load = recent progress (quanta that did work) of its live class
-  // DUs since the previous pass; per-class deltas double as the "busiest
+  // Per-EO load = recent progress (quanta that did work) of its live shard
+  // DUs since the previous pass; per-shard deltas double as the "busiest
   // DU" ranking.
   std::vector<uint64_t> load(eos_.size(), 0);
   std::vector<size_t> hosted(eos_.size(), 0);
-  std::vector<std::pair<size_t, uint64_t>> deltas;  // (class, delta)
+  struct Candidate {
+    size_t cls;
+    size_t shard;
+    uint64_t delta;
+  };
+  std::vector<Candidate> cands;
   for (size_t c = 0; c < classes_.size(); ++c) {
     QueryClass& qc = classes_[c];
     if (!qc.live) continue;
-    uint64_t now = qc.du->progress_steps();
-    uint64_t delta = now - qc.last_progress;
-    qc.last_progress = now;
-    load[qc.eo] += delta;
-    ++hosted[qc.eo];
-    deltas.emplace_back(c, delta);
+    for (size_t k = 0; k < qc.sc->num_shards(); ++k) {
+      uint64_t delta = qc.sc->TakeProgressDelta(k);
+      size_t eo = qc.sc->shard_eo(k);
+      load[eo] += delta;
+      ++hosted[eo];
+      cands.push_back({c, k, delta});
+    }
   }
   size_t max_eo = 0;
   size_t min_eo = 0;
@@ -429,36 +400,60 @@ bool Executor::RebalanceLocked() {
     return false;
   }
   if (started_ && !eos_[min_eo]->running()) return false;  // EO retired
-  // Migrate the busiest DU off the most-loaded EO.
-  size_t busiest = SIZE_MAX;
-  uint64_t busiest_delta = 0;
-  for (const auto& [c, delta] : deltas) {
-    if (classes_[c].eo != max_eo) continue;
-    if (busiest == SIZE_MAX || delta > busiest_delta) {
-      busiest = c;
-      busiest_delta = delta;
-    }
+  // Migrate the busiest shard DU off the most-loaded EO.
+  const Candidate* busiest = nullptr;
+  for (const Candidate& cand : cands) {
+    if (classes_[cand.cls].sc->shard_eo(cand.shard) != max_eo) continue;
+    if (busiest == nullptr || cand.delta > busiest->delta) busiest = &cand;
   }
-  if (busiest == SIZE_MAX || busiest_delta == 0) return false;
+  if (busiest == nullptr || busiest->delta == 0) return false;
   // Anti-thrash gate: move only if it strictly lowers the peak load.
   // Moving a DU that carries most of its EO's load onto the least-loaded
   // EO would just relocate the hot spot (and ping-pong on the next pass).
-  uint64_t src_after = load[max_eo] - busiest_delta;
-  uint64_t dst_after = load[min_eo] + busiest_delta;
+  uint64_t src_after = load[max_eo] - busiest->delta;
+  uint64_t dst_after = load[min_eo] + busiest->delta;
   if (std::max(src_after, dst_after) >= load[max_eo]) return false;
-  QueryClass& qc = classes_[busiest];
+  ShardedClass* sc = classes_[busiest->cls].sc.get();
   // Quiesce at a quantum boundary, then re-home. The DU's fjords and eddy
   // state move untouched — only the thread stepping it changes.
-  eos_[max_eo]->RemoveDispatchUnit(qc.du);
-  qc.eo = min_eo;
-  eos_[min_eo]->AddDispatchUnit(qc.du);
+  auto du = sc->shard_du(busiest->shard);
+  eos_[max_eo]->RemoveDispatchUnit(du);
+  sc->set_shard_eo(busiest->shard, min_eo);
+  eos_[min_eo]->AddDispatchUnit(du);
   migrations_->Inc();
   return true;
+}
+
+bool Executor::SkewLocked() {
+  bool any = false;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    QueryClass& qc = classes_[c];
+    if (!qc.live) continue;
+    if (qc.sc->MaybeRepartitionForSkew(
+            [&](const ShardedClass::RemapMap& m) { ApplyRemap(c, m); })) {
+      any = true;
+    }
+  }
+  return any;
 }
 
 bool Executor::RebalanceOnce() {
   std::lock_guard<std::mutex> lock(mu_);
   return RebalanceLocked();
+}
+
+bool Executor::RepartitionSkewedOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SkewLocked();
+}
+
+uint64_t Executor::class_repartitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const QueryClass& qc : classes_) {
+    if (qc.live) n += qc.sc->repartitions();
+  }
+  return n;
 }
 
 void Executor::RebalanceLoop() {
@@ -471,6 +466,7 @@ void Executor::RebalanceLoop() {
     next = std::chrono::steady_clock::now() + interval;
     std::lock_guard<std::mutex> lock(mu_);
     (void)RebalanceLocked();
+    (void)SkewLocked();
   }
 }
 
@@ -510,9 +506,10 @@ std::vector<Executor::ClassInfo> Executor::Topology() const {
     if (!qc.live) continue;
     ClassInfo info;
     info.id = c;
-    info.name = qc.du->name();
-    info.eo = qc.eo;
+    info.name = qc.sc->label();
+    info.eo = qc.sc->shard_eo(0);
     info.streams = qc.streams;
+    info.shards = qc.sc->num_shards();
     for (const auto& [gid, qi] : queries_) {
       if (qi.query_class == c) ++info.num_queries;
     }

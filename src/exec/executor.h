@@ -17,8 +17,12 @@
 //   * GC: removing a class's last query retires the class — its DU detaches,
 //     fjords close, and stream ownership is released for later queries.
 //   * MIGRATE: a background rebalance pass watches per-DU progress counters
-//     and moves the busiest DU off the most-loaded EO when the imbalance
-//     exceeds a threshold (enable via Options::rebalance).
+//     and moves the busiest shard DU off the most-loaded EO when the
+//     imbalance exceeds a threshold (enable via Options::rebalance).
+//   * SHARD: with Options::shards > 1 each class runs as a ShardedClass —
+//     N shared-eddy replicas partitioned Flux-style on the class's derived
+//     join keys, pumped in parallel by per-shard DUs, with online skew
+//     re-partitioning (see exec/sharded_class.h).
 
 #pragma once
 
@@ -32,7 +36,7 @@
 #include "common/metrics.h"
 #include "exec/dispatch_unit.h"
 #include "exec/execution_object.h"
-#include "fjords/fjord.h"
+#include "exec/sharded_class.h"
 #include "stem/stem.h"
 
 namespace tcq {
@@ -54,6 +58,17 @@ class Executor {
     /// Migrate when the most-loaded EO's recent progress exceeds this
     /// multiple of the least-loaded EO's (and it hosts >= 2 DUs).
     double rebalance_imbalance_threshold = 2.0;
+    /// Shard replicas per query class (1 = classic single-eddy classes).
+    /// A class only actually fans out when its queries' join edges can be
+    /// consistently co-partitioned; see exec/sharded_class.h.
+    size_t shards = 1;
+    /// Flux bucket count per sharded class (unit of load balancing).
+    size_t shard_buckets = 64;
+    /// Skew re-partition trigger: busiest shard's recent ingest exceeds
+    /// this multiple of the least-busy shard's (rebalance pass must run).
+    double shard_skew_threshold = 4.0;
+    /// Minimum tuples ingested class-wide between skew checks.
+    uint64_t shard_min_skew_volume = 256;
   };
 
   /// Receives (global id, result tuple) deliveries; called from EO threads.
@@ -62,10 +77,11 @@ class Executor {
   /// One live query class, as reported by Topology().
   struct ClassInfo {
     size_t id = 0;          ///< stable class index (survives merges of others)
-    std::string name;       ///< the class DU's name
-    size_t eo = 0;          ///< hosting ExecutionObject index (migrates)
+    std::string name;       ///< the class label (shard 0 DU's name)
+    size_t eo = 0;          ///< EO hosting shard 0 (migrates)
     SourceSet streams = 0;  ///< streams the class owns
     size_t num_queries = 0; ///< live queries routed to the class
+    size_t shards = 1;      ///< current shard replica count
   };
 
   /// When `metrics` is null the executor observes itself (and everything it
@@ -86,8 +102,9 @@ class Executor {
   Status IngestTuple(SourceId source, const Tuple& tuple);
 
   /// Thread-safe batch ingestion: routes the whole batch to the query class
-  /// consuming its stream in ONE catalog lookup, moving it into the class's
-  /// fjord in whole-batch pushes. Returns:
+  /// consuming its stream in ONE catalog lookup; the class partitions it
+  /// across its shard replicas and moves each slice in whole-batch pushes.
+  /// Returns:
   ///   * kNotFound            — the stream was never registered;
   ///   * kFailedPrecondition  — no active query class consumes the stream
   ///                            (the batch is dropped and counted, per-stream
@@ -102,20 +119,27 @@ class Executor {
   /// Closes a stream: its class eventually drains and completes.
   Status CloseStream(SourceId source);
 
-  /// Submits a continuous query; blocks until the owning class's DU admits
+  /// Submits a continuous query; blocks until the owning class's DUs admit
   /// it (milliseconds). A footprint bridging several classes first merges
-  /// them (also blocking, at quantum boundaries). Deliveries go to `sink`.
+  /// them (also blocking, at quantum boundaries). Deliveries go to `sink`;
+  /// with shards > 1 they arrive from several EO threads, serialized
+  /// per query but not across queries.
   Result<GlobalQueryId> SubmitQuery(const CQSpec& spec, Sink sink);
 
   /// Removes a query at the next quantum boundary. Removing a class's LAST
-  /// query garbage-collects the class synchronously: the DU detaches from
-  /// its EO, the class fjords close, and stream ownership is released (a
+  /// query garbage-collects the class synchronously: the DUs detach from
+  /// their EOs, the class fjords close, and stream ownership is released (a
   /// later query re-claims the streams with fresh fjords).
   Status RemoveQuery(GlobalQueryId id);
 
   /// Runs one rebalance pass immediately (also what the background thread
   /// does every rebalance_interval_ms). Returns true if a DU migrated.
   bool RebalanceOnce();
+
+  /// Runs one skew check over every sharded class, re-partitioning online
+  /// where per-shard ingest deltas exceed the threshold (also part of the
+  /// background rebalance pass). Returns true if any class re-partitioned.
+  bool RepartitionSkewedOnce();
 
   void Start();
   void Stop();
@@ -138,28 +162,27 @@ class Executor {
   uint64_t class_merges() const { return merges_->Value(); }
   uint64_t class_migrations() const { return migrations_->Value(); }
   uint64_t class_gcs() const { return gcs_->Value(); }
+  /// Online shard re-partitions across all live classes.
+  uint64_t class_repartitions() const;
   const MetricsRegistryRef& metrics() const { return metrics_; }
 
  private:
   struct StreamInfo {
     SchemaRef schema;
     StemOptions stem_opts;
-    /// Producing endpoint into the owning class (null until claimed).
-    /// Shared so a concurrent IngestBatch keeps the endpoint alive while a
-    /// GC pass releases the stream.
-    std::shared_ptr<FjordProducer> producer;
+    /// Owning class (null until claimed). Shared so a concurrent
+    /// IngestBatch keeps the class alive while a GC pass releases the
+    /// stream or a merge retires the class.
+    std::shared_ptr<ShardedClass> owner;
     size_t owner_class = SIZE_MAX;
     /// Drops on this stream: tcq_executor_stream_dropped_total{stream=...}.
     Counter* dropped = nullptr;
   };
 
   struct QueryClass {
-    std::shared_ptr<SharedCQDispatchUnit> du;
+    std::shared_ptr<ShardedClass> sc;
     SourceSet streams = 0;
-    size_t eo = 0;
     bool live = false;  ///< false once merged away or GC'd
-    /// progress_steps() snapshot at the last rebalance pass.
-    uint64_t last_progress = 0;
   };
 
   struct QueryInfo {
@@ -170,14 +193,18 @@ class Executor {
   /// Finds or creates the class covering `footprint`, merging every touched
   /// class into one when the footprint bridges them (caller holds mu_).
   Result<size_t> ClassFor(SourceSet footprint);
-  /// Merges class `src` into class `dst`: quiesces both DUs, transfers
-  /// eddy/SteM state, remaps query lineage, moves fjord consumers (caller
-  /// holds mu_; both classes must be live).
+  /// Merges class `src` into class `dst`: collapses both to one shard,
+  /// quiesces, transfers eddy/SteM state, remaps query lineage, moves fjord
+  /// consumers (caller holds mu_; both classes must be live).
   void MergeClassInto(size_t dst, size_t src);
   /// Retires a live class with no queries left (caller holds mu_).
   void GcClass(size_t cls);
+  /// Rewrites queries_ local ids for `cls` after a shard re-partition
+  /// re-admitted them (caller holds mu_; applied in one pass, whole-map).
+  void ApplyRemap(size_t cls, const ShardedClass::RemapMap& remap);
   size_t CountLiveClasses() const;  // caller holds mu_
   bool RebalanceLocked();           // caller holds mu_
+  bool SkewLocked();                // caller holds mu_
   void RebalanceLoop();
 
   Options opts_;

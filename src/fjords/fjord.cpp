@@ -41,9 +41,12 @@ QueueOp FjordProducer::ProduceBatch(TupleBatch* batch) {
     case FjordMode::kPull: {
       size_t pushed = fjord_->queue().PushBatchBlocking(batch->data(),
                                                         batch->size());
-      bool all = pushed == batch->size();
-      batch->clear();
-      return all ? QueueOp::kOk : QueueOp::kClosed;
+      // Uniform batch contract across modes: the unconsumed suffix stays in
+      // the batch for the caller to account. (Clearing it here made
+      // "before - batch.size()" callers count close-dropped tuples as
+      // forwarded.)
+      batch->DropFront(pushed);
+      return batch->empty() ? QueueOp::kOk : QueueOp::kClosed;
     }
     case FjordMode::kPush:
     case FjordMode::kExchange: {

@@ -37,11 +37,12 @@ class FjordProducer {
   QueueOp Produce(Tuple t);
 
   /// Offers a whole batch, moving every tuple that fits under ONE queue
-  /// lock acquisition. Consumed tuples are removed from `*batch`; on
-  /// kWouldBlock (push mode, queue filled up) the unconsumed suffix stays
-  /// in the batch for the caller to retry; on kClosed the batch is left
-  /// untouched (pull mode: drained and counted as dropped-on-close, like
-  /// Produce).
+  /// lock acquisition. Consumed tuples are removed from `*batch`; the
+  /// unconsumed suffix stays in the batch in every mode — on kWouldBlock
+  /// (push mode, queue filled up) for the caller to retry, on kClosed for
+  /// the caller to count or drop (the queue never destroys batch items, so
+  /// its dropped_on_close counter uniformly means "items the queue itself
+  /// destroyed", i.e. single-tuple Produce on a closed queue).
   QueueOp ProduceBatch(TupleBatch* batch);
 
   /// Signals end of stream.

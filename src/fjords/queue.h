@@ -164,18 +164,19 @@ class BoundedQueue {
 
   /// Blocking batch enqueue: waits for space and moves chunks until all n
   /// items are enqueued or the queue closes. Returns the count enqueued
-  /// (< n only on close; the shortfall is counted in
-  /// dropped_on_close_count(), matching EnqueueBlocking's contract).
+  /// (< n only on close). The un-pushed suffix items[pushed..n) is left
+  /// with the caller, NOT destroyed and NOT counted in
+  /// dropped_on_close_count() — matching TryPushBatch. Only the caller
+  /// knows whether those items are lost or re-routable, so only the caller
+  /// can account for them; counting them here too double-counted every
+  /// batch drop a caller also tracked.
   size_t PushBatchBlocking(T* items, size_t n) {
     size_t pushed = 0;
     while (pushed < n) {
       std::unique_lock<std::mutex> lock(mu_);
       not_full_.wait(lock,
                      [&] { return closed_ || items_.size() < capacity_; });
-      if (closed_) {
-        for (size_t i = pushed; i < n; ++i) CountDroppedOnClose();
-        return pushed;
-      }
+      if (closed_) return pushed;
       while (pushed < n && items_.size() < capacity_) {
         PushLocked(std::move(items[pushed++]));
       }

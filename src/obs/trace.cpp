@@ -53,7 +53,7 @@ void TraceBatchScope::Arm(Tracer* tracer, int64_t ingest_us) {
 /// data-race-free; the seq acquire/release pair orders them.
 struct RingSlot {
   std::atomic<uint64_t> seq{0};
-  std::atomic<uint64_t> meta{0};  // kind << 32 | module
+  std::atomic<uint64_t> meta{0};  // shard << 40 | kind << 32 | module
   std::atomic<uint64_t> query{0};
   std::atomic<int64_t> start_us{0};
   std::atomic<int64_t> dur_us{0};
@@ -66,10 +66,13 @@ struct Tracer::ThreadState {
 
   void Append(SpanKind kind, uint32_t module, uint64_t query,
               int64_t start_us, int64_t dur_us) {
+    // The pumping shard rides in meta bits 40+ (kind is 8 bits wide), read
+    // from the thread's armed TraceContext so call sites stay unchanged.
+    uint64_t shard = CurrentTrace().shard;
     uint64_t t = head.load(std::memory_order_relaxed);
     RingSlot& slot = ring[t % ring.size()];
     slot.seq.store(2 * t + 1, std::memory_order_release);
-    slot.meta.store((uint64_t(kind) << 32) | module,
+    slot.meta.store((shard << 40) | (uint64_t(kind) << 32) | module,
                     std::memory_order_relaxed);
     slot.query.store(query, std::memory_order_relaxed);
     slot.start_us.store(start_us, std::memory_order_relaxed);
@@ -89,7 +92,8 @@ struct Tracer::ThreadState {
       if (seq != 2 * t + 2) continue;
       Span span;
       uint64_t meta = slot.meta.load(std::memory_order_relaxed);
-      span.kind = static_cast<SpanKind>(meta >> 32);
+      span.kind = static_cast<SpanKind>((meta >> 32) & 0xFF);
+      span.shard = static_cast<uint32_t>(meta >> 40);
       span.module = static_cast<uint32_t>(meta);
       span.query = slot.query.load(std::memory_order_relaxed);
       span.start_us = slot.start_us.load(std::memory_order_relaxed);

@@ -46,6 +46,9 @@ struct Span {
   SpanKind kind = SpanKind::kEddyHop;
   /// Kind-dependent id: module slot for hops, source id for queue spans.
   uint32_t module = 0;
+  /// Shard replica that processed the batch (0 for unsharded classes and
+  /// stages upstream of shard routing).
+  uint32_t shard = 0;
   /// Global query id for kEndToEnd / kPsoupProbe spans, else 0.
   uint64_t query = 0;
   int64_t start_us = 0;  ///< steady-clock microseconds (NowMicros)
@@ -145,6 +148,10 @@ struct TraceContext {
   Tracer* tracer = nullptr;
   /// Enqueue time of the batch's oldest tuple, for end-to-end latency.
   int64_t ingest_us = 0;
+  /// Shard replica pumping the current batch; stamped onto every span
+  /// recorded under this context. Set by the sharded DU pump after arming
+  /// (TraceBatchScope restores the previous context, shard included).
+  uint32_t shard = 0;
 };
 
 /// This thread's context (never null; check .tracer for activity).

@@ -312,11 +312,16 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
       sub.schema = entry.schema;
       sub.owner = wid;
       auto producer = std::make_shared<FjordProducer>(endpoints.producer);
-      sub.deliver = [producer](const TupleBatch& b) {
+      Counter* win_dropped = metrics_->GetCounter(
+          MetricName("tcq_window_input_dropped_total", "window",
+                     "w" + std::to_string(wid)));
+      sub.deliver = [producer, win_dropped](const TupleBatch& b) {
         // Push mode: drop on overload (windowed clients are best-effort
-        // under backpressure).
+        // under backpressure) — but count what was dropped; the unconsumed
+        // suffix stays in the offered batch by the ProduceBatch contract.
         TupleBatch offered = b;
         (void)producer->ProduceBatch(&offered);
+        if (!offered.empty()) win_dropped->Inc(offered.size());
       };
       // CloseStream closes the input fjord so the DU sees end-of-stream and
       // fires the windows it is still holding open.

@@ -72,6 +72,17 @@ class SteM {
   /// under the window policy.
   void AdvanceTime(Timestamp now);
 
+  /// Visits every live build entry in arrival order (oldest first) with its
+  /// original sequence number. The sharded executor uses this to
+  /// redistribute stored state across shard replicas on re-partition.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (uint64_t id = log_.base(); id < log_.end(); ++id) {
+      const StemEntry& e = log_.Get(id);
+      fn(e.tuple, e.seq);
+    }
+  }
+
   size_t size() const { return log_.size(); }
   // Thin reads over the metrics registry.
   uint64_t builds() const { return builds_->Value(); }

@@ -13,10 +13,15 @@ Timestamp WatermarkTracker::WatermarkOf(SourceId source) const {
 }
 
 Timestamp WatermarkTracker::MinWatermark(SourceSet sources) const {
+  // Empty source set => vacuous min = kMaxTimestamp: a participant that owns
+  // no sources must never pin a merged watermark at kMinTimestamp forever.
+  // (A non-empty set containing an unseen source still yields kMinTimestamp,
+  // via WatermarkOf — "no progress yet" stays distinguishable from "nothing
+  // to wait for".)
   Timestamp min = kMaxTimestamp;
   ForEachSource(sources,
                 [&](SourceId s) { min = std::min(min, WatermarkOf(s)); });
-  return min == kMaxTimestamp ? kMinTimestamp : min;
+  return min;
 }
 
 Timestamp WatermarkTracker::GlobalWatermark() const {

@@ -36,7 +36,9 @@ class WatermarkTracker {
   Timestamp WatermarkOf(SourceId source) const;
 
   /// The joint watermark of the given sources: min over their watermarks.
-  /// Sources never seen yield kMinTimestamp (nothing is complete yet).
+  /// Sources never seen yield kMinTimestamp (nothing is complete yet); the
+  /// EMPTY set yields kMaxTimestamp (vacuous min — a participant with no
+  /// sources never holds a merged watermark back).
   Timestamp MinWatermark(SourceSet sources) const;
 
   /// Joint watermark over every known source.

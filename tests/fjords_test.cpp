@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "common/metrics.h"
 #include "fjords/fjord.h"
@@ -138,6 +140,168 @@ TEST(BoundedQueueTest, MirrorsIntoRegistryInstruments) {
   EXPECT_EQ(wait->count, 1u);  // one enqueue->dequeue residence observed
 }
 
+TEST(BoundedQueueTest, PushBatchBlockingLeavesSuffixWithCallerOnClose) {
+  // Regression: the un-pushed suffix of a batch interrupted by Close() must
+  // stay with the caller — NOT destroyed and NOT counted in
+  // dropped_on_close_count(). Counting it here double-counted every batch
+  // drop the caller also tracked.
+  BoundedQueue<int> q(4);
+  ASSERT_EQ(q.TryEnqueue(100), QueueOp::kOk);
+  ASSERT_EQ(q.TryEnqueue(101), QueueOp::kOk);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.Close();
+  });
+  int items[8] = {0, 1, 2, 3, 4, 5, 6, 7};
+  // Room for 2, then the producer blocks until the close wakes it.
+  size_t pushed = q.PushBatchBlocking(items, 8);
+  closer.join();
+  EXPECT_EQ(pushed, 2u);
+  EXPECT_EQ(q.dropped_on_close_count(), 0u);
+  for (int i = 2; i < 8; ++i) EXPECT_EQ(items[i], i);  // suffix intact
+  // The items that DID make it in remain dequeuable after close.
+  int out = 0;
+  ASSERT_TRUE(q.DequeueBlocking(&out));
+  EXPECT_EQ(out, 100);
+  ASSERT_TRUE(q.DequeueBlocking(&out));
+  ASSERT_TRUE(q.DequeueBlocking(&out));
+  EXPECT_EQ(out, 0);
+  ASSERT_TRUE(q.DequeueBlocking(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(q.DequeueBlocking(&out));
+  EXPECT_TRUE(q.exhausted());
+}
+
+TEST(BoundedQueueTest, MpmcMixedBatchAndSingleConservesItems) {
+  // 4 producers x 4 consumers mixing single and batch endpoints, with a
+  // Close() racing mid-stream. Conservation invariants:
+  //   * every accepted item is consumed exactly once (counts AND value sums);
+  //   * dropped_on_close_count() equals exactly the single-item offers that
+  //     hit the closed queue (batch suffixes are retained, never destroyed).
+  constexpr int kPerProducer = 8000;
+  BoundedQueue<int> q(64);
+  std::atomic<uint64_t> accepted{0}, destroyed{0}, retained{0}, consumed{0};
+  std::atomic<uint64_t> sum_in{0}, sum_out{0};
+
+  auto single_producer = [&](int id, bool blocking) {
+    for (int i = 0; i < kPerProducer; ++i) {
+      const int v = id * kPerProducer + i;
+      QueueOp op = QueueOp::kWouldBlock;
+      if (blocking) {
+        op = q.EnqueueBlocking(v) ? QueueOp::kOk : QueueOp::kClosed;
+      } else {
+        while ((op = q.TryEnqueue(v)) == QueueOp::kWouldBlock) {
+          std::this_thread::yield();
+        }
+      }
+      if (op == QueueOp::kOk) {
+        accepted.fetch_add(1);
+        sum_in.fetch_add(static_cast<uint64_t>(v));
+      } else {
+        destroyed.fetch_add(1);  // closed-queue single offers ARE destroyed
+      }
+    }
+  };
+  auto batch_producer = [&](int id, bool blocking) {
+    constexpr int kChunk = 37;
+    int sent = 0;
+    while (sent < kPerProducer) {
+      const int n = std::min(kChunk, kPerProducer - sent);
+      std::vector<int> buf(static_cast<size_t>(n));
+      for (int j = 0; j < n; ++j) buf[static_cast<size_t>(j)] =
+          id * kPerProducer + sent + j;
+      size_t off = 0;
+      QueueOp op = QueueOp::kOk;
+      while (off < static_cast<size_t>(n)) {
+        size_t pushed;
+        if (blocking) {
+          pushed = q.PushBatchBlocking(buf.data() + off,
+                                       static_cast<size_t>(n) - off);
+          op = pushed + off < static_cast<size_t>(n) ? QueueOp::kClosed
+                                                     : QueueOp::kOk;
+        } else {
+          pushed = q.TryPushBatch(buf.data() + off,
+                                  static_cast<size_t>(n) - off, &op);
+        }
+        accepted.fetch_add(pushed);
+        for (size_t j = off; j < off + pushed; ++j) {
+          sum_in.fetch_add(static_cast<uint64_t>(buf[j]));
+        }
+        off += pushed;
+        if (op == QueueOp::kClosed) {
+          retained.fetch_add(static_cast<size_t>(n) - off);
+          return;  // suffix stays ours; nothing destroyed, nothing counted
+        }
+        if (op == QueueOp::kWouldBlock) std::this_thread::yield();
+      }
+      sent += n;
+    }
+  };
+  auto single_consumer = [&](bool blocking) {
+    int v;
+    for (;;) {
+      QueueOp op;
+      if (blocking) {
+        if (!q.DequeueBlocking(&v)) return;
+        op = QueueOp::kOk;
+      } else {
+        op = q.TryDequeue(&v);
+        if (op == QueueOp::kClosed) return;
+        if (op == QueueOp::kWouldBlock) {
+          std::this_thread::yield();
+          continue;
+        }
+      }
+      consumed.fetch_add(1);
+      sum_out.fetch_add(static_cast<uint64_t>(v));
+    }
+  };
+  auto batch_consumer = [&](bool blocking) {
+    std::vector<int> out;
+    for (;;) {
+      out.clear();
+      size_t got;
+      QueueOp op = QueueOp::kOk;
+      if (blocking) {
+        got = q.PopBatchBlocking(&out, 29);
+        if (got == 0) return;  // closed and drained
+      } else {
+        got = q.TryPopBatch(&out, 29, &op);
+        if (op == QueueOp::kClosed) return;
+        if (op == QueueOp::kWouldBlock) {
+          std::this_thread::yield();
+          continue;
+        }
+      }
+      consumed.fetch_add(got);
+      for (int v : out) sum_out.fetch_add(static_cast<uint64_t>(v));
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.emplace_back(single_producer, 0, true);
+  threads.emplace_back(single_producer, 1, false);
+  threads.emplace_back(batch_producer, 2, true);
+  threads.emplace_back(batch_producer, 3, false);
+  threads.emplace_back(single_consumer, true);
+  threads.emplace_back(single_consumer, false);
+  threads.emplace_back(batch_consumer, true);
+  threads.emplace_back(batch_consumer, false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  q.Close();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_TRUE(q.exhausted());  // consumers drained everything accepted
+  EXPECT_EQ(consumed.load(), accepted.load());
+  EXPECT_EQ(sum_out.load(), sum_in.load());
+  EXPECT_EQ(q.dropped_on_close_count(), destroyed.load());
+  // Every offer either landed, was destroyed (and counted), or stayed with
+  // its producer; batch producers stop at the first kClosed so the total
+  // can fall short of 4*kPerProducer, but never exceed it.
+  EXPECT_LE(accepted.load() + destroyed.load() + retained.load(),
+            4u * kPerProducer);
+}
+
 TEST(FjordTest, PushModeNeverBlocksConsumer) {
   auto [producer, consumer, fjord] = Fjord::Make(FjordMode::kPush, 2);
   Tuple t;
@@ -184,6 +348,31 @@ TEST(FjordTest, CloseEndsStreamForConsumer) {
   producer.Close();
   Tuple t;
   EXPECT_EQ(consumer.Consume(&t), QueueOp::kClosed);
+}
+
+TEST(FjordTest, PullModeProduceBatchRetainsSuffixOnClose) {
+  // Regression: pull-mode ProduceBatch used to clear the whole batch on
+  // close, so "before - batch.size()" callers counted close-dropped tuples
+  // as forwarded. The unconsumed suffix must survive in the batch.
+  auto [producer, consumer, fjord] = Fjord::Make(FjordMode::kPull, 2);
+  auto closer_producer = producer;
+  std::thread closer([p = std::move(closer_producer)]() mutable {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    p.Close();
+  });
+  TupleBatch batch;
+  for (int i = 0; i < 5; ++i) batch.push_back(IntTuple(i));
+  // Two fit; the blocking push then parks until the close releases it.
+  EXPECT_EQ(producer.ProduceBatch(&batch), QueueOp::kClosed);
+  closer.join();
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch.data()[i].at(0).AsInt64(), static_cast<int64_t>(i) + 2);
+  }
+  EXPECT_EQ(fjord->queue().dropped_on_close_count(), 0u);
+  // Re-offering the suffix after close keeps it with the caller too.
+  EXPECT_EQ(producer.ProduceBatch(&batch), QueueOp::kClosed);
+  EXPECT_EQ(batch.size(), 3u);
 }
 
 TEST(FjordTest, ModeNames) {

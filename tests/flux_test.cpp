@@ -25,6 +25,44 @@ TEST(PartitionerTest, StableAndComplete) {
   EXPECT_EQ(total, 64u);
 }
 
+// The bucket hash must spread realistic key populations — not just random
+// ones — evenly across buckets. Sequential ids, strided ids (pointers,
+// aligned offsets), and keys that vary only in their high bits are exactly
+// the populations a truncated mixer fails on. Chi-square against the
+// uniform expectation with 63 degrees of freedom: the p=0.001 critical
+// value is ~103.4, so 100 gives a deterministic-but-meaningful bound.
+TEST(PartitionerTest, BucketOfIsUniformOnStructuredKeys) {
+  constexpr size_t kBuckets = 64;
+  constexpr size_t kKeys = 16384;
+  struct KeySet {
+    const char* name;
+    int64_t (*key)(size_t);
+  };
+  const KeySet kSets[] = {
+      {"sequential", [](size_t i) { return static_cast<int64_t>(i); }},
+      {"strided", [](size_t i) { return static_cast<int64_t>(i) * 8; }},
+      {"high-bits-only",
+       [](size_t i) { return static_cast<int64_t>(i) << 40; }},
+      {"bit-sparse",
+       [](size_t i) {
+         // 7 bits near the bottom, 7 bits near the top, nothing between.
+         return static_cast<int64_t>((i & 0x7F) | ((i >> 7) << 48));
+       }},
+  };
+  for (const KeySet& set : kSets) {
+    Partitioner p(kBuckets, 4);
+    size_t counts[kBuckets] = {};
+    for (size_t i = 0; i < kKeys; ++i) ++counts[p.BucketOf(set.key(i))];
+    const double expected = static_cast<double>(kKeys) / kBuckets;
+    double chi2 = 0.0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      const double d = static_cast<double>(counts[b]) - expected;
+      chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 100.0) << set.name << " keys skew the bucket hash";
+  }
+}
+
 TEST(PartitionerTest, ReassignMovesOwnership) {
   Partitioner p(8, 2);
   p.Reassign(3, 1);

@@ -347,6 +347,16 @@ TEST(WatermarkTest, TracksPerSourceAndJoint) {
   EXPECT_EQ(wm.GlobalWatermark(), 5);
 }
 
+TEST(WatermarkTest, EmptySourceSetIsVacuouslyComplete) {
+  // Regression: min over an empty source set is the identity of min —
+  // kMaxTimestamp — not kMinTimestamp. A participant watching no sources
+  // must never hold a joint watermark back.
+  WatermarkTracker wm;
+  EXPECT_EQ(wm.MinWatermark(0), kMaxTimestamp);
+  wm.Update(0, 10);
+  EXPECT_EQ(wm.MinWatermark(0), kMaxTimestamp);  // unaffected by updates
+}
+
 TEST(WatermarkTest, OrderedOnlyBelowJointWatermark) {
   WatermarkTracker wm;
   wm.Update(0, 10);
