@@ -6,9 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "common/query_set.h"
 #include "operators/grouped_filter.h"
+#include "tuple/column_store.h"
 
 namespace tcq {
 namespace {
@@ -129,6 +132,77 @@ void BM_GroupedFilterEquality(benchmark::State& state) {
   state.counters["queries"] = static_cast<double>(n);
 }
 BENCHMARK(BM_GroupedFilterEquality)->RangeMultiplier(8)->Range(64, 32768);
+
+// --- Columnar batch probes (DESIGN.md §11) ----------------------------------
+// The same bound-pair factor set probed two ways over one 1024-row batch:
+// per-row through the scalar index vs one MatchBatch sweep over the
+// contiguous int64 lane (compiled factor kernels). The items/s ratio at a
+// given query count is the vectorization speedup bench_batching.sh gates on.
+
+constexpr size_t kProbeBatch = 1024;
+
+ColumnStore::Ref MakeProbeBatch(size_t rows) {
+  ColumnStoreBuilder b(bench::KVSchema(0));
+  Rng rng(9);
+  for (size_t i = 0; i < rows; ++i) {
+    b.AppendTimestamp(static_cast<Timestamp>(i));
+    b.Append(0, Value::Int64(rng.UniformInt(0, kDomain - 1)));
+    b.Append(1, Value::Int64(0));
+  }
+  return b.Finish();
+}
+
+GroupedFilter MakeBoundPairFilter(size_t n) {
+  auto queries = MakeQueries(n);
+  GroupedFilter gf({0, "k"});
+  for (size_t q = 0; q < n; ++q) {
+    gf.AddFactor(static_cast<QueryId>(q), CmpOp::kGe,
+                 Value::Int64(queries[q].lo));
+    gf.AddFactor(static_cast<QueryId>(q), CmpOp::kLe,
+                 Value::Int64(queries[q].hi));
+  }
+  return gf;
+}
+
+void BM_GroupedFilterBatchColumnar(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  GroupedFilter gf = MakeBoundPairFilter(n);
+  ColumnStore::Ref batch = MakeProbeBatch(kProbeBatch);
+  const Column& col = batch->column(0);
+  std::vector<QuerySet> out(kProbeBatch);
+  uint64_t probes = 0, matches = 0;
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), QuerySet());
+    gf.MatchBatch(col, kProbeBatch, out.data());
+    probes += kProbeBatch;
+  }
+  for (const QuerySet& qs : out) matches += qs.Count();
+  benchmark::DoNotOptimize(matches);
+  state.SetItemsProcessed(static_cast<int64_t>(probes));
+  state.counters["queries"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GroupedFilterBatchColumnar)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_GroupedFilterBatchScalar(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  GroupedFilter gf = MakeBoundPairFilter(n);
+  ColumnStore::Ref batch = MakeProbeBatch(kProbeBatch);
+  const Column& col = batch->column(0);
+  std::vector<QuerySet> out(kProbeBatch);
+  uint64_t probes = 0, matches = 0;
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), QuerySet());
+    for (size_t r = 0; r < kProbeBatch; ++r) {
+      gf.Match(col.ValueAt(r), &out[r]);
+    }
+    probes += kProbeBatch;
+  }
+  for (const QuerySet& qs : out) matches += qs.Count();
+  benchmark::DoNotOptimize(matches);
+  state.SetItemsProcessed(static_cast<int64_t>(probes));
+  state.counters["queries"] = static_cast<double>(n);
+}
+BENCHMARK(BM_GroupedFilterBatchScalar)->RangeMultiplier(4)->Range(16, 4096);
 
 }  // namespace
 }  // namespace tcq

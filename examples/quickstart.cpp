@@ -38,8 +38,10 @@ int main() {
   server.Start();
 
   // 3. Push data (a push-server ingress; generators and CSV files work
-  //    too — see the other examples). PushBatch is the primary entry point:
-  //    the whole day's ticks travel the dataflow as one batch.
+  //    too — see the other examples). The batch builder is the primary
+  //    entry point: rows are appended column-wise and the whole batch
+  //    travels the dataflow in columnar form, so filters sweep contiguous
+  //    lanes instead of probing tuple by tuple.
   struct Tick {
     Timestamp day;
     const char* symbol;
@@ -49,14 +51,19 @@ int main() {
       {1, "MSFT", 49.5}, {1, "AAPL", 61.0}, {2, "MSFT", 51.25},
       {2, "AAPL", 59.0}, {3, "MSFT", 52.0}, {3, "AAPL", 58.5},
   };
-  std::vector<TelegraphCQ::TupleBatchRow> rows;
-  for (const Tick& t : ticks) {
-    rows.push_back({{Value::TimestampVal(t.day), Value::String(t.symbol),
-                     Value::Double(t.price)},
-                    t.day});
+  auto batch = server.NewBatch("ClosingStockPrices");
+  if (!batch.ok()) {
+    std::fprintf(stderr, "NewBatch: %s\n", batch.status().ToString().c_str());
+    return 1;
   }
-  Status s = server.PushBatch("ClosingStockPrices", std::move(rows));
-  if (!s.ok()) std::fprintf(stderr, "PushBatch: %s\n", s.ToString().c_str());
+  for (const Tick& t : ticks) {
+    Status s = batch->Append(t.day, {Value::TimestampVal(t.day),
+                                     Value::String(t.symbol),
+                                     Value::Double(t.price)});
+    if (!s.ok()) std::fprintf(stderr, "Append: %s\n", s.ToString().c_str());
+  }
+  Status s = server.PushBuilt(std::move(*batch));
+  if (!s.ok()) std::fprintf(stderr, "PushBuilt: %s\n", s.ToString().c_str());
 
   // 4. Consume results. Two MSFT days exceed $50.
   std::printf("results:\n");

@@ -320,18 +320,100 @@ void SharedEddy::IngestBatch(const TupleBatch& batch) {
   // One lineage computation for the whole batch (the registry cannot change
   // mid-call: queries are added/removed between ingests).
   const QuerySet live = registry_.QueriesTouching(batch.source());
+  const size_t n = batch.size();
+
+  // Sequence numbers are assigned to EVERY row up front — including rows the
+  // prefilter will drop — so SteM builds and probe bounds see exactly the
+  // numbering per-tuple ingest would have produced.
+  const Timestamp seq0 = next_seq_;
+  next_seq_ += static_cast<Timestamp>(n);
 
   // Hoisted build loop: every tuple enters the SteM before any probing.
   // Safe ahead-of-probe because ProbeEq bounds matches by sequence number,
-  // so an envelope never joins with same-batch successors.
-  for (const Tuple& t : batch) {
-    Timestamp seq = next_seq_++;
-    if (stem != nullptr) stem->Build(t, seq);
-    if (live.Empty()) continue;  // no active query cares about this stream
+  // so an envelope never joins with same-batch successors. (SteM insert is
+  // one of the two row-materializing boundaries of DESIGN.md §11.)
+  if (stem != nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      stem->Build(batch.RowAt(i), seq0 + static_cast<Timestamp>(i));
+    }
+  }
+  if (live.Empty()) return;  // no active query cares about this stream
+
+  // Columnar prefilter (DESIGN.md §11): every grouped-filter module the
+  // whole batch must visit is evaluated once per COLUMN with the compiled
+  // kernels, instead of once per row inside Drain. Each row's live set is
+  // narrowed exactly as GroupedFilterModule::Process would (the eddy's
+  // module-commutativity makes the forced ordering result-neutral), the
+  // module's done bit is set batch-wide, and rows whose live set empties
+  // are dropped here — never materialized into Tuples, never enqueued.
+  uint64_t prefilter_done = 0;
+  bool prefiltered = false;
+  if (n >= kPrefilterMinRows) {
+    const ColumnStore::Ref& cols = batch.columns();
+    if (cols != nullptr) {
+      obs::TraceContext& tc = obs::CurrentTrace();
+      prefiltered = true;
+      prefilter_live_.assign(n, live);
+      prefilter_hops_.assign(n, 0);
+      const SourceSet span = cols->schema()->sources();
+      for (size_t slot = 0; slot < modules_.size(); ++slot) {
+        auto* gfm = dynamic_cast<GroupedFilterModule*>(modules_[slot].get());
+        if (gfm == nullptr) continue;
+        const AttrRef& attr = gfm->attr();
+        if ((span & SourceBit(attr.source)) == 0) continue;
+        const QuerySet& interested = gfm->filter()->interested();
+        if (!live.Intersects(interested)) continue;
+        auto col_idx = cols->schema()->IndexOf(attr.name, attr.source);
+        if (!col_idx) continue;
+
+        int64_t hop_t0 = tc.tracer != nullptr ? NowMicros() : 0;
+        prefilter_matched_.assign(n, QuerySet());
+        gfm->filter()->MatchBatch(cols->column(*col_idx), n,
+                                  prefilter_matched_.data());
+        size_t invocations = 0;
+        for (size_t r = 0; r < n; ++r) {
+          // Rows already dead were dropped by an earlier module; the scalar
+          // engine would never have routed them here.
+          if (prefilter_live_[r].Empty()) continue;
+          QuerySet to_kill = interested;
+          to_kill.SubtractWith(prefilter_matched_[r]);
+          prefilter_live_[r].SubtractWith(to_kill);
+          ++prefilter_hops_[r];
+          ModuleAction action = prefilter_live_[r].Empty()
+                                    ? ModuleAction::kDrop
+                                    : ModuleAction::kPass;
+          gfm->RecordResult(action, 0);
+          policy_->OnResult(slot, action, 0);
+          if (action == ModuleAction::kDrop && tc.tracer != nullptr) {
+            tc.tracer->RecordHopCount(prefilter_hops_[r]);
+          }
+          ++invocations;
+        }
+        module_invocations_->Inc(invocations);
+        prefilter_done |= uint64_t{1} << slot;
+        slot_selectivity_permille_[slot]->Set(static_cast<int64_t>(
+            module_stats_[slot]->ObservedSelectivity() * 1000.0));
+        if (tc.tracer != nullptr) {
+          // One batched hop span covers the whole column sweep.
+          tc.tracer->RecordHop(slot, gfm->name(), hop_t0,
+                               NowMicros() - hop_t0);
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (prefiltered && prefilter_live_[i].Empty()) continue;
     SharedEnvelope env;
-    env.tuple = t;
-    env.seq_max = seq;
-    env.live = live;
+    env.tuple = batch.RowAt(i);
+    env.seq_max = seq0 + static_cast<Timestamp>(i);
+    env.done = prefilter_done;
+    if (prefiltered) {
+      env.live = std::move(prefilter_live_[i]);
+      env.hops = prefilter_hops_[i];
+    } else {
+      env.live = live;
+    }
     queue_.push_back(std::move(env));
   }
   if (!draining_ && !queue_.empty()) Drain();

@@ -296,6 +296,15 @@ class SharedEddy {
   std::vector<size_t> order_scratch_;
   std::vector<SharedEnvelope> out_scratch_;
 
+  /// Batches below this size skip the columnar prefilter (building the
+  /// column view would cost more than it saves).
+  static constexpr size_t kPrefilterMinRows = 4;
+  // IngestBatch prefilter scratch (per-row live sets and per-column match
+  // results), reused across batches.
+  std::vector<QuerySet> prefilter_live_;
+  std::vector<QuerySet> prefilter_matched_;
+  std::vector<uint32_t> prefilter_hops_;
+
   /// Drain-scoped routing-decision cache (see Drain()): direct-mapped by
   /// lineage key, so identical-lineage envelopes in one drain reuse the
   /// ready computation and the ranked slot even across multi-hop routes.

@@ -1,10 +1,174 @@
 #include "eddy/eddy.h"
 
 #include <cassert>
+#include <cmath>
 
 #include "obs/trace.h"
+#include "operators/filter_kernels.h"
+#include "operators/selection.h"
+#include "tuple/column_store.h"
 
 namespace tcq {
+
+namespace {
+
+// Literal classification shared with the grouped-filter compiler
+// (grouped_filter.cpp): only numeric non-NaN literals enter kernels.
+// -1: not kernelizable; 0: integral (int64/timestamp); 1: double.
+int LiteralKind(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      return 0;
+    case ValueType::kDouble:
+      return std::isnan(v.AsDouble()) ? -1 : 1;
+    default:
+      return -1;
+  }
+}
+
+int64_t IntegralOf(const Value& v) {
+  return v.type() == ValueType::kTimestamp
+             ? static_cast<int64_t>(v.AsTimestamp())
+             : v.AsInt64();
+}
+
+kernels::Cmp CmpOf(CmpOp op) {
+  switch (op) {
+    case CmpOp::kGe:
+      return kernels::Cmp::kGe;
+    case CmpOp::kGt:
+      return kernels::Cmp::kGt;
+    case CmpOp::kLe:
+      return kernels::Cmp::kLe;
+    case CmpOp::kLt:
+      return kernels::Cmp::kLt;
+    default:
+      return kernels::Cmp::kNe;  // kEq is dispatched to MaskEq, never here.
+  }
+}
+
+/// Resolves `attr` to a kernel-eligible lane: null-free int64/double with no
+/// NaN data (Value::Compare treats NaN as equal to everything; IEEE
+/// comparisons in the kernels do not).
+const Column* KernelLane(const ColumnStore& cols, const AttrRef& attr,
+                         size_t n) {
+  auto idx = cols.schema()->IndexOf(attr.name, attr.source);
+  if (!idx.has_value()) return nullptr;
+  const Column& col = cols.column(*idx);
+  if (col.has_nulls()) return nullptr;
+  if (col.rep == ColumnRep::kInt64) return &col;
+  if (col.rep == ColumnRep::kDouble && !kernels::AnyNaN(col.f64, n)) {
+    return &col;
+  }
+  return nullptr;
+}
+
+bool TryMaskCompare(const CompareConst& cc, const ColumnStore& cols, size_t n,
+                    uint8_t* mask) {
+  const Column* col = KernelLane(cols, cc.attr(), n);
+  if (col == nullptr) return false;
+  const int kind = LiteralKind(cc.literal());
+  if (kind < 0) return false;
+  if (col->rep == ColumnRep::kInt64 && kind == 0) {
+    // Both sides integral: Value::Compare stays in int64, so must we.
+    const int64_t lit = IntegralOf(cc.literal());
+    if (cc.op() == CmpOp::kEq) {
+      kernels::MaskEq<int64_t, int64_t>(mask, col->i64, n, lit);
+    } else {
+      kernels::MaskCmpDyn<int64_t, int64_t>(mask, col->i64, n, lit,
+                                            CmpOf(cc.op()));
+    }
+    return true;
+  }
+  // Either side double: Value::Compare promotes both through ToDouble.
+  const double lit = kind == 0 ? static_cast<double>(IntegralOf(cc.literal()))
+                               : cc.literal().AsDouble();
+  if (col->rep == ColumnRep::kInt64) {
+    if (cc.op() == CmpOp::kEq) {
+      kernels::MaskEq<int64_t, double>(mask, col->i64, n, lit);
+    } else {
+      kernels::MaskCmpDyn<int64_t, double>(mask, col->i64, n, lit,
+                                           CmpOf(cc.op()));
+    }
+  } else {
+    if (cc.op() == CmpOp::kEq) {
+      kernels::MaskEq<double, double>(mask, col->f64, n, lit);
+    } else {
+      kernels::MaskCmpDyn<double, double>(mask, col->f64, n, lit,
+                                          CmpOf(cc.op()));
+    }
+  }
+  return true;
+}
+
+bool TryMaskRange(const RangePredicate& rp, const ColumnStore& cols, size_t n,
+                  uint8_t* mask) {
+  const Column* col = KernelLane(cols, rp.attr(), n);
+  if (col == nullptr) return false;
+  const int lo_kind = LiteralKind(rp.lo());
+  const int hi_kind = LiteralKind(rp.hi());
+  if (lo_kind < 0 || hi_kind < 0) return false;
+  if (col->rep == ColumnRep::kInt64) {
+    if (lo_kind == 0 && hi_kind == 0) {
+      kernels::MaskRangeDyn<int64_t, int64_t>(
+          mask, col->i64, n, IntegralOf(rp.lo()), IntegralOf(rp.hi()),
+          rp.lo_inclusive(), rp.hi_inclusive());
+    } else {
+      // Mixed literal families: evaluate each side in the comparison type
+      // Value::Compare would pick for it (two mask sweeps AND together).
+      if (lo_kind == 0) {
+        kernels::MaskCmpDyn<int64_t, int64_t>(
+            mask, col->i64, n, IntegralOf(rp.lo()),
+            rp.lo_inclusive() ? kernels::Cmp::kGe : kernels::Cmp::kGt);
+      } else {
+        kernels::MaskCmpDyn<int64_t, double>(
+            mask, col->i64, n, rp.lo().AsDouble(),
+            rp.lo_inclusive() ? kernels::Cmp::kGe : kernels::Cmp::kGt);
+      }
+      if (hi_kind == 0) {
+        kernels::MaskCmpDyn<int64_t, int64_t>(
+            mask, col->i64, n, IntegralOf(rp.hi()),
+            rp.hi_inclusive() ? kernels::Cmp::kLe : kernels::Cmp::kLt);
+      } else {
+        kernels::MaskCmpDyn<int64_t, double>(
+            mask, col->i64, n, rp.hi().AsDouble(),
+            rp.hi_inclusive() ? kernels::Cmp::kLe : kernels::Cmp::kLt);
+      }
+    }
+    return true;
+  }
+  const double lo = lo_kind == 0 ? static_cast<double>(IntegralOf(rp.lo()))
+                                 : rp.lo().AsDouble();
+  const double hi = hi_kind == 0 ? static_cast<double>(IntegralOf(rp.hi()))
+                                 : rp.hi().AsDouble();
+  kernels::MaskRangeDyn<double, double>(mask, col->f64, n, lo, hi,
+                                        rp.lo_inclusive(), rp.hi_inclusive());
+  return true;
+}
+
+/// Narrows mask[0..n) to the predicate's matches and returns true, or
+/// returns false when the predicate falls outside the kernel exactness
+/// contract (the mask may then be partially narrowed — callers discard it).
+bool TryMaskPredicate(const Predicate& pred, const ColumnStore& cols,
+                      size_t n, uint8_t* mask) {
+  if (auto* cc = dynamic_cast<const CompareConst*>(&pred)) {
+    return TryMaskCompare(*cc, cols, n, mask);
+  }
+  if (auto* rp = dynamic_cast<const RangePredicate*>(&pred)) {
+    return TryMaskRange(*rp, cols, n, mask);
+  }
+  if (auto* ap = dynamic_cast<const AndPredicate*>(&pred)) {
+    // Children are pure, so full evaluation equals short-circuit AND.
+    for (const auto& child : ap->children()) {
+      if (!TryMaskPredicate(*child, cols, n, mask)) return false;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Eddy::Eddy(std::unique_ptr<RoutingPolicy> policy, Options opts,
            MetricsRegistryRef metrics, std::string label)
@@ -67,7 +231,8 @@ void Eddy::Ingest(SourceId source, const Tuple& tuple) {
 
 void Eddy::IngestBatch(const TupleBatch& batch) {
   if (batch.empty()) return;
-  tuples_ingested_->Inc(batch.size());
+  const size_t n = batch.size();
+  tuples_ingested_->Inc(n);
   // Resolve the batch's SteM build targets once instead of scanning the
   // attached-SteM list per tuple.
   build_stems_scratch_.clear();
@@ -76,10 +241,84 @@ void Eddy::IngestBatch(const TupleBatch& batch) {
       build_stems_scratch_.push_back(stem.get());
     }
   }
-  for (const Tuple& t : batch) {
-    Timestamp seq = next_seq_++;
-    for (SteM* stem : build_stems_scratch_) stem->Build(t, seq);
-    queue_.push_back(Envelope{t, 0, seq});
+  // Pre-assign sequence numbers and build ALL rows into SteMs up front:
+  // rows the prefilter below drops must still exist for later probes,
+  // exactly as if they had been routed and then dropped by the selection.
+  const Timestamp seq0 = next_seq_;
+  next_seq_ += n;
+  if (!build_stems_scratch_.empty()) {
+    for (size_t i = 0; i < n; ++i) {
+      const Tuple t = batch.RowAt(i);
+      for (SteM* stem : build_stems_scratch_) stem->Build(t, seq0 + i);
+    }
+  }
+
+  // Columnar selection prefilter (DESIGN.md §11): zero-cost Selection
+  // modules over kernel-eligible lanes are evaluated for the whole batch
+  // with mask sweeps over the contiguous columns. Rows that fail are
+  // dropped here and never materialized into the routing queue; survivors
+  // enter Drain() with those modules' done bits already set. Selections
+  // commute (paper §2.2), so absorbing them ahead of the per-tuple router
+  // is result-neutral; per-row stats keep the routing policy adaptive.
+  obs::TraceContext& tc = obs::CurrentTrace();
+  uint32_t prefilter_done = 0;
+  bool prefiltered = false;
+  const ColumnStore::Ref& cols =
+      n >= kPrefilterMinRows ? batch.columns() : ColumnStore::Ref();
+  if (cols != nullptr) {
+    const SourceSet span = cols->schema()->sources();
+    for (size_t slot = 0; slot < modules_.size(); ++slot) {
+      auto* sel = dynamic_cast<Selection*>(modules_[slot].get());
+      if (sel == nullptr || sel->cost_loops() != 0) continue;
+      if (!sel->AppliesTo(span)) continue;
+      prefilter_mask_.assign(n, 1);
+      if (!TryMaskPredicate(*sel->predicate(), *cols, n,
+                            prefilter_mask_.data())) {
+        continue;
+      }
+      if (!prefiltered) {
+        prefilter_alive_.assign(n, 1);
+        prefilter_hops_.assign(n, 0);
+      }
+      const int64_t hop_t0 = tc.tracer != nullptr ? NowMicros() : 0;
+      uint64_t invocations = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!prefilter_alive_[i]) continue;
+        ++invocations;
+        ++prefilter_hops_[i];
+        const ModuleAction action = prefilter_mask_[i] != 0
+                                        ? ModuleAction::kPass
+                                        : ModuleAction::kDrop;
+        sel->RecordResult(action, 0);
+        policy_->OnResult(slot, action, 0);
+        if (action == ModuleAction::kDrop) {
+          prefilter_alive_[i] = 0;
+          if (tc.tracer != nullptr) {
+            tc.tracer->RecordHopCount(prefilter_hops_[i]);
+          }
+        }
+      }
+      module_invocations_->Inc(invocations);
+      prefilter_done |= (uint32_t{1} << slot);
+      prefiltered = true;
+      const RoutableStats* stats = module_stats_[slot];
+      slot_selectivity_permille_[slot]->Set(
+          static_cast<int64_t>(stats->ObservedSelectivity() * 1000.0));
+      slot_consumed_[slot]->Set(static_cast<int64_t>(stats->consumed()));
+      if (tc.tracer != nullptr) {
+        // One batched span covers the whole column sweep.
+        tc.tracer->RecordHop(slot, sel->name(), hop_t0,
+                             NowMicros() - hop_t0);
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (prefiltered && prefilter_alive_[i] == 0) continue;
+    queue_.push_back(
+        Envelope{batch.RowAt(i), prefilter_done,
+                 seq0 + static_cast<Timestamp>(i),
+                 prefiltered ? prefilter_hops_[i] : 0});
   }
   if (!draining_) Drain();
 }

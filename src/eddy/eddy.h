@@ -37,6 +37,11 @@ class Eddy {
     uint32_t fix_len = 1;
   };
 
+  /// Batches below this size skip the columnar selection prefilter: the
+  /// per-batch setup (column materialization, mask sweeps) only pays for
+  /// itself with a few rows to amortize over.
+  static constexpr size_t kPrefilterMinRows = 4;
+
   explicit Eddy(std::unique_ptr<RoutingPolicy> policy)
       : Eddy(std::move(policy), Options()) {}
   /// When `metrics` is null the eddy observes itself in a private registry;
@@ -127,6 +132,12 @@ class Eddy {
   std::vector<size_t> ready_scratch_;
   std::vector<size_t> order_scratch_;
   std::vector<Envelope> out_scratch_;
+  // Columnar-prefilter scratch (IngestBatch): per-row survival mask across
+  // all prefiltered selections, the current module's fresh mask, and per-row
+  // hop counts carried into surviving envelopes.
+  std::vector<uint8_t> prefilter_alive_;
+  std::vector<uint8_t> prefilter_mask_;
+  std::vector<uint32_t> prefilter_hops_;
 
   MetricsRegistryRef metrics_;
   std::string label_;

@@ -12,8 +12,10 @@
 #include <vector>
 
 #include "common/query_set.h"
+#include "operators/filter_kernels.h"
 #include "operators/interval_index.h"
 #include "operators/predicate.h"
+#include "tuple/column_store.h"
 #include "tuple/value.h"
 
 namespace tcq {
@@ -46,6 +48,14 @@ class GroupedFilter {
   /// satisfied by `v`.
   void Match(const Value& v, QuerySet* out) const;
 
+  /// Batch probe: for every row r of the column, adds to out[r] exactly the
+  /// queries Match(col.ValueAt(r)) would add. Null-free int64/double lanes
+  /// with numeric literals sweep compiled factor kernels
+  /// (operators/filter_kernels.h) over the contiguous lane — the DESIGN.md
+  /// §11 vectorized path; anything else degrades to per-row Match. `out`
+  /// must point at `n` QuerySets and n must equal the column's row count.
+  void MatchBatch(const Column& col, size_t n, QuerySet* out) const;
+
   /// All queries with at least one factor here (live only).
   const QuerySet& interested() const { return interested_; }
 
@@ -58,7 +68,51 @@ class GroupedFilter {
     bool strict;  // kGt/kLt vs kGe/kLe
   };
 
+  /// Factors recompiled into kernel-ready SoA form (literals unboxed, one
+  /// slot per live query). Rebuilt lazily whenever revision_ moves.
+  /// `valid` is false when any literal falls outside the exactness contract
+  /// (non-numeric, NaN, or magnitudes where the Value-keyed eq_ hash and
+  /// double rounding diverge from exact integer comparison) — MatchBatch
+  /// then takes the per-row scalar path.
+  struct CompiledFactors {
+    bool valid = false;
+    uint32_t num_slots = 0;
+    std::vector<QueryId> slot_query;
+    std::vector<uint8_t> slot_needed;
+    struct IBound {
+      int64_t lit;
+      uint32_t slot;
+      kernels::Cmp op;
+    };
+    struct DBound {
+      double lit;
+      uint32_t slot;
+      kernels::Cmp op;
+    };
+    std::vector<IBound> bounds_i;     ///< integral literals (int64 lanes)
+    std::vector<DBound> bounds_d;     ///< double literals (int64 lanes)
+    std::vector<DBound> bounds_all_d; ///< every literal as double (f64 lanes)
+    struct IRange {
+      int64_t lo, hi;
+      bool lo_incl, hi_incl;
+      uint32_t slot;
+    };
+    struct DRange {
+      double lo, hi;
+      bool lo_incl, hi_incl;
+      uint32_t slot;
+    };
+    std::vector<IRange> ranges_i;
+    std::vector<DRange> ranges_d;
+    std::vector<DRange> ranges_all_d;
+    std::unordered_map<int64_t, std::vector<uint32_t>> eq_i;
+    std::unordered_map<double, std::vector<uint32_t>> eq_d;
+    std::unordered_map<double, std::vector<uint32_t>> eq_all_d;
+  };
+
   void BumpMatch(QueryId q, std::vector<QueryId>* touched) const;
+  void Compile() const;
+  void MatchBatchKernel(const Column& col, size_t n, QuerySet* out) const;
 
   AttrRef attr_;
   // Equality factors: literal -> queries.
@@ -73,8 +127,11 @@ class GroupedFilter {
   // satisfies the suffix of bounds above it.
   std::vector<Bound> upper_;
   bool upper_sorted_ = true;
-  // Two-sided ranges, stabbed via a centered interval tree.
+  // Two-sided ranges, stabbed via a centered interval tree. range_list_
+  // mirrors the registered intervals because the tree has no enumeration
+  // API and the batch compiler needs one.
   IntervalIndex ranges_;
+  std::vector<IntervalIndex::Interval> range_list_;
 
   // Factors required per query; a probe matches a query when its per-probe
   // counter reaches this.
@@ -83,12 +140,25 @@ class GroupedFilter {
   QuerySet dead_;
   size_t num_factors_ = 0;
 
+  // Bumped on any factor mutation; the compiled form notices and rebuilds.
+  uint64_t revision_ = 1;
+
   // Per-probe scratch (epoch-tagged counters so Match is O(answer)).
   mutable std::vector<uint32_t> probe_epoch_;
   mutable std::vector<uint32_t> matched_;
   mutable uint32_t epoch_ = 0;
   mutable std::vector<QueryId> touched_;
   mutable QuerySet range_scratch_;
+
+  // Batch-probe state: compiled factors plus the chunked count matrix
+  // (slot-major, kChunk rows per sweep) with epoch-tagged lazy zeroing so
+  // untouched slots cost nothing.
+  mutable CompiledFactors compiled_;
+  mutable uint64_t compiled_revision_ = 0;
+  mutable std::vector<uint8_t> counts_;
+  mutable std::vector<uint32_t> slot_epoch_;
+  mutable uint32_t chunk_epoch_ = 0;
+  mutable std::vector<uint32_t> dirty_slots_;
 };
 
 }  // namespace tcq

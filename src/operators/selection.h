@@ -29,6 +29,10 @@ class Selection : public EddyModule {
 
   const PredicateRef& predicate() const { return predicate_; }
 
+  /// Synthetic per-tuple cost; the eddy's columnar prefilter only absorbs
+  /// zero-cost selections (a nonzero cost models work that must still burn).
+  uint32_t cost_loops() const { return cost_loops_; }
+
   /// Replaces the predicate, modelling content drift experiments where a
   /// filter's selectivity changes mid-stream.
   void ReplacePredicate(PredicateRef predicate) {

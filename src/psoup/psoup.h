@@ -59,8 +59,10 @@ class PSoup {
   void Ingest(SourceId source, const Tuple& tuple);
 
   /// Feeds a whole same-source batch: one Data SteM lookup, a hoisted
-  /// insert loop, then a single shared-eddy batch ingest. Results are
-  /// identical to per-tuple Ingest (see SharedEddy::IngestBatch).
+  /// insert loop (a genuine row boundary — the SteM stores rows), then a
+  /// single shared-eddy batch ingest, where columnar batches get the
+  /// vectorized selection prefilter (DESIGN.md §11). Results are identical
+  /// to per-tuple Ingest (see SharedEddy::IngestBatch).
   void IngestBatch(const TupleBatch& batch);
 
   /// Disconnected-client invocation: imposes the query's window on the

@@ -84,12 +84,15 @@ TelegraphCQ::TelegraphCQ(Options opts, MetricsRegistryRef metrics)
         [this](const std::string& stream,
                std::vector<obs::SystemStreamSource::Row> rows,
                Timestamp tick) {
-          std::vector<TupleBatchRow> batch;
-          batch.reserve(rows.size());
+          // Columnar-native publishing via the builder API; rows the
+          // publisher races against shutdown are dropped by the typed
+          // Status (never silently mid-batch).
+          Result<BatchBuilder> batch = NewBatch(stream);
+          if (!batch.ok()) return;
           for (auto& row : rows) {
-            batch.push_back(TupleBatchRow{std::move(row.values), tick});
+            (void)batch->Append(tick, std::move(row.values));
           }
-          (void)PushBatch(stream, std::move(batch));
+          (void)PushBuilt(std::move(*batch));
         });
   }
 }
@@ -117,6 +120,8 @@ Result<SourceId> TelegraphCQ::DefineStreamInternal(
   stream.schema = entry.schema;
   stream.ingested = metrics_->GetCounter(
       MetricName("tcq_server_stream_ingested_total", "stream", name));
+  stream.spool_failed = metrics_->GetCounter(
+      MetricName("tcq_server_spool_append_failed_total", "stream", name));
   if (!opts_.spool_dir.empty()) {
     TCQ_ASSIGN_OR_RETURN(
         stream.spool,
@@ -150,32 +155,105 @@ void TelegraphCQ::RouteBatch(PhysicalStream* stream, const TupleBatch& batch) {
   ingested_->Inc(batch.size());
   stream->ingested->Inc(batch.size());
   if (stream->spool != nullptr) {
-    for (const Tuple& t : batch) (void)stream->spool->Append(t);
+    // The spool is a row-shaped boundary: columnar batches materialize rows
+    // here (and only here / SteM inserts / egress, DESIGN.md §11).
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!stream->spool->Append(batch.RowAt(i)).ok()) {
+        stream->spool_failed->Inc();
+      }
+    }
   }
+  // Columnarize once at the fabric entrance: every subscription below (and
+  // the eddy prefilters downstream) shares this store by reference.
+  const ColumnStore::Ref& cols = batch.columns();
   for (const Subscription& sub : stream->subs) {
     // A canonical-source batch whose tuples already carry the
     // subscription's schema passes through untouched; anything else is
     // re-tagged under the subscription's logical source (self-join alias).
     bool direct = sub.logical == stream->canonical;
     if (direct) {
-      for (const Tuple& t : batch) {
-        if (t.schema().get() != sub.schema.get()) {
-          direct = false;
-          break;
+      if (cols != nullptr) {
+        direct = cols->schema().get() == sub.schema.get();
+      } else {
+        for (const Tuple& t : batch) {
+          if (t.schema().get() != sub.schema.get()) {
+            direct = false;
+            break;
+          }
         }
       }
     }
     if (direct) {
       sub.deliver(batch);
-    } else {
-      TupleBatch retagged(sub.logical);
-      retagged.reserve(batch.size());
-      for (const Tuple& t : batch) {
-        retagged.push_back(Tuple::Make(sub.schema, t.values(), t.timestamp()));
-      }
-      sub.deliver(retagged);
+      continue;
     }
+    if (cols != nullptr) {
+      // Zero-copy alias re-tag: a view over the same lanes under the
+      // subscription's schema.
+      if (ColumnStore::Ref view = ColumnStore::Retagged(cols, sub.schema)) {
+        sub.deliver(TupleBatch(sub.logical, std::move(view)));
+        continue;
+      }
+    }
+    TupleBatch retagged(sub.logical);
+    retagged.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Tuple t = batch.RowAt(i);
+      retagged.push_back(Tuple::Make(sub.schema, t.values(), t.timestamp()));
+    }
+    sub.deliver(retagged);
   }
+}
+
+Status TelegraphCQ::BatchBuilder::Append(Timestamp timestamp,
+                                         std::vector<Value> values) {
+  // Whole-row validation first so a rejected row leaves the lanes intact.
+  TCQ_RETURN_IF_ERROR(schema()->Validate(values));
+  cols_.AppendTimestamp(timestamp);
+  for (size_t c = 0; c < values.size(); ++c) {
+    bool ok = cols_.Append(c, std::move(values[c]));
+    (void)ok;
+    assert(ok && "Schema::Validate admitted a value the lane rejects");
+  }
+  return Status::OK();
+}
+
+Result<TelegraphCQ::BatchBuilder> TelegraphCQ::NewBatch(
+    const std::string& stream_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(stream_name);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream '" + stream_name + "'");
+  }
+  if (it->second.closed) {
+    return Status::FailedPrecondition("stream '" + stream_name +
+                                      "' is closed");
+  }
+  return BatchBuilder(stream_name, it->second.schema);
+}
+
+Status TelegraphCQ::PushBuilt(BatchBuilder&& built) {
+  if (built.num_rows() == 0) return Status::OK();
+  ColumnStore::Ref cols = built.cols_.Finish();
+  if (cols == nullptr) {
+    // Unreachable through Append (it keeps lanes rectangular); kept as a
+    // typed failure rather than an assert so a future builder extension
+    // cannot turn it into a silent drop.
+    return Status::InvalidArgument("batch builder lanes are ragged");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = streams_.find(built.stream_);
+  if (it == streams_.end()) {
+    return Status::NotFound("no stream '" + built.stream_ + "'");
+  }
+  PhysicalStream& stream = it->second;
+  if (stream.closed) {
+    return Status::FailedPrecondition("stream '" + built.stream_ +
+                                      "' is closed");
+  }
+  TupleBatch batch(stream.canonical, std::move(cols));
+  RouteBatch(&stream, batch);
+  return Status::OK();
 }
 
 Status TelegraphCQ::PushBatch(const std::string& stream_name,
@@ -199,12 +277,22 @@ Status TelegraphCQ::PushBatch(const std::string& stream_name,
                                      s.message());
     }
   }
-  TupleBatch batch(stream.canonical);
-  batch.reserve(rows.size());
+  if (rows.empty()) return Status::OK();
+  // Row -> column transposition: PushBatch is a compat wrapper over the
+  // same columnar ingest path PushBuilt takes. Validation above guarantees
+  // every value fits its lane, so Finish() cannot go ragged.
+  ColumnStoreBuilder builder(stream.schema);
   for (TupleBatchRow& row : rows) {
-    batch.push_back(
-        Tuple::Make(stream.schema, std::move(row.values), row.timestamp));
+    builder.AppendTimestamp(row.timestamp);
+    for (size_t c = 0; c < row.values.size(); ++c) {
+      bool ok = builder.Append(c, std::move(row.values[c]));
+      (void)ok;
+      assert(ok && "Schema::Validate admitted a value the lane rejects");
+    }
   }
+  ColumnStore::Ref cols = builder.Finish();
+  assert(cols != nullptr);
+  TupleBatch batch(stream.canonical, std::move(cols));
   RouteBatch(&stream, batch);
   return Status::OK();
 }

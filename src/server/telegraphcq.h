@@ -21,6 +21,7 @@
 #include "query/catalog.h"
 #include "query/parser.h"
 #include "query/planner.h"
+#include "tuple/column_store.h"
 
 namespace tcq {
 
@@ -51,14 +52,21 @@ class WindowResultBuffer {
   Counter* tuples_counter_ = nullptr;
 };
 
-// Error contract of the server facade (shared by all entry points below):
+// Error contract of the server facade — ONE table shared by every public
+// entry point (DefineStream, AttachSource, NewBatch / BatchBuilder::Append /
+// PushBuilt, Push / PushBatch, CloseStream, Submit, ScanHistory, Cancel).
+// Failures are always surfaced as a typed Status; nothing is silently
+// dropped (engine-side sheds are counted and visible via Introspect()).
 //   * kNotFound            — the named stream / query id does not exist;
-//   * kInvalidArgument     — the request is malformed (schema mismatch,
-//                            unparsable SQL, bad plan);
+//   * kInvalidArgument     — the request is malformed: schema mismatch
+//                            (arity or field type, from batch-builder /
+//                            push validation), unparsable SQL, bad plan,
+//                            reserved "tcq$" stream name;
 //   * kFailedPrecondition  — the request is well-formed but the engine is in
 //                            the wrong state for it (stream closed, sources
 //                            attached after Start(), tuples pushed to a
-//                            stream no query consumes);
+//                            stream no query consumes, unspooled history
+//                            scan);
 //   * kResourceExhausted   — back-pressure outlasted the retry budget.
 // Methods state only the codes they add beyond this contract.
 class TelegraphCQ {
@@ -135,10 +143,45 @@ class TelegraphCQ {
     uint64_t class_gcs = 0;         ///< classes retired (last query removed)
   };
 
-  /// One client-facing row of a PushBatch call.
+  /// One client-facing row of a PushBatch call. COMPAT shape for the
+  /// row-oriented wrappers below; new code should build batches column-wise
+  /// with NewBatch() / BatchBuilder / PushBuilt().
   struct TupleBatchRow {
     std::vector<Value> values;
     Timestamp timestamp = 0;
+  };
+
+  /// Column-wise batch construction — the PRIMARY ingestion surface
+  /// (DESIGN.md §11). Obtain one with NewBatch(), append rows, hand it back
+  /// with PushBuilt(): values land directly in typed columnar lanes, so the
+  /// batch enters the dataflow columnar-native and the vectorized filter
+  /// paths never pay a row -> column conversion. Rows materialize only at
+  /// row-shaped boundaries (SteM inserts, spooling, egress). Move-only;
+  /// a builder is bound to the stream it was created for.
+  class BatchBuilder {
+   public:
+    BatchBuilder(BatchBuilder&&) = default;
+    BatchBuilder& operator=(BatchBuilder&&) = default;
+    BatchBuilder(const BatchBuilder&) = delete;
+    BatchBuilder& operator=(const BatchBuilder&) = delete;
+
+    /// Appends one row. kInvalidArgument on schema mismatch (arity or field
+    /// type); the row is validated before any value is admitted, so a
+    /// failed Append leaves the builder exactly as it was and the caller
+    /// may repair the row and retry.
+    Status Append(Timestamp timestamp, std::vector<Value> values);
+
+    const std::string& stream() const { return stream_; }
+    const SchemaRef& schema() const { return cols_.schema(); }
+    size_t num_rows() const { return cols_.num_rows(); }
+
+   private:
+    friend class TelegraphCQ;
+    BatchBuilder(std::string stream, SchemaRef schema)
+        : stream_(std::move(stream)), cols_(std::move(schema)) {}
+
+    std::string stream_;
+    ColumnStoreBuilder cols_;
   };
 
   /// When `metrics` is null the server creates a private registry; every
@@ -161,16 +204,30 @@ class TelegraphCQ {
                       std::unique_ptr<StreamSource> source,
                       std::unique_ptr<ArrivalProcess> arrivals = nullptr);
 
-  /// PRIMARY push-server ingestion: delivers a whole batch of rows to the
-  /// named stream under one lock/lookup, routed batch-at-a-time through the
-  /// dataflow. Validation is atomic: every row is checked against the
-  /// stream's schema before any is ingested, so a kInvalidArgument return
-  /// means NO row of the batch entered the engine. Timestamps must be
-  /// non-decreasing across rows and calls. kNotFound for an unknown
-  /// stream; kFailedPrecondition for a closed stream.
+  /// Starts a column-wise batch bound to the named stream's schema.
+  /// kNotFound for an unknown stream; kFailedPrecondition for a closed
+  /// stream.
+  Result<BatchBuilder> NewBatch(const std::string& stream);
+
+  /// PRIMARY push-server ingestion: ingests a built batch under one
+  /// lock/lookup, routed batch-at-a-time through the dataflow in columnar
+  /// form. Every row was validated by BatchBuilder::Append, so ingestion is
+  /// all-or-nothing by construction. Timestamps must be non-decreasing
+  /// across rows and calls. An empty builder is a no-op. kNotFound /
+  /// kFailedPrecondition as for NewBatch (the stream may have closed in
+  /// between).
+  Status PushBuilt(BatchBuilder&& batch);
+
+  /// COMPAT row-oriented wrapper over the columnar ingest path: delivers a
+  /// whole batch of row-shaped TupleBatchRows. Validation is atomic: every
+  /// row is checked against the stream's schema before any is ingested, so
+  /// a kInvalidArgument return ("row i of n: ...") means NO row of the
+  /// batch entered the engine. Timestamps must be non-decreasing across
+  /// rows and calls. kNotFound for an unknown stream; kFailedPrecondition
+  /// for a closed stream.
   Status PushBatch(const std::string& stream, std::vector<TupleBatchRow> rows);
 
-  /// Single-row convenience wrapper over PushBatch (a batch of one).
+  /// COMPAT single-row convenience wrapper over PushBatch (a batch of one).
   Status Push(const std::string& stream, std::vector<Value> values,
               Timestamp timestamp);
 
@@ -234,6 +291,8 @@ class TelegraphCQ {
     std::unique_ptr<StreamStore> spool;
     bool closed = false;
     Counter* ingested = nullptr;
+    /// Background-spool append failures — counted, never silently dropped.
+    Counter* spool_failed = nullptr;
   };
   /// What Introspect() and Cancel() need to remember about a submitted
   /// query. Windowed queries own their dispatch unit and execution object.

@@ -1,0 +1,47 @@
+#include "tuple/tuple_batch.h"
+
+namespace tcq {
+
+void TupleBatch::EnsureRows() const {
+  if (rows_valid_) return;
+  assert(cols_ != nullptr);
+  rows_.clear();
+  rows_.reserve(cols_->num_rows());
+  for (size_t r = 0; r < cols_->num_rows(); ++r) {
+    rows_.push_back(cols_->MaterializeRow(r));
+  }
+  rows_valid_ = true;
+}
+
+const ColumnStore::Ref& TupleBatch::columns() const {
+  static const ColumnStore::Ref kNull;
+  if (cols_ != nullptr) return cols_;
+  if (cols_failed_) return kNull;
+  if (!rows_valid_ || rows_.empty()) return kNull;
+  cols_ = ColumnStore::FromRows(rows_.data(), rows_.size());
+  if (cols_ == nullptr) {
+    cols_failed_ = true;
+    return kNull;
+  }
+  return cols_;
+}
+
+TupleBatch TupleBatch::Filter(const SelectionVector& sel) const {
+  assert(sel.size() == size());
+  TupleBatch out(source_);
+  size_t keep = sel.CountSelected();
+  if (keep == 0) return out;
+  out.rows_.reserve(keep);
+  if (rows_valid_) {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (sel.Test(i)) out.rows_.push_back(rows_[i]);
+    }
+  } else {
+    for (size_t i = 0; i < cols_->num_rows(); ++i) {
+      if (sel.Test(i)) out.rows_.push_back(cols_->MaterializeRow(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace tcq

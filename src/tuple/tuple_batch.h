@@ -1,46 +1,66 @@
-// TupleBatch: a contiguous run of tuples from ONE base stream, the unit the
-// batched dataflow pipeline moves end-to-end (wrapper -> fjords -> executor
-// -> shared eddy). Propagating batches amortizes the per-tuple lock
+// TupleBatch: a run of tuples from ONE base stream, the unit the batched
+// dataflow pipeline moves end-to-end (wrapper -> fjords -> executor ->
+// shared eddy). Propagating batches amortizes the per-tuple lock
 // acquisition, catalog lookup, and routing decision that otherwise dominate
 // the ingest hot path, while per-tuple semantics are preserved (every batch
 // entry point degrades to a batch of one).
 //
-// Small batches (the common case for low-rate streams flushed on delay) live
-// in an inline buffer; only batches larger than kInlineCapacity allocate.
+// Since DESIGN.md §11 a batch carries up to two representations of the same
+// rows:
+//   - row-shaped:   std::vector<Tuple>, the legacy layout every operator
+//                   still understands;
+//   - column-major: an immutable shared ColumnStore (one contiguous typed
+//                   lane per attribute over a per-batch arena), the layout
+//                   the vectorized filter kernels sweep.
+// At least one representation is always present; the other is materialized
+// lazily on first demand and cached. Mutating the rows (push_back, DropFront,
+// non-const element access) invalidates the cached columns; the columns
+// themselves are immutable and shared by reference, so copying a batch never
+// duplicates lane storage.
 
 #pragma once
 
-#include <array>
 #include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
 
+#include "tuple/column_store.h"
 #include "tuple/tuple.h"
 
 namespace tcq {
 
 class TupleBatch {
  public:
-  /// Batches at or below this size never touch the heap.
-  static constexpr size_t kInlineCapacity = 8;
-
   TupleBatch() = default;
   explicit TupleBatch(SourceId source) : source_(source) {}
 
-  TupleBatch(const TupleBatch& other) { CopyFrom(other); }
-  TupleBatch& operator=(const TupleBatch& other) {
-    if (this != &other) {
-      clear();
-      CopyFrom(other);
-    }
-    return *this;
+  /// Wraps an already-columnar payload (server BatchBuilder, zero-copy
+  /// re-tag). Rows materialize lazily if some consumer still needs them.
+  TupleBatch(SourceId source, ColumnStore::Ref columns)
+      : source_(source), cols_(std::move(columns)) {
+    rows_valid_ = (cols_ == nullptr);
   }
-  TupleBatch(TupleBatch&& other) noexcept { MoveFrom(std::move(other)); }
+
+  TupleBatch(const TupleBatch& other) = default;
+  TupleBatch& operator=(const TupleBatch& other) = default;
+
+  TupleBatch(TupleBatch&& other) noexcept
+      : source_(other.source_),
+        rows_(std::move(other.rows_)),
+        rows_valid_(other.rows_valid_),
+        cols_(std::move(other.cols_)),
+        cols_failed_(other.cols_failed_) {
+    other.ResetToEmpty();
+  }
   TupleBatch& operator=(TupleBatch&& other) noexcept {
     if (this != &other) {
-      clear();
-      MoveFrom(std::move(other));
+      source_ = other.source_;
+      rows_ = std::move(other.rows_);
+      rows_valid_ = other.rows_valid_;
+      cols_ = std::move(other.cols_);
+      cols_failed_ = other.cols_failed_;
+      other.ResetToEmpty();
     }
     return *this;
   }
@@ -50,104 +70,122 @@ class TupleBatch {
   SourceId source() const { return source_; }
   void set_source(SourceId source) { source_ = source; }
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const {
+    if (rows_valid_) return rows_.size();
+    return cols_ ? cols_->num_rows() : 0;
+  }
+  bool empty() const { return size() == 0; }
 
   void push_back(Tuple t) {
-    if (size_ < kInlineCapacity) {
-      inline_[size_] = std::move(t);
-    } else {
-      if (size_ == kInlineCapacity && heap_.empty()) Spill();
-      heap_.push_back(std::move(t));
-    }
-    ++size_;
+    EnsureRows();
+    InvalidateColumns();
+    rows_.push_back(std::move(t));
   }
 
+  /// Mutable element access invalidates the cached columnar view.
   Tuple& operator[](size_t i) {
-    assert(i < size_);
-    return data()[i];
+    EnsureRows();
+    InvalidateColumns();
+    assert(i < rows_.size());
+    return rows_[i];
   }
   const Tuple& operator[](size_t i) const {
-    assert(i < size_);
-    return data()[i];
+    EnsureRows();
+    assert(i < rows_.size());
+    return rows_[i];
   }
   const Tuple& front() const { return (*this)[0]; }
-  const Tuple& back() const { return (*this)[size_ - 1]; }
+  const Tuple& back() const { return (*this)[size() - 1]; }
 
-  /// Contiguous storage: inline until the batch spills, heap after.
-  /// Invariant: elements live in heap_ iff heap_ is non-empty.
-  Tuple* data() { return heap_.empty() ? inline_.data() : heap_.data(); }
+  /// Contiguous row storage. The non-const overload hands out mutable rows,
+  /// so it drops the cached columns; prefer RowAt()/columns() on read paths
+  /// to keep columnar-native batches unmaterialized.
+  Tuple* data() {
+    EnsureRows();
+    InvalidateColumns();
+    return rows_.data();
+  }
   const Tuple* data() const {
-    return heap_.empty() ? inline_.data() : heap_.data();
+    EnsureRows();
+    return rows_.data();
   }
 
   Tuple* begin() { return data(); }
-  Tuple* end() { return data() + size_; }
+  Tuple* end() {
+    Tuple* d = data();
+    return d + rows_.size();
+  }
   const Tuple* begin() const { return data(); }
-  const Tuple* end() const { return data() + size_; }
+  const Tuple* end() const { return data() + size(); }
+
+  /// One row, without forcing full row materialization of a columnar-native
+  /// batch. Cheap (shared payload copy) when rows exist; builds one Tuple
+  /// from the lanes otherwise.
+  Tuple RowAt(size_t i) const {
+    if (rows_valid_) {
+      assert(i < rows_.size());
+      return rows_[i];
+    }
+    assert(cols_ && i < cols_->num_rows());
+    return cols_->MaterializeRow(i);
+  }
+
+  /// The column-major view of this batch, built on first demand. Returns
+  /// nullptr when the rows are not columnarizable (mixed schema identities,
+  /// invalid tuples, empty batch); the negative result is cached until the
+  /// next mutation.
+  const ColumnStore::Ref& columns() const;
+
+  /// Rows selected by `sel` (byte mask, sel.size() == size()), preserving
+  /// order and the source tag. Columnar-native batches materialize only the
+  /// selected rows — dropped rows are never copied.
+  TupleBatch Filter(const SelectionVector& sel) const;
 
   void clear() {
-    for (size_t i = 0; i < size_ && i < kInlineCapacity; ++i) {
-      inline_[i] = Tuple();
-    }
-    heap_.clear();
-    size_ = 0;
+    rows_.clear();
+    rows_valid_ = true;
+    cols_ = nullptr;
+    cols_failed_ = false;
   }
 
   void reserve(size_t n) {
-    if (n > kInlineCapacity) {
-      if (heap_.empty() && size_ > 0) Spill();
-      heap_.reserve(n);
-    }
+    EnsureRows();
+    rows_.reserve(n);
   }
 
   /// Drops the first `n` tuples (used after a partial batch enqueue).
   void DropFront(size_t n) {
-    assert(n <= size_);
+    assert(n <= size());
     if (n == 0) return;
-    Tuple* d = data();
-    for (size_t i = n; i < size_; ++i) d[i - n] = std::move(d[i]);
-    if (heap_.empty()) {
-      for (size_t i = size_ - n; i < size_; ++i) inline_[i] = Tuple();
-    } else {
-      heap_.resize(size_ - n);
-    }
-    size_ -= n;
+    EnsureRows();
+    InvalidateColumns();
+    rows_.erase(rows_.begin(), rows_.begin() + static_cast<ptrdiff_t>(n));
   }
 
  private:
-  /// Moves the inline elements into heap_ (called when the batch outgrows
-  /// the inline buffer).
-  void Spill() {
-    heap_.reserve(kInlineCapacity * 2);
-    for (size_t i = 0; i < size_; ++i) {
-      heap_.push_back(std::move(inline_[i]));
-      inline_[i] = Tuple();
-    }
+  /// Materializes the row representation from the columns (lazy; const
+  /// because it only fills a cache).
+  void EnsureRows() const;
+
+  void InvalidateColumns() {
+    cols_ = nullptr;
+    cols_failed_ = false;
   }
 
-  void CopyFrom(const TupleBatch& other) {
-    source_ = other.source_;
-    reserve(other.size_);
-    for (size_t i = 0; i < other.size_; ++i) push_back(other[i]);
-  }
-
-  void MoveFrom(TupleBatch&& other) {
-    source_ = other.source_;
-    if (!other.heap_.empty()) {
-      heap_ = std::move(other.heap_);
-    } else {
-      inline_ = std::move(other.inline_);
-    }
-    size_ = other.size_;
-    other.heap_.clear();
-    other.size_ = 0;
+  void ResetToEmpty() {
+    rows_.clear();
+    rows_valid_ = true;
+    cols_ = nullptr;
+    cols_failed_ = false;
   }
 
   SourceId source_ = 0;
-  size_t size_ = 0;
-  std::array<Tuple, kInlineCapacity> inline_;
-  std::vector<Tuple> heap_;
+  // Invariant: rows_valid_ || cols_ != nullptr (an empty batch is
+  // rows_valid_ with no rows). Both may be set: they describe the same rows.
+  mutable std::vector<Tuple> rows_;
+  mutable bool rows_valid_ = true;
+  mutable ColumnStore::Ref cols_;
+  mutable bool cols_failed_ = false;  ///< FromRows declined; don't retry
 };
 
 }  // namespace tcq

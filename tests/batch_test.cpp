@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
+#include <map>
 #include <thread>
 
 #include "cacq/shared_eddy.h"
@@ -14,9 +16,13 @@
 #include "eddy/eddy.h"
 #include "exec/executor.h"
 #include "fjords/fjord.h"
+#include "operators/grouped_filter.h"
+#include "operators/predicate.h"
+#include "operators/selection.h"
 #include "psoup/psoup.h"
 #include "reference/reference.h"
 #include "server/telegraphcq.h"
+#include "tuple/column_store.h"
 #include "tuple/tuple_batch.h"
 
 namespace tcq {
@@ -27,10 +33,17 @@ using testref::NaiveFilter;
 using testref::NaiveJoin;
 
 SchemaRef Sch(SourceId source) {
-  return Schema::Make({
-      {"k", ValueType::kInt64, source},
-      {"v", ValueType::kInt64, source},
-  });
+  // One shared schema object per source: tuples of a real stream share their
+  // schema pointer, and ColumnStore::FromRows columnarizes only such batches.
+  static std::map<SourceId, SchemaRef> cache;
+  SchemaRef& s = cache[source];
+  if (s == nullptr) {
+    s = Schema::Make({
+        {"k", ValueType::kInt64, source},
+        {"v", ValueType::kInt64, source},
+    });
+  }
+  return s;
 }
 
 Tuple Row(SourceId source, int64_t k, int64_t v, Timestamp ts) {
@@ -69,16 +82,15 @@ std::vector<TupleBatch> Batched(const std::vector<Tuple>& stream,
 // ---------------------------------------------------------------------------
 // TupleBatch container semantics.
 
-TEST(TupleBatchTest, InlineThenSpillToHeapKeepsContiguityAndOrder) {
+TEST(TupleBatchTest, PushBackKeepsContiguityAndOrder) {
   TupleBatch batch;
   batch.set_source(3);
   for (int i = 0; i < 20; ++i) {
     batch.push_back(Row(3, i, i * 10, i));
   }
   ASSERT_EQ(batch.size(), 20u);
-  ASSERT_GT(batch.size(), TupleBatch::kInlineCapacity);
   EXPECT_EQ(batch.source(), 3u);
-  // data() is one contiguous run regardless of the inline/heap transition.
+  // data() is one contiguous run of rows.
   const Tuple* base = batch.data();
   for (size_t i = 0; i < batch.size(); ++i) {
     EXPECT_EQ(&batch[i], base + i);
@@ -562,6 +574,387 @@ TEST(ServerBatchTest, IntrospectReportsPerStreamStats) {
   // The per-stream drop counter exists in the registry even when zero.
   EXPECT_EQ(view.metrics.CounterFamilySum("tcq_executor_stream_dropped_total"),
             0u);
+}
+
+// ---------------------------------------------------------------------------
+// Columnar representation (DESIGN.md §11): row<->column round trips must be
+// value- AND type-exact, selection filtering must pin the exact row multiset,
+// and every kernel dispatch (grouped filter, eddy prefilter) must agree with
+// the scalar path it replaces.
+
+SchemaRef MixedSchema(SourceId source) {
+  return Schema::Make({
+      {"i", ValueType::kInt64, source},
+      {"d", ValueType::kDouble, source},
+      {"s", ValueType::kString, source},
+      {"b", ValueType::kBool, source},
+  });
+}
+
+std::vector<Tuple> RandomMixedStream(SourceId source, size_t n, uint64_t seed,
+                                     double null_rate) {
+  Rng rng(seed);
+  SchemaRef schema = MixedSchema(source);
+  std::vector<Tuple> out;
+  for (size_t i = 0; i < n; ++i) {
+    auto nullable = [&](Value v) {
+      return rng.Bernoulli(null_rate) ? Value::Null() : v;
+    };
+    out.push_back(Tuple::Make(
+        schema,
+        {nullable(Value::Int64(rng.UniformInt(-1000, 1000))),
+         nullable(Value::Double(rng.UniformDouble(-5.0, 5.0))),
+         nullable(Value::String("s" + std::to_string(rng.UniformInt(0, 9)))),
+         nullable(Value::Bool(rng.Bernoulli(0.5)))},
+        static_cast<Timestamp>(i)));
+  }
+  return out;
+}
+
+TEST(ColumnarBatchTest, RowColumnRoundTripIsValueAndTypeExact) {
+  for (uint64_t seed : {101u, 102u, 103u}) {
+    auto stream = RandomMixedStream(0, 120, seed, seed == 103u ? 0.25 : 0.0);
+    TupleBatch batch(0);
+    for (const Tuple& t : stream) batch.push_back(t);
+
+    const ColumnStore::Ref& cols = batch.columns();
+    ASSERT_NE(cols, nullptr);
+    ASSERT_EQ(cols->num_rows(), stream.size());
+    for (size_t r = 0; r < stream.size(); ++r) {
+      Tuple round = cols->MaterializeRow(r);
+      ASSERT_EQ(round.num_fields(), stream[r].num_fields());
+      EXPECT_EQ(round.timestamp(), stream[r].timestamp());
+      for (size_t c = 0; c < stream[r].num_fields(); ++c) {
+        // Type-exact, not just Compare-equal: a lane that silently promoted
+        // int64 to double would still Compare equal but break downstream
+        // type dispatch.
+        EXPECT_EQ(round.at(c).type(), stream[r].at(c).type())
+            << "seed " << seed << " row " << r << " col " << c;
+        EXPECT_EQ(round.at(c), stream[r].at(c))
+            << "seed " << seed << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST(ColumnarBatchTest, ColumnarConstructedBatchReadsBackBuilderInput) {
+  ColumnStoreBuilder builder(Sch(0));
+  for (int64_t i = 0; i < 10; ++i) {
+    builder.AppendTimestamp(i);
+    ASSERT_TRUE(builder.Append(0, Value::Int64(i)));
+    ASSERT_TRUE(builder.Append(1, Value::Int64(i * 7)));
+  }
+  ColumnStore::Ref cols = builder.Finish();
+  ASSERT_NE(cols, nullptr);
+
+  TupleBatch batch(0, cols);
+  ASSERT_EQ(batch.size(), 10u);
+  EXPECT_FALSE(batch.empty());
+  // Column-backed read paths never materialize copies of the store.
+  EXPECT_EQ(batch.columns().get(), cols.get());
+  TupleBatch copy = batch;
+  EXPECT_EQ(copy.columns().get(), cols.get());  // copies share the store
+  for (size_t r = 0; r < batch.size(); ++r) {
+    Tuple t = batch.RowAt(r);
+    EXPECT_EQ(t.Get("k").AsInt64(), static_cast<int64_t>(r));
+    EXPECT_EQ(t.Get("v").AsInt64(), static_cast<int64_t>(r) * 7);
+    EXPECT_EQ(t.timestamp(), static_cast<Timestamp>(r));
+  }
+}
+
+TEST(ColumnarBatchTest, FilterSelectsExactRowMultisetOnBothBackings) {
+  auto stream = RandomMixedStream(0, 200, 42, 0.1);
+  TupleBatch row_backed(0);
+  for (const Tuple& t : stream) row_backed.push_back(t);
+  TupleBatch col_backed(0, row_backed.columns());
+  ASSERT_NE(col_backed.columns(), nullptr);
+
+  Rng rng(43);
+  SelectionVector sel(stream.size(), false);
+  std::vector<Tuple> expected;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    if (rng.Bernoulli(0.4)) {
+      sel.Set(i);
+      expected.push_back(stream[i]);
+    }
+  }
+  for (const TupleBatch* src : {&row_backed, &col_backed}) {
+    TupleBatch kept = src->Filter(sel);
+    EXPECT_EQ(kept.source(), src->source());
+    ASSERT_EQ(kept.size(), expected.size());
+    std::vector<Tuple> got(kept.begin(), kept.end());
+    EXPECT_EQ(CanonicalMultiset(got), CanonicalMultiset(expected));
+  }
+
+  SelectionVector none(stream.size(), false);
+  TupleBatch empty = row_backed.Filter(none);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.source(), row_backed.source());
+}
+
+TEST(ColumnarBatchTest, MutationDropsAndRebuildsColumnCache) {
+  TupleBatch batch(0);
+  batch.push_back(Row(0, 1, 10, 1));
+  const ColumnStore::Ref before = batch.columns();
+  ASSERT_NE(before, nullptr);
+  batch.push_back(Row(0, 2, 20, 2));
+  const ColumnStore::Ref& after = batch.columns();
+  ASSERT_NE(after, nullptr);
+  EXPECT_NE(after.get(), before.get());  // cache was invalidated, not stale
+  EXPECT_EQ(after->num_rows(), 2u);
+  EXPECT_EQ(after->ValueAt(0, 1).AsInt64(), 2);
+
+  TupleBatch empty(0);
+  EXPECT_EQ(empty.columns(), nullptr);  // no columnar form for zero rows
+}
+
+// ---------------------------------------------------------------------------
+// GroupedFilter::MatchBatch vs per-row Match: the columnar count-sweep
+// kernels (and every guard that routes around them) must reproduce the
+// scalar QuerySet exactly.
+
+TEST(GroupedFilterBatchTest, MatchBatchAgreesWithMatchOnRandomFactors) {
+  Rng rng(71);
+  GroupedFilter gf({0, "x"});
+  QueryId q = 0;
+  const CmpOp kOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                        CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+  for (int i = 0; i < 40; ++i) {
+    CmpOp op = kOps[rng.UniformInt(0, 5)];
+    Value lit = rng.Bernoulli(0.5)
+                    ? Value::Int64(rng.UniformInt(-100, 100))
+                    : Value::Double(rng.UniformDouble(-100.0, 100.0));
+    gf.AddFactor(q++, op, std::move(lit));
+  }
+  for (int i = 0; i < 15; ++i) {
+    int64_t lo = rng.UniformInt(-100, 50);
+    Value lo_v = rng.Bernoulli(0.5) ? Value::Int64(lo)
+                                    : Value::Double(static_cast<double>(lo));
+    Value hi_v = rng.Bernoulli(0.5)
+                     ? Value::Int64(lo + rng.UniformInt(0, 100))
+                     : Value::Double(lo + rng.UniformDouble(0.0, 100.0));
+    gf.AddRange(q++, std::move(lo_v), rng.Bernoulli(0.5), std::move(hi_v),
+                rng.Bernoulli(0.5));
+  }
+  // Guard-tripping factors: a double literal past 2^53 (exact-int compare
+  // diverges from double rounding) and a NaN literal (Value::Compare says
+  // NaN == everything). Both must force the scalar path, not wrong answers.
+  gf.AddFactor(q++, CmpOp::kGt, Value::Double(9007199254740993.0));
+  gf.AddFactor(q++, CmpOp::kEq, Value::Double(std::nan("")));
+
+  auto check_lane = [&](const char* what, const Column& col, size_t n) {
+    std::vector<QuerySet> batch_out(n);
+    gf.MatchBatch(col, n, batch_out.data());
+    for (size_t r = 0; r < n; ++r) {
+      QuerySet expect;
+      gf.Match(col.ValueAt(r), &expect);
+      EXPECT_EQ(batch_out[r], expect) << what << " row " << r;
+    }
+  };
+
+  SchemaRef int_sch = Schema::Make({{"x", ValueType::kInt64, 0}});
+  ColumnStoreBuilder ib(int_sch);
+  for (int i = 0; i < 300; ++i) {
+    ib.AppendTimestamp(i);
+    ASSERT_TRUE(ib.Append(0, Value::Int64(rng.UniformInt(-120, 120))));
+  }
+  ColumnStore::Ref int_cols = ib.Finish();
+  ASSERT_NE(int_cols, nullptr);
+  check_lane("int64 lane", int_cols->column(0), int_cols->num_rows());
+
+  SchemaRef dbl_sch = Schema::Make({{"x", ValueType::kDouble, 0}});
+  ColumnStoreBuilder db(dbl_sch);
+  for (int i = 0; i < 300; ++i) {
+    db.AppendTimestamp(i);
+    ASSERT_TRUE(db.Append(0, Value::Double(rng.UniformDouble(-120.0, 120.0))));
+  }
+  ColumnStore::Ref dbl_cols = db.Finish();
+  ASSERT_NE(dbl_cols, nullptr);
+  check_lane("double lane", dbl_cols->column(0), dbl_cols->num_rows());
+}
+
+TEST(GroupedFilterBatchTest, MatchBatchFallsBackOnNullAndNaNLanes) {
+  GroupedFilter gf({0, "x"});
+  gf.AddFactor(0, CmpOp::kGe, Value::Int64(10));
+  gf.AddFactor(1, CmpOp::kLt, Value::Double(25.5));
+  gf.AddRange(2, Value::Int64(5), true, Value::Int64(40), false);
+
+  // A lane containing NaN data: Value::Compare reports NaN equal to
+  // everything, which IEEE kernels cannot reproduce — dispatch must take the
+  // scalar path and still agree with per-row Match.
+  SchemaRef dbl_sch = Schema::Make({{"x", ValueType::kDouble, 0}});
+  ColumnStoreBuilder db(dbl_sch);
+  Rng rng(77);
+  for (int i = 0; i < 64; ++i) {
+    db.AppendTimestamp(i);
+    Value v = i == 17 ? Value::Double(std::nan(""))
+                      : Value::Double(rng.UniformDouble(0.0, 50.0));
+    ASSERT_TRUE(db.Append(0, std::move(v)));
+  }
+  ColumnStore::Ref nan_cols = db.Finish();
+  ASSERT_NE(nan_cols, nullptr);
+  ASSERT_FALSE(nan_cols->column(0).has_nulls());
+
+  // A lane containing nulls: kernels have no null story, scalar fallback.
+  SchemaRef int_sch = Schema::Make({{"x", ValueType::kInt64, 0}});
+  ColumnStoreBuilder ib(int_sch);
+  for (int i = 0; i < 64; ++i) {
+    ib.AppendTimestamp(i);
+    Value v = i % 9 == 0 ? Value::Null()
+                         : Value::Int64(rng.UniformInt(0, 50));
+    ASSERT_TRUE(ib.Append(0, std::move(v)));
+  }
+  ColumnStore::Ref null_cols = ib.Finish();
+  ASSERT_NE(null_cols, nullptr);
+  ASSERT_TRUE(null_cols->column(0).has_nulls());
+
+  for (const auto& [what, cols] :
+       {std::pair{"NaN lane", nan_cols}, std::pair{"null lane", null_cols}}) {
+    const Column& col = cols->column(0);
+    const size_t n = cols->num_rows();
+    std::vector<QuerySet> batch_out(n);
+    gf.MatchBatch(col, n, batch_out.data());
+    for (size_t r = 0; r < n; ++r) {
+      QuerySet expect;
+      gf.Match(col.ValueAt(r), &expect);
+      EXPECT_EQ(batch_out[r], expect) << what << " row " << r;
+    }
+  }
+}
+
+TEST(BatchEquivalenceTest, EddyColumnarPrefilterMatchesPerTuple) {
+  auto stream = RandomStream(0, 400, 100, 21);
+  auto p_kernel = MakeCompareConst({0, "k"}, CmpOp::kLt, Value::Int64(70));
+  auto p_range = MakeRange({0, "v"}, Value::Int64(10), Value::Int64(90),
+                           /*lo_inclusive=*/true, /*hi_inclusive=*/false);
+  auto p_costly = MakeCompareConst({0, "v"}, CmpOp::kNe, Value::Int64(55));
+
+  auto run = [&](size_t batch_size) {
+    Eddy eddy(MakeLotteryPolicy(5));
+    // Two zero-cost kernelizable selections (absorbed by the columnar
+    // prefilter on batches >= kPrefilterMinRows) plus a costful one that
+    // must still burn through Drain.
+    eddy.AddModule(std::make_unique<Selection>("kLt", p_kernel));
+    eddy.AddModule(std::make_unique<Selection>("vRange", p_range));
+    eddy.AddModule(std::make_unique<Selection>("vNe", p_costly,
+                                               /*cost_loops=*/3));
+    std::vector<Tuple> results;
+    eddy.SetOutput([&](const Tuple& t) { results.push_back(t); });
+    if (batch_size == 0) {
+      for (const Tuple& t : stream) eddy.Ingest(0, t);
+    } else {
+      for (const TupleBatch& b : Batched(stream, 0, batch_size)) {
+        eddy.IngestBatch(b);
+      }
+    }
+    return results;
+  };
+
+  // The prefilter only engages on batches that columnarize; guard against a
+  // test-helper regression (distinct schema pointers defeat FromRows).
+  ASSERT_NE(Batched(stream, 0, 37).front().columns(), nullptr);
+
+  auto expected = NaiveFilter(stream, {p_kernel, p_range, p_costly});
+  auto per_tuple = run(0);
+  auto batched = run(37);                        // prefilter engaged
+  auto tiny = run(Eddy::kPrefilterMinRows - 1);  // below threshold: Drain only
+  EXPECT_EQ(CanonicalMultiset(per_tuple), CanonicalMultiset(expected));
+  EXPECT_EQ(CanonicalMultiset(batched), CanonicalMultiset(expected));
+  EXPECT_EQ(CanonicalMultiset(tiny), CanonicalMultiset(expected));
+}
+
+// ---------------------------------------------------------------------------
+// The redesigned batch-building API: NewBatch / BatchBuilder / PushBuilt.
+
+TEST(ServerBatchTest, PushBuiltMatchesPushBatchResults) {
+  auto run = [](bool built) {
+    TelegraphCQ server;
+    EXPECT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+    auto handle = server.Submit(
+        "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+        "WHERE stockSymbol = 'MSFT' AND closingPrice > 45.0");
+    EXPECT_TRUE(handle.ok()) << handle.status();
+    server.Start();
+    if (built) {
+      auto batch = server.NewBatch("ClosingStockPrices");
+      EXPECT_TRUE(batch.ok()) << batch.status();
+      if (!batch.ok()) return size_t{0};
+      EXPECT_EQ(batch->stream(), "ClosingStockPrices");
+      for (Timestamp d = 1; d <= 30; ++d) {
+        EXPECT_TRUE(batch
+                        ->Append(d, {Value::TimestampVal(d),
+                                     Value::String("MSFT"),
+                                     Value::Double(50.0)})
+                        .ok());
+        EXPECT_TRUE(batch
+                        ->Append(d, {Value::TimestampVal(d),
+                                     Value::String("AAPL"),
+                                     Value::Double(d % 2 == 0 ? 60.0 : 40.0)})
+                        .ok());
+      }
+      EXPECT_EQ(batch->num_rows(), 60u);
+      EXPECT_TRUE(server.PushBuilt(std::move(*batch)).ok());
+    } else {
+      std::vector<TelegraphCQ::TupleBatchRow> rows;
+      for (Timestamp d = 1; d <= 30; ++d) {
+        rows.push_back(StockRow(d, "MSFT", 50.0));
+        rows.push_back(StockRow(d, "AAPL", d % 2 == 0 ? 60.0 : 40.0));
+      }
+      EXPECT_TRUE(
+          server.PushBatch("ClosingStockPrices", std::move(rows)).ok());
+    }
+    size_t got = DrainCount(handle->results.get(), 30, 2000);
+    server.Stop();
+    return got;
+  };
+  size_t via_rows = run(false);
+  size_t via_builder = run(true);
+  EXPECT_EQ(via_rows, 30u);
+  EXPECT_EQ(via_builder, via_rows);
+}
+
+TEST(ServerBatchTest, BatchBuilderRejectsBadRowsWithoutSideEffects) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+
+  EXPECT_TRUE(server.NewBatch("NoSuchStream").status().IsNotFound());
+
+  auto batch = server.NewBatch("ClosingStockPrices");
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_TRUE(
+      batch->Append(1, {Value::TimestampVal(1), Value::String("MSFT"),
+                        Value::Double(50.0)})
+          .ok());
+  // Arity mismatch and type mismatch: typed errors, and the builder keeps
+  // exactly the rows that were accepted (no partial appends).
+  EXPECT_TRUE(batch->Append(2, {Value::String("MSFT")})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(batch
+                  ->Append(2, {Value::TimestampVal(2), Value::Int64(7),
+                               Value::Double(50.0)})
+                  .IsInvalidArgument());
+  EXPECT_EQ(batch->num_rows(), 1u);
+
+  ASSERT_TRUE(server.CloseStream("ClosingStockPrices").ok());
+  // The stream closed between NewBatch and PushBuilt: typed refusal.
+  EXPECT_TRUE(server.PushBuilt(std::move(*batch)).IsFailedPrecondition());
+  // And a builder for a closed stream is refused up front.
+  EXPECT_TRUE(
+      server.NewBatch("ClosingStockPrices").status().IsFailedPrecondition());
+}
+
+TEST(ServerBatchTest, EmptyBuilderPushIsOkAndIngestsNothing) {
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  server.Start();
+  auto batch = server.NewBatch("ClosingStockPrices");
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_EQ(batch->num_rows(), 0u);
+  EXPECT_TRUE(server.PushBuilt(std::move(*batch)).ok());
+  server.Stop();
+  TelegraphCQ::Introspection view = server.Introspect();
+  ASSERT_EQ(view.streams.size(), 1u);
+  EXPECT_EQ(view.streams[0].tuples_in, 0u);
 }
 
 }  // namespace
