@@ -1,0 +1,124 @@
+// Latency-vs-exactness sweep across disorder bounds (DESIGN.md §12): one
+// stream whose arrivals are block-shuffled with actual disorder D = 63 is
+// consumed by an event-time tumbling-window query whose punctuations promise
+// `max_ts_seen - B` for B in {0, 8, 64, 512}. A small B lets windows fire
+// close behind the data (low watermark lag) but breaks the promise for
+// shuffled-back tuples, which are dropped as provably late; B >= D recovers
+// the exact in-order result at the cost of holding every window open B
+// timestamps longer. scripts/bench_disorder.sh turns this sweep into
+// BENCH_disorder.json.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "window/window_exec.h"
+
+namespace tcq::bench {
+namespace {
+
+constexpr size_t kN = 4096;          // tuples, timestamps 1..kN
+constexpr size_t kBlock = 64;        // shuffle block: max disorder kBlock-1
+constexpr Timestamp kWidth = 100;    // tumbling window width
+constexpr size_t kPunctEvery = 32;   // arrivals between punctuations
+
+WindowedQuery TumblingQuery() {
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0}, kWidth, kWidth,
+                                static_cast<Timestamp>(kN), kWidth);
+  q.loop.semantics = TimeSemantics::kEvent;
+  return q;
+}
+
+std::vector<Tuple> DisorderedStream(uint64_t seed) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    tuples.push_back(KVRow(0, static_cast<int64_t>(i % 7),
+                           static_cast<int64_t>(i % 100),
+                           static_cast<Timestamp>(i) + 1));
+  }
+  Rng rng(seed);
+  for (size_t i = 0; i < kN; i += kBlock) {
+    size_t end = std::min(i + kBlock, kN);
+    for (size_t j = end - 1; j > i; --j) {
+      std::swap(tuples[j], tuples[i + rng.UniformInt(0, j - i)]);
+    }
+  }
+  return tuples;
+}
+
+/// Tuples the in-order offline evaluation emits (the exactness denominator).
+size_t ReferenceTupleCount() {
+  std::map<SourceId, StreamHistory> history;
+  for (size_t i = 0; i < kN; ++i) {
+    history[0].Append(KVRow(0, static_cast<int64_t>(i % 7),
+                            static_cast<int64_t>(i % 100),
+                            static_cast<Timestamp>(i) + 1));
+  }
+  size_t total = 0;
+  for (const WindowResult& wr : RunOverHistory(TumblingQuery(), history)) {
+    total += wr.tuples.size();
+  }
+  return total;
+}
+
+void BM_DisorderBoundSweep(benchmark::State& state) {
+  const Timestamp bound = state.range(0);
+  const std::vector<Tuple> input = DisorderedStream(11);
+  const size_t ref = ReferenceTupleCount();
+
+  size_t emitted = 0;
+  uint64_t late = 0;
+  double lag_sum = 0;
+  size_t inflight_fires = 0;
+  for (auto _ : state) {
+    OnlineWindowRunner runner(TumblingQuery());
+    emitted = late = inflight_fires = 0;
+    lag_sum = 0;
+    Timestamp max_ts = kMinTimestamp;
+    size_t arrivals = 0;
+    for (const Tuple& t : input) {
+      runner.Ingest(0, t);
+      ++arrivals;
+      max_ts = std::max(max_ts, t.timestamp());
+      if (arrivals % kPunctEvery != 0) continue;
+      runner.OnPunctuation(Punctuation{0, max_ts - bound});
+      runner.Poll([&](const WindowResult& wr) {
+        emitted += wr.tuples.size();
+        // Watermark lag: how far arrivals had run past the window's right
+        // edge when it fired (timestamp units; arrivals ~ max_ts here).
+        lag_sum += static_cast<double>(max_ts - wr.t);
+        ++inflight_fires;
+      });
+    }
+    // Seal the tail so exactness counts every window (drops already
+    // happened at ingest); these end-of-stream fires carry no lag signal.
+    runner.AdvanceWatermark(0, kMaxTimestamp);
+    runner.Poll(
+        [&](const WindowResult& wr) { emitted += wr.tuples.size(); });
+    late = runner.late_dropped(OnlineWindowRunner::LateDrop::kBeyondBound);
+    benchmark::DoNotOptimize(emitted);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kN));
+  state.counters["exactness"] =
+      static_cast<double>(emitted) / static_cast<double>(ref);
+  state.counters["late_dropped"] = static_cast<double>(late);
+  state.counters["avg_fire_lag"] =
+      inflight_fires > 0 ? lag_sum / static_cast<double>(inflight_fires) : 0;
+  state.counters["inflight_fires"] = static_cast<double>(inflight_fires);
+}
+BENCHMARK(BM_DisorderBoundSweep)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tcq::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Bench smoke for event-time disorder tolerance (DESIGN.md §12): runs the
+# bench_disorder_sweep latency-vs-exactness sweep — an event-time tumbling
+# window over a block-shuffled stream (actual disorder 63), with punctuation
+# bounds B in {0, 8, 64, 512} — and writes BENCH_disorder.json at the repo
+# root. Acceptance: a bound covering the true disorder (B = 512 >= 63) must
+# be exact (exactness 1.0), an uncovering bound (B = 0) must show the loss
+# that buys its lower watermark lag, and lag must grow with the bound.
+#
+# Usage: scripts/bench_disorder.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+if [[ ! -x "$BUILD/bench/bench_disorder_sweep" ]]; then
+  echo "benchmarks not built; run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+MIN_TIME="${TCQ_BENCH_MIN_TIME:-0.3}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/bench_disorder_sweep" \
+  --benchmark_filter='BM_DisorderBoundSweep' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$TMP/sweep.json"
+
+python3 - "$TMP/sweep.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+rows = {}
+for b in doc.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    bound = int(b["name"].rsplit("/", 1)[-1])
+    rows[bound] = {
+        "name": b["name"],
+        "disorder_bound": bound,
+        "items_per_second": b.get("items_per_second"),
+        "exactness": b.get("exactness"),
+        "late_dropped": b.get("late_dropped"),
+        "avg_fire_lag": b.get("avg_fire_lag"),
+    }
+
+report = {
+    "workload": {
+        "tuples": 4096,
+        "actual_disorder": 63,
+        "window_width": 100,
+        "punctuation_every": 32,
+    },
+    "results": [rows[k] for k in sorted(rows)],
+}
+with open("BENCH_disorder.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+ok = True
+for r in report["results"]:
+    print(f"bound={r['disorder_bound']:>3}: exactness={r['exactness']:.3f} "
+          f"late_dropped={int(r['late_dropped'])} "
+          f"avg_fire_lag={r['avg_fire_lag']:.1f}")
+if not rows or 512 not in rows or 0 not in rows:
+    print("missing sweep points"); ok = False
+else:
+    if rows[512]["exactness"] < 0.999:
+        print("FAIL: covering bound (512) is not exact"); ok = False
+    if rows[0]["exactness"] >= 0.999:
+        print("FAIL: zero bound shows no exactness loss (no tradeoff)"); ok = False
+    if rows[512]["avg_fire_lag"] <= rows[0]["avg_fire_lag"]:
+        print("FAIL: watermark lag does not grow with the bound"); ok = False
+print("wrote BENCH_disorder.json")
+sys.exit(0 if ok else 1)
+PY

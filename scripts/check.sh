@@ -6,14 +6,15 @@
 #   1. tier-1 verify: configure + build + full ctest (ROADMAP.md)
 #   2. AddressSanitizer configure + build + ctest in a separate build dir
 #   3. ThreadSanitizer build running the concurrency-heavy suites
-#      (exec, exec_lifecycle, exec_sharding, fjords, cacq, obs) — must be
-#      TSan-clean
+#      (exec, exec_lifecycle, exec_sharding, fjords, cacq, obs, window,
+#      plus the event-time server suite) — must be TSan-clean
 #   4. UBSan build running the trace/queue/routing suites (the seqlock ring
 #      and histogram interpolation are the prime UB suspects)
 #   5. bench smoke: batched-vs-per-tuple comparison -> BENCH_batching.json,
 #      class lifecycle (merge/GC/rebalance) -> BENCH_exec_lifecycle.json,
 #      tracing overhead -> BENCH_tracing.json,
 #      shard scaling (1/2/4/8 replicas) -> BENCH_cacq_scaling.json,
+#      event-time disorder latency/exactness sweep -> BENCH_disorder.json,
 #      plus a quick 2-shard correctness smoke
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan] [--no-ubsan] [--no-bench]
@@ -83,12 +84,16 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DTCQ_SANITIZE=thread
   cmake --build build-tsan -j --target \
     exec_test exec_lifecycle_test exec_sharding_test fjords_test cacq_test \
-    obs_test
+    obs_test window_test server_test
   for t in exec_test exec_lifecycle_test exec_sharding_test fjords_test \
-           cacq_test obs_test; do
+           cacq_test obs_test window_test; do
     echo "-- tsan: $t"
     ./build-tsan/tests/"$t"
   done
+  # Punctuations flow source -> fjord -> class -> window -> egress across
+  # threads; the event-time server suite pins that end-to-end under TSan.
+  echo "-- tsan: server_test (event-time suite)"
+  ./build-tsan/tests/server_test --gtest_filter='EventTimeServerTest.*'
 fi
 
 if [[ "$RUN_UBSAN" == 1 ]]; then
@@ -110,6 +115,8 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   scripts/bench_tracing.sh build
   echo "== bench smoke: BENCH_cacq_scaling.json =="
   scripts/bench_cacq_scaling.sh build
+  echo "== bench smoke: BENCH_disorder.json =="
+  scripts/bench_disorder.sh build
   echo "== 2-shard correctness smoke =="
   ./build/tests/exec_sharding_test \
     --gtest_filter='ExecShardingTest.ShardedJoinMatchesSingleShardAndReference'

@@ -298,6 +298,16 @@ Status SharedEddy::RemoveQuery(QueryId id) {
 }
 
 void SharedEddy::Ingest(SourceId source, const Tuple& tuple) {
+  if (tuple.IsPunctuation()) {
+    // In-band control: never routed through modules or built into SteMs.
+    Punctuation p = tuple.AsPunctuation();
+    if (watermarks_.OnPunctuation(p) ==
+        WatermarkTracker::PunctResult::kAdvanced) {
+      if (control_sink_) control_sink_(p);
+      AdvanceTime(watermarks_.GlobalWatermark());
+    }
+    return;
+  }
   Timestamp seq = next_seq_++;
   auto it = streams_.find(source);
   assert(it != streams_.end() && "ingest on unregistered stream");
@@ -313,7 +323,26 @@ void SharedEddy::Ingest(SourceId source, const Tuple& tuple) {
 }
 
 void SharedEddy::IngestBatch(const TupleBatch& batch) {
-  if (batch.empty()) return;
+  if (!batch.empty()) IngestBatchRows(batch);
+  if (!batch.punctuations().empty()) ApplyPunctuations(batch);
+}
+
+void SharedEddy::ApplyPunctuations(const TupleBatch& batch) {
+  // The lane applies after the rows (its contract). Advanced watermarks
+  // fan out to the control sink; once all are applied, event-time SteM
+  // eviction runs at the new joint watermark (a no-op for unwindowed SteMs).
+  bool advanced = false;
+  for (const Punctuation& p : batch.punctuations()) {
+    if (watermarks_.OnPunctuation(p) ==
+        WatermarkTracker::PunctResult::kAdvanced) {
+      advanced = true;
+      if (control_sink_) control_sink_(p);
+    }
+  }
+  if (advanced) AdvanceTime(watermarks_.GlobalWatermark());
+}
+
+void SharedEddy::IngestBatchRows(const TupleBatch& batch) {
   auto it = streams_.find(batch.source());
   assert(it != streams_.end() && "ingest on unregistered stream");
   SteM* stem = it->second.stem.get();

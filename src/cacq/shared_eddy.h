@@ -24,6 +24,7 @@
 #include "operators/grouped_filter.h"
 #include "stem/stem.h"
 #include "tuple/tuple_batch.h"
+#include "window/time.h"
 
 namespace tcq {
 
@@ -159,6 +160,12 @@ class SharedEddy {
 
   void SetOutput(Sink sink) { sink_ = std::move(sink); }
 
+  /// Receives every punctuation that ADVANCED this eddy's watermark view
+  /// (duplicates/regressions filtered here, so downstream min-combines see
+  /// monotone per-source sequences).
+  using ControlSink = std::function<void(const Punctuation&)>;
+  void SetControlOutput(ControlSink sink) { control_sink_ = std::move(sink); }
+
   /// Adds a continuous query on the fly; returns its id.
   Result<QueryId> AddQuery(CQSpec spec);
 
@@ -178,7 +185,24 @@ class SharedEddy {
   /// for every envelope with identical lineage (same done-set, live-set and
   /// span); the eddy falls back to fresh per-tuple ranking as soon as a
   /// module expands an envelope, i.e. when SteM feedback changes mid-batch.
+  ///
+  /// The batch's control lane applies AFTER the rows: each punctuation feeds
+  /// the eddy's watermark tracker (regressions rejected + counted), advanced
+  /// ones forward to the control sink, and SteM event-time eviction runs at
+  /// the new global watermark.
   void IngestBatch(const TupleBatch& batch);
+
+  /// Event-time watermark view of this eddy (punctuation-driven). NOT part
+  /// of ExportState: after a repartition the importer conservatively
+  /// restarts at kMinTimestamp and re-earns watermarks from the next
+  /// punctuation broadcast — which can only delay downstream firing.
+  const WatermarkTracker& watermarks() const { return watermarks_; }
+  uint64_t punctuations_applied() const {
+    return watermarks_.punctuations_applied();
+  }
+  uint64_t punctuations_regressed() const {
+    return watermarks_.punctuations_regressed();
+  }
 
   /// Advances stream time: evicts shared SteM state per its window options.
   void AdvanceTime(Timestamp now);
@@ -277,6 +301,8 @@ class SharedEddy {
   ResidualFilterModule* ResidualModuleFor(SourceSet span);
   SteM* StemFor(SourceId source);
   size_t AddModule(std::unique_ptr<SharedModule> module);
+  void IngestBatchRows(const TupleBatch& batch);
+  void ApplyPunctuations(const TupleBatch& batch);
   void Drain();
   bool ComputeReady(const SharedEnvelope& env,
                     std::vector<size_t>* ready) const;
@@ -288,6 +314,8 @@ class SharedEddy {
   std::vector<std::unique_ptr<SharedModule>> modules_;
   std::vector<const RoutableStats*> module_stats_;
   Sink sink_;
+  ControlSink control_sink_;
+  WatermarkTracker watermarks_;
   Timestamp next_seq_ = 1;
   std::deque<SharedEnvelope> queue_;
   bool draining_ = false;

@@ -34,6 +34,10 @@ PushEgress::PushEgress(Options opts, MetricsRegistryRef metrics,
   shed_ = metrics_->GetCounter(shed_name);
   buffered_gauge_ = metrics_->GetGauge(
       MetricName("tcq_egress_buffered", "client", label));
+  punctuations_ = metrics_->GetCounter(
+      MetricName("tcq_egress_punctuations_total", "client", label));
+  retractions_ = metrics_->GetCounter(
+      MetricName("tcq_egress_retractions_total", "client", label));
 }
 
 bool PushEgress::Offer(const Delivery& delivery) {
@@ -59,6 +63,10 @@ bool PushEgress::Offer(const Delivery& delivery) {
         if (closed_) return false;
         break;
     }
+  }
+  if (delivery.tuple.valid()) {
+    if (delivery.tuple.IsPunctuation()) punctuations_->Inc();
+    if (delivery.tuple.IsRetraction()) retractions_->Inc();
   }
   queue_.push_back(delivery);
   delivered_->Inc();
@@ -106,6 +114,14 @@ void PushEgress::Close() {
 uint64_t PushEgress::delivered() const { return delivered_->Value(); }
 
 uint64_t PushEgress::shed() const { return shed_->Value(); }
+
+uint64_t PushEgress::punctuations_delivered() const {
+  return punctuations_->Value();
+}
+
+uint64_t PushEgress::retractions_delivered() const {
+  return retractions_->Value();
+}
 
 size_t PushEgress::buffered() const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -65,6 +65,11 @@ class PushEgress {
   uint64_t delivered() const;
   uint64_t shed() const;
   size_t buffered() const;
+  /// Control and revision tuples that passed through this client, counted
+  /// by kind: a disconnect-and-diff client uses these to know whether its
+  /// buffered answer set is still speculative.
+  uint64_t punctuations_delivered() const;
+  uint64_t retractions_delivered() const;
   const MetricsRegistryRef& metrics() const { return metrics_; }
 
  private:
@@ -76,6 +81,8 @@ class PushEgress {
   MetricsRegistryRef metrics_;
   Counter* delivered_;
   Counter* shed_;
+  Counter* punctuations_;
+  Counter* retractions_;
   Gauge* buffered_gauge_;
 };
 

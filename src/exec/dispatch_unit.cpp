@@ -63,6 +63,11 @@ SharedCQDispatchUnit::SharedCQDispatchUnit(std::string name,
   });
 }
 
+void SharedCQDispatchUnit::set_control_sink(
+    std::function<void(const Punctuation&)> sink) {
+  eddy_->SetControlOutput(std::move(sink));
+}
+
 void SharedCQDispatchUnit::BindSink(QueryId local, uint64_t global_id,
                                     GlobalSink sink) {
   sinks_[local] = {global_id, std::move(sink)};
@@ -169,12 +174,11 @@ DispatchUnit::StepResult EddyDispatchUnit::Step() {
 
 // --- WindowedQueryDispatchUnit -----------------------------------------------
 
-WindowedQueryDispatchUnit::WindowedQueryDispatchUnit(std::string name,
-                                                     WindowedQuery query,
-                                                     WindowSink sink,
-                                                     size_t quantum)
+WindowedQueryDispatchUnit::WindowedQueryDispatchUnit(
+    std::string name, WindowedQuery query, WindowSink sink, size_t quantum,
+    OnlineWindowRunner::Options runner_opts)
     : DispatchUnit(std::move(name)),
-      runner_(std::move(query)),
+      runner_(std::move(query), runner_opts),
       sink_(std::move(sink)),
       quantum_(quantum) {}
 
@@ -188,6 +192,8 @@ DispatchUnit::StepResult WindowedQueryDispatchUnit::Step() {
       inputs_, &next_input_, quantum_,
       [&](SourceId s, const TupleBatch& b, int64_t) {
         for (const Tuple& t : b) runner_.Ingest(s, t);
+        // Control lane applies after the rows (the lane's contract).
+        for (const Punctuation& p : b.punctuations()) runner_.OnPunctuation(p);
       });
   if (exhausted) {
     // End of streams: everything that will ever arrive has arrived.

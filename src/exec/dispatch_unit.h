@@ -97,6 +97,11 @@ class SharedCQDispatchUnit : public DispatchUnit {
   /// trace batch (sampling decided per batch). Call before the DU runs.
   void set_tracer(obs::TracerRef tracer) { tracer_ = std::move(tracer); }
 
+  /// Routes punctuations the eddy applies to a per-shard observer (the
+  /// sharded class's min-combine). Call before the DU runs; invoked from
+  /// the DU thread during IngestBatch.
+  void set_control_sink(std::function<void(const Punctuation&)> sink);
+
   /// Shard replica id this DU pumps (stamped on every sampled span). Call
   /// before the DU runs; defaults to 0 for unsharded classes.
   void set_shard(uint32_t shard) { shard_ = shard; }
@@ -178,8 +183,10 @@ class WindowedQueryDispatchUnit : public DispatchUnit {
  public:
   using WindowSink = std::function<void(const WindowResult&)>;
 
-  WindowedQueryDispatchUnit(std::string name, WindowedQuery query,
-                            WindowSink sink, size_t quantum = 64);
+  WindowedQueryDispatchUnit(
+      std::string name, WindowedQuery query, WindowSink sink,
+      size_t quantum = 64,
+      OnlineWindowRunner::Options runner_opts = OnlineWindowRunner::Options());
 
   void AddInput(SourceId source, FjordConsumer consumer);
 

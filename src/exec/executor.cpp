@@ -275,7 +275,7 @@ Status Executor::IngestTuple(SourceId source, const Tuple& tuple) {
 }
 
 Status Executor::IngestBatch(TupleBatch batch) {
-  if (batch.empty()) return Status::OK();
+  if (batch.empty() && batch.punctuations().empty()) return Status::OK();
   SourceId source = batch.source();
   // Hold the class by shared_ptr: a concurrent GC may release the stream
   // (closing its fjords) while this batch is in flight.
@@ -310,7 +310,7 @@ Status Executor::IngestBatch(TupleBatch batch) {
   int64_t t0 = sampled ? NowMicros() : 0;
   for (int attempt = 0; attempt < 200; ++attempt) {
     ShardedClass::RouteResult r = sc->RouteBatch(&batch);
-    if (batch.empty()) {
+    if (batch.empty() && batch.punctuations().empty()) {
       if (sampled) {
         tracer_->Record(obs::SpanKind::kQueueEnqueue, source, 0, t0,
                         NowMicros() - t0);
@@ -347,6 +347,19 @@ uint64_t Executor::stream_tuples_dropped(SourceId source) const {
   auto it = streams_.find(source);
   if (it == streams_.end()) return 0;
   return it->second.dropped->Value();
+}
+
+Timestamp Executor::stream_watermark(SourceId source) const {
+  std::shared_ptr<ShardedClass> sc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(source);
+    if (it == streams_.end() || it->second.owner == nullptr) {
+      return kMinTimestamp;
+    }
+    sc = it->second.owner;
+  }
+  return sc->merged_watermark(source);
 }
 
 Status Executor::CloseStream(SourceId source) {

@@ -159,6 +159,9 @@ class Executor {
   /// Tuples dropped on one stream (unrouted, closed, or back-pressured
   /// past the retry budget). 0 for unknown streams.
   uint64_t stream_tuples_dropped(SourceId source) const;
+  /// The owning class's merged (min across shard replicas) event-time
+  /// watermark of `source`; kMinTimestamp for unknown/unpunctuated streams.
+  Timestamp stream_watermark(SourceId source) const;
   uint64_t class_merges() const { return merges_->Value(); }
   uint64_t class_migrations() const { return migrations_->Value(); }
   uint64_t class_gcs() const { return gcs_->Value(); }

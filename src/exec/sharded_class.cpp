@@ -66,6 +66,7 @@ ShardedClass::ShardedClass(std::string label, Options opts,
       metrics_->GetGauge(MetricName("tcq_shard_count", "class", label_));
   // Classes always START at one shard; AdmitQuery expands to opts_.shards
   // once the first query's join edges prove the class co-partitionable.
+  merged_wm_.Reset(1);
   shards_.push_back(MakeShard(0, 0));
   shard_count_gauge_->Set(1);
 }
@@ -80,6 +81,8 @@ ShardedClass::Shard ShardedClass::MakeShard(size_t k, size_t eo) {
       name, std::move(eddy), SharedCQDispatchUnit::Options{opts_.quantum});
   du->set_tracer(tracer_);
   du->set_shard(static_cast<uint32_t>(k));
+  du->set_control_sink(
+      [this, k](const Punctuation& p) { OnShardPunctuation(k, p); });
   Shard sh;
   sh.du = std::move(du);
   sh.eo = eos_.empty() ? 0 : eo % eos_.size();
@@ -218,12 +221,20 @@ Result<QueryId> ShardedClass::AdmitQuery(const CQSpec& spec, uint64_t gid,
            "shard replicas diverged on admission");
     (void)r;
   }
-  if (first.ok()) specs_[*first] = spec;
+  if (first.ok()) {
+    specs_[*first] = spec;
+    std::lock_guard<std::mutex> lock(punct_mu_);
+    punct_sinks_[*first] = {gid, wrapped};
+  }
   return first;
 }
 
 void ShardedClass::RemoveQuery(QueryId local) {
   specs_.erase(local);
+  {
+    std::lock_guard<std::mutex> lock(punct_mu_);
+    punct_sinks_.erase(local);
+  }
   for (Shard& sh : shards_) {
     sh.du->SubmitTask([local, du = sh.du.get()](SharedEddy* eddy) {
       (void)eddy->RemoveQuery(local);
@@ -348,9 +359,16 @@ void ShardedClass::Repartition(size_t new_count,
     bucket_counts_[b].store(0, std::memory_order_relaxed);
   }
 
-  // 5. Fresh replicas (EO placement inherited where possible).
+  // 5. Fresh replicas (EO placement inherited where possible). Event-time
+  //    merge state restarts at kMinTimestamp: sources re-earn their merged
+  //    watermarks from the next punctuation broadcast, which can only DELAY
+  //    downstream window firing (never un-fire one) — conservative and safe.
   std::vector<Shard> old_shards = std::move(shards_);
   shards_.clear();
+  {
+    std::lock_guard<std::mutex> plock(punct_mu_);
+    merged_wm_.Reset(new_count);
+  }
   for (size_t k = 0; k < new_count; ++k) {
     size_t eo = k < old_shards.size() ? old_shards[k].eo : k;
     shards_.push_back(MakeShard(k, eo));
@@ -373,7 +391,9 @@ void ShardedClass::Repartition(size_t new_count,
     }
     size_t extra = 0;
     if (auto it = carry.find(source); it != carry.end()) {
-      extra = it->second.size();
+      // Rows plus carried control-lane entries (punctuations re-inject as
+      // individual control tuples behind the rows).
+      extra = it->second.size() + it->second.punctuations().size();
     }
     r.producers.clear();
     r.fjords.clear();
@@ -392,6 +412,7 @@ void ShardedClass::Repartition(size_t new_count,
   //    >= new ids, so the remap map is aliasing-free when applied in order.
   RemapMap remap_map;
   specs_.clear();
+  std::map<QueryId, std::pair<uint64_t, Sink>> new_punct_sinks;
   for (const auto& q : exports[0].queries) {
     QueryId nid = 0;
     bool ok = true;
@@ -415,7 +436,12 @@ void ShardedClass::Repartition(size_t new_count,
       for (Shard& sh : shards_) {
         sh.du->BindSink(nid, sit->second.first, sit->second.second);
       }
+      new_punct_sinks[nid] = sit->second;
     }
+  }
+  {
+    std::lock_guard<std::mutex> plock(punct_mu_);
+    punct_sinks_ = std::move(new_punct_sinks);
   }
 
   // 8. Redistribute stored SteM state by the NEW bucket map, preserving
@@ -444,7 +470,7 @@ void ShardedClass::Repartition(size_t new_count,
   //    re-close the producers of closed streams (their queued tuples stay
   //    consumable, matching BoundedQueue close semantics).
   for (auto& [source, batch] : carry) {
-    if (batch.empty()) continue;
+    if (batch.empty() && batch.punctuations().empty()) continue;
     auto rit = routes_.find(source);
     if (rit == routes_.end()) continue;
     (void)RouteBatchLocked(&rit->second, &batch);
@@ -488,6 +514,10 @@ ShardedClass::RemapMap ShardedClass::AbsorbSingleShard(ShardedClass* src) {
   for (auto& [old_local, binding] : sinks) {
     auto it = remap.find(old_local);
     if (it == remap.end()) continue;  // query was already removed
+    {
+      std::lock_guard<std::mutex> plock(punct_mu_);
+      punct_sinks_[it->second] = binding;
+    }
     d0.du->BindSink(it->second, binding.first, std::move(binding.second));
   }
   // The Flux marker point: producers are NEVER repointed. Consumers move
@@ -532,7 +562,9 @@ void ShardedClass::Shutdown() {
 }
 
 ShardedClass::RouteResult ShardedClass::RouteBatch(TupleBatch* batch) {
-  if (batch->empty()) return RouteResult::kOk;
+  if (batch->empty() && batch->punctuations().empty()) {
+    return RouteResult::kOk;
+  }
   std::shared_lock<std::shared_mutex> lock(route_mu_);
   if (retired_) return RouteResult::kRetired;
   auto it = routes_.find(batch->source());
@@ -551,7 +583,9 @@ ShardedClass::RouteResult ShardedClass::RouteBatchLocked(Route* r,
     if (pushed > 0) shards_[0].ingest->Inc(pushed);
     UpdateOccupancy();
     if (op == QueueOp::kClosed) return RouteResult::kClosed;
-    return batch->empty() ? RouteResult::kOk : RouteResult::kWouldBlock;
+    return batch->empty() && batch->punctuations().empty()
+               ? RouteResult::kOk
+               : RouteResult::kWouldBlock;
   }
 
   // Split per tuple. Keyed routes hash the partition key through the Flux
@@ -576,11 +610,20 @@ ShardedClass::RouteResult ShardedClass::RouteBatchLocked(Route* r,
     }
     scratch[k].push_back(std::move(data[i]));
   }
+  // Control broadcast: data rows PARTITION, punctuations go to EVERY shard
+  // (each replica needs the watermark; the merge below min-combines their
+  // reports, so a shard missing the broadcast would pin the class watermark
+  // at kMinTimestamp forever). Duplicate deliveries are idempotent —
+  // watermarks are monotone maxes.
+  for (const Punctuation& p : batch->punctuations()) {
+    for (size_t k = 0; k < n; ++k) scratch[k].AddPunctuation(p);
+  }
   batch->clear();
 
   bool closed = false;
+  std::map<SourceId, Timestamp> left_puncts;
   for (size_t k = 0; k < n; ++k) {
-    if (scratch[k].empty()) continue;
+    if (scratch[k].empty() && scratch[k].punctuations().empty()) continue;
     size_t before = scratch[k].size();
     QueueOp op = r->producers[k]->ProduceBatch(&scratch[k]);
     size_t pushed = before - scratch[k].size();
@@ -590,11 +633,41 @@ ShardedClass::RouteResult ShardedClass::RouteBatchLocked(Route* r,
     // preserved, which is the guarantee shards rely on (cross-shard
     // interleaving carries no meaning — shards are independent pipelines).
     for (Tuple& t : scratch[k]) batch->push_back(std::move(t));
+    // Undelivered lane entries fold back per source (max per source: the
+    // retry re-broadcasts to every shard, where stale ones are idempotent).
+    for (const Punctuation& p : scratch[k].punctuations()) {
+      auto [it, inserted] = left_puncts.try_emplace(p.source, p.low_watermark);
+      if (!inserted) it->second = std::max(it->second, p.low_watermark);
+    }
     scratch[k].clear();
   }
+  for (const auto& [source, wm] : left_puncts) {
+    batch->AddPunctuation(Punctuation{source, wm});
+  }
   UpdateOccupancy();
-  if (batch->empty()) return RouteResult::kOk;
+  if (batch->empty() && batch->punctuations().empty()) {
+    return RouteResult::kOk;
+  }
   return closed ? RouteResult::kClosed : RouteResult::kWouldBlock;
+}
+
+void ShardedClass::OnShardPunctuation(size_t shard, const Punctuation& p) {
+  // EO-thread context (during a shard eddy's IngestBatch). Deliveries stay
+  // under punct_mu_ so every sink observes a monotone punctuation sequence;
+  // the per-query merge mutex nests inside (punct_mu_ -> merge_mu, the same
+  // order everywhere).
+  std::lock_guard<std::mutex> lock(punct_mu_);
+  std::optional<Timestamp> merged = merged_wm_.Observe(shard, p);
+  if (!merged.has_value()) return;
+  Tuple punct = Tuple::MakePunctuation(p.source, *merged);
+  for (auto& [local, binding] : punct_sinks_) {
+    binding.second(binding.first, punct);
+  }
+}
+
+Timestamp ShardedClass::merged_watermark(SourceId source) {
+  std::lock_guard<std::mutex> lock(punct_mu_);
+  return merged_wm_.MergedOf(source);
 }
 
 void ShardedClass::UpdateOccupancy() {

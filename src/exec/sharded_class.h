@@ -147,6 +147,11 @@ class ShardedClass {
   /// estimation; snapshot kept per shard.
   uint64_t TakeProgressDelta(size_t shard);
 
+  /// Merged (min-combined across shard replicas) event-time watermark of a
+  /// source, kMinTimestamp until every shard has applied a broadcast
+  /// punctuation for it. Test/introspection surface.
+  Timestamp merged_watermark(SourceId source);
+
  private:
   struct Shard {
     std::shared_ptr<SharedCQDispatchUnit> du;
@@ -186,6 +191,11 @@ class ShardedClass {
   void AttachShards();
   RouteResult RouteBatchLocked(Route* r, TupleBatch* batch);
   void UpdateOccupancy();
+  /// Shard `shard`'s eddy applied punctuation `p` (EO thread). Min-combines
+  /// across replicas; when the MERGED watermark advances, a fresh
+  /// punctuation tuple fans out to every member query's sink — the class's
+  /// outward event-time promise.
+  void OnShardPunctuation(size_t shard, const Punctuation& p);
 
   std::string label_;
   Options opts_;
@@ -207,6 +217,17 @@ class ShardedClass {
   /// Member specs under their CURRENT local ids (mirrors the replicas'
   /// registries) — the input to key derivation and re-admission.
   std::map<QueryId, CQSpec> specs_;
+
+  /// Event-time merge state. Punctuations are broadcast to every shard
+  /// (duplicates are idempotent: watermarks are monotone maxes), each
+  /// shard's eddy reports what it applied through OnShardPunctuation, and
+  /// the min across replicas is the class watermark. punct_mu_ also
+  /// serializes the fan-out so sinks see monotone punctuation sequences.
+  std::mutex punct_mu_;
+  ShardMergedWatermark merged_wm_;
+  /// Member queries' wrapped sinks under their local ids (the same wrapped
+  /// sinks BindSink installs), for control fan-out.
+  std::map<QueryId, std::pair<uint64_t, Sink>> punct_sinks_;
 
   Counter* repartitions_;
   Histogram* pause_us_;

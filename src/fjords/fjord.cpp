@@ -36,7 +36,8 @@ QueueOp FjordProducer::Produce(Tuple t) {
 }
 
 QueueOp FjordProducer::ProduceBatch(TupleBatch* batch) {
-  if (batch->empty()) return QueueOp::kOk;
+  if (batch->empty() && batch->punctuations().empty()) return QueueOp::kOk;
+  QueueOp op = QueueOp::kOk;
   switch (fjord_->mode()) {
     case FjordMode::kPull: {
       size_t pushed = fjord_->queue().PushBatchBlocking(batch->data(),
@@ -46,18 +47,34 @@ QueueOp FjordProducer::ProduceBatch(TupleBatch* batch) {
       // "before - batch.size()" callers count close-dropped tuples as
       // forwarded.)
       batch->DropFront(pushed);
-      return batch->empty() ? QueueOp::kOk : QueueOp::kClosed;
+      op = batch->empty() ? QueueOp::kOk : QueueOp::kClosed;
+      break;
     }
     case FjordMode::kPush:
     case FjordMode::kExchange: {
-      QueueOp op;
       size_t pushed =
           fjord_->queue().TryPushBatch(batch->data(), batch->size(), &op);
       batch->DropFront(pushed);
-      return op;
+      break;
     }
   }
-  return QueueOp::kClosed;
+  // The control lane travels in-band BEHIND the rows (the lane's contract is
+  // "applies after this batch's rows"): only once every row is enqueued do
+  // the punctuations go through, as ordinary control tuples the consumer's
+  // pop-into-batch diverts back onto its lane. On backpressure the remainder
+  // stays on the lane for the caller's retry.
+  if (!batch->empty()) return op;
+  size_t sent = 0;
+  for (const Punctuation& p : batch->punctuations()) {
+    QueueOp pop = Produce(Tuple::MakePunctuation(p.source, p.low_watermark));
+    if (pop != QueueOp::kOk) {
+      batch->DropFrontPunctuations(sent);
+      return pop;
+    }
+    ++sent;
+  }
+  batch->ClearPunctuations();
+  return QueueOp::kOk;
 }
 
 void FjordProducer::Close() { fjord_->queue().Close(); }

@@ -108,4 +108,28 @@ bool SensorGenerator::Next(Tuple* out) {
   }
 }
 
+ShuffleSource::ShuffleSource(std::unique_ptr<StreamSource> inner,
+                             size_t window, uint64_t seed)
+    : StreamSourceBase(inner->name() + ":shuffled", inner->source_id(),
+                       inner->schema()),
+      inner_(std::move(inner)),
+      window_(std::max<size_t>(window, 1)),
+      rng_(seed) {}
+
+bool ShuffleSource::Next(Tuple* out) {
+  if (pos_ >= block_.size()) {
+    block_.clear();
+    pos_ = 0;
+    Tuple t;
+    while (block_.size() < window_ && inner_->Next(&t)) {
+      block_.push_back(std::move(t));
+    }
+    if (block_.empty()) return false;
+    rng_.Shuffle(&block_);
+  }
+  *out = std::move(block_[pos_++]);
+  CountProduced();
+  return true;
+}
+
 }  // namespace tcq

@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,28 @@ class SensorGenerator : public StreamSourceBase {
   Timestamp tick_ = 1;
   uint64_t attempts_ = 0;
   uint64_t dropped_ = 0;
+};
+
+/// Bounded-disorder decorator: pulls the inner source in blocks of `window`
+/// tuples and re-emits each block Fisher-Yates-shuffled. Blocks stay in
+/// order, so a tuple moves at most `window - 1` positions — the emitted
+/// stream's timestamp disorder is HARD-bounded by one block's timestamp
+/// span. This is the adversarial arrival order the event-time window path
+/// must tolerate: with a disorder bound covering a block span, nothing is
+/// ever provably late. Deterministic per seed.
+class ShuffleSource : public StreamSourceBase {
+ public:
+  ShuffleSource(std::unique_ptr<StreamSource> inner, size_t window,
+                uint64_t seed = 42);
+
+  bool Next(Tuple* out) override;
+
+ private:
+  std::unique_ptr<StreamSource> inner_;
+  size_t window_;
+  Rng rng_;
+  std::vector<Tuple> block_;
+  size_t pos_ = 0;
 };
 
 }  // namespace tcq

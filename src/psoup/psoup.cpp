@@ -107,6 +107,20 @@ Status PSoup::Unregister(QueryId id) {
 void PSoup::Ingest(SourceId source, const Tuple& tuple) {
   auto it = data_stems_.find(source);
   assert(it != data_stems_.end() && "ingest on unregistered stream");
+  if (tuple.IsPunctuation()) {
+    // Punctuations carry no data to store: they bypass the Data SteM and
+    // only advance the eddy's per-source watermark, which in turn advances
+    // PSoup's virtual clock (a watermark IS a time promise).
+    eddy_.Ingest(source, tuple);
+    now_ = std::max(now_, eddy_.watermarks().WatermarkOf(source));
+    return;
+  }
+  if (tuple.IsRetraction()) {
+    // Modest scope: the Results Structure is append-only, so retractions
+    // reaching PSoup are counted and dropped rather than applied.
+    ++retractions_dropped_;
+    return;
+  }
   obs::TraceBatchScope scope(opts_.tracer.get());
   now_ = std::max(now_, tuple.timestamp());
   // Insert into the Data SteM (new data becomes old data for future
@@ -117,16 +131,40 @@ void PSoup::Ingest(SourceId source, const Tuple& tuple) {
 }
 
 void PSoup::IngestBatch(const TupleBatch& batch) {
-  if (batch.empty()) return;
+  if (batch.empty() && batch.punctuations().empty()) return;
   auto it = data_stems_.find(batch.source());
   assert(it != data_stems_.end() && "ingest on unregistered stream");
   obs::TraceBatchScope scope(opts_.tracer.get());
   DataSteM* data = it->second.get();
+  size_t retracts = 0;
   for (const Tuple& t : batch) {
+    if (t.IsRetraction()) {
+      ++retracts;
+      continue;
+    }
     now_ = std::max(now_, t.timestamp());
     data->Insert(t);
   }
-  eddy_.IngestBatch(batch);
+  if (retracts == 0) {
+    eddy_.IngestBatch(batch);
+  } else {
+    // Rare path: strip the retraction rows so the eddy (and through it the
+    // Results Structure) never materializes them; the lane rides along.
+    retractions_dropped_ += retracts;
+    TupleBatch data_only(batch.source());
+    for (const Tuple& t : batch) {
+      if (!t.IsRetraction()) data_only.push_back(t);
+    }
+    for (const Punctuation& p : batch.punctuations()) {
+      data_only.AddPunctuation(p);
+    }
+    eddy_.IngestBatch(data_only);
+  }
+  // The lane applied after the rows; fold the advanced watermarks into the
+  // virtual clock so eviction keeps pace with event time.
+  for (const Punctuation& p : batch.punctuations()) {
+    now_ = std::max(now_, eddy_.watermarks().WatermarkOf(p.source));
+  }
   // Preserve the per-tuple eviction cadence: fire once per crossed interval.
   uint64_t before = ingests_;
   ingests_ += batch.size();

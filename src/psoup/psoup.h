@@ -77,6 +77,15 @@ class PSoup {
   const QuerySteM& query_stem() const { return query_stem_; }
   const DataSteM* data_stem(SourceId source) const;
 
+  /// Event-time watermark of a stream as promised by ingested punctuations
+  /// (kMinTimestamp until the first one arrives).
+  Timestamp watermark(SourceId source) const {
+    return eddy_.watermarks().WatermarkOf(source);
+  }
+  /// Retraction tuples seen and dropped: the Results Structure is
+  /// append-only, so PSoup counts revisions instead of applying them.
+  uint64_t retractions_dropped() const { return retractions_dropped_; }
+
   /// Reference path for the E5 benchmark: recomputes the query's current
   /// answer from Data SteM history instead of reading materialized results
   /// (what a system without the Results Structure must do per invocation).
@@ -96,6 +105,7 @@ class PSoup {
   std::set<SourceId> backfilled_;
   Timestamp now_ = 0;
   uint64_t ingests_ = 0;
+  uint64_t retractions_dropped_ = 0;
 };
 
 }  // namespace tcq

@@ -9,20 +9,36 @@ namespace tcq {
 
 void WindowResultBuffer::Push(WindowResult result) {
   std::lock_guard<std::mutex> lock(mu_);
-  ++fired_;
-  tuples_ += result.tuples.size();
-  if (fired_counter_ != nullptr) fired_counter_->Inc();
-  if (tuples_counter_ != nullptr) {
-    tuples_counter_->Inc(result.tuples.size());
+  switch (result.kind) {
+    case WindowResultKind::kFinal:
+      // Only sealed windows count as fired; speculative revisions of the
+      // same window would otherwise inflate the count arbitrarily.
+      ++fired_;
+      if (fired_counter_ != nullptr) fired_counter_->Inc();
+      [[fallthrough]];
+    case WindowResultKind::kSpeculative:
+      tuples_ += result.tuples.size();
+      if (tuples_counter_ != nullptr) {
+        tuples_counter_->Inc(result.tuples.size());
+      }
+      break;
+    case WindowResultKind::kRetraction:
+      retractions_ += result.tuples.size();
+      if (retractions_counter_ != nullptr) {
+        retractions_counter_->Inc(result.tuples.size());
+      }
+      break;
   }
   results_.push_back(std::move(result));
 }
 
 void WindowResultBuffer::AttachMetrics(Counter* windows_fired,
-                                       Counter* tuples) {
+                                       Counter* tuples,
+                                       Counter* retractions) {
   std::lock_guard<std::mutex> lock(mu_);
   fired_counter_ = windows_fired;
   tuples_counter_ = tuples;
+  retractions_counter_ = retractions;
 }
 
 uint64_t WindowResultBuffer::windows_fired() const {
@@ -33,6 +49,11 @@ uint64_t WindowResultBuffer::windows_fired() const {
 uint64_t WindowResultBuffer::tuples_out() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tuples_;
+}
+
+uint64_t WindowResultBuffer::retractions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retractions_;
 }
 
 bool WindowResultBuffer::Poll(WindowResult* out) {
@@ -101,12 +122,26 @@ TelegraphCQ::~TelegraphCQ() { Stop(); }
 
 Result<SourceId> TelegraphCQ::DefineStream(const std::string& name,
                                            const std::vector<Field>& fields) {
+  return DefineStream(name, fields, StreamOptions());
+}
+
+Result<SourceId> TelegraphCQ::DefineStream(const std::string& name,
+                                           const std::vector<Field>& fields,
+                                           StreamOptions stream_opts) {
   if (name.rfind("tcq$", 0) == 0) {
     return Status::InvalidArgument(
         "stream names starting with 'tcq$' are reserved for introspection "
         "streams");
   }
-  return DefineStreamInternal(name, fields);
+  TCQ_ASSIGN_OR_RETURN(SourceId source, DefineStreamInternal(name, fields));
+  if (stream_opts.punctuate) {
+    std::lock_guard<std::mutex> lock(mu_);
+    PhysicalStream& stream = streams_[name];
+    stream.event_time = stream_opts;
+    stream.late = metrics_->GetCounter(
+        MetricName("tcq_wrapper_late_tuples_total", "stream", name));
+  }
+  return source;
 }
 
 Result<SourceId> TelegraphCQ::DefineStreamInternal(
@@ -151,7 +186,7 @@ Status TelegraphCQ::AttachSource(const std::string& stream_name,
 }
 
 void TelegraphCQ::RouteBatch(PhysicalStream* stream, const TupleBatch& batch) {
-  if (batch.empty()) return;
+  if (batch.empty() && batch.punctuations().empty()) return;
   ingested_->Inc(batch.size());
   stream->ingested->Inc(batch.size());
   if (stream->spool != nullptr) {
@@ -166,6 +201,39 @@ void TelegraphCQ::RouteBatch(PhysicalStream* stream, const TupleBatch& batch) {
   // Columnarize once at the fabric entrance: every subscription below (and
   // the eddy prefilters downstream) shares this store by reference.
   const ColumnStore::Ref& cols = batch.columns();
+  // The stream-level watermark lane, as VALUES: every subscription re-tags
+  // them under its own logical source below, exactly like the rows. A
+  // punctuating stream derives the lane here at the entrance — the only
+  // point that sees the merge of all attached feeds, so its max-timestamp
+  // scan is authoritative where a single feed's heartbeat is not (incoming
+  // per-feed heartbeats are dropped and re-derived). A plain stream passes
+  // the producer's lane through untouched.
+  std::vector<Timestamp> lane;
+  if (stream->event_time.punctuate) {
+    if (cols != nullptr) {
+      const int64_t* ts = cols->timestamps();
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (ts[i] < stream->last_punct) stream->late->Inc();
+        if (ts[i] > stream->max_ts) stream->max_ts = ts[i];
+      }
+    } else {
+      for (const Tuple& t : batch) {
+        if (t.timestamp() < stream->last_punct) stream->late->Inc();
+        if (t.timestamp() > stream->max_ts) stream->max_ts = t.timestamp();
+      }
+    }
+    if (stream->max_ts != kMinTimestamp) {
+      Timestamp wm = stream->max_ts - stream->event_time.disorder_bound;
+      if (wm > stream->last_punct) {
+        stream->last_punct = wm;
+        lane.push_back(wm);
+      }
+    }
+  } else {
+    for (const Punctuation& p : batch.punctuations()) {
+      lane.push_back(p.low_watermark);
+    }
+  }
   for (const Subscription& sub : stream->subs) {
     // A canonical-source batch whose tuples already carry the
     // subscription's schema passes through untouched; anything else is
@@ -184,14 +252,29 @@ void TelegraphCQ::RouteBatch(PhysicalStream* stream, const TupleBatch& batch) {
       }
     }
     if (direct) {
-      sub.deliver(batch);
+      if (lane.empty() && batch.punctuations().empty()) {
+        sub.deliver(batch);
+        continue;
+      }
+      // Lane present: deliver a copy carrying the re-tagged lane (cheap for
+      // columnar batches — the store is shared by reference).
+      TupleBatch with_lane = batch;
+      with_lane.ClearPunctuations();
+      for (Timestamp wm : lane) {
+        with_lane.AddPunctuation(Punctuation{sub.logical, wm});
+      }
+      sub.deliver(with_lane);
       continue;
     }
     if (cols != nullptr) {
       // Zero-copy alias re-tag: a view over the same lanes under the
       // subscription's schema.
       if (ColumnStore::Ref view = ColumnStore::Retagged(cols, sub.schema)) {
-        sub.deliver(TupleBatch(sub.logical, std::move(view)));
+        TupleBatch retagged(sub.logical, std::move(view));
+        for (Timestamp wm : lane) {
+          retagged.AddPunctuation(Punctuation{sub.logical, wm});
+        }
+        sub.deliver(retagged);
         continue;
       }
     }
@@ -200,6 +283,9 @@ void TelegraphCQ::RouteBatch(PhysicalStream* stream, const TupleBatch& batch) {
     for (size_t i = 0; i < batch.size(); ++i) {
       const Tuple t = batch.RowAt(i);
       retagged.push_back(Tuple::Make(sub.schema, t.values(), t.timestamp()));
+    }
+    for (Timestamp wm : lane) {
+      retagged.AddPunctuation(Punctuation{sub.logical, wm});
     }
     sub.deliver(retagged);
   }
@@ -324,7 +410,10 @@ Status TelegraphCQ::SubscribeContinuous(const std::string& physical,
                                         const Catalog::StreamEntry& entry) {
   PhysicalStream& stream = streams_[physical];
   for (const Subscription& sub : stream.subs) {
-    if (sub.logical == entry.source) return Status::OK();
+    // Only the shared (owner==0) executor subscription dedups: windowed
+    // queries also subscribe under this logical source, and their presence
+    // must not swallow the executor feed for a later continuous query.
+    if (sub.owner == 0 && sub.logical == entry.source) return Status::OK();
   }
   // Alias sources must be registered with the executor once.
   if (entry.source != stream.canonical) {
@@ -343,7 +432,8 @@ Status TelegraphCQ::SubscribeContinuous(const std::string& physical,
   return Status::OK();
 }
 
-Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
+Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql,
+                                                      SubmitOptions sub_opts) {
   TCQ_ASSIGN_OR_RETURN(ast::SelectStatement stmt, ParseQuery(sql));
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -370,11 +460,24 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
         metrics_->GetCounter(
             MetricName("tcq_window_fired_total", "query", qlabel)),
         metrics_->GetCounter(
-            MetricName("tcq_window_tuples_total", "query", qlabel)));
+            MetricName("tcq_window_tuples_total", "query", qlabel)),
+        metrics_->GetCounter(
+            MetricName("tcq_window_retractions_total", "query", qlabel)));
     auto projection = plan.projection;
     WindowedQuery wq;
     wq.loop = *plan.window_loop;
     wq.predicates = plan.all_predicates;
+    // The query runs on event time when every bound stream punctuates:
+    // watermarks then drive window firing and arrival order stops
+    // mattering (up to each stream's disorder bound). A non-punctuating
+    // stream has no watermark, so mixing would stall the loop forever.
+    bool all_punctuate = true;
+    for (const auto& [alias, entry] : bindings) {
+      if (!streams_[entry.name].event_time.punctuate) all_punctuate = false;
+    }
+    if (all_punctuate) wq.loop.semantics = TimeSemantics::kEvent;
+    OnlineWindowRunner::Options runner_opts;
+    runner_opts.speculate = sub_opts.speculate && all_punctuate;
     auto du = std::make_shared<WindowedQueryDispatchUnit>(
         "windowed" + std::to_string(wid), std::move(wq),
         [buffer, projection](const WindowResult& r) {
@@ -384,12 +487,19 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
           }
           WindowResult projected;
           projected.t = r.t;
+          projected.kind = r.kind;
+          projected.revision = r.revision;
           for (const Tuple& t : r.tuples) {
+            // Project the values, then restore the revision tag: a
+            // retraction must cancel the projected tuple it revises.
             auto p = projection->Apply(t);
-            if (p.ok()) projected.tuples.push_back(std::move(*p));
+            if (!p.ok()) continue;
+            projected.tuples.push_back(
+                t.IsRetraction() ? Tuple::Retraction(*p) : std::move(*p));
           }
           buffer->Push(std::move(projected));
-        });
+        },
+        /*quantum=*/64, runner_opts);
     for (const auto& [alias, entry] : bindings) {
       auto endpoints = Fjord::Make(FjordMode::kPush, opts_.egress_capacity,
                                    "win:" + alias, metrics_.get());
@@ -449,7 +559,9 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql) {
   auto projection = plan.projection;
   Executor::Sink sink = [egress, projection](GlobalQueryId id,
                                              const Tuple& t) {
-    if (!projection.has_value()) {
+    // Punctuations (the class's merged watermark reaching the client) have
+    // no columns to project; they pass through as-is.
+    if (!projection.has_value() || !t.IsData()) {
       egress->Offer(Delivery{id, t});
       return;
     }
@@ -544,6 +656,7 @@ TelegraphCQ::Introspection TelegraphCQ::Introspect() const {
     if (client.windows != nullptr) {
       qs.windows_fired = client.windows->windows_fired();
       qs.tuples_out = client.windows->tuples_out();
+      qs.retractions = client.windows->retractions();
     }
     out.queries.push_back(qs);
   }
@@ -560,6 +673,7 @@ TelegraphCQ::Introspection TelegraphCQ::Introspect() const {
         ss.dropped += executor_.stream_tuples_dropped(sub.logical);
       }
     }
+    if (stream.late != nullptr) ss.late_tuples = stream.late->Value();
     out.streams.push_back(std::move(ss));
   }
   out.classes = executor_.Topology();

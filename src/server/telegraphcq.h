@@ -37,10 +37,16 @@ class WindowResultBuffer {
   size_t pending() const;
 
   /// Optionally mirrors fired-window / result-tuple counts into registry
-  /// instruments (call before the first Push).
-  void AttachMetrics(Counter* windows_fired, Counter* tuples);
+  /// instruments (call before the first Push). `retractions` (may be null)
+  /// counts retraction tuples pushed by speculative queries.
+  void AttachMetrics(Counter* windows_fired, Counter* tuples,
+                     Counter* retractions = nullptr);
+  /// kFinal results only — speculative emissions never inflate this.
   uint64_t windows_fired() const;
+  /// Tuples across kFinal and kSpeculative results (the additions stream).
   uint64_t tuples_out() const;
+  /// Tuples across kRetraction results (the removals stream).
+  uint64_t retractions() const;
 
  private:
   mutable std::mutex mu_;
@@ -48,8 +54,10 @@ class WindowResultBuffer {
   bool finished_ = false;
   uint64_t fired_ = 0;
   uint64_t tuples_ = 0;
+  uint64_t retractions_ = 0;
   Counter* fired_counter_ = nullptr;
   Counter* tuples_counter_ = nullptr;
+  Counter* retractions_counter_ = nullptr;
 };
 
 // Error contract of the server facade — ONE table shared by every public
@@ -92,6 +100,31 @@ class TelegraphCQ {
     obs::SystemStreamOptions system_streams;
   };
 
+  /// Per-stream event-time policy (DESIGN.md §12). With `punctuate` set the
+  /// server synthesizes punctuations at the fabric entrance: it scans every
+  /// routed batch's timestamps and attaches the watermark promise
+  /// `max_ts_seen - disorder_bound` to the batch's control lane. Synthesis
+  /// happens AFTER the wrapper merge point, so it stays correct when several
+  /// attached sources feed one stream (a single feed's heartbeat cannot
+  /// speak for the merged stream; the entrance scan can — incoming per-feed
+  /// heartbeats are therefore dropped and re-derived here).
+  struct StreamOptions {
+    bool punctuate = false;
+    /// How far out of timestamp order tuples may arrive (same unit as
+    /// tuple timestamps). Rows older than the promised watermark are late:
+    /// counted in tcq_wrapper_late_tuples_total{stream=...} and dropped by
+    /// event-time consumers.
+    Timestamp disorder_bound = 0;
+  };
+
+  /// Per-query submission knobs.
+  struct SubmitOptions {
+    /// Windowed queries only: emit speculative early results for windows the
+    /// watermark has not yet closed, revised via retraction tuples when late
+    /// data changes them (DESIGN.md §12). Ignored for continuous queries.
+    bool speculate = false;
+  };
+
   /// A submitted query's client handle. Exactly one of `results` (continuous
   /// queries) or `windows` (windowed queries) is non-null.
   struct ClientHandle {
@@ -112,6 +145,8 @@ class TelegraphCQ {
     uint64_t tuples_out = 0;
     uint64_t windows_fired = 0;  ///< windowed queries only
     uint64_t shed = 0;           ///< continuous queries only
+    /// Retraction tuples delivered (speculative windowed queries only).
+    uint64_t retractions = 0;
   };
 
   /// Per-physical-stream view computed by Introspect().
@@ -124,6 +159,9 @@ class TelegraphCQ {
     /// (unrouted — no query class consumed them — plus back-pressure and
     /// closed-stream drops).
     uint64_t dropped = 0;
+    /// Tuples that arrived older than the stream's promised watermark
+    /// (punctuating streams only; 0 otherwise).
+    uint64_t late_tuples = 0;
   };
 
   /// One-stop introspection: the full metrics snapshot plus per-query and
@@ -193,9 +231,15 @@ class TelegraphCQ {
 
   /// Defines a stream in the catalog and the executor. Names starting with
   /// "tcq$" are reserved for the engine's introspection streams and are
-  /// rejected with kInvalidArgument.
+  /// rejected with kInvalidArgument. The StreamOptions overload opts the
+  /// stream into event time: batches get punctuations synthesized at the
+  /// fabric entrance, and windowed queries over the stream run with
+  /// event-time (bounded-disorder) semantics.
   Result<SourceId> DefineStream(const std::string& name,
                                 const std::vector<Field>& fields);
+  Result<SourceId> DefineStream(const std::string& name,
+                                const std::vector<Field>& fields,
+                                StreamOptions stream_opts);
 
   /// Attaches a wrapper-hosted pull source feeding the named stream
   /// (`arrivals` nullptr = as fast as possible).
@@ -237,7 +281,10 @@ class TelegraphCQ {
   Status CloseStream(const std::string& stream);
 
   /// Parses, plans, and submits a query; returns the client handle.
-  Result<ClientHandle> Submit(const std::string& sql);
+  Result<ClientHandle> Submit(const std::string& sql) {
+    return Submit(sql, SubmitOptions());
+  }
+  Result<ClientHandle> Submit(const std::string& sql, SubmitOptions sub_opts);
 
   /// Scans a spooled stream's history for tuples with l <= ts <= r
   /// (requires Options::spool_dir). Reads go through the buffer pool.
@@ -293,6 +340,14 @@ class TelegraphCQ {
     Counter* ingested = nullptr;
     /// Background-spool append failures — counted, never silently dropped.
     Counter* spool_failed = nullptr;
+    /// Event-time synthesis state (all guarded by mu_, like subs):
+    /// max event timestamp routed so far, the last watermark promised, and
+    /// the late-arrival counter shared with the wrapper's per-source one
+    /// when the source is named after the stream.
+    StreamOptions event_time;
+    Timestamp max_ts = kMinTimestamp;
+    Timestamp last_punct = kMinTimestamp;
+    Counter* late = nullptr;
   };
   /// What Introspect() and Cancel() need to remember about a submitted
   /// query. Windowed queries own their dispatch unit and execution object.

@@ -28,6 +28,34 @@ Tuple Tuple::Concat(const Tuple& left, const Tuple& right,
   return Tuple(std::move(data));
 }
 
+Tuple Tuple::MakePunctuation(SourceId source, Timestamp low_watermark) {
+  // Control tuples share one immutable empty schema; building it lazily here
+  // keeps header dependencies one-way (schema.h does not know about kinds).
+  static const SchemaRef kEmptySchema = Schema::Make({});
+  auto data = std::make_shared<TupleData>();
+  data->schema = kEmptySchema;
+  data->timestamp = low_watermark;
+  data->sources = SourceBit(source);
+  data->kind = TupleKind::kPunctuation;
+  return Tuple(std::move(data));
+}
+
+Tuple Tuple::Retraction(const Tuple& t) {
+  assert(t.valid() && t.IsData() && "only data results can be retracted");
+  auto data = std::make_shared<TupleData>(*t.data_);
+  data->kind = TupleKind::kRetraction;
+  return Tuple(std::move(data));
+}
+
+Punctuation Tuple::AsPunctuation() const {
+  assert(IsPunctuation() && "not a punctuation tuple");
+  Punctuation p;
+  p.source = static_cast<SourceId>(__builtin_ctzll(
+      data_->sources != 0 ? data_->sources : SourceSet{1}));
+  p.low_watermark = data_->timestamp;
+  return p;
+}
+
 const Value& Tuple::Get(const std::string& name) const {
   auto idx = data_->schema->IndexOf(name);
   assert(idx.has_value() && "no such field");
@@ -37,6 +65,12 @@ const Value& Tuple::Get(const std::string& name) const {
 std::string Tuple::ToString() const {
   if (!valid()) return "<invalid>";
   std::ostringstream os;
+  if (IsPunctuation()) {
+    Punctuation p = AsPunctuation();
+    os << "[punct src=" << p.source << " wm=" << p.low_watermark << "]";
+    return os.str();
+  }
+  if (IsRetraction()) os << "retract";
   os << "[t=" << data_->timestamp << " ";
   for (size_t i = 0; i < data_->values.size(); ++i) {
     if (i) os << ", ";
@@ -50,6 +84,7 @@ bool Tuple::operator==(const Tuple& other) const {
   if (data_ == other.data_) return true;
   if (!valid() || !other.valid()) return false;
   return data_->timestamp == other.data_->timestamp &&
+         data_->kind == other.data_->kind &&
          data_->values == other.data_->values;
 }
 

@@ -15,6 +15,29 @@
 
 namespace tcq {
 
+/// Envelope kind: what a record flowing through the dataflow *means*.
+/// Ordinary results are kData; kPunctuation carries an event-time low
+/// watermark (no later tuple from that source will have ts < low_watermark);
+/// kRetraction withdraws a previously emitted result (CEDR-style
+/// speculation, DESIGN.md §12).
+enum class TupleKind : uint8_t {
+  kData = 0,
+  kPunctuation = 1,
+  kRetraction = 2,
+};
+
+/// A source's event-time promise: every future tuple from `source` has
+/// timestamp >= low_watermark. Travels in-band as a control tuple (or on a
+/// TupleBatch's control lane) so ordering relative to data is preserved.
+struct Punctuation {
+  SourceId source = 0;
+  Timestamp low_watermark = kMinTimestamp;
+
+  bool operator==(const Punctuation& other) const {
+    return source == other.source && low_watermark == other.low_watermark;
+  }
+};
+
 /// Immutable payload shared by all copies of a Tuple.
 struct TupleData {
   SchemaRef schema;
@@ -24,6 +47,8 @@ struct TupleData {
   Timestamp timestamp = 0;
   /// Which base streams this (possibly intermediate) tuple spans.
   SourceSet sources = 0;
+  /// Envelope kind (data / punctuation / retraction).
+  TupleKind kind = TupleKind::kData;
 };
 
 class Tuple {
@@ -36,9 +61,18 @@ class Tuple {
 
   /// Concatenates two tuples into a join intermediate using a precomputed
   /// output schema (see Schema::Concat). The result timestamp is the max of
-  /// the inputs' (the moment the match could first exist).
+  /// the inputs' *event* times (the moment the match could first exist).
   static Tuple Concat(const Tuple& left, const Tuple& right,
                       SchemaRef out_schema);
+
+  /// Builds an in-band control tuple carrying `{source, low_watermark}`.
+  /// Payload-free (empty schema); timestamp mirrors the watermark so
+  /// time-ordered paths keep control and data in relative order.
+  static Tuple MakePunctuation(SourceId source, Timestamp low_watermark);
+
+  /// Tags a copy of `t` as a retraction: same schema/values/timestamp, but
+  /// kind = kRetraction. Consumers subtract it from accumulated results.
+  static Tuple Retraction(const Tuple& t);
 
   bool valid() const { return data_ != nullptr; }
 
@@ -51,6 +85,15 @@ class Tuple {
   const std::vector<Value>& values() const { return data_->values; }
   Timestamp timestamp() const { return data_->timestamp; }
   SourceSet sources() const { return data_->sources; }
+  TupleKind kind() const { return data_->kind; }
+  bool IsData() const { return data_->kind == TupleKind::kData; }
+  bool IsPunctuation() const {
+    return data_->kind == TupleKind::kPunctuation;
+  }
+  bool IsRetraction() const { return data_->kind == TupleKind::kRetraction; }
+
+  /// The punctuation this control tuple carries; asserts IsPunctuation().
+  Punctuation AsPunctuation() const;
 
   /// Value of the named field; asserts that the field exists.
   const Value& Get(const std::string& name) const;

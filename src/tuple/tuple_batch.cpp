@@ -29,6 +29,7 @@ const ColumnStore::Ref& TupleBatch::columns() const {
 TupleBatch TupleBatch::Filter(const SelectionVector& sel) const {
   assert(sel.size() == size());
   TupleBatch out(source_);
+  out.puncts_ = puncts_;  // the control lane is never filtered away
   size_t keep = sel.CountSelected();
   if (keep == 0) return out;
   out.rows_.reserve(keep);

@@ -50,7 +50,8 @@ class TupleBatch {
         rows_(std::move(other.rows_)),
         rows_valid_(other.rows_valid_),
         cols_(std::move(other.cols_)),
-        cols_failed_(other.cols_failed_) {
+        cols_failed_(other.cols_failed_),
+        puncts_(std::move(other.puncts_)) {
     other.ResetToEmpty();
   }
   TupleBatch& operator=(TupleBatch&& other) noexcept {
@@ -60,6 +61,7 @@ class TupleBatch {
       rows_valid_ = other.rows_valid_;
       cols_ = std::move(other.cols_);
       cols_failed_ = other.cols_failed_;
+      puncts_ = std::move(other.puncts_);
       other.ResetToEmpty();
     }
     return *this;
@@ -70,6 +72,9 @@ class TupleBatch {
   SourceId source() const { return source_; }
   void set_source(SourceId source) { source_ = source; }
 
+  /// Row count. Control-lane punctuations are NOT rows; a batch with only
+  /// punctuations reports size() == 0 / empty() == true, so paths that must
+  /// forward lane-only batches check `empty() && punctuations().empty()`.
   size_t size() const {
     if (rows_valid_) return rows_.size();
     return cols_ ? cols_->num_rows() : 0;
@@ -77,6 +82,13 @@ class TupleBatch {
   bool empty() const { return size() == 0; }
 
   void push_back(Tuple t) {
+    // In-band control tuples divert onto the control lane, so any path that
+    // pops tuples into a batch (e.g. BoundedQueue::TryPopBatch) is
+    // automatically lane-aware without knowing about punctuations.
+    if (t.valid() && t.IsPunctuation()) {
+      puncts_.push_back(t.AsPunctuation());
+      return;
+    }
     EnsureRows();
     InvalidateColumns();
     rows_.push_back(std::move(t));
@@ -141,11 +153,26 @@ class TupleBatch {
   /// selected rows — dropped rows are never copied.
   TupleBatch Filter(const SelectionVector& sel) const;
 
+  /// Control lane: punctuations that apply AFTER the rows of this batch.
+  /// (Delaying a watermark's application is always safe — it only defers
+  /// window firing — so collapsing intra-batch ordering to "rows first,
+  /// then lane" preserves correctness.)
+  const std::vector<Punctuation>& punctuations() const { return puncts_; }
+  void AddPunctuation(const Punctuation& p) { puncts_.push_back(p); }
+  void ClearPunctuations() { puncts_.clear(); }
+
+  /// Drops the first `n` lane entries (after a partial control flush).
+  void DropFrontPunctuations(size_t n) {
+    assert(n <= puncts_.size());
+    puncts_.erase(puncts_.begin(), puncts_.begin() + static_cast<ptrdiff_t>(n));
+  }
+
   void clear() {
     rows_.clear();
     rows_valid_ = true;
     cols_ = nullptr;
     cols_failed_ = false;
+    puncts_.clear();
   }
 
   void reserve(size_t n) {
@@ -177,6 +204,7 @@ class TupleBatch {
     rows_valid_ = true;
     cols_ = nullptr;
     cols_failed_ = false;
+    puncts_.clear();
   }
 
   SourceId source_ = 0;
@@ -186,6 +214,9 @@ class TupleBatch {
   mutable bool rows_valid_ = true;
   mutable ColumnStore::Ref cols_;
   mutable bool cols_failed_ = false;  ///< FromRows declined; don't retry
+  /// Control lane (see punctuations()). Orthogonal to the row/column
+  /// representations; copies share nothing with the lanes.
+  std::vector<Punctuation> puncts_;
 };
 
 }  // namespace tcq

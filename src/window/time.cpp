@@ -7,6 +7,23 @@ void WatermarkTracker::Update(SourceId source, Timestamp ts) {
   if (!inserted && it->second < ts) it->second = ts;
 }
 
+WatermarkTracker::PunctResult WatermarkTracker::OnPunctuation(
+    const Punctuation& p) {
+  auto [it, inserted] = marks_.try_emplace(p.source, p.low_watermark);
+  if (inserted) {
+    ++punct_applied_;
+    return PunctResult::kAdvanced;
+  }
+  if (p.low_watermark > it->second) {
+    it->second = p.low_watermark;
+    ++punct_applied_;
+    return PunctResult::kAdvanced;
+  }
+  if (p.low_watermark == it->second) return PunctResult::kDuplicate;
+  ++punct_regressed_;
+  return PunctResult::kRegressed;
+}
+
 Timestamp WatermarkTracker::WatermarkOf(SourceId source) const {
   auto it = marks_.find(source);
   return it == marks_.end() ? kMinTimestamp : it->second;
@@ -34,6 +51,28 @@ bool WatermarkTracker::Ordered(SourceId a, Timestamp ta, SourceId b,
                                Timestamp tb) const {
   Timestamp joint = std::min(WatermarkOf(a), WatermarkOf(b));
   return ta <= joint && tb <= joint;
+}
+
+void ShardMergedWatermark::Reset(size_t shards) {
+  per_shard_.assign(shards, WatermarkTracker());
+  merged_ = WatermarkTracker();
+}
+
+std::optional<Timestamp> ShardMergedWatermark::Observe(size_t shard,
+                                                       const Punctuation& p) {
+  if (shard >= per_shard_.size()) return std::nullopt;
+  per_shard_[shard].OnPunctuation(p);
+  // Merged = min over every shard's view of this source. A shard that has
+  // not yet consumed the broadcast reports kMinTimestamp and pins the min.
+  Timestamp merged = kMaxTimestamp;
+  for (const WatermarkTracker& t : per_shard_) {
+    merged = std::min(merged, t.WatermarkOf(p.source));
+  }
+  if (merged == kMinTimestamp) return std::nullopt;
+  Timestamp before = merged_.WatermarkOf(p.source);
+  merged_.Update(p.source, merged);
+  if (merged_.WatermarkOf(p.source) > before) return merged;
+  return std::nullopt;
 }
 
 void TimeTransform::Observe(Timestamp seq, Timestamp ts) {

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "common/clock.h"
@@ -24,13 +25,40 @@ enum class TimeDomain {
   kPhysical,  ///< wall-clock: memory depends on arrival-rate fluctuations
 };
 
+/// Which timeline drives window completion (DESIGN.md §12).
+enum class TimeSemantics {
+  /// Legacy: watermarks advance from observed DATA timestamps; correct only
+  /// when each stream arrives in timestamp order.
+  kArrival,
+  /// Watermarks advance ONLY on punctuations; tuples may arrive out of
+  /// order up to the source's disorder bound, and a window fires when the
+  /// joint watermark strictly passes its right edge.
+  kEvent,
+};
+
 /// Tracks per-source watermarks and exposes the joint (partial-order) lower
 /// bound: the latest instant that EVERY involved stream has reached. A
 /// window [l, r] over a set of streams is complete once MinWatermark >= r.
 class WatermarkTracker {
  public:
+  /// Outcome of applying a punctuation (see OnPunctuation).
+  enum class PunctResult {
+    kAdvanced,   ///< the source's watermark moved forward
+    kDuplicate,  ///< equal to the current watermark: idempotent no-op
+    kRegressed,  ///< below the current watermark: rejected (promise violated)
+  };
+
   /// Advances `source`'s watermark to `ts` (monotone; regressions ignored).
   void Update(SourceId source, Timestamp ts);
+
+  /// Applies a source-issued punctuation: the promise that no future tuple
+  /// from `p.source` has timestamp < p.low_watermark. Watermarks are
+  /// monotone, so duplicates (shard broadcast delivers each punctuation to
+  /// every replica) are no-ops and regressions are rejected and counted.
+  PunctResult OnPunctuation(const Punctuation& p);
+
+  uint64_t punctuations_applied() const { return punct_applied_; }
+  uint64_t punctuations_regressed() const { return punct_regressed_; }
 
   /// Watermark of one source (kMinTimestamp if never updated).
   Timestamp WatermarkOf(SourceId source) const;
@@ -50,6 +78,39 @@ class WatermarkTracker {
 
  private:
   std::map<SourceId, Timestamp> marks_;
+  uint64_t punct_applied_ = 0;
+  uint64_t punct_regressed_ = 0;
+};
+
+/// Min-combines watermarks across the replicas of a sharded query class.
+/// Punctuations are BROADCAST to every shard (data rows partition, control
+/// must not), so each shard independently reports what it has applied; the
+/// merged watermark of a source is the min over all shards' reports, and it
+/// only moves once every shard has seen the broadcast (an unseen shard
+/// reports kMinTimestamp, holding the merge back — exactly the barrier the
+/// broadcast provides).
+class ShardMergedWatermark {
+ public:
+  /// (Re)sizes to `shards` replicas, discarding prior state. Called on
+  /// construction and after a repartition: post-repartition sources re-earn
+  /// their watermarks from the next punctuation onward, which can only
+  /// DELAY window firing — never un-fire a window — so it is safe.
+  void Reset(size_t shards);
+
+  /// Applies shard `shard`'s copy of punctuation `p`. Returns the new merged
+  /// watermark for p.source iff the merge advanced, nullopt otherwise
+  /// (duplicate, regression, or still waiting on other shards).
+  std::optional<Timestamp> Observe(size_t shard, const Punctuation& p);
+
+  /// Current merged watermark of one source (kMinTimestamp until every
+  /// shard has reported it).
+  Timestamp MergedOf(SourceId source) const { return merged_.WatermarkOf(source); }
+
+  size_t shard_count() const { return per_shard_.size(); }
+
+ private:
+  std::vector<WatermarkTracker> per_shard_;
+  WatermarkTracker merged_;
 };
 
 /// Transforms a stream's notion of time, e.g. logical sequence numbers into

@@ -99,14 +99,41 @@ std::vector<WindowResult> RunOverHistory(
   return out;
 }
 
-OnlineWindowRunner::OnlineWindowRunner(WindowedQuery query)
-    : query_(std::move(query)), iter_(query_.loop) {
+OnlineWindowRunner::OnlineWindowRunner(WindowedQuery query, Options opts)
+    : query_(std::move(query)), opts_(opts), iter_(query_.loop) {
   if (iter_.HasNext()) pending_ = iter_.Next();
 }
 
 void OnlineWindowRunner::Ingest(SourceId source, const Tuple& tuple) {
+  if (tuple.IsPunctuation()) {
+    OnPunctuation(tuple.AsPunctuation());
+    return;
+  }
+  if (query_.loop.semantics == TimeSemantics::kEvent) {
+    // A watermark of W promises no future tuple with ts < W; one arriving
+    // anyway exceeded its source's disorder bound. Dropping it (counted,
+    // typed) keeps fired windows immutable rather than silently wrong.
+    if (tuple.timestamp() < watermarks_.WatermarkOf(source)) {
+      ++late_beyond_bound_;
+      return;
+    }
+    if (auto it = prune_floor_.find(source);
+        it != prune_floor_.end() && tuple.timestamp() < it->second) {
+      // In time, but below every remaining window's left end: it can never
+      // be read again, so don't buffer it.
+      ++late_behind_loop_;
+      return;
+    }
+    history_[source].Append(tuple);  // the deque IS the reorder buffer
+    spec_dirty_ = true;
+    return;
+  }
   history_[source].Append(tuple);
   watermarks_.Update(source, tuple.timestamp());
+}
+
+void OnlineWindowRunner::OnPunctuation(const Punctuation& p) {
+  watermarks_.OnPunctuation(p);
 }
 
 void OnlineWindowRunner::AdvanceWatermark(SourceId source, Timestamp ts) {
@@ -114,20 +141,96 @@ void OnlineWindowRunner::AdvanceWatermark(SourceId source, Timestamp ts) {
 }
 
 void OnlineWindowRunner::Poll(const Callback& cb) {
+  const bool event = query_.loop.semantics == TimeSemantics::kEvent;
   while (pending_.has_value()) {
-    // The window fires once every involved stream has passed its right end.
     bool complete = true;
     for (const auto& [source, range] : pending_->ranges) {
-      if (watermarks_.WatermarkOf(source) < range.second) {
+      Timestamp w = watermarks_.WatermarkOf(source);
+      if (event) {
+        // Right ends are inclusive: ts == r tuples may still arrive while
+        // W == r, so completion needs W strictly past r (kMaxTimestamp ==
+        // stream closed counts too).
+        if (w <= range.second && w != kMaxTimestamp) {
+          complete = false;
+          break;
+        }
+      } else if (w < range.second) {
         complete = false;
         break;
       }
     }
-    if (!complete) break;
-    cb(EvaluateInstance(query_, *pending_, history_));
+    if (!complete) {
+      if (event && opts_.speculate && spec_dirty_) {
+        spec_dirty_ = false;
+        EmitDelta(cb, EvaluateInstance(query_, *pending_, history_).tuples,
+                  WindowResultKind::kSpeculative);
+      }
+      break;
+    }
+    WindowResult full = EvaluateInstance(query_, *pending_, history_);
+    if (event && opts_.speculate) {
+      // Seal as a delta: retract what no longer holds, then emit the final
+      // additions. `sum(additions) - sum(retractions)` == full.tuples.
+      EmitDelta(cb, full.tuples, WindowResultKind::kFinal);
+    } else {
+      cb(full);
+    }
     pending_ = iter_.HasNext() ? std::optional(iter_.Next()) : std::nullopt;
+    spec_emitted_.clear();
+    spec_revision_ = 0;
+    spec_dirty_ = !history_.empty();
     MaybePrune();
   }
+}
+
+void OnlineWindowRunner::EmitDelta(const Callback& cb,
+                                   const std::vector<Tuple>& now,
+                                   WindowResultKind kind) {
+  Timestamp t = pending_->t;
+  std::map<std::string, std::pair<Tuple, size_t>> current;
+  for (const Tuple& tp : now) {
+    auto [it, inserted] = current.try_emplace(tp.ToString(), tp, 0);
+    ++it->second.second;
+  }
+  WindowResult retract;
+  retract.t = t;
+  retract.kind = WindowResultKind::kRetraction;
+  for (const auto& [key, emitted] : spec_emitted_) {
+    size_t have = 0;
+    if (auto it = current.find(key); it != current.end()) {
+      have = it->second.second;
+    }
+    for (size_t i = have; i < emitted.second; ++i) {
+      retract.tuples.push_back(Tuple::Retraction(emitted.first));
+    }
+  }
+  if (!retract.tuples.empty()) {
+    retract.revision = ++spec_revision_;
+    retractions_ += retract.tuples.size();
+    cb(retract);
+  }
+  WindowResult add;
+  add.t = t;
+  add.kind = kind;
+  for (const auto& [key, cur] : current) {
+    size_t emitted = 0;
+    if (auto it = spec_emitted_.find(key); it != spec_emitted_.end()) {
+      emitted = it->second.second;
+    }
+    for (size_t i = emitted; i < cur.second; ++i) {
+      add.tuples.push_back(cur.first);
+    }
+  }
+  // kFinal always fires (even empty) so consumers see the window seal;
+  // kSpeculative only fires when it adds something.
+  if (!add.tuples.empty() || kind == WindowResultKind::kFinal) {
+    add.revision = ++spec_revision_;
+    if (kind == WindowResultKind::kSpeculative) {
+      speculative_ += add.tuples.size();
+    }
+    cb(add);
+  }
+  spec_emitted_ = std::move(current);
 }
 
 void OnlineWindowRunner::MaybePrune() {
@@ -145,7 +248,12 @@ void OnlineWindowRunner::MaybePrune() {
     for (const WindowIs& w : query_.loop.windows) {
       if (w.source == source && w.left.t_coef > 0) left_advances = true;
     }
-    if (left_advances) history_[source].PruneBefore(range.first);
+    if (left_advances) {
+      history_[source].PruneBefore(range.first);
+      Timestamp& floor =
+          prune_floor_.try_emplace(source, kMinTimestamp).first->second;
+      floor = std::max(floor, range.first);
+    }
   }
 }
 

@@ -45,10 +45,22 @@ class StreamHistory {
   std::deque<Tuple> tuples_;
 };
 
+/// What a WindowResult means to the consumer (CEDR-style delta contract,
+/// DESIGN.md §12). In speculation mode a window's true content is the
+/// accumulation `sum(additions) - sum(retractions)` over its results.
+enum class WindowResultKind : uint8_t {
+  kFinal,        ///< window sealed; tuples are the final additions
+  kSpeculative,  ///< early additions; may later be retracted
+  kRetraction,   ///< withdraws previously emitted tuples (kind-tagged)
+};
+
 /// One fired window: the loop instant and the query's result set over it.
 struct WindowResult {
   Timestamp t = 0;
   std::vector<Tuple> tuples;
+  WindowResultKind kind = WindowResultKind::kFinal;
+  /// Monotone per-window revision (0 for a never-revised final result).
+  uint64_t revision = 0;
 };
 
 /// A windowed query: the for-loop plus a conjunctive predicate set (filters
@@ -70,35 +82,100 @@ std::vector<WindowResult> RunOverHistory(
     uint64_t max_windows = 1u << 16);
 
 /// Online evaluation: fires windows as watermarks pass their right ends.
+///
+/// Two time semantics (query.loop.semantics):
+///  * kArrival (legacy): each data tuple advances its stream's watermark; a
+///    window [l, r] fires once every watermark reaches r. Correct only for
+///    in-order streams.
+///  * kEvent: watermarks advance ONLY on punctuations; the per-source
+///    history deque is the bounded-disorder reorder buffer, and a window
+///    [l, r] fires once every involved watermark strictly passes r (a
+///    watermark of W promises no future tuple with ts < W, so r is settled
+///    when W > r). Tuples older than their source's watermark are provably
+///    late — counted and dropped with a typed reason, never silently wrong.
+///
+/// Opt-in speculation (Options::speculate, kEvent only): Poll additionally
+/// emits early results for the head window as data arrives — kSpeculative
+/// additions and kRetraction withdrawals — and seals it with a kFinal delta
+/// once complete. Accumulating additions minus retractions reproduces the
+/// exact final window (CEDR's consistency spectrum in miniature).
 class OnlineWindowRunner {
  public:
   using Callback = std::function<void(const WindowResult&)>;
 
-  explicit OnlineWindowRunner(WindowedQuery query);
+  struct Options {
+    /// Emit early (revisable) results for incomplete windows.
+    bool speculate = false;
+  };
 
-  /// Appends a tuple and advances its stream's watermark.
+  /// Typed reasons for dropping a late tuple (kEvent mode only).
+  enum class LateDrop {
+    kBeyondBound,  ///< ts < its source's watermark: punctuation promise broken
+    kBehindLoop,   ///< ts below every remaining window's left end
+  };
+
+  explicit OnlineWindowRunner(WindowedQuery query)
+      : OnlineWindowRunner(std::move(query), Options()) {}
+  OnlineWindowRunner(WindowedQuery query, Options opts);
+
+  /// Buffers a tuple (and, in kArrival mode, advances its stream's
+  /// watermark). Control tuples are diverted to OnPunctuation; late data
+  /// tuples (kEvent mode) are counted and dropped.
   void Ingest(SourceId source, const Tuple& tuple);
 
+  /// Applies a source punctuation to the watermark tracker (regressions are
+  /// rejected and counted there).
+  void OnPunctuation(const Punctuation& p);
+
   /// Declares that `source` has progressed to `ts` even without a tuple
-  /// (punctuation/heartbeat).
+  /// (stream close / loop exhaustion path).
   void AdvanceWatermark(SourceId source, Timestamp ts);
 
-  /// Fires every complete, not-yet-fired window in loop order.
+  /// Fires every complete, not-yet-fired window in loop order; with
+  /// speculation on, also revises the (incomplete) head window.
   void Poll(const Callback& cb);
 
   /// True once the loop is exhausted AND every instance has fired.
   bool Done() const { return !pending_.has_value(); }
 
   size_t buffered_tuples() const;
+  uint64_t late_dropped(LateDrop reason) const {
+    return reason == LateDrop::kBeyondBound ? late_beyond_bound_
+                                            : late_behind_loop_;
+  }
+  uint64_t retractions_emitted() const { return retractions_; }
+  uint64_t speculative_emitted() const { return speculative_; }
+  const WatermarkTracker& watermarks() const { return watermarks_; }
 
  private:
+  /// White-box access for delta-contract tests: SPJ window content is
+  /// monotone in arrivals, so the retraction branch of EmitDelta is
+  /// unreachable through Ingest alone — it exists for revising operators
+  /// (aggregates, negation) and is pinned down via this peer.
+  friend struct WindowRunnerTestPeer;
+
   void MaybePrune();
+  /// Diffs the head window's current content against what speculation
+  /// already emitted; issues kRetraction / `kind` results for the delta.
+  void EmitDelta(const Callback& cb, const std::vector<Tuple>& now,
+                 WindowResultKind kind);
 
   WindowedQuery query_;
+  Options opts_;
   WindowIterator iter_;
   std::optional<WindowInstance> pending_;  // next unfired window
   WatermarkTracker watermarks_;
   std::map<SourceId, StreamHistory> history_;
+  std::map<SourceId, Timestamp> prune_floor_;
+  uint64_t late_beyond_bound_ = 0;
+  uint64_t late_behind_loop_ = 0;
+  uint64_t retractions_ = 0;
+  uint64_t speculative_ = 0;
+  // Speculation state for the head window: what we have emitted so far,
+  // as a counting multiset keyed by Tuple::ToString().
+  std::map<std::string, std::pair<Tuple, size_t>> spec_emitted_;
+  uint64_t spec_revision_ = 0;
+  bool spec_dirty_ = false;  ///< new data since the last speculative pass
 };
 
 /// (value, t) pair per fired window.

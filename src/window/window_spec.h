@@ -19,6 +19,7 @@
 
 #include "common/clock.h"
 #include "tuple/schema.h"
+#include "window/time.h"
 
 namespace tcq {
 
@@ -76,6 +77,10 @@ struct ForLoopSpec {
   /// be nonzero unless the condition bounds the loop to one iteration).
   Timestamp t_step = 1;
   std::vector<WindowIs> windows;
+  /// Which timeline completes windows (DESIGN.md §12): kArrival trusts data
+  /// order (legacy); kEvent fires only on punctuation-driven watermarks and
+  /// tolerates bounded disorder.
+  TimeSemantics semantics = TimeSemantics::kArrival;
 
   /// Classifies the loop's windows.
   WindowClass Classify() const;

@@ -388,5 +388,75 @@ TEST(ExecShardingTest, ShardMetricsAndGcLifecycle) {
   exec.Stop();
 }
 
+// A punctuation ingested on a sharded class's stream is broadcast to every
+// shard replica; the class-level watermark only advances once ALL shards
+// have applied it (min-combine), and exactly one merged punctuation tuple
+// reaches each member query's sink.
+TEST(ShardingTest, PunctuationBroadcastMinCombinesAcrossShards) {
+  Executor exec({.num_eos = 2, .quantum = 16, .shards = 4});
+  ASSERT_TRUE(exec.RegisterStream(0, Sch(0)).ok());
+  Collector got;
+  ASSERT_TRUE(exec.SubmitQuery(FilterSpec(0, 1000), got.SinkFor("f")).ok());
+  auto topo = exec.Topology();
+  ASSERT_EQ(topo.size(), 1u);
+  ASSERT_EQ(topo[0].shards, 4u);
+  exec.Start();
+
+  EXPECT_EQ(exec.stream_watermark(0), kMinTimestamp);
+  EXPECT_EQ(exec.stream_watermark(7), kMinTimestamp);  // unknown stream
+
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(exec.IngestTuple(0, Row(0, i, i, i + 1)).ok());
+  }
+  ASSERT_TRUE(exec.IngestTuple(0, Tuple::MakePunctuation(0, 30)).ok());
+
+  // All 32 rows pass the filter, plus the merged punctuation = 33.
+  ASSERT_TRUE(got.WaitFor("f", 33));
+  EXPECT_EQ(exec.stream_watermark(0), 30);
+
+  size_t puncts = 0;
+  for (const Tuple& t : got.Take("f")) {
+    if (!t.IsPunctuation()) continue;
+    ++puncts;
+    Punctuation p = t.AsPunctuation();
+    EXPECT_EQ(p.source, 0u);
+    EXPECT_EQ(p.low_watermark, 30);
+  }
+  // Broadcast to 4 shards, min-combined back to exactly ONE delivery.
+  EXPECT_EQ(puncts, 1u);
+  exec.Stop();
+}
+
+// Duplicate and regressed punctuations neither move the merged watermark
+// nor produce extra control deliveries; a genuine advance does both.
+TEST(ShardingTest, DuplicateAndRegressedPunctuationsAreIdempotent) {
+  Executor exec({.num_eos = 2, .quantum = 16, .shards = 4});
+  ASSERT_TRUE(exec.RegisterStream(0, Sch(0)).ok());
+  Collector got;
+  ASSERT_TRUE(exec.SubmitQuery(FilterSpec(0, 1000), got.SinkFor("f")).ok());
+  exec.Start();
+
+  ASSERT_TRUE(exec.IngestTuple(0, Tuple::MakePunctuation(0, 10)).ok());
+  ASSERT_TRUE(got.WaitFor("f", 1));
+  EXPECT_EQ(exec.stream_watermark(0), 10);
+
+  // Duplicate (wm=10) and regression (wm=5): both rejected at every shard.
+  ASSERT_TRUE(exec.IngestTuple(0, Tuple::MakePunctuation(0, 10)).ok());
+  ASSERT_TRUE(exec.IngestTuple(0, Tuple::MakePunctuation(0, 5)).ok());
+  // A later genuine advance flushes past the rejected ones; its arrival at
+  // the sink proves the rejects were fully processed (same ordered path).
+  ASSERT_TRUE(exec.IngestTuple(0, Tuple::MakePunctuation(0, 20)).ok());
+  ASSERT_TRUE(got.WaitFor("f", 2));
+  EXPECT_EQ(exec.stream_watermark(0), 20);
+
+  std::vector<Timestamp> wms;
+  for (const Tuple& t : got.Take("f")) {
+    ASSERT_TRUE(t.IsPunctuation());
+    wms.push_back(t.AsPunctuation().low_watermark);
+  }
+  EXPECT_EQ(wms, (std::vector<Timestamp>{10, 20}));
+  exec.Stop();
+}
+
 }  // namespace
 }  // namespace tcq

@@ -375,6 +375,90 @@ TEST(FjordTest, PullModeProduceBatchRetainsSuffixOnClose) {
   EXPECT_EQ(batch.size(), 3u);
 }
 
+TEST(FjordTest, ControlLaneTravelsBehindRowsAndDivertsOnConsume) {
+  auto [producer, consumer, fjord] = Fjord::Make(FjordMode::kPush, 8);
+  TupleBatch batch;
+  batch.push_back(IntTuple(1));
+  batch.push_back(IntTuple(2));
+  batch.AddPunctuation(Punctuation{0, 2});
+  // push_back of a control tuple diverts onto the lane, not the rows.
+  batch.push_back(Tuple::MakePunctuation(0, 5));
+  ASSERT_EQ(batch.size(), 2u);
+  ASSERT_EQ(batch.punctuations().size(), 2u);
+
+  EXPECT_EQ(producer.ProduceBatch(&batch), QueueOp::kOk);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_TRUE(batch.punctuations().empty());
+
+  TupleBatch out;
+  QueueOp op = QueueOp::kOk;
+  // Rows and control tuples count toward the popped total; the consumer's
+  // push_back diverts control tuples back onto the output lane.
+  EXPECT_EQ(consumer.ConsumeBatch(&out, 16, &op), 4u);
+  EXPECT_EQ(op, QueueOp::kOk);
+  ASSERT_EQ(out.size(), 2u);
+  ASSERT_EQ(out.punctuations().size(), 2u);
+  EXPECT_EQ(out.punctuations()[0].low_watermark, 2);
+  EXPECT_EQ(out.punctuations()[1].low_watermark, 5);
+}
+
+TEST(FjordTest, BackpressureRetainsLaneSuffixForRetry) {
+  auto [producer, consumer, fjord] = Fjord::Make(FjordMode::kPush, 3);
+  TupleBatch batch;
+  batch.push_back(IntTuple(1));
+  batch.push_back(IntTuple(2));
+  batch.AddPunctuation(Punctuation{0, 2});
+  batch.AddPunctuation(Punctuation{0, 7});
+  // Capacity 3: both rows and the first punctuation land, the second stays
+  // on the lane for the caller's retry.
+  EXPECT_EQ(producer.ProduceBatch(&batch), QueueOp::kWouldBlock);
+  EXPECT_TRUE(batch.empty());
+  ASSERT_EQ(batch.punctuations().size(), 1u);
+  EXPECT_EQ(batch.punctuations()[0].low_watermark, 7);
+
+  Tuple t;
+  ASSERT_EQ(consumer.Consume(&t), QueueOp::kOk);  // free one slot
+  EXPECT_EQ(producer.ProduceBatch(&batch), QueueOp::kOk);
+  EXPECT_TRUE(batch.punctuations().empty());
+
+  TupleBatch out;
+  QueueOp op = QueueOp::kOk;
+  EXPECT_EQ(consumer.ConsumeBatch(&out, 16, &op), 3u);
+  ASSERT_EQ(out.punctuations().size(), 2u);
+  EXPECT_EQ(out.punctuations()[0].low_watermark, 2);
+  EXPECT_EQ(out.punctuations()[1].low_watermark, 7);
+}
+
+TEST(FjordTest, LaneHeldBackWhileRowsRemain) {
+  auto [producer, consumer, fjord] = Fjord::Make(FjordMode::kPush, 1);
+  TupleBatch batch;
+  batch.push_back(IntTuple(1));
+  batch.push_back(IntTuple(2));
+  batch.AddPunctuation(Punctuation{0, 9});
+  // Only one row fits; the lane must NOT jump ahead of the stuck row
+  // (its contract is "applies after this batch's rows").
+  EXPECT_EQ(producer.ProduceBatch(&batch), QueueOp::kWouldBlock);
+  EXPECT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.punctuations().size(), 1u);
+}
+
+TEST(FjordTest, LaneOnlyBatchCountsAsDelivery) {
+  auto [producer, consumer, fjord] = Fjord::Make(FjordMode::kPush, 4);
+  TupleBatch batch;
+  batch.AddPunctuation(Punctuation{3, 11});
+  EXPECT_EQ(producer.ProduceBatch(&batch), QueueOp::kOk);
+
+  TupleBatch out;
+  QueueOp op = QueueOp::kOk;
+  // got > 0 even though no data rows arrived — pump loops treat a lane-only
+  // pop as work to deliver.
+  EXPECT_EQ(consumer.ConsumeBatch(&out, 16, &op), 1u);
+  EXPECT_TRUE(out.empty());
+  ASSERT_EQ(out.punctuations().size(), 1u);
+  EXPECT_EQ(out.punctuations()[0].source, 3u);
+  EXPECT_EQ(out.punctuations()[0].low_watermark, 11);
+}
+
 TEST(FjordTest, ModeNames) {
   EXPECT_STREQ(FjordModeName(FjordMode::kPull), "pull");
   EXPECT_STREQ(FjordModeName(FjordMode::kPush), "push");

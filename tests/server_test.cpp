@@ -5,8 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <map>
+#include <set>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "common/rng.h"
 #include "ingress/generators.h"
 #include "server/telegraphcq.h"
 
@@ -101,6 +106,35 @@ TEST(ServerTest, MultipleQueriesShareOneStream) {
   server.Stop();
   EXPECT_EQ(msft, 40u);
   EXPECT_EQ(cheap, 20u);  // AAPL on odd days at 40 < 45
+}
+
+TEST(ServerTest, ContinuousQueryAfterWindowedQueryStillDelivers) {
+  // Regression: a windowed query's input subscription shares the logical
+  // source id with the executor's shared subscription; the dedup in
+  // SubscribeContinuous must not mistake one for the other, or a continuous
+  // query submitted second never gets fed.
+  TelegraphCQ server;
+  ASSERT_TRUE(server.DefineStream("ClosingStockPrices", StockFields()).ok());
+  auto win = server.Submit(
+      "SELECT closingPrice FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (t = 5; t <= 10; t += 1) { WindowIs(ClosingStockPrices, t-4, t); }");
+  ASSERT_TRUE(win.ok()) << win.status();
+  auto cq = server.Submit(
+      "SELECT * FROM ClosingStockPrices WHERE stockSymbol = 'MSFT'");
+  ASSERT_TRUE(cq.ok()) << cq.status();
+  server.Start();
+  PushStocks(&server, 12);
+  size_t got = DrainCount(cq->results.get(), 12, 2000);
+  WindowResult wr;
+  size_t fired = 0;
+  for (int waited = 0; waited < 2000 && fired < 6; ++waited) {
+    while (win->windows->Poll(&wr)) ++fired;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+  EXPECT_EQ(got, 12u);    // the continuous query is actually fed
+  EXPECT_EQ(fired, 6u);   // and the windowed query still fires t=5..10
 }
 
 TEST(ServerTest, CancelStopsDeliveries) {
@@ -280,6 +314,231 @@ TEST(ServerTest, ErrorPaths) {
   // Arity mismatch caught by schema validation.
   EXPECT_TRUE(server.Push("S", {Value::TimestampVal(1)}, 1)
                   .IsInvalidArgument());
+}
+
+// --- Event time & punctuations (DESIGN.md §12) ---------------------------
+
+/// One MSFT row per day, price 50 + d.
+void PushDay(TelegraphCQ* server, Timestamp d) {
+  ASSERT_TRUE(server
+                  ->Push("ClosingStockPrices",
+                         {Value::TimestampVal(d), Value::String("MSFT"),
+                          Value::Double(50.0 + static_cast<double>(d))},
+                         d)
+                  .ok());
+}
+
+/// Shuffles `days` within consecutive blocks of `block`: arrival disorder
+/// is hard-bounded by block - 1.
+std::vector<Timestamp> BlockShuffledDays(Timestamp days, size_t block,
+                                         uint64_t seed) {
+  std::vector<Timestamp> order;
+  for (Timestamp d = 1; d <= days; ++d) order.push_back(d);
+  Rng rng(seed);
+  for (size_t i = 0; i < order.size(); i += block) {
+    size_t end = std::min(i + block, order.size());
+    for (size_t j = end - 1; j > i; --j) {
+      std::swap(order[j], order[i + rng.UniformInt(0, j - i)]);
+    }
+  }
+  return order;
+}
+
+TEST(EventTimeServerTest, DisorderedArrivalsYieldExactWindows) {
+  // A punctuating stream with a disorder bound that covers the shuffle:
+  // every event-time window must come out exactly as if arrivals had been
+  // in order, with zero late drops.
+  TelegraphCQ server;
+  ASSERT_TRUE(server
+                  .DefineStream("ClosingStockPrices", StockFields(),
+                                {.punctuate = true, .disorder_bound = 4})
+                  .ok());
+  auto handle = server.Submit(
+      "SELECT closingPrice, timestamp FROM ClosingStockPrices "
+      "WHERE stockSymbol = 'MSFT' "
+      "for (t = 5; t <= 12; t += 1) { "
+      "WindowIs(ClosingStockPrices, t - 4, t); }");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_NE(handle->windows, nullptr);
+  server.Start();
+
+  for (Timestamp d : BlockShuffledDays(20, 4, 7)) PushDay(&server, d);
+
+  std::map<Timestamp, std::multiset<Timestamp>> got;
+  for (int i = 0; i < 3000 && got.size() < 8; ++i) {
+    WindowResult wr;
+    while (handle->windows->Poll(&wr)) {
+      for (const Tuple& t : wr.tuples) {
+        got[wr.t].insert(t.Get("timestamp").AsInt64());
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto intro = server.Introspect();
+  server.Stop();
+
+  ASSERT_EQ(got.size(), 8u);
+  for (Timestamp t = 5; t <= 12; ++t) {
+    std::multiset<Timestamp> want;
+    for (Timestamp d = t - 4; d <= t; ++d) want.insert(d);
+    EXPECT_EQ(got[t], want) << "window ending " << t;
+  }
+  for (const auto& ss : intro.streams) {
+    if (ss.name == "ClosingStockPrices") {
+      EXPECT_EQ(ss.late_tuples, 0u);
+    }
+  }
+}
+
+TEST(EventTimeServerTest, LateTuplesAreCountedAndExcluded) {
+  // disorder_bound = 0: the watermark is the max timestamp seen, so a
+  // replayed old row is provably late — counted per stream, and absent
+  // from every event-time window.
+  TelegraphCQ server;
+  ASSERT_TRUE(server
+                  .DefineStream("ClosingStockPrices", StockFields(),
+                                {.punctuate = true, .disorder_bound = 0})
+                  .ok());
+  auto handle = server.Submit(
+      "SELECT timestamp FROM ClosingStockPrices "
+      "for (t = 5; t <= 8; t += 1) { "
+      "WindowIs(ClosingStockPrices, t - 4, t); }");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  server.Start();
+
+  std::map<Timestamp, size_t> sizes;
+  auto drain = [&] {
+    WindowResult wr;
+    while (handle->windows->Poll(&wr)) sizes[wr.t] = wr.tuples.size();
+  };
+
+  for (Timestamp d : {1, 2, 4, 5, 6}) PushDay(&server, d);
+  // Wait for window [1, 5] to fire: the runner has provably applied the
+  // watermark-6 punctuation, so the replayed day 3 below is seen late by
+  // the runner too (not just by the entrance scan).
+  for (int i = 0; i < 3000 && sizes.count(5) == 0; ++i) {
+    drain();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(sizes.count(5), 1u);
+  PushDay(&server, 3);  // late: the watermark already reached 6
+  for (Timestamp d = 7; d <= 16; ++d) PushDay(&server, d);
+
+  for (int i = 0; i < 3000 && sizes.size() < 4; ++i) {
+    drain();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto intro = server.Introspect();
+  server.Stop();
+
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[5], 4u);  // days {1,2,4,5}: day 3 never arrived in time
+  EXPECT_EQ(sizes[6], 4u);  // days {2,4,5,6}: late day 3 dropped
+  EXPECT_EQ(sizes[7], 4u);  // days {4,5,6,7}: late day 3 dropped
+  EXPECT_EQ(sizes[8], 5u);  // days {4..8}
+  bool saw_stream = false;
+  for (const auto& ss : intro.streams) {
+    if (ss.name != "ClosingStockPrices") continue;
+    saw_stream = true;
+    EXPECT_EQ(ss.late_tuples, 1u);
+  }
+  EXPECT_TRUE(saw_stream);
+}
+
+TEST(EventTimeServerTest, SpeculativeQueryConvergesToFinalWindows) {
+  // With speculation on, early (kSpeculative) results stream out before the
+  // watermark seals a window; accumulating additions minus retractions must
+  // reproduce the exact final content, and kFinal seals every window.
+  TelegraphCQ server;
+  ASSERT_TRUE(server
+                  .DefineStream("ClosingStockPrices", StockFields(),
+                                {.punctuate = true, .disorder_bound = 0})
+                  .ok());
+  auto handle = server.Submit(
+      "SELECT timestamp FROM ClosingStockPrices "
+      "for (t = 5; t <= 8; t += 1) { "
+      "WindowIs(ClosingStockPrices, t - 4, t); }",
+      {.speculate = true});
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  server.Start();
+
+  // Two pushes with a gap so at least one poll observes an unsealed window.
+  for (Timestamp d = 1; d <= 5; ++d) PushDay(&server, d);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (Timestamp d = 6; d <= 10; ++d) PushDay(&server, d);
+
+  std::map<Timestamp, std::map<Timestamp, int64_t>> acc;
+  size_t finals = 0, speculative = 0;
+  for (int i = 0; i < 3000 && finals < 4; ++i) {
+    WindowResult wr;
+    while (handle->windows->Poll(&wr)) {
+      if (wr.kind == WindowResultKind::kFinal) ++finals;
+      if (wr.kind == WindowResultKind::kSpeculative) ++speculative;
+      int64_t sign = wr.kind == WindowResultKind::kRetraction ? -1 : 1;
+      for (const Tuple& t : wr.tuples) {
+        acc[wr.t][t.Get("timestamp").AsInt64()] += sign;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto intro = server.Introspect();
+  server.Stop();
+
+  ASSERT_EQ(finals, 4u);
+  EXPECT_GT(speculative, 0u);
+  for (Timestamp t = 5; t <= 8; ++t) {
+    std::map<Timestamp, int64_t> want;
+    for (Timestamp d = t - 4; d <= t; ++d) want[d] = 1;
+    // Zero entries are retract-cancelled additions; drop before comparing.
+    for (auto it = acc[t].begin(); it != acc[t].end();) {
+      it = it->second == 0 ? acc[t].erase(it) : std::next(it);
+    }
+    EXPECT_EQ(acc[t], want) << "window ending " << t;
+  }
+  // The client-side and introspected retraction counts agree (SPJ windows
+  // are monotone in arrivals, so this is typically zero — see DESIGN.md).
+  for (const auto& qs : intro.queries) {
+    if (qs.id == handle->id) {
+      EXPECT_EQ(qs.retractions, handle->windows->retractions());
+    }
+  }
+}
+
+TEST(EventTimeServerTest, PunctuationsReachContinuousEgress) {
+  // Continuous queries on a punctuating stream see the merged punctuations
+  // in-band at egress, counted per client.
+  TelegraphCQ server;
+  ASSERT_TRUE(server
+                  .DefineStream("ClosingStockPrices", StockFields(),
+                                {.punctuate = true, .disorder_bound = 0})
+                  .ok());
+  auto handle =
+      server.Submit("SELECT * FROM ClosingStockPrices");
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_NE(handle->results, nullptr);
+  server.Start();
+
+  for (Timestamp d = 1; d <= 10; ++d) PushDay(&server, d);
+
+  // 10 data rows plus at least one merged punctuation tuple.
+  size_t data = 0, puncts = 0;
+  Delivery d;
+  for (int waited = 0; waited < 3000 && (data < 10 || puncts == 0);
+       ++waited) {
+    while (handle->results->Poll(&d)) {
+      if (d.tuple.IsPunctuation()) {
+        ++puncts;
+        EXPECT_GE(d.tuple.AsPunctuation().low_watermark, 1);
+      } else {
+        ++data;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.Stop();
+  EXPECT_EQ(data, 10u);
+  EXPECT_GT(puncts, 0u);
+  EXPECT_EQ(handle->results->punctuations_delivered(), puncts);
 }
 
 }  // namespace

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <set>
+
 #include "common/rng.h"
 #include "window/time.h"
 #include "window/window_exec.h"
@@ -450,6 +454,375 @@ TEST(WindowAggregateTest, CountAvgMinOverSliding) {
   EXPECT_EQ(count.back().value.AsInt64(), 10);
   EXPECT_DOUBLE_EQ(avg.back().value.AsDouble(), (41 + 50) / 2.0);
   EXPECT_DOUBLE_EQ(min.back().value.AsDouble(), 41.0);
+}
+
+// --- Event time, punctuations & speculation (DESIGN.md §12) -----------------
+
+// Canonical multiset key: retraction tuples compare equal to the data tuple
+// they withdraw.
+std::string DataKey(const Tuple& t) {
+  return t.IsRetraction()
+             ? Tuple::Make(t.schema(), t.values(), t.timestamp()).ToString()
+             : t.ToString();
+}
+
+std::multiset<std::string> Multiset(const std::vector<Tuple>& tuples) {
+  std::multiset<std::string> out;
+  for (const Tuple& t : tuples) out.insert(DataKey(t));
+  return out;
+}
+
+// Block-shuffles `tuples` in place: each consecutive block of `block` items
+// is Fisher-Yates shuffled, blocks stay in order, so displacement (and thus
+// timestamp disorder for unit-spaced streams) is HARD-bounded by block - 1.
+void BlockShuffle(std::vector<Tuple>* tuples, size_t block, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < tuples->size(); i += block) {
+    size_t end = std::min(i + block, tuples->size());
+    std::vector<Tuple> chunk(tuples->begin() + i, tuples->begin() + end);
+    rng.Shuffle(&chunk);
+    std::copy(chunk.begin(), chunk.end(), tuples->begin() + i);
+  }
+}
+
+TEST(EventTimeWindowTest, ShuffledArrivalMatchesOfflineReference) {
+  // Acceptance pin: an event-time runner fed a bounded-disorder shuffle of
+  // the stream produces windows multiset-identical to the offline reference
+  // over the in-order history.
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0}, 5, 5, 120);
+  q.loop.semantics = TimeSemantics::kEvent;
+
+  StreamHistory h;
+  std::vector<Tuple> arrivals;
+  for (Timestamp d = 1; d <= 120; ++d) {
+    Tuple t = Stock(0, d, "MSFT", 100.0 + static_cast<double>(d % 7));
+    h.Append(t);
+    arrivals.push_back(t);
+  }
+  WindowedQuery ref_q = q;
+  ref_q.loop.semantics = TimeSemantics::kArrival;
+  auto reference = RunOverHistory(ref_q, {{0, std::move(h)}});
+
+  const Timestamp kBound = 8;
+  BlockShuffle(&arrivals, static_cast<size_t>(kBound), /*seed=*/7);
+
+  OnlineWindowRunner runner(q);
+  std::vector<WindowResult> fired;
+  auto cb = [&](const WindowResult& r) { fired.push_back(r); };
+  Timestamp max_ts = kMinTimestamp;
+  size_t n = 0;
+  for (const Tuple& t : arrivals) {
+    runner.Ingest(0, t);
+    max_ts = std::max(max_ts, t.timestamp());
+    if (++n % 16 == 0) {
+      runner.OnPunctuation(Punctuation{0, max_ts - kBound});
+      runner.Poll(cb);
+    }
+  }
+  runner.OnPunctuation(Punctuation{0, kMaxTimestamp});
+  runner.Poll(cb);
+
+  // Disorder never exceeded the promised bound, so nothing was late.
+  EXPECT_EQ(runner.late_dropped(OnlineWindowRunner::LateDrop::kBeyondBound),
+            0u);
+  ASSERT_EQ(fired.size(), reference.size());
+  for (size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i].t, reference[i].t);
+    EXPECT_EQ(fired[i].kind, WindowResultKind::kFinal);
+    EXPECT_EQ(Multiset(fired[i].tuples), Multiset(reference[i].tuples))
+        << "window t=" << fired[i].t;
+  }
+}
+
+TEST(EventTimeWindowTest, SpeculationAccumulatesToReference) {
+  // Acceptance pin: with speculation on, summing additions (kSpeculative +
+  // kFinal) minus retractions per window converges to the same multiset the
+  // offline reference computes.
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0}, 5, 5, 120);
+  q.loop.semantics = TimeSemantics::kEvent;
+
+  StreamHistory h;
+  std::vector<Tuple> arrivals;
+  for (Timestamp d = 1; d <= 120; ++d) {
+    Tuple t = Stock(0, d, "MSFT", 100.0 + static_cast<double>(d % 5));
+    h.Append(t);
+    arrivals.push_back(t);
+  }
+  WindowedQuery ref_q = q;
+  ref_q.loop.semantics = TimeSemantics::kArrival;
+  auto reference = RunOverHistory(ref_q, {{0, std::move(h)}});
+
+  const Timestamp kBound = 8;
+  BlockShuffle(&arrivals, static_cast<size_t>(kBound), /*seed=*/13);
+
+  OnlineWindowRunner::Options sopts;
+  sopts.speculate = true;
+  OnlineWindowRunner runner(q, sopts);
+  // Per-window accumulation: additions count +1, retractions -1.
+  std::map<Timestamp, std::map<std::string, int>> acc;
+  std::map<Timestamp, uint64_t> last_revision;
+  auto cb = [&](const WindowResult& r) {
+    // Revisions of one window arrive in monotone order.
+    EXPECT_GT(r.revision, last_revision[r.t]);
+    last_revision[r.t] = r.revision;
+    int delta = r.kind == WindowResultKind::kRetraction ? -1 : 1;
+    for (const Tuple& t : r.tuples) acc[r.t][DataKey(t)] += delta;
+  };
+  Timestamp max_ts = kMinTimestamp;
+  size_t n = 0;
+  for (const Tuple& t : arrivals) {
+    runner.Ingest(0, t);
+    max_ts = std::max(max_ts, t.timestamp());
+    if (++n % 16 == 0) {
+      runner.OnPunctuation(Punctuation{0, max_ts - kBound});
+    }
+    runner.Poll(cb);  // every poll may revise the head window
+  }
+  runner.OnPunctuation(Punctuation{0, kMaxTimestamp});
+  runner.Poll(cb);
+
+  // Speculation actually ran (early results before the windows sealed).
+  EXPECT_GT(runner.speculative_emitted(), 0u);
+  for (const WindowResult& ref : reference) {
+    std::map<std::string, int> want;
+    for (const Tuple& t : ref.tuples) ++want[DataKey(t)];
+    std::erase_if(acc[ref.t], [](const auto& kv) { return kv.second == 0; });
+    EXPECT_EQ(acc[ref.t], want) << "window t=" << ref.t;
+  }
+}
+
+TEST(EventTimeWindowTest, BeyondBoundLateTuplesAreDroppedAndCounted) {
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0}, 5, 5, 100);
+  q.loop.semantics = TimeSemantics::kEvent;
+  OnlineWindowRunner runner(q);
+  runner.Ingest(0, Stock(0, 12, "MSFT", 50.0));
+  runner.OnPunctuation(Punctuation{0, 10});
+  // ts 9 < watermark 10: the punctuation promised this cannot happen, so the
+  // tuple is counted and dropped, never buffered.
+  runner.Ingest(0, Stock(0, 9, "MSFT", 50.0));
+  EXPECT_EQ(runner.late_dropped(OnlineWindowRunner::LateDrop::kBeyondBound),
+            1u);
+  EXPECT_EQ(runner.buffered_tuples(), 1u);
+  // ts 10 == watermark is NOT late (the promise is about ts < W).
+  runner.Ingest(0, Stock(0, 10, "MSFT", 50.0));
+  EXPECT_EQ(runner.late_dropped(OnlineWindowRunner::LateDrop::kBeyondBound),
+            1u);
+  EXPECT_EQ(runner.buffered_tuples(), 2u);
+}
+
+TEST(EventTimeWindowTest, BehindLoopLateTuplesAreCounted) {
+  // Hopping loop: windows [1,2], [5,6], ... — data in the gap is in time
+  // but unreadable by any remaining window once the loop hops past it.
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0}, 2, 2, 100, 4);
+  q.loop.semantics = TimeSemantics::kEvent;
+  OnlineWindowRunner runner(q);
+  size_t fired = 0;
+  runner.Ingest(0, Stock(0, 1, "MSFT", 50.0));
+  runner.Ingest(0, Stock(0, 2, "MSFT", 50.0));
+  runner.OnPunctuation(Punctuation{0, 3});
+  runner.Poll([&](const WindowResult&) { ++fired; });
+  EXPECT_EQ(fired, 1u);  // [1,2] sealed; pending is [5,6], prune floor 5
+  runner.Ingest(0, Stock(0, 3, "MSFT", 50.0));  // in time (ts >= watermark)
+  EXPECT_EQ(runner.late_dropped(OnlineWindowRunner::LateDrop::kBehindLoop),
+            1u);
+  EXPECT_EQ(runner.late_dropped(OnlineWindowRunner::LateDrop::kBeyondBound),
+            0u);
+}
+
+TEST(EventTimeWindowTest, EventModeFiresStrictlyPastRightEdge) {
+  // Arrival mode fires [l, r] at W == r; event mode must wait for W > r
+  // because ts == r tuples may still arrive while W == r.
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0}, 3, 3, 9);
+  q.loop.semantics = TimeSemantics::kEvent;
+  OnlineWindowRunner runner(q);
+  size_t fired = 0;
+  auto cb = [&](const WindowResult&) { ++fired; };
+  runner.Ingest(0, Stock(0, 1, "MSFT", 50.0));
+  runner.Ingest(0, Stock(0, 2, "MSFT", 50.0));
+  runner.OnPunctuation(Punctuation{0, 3});
+  runner.Poll(cb);
+  EXPECT_EQ(fired, 0u);  // W == r == 3: a ts=3 tuple may still arrive
+  runner.Ingest(0, Stock(0, 3, "MSFT", 50.0));
+  runner.OnPunctuation(Punctuation{0, 4});
+  runner.Poll(cb);
+  EXPECT_EQ(fired, 1u);  // W == 4 > 3: sealed, with the ts=3 straggler in
+}
+
+TEST(EventTimeWindowTest, JoinTimestampIsMaxOfPartsAndWithinWatermark) {
+  // Regression pin: a joined result's event time is the max of its
+  // constituents' event times, and never exceeds the emitting query's joint
+  // watermark at firing time.
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0, 1}, 3, 3, 9);
+  q.loop.semantics = TimeSemantics::kEvent;
+  q.predicates = {
+      MakeCompareAttrs({1, "timestamp"}, CmpOp::kEq, {0, "timestamp"})};
+  OnlineWindowRunner runner(q);
+  std::vector<WindowResult> fired;
+  std::vector<Timestamp> joint_at_fire;
+  auto cb = [&](const WindowResult& r) {
+    fired.push_back(r);
+    joint_at_fire.push_back(runner.watermarks().MinWatermark(q.Sources()));
+  };
+  for (Timestamp d = 1; d <= 9; ++d) {
+    runner.Ingest(0, Stock(0, d, "MSFT", 50.0));
+    runner.Ingest(1, Stock(1, d, "MSFT", 60.0));
+  }
+  runner.OnPunctuation(Punctuation{0, 8});
+  runner.OnPunctuation(Punctuation{1, 6});
+  runner.Poll(cb);
+  ASSERT_FALSE(fired.empty());
+  for (size_t i = 0; i < fired.size(); ++i) {
+    for (const Tuple& t : fired[i].tuples) {
+      // Field 0 is stream 0's timestamp column, field 3 stream 1's.
+      Timestamp left = t.values()[0].AsTimestamp();
+      Timestamp right = t.values()[3].AsTimestamp();
+      EXPECT_EQ(t.timestamp(), std::max(left, right));
+      EXPECT_LE(t.timestamp(), joint_at_fire[i]);
+    }
+  }
+  // The slower stream (watermark 6) gates firing: windows ending at 6 and
+  // beyond stay open.
+  for (const WindowResult& r : fired) EXPECT_LT(r.t, 6);
+}
+
+TEST(WatermarkTest, PunctuationDuplicatesAndRegressionsAreRejected) {
+  WatermarkTracker wm;
+  EXPECT_EQ(wm.OnPunctuation(Punctuation{0, 10}),
+            WatermarkTracker::PunctResult::kAdvanced);
+  // Shard broadcast delivers the same punctuation once per replica:
+  // duplicates are idempotent no-ops.
+  EXPECT_EQ(wm.OnPunctuation(Punctuation{0, 10}),
+            WatermarkTracker::PunctResult::kDuplicate);
+  // A regression would retract the promise already given downstream.
+  EXPECT_EQ(wm.OnPunctuation(Punctuation{0, 7}),
+            WatermarkTracker::PunctResult::kRegressed);
+  EXPECT_EQ(wm.WatermarkOf(0), 10);
+  EXPECT_EQ(wm.punctuations_applied(), 1u);
+  EXPECT_EQ(wm.punctuations_regressed(), 1u);
+  // Ordered() works off punctuation-driven watermarks exactly as off
+  // data-driven ones.
+  EXPECT_EQ(wm.OnPunctuation(Punctuation{1, 5}),
+            WatermarkTracker::PunctResult::kAdvanced);
+  EXPECT_TRUE(wm.Ordered(0, 3, 1, 4));
+  EXPECT_FALSE(wm.Ordered(0, 8, 1, 4));
+}
+
+TEST(ShardMergedWatermarkTest, AdvancesOnlyWhenEveryShardReports) {
+  ShardMergedWatermark merged;
+  merged.Reset(3);
+  // A broadcast punctuation lands on shards one by one; the merge is held
+  // back by the unseen replicas until the last one reports.
+  EXPECT_FALSE(merged.Observe(0, Punctuation{0, 10}).has_value());
+  EXPECT_FALSE(merged.Observe(1, Punctuation{0, 10}).has_value());
+  auto adv = merged.Observe(2, Punctuation{0, 10});
+  ASSERT_TRUE(adv.has_value());
+  EXPECT_EQ(*adv, 10);
+  EXPECT_EQ(merged.MergedOf(0), 10);
+  // Duplicate delivery (re-broadcast after a retry) is a no-op.
+  EXPECT_FALSE(merged.Observe(1, Punctuation{0, 10}).has_value());
+  // A regressed report cannot pull the merge back.
+  EXPECT_FALSE(merged.Observe(0, Punctuation{0, 4}).has_value());
+  EXPECT_EQ(merged.MergedOf(0), 10);
+}
+
+TEST(ShardMergedWatermarkTest, MergeIsMinAcrossUnevenShards) {
+  ShardMergedWatermark merged;
+  merged.Reset(2);
+  EXPECT_FALSE(merged.Observe(0, Punctuation{0, 30}).has_value());
+  auto adv = merged.Observe(1, Punctuation{0, 25});
+  ASSERT_TRUE(adv.has_value());
+  EXPECT_EQ(*adv, 25);  // min over {30, 25}
+  // The slow shard catching up advances the merge to the new min.
+  adv = merged.Observe(1, Punctuation{0, 30});
+  ASSERT_TRUE(adv.has_value());
+  EXPECT_EQ(*adv, 30);
+  // Reset (repartition) is conservative: merged state restarts from scratch.
+  merged.Reset(2);
+  EXPECT_EQ(merged.MergedOf(0), kMinTimestamp);
+}
+
+}  // namespace
+
+// White-box peer for the delta contract (see the friend declaration).
+struct WindowRunnerTestPeer {
+  static void EmitDelta(OnlineWindowRunner* r,
+                        const OnlineWindowRunner::Callback& cb,
+                        const std::vector<Tuple>& now, WindowResultKind kind) {
+    r->EmitDelta(cb, now, kind);
+  }
+};
+
+namespace {
+
+TEST(WindowDeltaTest, ShrinkingContentEmitsTaggedRetractions) {
+  // SPJ window content only grows, so the retraction branch is pinned here
+  // directly: emit {A, A, B} speculatively, then seal with {A} — the delta
+  // must retract one A and one B, tagged and revision-ordered.
+  WindowedQuery q;
+  q.loop = ForLoopSpec::Sliding({0}, 3, 3, 9);
+  q.loop.semantics = TimeSemantics::kEvent;
+  OnlineWindowRunner::Options sopts;
+  sopts.speculate = true;
+  OnlineWindowRunner runner(q, sopts);
+  Tuple a = Stock(0, 1, "A", 1.0);
+  Tuple b = Stock(0, 2, "B", 2.0);
+  std::vector<WindowResult> out;
+  auto cb = [&](const WindowResult& r) { out.push_back(r); };
+
+  WindowRunnerTestPeer::EmitDelta(&runner, cb, {a, a, b},
+                                  WindowResultKind::kSpeculative);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, WindowResultKind::kSpeculative);
+  EXPECT_EQ(out[0].tuples.size(), 3u);
+
+  WindowRunnerTestPeer::EmitDelta(&runner, cb, {a}, WindowResultKind::kFinal);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1].kind, WindowResultKind::kRetraction);
+  ASSERT_EQ(out[1].tuples.size(), 2u);
+  for (const Tuple& t : out[1].tuples) {
+    EXPECT_TRUE(t.IsRetraction());
+  }
+  EXPECT_EQ(Multiset(out[1].tuples),
+            (std::multiset<std::string>{DataKey(a), DataKey(b)}));
+  // The seal is a kFinal delta adding nothing new (content {A} was already
+  // emitted), and revisions stay monotone across the three results.
+  EXPECT_EQ(out[2].kind, WindowResultKind::kFinal);
+  EXPECT_TRUE(out[2].tuples.empty());
+  EXPECT_LT(out[0].revision, out[1].revision);
+  EXPECT_LT(out[1].revision, out[2].revision);
+  EXPECT_EQ(runner.retractions_emitted(), 2u);
+  // Accumulation check: emitted - retracted == {A}.
+  std::map<std::string, int> acc;
+  for (const WindowResult& r : out) {
+    int delta = r.kind == WindowResultKind::kRetraction ? -1 : 1;
+    for (const Tuple& t : r.tuples) acc[DataKey(t)] += delta;
+  }
+  std::erase_if(acc, [](const auto& kv) { return kv.second == 0; });
+  EXPECT_EQ(acc, (std::map<std::string, int>{{DataKey(a), 1}}));
+}
+
+TEST(TupleKindTest, PunctuationAndRetractionRoundTrip) {
+  Tuple p = Tuple::MakePunctuation(3, 42);
+  EXPECT_TRUE(p.IsPunctuation());
+  EXPECT_FALSE(p.IsData());
+  Punctuation decoded = p.AsPunctuation();
+  EXPECT_EQ(decoded.source, 3u);
+  EXPECT_EQ(decoded.low_watermark, 42);
+  EXPECT_EQ(p.timestamp(), 42);
+
+  Tuple d = Stock(0, 7, "MSFT", 50.0);
+  Tuple r = Tuple::Retraction(d);
+  EXPECT_TRUE(r.IsRetraction());
+  EXPECT_FALSE(r.IsData());
+  EXPECT_EQ(r.timestamp(), d.timestamp());
+  EXPECT_EQ(r.values(), d.values());
+  EXPECT_NE(r.ToString(), d.ToString());  // visibly tagged
 }
 
 }  // namespace
