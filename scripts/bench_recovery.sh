@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Bench smoke for durable state (DESIGN.md §13): runs the bench_recovery
+# checkpoint/restore cost sweep — an L-join-R server with N tuples per side
+# in its SteMs for N in {1024, 4096, 16384} — and writes BENCH_recovery.json
+# at the repo root. Acceptance: snapshot size must grow with state (the
+# checkpoint actually exports the SteMs, not just headers), every restore
+# must replay its archived suffix (replay_tuples == 2N), and both paths must
+# sustain a nonzero tuple rate.
+#
+# Usage: scripts/bench_recovery.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+if [[ ! -x "$BUILD/bench/bench_recovery" ]]; then
+  echo "benchmarks not built; run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+MIN_TIME="${TCQ_BENCH_MIN_TIME:-0.1}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$BUILD/bench/bench_recovery" \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_format=json >"$TMP/recovery.json"
+
+python3 - "$TMP/recovery.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+ckpt, restore = {}, {}
+for b in doc.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    parts = b["name"].split("/")
+    n = int(parts[1])
+    row = {
+        "name": b["name"],
+        "state_tuples_per_side": n,
+        "time_ms": b["real_time"],
+        "items_per_second": b.get("items_per_second"),
+    }
+    if parts[0] == "BM_Checkpoint":
+        row["snapshot_bytes"] = b.get("snapshot_bytes")
+        ckpt[n] = row
+    elif parts[0] == "BM_Restore":
+        row["replay_tuples"] = b.get("replay_tuples")
+        restore[n] = row
+
+report = {
+    "workload": {
+        "shape": "L join R on unique keys; N tuples per side in SteMs, "
+                 "plus an N-per-side archived suffix for the restore replay",
+        "sweep": sorted(ckpt),
+    },
+    "checkpoint": [ckpt[n] for n in sorted(ckpt)],
+    "restore": [restore[n] for n in sorted(restore)],
+}
+with open("BENCH_recovery.json", "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+ok = True
+for r in report["checkpoint"]:
+    print(f"checkpoint N={r['state_tuples_per_side']:>6}: "
+          f"{r['time_ms']:8.2f} ms  snapshot={int(r['snapshot_bytes'])} B")
+for r in report["restore"]:
+    print(f"restore    N={r['state_tuples_per_side']:>6}: "
+          f"{r['time_ms']:8.2f} ms  replayed={int(r['replay_tuples'])}")
+if not ckpt or not restore:
+    print("missing sweep points"); ok = False
+else:
+    ns = sorted(ckpt)
+    if ckpt[ns[-1]]["snapshot_bytes"] <= ckpt[ns[0]]["snapshot_bytes"]:
+        print("FAIL: snapshot size does not grow with SteM state"); ok = False
+    for n in sorted(restore):
+        if restore[n]["replay_tuples"] != 2 * n:
+            print(f"FAIL: restore N={n} replayed "
+                  f"{restore[n]['replay_tuples']} tuples, wanted {2 * n}")
+            ok = False
+    for r in report["checkpoint"] + report["restore"]:
+        if not r["items_per_second"] or r["items_per_second"] <= 0:
+            print(f"FAIL: {r['name']} shows no throughput"); ok = False
+print("wrote BENCH_recovery.json")
+sys.exit(0 if ok else 1)
+PY

@@ -4,6 +4,9 @@
 #      -O3 -march=x86-64-v3 -fopt-info-vec-optimized and fail if any filter
 #      kernel family (operators/filter_kernels.h) stops auto-vectorizing
 #   1. tier-1 verify: configure + build + full ctest (ROADMAP.md)
+#   1b. crash-recovery: the checkpoint/restore suite standalone — the
+#       crash-sim multiset-equality pins (DESIGN.md §13) must hold without
+#       the parallel-suite CPU noise ctest adds
 #   2. AddressSanitizer configure + build + ctest in a separate build dir
 #   3. ThreadSanitizer build running the concurrency-heavy suites
 #      (exec, exec_lifecycle, exec_sharding, fjords, cacq, obs, window,
@@ -15,6 +18,7 @@
 #      tracing overhead -> BENCH_tracing.json,
 #      shard scaling (1/2/4/8 replicas) -> BENCH_cacq_scaling.json,
 #      event-time disorder latency/exactness sweep -> BENCH_disorder.json,
+#      checkpoint/restore cost sweep -> BENCH_recovery.json,
 #      plus a quick 2-shard correctness smoke
 #
 # Usage: scripts/check.sh [--no-asan] [--no-tsan] [--no-ubsan] [--no-bench]
@@ -72,6 +76,9 @@ cmake --build build -j
 # NOTE: --repeat must precede bare -j, which would swallow it as its value.
 ctest --test-dir build --output-on-failure --repeat until-pass:2 -j
 
+echo "== crash-recovery: checkpoint/restore suite =="
+./build/tests/recovery_test
+
 if [[ "$RUN_ASAN" == 1 ]]; then
   echo "== asan: configure + build + ctest =="
   cmake -B build-asan -S . -DTCQ_SANITIZE=address
@@ -117,6 +124,8 @@ if [[ "$RUN_BENCH" == 1 ]]; then
   scripts/bench_cacq_scaling.sh build
   echo "== bench smoke: BENCH_disorder.json =="
   scripts/bench_disorder.sh build
+  echo "== bench smoke: BENCH_recovery.json =="
+  scripts/bench_recovery.sh build
   echo "== 2-shard correctness smoke =="
   ./build/tests/exec_sharding_test \
     --gtest_filter='ExecShardingTest.ShardedJoinMatchesSingleShardAndReference'

@@ -1,0 +1,188 @@
+#include "cacq/spec_codec.h"
+
+namespace tcq {
+
+namespace {
+
+/// Wire tags for the closed predicate hierarchy. Append-only: existing
+/// values are pinned by checkpoints on disk.
+enum class PredTag : uint8_t {
+  kTrue = 0,
+  kCompareConst = 1,
+  kRange = 2,
+  kCompareAttrs = 3,
+  kAnd = 4,
+  kOr = 5,
+  kNot = 6,
+};
+
+}  // namespace
+
+void PutAttrRef(CheckpointWriter* w, const AttrRef& attr) {
+  w->PutU32(attr.source);
+  w->PutString(attr.name);
+}
+
+Result<AttrRef> GetAttrRef(CheckpointReader* r) {
+  AttrRef attr;
+  TCQ_ASSIGN_OR_RETURN(attr.source, r->GetU32());
+  TCQ_ASSIGN_OR_RETURN(attr.name, r->GetString());
+  return attr;
+}
+
+void PutPredicate(CheckpointWriter* w, const PredicateRef& pred) {
+  if (auto* p = dynamic_cast<const CompareConst*>(pred.get())) {
+    w->PutU8(static_cast<uint8_t>(PredTag::kCompareConst));
+    PutAttrRef(w, p->attr());
+    w->PutU8(static_cast<uint8_t>(p->op()));
+    w->PutValue(p->literal());
+  } else if (auto* p = dynamic_cast<const RangePredicate*>(pred.get())) {
+    w->PutU8(static_cast<uint8_t>(PredTag::kRange));
+    PutAttrRef(w, p->attr());
+    w->PutValue(p->lo());
+    w->PutValue(p->hi());
+    w->PutBool(p->lo_inclusive());
+    w->PutBool(p->hi_inclusive());
+  } else if (auto* p = dynamic_cast<const CompareAttrs*>(pred.get())) {
+    w->PutU8(static_cast<uint8_t>(PredTag::kCompareAttrs));
+    PutAttrRef(w, p->left());
+    w->PutU8(static_cast<uint8_t>(p->op()));
+    PutAttrRef(w, p->right());
+  } else if (auto* p = dynamic_cast<const AndPredicate*>(pred.get())) {
+    w->PutU8(static_cast<uint8_t>(PredTag::kAnd));
+    w->PutU32(static_cast<uint32_t>(p->children().size()));
+    for (const PredicateRef& c : p->children()) PutPredicate(w, c);
+  } else if (auto* p = dynamic_cast<const OrPredicate*>(pred.get())) {
+    w->PutU8(static_cast<uint8_t>(PredTag::kOr));
+    w->PutU32(static_cast<uint32_t>(p->children().size()));
+    for (const PredicateRef& c : p->children()) PutPredicate(w, c);
+  } else if (auto* p = dynamic_cast<const NotPredicate*>(pred.get())) {
+    w->PutU8(static_cast<uint8_t>(PredTag::kNot));
+    PutPredicate(w, p->child());
+  } else {
+    // TruePredicate, or a null ref (treated as the neutral element).
+    w->PutU8(static_cast<uint8_t>(PredTag::kTrue));
+  }
+}
+
+Result<PredicateRef> GetPredicate(CheckpointReader* r) {
+  TCQ_ASSIGN_OR_RETURN(uint8_t raw, r->GetU8());
+  switch (static_cast<PredTag>(raw)) {
+    case PredTag::kTrue:
+      return MakeTrue();
+    case PredTag::kCompareConst: {
+      TCQ_ASSIGN_OR_RETURN(AttrRef attr, GetAttrRef(r));
+      TCQ_ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
+      if (op > static_cast<uint8_t>(CmpOp::kGe)) {
+        return Status::IOError("unknown comparison op in checkpoint");
+      }
+      TCQ_ASSIGN_OR_RETURN(Value lit, r->GetValue());
+      return MakeCompareConst(std::move(attr), static_cast<CmpOp>(op),
+                              std::move(lit));
+    }
+    case PredTag::kRange: {
+      TCQ_ASSIGN_OR_RETURN(AttrRef attr, GetAttrRef(r));
+      TCQ_ASSIGN_OR_RETURN(Value lo, r->GetValue());
+      TCQ_ASSIGN_OR_RETURN(Value hi, r->GetValue());
+      TCQ_ASSIGN_OR_RETURN(bool lo_inc, r->GetBool());
+      TCQ_ASSIGN_OR_RETURN(bool hi_inc, r->GetBool());
+      return MakeRange(std::move(attr), std::move(lo), std::move(hi), lo_inc,
+                       hi_inc);
+    }
+    case PredTag::kCompareAttrs: {
+      TCQ_ASSIGN_OR_RETURN(AttrRef left, GetAttrRef(r));
+      TCQ_ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
+      if (op > static_cast<uint8_t>(CmpOp::kGe)) {
+        return Status::IOError("unknown comparison op in checkpoint");
+      }
+      TCQ_ASSIGN_OR_RETURN(AttrRef right, GetAttrRef(r));
+      return MakeCompareAttrs(std::move(left), static_cast<CmpOp>(op),
+                              std::move(right));
+    }
+    case PredTag::kAnd:
+    case PredTag::kOr: {
+      TCQ_ASSIGN_OR_RETURN(uint32_t n, r->GetU32());
+      std::vector<PredicateRef> children;
+      children.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        TCQ_ASSIGN_OR_RETURN(PredicateRef c, GetPredicate(r));
+        children.push_back(std::move(c));
+      }
+      return static_cast<PredTag>(raw) == PredTag::kAnd
+                 ? MakeAnd(std::move(children))
+                 : MakeOr(std::move(children));
+    }
+    case PredTag::kNot: {
+      TCQ_ASSIGN_OR_RETURN(PredicateRef c, GetPredicate(r));
+      return MakeNot(std::move(c));
+    }
+  }
+  return Status::IOError("unknown predicate tag in checkpoint");
+}
+
+void PutCQSpec(CheckpointWriter* w, const CQSpec& spec) {
+  w->PutU32(static_cast<uint32_t>(spec.filters.size()));
+  for (const FilterFactor& f : spec.filters) {
+    PutAttrRef(w, f.attr);
+    w->PutU8(static_cast<uint8_t>(f.op));
+    w->PutValue(f.literal);
+  }
+  w->PutU32(static_cast<uint32_t>(spec.joins.size()));
+  for (const JoinEdge& j : spec.joins) {
+    PutAttrRef(w, j.left);
+    PutAttrRef(w, j.right);
+  }
+  w->PutU32(static_cast<uint32_t>(spec.residuals.size()));
+  for (const PredicateRef& p : spec.residuals) PutPredicate(w, p);
+  w->PutU32(spec.extra_sources);
+}
+
+Result<CQSpec> GetCQSpec(CheckpointReader* r) {
+  CQSpec spec;
+  TCQ_ASSIGN_OR_RETURN(uint32_t nf, r->GetU32());
+  spec.filters.reserve(nf);
+  for (uint32_t i = 0; i < nf; ++i) {
+    FilterFactor f;
+    TCQ_ASSIGN_OR_RETURN(f.attr, GetAttrRef(r));
+    TCQ_ASSIGN_OR_RETURN(uint8_t op, r->GetU8());
+    if (op > static_cast<uint8_t>(CmpOp::kGe)) {
+      return Status::IOError("unknown comparison op in checkpoint");
+    }
+    f.op = static_cast<CmpOp>(op);
+    TCQ_ASSIGN_OR_RETURN(f.literal, r->GetValue());
+    spec.filters.push_back(std::move(f));
+  }
+  TCQ_ASSIGN_OR_RETURN(uint32_t nj, r->GetU32());
+  spec.joins.reserve(nj);
+  for (uint32_t i = 0; i < nj; ++i) {
+    JoinEdge j;
+    TCQ_ASSIGN_OR_RETURN(j.left, GetAttrRef(r));
+    TCQ_ASSIGN_OR_RETURN(j.right, GetAttrRef(r));
+    spec.joins.push_back(std::move(j));
+  }
+  TCQ_ASSIGN_OR_RETURN(uint32_t nr, r->GetU32());
+  spec.residuals.reserve(nr);
+  for (uint32_t i = 0; i < nr; ++i) {
+    TCQ_ASSIGN_OR_RETURN(PredicateRef p, GetPredicate(r));
+    spec.residuals.push_back(std::move(p));
+  }
+  TCQ_ASSIGN_OR_RETURN(spec.extra_sources, r->GetU32());
+  return spec;
+}
+
+void PutStemOptions(CheckpointWriter* w, const StemOptions& opts) {
+  w->PutString(opts.key_attr);
+  w->PutU64(opts.max_count);
+  w->PutTimestamp(opts.window);
+}
+
+Result<StemOptions> GetStemOptions(CheckpointReader* r) {
+  StemOptions opts;
+  TCQ_ASSIGN_OR_RETURN(opts.key_attr, r->GetString());
+  TCQ_ASSIGN_OR_RETURN(uint64_t mc, r->GetU64());
+  opts.max_count = static_cast<size_t>(mc);
+  TCQ_ASSIGN_OR_RETURN(opts.window, r->GetTimestamp());
+  return opts;
+}
+
+}  // namespace tcq

@@ -1,0 +1,28 @@
+// Checkpoint serialization of declarative query state: predicates (the
+// closed hierarchy of operators/predicate.h), CQSpec decompositions, and
+// SteM options. Lives beside the registry because the encodable surface IS
+// the CACQ decomposition — anything the planner can produce round-trips.
+
+#pragma once
+
+#include "cacq/query_registry.h"
+#include "stem/stem.h"
+#include "storage/checkpoint.h"
+
+namespace tcq {
+
+/// Writes `pred` (recursively) into the writer's open section.
+/// Punctuation-free by construction: predicates only reference attributes.
+void PutPredicate(CheckpointWriter* w, const PredicateRef& pred);
+Result<PredicateRef> GetPredicate(CheckpointReader* r);
+
+void PutAttrRef(CheckpointWriter* w, const AttrRef& attr);
+Result<AttrRef> GetAttrRef(CheckpointReader* r);
+
+void PutCQSpec(CheckpointWriter* w, const CQSpec& spec);
+Result<CQSpec> GetCQSpec(CheckpointReader* r);
+
+void PutStemOptions(CheckpointWriter* w, const StemOptions& opts);
+Result<StemOptions> GetStemOptions(CheckpointReader* r);
+
+}  // namespace tcq

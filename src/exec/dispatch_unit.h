@@ -194,6 +194,10 @@ class WindowedQueryDispatchUnit : public DispatchUnit {
 
   const OnlineWindowRunner& runner() const { return runner_; }
 
+  /// Durable state (DESIGN.md §13): checkpoint export/restore needs the
+  /// runner itself. Only safe while the DU's EO is stopped (quiescent).
+  OnlineWindowRunner* mutable_runner() { return &runner_; }
+
  private:
   OnlineWindowRunner runner_;
   WindowSink sink_;

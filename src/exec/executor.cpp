@@ -4,7 +4,10 @@
 #include <cassert>
 #include <chrono>
 #include <cstdint>
+#include <set>
 #include <thread>
+
+#include "cacq/spec_codec.h"
 
 namespace tcq {
 
@@ -467,6 +470,143 @@ uint64_t Executor::class_repartitions() const {
     if (qc.live) n += qc.sc->repartitions();
   }
   return n;
+}
+
+Status Executor::CheckpointTo(CheckpointWriter* w) {
+  std::lock_guard<std::mutex> lock(mu_);
+  w->BeginSection("executor", 1);
+  w->PutU32(static_cast<uint32_t>(CountLiveClasses()));
+  w->EndSection();
+  for (QueryClass& qc : classes_) {
+    if (!qc.live) continue;
+    TCQ_RETURN_IF_ERROR(qc.sc->CheckpointTo(w));
+  }
+  return Status::OK();
+}
+
+Status Executor::RestoreClass(CheckpointReader* r, const SinkFactory& sinks,
+                              uint64_t* replayed) {
+  TCQ_ASSIGN_OR_RETURN(CheckpointReader::Section sec, r->BeginSection());
+  if (sec.tag != "class") {
+    return Status::IOError("expected a 'class' checkpoint section, found '" +
+                           sec.tag + "'");
+  }
+  if (sec.version > 1) {
+    return Status::IOError("class section version " +
+                           std::to_string(sec.version) + " is newer than "
+                           "this binary supports");
+  }
+
+  // Re-drive every recorded admission, in admission order, under its
+  // ORIGINAL global id. Footprint grouping is deterministic, so the same
+  // query sequence reproduces the same class shapes — except when a query
+  // that once bridged two footprints was removed before the checkpoint, in
+  // which case one recorded class legitimately restores as several. All
+  // later steps therefore resolve classes through the stream catalog
+  // instead of assuming one section == one class.
+  std::set<size_t> restored;  // class indices this section's queries landed in
+  uint32_t nqueries = 0;
+  TCQ_ASSIGN_OR_RETURN(nqueries, r->GetU32());
+  for (uint32_t i = 0; i < nqueries; ++i) {
+    uint64_t gid = 0;
+    TCQ_ASSIGN_OR_RETURN(gid, r->GetU64());
+    TCQ_ASSIGN_OR_RETURN(CQSpec spec, GetCQSpec(r));
+    SourceSet footprint = spec.Footprint();
+    if (footprint == 0) {
+      return Status::IOError("checkpointed query " + std::to_string(gid) +
+                             " has an empty footprint");
+    }
+    Status missing = Status::OK();
+    ForEachSource(footprint, [&](SourceId s) {
+      if (missing.ok() && !streams_.contains(s)) {
+        missing = Status::FailedPrecondition(
+            "checkpointed query " + std::to_string(gid) + " needs stream s" +
+            std::to_string(s) + ", which was not re-registered");
+      }
+    });
+    if (!missing.ok()) return missing;
+    if (queries_.contains(gid)) {
+      return Status::IOError("duplicate query id " + std::to_string(gid) +
+                             " in checkpoint");
+    }
+    size_t cls;
+    TCQ_ASSIGN_OR_RETURN(cls, ClassFor(footprint));
+    next_query_id_ = std::max(next_query_id_, gid + 1);
+    Sink sink = sinks ? sinks(gid) : Sink{};
+    if (!sink) sink = [](GlobalQueryId, const Tuple&) {};
+    Result<QueryId> local = classes_[cls].sc->AdmitQuery(
+        spec, gid, std::move(sink), started_,
+        [&](const ShardedClass::RemapMap& m) { ApplyRemap(cls, m); });
+    if (!local.ok()) return local.status();
+    queries_[gid] = QueryInfo{cls, *local};
+    restored.insert(cls);
+  }
+
+  // The recorded Flux bucket map. Owners apply modulo each class's current
+  // shard count, so a checkpoint taken at a different effective count still
+  // routes consistently.
+  uint32_t nbuckets = 0;
+  TCQ_ASSIGN_OR_RETURN(nbuckets, r->GetU32());
+  std::vector<uint32_t> owners(nbuckets);
+  for (uint32_t b = 0; b < nbuckets; ++b) {
+    TCQ_ASSIGN_OR_RETURN(owners[b], r->GetU32());
+  }
+  for (size_t cls : restored) classes_[cls].sc->ApplyBucketOwners(owners);
+
+  // SteM replay, routed through the stream catalog: each entry goes to the
+  // class that now owns its stream (partition-map routed inside). Entries
+  // for streams no class re-claimed — their last interested query was
+  // removed before the checkpoint — are dropped, and counted against the
+  // replay total by not counting them.
+  uint32_t nroutes = 0;
+  TCQ_ASSIGN_OR_RETURN(nroutes, r->GetU32());
+  for (uint32_t i = 0; i < nroutes; ++i) {
+    uint32_t source = 0;
+    TCQ_ASSIGN_OR_RETURN(source, r->GetU32());
+    uint64_t entries = 0;
+    TCQ_ASSIGN_OR_RETURN(entries, r->GetU64());
+    std::shared_ptr<ShardedClass> owner;
+    if (auto it = streams_.find(static_cast<SourceId>(source));
+        it != streams_.end()) {
+      owner = it->second.owner;
+    }
+    for (uint64_t e = 0; e < entries; ++e) {
+      TCQ_ASSIGN_OR_RETURN(Tuple t, r->GetTuple());
+      Timestamp seq = 0;
+      TCQ_ASSIGN_OR_RETURN(seq, r->GetI64());
+      if (owner != nullptr &&
+          owner->ReplayStemEntry(static_cast<SourceId>(source), t, seq)) {
+        ++*replayed;
+      }
+    }
+  }
+
+  Timestamp horizon = 0;
+  TCQ_ASSIGN_OR_RETURN(horizon, r->GetTimestamp());
+  for (size_t cls : restored) classes_[cls].sc->AdvanceSeqHorizons(horizon);
+  return r->EndSection();
+}
+
+Result<uint64_t> Executor::RestoreFrom(CheckpointReader* r,
+                                       const SinkFactory& sinks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!queries_.empty()) {
+    return Status::FailedPrecondition(
+        "restore requires a freshly constructed executor");
+  }
+  TCQ_ASSIGN_OR_RETURN(CheckpointReader::Section sec, r->BeginSection());
+  if (sec.tag != "executor") {
+    return Status::IOError("expected an 'executor' checkpoint section, "
+                           "found '" + sec.tag + "'");
+  }
+  uint32_t nclasses = 0;
+  TCQ_ASSIGN_OR_RETURN(nclasses, r->GetU32());
+  TCQ_RETURN_IF_ERROR(r->EndSection());
+  uint64_t replayed = 0;
+  for (uint32_t c = 0; c < nclasses; ++c) {
+    TCQ_RETURN_IF_ERROR(RestoreClass(r, sinks, &replayed));
+  }
+  return replayed;
 }
 
 void Executor::RebalanceLoop() {

@@ -141,6 +141,28 @@ class Executor {
   /// background rebalance pass). Returns true if any class re-partitioned.
   bool RepartitionSkewedOnce();
 
+  // --- Durable state (DESIGN.md §13) -----------------------------------------
+
+  /// Snapshots every live query class into the writer: one "executor"
+  /// section (the class count) followed by one "class" section per class
+  /// (queries + partition map + SteM state, via ShardedClass::CheckpointTo).
+  /// The caller must have blocked ingestion for the duration; EO threads
+  /// keep running (they drain the class fjords and service the quiesce).
+  Status CheckpointTo(CheckpointWriter* w);
+
+  /// Builds the delivery sink for one restored query, from its recorded
+  /// global id.
+  using SinkFactory = std::function<Sink(GlobalQueryId)>;
+
+  /// Rebuilds the query classes from a checkpoint: re-drives each recorded
+  /// admission under its ORIGINAL global id (deterministic footprint
+  /// grouping reproduces the class shapes), re-applies the recorded Flux
+  /// bucket maps, then replays SteM entries with their original seqs and
+  /// jumps the seq horizons. Streams must already be re-registered. The
+  /// executor must be freshly constructed (no queries admitted). Returns
+  /// the number of SteM entries replayed.
+  Result<uint64_t> RestoreFrom(CheckpointReader* r, const SinkFactory& sinks);
+
   void Start();
   void Stop();
 
@@ -205,6 +227,10 @@ class Executor {
   /// Rewrites queries_ local ids for `cls` after a shard re-partition
   /// re-admitted them (caller holds mu_; applied in one pass, whole-map).
   void ApplyRemap(size_t cls, const ShardedClass::RemapMap& remap);
+  /// Restores one "class" checkpoint section: re-admission + bucket map +
+  /// SteM replay (caller holds mu_). Adds replayed-entry count to *replayed.
+  Status RestoreClass(CheckpointReader* r, const SinkFactory& sinks,
+                      uint64_t* replayed);
   size_t CountLiveClasses() const;  // caller holds mu_
   bool RebalanceLocked();           // caller holds mu_
   bool SkewLocked();                // caller holds mu_

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
+#include <thread>
 #include <utility>
 
+#include "cacq/spec_codec.h"
 #include "eddy/routing_policy.h"
 
 namespace tcq {
@@ -688,6 +691,123 @@ uint64_t ShardedClass::TakeProgressDelta(size_t shard) {
   uint64_t delta = now - sh.last_progress;
   sh.last_progress = now;
   return delta;
+}
+
+Status ShardedClass::CheckpointTo(CheckpointWriter* w) {
+  // Drain first: tuples sitting in shard fjords are BELOW the spool's
+  // recorded replay position, so a snapshot taken while they are queued
+  // would lose them (replay starts after them). Ingest is blocked by the
+  // caller, EO threads keep pumping, so the queues empty — unless a
+  // member query's egress is back-pressured with a kBlock policy, which
+  // the bounded wait surfaces as a typed error instead of a hang.
+  constexpr int64_t kDrainTimeoutUs = 10'000'000;
+  int64_t deadline = NowMicros() + kDrainTimeoutUs;
+  for (;;) {
+    size_t queued = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(route_mu_);
+      for (const auto& [source, r] : routes_) {
+        for (const auto& f : r.fjords) queued += f->queue().size();
+      }
+    }
+    if (queued == 0) break;
+    if (NowMicros() > deadline) {
+      return Status::TimedOut("checkpoint drain stalled on class " + label_ +
+                              " (" + std::to_string(queued) +
+                              " tuples queued; egress back-pressure?)");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  // Pause: quiesce every shard at a quantum boundary. With ingest blocked
+  // and the fjords empty, the replicas are fully quiescent afterwards.
+  for (Shard& sh : shards_) {
+    eos_[sh.eo % eos_.size()]->RemoveDispatchUnit(sh.du);
+    sh.du->Quiesce();
+  }
+
+  w->BeginSection("class", 1);
+  // Member queries in admission order (local ids are dense-FIFO, so key
+  // order IS admission order) with their executor-global ids. The restorer
+  // re-drives these through normal admission, which reproduces the class
+  // deterministically.
+  w->PutU32(static_cast<uint32_t>(specs_.size()));
+  for (const auto& [local, spec] : specs_) {
+    uint64_t gid = 0;
+    {
+      std::lock_guard<std::mutex> plock(punct_mu_);
+      if (auto it = punct_sinks_.find(local); it != punct_sinks_.end()) {
+        gid = it->second.first;
+      }
+    }
+    w->PutU64(gid);
+    PutCQSpec(w, spec);
+  }
+  // The Flux partition map (bucket -> shard).
+  w->PutU32(static_cast<uint32_t>(parts_.num_buckets()));
+  for (size_t b = 0; b < parts_.num_buckets(); ++b) {
+    w->PutU32(static_cast<uint32_t>(parts_.OwnerOf(b)));
+  }
+  // Every route's SteM entries, flat across shards with ORIGINAL seqs.
+  // Mixing the per-shard seq spaces is the same move Repartition makes:
+  // replayed entries never probe each other, and the horizon jump keeps
+  // them visible to all future tuples.
+  Timestamp horizon = 1;
+  for (Shard& sh : shards_) {
+    horizon = std::max(horizon, sh.du->eddy()->seq_horizon());
+  }
+  w->PutU32(static_cast<uint32_t>(routes_.size()));
+  for (const auto& [source, r] : routes_) {
+    w->PutU32(source);
+    uint64_t entries = 0;
+    for (Shard& sh : shards_) {
+      if (SteM* stem = sh.du->eddy()->GetSteM(source)) entries += stem->size();
+    }
+    w->PutU64(entries);
+    for (Shard& sh : shards_) {
+      SteM* stem = sh.du->eddy()->GetSteM(source);
+      if (stem == nullptr) continue;
+      stem->ForEachEntry([&](const Tuple& t, Timestamp seq) {
+        w->PutTuple(t);
+        w->PutI64(seq);
+      });
+    }
+  }
+  w->PutTimestamp(horizon);
+  w->EndSection();
+
+  lock.unlock();
+  // Resume: re-attach the shard DUs to their EOs.
+  AttachShards();
+  return Status::OK();
+}
+
+void ShardedClass::ApplyBucketOwners(const std::vector<uint32_t>& owner) {
+  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  size_t shards = shards_.size();
+  for (size_t b = 0; b < owner.size() && b < parts_.num_buckets(); ++b) {
+    parts_.Reassign(b, owner[b] % shards);
+  }
+}
+
+bool ShardedClass::ReplayStemEntry(SourceId source, const Tuple& tuple,
+                                   Timestamp seq) {
+  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  auto rit = routes_.find(source);
+  if (rit == routes_.end()) return false;
+  const Route& r = rit->second;
+  size_t k = 0;
+  if (!r.key_attr.empty() && shards_.size() > 1) {
+    k = parts_.OwnerOf(parts_.BucketOf(KeyOf(tuple, r.key_field)));
+  }
+  shards_[k].du->eddy()->BuildHistorical(source, tuple, seq);
+  return true;
+}
+
+void ShardedClass::AdvanceSeqHorizons(Timestamp horizon) {
+  std::unique_lock<std::shared_mutex> lock(route_mu_);
+  for (Shard& sh : shards_) sh.du->eddy()->AdvanceSeqHorizon(horizon);
 }
 
 }  // namespace tcq

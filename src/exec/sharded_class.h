@@ -41,6 +41,7 @@
 #include "exec/execution_object.h"
 #include "fjords/fjord.h"
 #include "flux/partitioner.h"
+#include "storage/checkpoint.h"
 
 namespace tcq {
 
@@ -128,6 +129,35 @@ class ShardedClass {
   /// GC: detaches every shard from its EO, closes all stream producers
   /// (concurrent ingesters see kClosed), and drops the replicas.
   void Shutdown();
+
+  // --- Durable state (DESIGN.md §13; serialized by the executor's mutex) -----
+
+  /// Snapshots the class as one "class" checkpoint section: member queries
+  /// (gid + spec, admission order), the Flux bucket->shard map, every
+  /// shard's SteM entries with original seqs, and the max seq horizon.
+  /// Rides the quiesce protocol: waits (bounded) for the shard fjords to
+  /// drain — the caller must have blocked ingest; EO threads do the
+  /// draining — then detaches + quiesces each shard DU, serializes, and
+  /// re-attaches. Event-time merge state is NOT exported: like a
+  /// re-partition, a restored class re-earns watermarks from the next
+  /// punctuation broadcast (conservative, can only delay firing).
+  Status CheckpointTo(CheckpointWriter* w);
+
+  /// Restore path, on a FRESH class (queries re-admitted, no data ingested
+  /// yet): adopts a recorded bucket->shard map. Owners are taken modulo the
+  /// current shard count, so a checkpoint from a different effective count
+  /// still routes consistently.
+  void ApplyBucketOwners(const std::vector<uint32_t>& owner);
+
+  /// Replays one checkpointed SteM entry, routed by the current partition
+  /// map exactly like Repartition's redistribution step. Returns false
+  /// (entry dropped) when the stream is not routed here — e.g. a stream
+  /// whose last interested query was removed before the checkpoint.
+  bool ReplayStemEntry(SourceId source, const Tuple& tuple, Timestamp seq);
+
+  /// Jumps every replica's sequence horizon past the exporters' so replayed
+  /// entries stay probe-visible to all future tuples.
+  void AdvanceSeqHorizons(Timestamp horizon);
 
   // --- Data path (thread-safe, called WITHOUT the executor mutex) ------------
 

@@ -77,6 +77,16 @@ class SystemStreamSource {
   /// Publication rounds completed so far (== the last tick pushed).
   uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
 
+  /// Fast-forwards the tick counter to at least `t` (monotone), so a server
+  /// restored from a checkpoint keeps publishing on a continuing timeline
+  /// rather than restarting its logical clock.
+  void AdvanceTicksTo(uint64_t t) {
+    uint64_t cur = ticks_.load(std::memory_order_relaxed);
+    while (cur < t && !ticks_.compare_exchange_weak(
+                          cur, t, std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   void Run();
 

@@ -151,6 +151,8 @@ class OrPredicate : public Predicate {
   SourceSet sources() const override { return sources_; }
   std::string ToString() const override;
 
+  const std::vector<PredicateRef>& children() const { return children_; }
+
  private:
   std::vector<PredicateRef> children_;
   SourceSet sources_ = 0;
@@ -166,6 +168,8 @@ class NotPredicate : public Predicate {
   std::string ToString() const override {
     return "NOT (" + child_->ToString() + ")";
   }
+
+  const PredicateRef& child() const { return child_; }
 
  private:
   PredicateRef child_;

@@ -11,4 +11,39 @@ void DataSteM::AdvanceTime(Timestamp now) {
   if (retention_ > 0) history_.PruneBefore(now - retention_);
 }
 
+void DataSteM::ExportTo(CheckpointWriter* w) const {
+  w->PutU32(source_);
+  w->PutTimestamp(retention_);
+  w->PutU64(inserts_);
+  std::vector<Tuple> tuples;
+  history_.Range(kMinTimestamp, kMaxTimestamp, &tuples);
+  w->PutU64(tuples.size());
+  for (const Tuple& t : tuples) w->PutTuple(t);
+}
+
+Status DataSteM::RestoreFrom(CheckpointReader* r) {
+  TCQ_ASSIGN_OR_RETURN(uint32_t source, r->GetU32());
+  if (source != source_) {
+    return Status::IOError("data_stem checkpoint is for source " +
+                           std::to_string(source) + ", restoring source " +
+                           std::to_string(source_));
+  }
+  TCQ_ASSIGN_OR_RETURN(Timestamp retention, r->GetTimestamp());
+  if (retention != retention_) {
+    return Status::IOError(
+        "data_stem checkpoint retention does not match the restored stream");
+  }
+  if (!history_.empty()) {
+    return Status::FailedPrecondition(
+        "data_stem restore requires an empty history");
+  }
+  TCQ_ASSIGN_OR_RETURN(inserts_, r->GetU64());
+  TCQ_ASSIGN_OR_RETURN(uint64_t count, r->GetU64());
+  for (uint64_t i = 0; i < count; ++i) {
+    TCQ_ASSIGN_OR_RETURN(Tuple t, r->GetTuple());
+    history_.Append(t);
+  }
+  return Status::OK();
+}
+
 }  // namespace tcq

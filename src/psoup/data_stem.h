@@ -13,7 +13,7 @@
 
 namespace tcq {
 
-class DataSteM {
+class DataSteM : public Checkpointable {
  public:
   /// `retention` bounds how far back history is kept (0 = keep everything).
   /// PSoup can only answer windows up to the retention span.
@@ -38,6 +38,15 @@ class DataSteM {
   const StreamHistory& history() const { return history_; }
   size_t size() const { return history_.size(); }
   uint64_t inserts() const { return inserts_; }
+
+  // --- Durable state (DESIGN.md §13) -----------------------------------------
+  // Exports the source id, retention, insert count, and the whole history.
+  // Restore requires an empty DataSteM constructed for the same source and
+  // retention.
+  std::string CheckpointTag() const override { return "data_stem"; }
+  uint32_t CheckpointVersion() const override { return 1; }
+  void ExportTo(CheckpointWriter* w) const override;
+  Status RestoreFrom(CheckpointReader* r) override;
 
  private:
   SourceId source_;

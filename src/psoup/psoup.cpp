@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "cacq/spec_codec.h"
+
 namespace tcq {
 
 PSoup::PSoup(Options opts)
@@ -197,6 +199,121 @@ Result<std::vector<Tuple>> PSoup::Invoke(QueryId id, Timestamp now) const {
     return r;
   }
   return results_.Fetch(id, now, q->window);
+}
+
+Status PSoup::CheckpointTo(CheckpointWriter* w) const {
+  w->BeginSection("psoup", 1);
+  w->PutTimestamp(now_);
+  w->PutU64(ingests_);
+  w->PutU64(retractions_dropped_);
+  w->PutU32(static_cast<uint32_t>(data_stems_.size()));
+  for (const auto& [source, stem] : data_stems_) {
+    w->PutU32(source);
+    w->PutTimestamp(stem->retention());
+    w->PutSchema(*stem->schema());
+  }
+  w->PutU32(static_cast<uint32_t>(query_stem_.size()));
+  for (QueryId id = 0; id < query_stem_.size(); ++id) {
+    const PSoupQuery* q = query_stem_.Get(id);
+    w->PutBool(query_stem_.IsActive(id));
+    PutCQSpec(w, q->where);
+    w->PutTimestamp(q->window);
+  }
+  w->PutU32(static_cast<uint32_t>(backfilled_.size()));
+  for (SourceId s : backfilled_) w->PutU32(s);
+  uint64_t nresults = 0;
+  results_.ForEach([&nresults](QueryId, Timestamp, const Tuple&) {
+    ++nresults;
+  });
+  w->PutU64(nresults);
+  results_.ForEach([w](QueryId q, Timestamp ts, const Tuple& t) {
+    w->PutU32(static_cast<uint32_t>(q));
+    w->PutTimestamp(ts);
+    w->PutTuple(t);
+  });
+  w->EndSection();
+  for (const auto& [source, stem] : data_stems_) {
+    WriteCheckpointSection(w, *stem);
+  }
+  return Status::OK();
+}
+
+Status PSoup::RestoreFrom(CheckpointReader* r) {
+  if (!data_stems_.empty() || query_stem_.size() != 0) {
+    return Status::FailedPrecondition(
+        "psoup restore requires a freshly constructed PSoup");
+  }
+  TCQ_ASSIGN_OR_RETURN(CheckpointReader::Section sec, r->BeginSection());
+  if (sec.tag != "psoup") {
+    return Status::IOError("expected a \"psoup\" checkpoint section, found \"" +
+                           sec.tag + "\"");
+  }
+  if (sec.version > 1) {
+    return Status::IOError("psoup checkpoint section version " +
+                           std::to_string(sec.version) + " is not supported");
+  }
+  TCQ_ASSIGN_OR_RETURN(now_, r->GetTimestamp());
+  TCQ_ASSIGN_OR_RETURN(ingests_, r->GetU64());
+  TCQ_ASSIGN_OR_RETURN(retractions_dropped_, r->GetU64());
+  TCQ_ASSIGN_OR_RETURN(uint32_t nstreams, r->GetU32());
+  for (uint32_t i = 0; i < nstreams; ++i) {
+    TCQ_ASSIGN_OR_RETURN(uint32_t source, r->GetU32());
+    TCQ_ASSIGN_OR_RETURN(Timestamp retention, r->GetTimestamp());
+    TCQ_ASSIGN_OR_RETURN(SchemaRef schema, r->GetSchema());
+    RegisterStream(source, std::move(schema), retention);
+  }
+  // Replay the WHOLE query table (inactive slots too): the eddy assigns ids
+  // densely in admission order, so replaying the full sequence is the only
+  // way restored ids match recorded ones. Unregistrations re-apply at the
+  // end.
+  TCQ_ASSIGN_OR_RETURN(uint32_t nqueries, r->GetU32());
+  std::vector<QueryId> inactive;
+  for (QueryId id = 0; id < nqueries; ++id) {
+    TCQ_ASSIGN_OR_RETURN(bool active, r->GetBool());
+    PSoupQuery q;
+    TCQ_ASSIGN_OR_RETURN(q.where, GetCQSpec(r));
+    TCQ_ASSIGN_OR_RETURN(q.window, r->GetTimestamp());
+    TCQ_ASSIGN_OR_RETURN(QueryId got, eddy_.AddQuery(q.where));
+    if (got != id) {
+      return Status::Internal("psoup restore assigned eddy id " +
+                              std::to_string(got) + ", expected " +
+                              std::to_string(id));
+    }
+    query_stem_.Insert(id, std::move(q));
+    if (!active) inactive.push_back(id);
+  }
+  TCQ_ASSIGN_OR_RETURN(uint32_t nbackfilled, r->GetU32());
+  for (uint32_t i = 0; i < nbackfilled; ++i) {
+    TCQ_ASSIGN_OR_RETURN(uint32_t s, r->GetU32());
+    backfilled_.insert(s);
+  }
+  TCQ_ASSIGN_OR_RETURN(uint64_t nresults, r->GetU64());
+  for (uint64_t i = 0; i < nresults; ++i) {
+    TCQ_ASSIGN_OR_RETURN(uint32_t qid, r->GetU32());
+    TCQ_ASSIGN_OR_RETURN(Timestamp ts, r->GetTimestamp());
+    TCQ_ASSIGN_OR_RETURN(Tuple t, r->GetTuple());
+    results_.Insert(qid, t, ts);
+  }
+  TCQ_RETURN_IF_ERROR(r->EndSection());
+  for (auto& [source, stem] : data_stems_) {
+    TCQ_RETURN_IF_ERROR(ReadCheckpointSection(r, stem.get()));
+  }
+  // Re-backfill the shared SteMs from the restored histories. The restored
+  // SteM content equals the pre-crash content: for a backfilled source,
+  // every Data SteM tuple was also built into the shared SteM (backfill
+  // covers the prefix, live ingest the suffix), and both sides prune by the
+  // same retention.
+  for (SourceId s : backfilled_) {
+    if (eddy_.GetSteM(s) == nullptr) continue;
+    std::vector<Tuple> history;
+    data_stems_[s]->Scan(kMinTimestamp, kMaxTimestamp, &history);
+    eddy_.BackfillSteM(s, history);
+  }
+  for (QueryId id : inactive) {
+    TCQ_RETURN_IF_ERROR(query_stem_.Remove(id));
+    TCQ_RETURN_IF_ERROR(eddy_.RemoveQuery(id));
+  }
+  return Status::OK();
 }
 
 Result<std::vector<Tuple>> PSoup::InvokeByRecompute(QueryId id,

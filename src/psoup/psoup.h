@@ -86,6 +86,23 @@ class PSoup {
   /// append-only, so PSoup counts revisions instead of applying them.
   uint64_t retractions_dropped() const { return retractions_dropped_; }
 
+  // --- Durable state (DESIGN.md §13) -----------------------------------------
+
+  /// Snapshots PSoup as one "psoup" section (virtual clock, the full query
+  /// table including inactive slots — the eddy assigns ids densely, so the
+  /// whole table must replay to reproduce them — the backfill set, and the
+  /// materialized results) followed by one "data_stem" section per
+  /// registered stream, in source order.
+  Status CheckpointTo(CheckpointWriter* w) const;
+
+  /// Rebuilds from a checkpoint on a FRESHLY constructed PSoup: re-registers
+  /// the recorded streams, replays every recorded query registration under
+  /// its original id, restores Data SteMs and materialized results, re-
+  /// backfills the shared SteMs from the restored histories, then removes
+  /// the queries that had been unregistered. Eddy watermarks restart
+  /// conservatively from the next punctuation.
+  Status RestoreFrom(CheckpointReader* r);
+
   /// Reference path for the E5 benchmark: recomputes the query's current
   /// answer from Data SteM history instead of reading materialized results
   /// (what a system without the Results Structure must do per invocation).

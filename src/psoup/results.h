@@ -35,6 +35,15 @@ class ResultsStructure {
   size_t ResultCount(QueryId query) const;
   size_t TotalMaterialized() const { return total_; }
 
+  /// Visits every materialized entry in (query, insertion) order with
+  /// fn(query, ts, tuple) — the checkpoint export path.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [query, entries] : per_query_) {
+      for (const Entry& e : entries) fn(query, e.ts, e.tuple);
+    }
+  }
+
  private:
   struct Entry {
     Timestamp ts;

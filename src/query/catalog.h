@@ -37,6 +37,13 @@ class Catalog {
 
   size_t num_streams() const { return by_name_.size(); }
 
+  /// One past the largest assigned source id. With LookupBySource this lets
+  /// a checkpoint record every entry in assignment order, so a restore can
+  /// replay DefineStream / InstantiateAlias calls and reproduce the exact
+  /// id layout (alias ids are allocated at plan time, so the layout depends
+  /// on the original interleaving of definitions and submissions).
+  SourceId next_source() const { return next_source_; }
+
  private:
   Result<SourceId> NextSource();
 

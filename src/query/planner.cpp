@@ -62,8 +62,9 @@ CmpOp Flip(CmpOp op) {
 
 }  // namespace
 
-Result<PlannedQuery> PlanQuery(const ast::SelectStatement& stmt,
-                               Catalog* catalog) {
+Result<PlannedQuery> PlanQuery(
+    const ast::SelectStatement& stmt, Catalog* catalog,
+    const std::map<std::string, SourceId>* pinned_aliases) {
   PlannedQuery pq;
   if (stmt.from.empty()) {
     return Status::InvalidArgument("FROM clause is empty");
@@ -81,6 +82,20 @@ Result<PlannedQuery> PlanQuery(const ast::SelectStatement& stmt,
     Catalog::StreamEntry entry;
     if (physical_seen.insert(ref.stream).second) {
       TCQ_ASSIGN_OR_RETURN(entry, catalog->Lookup(ref.stream));
+    } else if (pinned_aliases != nullptr) {
+      auto pin = pinned_aliases->find(alias);
+      if (pin == pinned_aliases->end()) {
+        return Status::InvalidArgument("no pinned source id for self-join alias '" +
+                                       alias + "'");
+      }
+      const Catalog::StreamEntry* pinned = catalog->LookupBySource(pin->second);
+      if (pinned == nullptr || pinned->name != ref.stream) {
+        return Status::InvalidArgument(
+            "pinned source id " + std::to_string(pin->second) +
+            " for alias '" + alias + "' does not back stream '" + ref.stream +
+            "'");
+      }
+      entry = *pinned;
     } else {
       TCQ_ASSIGN_OR_RETURN(entry, catalog->InstantiateAlias(ref.stream));
     }

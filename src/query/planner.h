@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -41,8 +42,13 @@ struct PlannedQuery {
 };
 
 /// Plans a statement against the catalog. Self-join aliases allocate fresh
-/// logical source ids via Catalog::InstantiateAlias.
-Result<PlannedQuery> PlanQuery(const ast::SelectStatement& stmt,
-                               Catalog* catalog);
+/// logical source ids via Catalog::InstantiateAlias — unless `pinned_aliases`
+/// maps the binding's effective alias to a source id, in which case that
+/// existing catalog entry is reused instead of allocating. Checkpoint restore
+/// re-plans recorded statements with their recorded binding ids pinned, so a
+/// restored query references exactly the sources its snapshot state names.
+Result<PlannedQuery> PlanQuery(
+    const ast::SelectStatement& stmt, Catalog* catalog,
+    const std::map<std::string, SourceId>* pinned_aliases = nullptr);
 
 }  // namespace tcq

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 
 namespace tcq {
 
@@ -90,6 +91,12 @@ TelegraphCQ::TelegraphCQ(Options opts, MetricsRegistryRef metrics)
       spool_pool_(BufferPool::Options{opts.spool_buffer_pages,
                                       ReplacementPolicy::kLru}) {
   ingested_ = metrics_->GetCounter("tcq_server_tuples_ingested_total");
+  ckpt_epochs_ = metrics_->GetCounter("tcq_checkpoint_epochs_total");
+  ckpt_bytes_ = metrics_->GetCounter("tcq_checkpoint_bytes");
+  ckpt_failures_ = metrics_->GetCounter("tcq_checkpoint_failures_total");
+  ckpt_duration_us_ = metrics_->GetGauge("tcq_checkpoint_duration_us");
+  restore_replayed_ = metrics_->GetCounter("tcq_restore_replay_tuples");
+  restore_duration_us_ = metrics_->GetGauge("tcq_restore_duration_us");
   if (opts_.system_streams.enabled) {
     // The reserved streams exist from construction on, so clients can submit
     // queries over them before Start(). Registration cannot fail here: the
@@ -145,7 +152,8 @@ Result<SourceId> TelegraphCQ::DefineStream(const std::string& name,
 }
 
 Result<SourceId> TelegraphCQ::DefineStreamInternal(
-    const std::string& name, const std::vector<Field>& fields) {
+    const std::string& name, const std::vector<Field>& fields,
+    bool reopen_spool) {
   std::lock_guard<std::mutex> lock(mu_);
   TCQ_ASSIGN_OR_RETURN(SourceId source, catalog_.DefineStream(name, fields));
   TCQ_ASSIGN_OR_RETURN(Catalog::StreamEntry entry, catalog_.Lookup(name));
@@ -158,10 +166,25 @@ Result<SourceId> TelegraphCQ::DefineStreamInternal(
   stream.spool_failed = metrics_->GetCounter(
       MetricName("tcq_server_spool_append_failed_total", "stream", name));
   if (!opts_.spool_dir.empty()) {
-    TCQ_ASSIGN_OR_RETURN(
-        stream.spool,
-        StreamStore::Create(opts_.spool_dir + "/" + name + ".log",
-                            entry.schema));
+    const std::string path = opts_.spool_dir + "/" + name + ".log";
+    if (reopen_spool) {
+      // Restore path: keep the archived history and append past it. A
+      // missing file (stream spooled for the first time) falls back to
+      // a fresh store.
+      Result<std::unique_ptr<StreamStore>> opened =
+          StreamStore::Open(path, entry.schema);
+      if (opened.ok()) {
+        stream.spool = std::move(*opened);
+      } else if (opened.status().code() == StatusCode::kNotFound) {
+        TCQ_ASSIGN_OR_RETURN(stream.spool,
+                             StreamStore::Create(path, entry.schema));
+      } else {
+        return opened.status();
+      }
+    } else {
+      TCQ_ASSIGN_OR_RETURN(stream.spool,
+                           StreamStore::Create(path, entry.schema));
+    }
   }
   streams_[name] = std::move(stream);
   TCQ_RETURN_IF_ERROR(executor_.RegisterStream(source, entry.schema));
@@ -185,11 +208,12 @@ Status TelegraphCQ::AttachSource(const std::string& stream_name,
   return Status::OK();
 }
 
-void TelegraphCQ::RouteBatch(PhysicalStream* stream, const TupleBatch& batch) {
+void TelegraphCQ::RouteBatch(PhysicalStream* stream, const TupleBatch& batch,
+                             bool spool) {
   if (batch.empty() && batch.punctuations().empty()) return;
   ingested_->Inc(batch.size());
   stream->ingested->Inc(batch.size());
-  if (stream->spool != nullptr) {
+  if (spool && stream->spool != nullptr) {
     // The spool is a row-shaped boundary: columnar batches materialize rows
     // here (and only here / SteM inserts / egress, DESIGN.md §11).
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -452,8 +476,93 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql,
   ClientHandle handle;
 
   if (plan.window_loop.has_value()) {
-    // Windowed query: its own DU fed by dedicated fjords.
+    if (sub_opts.history_reach != 0) {
+      // Validate spooling up front so a failed backfill can only mean an
+      // I/O or back-pressure fault, not a predictable misuse.
+      for (const auto& [alias, entry] : bindings) {
+        if (streams_[entry.name].spool == nullptr) {
+          return Status::FailedPrecondition(
+              "history_reach requires spooled streams (set "
+              "Options::spool_dir); stream '" +
+              entry.name + "' is not spooled");
+        }
+      }
+    }
     GlobalQueryId wid = next_window_query_id_++;
+    TCQ_ASSIGN_OR_RETURN(handle, AdmitWindowedLocked(plan, sql, sub_opts, wid));
+    if (sub_opts.history_reach != 0) {
+      Status backfill =
+          BackfillWindowedLocked(&clients_[wid], sub_opts.history_reach);
+      if (!backfill.ok()) {
+        // Roll the admission back: a failed backfill must not leave a
+        // half-primed query running.
+        ClientInfo& client = clients_[wid];
+        if (client.window_eo != nullptr) client.window_eo->Stop();
+        for (auto& [name, stream] : streams_) {
+          std::erase_if(stream.subs, [wid](const Subscription& s) {
+            return s.owner == wid;
+          });
+        }
+        clients_.erase(wid);
+        return backfill;
+      }
+    }
+    return handle;
+  }
+  if (sub_opts.history_reach != 0) {
+    return Status::InvalidArgument(
+        "history_reach applies to windowed queries only (continuous queries "
+        "have no windows to backfill)");
+  }
+
+  // Continuous query through the shared executor.
+  for (const auto& [alias, entry] : bindings) {
+    TCQ_RETURN_IF_ERROR(SubscribeContinuous(entry.name, entry));
+  }
+  auto egress = std::make_shared<PushEgress>(
+      PushEgress::Options{opts_.egress_capacity, opts_.egress_shed}, metrics_,
+      "client" + std::to_string(next_client_label_++));
+  auto projection = plan.projection;
+  Executor::Sink sink = [egress, projection](GlobalQueryId id,
+                                             const Tuple& t) {
+    // Punctuations (the class's merged watermark reaching the client) have
+    // no columns to project; they pass through as-is.
+    if (!projection.has_value() || !t.IsData()) {
+      egress->Offer(Delivery{id, t});
+      return;
+    }
+    auto p = projection->Apply(t);
+    if (p.ok()) egress->Offer(Delivery{id, std::move(*p)});
+  };
+  lock.unlock();  // SubmitQuery blocks on admission; don't hold the mutex
+  TCQ_ASSIGN_OR_RETURN(GlobalQueryId id,
+                       executor_.SubmitQuery(plan.spec, std::move(sink)));
+  handle.id = id;
+  handle.results = egress;
+  {
+    std::lock_guard<std::mutex> relock(mu_);
+    ClientInfo& client = clients_[id];
+    client.egress = egress;
+    client.sql = sql;
+    for (const auto& [alias, entry] : bindings) {
+      client.bindings.emplace_back(alias, entry.source);
+      if (std::find(client.streams.begin(), client.streams.end(),
+                    entry.name) == client.streams.end()) {
+        client.streams.push_back(entry.name);
+      }
+    }
+  }
+  return handle;
+}
+
+Result<TelegraphCQ::ClientHandle> TelegraphCQ::AdmitWindowedLocked(
+    const PlannedQuery& plan, const std::string& sql,
+    const SubmitOptions& sub_opts, GlobalQueryId wid) {
+  const std::vector<std::pair<std::string, Catalog::StreamEntry>>& bindings =
+      plan.bindings;
+  ClientHandle handle;
+  {
+    // Windowed query: its own DU fed by dedicated fjords.
     auto buffer = std::make_shared<WindowResultBuffer>();
     std::string qlabel = "q" + std::to_string(wid);
     buffer->AttachMetrics(
@@ -500,6 +609,7 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql,
           buffer->Push(std::move(projected));
         },
         /*quantum=*/64, runner_opts);
+    std::vector<ClientInfo::WindowInput> inputs;
     for (const auto& [alias, entry] : bindings) {
       auto endpoints = Fjord::Make(FjordMode::kPush, opts_.egress_capacity,
                                    "win:" + alias, metrics_.get());
@@ -525,6 +635,9 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql,
       // fires the windows it is still holding open.
       sub.close = [producer] { producer->Close(); };
       stream.subs.push_back(std::move(sub));
+      inputs.push_back(ClientInfo::WindowInput{entry.source, entry.name,
+                                               entry.schema, endpoints.fjord,
+                                               producer});
     }
     // Host the windowed DU on its own EO so it cannot starve classes.
     auto eo = std::make_unique<ExecutionObject>(
@@ -538,7 +651,11 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql,
     client.windows = buffer;
     client.window_du = du;
     client.window_eo = std::move(eo);
+    client.sql = sql;
+    client.speculate = sub_opts.speculate;
+    client.window_inputs = std::move(inputs);
     for (const auto& [alias, entry] : bindings) {
+      client.bindings.emplace_back(alias, entry.source);
       // Self-joins bind one physical stream under several aliases; count it
       // once per query.
       if (std::find(client.streams.begin(), client.streams.end(),
@@ -548,43 +665,6 @@ Result<TelegraphCQ::ClientHandle> TelegraphCQ::Submit(const std::string& sql,
     }
     return handle;
   }
-
-  // Continuous query through the shared executor.
-  for (const auto& [alias, entry] : bindings) {
-    TCQ_RETURN_IF_ERROR(SubscribeContinuous(entry.name, entry));
-  }
-  auto egress = std::make_shared<PushEgress>(
-      PushEgress::Options{opts_.egress_capacity, opts_.egress_shed}, metrics_,
-      "client" + std::to_string(next_client_label_++));
-  auto projection = plan.projection;
-  Executor::Sink sink = [egress, projection](GlobalQueryId id,
-                                             const Tuple& t) {
-    // Punctuations (the class's merged watermark reaching the client) have
-    // no columns to project; they pass through as-is.
-    if (!projection.has_value() || !t.IsData()) {
-      egress->Offer(Delivery{id, t});
-      return;
-    }
-    auto p = projection->Apply(t);
-    if (p.ok()) egress->Offer(Delivery{id, std::move(*p)});
-  };
-  lock.unlock();  // SubmitQuery blocks on admission; don't hold the mutex
-  TCQ_ASSIGN_OR_RETURN(GlobalQueryId id,
-                       executor_.SubmitQuery(plan.spec, std::move(sink)));
-  handle.id = id;
-  handle.results = egress;
-  {
-    std::lock_guard<std::mutex> relock(mu_);
-    ClientInfo& client = clients_[id];
-    client.egress = egress;
-    for (const auto& [alias, entry] : bindings) {
-      if (std::find(client.streams.begin(), client.streams.end(),
-                    entry.name) == client.streams.end()) {
-        client.streams.push_back(entry.name);
-      }
-    }
-  }
-  return handle;
 }
 
 Result<std::vector<Tuple>> TelegraphCQ::ScanHistory(const std::string& name,
@@ -603,6 +683,595 @@ Result<std::vector<Tuple>> TelegraphCQ::ScanHistory(const std::string& name,
   std::vector<Tuple> out;
   TCQ_RETURN_IF_ERROR(scanner.Scan(l, r, &out));
   return out;
+}
+
+// --- Durable state (DESIGN.md §13) -------------------------------------------
+
+namespace {
+
+/// Pushes a batch into a windowed query's input fjord with bounded retry.
+/// With an EO running the fjord drains concurrently, so the push just waits
+/// for space; before Start() nothing drains, so the DU is stepped inline
+/// between attempts. The unconsumed suffix (rows, then punctuations) stays
+/// in the batch across retries by the ProduceBatch contract.
+Status PushWindowInput(FjordProducer* producer, DispatchUnit* du,
+                       bool eo_running, TupleBatch batch) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    QueueOp op = producer->ProduceBatch(&batch);
+    if (batch.empty() && batch.punctuations().empty()) return Status::OK();
+    if (op == QueueOp::kClosed) {
+      return Status::FailedPrecondition(
+          "window input fjord closed during backfill/replay");
+    }
+    if (eo_running) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    } else {
+      while (du->Step() == DispatchUnit::StepResult::kProgress) {
+      }
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      return Status::ResourceExhausted(
+          "window input fjord stayed full during backfill/replay");
+    }
+  }
+}
+
+}  // namespace
+
+Status TelegraphCQ::FlushSpools() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opts_.spool_dir.empty()) {
+    return Status::FailedPrecondition(
+        "no spools to flush (set Options::spool_dir)");
+  }
+  for (auto& [name, stream] : streams_) {
+    if (stream.spool != nullptr) TCQ_RETURN_IF_ERROR(stream.spool->Flush());
+  }
+  return Status::OK();
+}
+
+Status TelegraphCQ::DrainWindowedLocked() {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (;;) {
+    bool busy = false;
+    for (auto& [id, client] : clients_) {
+      if (!client.windowed) continue;
+      bool pending = false;
+      for (const ClientInfo::WindowInput& in : client.window_inputs) {
+        if (in.fjord->queue().size() > 0) pending = true;
+      }
+      if (pending && !started_) {
+        // Nothing drains before Start(): step the DU inline.
+        while (client.window_du->Step() ==
+               DispatchUnit::StepResult::kProgress) {
+        }
+        pending = false;
+        for (const ClientInfo::WindowInput& in : client.window_inputs) {
+          if (in.fjord->queue().size() > 0) pending = true;
+        }
+      }
+      busy = busy || pending;
+    }
+    if (!busy) return Status::OK();
+    if (std::chrono::steady_clock::now() > deadline) {
+      return Status::TimedOut(
+          "windowed query inputs did not drain (egress back-pressure?)");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+Status TelegraphCQ::BackfillWindowedLocked(ClientInfo* client,
+                                           Timestamp reach) {
+  for (const ClientInfo::WindowInput& in : client->window_inputs) {
+    PhysicalStream& stream = streams_[in.stream];
+    std::vector<Tuple> archive;
+    TCQ_RETURN_IF_ERROR(stream.spool->ScanFrom(0, &archive));
+    Timestamp latest = kMinTimestamp;
+    for (const Tuple& t : archive) latest = std::max(latest, t.timestamp());
+    // Backfill window: [latest - reach + 1, latest]; kMaxTimestamp (or a
+    // reach that underflows past kMinTimestamp) takes the whole archive.
+    Timestamp lo = kMinTimestamp;
+    if (reach != kMaxTimestamp && latest > kMinTimestamp + reach) {
+      lo = latest - reach + 1;
+    }
+    const bool eo_running = started_;
+    size_t i = 0;
+    while (i < archive.size()) {
+      TupleBatch chunk;
+      chunk.set_source(in.source);
+      for (; i < archive.size() && chunk.size() < 256; ++i) {
+        const Tuple& t = archive[i];
+        if (t.timestamp() < lo) continue;
+        chunk.push_back(t.schema().get() == in.schema.get()
+                            ? t
+                            : Tuple::Make(in.schema, t.values(),
+                                          t.timestamp()));
+      }
+      TCQ_RETURN_IF_ERROR(PushWindowInput(in.producer.get(),
+                                          client->window_du.get(), eo_running,
+                                          std::move(chunk)));
+    }
+    if (stream.event_time.punctuate && stream.last_punct != kMinTimestamp) {
+      // The stream's current watermark promise travels BEHIND the
+      // historical rows, so an event-time loop fires the backfilled
+      // windows immediately instead of waiting for fresh live traffic.
+      TupleBatch punct;
+      punct.set_source(in.source);
+      punct.AddPunctuation(Punctuation{in.source, stream.last_punct});
+      TCQ_RETURN_IF_ERROR(PushWindowInput(in.producer.get(),
+                                          client->window_du.get(), eo_running,
+                                          std::move(punct)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> TelegraphCQ::Checkpoint() {
+  if (opts_.checkpoint_dir.empty()) {
+    return Status::FailedPrecondition(
+        "no checkpoint location (set Options::checkpoint_dir)");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t epoch = last_epoch_ + 1;
+  // Quiesce: holding mu_ blocks every ingest path; the spools flush so the
+  // replay positions recorded below are durable; the windowed inputs drain
+  // so every runner parks at a quantum boundary.
+  for (auto& [name, stream] : streams_) {
+    if (stream.spool != nullptr) TCQ_RETURN_IF_ERROR(stream.spool->Flush());
+  }
+  TCQ_RETURN_IF_ERROR(DrainWindowedLocked());
+
+  CheckpointWriter w(epoch);
+  w.BeginSection("server", 1);
+  w.PutU64(system_streams_ != nullptr ? system_streams_->ticks() : 0);
+  // The catalog, recorded in id order for verbatim replay: id assignment
+  // depends on the original interleaving of stream definitions and
+  // self-join submissions, and every snapshot below keys state by these
+  // ids, so a restore must reproduce the layout exactly.
+  const SourceId ncat = catalog_.next_source();
+  w.PutU32(static_cast<uint32_t>(ncat));
+  for (SourceId id = 0; id < ncat; ++id) {
+    const Catalog::StreamEntry* entry = catalog_.LookupBySource(id);
+    if (entry == nullptr) {
+      return Status::Internal("catalog source id " + std::to_string(id) +
+                              " has no entry (ids should be dense)");
+    }
+    Result<Catalog::StreamEntry> canonical = catalog_.Lookup(entry->name);
+    const bool is_alias = canonical.ok() && canonical->source != id;
+    w.PutString(entry->name);
+    w.PutBool(is_alias);
+    if (!is_alias) w.PutSchema(*entry->schema);
+  }
+  w.PutU32(static_cast<uint32_t>(streams_.size()));
+  for (const auto& [name, stream] : streams_) {
+    w.PutString(name);
+    w.PutBool(stream.event_time.punctuate);
+    w.PutTimestamp(stream.event_time.disorder_bound);
+    w.PutTimestamp(stream.max_ts);
+    w.PutTimestamp(stream.last_punct);
+    w.PutBool(stream.closed);
+    w.PutU64(stream.spool != nullptr ? stream.spool->tuples_appended() : 0);
+  }
+  uint32_t ncont = 0, nwin = 0;
+  for (const auto& [id, client] : clients_) {
+    (client.windowed ? nwin : ncont) += 1;
+  }
+  w.PutU32(ncont);
+  for (const auto& [id, client] : clients_) {
+    if (client.windowed) continue;
+    w.PutU64(id);
+    w.PutString(client.sql);
+    w.PutU32(static_cast<uint32_t>(client.bindings.size()));
+    for (const auto& [alias, source] : client.bindings) {
+      w.PutString(alias);
+      w.PutU32(static_cast<uint32_t>(source));
+    }
+  }
+  w.PutU32(nwin);
+  for (const auto& [id, client] : clients_) {
+    if (!client.windowed) continue;
+    w.PutU64(id);
+    w.PutString(client.sql);
+    w.PutBool(client.speculate);
+    w.PutU32(static_cast<uint32_t>(client.bindings.size()));
+    for (const auto& [alias, source] : client.bindings) {
+      w.PutString(alias);
+      w.PutU32(static_cast<uint32_t>(source));
+    }
+  }
+  w.EndSection();
+
+  // Continuous state: the executor exports every query class (specs,
+  // partition maps, SteM logs, seq horizons) behind its own quiesce.
+  TCQ_RETURN_IF_ERROR(executor_.CheckpointTo(&w));
+
+  // Windowed runners, in query-id order (restore reads them back in the
+  // same order). A runner is only safely readable with its EO stopped.
+  for (auto& [id, client] : clients_) {
+    if (!client.windowed) continue;
+    if (client.window_eo != nullptr) client.window_eo->Stop();
+    auto* du = static_cast<WindowedQueryDispatchUnit*>(client.window_du.get());
+    WriteCheckpointSection(&w, du->runner());
+    if (client.window_eo != nullptr && started_) client.window_eo->Start();
+  }
+
+  const std::string path =
+      opts_.checkpoint_dir + "/ckpt-" + std::to_string(epoch);
+  TCQ_RETURN_IF_ERROR(w.WriteTo(path));
+  last_epoch_ = epoch;
+  ckpt_epochs_->Inc();
+  std::error_code ec;
+  const uint64_t bytes = std::filesystem::file_size(path, ec);
+  if (!ec) ckpt_bytes_->Inc(bytes);
+  ckpt_duration_us_->Set(std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+  return epoch;
+}
+
+Result<uint64_t> TelegraphCQ::Restore() {
+  if (opts_.checkpoint_dir.empty()) {
+    return Status::FailedPrecondition(
+        "no checkpoint location (set Options::checkpoint_dir)");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) {
+      return Status::FailedPrecondition("Restore() must run before Start()");
+    }
+    if (!clients_.empty() || ingested_->Value() != 0) {
+      return Status::FailedPrecondition(
+          "Restore() requires a freshly constructed server");
+    }
+  }
+
+  // Latest epoch wins: a crash mid-checkpoint leaves the previous epoch's
+  // file intact (temp-file + rename), so the newest complete file is the
+  // recovery point.
+  uint64_t epoch = 0;
+  std::string path;
+  {
+    std::error_code ec;
+    std::filesystem::directory_iterator dir(opts_.checkpoint_dir, ec);
+    if (ec) {
+      return Status::NotFound("cannot list checkpoint dir '" +
+                              opts_.checkpoint_dir + "': " + ec.message());
+    }
+    for (const auto& e : dir) {
+      const std::string fname = e.path().filename().string();
+      if (fname.rfind("ckpt-", 0) != 0 || fname.size() == 5) continue;
+      uint64_t n = 0;
+      bool numeric = true;
+      for (size_t i = 5; i < fname.size(); ++i) {
+        if (fname[i] < '0' || fname[i] > '9') {
+          numeric = false;
+          break;
+        }
+        n = n * 10 + static_cast<uint64_t>(fname[i] - '0');
+      }
+      if (numeric && (path.empty() || n > epoch)) {
+        epoch = n;
+        path = e.path().string();
+      }
+    }
+  }
+  if (path.empty()) {
+    return Status::NotFound("no checkpoint under '" + opts_.checkpoint_dir +
+                            "'");
+  }
+
+  TCQ_ASSIGN_OR_RETURN(std::unique_ptr<CheckpointReader> r,
+                       CheckpointReader::Open(path, &spool_pool_));
+  TCQ_ASSIGN_OR_RETURN(CheckpointReader::Section sec, r->BeginSection());
+  if (sec.tag != "server" || sec.version != 1) {
+    return Status::IOError("checkpoint does not start with a v1 server "
+                           "section (found '" +
+                           sec.tag + "' v" + std::to_string(sec.version) +
+                           ")");
+  }
+  TCQ_ASSIGN_OR_RETURN(uint64_t tick, r->GetU64());
+  if (system_streams_ != nullptr) system_streams_->AdvanceTicksTo(tick);
+
+  // 1. Catalog replay in id order: re-drive the original DefineStream /
+  // InstantiateAlias calls so every recorded source id comes back exactly.
+  TCQ_ASSIGN_OR_RETURN(uint32_t ncat, r->GetU32());
+  for (uint32_t id = 0; id < ncat; ++id) {
+    TCQ_ASSIGN_OR_RETURN(std::string name, r->GetString());
+    TCQ_ASSIGN_OR_RETURN(bool is_alias, r->GetBool());
+    SchemaRef schema;
+    if (!is_alias) {
+      TCQ_ASSIGN_OR_RETURN(schema, r->GetSchema());
+    }
+    const Catalog::StreamEntry* existing = catalog_.LookupBySource(id);
+    if (existing != nullptr) {
+      // Pre-defined at construction (tcq$ introspection streams).
+      if (existing->name != name) {
+        return Status::IOError(
+            "checkpoint catalog id " + std::to_string(id) + " names '" +
+            name + "' but this server already assigned it to '" +
+            existing->name + "' (constructed with different Options?)");
+      }
+      continue;
+    }
+    if (is_alias) {
+      TCQ_ASSIGN_OR_RETURN(Catalog::StreamEntry entry,
+                           catalog_.InstantiateAlias(name));
+      if (entry.source != id) {
+        return Status::IOError("catalog replay assigned alias of '" + name +
+                               "' id " + std::to_string(entry.source) +
+                               ", checkpoint recorded " + std::to_string(id));
+      }
+    } else {
+      TCQ_ASSIGN_OR_RETURN(
+          SourceId got,
+          DefineStreamInternal(name, schema->fields(), /*reopen_spool=*/true));
+      if (got != id) {
+        return Status::IOError("catalog replay assigned stream '" + name +
+                               "' id " + std::to_string(got) +
+                               ", checkpoint recorded " + std::to_string(id));
+      }
+    }
+  }
+
+  // 2. Per-stream event-time marks and spool replay positions.
+  std::vector<std::pair<std::string, uint64_t>> replay;
+  TCQ_ASSIGN_OR_RETURN(uint32_t nstreams, r->GetU32());
+  for (uint32_t i = 0; i < nstreams; ++i) {
+    TCQ_ASSIGN_OR_RETURN(std::string name, r->GetString());
+    TCQ_ASSIGN_OR_RETURN(bool punctuate, r->GetBool());
+    TCQ_ASSIGN_OR_RETURN(Timestamp disorder, r->GetTimestamp());
+    TCQ_ASSIGN_OR_RETURN(Timestamp max_ts, r->GetTimestamp());
+    TCQ_ASSIGN_OR_RETURN(Timestamp last_punct, r->GetTimestamp());
+    TCQ_ASSIGN_OR_RETURN(bool closed, r->GetBool());
+    TCQ_ASSIGN_OR_RETURN(uint64_t pos, r->GetU64());
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = streams_.find(name);
+    if (it == streams_.end()) {
+      return Status::IOError("checkpoint stream '" + name +
+                             "' was not recreated by the catalog replay");
+    }
+    PhysicalStream& stream = it->second;
+    stream.event_time.punctuate = punctuate;
+    stream.event_time.disorder_bound = disorder;
+    if (punctuate && stream.late == nullptr) {
+      stream.late = metrics_->GetCounter(
+          MetricName("tcq_wrapper_late_tuples_total", "stream", name));
+    }
+    stream.max_ts = max_ts;
+    stream.last_punct = last_punct;
+    stream.closed = closed;
+    replay.emplace_back(name, pos);
+  }
+
+  // 3. Continuous clients: recreate egress plumbing and subscriptions under
+  // the recorded ids; the executor re-admits the queries itself below.
+  std::map<GlobalQueryId, Executor::Sink> sinks;
+  TCQ_ASSIGN_OR_RETURN(uint32_t ncont, r->GetU32());
+  for (uint32_t i = 0; i < ncont; ++i) {
+    TCQ_ASSIGN_OR_RETURN(uint64_t gid, r->GetU64());
+    TCQ_ASSIGN_OR_RETURN(std::string sql, r->GetString());
+    TCQ_ASSIGN_OR_RETURN(uint32_t nbind, r->GetU32());
+    std::map<std::string, SourceId> pinned;
+    std::vector<std::pair<std::string, SourceId>> recorded;
+    for (uint32_t b = 0; b < nbind; ++b) {
+      TCQ_ASSIGN_OR_RETURN(std::string alias, r->GetString());
+      TCQ_ASSIGN_OR_RETURN(uint32_t source, r->GetU32());
+      pinned[alias] = source;
+      recorded.emplace_back(alias, source);
+    }
+    TCQ_ASSIGN_OR_RETURN(ast::SelectStatement stmt, ParseQuery(sql));
+    std::lock_guard<std::mutex> lock(mu_);
+    TCQ_ASSIGN_OR_RETURN(PlannedQuery plan,
+                         PlanQuery(stmt, &catalog_, &pinned));
+    for (const auto& [alias, entry] : plan.bindings) {
+      auto pin = pinned.find(alias);
+      if (pin == pinned.end() || pin->second != entry.source) {
+        return Status::IOError("restored plan for query " +
+                               std::to_string(gid) + " bound alias '" +
+                               alias + "' to a different source than the "
+                               "checkpoint recorded");
+      }
+      TCQ_RETURN_IF_ERROR(SubscribeContinuous(entry.name, entry));
+    }
+    auto egress = std::make_shared<PushEgress>(
+        PushEgress::Options{opts_.egress_capacity, opts_.egress_shed},
+        metrics_, "client" + std::to_string(next_client_label_++));
+    auto projection = plan.projection;
+    sinks[gid] = [egress, projection](GlobalQueryId qid, const Tuple& t) {
+      if (!projection.has_value() || !t.IsData()) {
+        egress->Offer(Delivery{qid, t});
+        return;
+      }
+      auto p = projection->Apply(t);
+      if (p.ok()) egress->Offer(Delivery{qid, std::move(*p)});
+    };
+    ClientInfo& client = clients_[gid];
+    client.egress = egress;
+    client.sql = sql;
+    client.bindings = std::move(recorded);
+    for (const auto& [alias, entry] : plan.bindings) {
+      if (std::find(client.streams.begin(), client.streams.end(),
+                    entry.name) == client.streams.end()) {
+        client.streams.push_back(entry.name);
+      }
+    }
+  }
+
+  // 4. Windowed client metadata (their runner sections come after the
+  // executor's, in file order).
+  struct WinRec {
+    uint64_t wid = 0;
+    std::string sql;
+    bool speculate = false;
+    std::map<std::string, SourceId> pinned;
+    std::vector<std::pair<std::string, SourceId>> recorded;
+  };
+  std::vector<WinRec> wins;
+  TCQ_ASSIGN_OR_RETURN(uint32_t nwin, r->GetU32());
+  for (uint32_t i = 0; i < nwin; ++i) {
+    WinRec rec;
+    TCQ_ASSIGN_OR_RETURN(rec.wid, r->GetU64());
+    TCQ_ASSIGN_OR_RETURN(rec.sql, r->GetString());
+    TCQ_ASSIGN_OR_RETURN(rec.speculate, r->GetBool());
+    TCQ_ASSIGN_OR_RETURN(uint32_t nbind, r->GetU32());
+    for (uint32_t b = 0; b < nbind; ++b) {
+      TCQ_ASSIGN_OR_RETURN(std::string alias, r->GetString());
+      TCQ_ASSIGN_OR_RETURN(uint32_t source, r->GetU32());
+      rec.pinned[alias] = source;
+      rec.recorded.emplace_back(alias, source);
+    }
+    wins.push_back(std::move(rec));
+  }
+  TCQ_RETURN_IF_ERROR(r->EndSection());
+
+  // 5. Executor state: query classes re-admitted under their original
+  // global ids, SteM logs and seq horizons imported.
+  TCQ_ASSIGN_OR_RETURN(
+      uint64_t restored_queries,
+      executor_.RestoreFrom(r.get(), [&sinks](GlobalQueryId qid) {
+        auto it = sinks.find(qid);
+        return it != sinks.end() ? it->second : Executor::Sink();
+      }));
+  (void)restored_queries;
+
+  // 6. Windowed queries: re-admit under recorded ids (pinned re-planning),
+  // then import each runner's snapshot.
+  for (WinRec& rec : wins) {
+    TCQ_ASSIGN_OR_RETURN(ast::SelectStatement stmt, ParseQuery(rec.sql));
+    ClientInfo* client = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      TCQ_ASSIGN_OR_RETURN(PlannedQuery plan,
+                           PlanQuery(stmt, &catalog_, &rec.pinned));
+      for (const auto& [alias, entry] : plan.bindings) {
+        auto pin = rec.pinned.find(alias);
+        if (pin == rec.pinned.end() || pin->second != entry.source) {
+          return Status::IOError("restored plan for query " +
+                                 std::to_string(rec.wid) + " bound alias '" +
+                                 alias + "' to a different source than the "
+                                 "checkpoint recorded");
+        }
+      }
+      SubmitOptions so;
+      so.speculate = rec.speculate;
+      TCQ_ASSIGN_OR_RETURN(ClientHandle handle,
+                           AdmitWindowedLocked(plan, rec.sql, so, rec.wid));
+      (void)handle;
+      if (rec.wid + 1 > next_window_query_id_) {
+        next_window_query_id_ = rec.wid + 1;
+      }
+      auto it = clients_.find(rec.wid);
+      it->second.bindings = rec.recorded;
+      client = &it->second;
+    }
+    auto* du = static_cast<WindowedQueryDispatchUnit*>(client->window_du.get());
+    TCQ_RETURN_IF_ERROR(ReadCheckpointSection(r.get(), du->mutable_runner()));
+  }
+
+  // 7. Bring the dataflow up for the replay (the fjords must drain or the
+  // chunks below would overflow them). Start() later re-invokes both —
+  // idempotent.
+  executor_.Start();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, client] : clients_) {
+      if (client.window_eo != nullptr) client.window_eo->Start();
+    }
+  }
+
+  // 8. Replay each stream's archived suffix past its snapshot high-water
+  // mark, spool-bypassing (the tuples are already archived). Chunks yield
+  // between pushes so windowed fjords keep headroom.
+  uint64_t replayed = 0;
+  for (const auto& [name, pos] : replay) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = streams_.find(name);
+    if (it == streams_.end() || it->second.spool == nullptr) continue;
+    PhysicalStream& stream = it->second;
+    std::vector<Tuple> suffix;
+    TCQ_RETURN_IF_ERROR(stream.spool->ScanFrom(pos, &suffix));
+    size_t i = 0;
+    while (i < suffix.size()) {
+      TupleBatch chunk;
+      chunk.set_source(stream.canonical);
+      for (; i < suffix.size() && chunk.size() < 256; ++i) {
+        chunk.push_back(suffix[i]);
+      }
+      replayed += chunk.size();
+      RouteBatch(&stream, chunk, /*spool=*/false);
+      lock.unlock();
+      const auto bp_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      for (;;) {
+        bool full = false;
+        {
+          std::lock_guard<std::mutex> g(mu_);
+          for (auto& [id, client] : clients_) {
+            if (!client.windowed) continue;
+            for (const ClientInfo::WindowInput& in : client.window_inputs) {
+              if (in.fjord->queue().size() > opts_.egress_capacity / 2) {
+                full = true;
+              }
+            }
+          }
+        }
+        if (!full || std::chrono::steady_clock::now() > bp_deadline) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      lock.lock();
+    }
+  }
+
+  // 9. Re-deliver end-of-stream for streams that closed before the crash:
+  // the restored subscriptions never saw the original CloseStream.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, stream] : streams_) {
+      if (!stream.closed) continue;
+      for (const Subscription& sub : stream.subs) {
+        (void)executor_.CloseStream(sub.logical);
+        if (sub.close) sub.close();
+      }
+    }
+    last_epoch_ = epoch;
+  }
+  restore_replayed_->Inc(replayed);
+  restore_duration_us_->Set(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return epoch;
+}
+
+std::vector<TelegraphCQ::ClientHandle> TelegraphCQ::Handles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ClientHandle> out;
+  for (const auto& [id, client] : clients_) {
+    ClientHandle h;
+    h.id = id;
+    h.results = client.egress;
+    h.windows = client.windows;
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+void TelegraphCQ::CheckpointLoop() {
+  const auto interval =
+      std::chrono::milliseconds(opts_.checkpoint_interval_ms);
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (!checkpoint_stop_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (std::chrono::steady_clock::now() < next) continue;
+    next = std::chrono::steady_clock::now() + interval;
+    if (!Checkpoint().ok()) ckpt_failures_->Inc();
+  }
 }
 
 Status TelegraphCQ::Cancel(GlobalQueryId id) {
@@ -680,6 +1349,9 @@ TelegraphCQ::Introspection TelegraphCQ::Introspect() const {
   out.class_merges = executor_.class_merges();
   out.class_migrations = executor_.class_migrations();
   out.class_gcs = executor_.class_gcs();
+  out.checkpoint_epochs = ckpt_epochs_->Value();
+  out.checkpoint_bytes = ckpt_bytes_->Value();
+  out.restore_replay_tuples = restore_replayed_->Value();
   return out;
 }
 
@@ -700,6 +1372,10 @@ void TelegraphCQ::Start() {
   stop_.store(false);
   pump_thread_ = std::thread([this] { PumpLoop(); });
   if (system_streams_ != nullptr) system_streams_->Start();
+  if (!opts_.checkpoint_dir.empty() && opts_.checkpoint_interval_ms > 0) {
+    checkpoint_stop_.store(false);
+    checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
 }
 
 void TelegraphCQ::PumpLoop() {
@@ -738,7 +1414,10 @@ void TelegraphCQ::Stop() {
     if (!started_) return;
     started_ = false;
   }
-  // Stop the publisher first: it pushes into streams_ via PushBatch.
+  // The checkpointer goes first: it takes mu_ and stops/starts EOs.
+  checkpoint_stop_.store(true);
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+  // Stop the publisher next: it pushes into streams_ via PushBatch.
   if (system_streams_ != nullptr) system_streams_->Stop();
   wrapper_.Stop();
   stop_.store(true);

@@ -17,6 +17,7 @@
 #include "obs/system_streams.h"
 #include "obs/trace.h"
 #include "storage/buffer_pool.h"
+#include "storage/checkpoint.h"
 #include "storage/scanner.h"
 #include "query/catalog.h"
 #include "query/parser.h"
@@ -75,7 +76,13 @@ class WindowResultBuffer {
 //                            attached after Start(), tuples pushed to a
 //                            stream no query consumes, unspooled history
 //                            scan);
-//   * kResourceExhausted   — back-pressure outlasted the retry budget.
+//   * kResourceExhausted   — back-pressure outlasted the retry budget;
+//   * kIOError             — a checkpoint file is missing, torn, fails its
+//                            checksum, or names state the current engine
+//                            configuration cannot reproduce (Checkpoint /
+//                            Restore only);
+//   * kTimedOut            — the engine could not quiesce within the
+//                            checkpoint drain budget (Checkpoint only).
 // Methods state only the codes they add beyond this contract.
 class TelegraphCQ {
  public:
@@ -98,6 +105,13 @@ class TelegraphCQ {
     /// tcq$queues / tcq$latency are defined at construction and a publisher
     /// thread pushes engine snapshots into them while the server runs.
     obs::SystemStreamOptions system_streams;
+    /// When non-empty, Checkpoint() / Restore() write and read epoch-stamped
+    /// snapshot files "ckpt-<epoch>" under this directory (DESIGN.md §13).
+    std::string checkpoint_dir;
+    /// When > 0 (and checkpoint_dir is set), Start() launches a background
+    /// checkpointer that calls Checkpoint() this often. Failures are counted
+    /// in tcq_checkpoint_failures_total, never fatal.
+    uint64_t checkpoint_interval_ms = 0;
   };
 
   /// Per-stream event-time policy (DESIGN.md §12). With `punctuate` set the
@@ -123,6 +137,16 @@ class TelegraphCQ {
     /// watermark has not yet closed, revised via retraction tuples when late
     /// data changes them (DESIGN.md §12). Ignored for continuous queries.
     bool speculate = false;
+    /// Windowed queries only: continuous-plus-historical admission
+    /// (DESIGN.md §13). When > 0, the query's input fjords are primed with
+    /// the spooled archive suffix reaching this far back (tuples with
+    /// ts >= latest_archived - history_reach + 1; kMaxTimestamp = the whole
+    /// archive) before live routing resumes, so the first windows fire over
+    /// history the query never saw live. The splice is exact: backfill
+    /// happens under the ingest lock, so no tuple is delivered twice.
+    /// Requires Options::spool_dir; kFailedPrecondition when any bound
+    /// stream is unspooled, kInvalidArgument on a continuous query.
+    Timestamp history_reach = 0;
   };
 
   /// A submitted query's client handle. Exactly one of `results` (continuous
@@ -179,6 +203,9 @@ class TelegraphCQ {
     uint64_t class_merges = 0;      ///< bridging-query class merges so far
     uint64_t class_migrations = 0;  ///< rebalance DU migrations so far
     uint64_t class_gcs = 0;         ///< classes retired (last query removed)
+    uint64_t checkpoint_epochs = 0;       ///< checkpoints completed so far
+    uint64_t checkpoint_bytes = 0;        ///< bytes across all checkpoints
+    uint64_t restore_replay_tuples = 0;   ///< spool tuples replayed on restore
   };
 
   /// One client-facing row of a PushBatch call. COMPAT shape for the
@@ -291,6 +318,39 @@ class TelegraphCQ {
   Result<std::vector<Tuple>> ScanHistory(const std::string& stream,
                                          Timestamp l, Timestamp r);
 
+  // --- Durable state (DESIGN.md §13) -----------------------------------------
+
+  /// Seals every spool's partial tail page to disk, bounding the loss window
+  /// to tuples routed after the call (the background spooler's fsync point,
+  /// surfaced so tests and operators can force it). kFailedPrecondition
+  /// without Options::spool_dir.
+  Status FlushSpools();
+
+  /// Takes an epoch-stamped snapshot of every state-holding layer — SteMs,
+  /// PSoup-side structures, window runners, eddy routing/lineage, sharded
+  /// partition maps, per-stream event-time marks and spool positions — into
+  /// checkpoint_dir/ckpt-<epoch>, riding the quiesce protocol: ingest is
+  /// blocked, fjords drain, spools flush, then state exports section by
+  /// section. Returns the epoch. The server must be Start()ed (or have
+  /// empty queues): draining relies on the execution objects. kTimedOut if
+  /// the engine cannot quiesce; kFailedPrecondition without checkpoint_dir.
+  Result<uint64_t> Checkpoint();
+
+  /// Rebuilds the engine from the latest ckpt-<N> under checkpoint_dir plus
+  /// a spool replay of everything archived past each stream's snapshot
+  /// high-water mark. Must run on a freshly constructed server (same
+  /// Options) before Start(), AttachSource, or any ingest: streams are
+  /// re-defined, recorded queries re-planned under their original source
+  /// ids and query ids, snapshot state imported, and the spool suffix
+  /// re-routed (spool-bypassing, so the archive is not re-appended).
+  /// Returns the restored epoch. kNotFound when no checkpoint exists;
+  /// kFailedPrecondition on a non-fresh server or without checkpoint_dir.
+  Result<uint64_t> Restore();
+
+  /// Handles of every live query, restored ones included — the way a client
+  /// reconnects to its egress / window buffer after Restore().
+  std::vector<ClientHandle> Handles() const;
+
   /// Cancels a query — continuous or windowed. For a windowed query the
   /// dedicated execution object is stopped, its subscriptions are detached,
   /// and the client's window buffer is marked finished. kNotFound for an
@@ -358,18 +418,58 @@ class TelegraphCQ {
     std::shared_ptr<WindowResultBuffer> windows;
     std::shared_ptr<DispatchUnit> window_du;
     std::unique_ptr<ExecutionObject> window_eo;
+    /// Checkpoint record: the submitted SQL plus the (alias -> source id)
+    /// bindings its plan resolved, so a restore can re-plan with the ids
+    /// pinned (self-join aliases are allocated at plan time and would
+    /// otherwise come back different).
+    std::string sql;
+    bool speculate = false;
+    std::vector<std::pair<std::string, SourceId>> bindings;
+    /// Windowed queries: one injection point per FROM binding — the "win:"
+    /// fjord producer plus the fjord itself (for drain probes) and the
+    /// binding's logical schema (for alias re-tagging). History backfill and
+    /// restore replay push through these instead of the drop-on-overload
+    /// subscription path, with bounded retry.
+    struct WindowInput {
+      SourceId source = 0;
+      std::string stream;  // physical stream name
+      SchemaRef schema;
+      std::shared_ptr<Fjord> fjord;
+      std::shared_ptr<FjordProducer> producer;
+    };
+    std::vector<WindowInput> window_inputs;
   };
 
   /// Routes a whole physical batch to every logical subscription (re-tagged
-  /// per subscription for self-join aliases).
-  void RouteBatch(PhysicalStream* stream, const TupleBatch& batch);
+  /// per subscription for self-join aliases). `spool` false bypasses the
+  /// background spool append — the restore replay path, which re-routes
+  /// tuples that are already archived.
+  void RouteBatch(PhysicalStream* stream, const TupleBatch& batch,
+                  bool spool = true);
   /// DefineStream minus the tcq$ reservation check — the path the engine
-  /// itself uses to register the reserved introspection streams.
+  /// itself uses to register the reserved introspection streams. With
+  /// `reopen_spool` an existing spool file is opened and appended to
+  /// (restore) instead of truncated (fresh definition).
   Result<SourceId> DefineStreamInternal(const std::string& name,
-                                        const std::vector<Field>& fields);
+                                        const std::vector<Field>& fields,
+                                        bool reopen_spool = false);
   /// Ensures the executor knows `entry` and tuples reach it.
   Status SubscribeContinuous(const std::string& physical,
                              const Catalog::StreamEntry& entry);
+  /// The windowed half of Submit(), callable with an explicit query id
+  /// (restore re-admits under recorded ids). Caller holds mu_.
+  Result<ClientHandle> AdmitWindowedLocked(const PlannedQuery& plan,
+                                           const std::string& sql,
+                                           const SubmitOptions& sub_opts,
+                                           GlobalQueryId wid);
+  /// Primes a freshly admitted windowed query's fjords with the archived
+  /// suffix reaching `reach` back (SubmitOptions::history_reach). Caller
+  /// holds mu_, so live routing is blocked and the splice is exact.
+  Status BackfillWindowedLocked(ClientInfo* client, Timestamp reach);
+  /// Waits until every windowed query's input fjords are empty (their EOs
+  /// drain them; pre-Start the DUs are stepped inline). Caller holds mu_.
+  Status DrainWindowedLocked();
+  void CheckpointLoop();
   void PumpLoop();
 
   Options opts_;
@@ -391,6 +491,16 @@ class TelegraphCQ {
   bool started_ = false;
   GlobalQueryId next_window_query_id_ = 1u << 20;  // distinct id space
   uint64_t next_client_label_ = 0;  // egress labels (gid unknown pre-admit)
+  // Durable-state instruments and checkpointer state (DESIGN.md §13).
+  Counter* ckpt_epochs_;
+  Counter* ckpt_bytes_;
+  Counter* ckpt_failures_;
+  Gauge* ckpt_duration_us_;
+  Counter* restore_replayed_;
+  Gauge* restore_duration_us_;
+  uint64_t last_epoch_ = 0;  // guarded by mu_
+  std::thread checkpoint_thread_;
+  std::atomic<bool> checkpoint_stop_{false};
 };
 
 }  // namespace tcq

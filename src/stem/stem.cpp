@@ -131,6 +131,36 @@ void SteM::AdvanceTime(Timestamp now) {
   live_entries_->Set(static_cast<int64_t>(log_.size()));
 }
 
+void SteM::ExportTo(CheckpointWriter* w) const {
+  w->PutU32(source_);
+  w->PutU64(log_.size());
+  ForEachEntry([w](const Tuple& tuple, Timestamp seq) {
+    w->PutTuple(tuple);
+    w->PutI64(seq);
+  });
+}
+
+Status SteM::RestoreFrom(CheckpointReader* r) {
+  TCQ_ASSIGN_OR_RETURN(uint32_t source, r->GetU32());
+  if (source != source_) {
+    return Status::IOError("stem checkpoint is for source " +
+                           std::to_string(source) + ", restoring source " +
+                           std::to_string(source_));
+  }
+  if (!log_.empty()) {
+    return Status::FailedPrecondition(
+        "stem restore requires an empty SteM (" + name_ + " has " +
+        std::to_string(log_.size()) + " entries)");
+  }
+  TCQ_ASSIGN_OR_RETURN(uint64_t count, r->GetU64());
+  for (uint64_t i = 0; i < count; ++i) {
+    TCQ_ASSIGN_OR_RETURN(Tuple tuple, r->GetTuple());
+    TCQ_ASSIGN_OR_RETURN(int64_t seq, r->GetI64());
+    Build(tuple, seq);
+  }
+  return Status::OK();
+}
+
 SteMProbe::SteMProbe(std::string name, SteM* stem, JoinSpec spec)
     : EddyModule(std::move(name)), stem_(stem), spec_(std::move(spec)) {
   assert(spec_.probe_key.has_value() == spec_.build_key.has_value() &&

@@ -17,6 +17,7 @@
 #include "eddy/module.h"
 #include "operators/predicate.h"
 #include "stem/index.h"
+#include "storage/checkpoint.h"
 #include "tuple/tuple.h"
 
 namespace tcq {
@@ -34,7 +35,7 @@ struct StemOptions {
   Timestamp window = 0;
 };
 
-class SteM {
+class SteM : public Checkpointable {
  public:
   /// When `metrics` is null the SteM observes itself in a private registry;
   /// instruments are labeled with the SteM's name.
@@ -84,6 +85,16 @@ class SteM {
   }
 
   size_t size() const { return log_.size(); }
+
+  // --- Durable state (DESIGN.md §13) -----------------------------------------
+  // Exports the live entry log (tuples with ORIGINAL seqs, arrival order).
+  // Restore requires an empty SteM built for the same source; entries go
+  // back in through Build, which rebuilds every hash index as a side effect.
+  std::string CheckpointTag() const override { return "stem"; }
+  uint32_t CheckpointVersion() const override { return 1; }
+  void ExportTo(CheckpointWriter* w) const override;
+  Status RestoreFrom(CheckpointReader* r) override;
+
   // Thin reads over the metrics registry.
   uint64_t builds() const { return builds_->Value(); }
   uint64_t probes() const { return probes_->Value(); }

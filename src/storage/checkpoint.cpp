@@ -1,0 +1,487 @@
+#include "storage/checkpoint.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+
+namespace tcq {
+
+namespace {
+
+/// Per-page payload capacity: the rest is the [u32 used] header.
+constexpr size_t kPagePayload = kPageSize - sizeof(uint32_t);
+/// Logical-stream header: magic + format version + epoch.
+constexpr size_t kStreamHeaderSize = 2 * sizeof(uint32_t) + sizeof(uint64_t);
+
+uint64_t Fnv1a(const std::string& data) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+void AppendRaw(std::string* buf, T v) {
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+}  // namespace
+
+// --- CheckpointWriter -------------------------------------------------------
+
+CheckpointWriter::CheckpointWriter(uint64_t epoch) : epoch_(epoch) {
+  AppendRaw<uint32_t>(&body_, kCheckpointMagic);
+  AppendRaw<uint32_t>(&body_, kCheckpointFormatVersion);
+  AppendRaw<uint64_t>(&body_, epoch_);
+}
+
+void CheckpointWriter::BeginSection(const std::string& tag, uint32_t version) {
+  assert(!in_section_ && "nested checkpoint sections are not supported");
+  in_section_ = true;
+  open_tag_ = tag;
+  open_version_ = version;
+  section_.clear();
+}
+
+void CheckpointWriter::EndSection() {
+  assert(in_section_ && "EndSection without BeginSection");
+  in_section_ = false;
+  AppendRaw<uint32_t>(&body_, static_cast<uint32_t>(open_tag_.size()));
+  body_ += open_tag_;
+  AppendRaw<uint32_t>(&body_, open_version_);
+  AppendRaw<uint64_t>(&body_, static_cast<uint64_t>(section_.size()));
+  body_ += section_;
+  AppendRaw<uint64_t>(&body_, Fnv1a(section_));
+  section_.clear();
+}
+
+void CheckpointWriter::Raw(const void* data, size_t n) {
+  assert(in_section_ && "checkpoint data must live inside a section");
+  section_.append(static_cast<const char*>(data), n);
+}
+
+void CheckpointWriter::PutU8(uint8_t v) { Raw(&v, sizeof(v)); }
+void CheckpointWriter::PutU16(uint16_t v) { Raw(&v, sizeof(v)); }
+void CheckpointWriter::PutU32(uint32_t v) { Raw(&v, sizeof(v)); }
+void CheckpointWriter::PutU64(uint64_t v) { Raw(&v, sizeof(v)); }
+void CheckpointWriter::PutI64(int64_t v) { Raw(&v, sizeof(v)); }
+void CheckpointWriter::PutDouble(double v) { Raw(&v, sizeof(v)); }
+
+void CheckpointWriter::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  Raw(s.data(), s.size());
+}
+
+void CheckpointWriter::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt64:
+    case ValueType::kTimestamp:
+      PutI64(v.AsInt64());
+      break;
+    case ValueType::kDouble:
+      PutDouble(v.AsDouble());
+      break;
+    case ValueType::kString:
+      PutString(v.AsString());
+      break;
+  }
+}
+
+void CheckpointWriter::PutSchema(const Schema& schema) {
+  PutU32(static_cast<uint32_t>(schema.num_fields()));
+  for (const Field& f : schema.fields()) {
+    PutString(f.name);
+    PutU8(static_cast<uint8_t>(f.type));
+    PutU32(f.source);
+  }
+}
+
+uint32_t CheckpointWriter::InternSchema(const SchemaRef& schema) {
+  for (size_t i = 0; i < schema_table_.size(); ++i) {
+    // Pointer identity: tuples of one stream (and join intermediates of one
+    // cached concat) share a SchemaRef. Equal-by-value schemas under
+    // distinct pointers just intern twice — correct, merely larger.
+    if (schema_table_[i] == schema) return static_cast<uint32_t>(i);
+  }
+  schema_table_.push_back(schema);
+  return static_cast<uint32_t>(schema_table_.size() - 1);
+}
+
+void CheckpointWriter::PutTuple(const Tuple& t) {
+  assert(!t.IsPunctuation() && "punctuations are not checkpointable tuples");
+  size_t before = schema_table_.size();
+  uint32_t id = InternSchema(t.schema());
+  PutU32(id);
+  if (schema_table_.size() > before) PutSchema(*t.schema());
+  PutU8(static_cast<uint8_t>(t.kind()));
+  PutI64(t.timestamp());
+  PutU16(static_cast<uint16_t>(t.num_fields()));
+  for (size_t i = 0; i < t.num_fields(); ++i) PutValue(t.at(i));
+}
+
+Status CheckpointWriter::WriteTo(const std::string& path) {
+  assert(!in_section_ && "cannot write with an open section");
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create checkpoint at " + tmp);
+  }
+  std::string page;
+  page.reserve(kPageSize);
+  for (size_t pos = 0; pos < body_.size(); pos += kPagePayload) {
+    size_t used = std::min(kPagePayload, body_.size() - pos);
+    page.clear();
+    AppendRaw<uint32_t>(&page, static_cast<uint32_t>(used));
+    page.append(body_, pos, used);
+    page.resize(kPageSize, '\0');
+    if (std::fwrite(page.data(), 1, kPageSize, f) != kPageSize) {
+      std::fclose(f);
+      std::remove(tmp.c_str());
+      return Status::IOError("checkpoint write failed on " + tmp);
+    }
+  }
+  if (std::fflush(f) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IOError("checkpoint flush failed on " + tmp);
+  }
+  std::fclose(f);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("checkpoint rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+// --- CheckpointReader -------------------------------------------------------
+
+Result<std::unique_ptr<CheckpointReader>> CheckpointReader::Open(
+    const std::string& path, BufferPool* pool) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no checkpoint at " + path);
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot size checkpoint " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0 || static_cast<size_t>(size) % kPageSize != 0) {
+    std::fclose(f);
+    return Status::IOError("checkpoint " + path +
+                           " is not page-aligned (torn write?)");
+  }
+  auto reader = std::unique_ptr<CheckpointReader>(new CheckpointReader(
+      path, f, static_cast<uint64_t>(size) / kPageSize, pool));
+  TCQ_RETURN_IF_ERROR(reader->ReadHeader());
+  return reader;
+}
+
+CheckpointReader::~CheckpointReader() {
+  if (pool_ != nullptr) pool_->Invalidate(this);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CheckpointReader::ReadPage(uint64_t page_id, std::string* out) const {
+  if (page_id >= num_pages_) {
+    return Status::OutOfRange("checkpoint page " + std::to_string(page_id) +
+                              " out of range");
+  }
+  out->resize(kPageSize);
+  if (std::fseek(file_, static_cast<long>(page_id * kPageSize), SEEK_SET) !=
+          0 ||
+      std::fread(out->data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("checkpoint read failed on " + path_);
+  }
+  return Status::OK();
+}
+
+Status CheckpointReader::Pull(void* out, size_t n) {
+  char* dst = static_cast<char*>(out);
+  while (n > 0) {
+    if (!page_loaded_) {
+      if (page_ >= num_pages_) {
+        return Status::IOError("truncated checkpoint " + path_);
+      }
+      const std::string* page = nullptr;
+      if (pool_ != nullptr) {
+        TCQ_ASSIGN_OR_RETURN(page, pool_->Fetch(this, page_));
+      } else {
+        TCQ_RETURN_IF_ERROR(ReadPage(page_, &scratch_));
+        page = &scratch_;
+      }
+      if (page->size() != kPageSize) {
+        return Status::IOError("short checkpoint page in " + path_);
+      }
+      std::memcpy(&page_used_, page->data(), sizeof(uint32_t));
+      if (page_used_ == 0 || page_used_ > kPagePayload) {
+        return Status::IOError("corrupt page header in " + path_);
+      }
+      page_loaded_ = true;
+    }
+    if (off_ >= page_used_) {
+      ++page_;
+      off_ = 0;
+      page_loaded_ = false;
+      continue;
+    }
+    // Re-fetch under the pool (the frame pointer is only stable until the
+    // next Fetch, and decoding may interleave with spool scans).
+    const std::string* page = nullptr;
+    if (pool_ != nullptr) {
+      TCQ_ASSIGN_OR_RETURN(page, pool_->Fetch(this, page_));
+    } else {
+      page = &scratch_;
+    }
+    size_t take = std::min<size_t>(n, page_used_ - off_);
+    std::memcpy(dst, page->data() + sizeof(uint32_t) + off_, take);
+    dst += take;
+    off_ += static_cast<uint32_t>(take);
+    n -= take;
+  }
+  return Status::OK();
+}
+
+Status CheckpointReader::ReadHeader() {
+  uint32_t magic = 0;
+  TCQ_RETURN_IF_ERROR(Pull(&magic, sizeof(magic)));
+  if (magic != kCheckpointMagic) {
+    return Status::IOError("bad checkpoint magic in " + path_);
+  }
+  TCQ_RETURN_IF_ERROR(Pull(&format_version_, sizeof(format_version_)));
+  if (format_version_ > kCheckpointFormatVersion) {
+    return Status::IOError("checkpoint format v" +
+                           std::to_string(format_version_) +
+                           " is newer than this build supports");
+  }
+  return Pull(&epoch_, sizeof(epoch_));
+}
+
+bool CheckpointReader::AtEnd() const {
+  if (page_ >= num_pages_) return true;
+  if (page_ + 1 == num_pages_ && page_loaded_ && off_ >= page_used_) {
+    return true;
+  }
+  return false;
+}
+
+Result<CheckpointReader::Section> CheckpointReader::BeginSection() {
+  if (in_section_) {
+    return Status::Internal("BeginSection with a section already open");
+  }
+  uint32_t tag_len = 0;
+  TCQ_RETURN_IF_ERROR(Pull(&tag_len, sizeof(tag_len)));
+  if (tag_len > 256) {
+    return Status::IOError("implausible section tag length in " + path_);
+  }
+  Section sec;
+  sec.tag.resize(tag_len);
+  TCQ_RETURN_IF_ERROR(Pull(sec.tag.data(), tag_len));
+  TCQ_RETURN_IF_ERROR(Pull(&sec.version, sizeof(sec.version)));
+  TCQ_RETURN_IF_ERROR(Pull(&sec.length, sizeof(sec.length)));
+  if (sec.length > num_pages_ * kPagePayload) {
+    return Status::IOError("section '" + sec.tag + "' length exceeds file");
+  }
+  section_buf_.resize(sec.length);
+  TCQ_RETURN_IF_ERROR(Pull(section_buf_.data(), sec.length));
+  uint64_t want = 0;
+  TCQ_RETURN_IF_ERROR(Pull(&want, sizeof(want)));
+  if (Fnv1a(section_buf_) != want) {
+    return Status::IOError("checksum mismatch in section '" + sec.tag +
+                           "' of " + path_);
+  }
+  in_section_ = true;
+  cur_section_ = sec;
+  section_pos_ = 0;
+  return sec;
+}
+
+Status CheckpointReader::EndSection() {
+  if (!in_section_) {
+    return Status::Internal("EndSection without an open section");
+  }
+  in_section_ = false;
+  if (section_pos_ != section_buf_.size()) {
+    return Status::IOError("section '" + cur_section_.tag + "' has " +
+                           std::to_string(section_buf_.size() - section_pos_) +
+                           " undecoded bytes (version skew?)");
+  }
+  return Status::OK();
+}
+
+Status CheckpointReader::SectionBytes(void* out, size_t n) {
+  if (!in_section_) {
+    return Status::Internal("checkpoint read outside any section");
+  }
+  if (section_pos_ + n > section_buf_.size()) {
+    return Status::IOError("truncated section '" + cur_section_.tag + "'");
+  }
+  std::memcpy(out, section_buf_.data() + section_pos_, n);
+  section_pos_ += n;
+  return Status::OK();
+}
+
+Result<uint8_t> CheckpointReader::GetU8() {
+  uint8_t v = 0;
+  TCQ_RETURN_IF_ERROR(SectionBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint16_t> CheckpointReader::GetU16() {
+  uint16_t v = 0;
+  TCQ_RETURN_IF_ERROR(SectionBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint32_t> CheckpointReader::GetU32() {
+  uint32_t v = 0;
+  TCQ_RETURN_IF_ERROR(SectionBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint64_t> CheckpointReader::GetU64() {
+  uint64_t v = 0;
+  TCQ_RETURN_IF_ERROR(SectionBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<int64_t> CheckpointReader::GetI64() {
+  int64_t v = 0;
+  TCQ_RETURN_IF_ERROR(SectionBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<bool> CheckpointReader::GetBool() {
+  TCQ_ASSIGN_OR_RETURN(uint8_t v, GetU8());
+  return v != 0;
+}
+
+Result<double> CheckpointReader::GetDouble() {
+  double v = 0;
+  TCQ_RETURN_IF_ERROR(SectionBytes(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::string> CheckpointReader::GetString() {
+  TCQ_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  std::string s;
+  s.resize(len);
+  TCQ_RETURN_IF_ERROR(SectionBytes(s.data(), len));
+  return s;
+}
+
+Result<Value> CheckpointReader::GetValue() {
+  TCQ_ASSIGN_OR_RETURN(uint8_t type, GetU8());
+  switch (static_cast<ValueType>(type)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      TCQ_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+      return Value::Bool(b != 0);
+    }
+    case ValueType::kInt64: {
+      TCQ_ASSIGN_OR_RETURN(int64_t v, GetI64());
+      return Value::Int64(v);
+    }
+    case ValueType::kTimestamp: {
+      TCQ_ASSIGN_OR_RETURN(int64_t v, GetI64());
+      return Value::TimestampVal(v);
+    }
+    case ValueType::kDouble: {
+      TCQ_ASSIGN_OR_RETURN(double v, GetDouble());
+      return Value::Double(v);
+    }
+    case ValueType::kString: {
+      TCQ_ASSIGN_OR_RETURN(std::string s, GetString());
+      return Value::String(std::move(s));
+    }
+    default:
+      return Status::IOError("unknown value type tag in checkpoint");
+  }
+}
+
+Result<SchemaRef> CheckpointReader::GetSchema() {
+  TCQ_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  std::vector<Field> fields;
+  fields.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Field f;
+    TCQ_ASSIGN_OR_RETURN(f.name, GetString());
+    TCQ_ASSIGN_OR_RETURN(uint8_t type, GetU8());
+    if (type > static_cast<uint8_t>(ValueType::kTimestamp)) {
+      return Status::IOError("unknown field type tag in checkpoint schema");
+    }
+    f.type = static_cast<ValueType>(type);
+    TCQ_ASSIGN_OR_RETURN(f.source, GetU32());
+    fields.push_back(std::move(f));
+  }
+  return Schema::Make(std::move(fields));
+}
+
+Result<Tuple> CheckpointReader::GetTuple() {
+  TCQ_ASSIGN_OR_RETURN(uint32_t schema_id, GetU32());
+  SchemaRef schema;
+  if (schema_id == schema_table_.size()) {
+    TCQ_ASSIGN_OR_RETURN(schema, GetSchema());
+    schema_table_.push_back(schema);
+  } else if (schema_id < schema_table_.size()) {
+    schema = schema_table_[schema_id];
+  } else {
+    return Status::IOError("checkpoint tuple references unknown schema id " +
+                           std::to_string(schema_id));
+  }
+  TCQ_ASSIGN_OR_RETURN(uint8_t kind, GetU8());
+  if (kind != static_cast<uint8_t>(TupleKind::kData) &&
+      kind != static_cast<uint8_t>(TupleKind::kRetraction)) {
+    return Status::IOError("unexpected tuple kind in checkpoint");
+  }
+  TCQ_ASSIGN_OR_RETURN(int64_t ts, GetI64());
+  TCQ_ASSIGN_OR_RETURN(uint16_t n, GetU16());
+  if (n != schema->num_fields()) {
+    return Status::IOError("checkpoint tuple arity does not match schema");
+  }
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    TCQ_ASSIGN_OR_RETURN(Value v, GetValue());
+    values.push_back(std::move(v));
+  }
+  Tuple t = Tuple::Make(std::move(schema), std::move(values), ts);
+  if (kind == static_cast<uint8_t>(TupleKind::kRetraction)) {
+    return Tuple::Retraction(t);
+  }
+  return t;
+}
+
+// --- Section helpers --------------------------------------------------------
+
+void WriteCheckpointSection(CheckpointWriter* w, const Checkpointable& c) {
+  w->BeginSection(c.CheckpointTag(), c.CheckpointVersion());
+  c.ExportTo(w);
+  w->EndSection();
+}
+
+Status ReadCheckpointSection(CheckpointReader* r, Checkpointable* c) {
+  TCQ_ASSIGN_OR_RETURN(CheckpointReader::Section sec, r->BeginSection());
+  if (sec.tag != c->CheckpointTag()) {
+    return Status::IOError("expected checkpoint section '" +
+                           c->CheckpointTag() + "', found '" + sec.tag + "'");
+  }
+  if (sec.version > c->CheckpointVersion()) {
+    return Status::IOError("section '" + sec.tag + "' v" +
+                           std::to_string(sec.version) +
+                           " is newer than this build supports");
+  }
+  TCQ_RETURN_IF_ERROR(c->RestoreFrom(r));
+  return r->EndSection();
+}
+
+}  // namespace tcq

@@ -1,0 +1,206 @@
+// Checkpoint files: epoch-stamped, schema-versioned snapshots of the
+// engine's in-memory state (DESIGN.md §13). Every state-holding layer
+// (SteMs, PSoup's structures, window runners, eddy registries, shard
+// partition maps) implements the Checkpointable surface below and
+// serializes itself into tagged sections of one logical byte stream.
+//
+// The stream is paginated into StreamStore-sized pages so checkpoint reads
+// share the buffer pool with historical scans (a CheckpointReader IS a
+// PageProvider), and tuples reuse the TupleCodec value conventions so the
+// two on-disk formats stay bit-compatible where they overlap.
+//
+// Layout:
+//   file   := page*                      (each page exactly kPageSize bytes)
+//   page   := [u32 used][payload][0-pad] (logical stream = concat payloads)
+//   stream := header section*
+//   header := [u32 magic "TCQp"][u32 format_version][u64 epoch]
+//   section:= [string tag][u32 version][u64 len][payload][u64 fnv1a(payload)]
+// with string = [u32 len][bytes], value = [u8 type][payload] exactly as
+// TupleCodec writes it, and tuple = [u32 schema_id][i64 ts][u16 n][value*]
+// where schema ids intern into a per-file table (id == table size means a
+// new schema whose inline definition follows).
+//
+// Writers buffer in memory and publish with write-to-temp + rename, so a
+// crash mid-checkpoint leaves the previous epoch's file intact. Readers
+// verify the per-section checksum up front and return typed kIOError for
+// any truncation or corruption — never a crash.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/stream_store.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace tcq {
+
+/// "TCQp" little-endian.
+constexpr uint32_t kCheckpointMagic = 0x70514354;
+constexpr uint32_t kCheckpointFormatVersion = 1;
+
+/// Accumulates one checkpoint in memory, then paginates it to disk.
+/// All Put* calls must happen inside a BeginSection/EndSection pair.
+class CheckpointWriter {
+ public:
+  explicit CheckpointWriter(uint64_t epoch);
+
+  uint64_t epoch() const { return epoch_; }
+
+  void BeginSection(const std::string& tag, uint32_t version);
+  void EndSection();
+
+  void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI64(int64_t v);
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutDouble(double v);
+  void PutTimestamp(Timestamp t) { PutI64(t); }
+  void PutString(const std::string& s);
+  /// Same wire form as TupleCodec: [u8 type][payload].
+  void PutValue(const Value& v);
+  /// Inline schema definition: [u32 nfields]([string name][u8 type][u32 src])*
+  void PutSchema(const Schema& schema);
+  /// Interned-schema tuple (data or retraction kind; never punctuation).
+  void PutTuple(const Tuple& t);
+
+  /// Bytes of the logical stream accumulated so far (header + sections).
+  size_t logical_size() const { return body_.size() + section_.size(); }
+
+  /// Paginates the stream into `path` (temp file + rename: all-or-nothing).
+  /// No section may be open. The writer can be written again after edits,
+  /// but is typically single-shot.
+  Status WriteTo(const std::string& path);
+
+ private:
+  void Raw(const void* data, size_t n);
+  uint32_t InternSchema(const SchemaRef& schema);
+
+  uint64_t epoch_;
+  std::string body_;     ///< header + closed sections
+  std::string section_;  ///< open section payload
+  bool in_section_ = false;
+  std::string open_tag_;
+  uint32_t open_version_ = 0;
+  std::vector<SchemaRef> schema_table_;
+};
+
+/// Reads a checkpoint file back. Implements PageProvider so page fetches go
+/// through the shared BufferPool (pass null to read pages directly).
+/// Sections must be consumed in file order: schema interning spans sections,
+/// so skipping one could orphan later tuples' schema ids.
+class CheckpointReader : public PageProvider {
+ public:
+  struct Section {
+    std::string tag;
+    uint32_t version = 0;
+    uint64_t length = 0;
+  };
+
+  static Result<std::unique_ptr<CheckpointReader>> Open(
+      const std::string& path, BufferPool* pool = nullptr);
+  ~CheckpointReader() override;
+
+  CheckpointReader(const CheckpointReader&) = delete;
+  CheckpointReader& operator=(const CheckpointReader&) = delete;
+
+  uint64_t epoch() const { return epoch_; }
+  uint32_t format_version() const { return format_version_; }
+
+  // PageProvider: raw checkpoint pages, for buffer-pool caching.
+  Status ReadPage(uint64_t page_id, std::string* out) const override;
+  uint64_t NumPages() const override { return num_pages_; }
+
+  /// True once every logical byte has been consumed.
+  bool AtEnd() const;
+
+  /// Reads the next section header and its whole payload (verifying the
+  /// trailing checksum immediately, so Get* never sees corrupt bytes).
+  Result<Section> BeginSection();
+  /// Version of the currently open section.
+  uint32_t section_version() const { return cur_section_.version; }
+  /// Closes the current section; kIOError if undecoded payload remains.
+  Status EndSection();
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<bool> GetBool();
+  Result<double> GetDouble();
+  Result<Timestamp> GetTimestamp() { return GetI64(); }
+  Result<std::string> GetString();
+  Result<Value> GetValue();
+  Result<SchemaRef> GetSchema();
+  Result<Tuple> GetTuple();
+
+ private:
+  CheckpointReader(std::string path, std::FILE* file, uint64_t num_pages,
+                   BufferPool* pool)
+      : path_(std::move(path)), file_(file), num_pages_(num_pages),
+        pool_(pool) {}
+
+  Status ReadHeader();
+  /// Copies `n` logical-stream bytes at the cursor into `out`.
+  Status Pull(void* out, size_t n);
+  Status SectionBytes(void* out, size_t n);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t num_pages_ = 0;
+  BufferPool* pool_ = nullptr;
+  mutable std::string scratch_;  ///< poolless page buffer
+
+  // Logical cursor over the page payloads.
+  uint64_t page_ = 0;
+  uint32_t off_ = 0;        ///< within the current page's payload
+  uint32_t page_used_ = 0;  ///< of the current page (0 = not yet fetched)
+  bool page_loaded_ = false;
+
+  uint32_t format_version_ = 0;
+  uint64_t epoch_ = 0;
+
+  bool in_section_ = false;
+  Section cur_section_;
+  std::string section_buf_;
+  size_t section_pos_ = 0;
+
+  std::vector<SchemaRef> schema_table_;
+};
+
+/// A state-holding component that can snapshot itself into a checkpoint
+/// section and rebuild from one. Implementations must be quiescent for the
+/// duration of both calls (the checkpointer rides the quiesce protocol).
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Section tag identifying the component kind (e.g. "stem", "psoup").
+  virtual std::string CheckpointTag() const = 0;
+  /// Schema version of the component's section payload. Bump on any layout
+  /// change; RestoreFrom may consult reader->section_version() to accept
+  /// older layouts.
+  virtual uint32_t CheckpointVersion() const = 0;
+
+  virtual void ExportTo(CheckpointWriter* w) const = 0;
+  virtual Status RestoreFrom(CheckpointReader* r) = 0;
+};
+
+/// Writes one component as a tagged, versioned, checksummed section.
+void WriteCheckpointSection(CheckpointWriter* w, const Checkpointable& c);
+
+/// Reads the next section, validating it carries `c`'s tag at a version the
+/// component supports, and restores into `c`.
+Status ReadCheckpointSection(CheckpointReader* r, Checkpointable* c);
+
+}  // namespace tcq

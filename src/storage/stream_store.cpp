@@ -109,6 +109,18 @@ Result<Tuple> TupleCodec::Decode(const std::string& buf, size_t* pos) const {
         return Status::IOError("unknown value type tag");
     }
   }
+  // Corrupt pages can decode into plausible-looking garbage; cross-check
+  // the row against the schema (arity + types, nulls allowed) so damage is
+  // a typed error at the decode boundary, never a crash downstream.
+  if (n != schema_->num_fields()) {
+    return Status::IOError("decoded tuple arity " + std::to_string(n) +
+                           " does not match schema (" +
+                           std::to_string(schema_->num_fields()) + " fields)");
+  }
+  if (!schema_->Validate(values).ok()) {
+    return Status::IOError("decoded tuple violates schema " +
+                           schema_->ToString());
+  }
   return Tuple::Make(schema_, std::move(values), ts);
 }
 
@@ -120,6 +132,45 @@ Result<std::unique_ptr<StreamStore>> StreamStore::Create(
   }
   return std::unique_ptr<StreamStore>(
       new StreamStore(path, f, std::move(schema)));
+}
+
+Result<std::unique_ptr<StreamStore>> StreamStore::Open(const std::string& path,
+                                                       SchemaRef schema) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::NotFound("no stream store at " + path);
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot size stream store " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot size stream store " + path);
+  }
+  auto store =
+      std::unique_ptr<StreamStore>(new StreamStore(path, f, std::move(schema)));
+  // Whole pages only: a torn trailing fragment (crash mid-write) is
+  // discarded, and the next seal overwrites it.
+  uint64_t pages = static_cast<uint64_t>(size) / kPageSize;
+  store->sealed_ = pages;  // so ReadPage targets the sealed range
+  std::string page;
+  std::vector<Tuple> tuples;
+  for (uint64_t p = 0; p < pages; ++p) {
+    TCQ_RETURN_IF_ERROR(store->ReadPage(p, &page));
+    tuples.clear();
+    TCQ_RETURN_IF_ERROR(store->DecodePage(page, &tuples));
+    PageMeta meta;
+    for (const Tuple& t : tuples) {
+      meta.min_ts = std::min(meta.min_ts, t.timestamp());
+      meta.max_ts = std::max(meta.max_ts, t.timestamp());
+      ++meta.count;
+    }
+    store->metas_.push_back(meta);
+    store->appended_ += meta.count;
+  }
+  return store;
 }
 
 StreamStore::~StreamStore() {
@@ -204,6 +255,29 @@ Status StreamStore::DecodePage(const std::string& page,
   for (uint32_t i = 0; i < count; ++i) {
     TCQ_ASSIGN_OR_RETURN(Tuple t, codec_.Decode(page, &pos));
     out->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+Status StreamStore::ScanFrom(uint64_t start_index,
+                             std::vector<Tuple>* out) const {
+  uint64_t cum = 0;
+  uint64_t pages = NumPages();
+  std::string page;
+  std::vector<Tuple> tuples;
+  for (uint64_t p = 0; p < pages; ++p) {
+    uint32_t count = p < sealed_ ? metas_[p].count : current_meta_.count;
+    if (cum + count <= start_index) {
+      cum += count;
+      continue;
+    }
+    TCQ_RETURN_IF_ERROR(ReadPage(p, &page));
+    tuples.clear();
+    TCQ_RETURN_IF_ERROR(DecodePage(page, &tuples));
+    size_t skip = start_index > cum ? static_cast<size_t>(start_index - cum)
+                                    : 0;
+    out->insert(out->end(), tuples.begin() + skip, tuples.end());
+    cum += count;
   }
   return Status::OK();
 }

@@ -60,6 +60,13 @@ class StreamStore : public PageProvider {
   static Result<std::unique_ptr<StreamStore>> Create(const std::string& path,
                                                      SchemaRef schema);
 
+  /// Re-opens an existing log for append, rebuilding page metadata by
+  /// scanning and decoding every page (recovery path). Tuples in a tail
+  /// page that was never flushed are gone — the accepted loss window; what
+  /// WAS flushed is fully recovered. kNotFound when no file exists.
+  static Result<std::unique_ptr<StreamStore>> Open(const std::string& path,
+                                                   SchemaRef schema);
+
   ~StreamStore() override;
 
   /// Appends a tuple (timestamps must be non-decreasing for page pruning to
@@ -78,6 +85,13 @@ class StreamStore : public PageProvider {
 
   /// Page ids whose [min_ts, max_ts] intersects [l, r].
   std::vector<uint64_t> PagesInRange(Timestamp l, Timestamp r) const;
+
+  /// Appends to `out` every stored tuple from append index `start_index`
+  /// (0-based, in append order) onward — the replay path: a checkpoint
+  /// records tuples_appended() as its high-water mark and recovery replays
+  /// the suffix. Prefix pages are skipped via their counts without
+  /// decoding.
+  Status ScanFrom(uint64_t start_index, std::vector<Tuple>* out) const;
 
   const PageMeta& page_meta(uint64_t page_id) const {
     return metas_[page_id];

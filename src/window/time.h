@@ -60,6 +60,10 @@ class WatermarkTracker {
   uint64_t punctuations_applied() const { return punct_applied_; }
   uint64_t punctuations_regressed() const { return punct_regressed_; }
 
+  /// Every per-source mark (checkpoint export; restore re-drives Update,
+  /// which leaves the punctuation counters at zero — counters restart).
+  const std::map<SourceId, Timestamp>& marks() const { return marks_; }
+
   /// Watermark of one source (kMinTimestamp if never updated).
   Timestamp WatermarkOf(SourceId source) const;
 

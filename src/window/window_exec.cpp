@@ -263,6 +263,114 @@ size_t OnlineWindowRunner::buffered_tuples() const {
   return n;
 }
 
+void OnlineWindowRunner::ExportTo(CheckpointWriter* w) const {
+  w->PutBool(pending_.has_value());
+  if (pending_.has_value()) w->PutTimestamp(pending_->t);
+  const auto& marks = watermarks_.marks();
+  w->PutU32(static_cast<uint32_t>(marks.size()));
+  for (const auto& [source, ts] : marks) {
+    w->PutU32(source);
+    w->PutTimestamp(ts);
+  }
+  w->PutU32(static_cast<uint32_t>(history_.size()));
+  std::vector<Tuple> tuples;
+  for (const auto& [source, hist] : history_) {
+    w->PutU32(source);
+    tuples.clear();
+    hist.Range(kMinTimestamp, kMaxTimestamp, &tuples);
+    w->PutU64(tuples.size());
+    for (const Tuple& t : tuples) w->PutTuple(t);
+  }
+  w->PutU32(static_cast<uint32_t>(prune_floor_.size()));
+  for (const auto& [source, floor] : prune_floor_) {
+    w->PutU32(source);
+    w->PutTimestamp(floor);
+  }
+  w->PutU64(late_beyond_bound_);
+  w->PutU64(late_behind_loop_);
+  w->PutU64(retractions_);
+  w->PutU64(speculative_);
+  w->PutU64(spec_emitted_.size());
+  for (const auto& [key, entry] : spec_emitted_) {
+    w->PutTuple(entry.first);
+    w->PutU64(entry.second);
+  }
+  w->PutU64(spec_revision_);
+  w->PutBool(spec_dirty_);
+}
+
+Status OnlineWindowRunner::RestoreFrom(CheckpointReader* r) {
+  TCQ_ASSIGN_OR_RETURN(bool has_pending, r->GetBool());
+  // Re-drive a fresh iterator to the recorded loop position. The loop is
+  // deterministic, so matching the pending instant reproduces the iterator
+  // state exactly; a bounded search turns a mismatched query into a typed
+  // error instead of a spin.
+  iter_ = WindowIterator(query_.loop);
+  pending_.reset();
+  if (has_pending) {
+    TCQ_ASSIGN_OR_RETURN(Timestamp pending_t, r->GetTimestamp());
+    bool found = false;
+    for (uint64_t i = 0; i < (1u << 20) && iter_.HasNext(); ++i) {
+      WindowInstance inst = iter_.Next();
+      if (inst.t == pending_t) {
+        pending_ = std::move(inst);
+        found = true;
+        break;
+      }
+      if (query_.loop.t_step > 0 && inst.t > pending_t) break;
+    }
+    if (!found) {
+      return Status::IOError(
+          "window_runner checkpoint pending instant " +
+          std::to_string(pending_t) +
+          " is not an instance of the restored query's loop");
+    }
+  } else {
+    // Recorded loop was exhausted; exhaust ours too.
+    for (uint64_t i = 0; i < (1u << 20) && iter_.HasNext(); ++i) iter_.Next();
+  }
+  TCQ_ASSIGN_OR_RETURN(uint32_t nmarks, r->GetU32());
+  for (uint32_t i = 0; i < nmarks; ++i) {
+    TCQ_ASSIGN_OR_RETURN(uint32_t source, r->GetU32());
+    TCQ_ASSIGN_OR_RETURN(Timestamp ts, r->GetTimestamp());
+    watermarks_.Update(source, ts);
+  }
+  history_.clear();
+  TCQ_ASSIGN_OR_RETURN(uint32_t nhist, r->GetU32());
+  for (uint32_t i = 0; i < nhist; ++i) {
+    TCQ_ASSIGN_OR_RETURN(uint32_t source, r->GetU32());
+    TCQ_ASSIGN_OR_RETURN(uint64_t count, r->GetU64());
+    StreamHistory& hist = history_[source];
+    for (uint64_t j = 0; j < count; ++j) {
+      TCQ_ASSIGN_OR_RETURN(Tuple t, r->GetTuple());
+      hist.Append(t);
+    }
+  }
+  prune_floor_.clear();
+  TCQ_ASSIGN_OR_RETURN(uint32_t nfloor, r->GetU32());
+  for (uint32_t i = 0; i < nfloor; ++i) {
+    TCQ_ASSIGN_OR_RETURN(uint32_t source, r->GetU32());
+    TCQ_ASSIGN_OR_RETURN(Timestamp floor, r->GetTimestamp());
+    prune_floor_[source] = floor;
+  }
+  TCQ_ASSIGN_OR_RETURN(late_beyond_bound_, r->GetU64());
+  TCQ_ASSIGN_OR_RETURN(late_behind_loop_, r->GetU64());
+  TCQ_ASSIGN_OR_RETURN(retractions_, r->GetU64());
+  TCQ_ASSIGN_OR_RETURN(speculative_, r->GetU64());
+  spec_emitted_.clear();
+  TCQ_ASSIGN_OR_RETURN(uint64_t nspec, r->GetU64());
+  for (uint64_t i = 0; i < nspec; ++i) {
+    TCQ_ASSIGN_OR_RETURN(Tuple t, r->GetTuple());
+    TCQ_ASSIGN_OR_RETURN(uint64_t count, r->GetU64());
+    std::string key = t.ToString();
+    spec_emitted_.emplace(std::move(key),
+                          std::make_pair(std::move(t), count));
+  }
+  TCQ_ASSIGN_OR_RETURN(spec_revision_, r->GetU64());
+  TCQ_ASSIGN_OR_RETURN(spec_dirty_, r->GetBool());
+  return Status::OK();
+}
+
 std::vector<WindowAggregateResult> RunAggregateOverHistory(
     const ForLoopSpec& loop, AggFn fn, const AttrRef& value_attr,
     const StreamHistory& history, uint64_t max_windows,

@@ -20,6 +20,7 @@
 
 #include "operators/aggregate.h"
 #include "operators/predicate.h"
+#include "storage/checkpoint.h"
 #include "window/time.h"
 #include "window/window_spec.h"
 
@@ -99,7 +100,7 @@ std::vector<WindowResult> RunOverHistory(
 /// additions and kRetraction withdrawals — and seals it with a kFinal delta
 /// once complete. Accumulating additions minus retractions reproduces the
 /// exact final window (CEDR's consistency spectrum in miniature).
-class OnlineWindowRunner {
+class OnlineWindowRunner : public Checkpointable {
  public:
   using Callback = std::function<void(const WindowResult&)>;
 
@@ -146,6 +147,18 @@ class OnlineWindowRunner {
   uint64_t retractions_emitted() const { return retractions_; }
   uint64_t speculative_emitted() const { return speculative_; }
   const WatermarkTracker& watermarks() const { return watermarks_; }
+
+  // --- Durable state (DESIGN.md §13) -----------------------------------------
+  // Exports the loop position (the pending window's instant), per-source
+  // watermarks, the reorder/history deques, prune floors, late/speculation
+  // counters, and the speculation multiset. Restore requires a runner freshly
+  // constructed over the SAME query: the loop iterator is re-driven until it
+  // reaches the recorded pending instant, so already-fired windows never
+  // re-fire. The watermark tracker's punctuation counters restart at zero.
+  std::string CheckpointTag() const override { return "window_runner"; }
+  uint32_t CheckpointVersion() const override { return 1; }
+  void ExportTo(CheckpointWriter* w) const override;
+  Status RestoreFrom(CheckpointReader* r) override;
 
  private:
   /// White-box access for delta-contract tests: SPJ window content is

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <limits>
 
 #include "common/rng.h"
 #include "storage/buffer_pool.h"
+#include "storage/checkpoint.h"
 #include "storage/scanner.h"
 #include "storage/stream_store.h"
 
@@ -261,6 +265,286 @@ TEST(ScannerTest, WindowInstanceIntegration) {
   ASSERT_TRUE(scanner.ScanWindow(inst, 0, &out).ok());
   EXPECT_EQ(out.size(), 10u);  // [91, 100]
   EXPECT_TRUE(scanner.ScanWindow(inst, 7, &out).IsInvalidArgument());
+}
+
+// --- Satellite: scanner closed-interval boundary pins ------------------------
+
+TEST(ScannerTest, ScanBoundsAreClosedInterval) {
+  auto store = StreamStore::Create(TempPath("tcq_store_ci.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  for (int i = 1; i <= 600; ++i) {
+    ASSERT_TRUE((*store)->Append(Row(i, "x", 1.0, false, i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  BufferPool pool;
+  WindowedScanner scanner(store->get(), &pool);
+
+  // Both endpoints are included: [10, 20] is 11 tuples, not 10 or 9.
+  std::vector<Tuple> out;
+  ASSERT_TRUE(scanner.Scan(10, 20, &out).ok());
+  ASSERT_EQ(out.size(), 11u);
+  EXPECT_EQ(out.front().timestamp(), 10);
+  EXPECT_EQ(out.back().timestamp(), 20);
+
+  // Degenerate interval [t, t] selects exactly t, at both extremes.
+  out.clear();
+  ASSERT_TRUE(scanner.Scan(1, 1, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.front().timestamp(), 1);
+  out.clear();
+  ASSERT_TRUE(scanner.Scan(600, 600, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.front().timestamp(), 600);
+
+  // Just outside the data on either side: empty, not an error.
+  out.clear();
+  ASSERT_TRUE(scanner.Scan(kMinTimestamp, 0, &out).ok());
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  ASSERT_TRUE(scanner.Scan(601, kMaxTimestamp, &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  // An interval straddling a page boundary must not lose either edge.
+  const StreamStore::PageMeta& first = (*store)->page_meta(0);
+  out.clear();
+  ASSERT_TRUE(scanner.Scan(first.max_ts, first.max_ts + 1, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.front().timestamp(), first.max_ts);
+  EXPECT_EQ(out.back().timestamp(), first.max_ts + 1);
+
+  // Reversed bounds select nothing.
+  out.clear();
+  ASSERT_TRUE(scanner.Scan(20, 10, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+// --- Satellite: codec round-trip edge cases ----------------------------------
+
+TEST(TupleCodecTest, RoundTripsNaNDouble) {
+  TupleCodec codec(Sch());
+  Tuple original =
+      Row(1, "nan", std::numeric_limits<double>::quiet_NaN(), true, 7);
+  std::string buf;
+  codec.Encode(original, &buf);
+  size_t pos = 0;
+  auto decoded = codec.Decode(buf, &pos);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(std::isnan(decoded->at(2).AsDouble()));
+  EXPECT_EQ(decoded->at(0).AsInt64(), 1);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(StreamStoreTest, MaxLengthStringFillsAPage) {
+  SchemaRef sch = Schema::Make({{"s", ValueType::kString, 0}});
+  auto store = StreamStore::Create(TempPath("tcq_store_max.log"), sch);
+  ASSERT_TRUE(store.ok());
+  // Encoded tuple = 8 (ts) + 2 (arity) + 1 (tag) + 4 (length) + payload, and
+  // a page holds kPageSize - 4 (count header) encoded bytes.
+  const size_t kMaxLen = kPageSize - 4 - 15;
+  const std::string big(kMaxLen, 'x');
+  ASSERT_TRUE(
+      (*store)->Append(Tuple::Make(sch, {Value::String(big)}, 1)).ok());
+  // One byte more no longer fits any page: typed rejection, not truncation.
+  EXPECT_TRUE((*store)
+                  ->Append(Tuple::Make(sch, {Value::String(big + "y")}, 2))
+                  .IsInvalidArgument());
+  ASSERT_TRUE((*store)->Flush().ok());
+  std::vector<Tuple> out;
+  ASSERT_TRUE((*store)->ScanFrom(0, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].at(0).AsString(), big);
+}
+
+TEST(StreamStoreTest, NullLanesSurvivePageRoundTrip) {
+  auto store = StreamStore::Create(TempPath("tcq_store_null.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  SchemaRef sch = Sch();
+  for (int i = 0; i < 200; ++i) {
+    // Rotate which lane is null so every column exercises the null path.
+    std::vector<Value> vals = {Value::Int64(i), Value::String("s"),
+                               Value::Double(1.5), Value::Bool(true),
+                               Value::TimestampVal(i)};
+    vals[static_cast<size_t>(i) % vals.size()] = Value::Null();
+    ASSERT_TRUE((*store)->Append(Tuple::Make(sch, vals, i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  std::vector<Tuple> out;
+  ASSERT_TRUE((*store)->ScanFrom(0, &out).ok());
+  ASSERT_EQ(out.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    for (size_t c = 0; c < 5; ++c) {
+      EXPECT_EQ(out[i].at(c).is_null(), c == static_cast<size_t>(i) % 5)
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(StreamStoreTest, CorruptPageIsTypedError) {
+  auto store = StreamStore::Create(TempPath("tcq_store_corrupt.log"), Sch());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE((*store)->Append(Row(i, "abc", 1.0, false, i)).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  std::string page;
+  ASSERT_TRUE((*store)->ReadPage(0, &page).ok());
+  // Lie about the tuple count: decoding runs off the page's real payload
+  // and must surface a typed kIOError, never garbage tuples.
+  uint32_t count = 10000;
+  page.replace(0, sizeof(count),
+               reinterpret_cast<const char*>(&count), sizeof(count));
+  std::vector<Tuple> out;
+  Status s = (*store)->DecodePage(page, &out);
+  EXPECT_EQ(s.code(), StatusCode::kIOError) << s;
+}
+
+TEST(StreamStoreTest, TruncatedFileRecoversOnlyWholePages) {
+  const std::string path = TempPath("tcq_store_trunc.log");
+  uint64_t full_pages = 0;
+  {
+    auto store = StreamStore::Create(path, Sch());
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 800; ++i) {
+      ASSERT_TRUE((*store)->Append(Row(i, "payload", 1.0, false, i)).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+    full_pages = (*store)->pages_sealed();
+    ASSERT_GE(full_pages, 2u);
+  }
+  // Tear the file mid-page (a crash during a page write).
+  std::filesystem::resize_file(path, full_pages * kPageSize - kPageSize / 2);
+  auto reopened = StreamStore::Open(path, Sch());
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  std::vector<Tuple> out;
+  ASSERT_TRUE((*reopened)->ScanFrom(0, &out).ok());
+  // Every tuple of every whole page survives; the torn fragment is dropped.
+  EXPECT_EQ((*reopened)->pages_sealed(), full_pages - 1);
+  ASSERT_FALSE(out.empty());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].timestamp(), static_cast<Timestamp>(i));
+  }
+}
+
+// --- Satellite: checkpoint file round-trip and corruption --------------------
+
+TEST(CheckpointTest, RoundTripsScalarsAndTuples) {
+  const std::string path = TempPath("tcq_ckpt_rt");
+  SchemaRef sch = Sch();
+  Tuple weird = Tuple::Make(
+      sch,
+      {Value::Int64(-1), Value::Null(),
+       Value::Double(std::numeric_limits<double>::quiet_NaN()),
+       Value::Bool(false), Value::TimestampVal(kMaxTimestamp)},
+      kMaxTimestamp);
+  {
+    CheckpointWriter w(/*epoch=*/7);
+    w.BeginSection("blob", 3);
+    w.PutU32(42);
+    w.PutString(std::string(300, 'z'));
+    w.PutTuple(weird);
+    w.PutTimestamp(kMinTimestamp);
+    w.EndSection();
+    w.BeginSection("tail", 1);
+    w.PutU64(0xdeadbeefull);
+    w.EndSection();
+    ASSERT_TRUE(w.WriteTo(path).ok());
+  }
+  auto r = CheckpointReader::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ((*r)->epoch(), 7u);
+  auto sec = (*r)->BeginSection();
+  ASSERT_TRUE(sec.ok()) << sec.status();
+  EXPECT_EQ(sec->tag, "blob");
+  EXPECT_EQ(sec->version, 3u);
+  auto u = (*r)->GetU32();
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(*u, 42u);
+  auto s = (*r)->GetString();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, std::string(300, 'z'));
+  auto t = (*r)->GetTuple();
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->timestamp(), kMaxTimestamp);
+  EXPECT_EQ(t->at(0).AsInt64(), -1);
+  EXPECT_TRUE(t->at(1).is_null());
+  EXPECT_TRUE(std::isnan(t->at(2).AsDouble()));
+  EXPECT_EQ(t->at(4).AsInt64(), kMaxTimestamp);
+  auto ts = (*r)->GetTimestamp();
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(*ts, kMinTimestamp);
+  ASSERT_TRUE((*r)->EndSection().ok());
+  auto sec2 = (*r)->BeginSection();
+  ASSERT_TRUE(sec2.ok());
+  EXPECT_EQ(sec2->tag, "tail");
+  auto u64 = (*r)->GetU64();
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(*u64, 0xdeadbeefull);
+  ASSERT_TRUE((*r)->EndSection().ok());
+}
+
+TEST(CheckpointTest, UnconsumedSectionBytesAreAnError) {
+  const std::string path = TempPath("tcq_ckpt_trailing");
+  {
+    CheckpointWriter w(1);
+    w.BeginSection("two", 1);
+    w.PutU32(1);
+    w.PutU32(2);
+    w.EndSection();
+    ASSERT_TRUE(w.WriteTo(path).ok());
+  }
+  auto r = CheckpointReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE((*r)->BeginSection().ok());
+  ASSERT_TRUE((*r)->GetU32().ok());
+  // One u32 left unread: a restore that loses track of its layout must be
+  // told, not silently misaligned into the next section.
+  EXPECT_FALSE((*r)->EndSection().ok());
+}
+
+TEST(CheckpointTest, FlippedPayloadByteFailsChecksum) {
+  const std::string path = TempPath("tcq_ckpt_flip");
+  {
+    CheckpointWriter w(2);
+    w.BeginSection("blob", 1);
+    w.PutString(std::string(200, 'q'));
+    w.EndSection();
+    ASSERT_TRUE(w.WriteTo(path).ok());
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 60, SEEK_SET), 0);  // inside the section payload
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, 60, SEEK_SET), 0);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+  auto r = CheckpointReader::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto sec = (*r)->BeginSection();
+  ASSERT_FALSE(sec.ok());
+  EXPECT_EQ(sec.status().code(), StatusCode::kIOError) << sec.status();
+}
+
+TEST(CheckpointTest, TruncatedFileIsTypedError) {
+  const std::string path = TempPath("tcq_ckpt_trunc");
+  {
+    CheckpointWriter w(3);
+    w.BeginSection("blob", 1);
+    w.PutString(std::string(3 * kPageSize, 'w'));  // spans several pages
+    w.EndSection();
+    ASSERT_TRUE(w.WriteTo(path).ok());
+  }
+  std::filesystem::resize_file(path, kPageSize + kPageSize / 2);
+  auto r = CheckpointReader::Open(path);
+  if (r.ok()) {
+    auto sec = (*r)->BeginSection();
+    EXPECT_FALSE(sec.ok());
+    EXPECT_EQ(sec.status().code(), StatusCode::kIOError) << sec.status();
+  } else {
+    EXPECT_EQ(r.status().code(), StatusCode::kIOError) << r.status();
+  }
 }
 
 }  // namespace
